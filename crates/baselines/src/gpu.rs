@@ -1,0 +1,86 @@
+//! GPU and PCIe cost model shared by the hybrid backends.
+//!
+//! Models the paper's NVIDIA GTX 1080 Ti (Table 2): a device that
+//! crushes the dense layers but sits behind a PCIe link and pays a
+//! launch/synchronization overhead per batch — the reason DLRM-Hybrid
+//! loses to CPU-only inference at batch size 64 (paper §4.2: "GPUs
+//! waiting for the embedding results").
+
+/// Tunable GPU + interconnect model.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GpuModel {
+    /// Effective dense-layer throughput in flops per nanosecond at
+    /// small inference batches (far below peak).
+    pub mlp_flops_per_ns: f64,
+    /// Nanoseconds per embedding-row gather from GPU memory (HBM/GDDR).
+    pub hbm_gather_ns: f64,
+    /// Nanoseconds per scalar add when pooling on the GPU.
+    pub pool_add_ns: f64,
+    /// Kernel-launch + synchronization overhead per batch (ns).
+    pub launch_overhead_ns: f64,
+    /// PCIe latency per transfer (ns).
+    pub pcie_lat_ns: f64,
+    /// PCIe bandwidth in GB/s (= bytes per ns).
+    pub pcie_gbps: f64,
+    /// Device memory available for cached embeddings (bytes). The GTX
+    /// 1080 Ti has 11 GB; harnesses scale this with their tables.
+    pub mem_bytes: usize,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel {
+            mlp_flops_per_ns: 800.0,
+            hbm_gather_ns: 0.9,
+            pool_add_ns: 0.01,
+            // Per-batch H2D staging + kernel launches + sync of an
+            // eager-mode inference stack at batch 64.
+            launch_overhead_ns: 400_000.0,
+            pcie_lat_ns: 9_000.0,
+            pcie_gbps: 12.0,
+            mem_bytes: 11 << 30,
+        }
+    }
+}
+
+impl GpuModel {
+    /// One PCIe transfer of `bytes` bytes.
+    pub fn pcie_ns(&self, bytes: usize) -> f64 {
+        self.pcie_lat_ns + bytes as f64 / self.pcie_gbps
+    }
+
+    /// Dense-layer time for `flops` operations.
+    pub fn mlp_ns(&self, flops: u64) -> f64 {
+        flops as f64 / self.mlp_flops_per_ns
+    }
+
+    /// Gather + pool time for `rows` row reads and `adds` scalar adds.
+    pub fn gather_ns(&self, rows: u64, adds: u64) -> f64 {
+        rows as f64 * self.hbm_gather_ns + adds as f64 * self.pool_add_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_has_fixed_latency_floor() {
+        let g = GpuModel::default();
+        assert!(g.pcie_ns(0) >= g.pcie_lat_ns);
+        assert!(g.pcie_ns(1 << 20) > g.pcie_ns(1 << 10));
+    }
+
+    #[test]
+    fn gpu_mlp_is_faster_than_typical_cpu() {
+        let g = GpuModel::default();
+        let cpu = crate::memory::CpuMemoryModel::default();
+        assert!(g.mlp_ns(1_000_000) < cpu.mlp_ns(1_000_000));
+    }
+
+    #[test]
+    fn gather_scales_with_rows() {
+        let g = GpuModel::default();
+        assert!(g.gather_ns(200, 0) > g.gather_ns(100, 0));
+    }
+}

@@ -1,0 +1,150 @@
+//! DPU-GPU heterogeneous backend — the system the paper's conclusion
+//! names as future work ("we plan to work on designing a DPU-GPU
+//! heterogeneous system to further optimize the inference time").
+//!
+//! Embeddings run on the PIM array exactly as in UpDLRM; the pooled
+//! vectors then cross PCIe to a GPU that computes the dense layers.
+//! Whether this beats plain UpDLRM (CPU dense layers) hinges on the
+//! per-batch GPU overhead versus the CPU's MLP time — at the paper's
+//! batch size 64 the launch/sync overhead dominates, which this model
+//! makes measurable.
+
+use crate::backend::{InferenceBackend, LatencyReport};
+use crate::gpu::GpuModel;
+use dlrm_model::{Dlrm, QueryBatch};
+use std::sync::Arc;
+use updlrm_core::{CoreError, UpdlrmConfig, UpdlrmEngine};
+use workloads::Workload;
+
+/// UpDLRM embeddings + GPU dense layers.
+#[derive(Debug)]
+pub struct DpuGpuHetero {
+    model: Arc<Dlrm>,
+    engine: UpdlrmEngine,
+    gpu: GpuModel,
+}
+
+impl DpuGpuHetero {
+    /// Builds the backend (PIM placement as in
+    /// [`UpdlrmBackend`](crate::updlrm::UpdlrmBackend)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction errors.
+    pub fn from_workload(
+        config: UpdlrmConfig,
+        model: Arc<Dlrm>,
+        workload: &Workload,
+        gpu: GpuModel,
+    ) -> Result<Self, CoreError> {
+        let engine = UpdlrmEngine::from_workload(config, model.tables(), workload)?;
+        Ok(DpuGpuHetero { model, engine, gpu })
+    }
+}
+
+impl InferenceBackend for DpuGpuHetero {
+    fn name(&self) -> &'static str {
+        "UpDLRM+GPU"
+    }
+
+    fn run_batch(&mut self, batch: &QueryBatch) -> Result<(Vec<f32>, LatencyReport), CoreError> {
+        let (out, breakdown) = self.engine.run_inference(&self.model, batch)?;
+        let b = batch.batch_size();
+        let cfg = self.model.config();
+        let pooled_bytes = b * cfg.table_rows.len() * cfg.embedding_dim * 4;
+        let dense_bytes = b * cfg.num_dense * 4;
+        let flops = (self.model.bottom_mlp().flops_per_sample()
+            + self.model.top_mlp().flops_per_sample())
+            * b as u64;
+        let report = LatencyReport {
+            embedding_ns: breakdown.total_with_host_ns(),
+            dense_ns: self.gpu.mlp_ns(flops),
+            transfer_ns: self.gpu.pcie_ns(pooled_bytes + dense_bytes)
+                + self.gpu.launch_overhead_ns,
+            pim: Some(breakdown),
+        };
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::CpuMemoryModel;
+    use crate::updlrm::UpdlrmBackend;
+    use dlrm_model::DlrmConfig;
+    use updlrm_core::PartitionStrategy;
+    use workloads::{DatasetSpec, TraceConfig};
+
+    fn setting() -> (Arc<Dlrm>, Workload) {
+        let spec = DatasetSpec::goodreads().scaled_down(5000);
+        let workload = Workload::generate(
+            &spec,
+            TraceConfig { num_tables: 2, num_batches: 1, ..TraceConfig::default() },
+        );
+        let model = Arc::new(
+            Dlrm::new_integer_tables(DlrmConfig {
+                num_dense: 13,
+                embedding_dim: 32,
+                table_rows: vec![spec.num_items; 2],
+                bottom_hidden: vec![32],
+                top_hidden: vec![32],
+                seed: 3,
+            })
+            .unwrap(),
+        );
+        (model, workload)
+    }
+
+    #[test]
+    fn hetero_output_matches_reference() {
+        let (model, w) = setting();
+        let mut hetero = DpuGpuHetero::from_workload(
+            UpdlrmConfig::with_dpus(16, PartitionStrategy::CacheAware),
+            model.clone(),
+            &w,
+            GpuModel::default(),
+        )
+        .unwrap();
+        let (out, report) = hetero.run_batch(&w.batches[0]).unwrap();
+        assert_eq!(out, model.forward(&w.batches[0]).unwrap());
+        assert!(report.pim.is_some());
+    }
+
+    #[test]
+    fn gpu_overhead_decides_the_hetero_tradeoff() {
+        // With the default eager-stack overhead, plain UpDLRM (CPU
+        // dense) wins at batch 64; with a graph-captured stack
+        // (overhead ~0) the heterogeneous system wins on dense time.
+        let (model, w) = setting();
+        let config = UpdlrmConfig::with_dpus(16, PartitionStrategy::NonUniform);
+        let mut plain = UpdlrmBackend::from_workload(
+            config.clone(),
+            model.clone(),
+            &w,
+            CpuMemoryModel::default(),
+        )
+        .unwrap();
+        let mut eager = DpuGpuHetero::from_workload(
+            config.clone(),
+            model.clone(),
+            &w,
+            GpuModel::default(),
+        )
+        .unwrap();
+        let captured = GpuModel { launch_overhead_ns: 2_000.0, ..GpuModel::default() };
+        let mut graphed =
+            DpuGpuHetero::from_workload(config, model.clone(), &w, captured).unwrap();
+
+        let (_, r_plain) = plain.run_batch(&w.batches[0]).unwrap();
+        let (_, r_eager) = eager.run_batch(&w.batches[0]).unwrap();
+        let (_, r_graphed) = graphed.run_batch(&w.batches[0]).unwrap();
+        assert!(
+            r_plain.total_ns() < r_eager.total_ns(),
+            "eager GPU stack should lose: {} vs {}",
+            r_plain.total_ns(),
+            r_eager.total_ns()
+        );
+        assert!(r_graphed.dense_ns < r_plain.dense_ns);
+    }
+}

@@ -1,0 +1,130 @@
+//! DLRM-Hybrid: the CPU-GPU baseline (paper Table 2).
+//!
+//! The CPU stores the tables and executes the embedding lookups; the
+//! pooled embedding vectors cross PCIe to the GPU, which computes the
+//! dense layers. The GPU stalls on the CPU's embedding results and pays
+//! a per-batch launch/sync overhead — which is why the paper finds this
+//! configuration *slower* than CPU-only inference at batch 64 (§4.2).
+
+use crate::backend::{InferenceBackend, LatencyReport};
+use crate::cpu::DlrmCpu;
+use crate::gpu::GpuModel;
+use crate::memory::CpuMemoryModel;
+use dlrm_model::{Dlrm, QueryBatch};
+use std::sync::Arc;
+use updlrm_core::CoreError;
+use workloads::FreqProfile;
+
+/// The CPU-GPU hybrid DLRM implementation.
+#[derive(Debug)]
+pub struct DlrmHybrid {
+    cpu: DlrmCpu,
+    gpu: GpuModel,
+    model: Arc<Dlrm>,
+}
+
+impl DlrmHybrid {
+    /// Builds the backend from the shared model, trace profiles and the
+    /// two hardware models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DlrmCpu::new`] validation.
+    pub fn new(
+        model: Arc<Dlrm>,
+        profiles: &[FreqProfile],
+        mem: CpuMemoryModel,
+        gpu: GpuModel,
+    ) -> Result<Self, CoreError> {
+        Ok(DlrmHybrid { cpu: DlrmCpu::new(model.clone(), profiles, mem)?, gpu, model })
+    }
+}
+
+impl InferenceBackend for DlrmHybrid {
+    fn name(&self) -> &'static str {
+        "DLRM-Hybrid"
+    }
+
+    fn run_batch(&mut self, batch: &QueryBatch) -> Result<(Vec<f32>, LatencyReport), CoreError> {
+        let out = self.model.forward(batch)?;
+        let b = batch.batch_size();
+        let cfg = self.model.config();
+        // Pooled embeddings + dense features cross PCIe per batch.
+        let pooled_bytes = b * cfg.table_rows.len() * cfg.embedding_dim * 4;
+        let dense_bytes = b * cfg.num_dense * 4;
+        let flops = (self.model.bottom_mlp().flops_per_sample()
+            + self.model.top_mlp().flops_per_sample())
+            * b as u64;
+        let report = LatencyReport {
+            embedding_ns: self.cpu.embedding_ns(batch),
+            dense_ns: self.gpu.mlp_ns(flops),
+            transfer_ns: self.gpu.pcie_ns(pooled_bytes + dense_bytes)
+                + self.gpu.launch_overhead_ns,
+            pim: None,
+        };
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::InferenceBackend;
+    use dlrm_model::DlrmConfig;
+    use workloads::{DatasetSpec, TraceConfig, Workload};
+
+    fn setup() -> (Arc<Dlrm>, Workload, Vec<FreqProfile>) {
+        let spec = DatasetSpec::goodreads().scaled_down(10_000);
+        let workload = Workload::generate(
+            &spec,
+            TraceConfig { num_tables: 2, num_batches: 1, ..TraceConfig::default() },
+        );
+        let model = Arc::new(
+            Dlrm::new(DlrmConfig {
+                num_dense: 13,
+                embedding_dim: 32,
+                table_rows: vec![spec.num_items; 2],
+                bottom_hidden: vec![32],
+                top_hidden: vec![32],
+                seed: 3,
+            })
+            .unwrap(),
+        );
+        let profiles = (0..2)
+            .map(|t| FreqProfile::from_inputs(model.tables()[t].rows(), workload.table_inputs(t)))
+            .collect();
+        (model, workload, profiles)
+    }
+
+    #[test]
+    fn hybrid_output_matches_cpu_output() {
+        let (model, w, p) = setup();
+        let mut hybrid =
+            DlrmHybrid::new(model.clone(), &p, CpuMemoryModel::default(), GpuModel::default())
+                .unwrap();
+        let mut cpu = DlrmCpu::new(model, &p, CpuMemoryModel::default()).unwrap();
+        let (a, _) = hybrid.run_batch(&w.batches[0]).unwrap();
+        let (b, _) = cpu.run_batch(&w.batches[0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hybrid_is_slower_than_cpu_at_small_batches() {
+        // The paper's §4.2 observation: DLRM-Hybrid performs the worst.
+        let (model, w, p) = setup();
+        let mut hybrid =
+            DlrmHybrid::new(model.clone(), &p, CpuMemoryModel::default(), GpuModel::default())
+                .unwrap();
+        let mut cpu = DlrmCpu::new(model, &p, CpuMemoryModel::default()).unwrap();
+        let (_, rh) = hybrid.run_batch(&w.batches[0]).unwrap();
+        let (_, rc) = cpu.run_batch(&w.batches[0]).unwrap();
+        assert!(
+            rh.total_ns() > rc.total_ns(),
+            "hybrid {} should lose to cpu {}",
+            rh.total_ns(),
+            rc.total_ns()
+        );
+        // ... even though its dense layers are much faster:
+        assert!(rh.dense_ns < rc.dense_ns);
+    }
+}

@@ -1,0 +1,24 @@
+//! DESIGN.md §4 ablations: dedup, padded transfers, auto N_c, Alg. 1
+//! benefit credit.
+
+use bench::{experiments, fmt_ns, EvalConfig, Table};
+
+fn main() {
+    let eval = EvalConfig::from_env();
+    eprintln!("running ablations (GoodReads)...");
+    let rows = experiments::ablations(eval).expect("ablation experiment");
+    let mut t = Table::new(
+        "Ablations (GoodReads, embedding time over trace)",
+        &["knob", "ON", "OFF", "OFF/ON"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.knob.clone(),
+            fmt_ns(r.on_ns),
+            fmt_ns(r.off_ns),
+            format!("{:.2}x", r.off_ns / r.on_ns),
+        ]);
+    }
+    t.print();
+    t.write_csv("ablations");
+}

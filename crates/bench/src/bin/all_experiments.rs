@@ -1,0 +1,24 @@
+//! Runs every experiment binary's logic in sequence — the one-shot
+//! reproduction entry point (`cargo run --release -p bench --bin
+//! all_experiments`).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig3", "table1", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11",
+        "cache_capacity", "energy", "ablations", "pipeline",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        eprintln!("\n===== {bin} =====");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("cannot run {}: {e}", path.display()),
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Energy comparison (extension of the paper's §2.3 TCO discussion).
+
+use bench::{experiments, EvalConfig, Table};
+use workloads::DatasetSpec;
+
+fn main() {
+    let eval = EvalConfig::from_env();
+    eprintln!("running energy model comparison...");
+    let rows = experiments::energy(&DatasetSpec::paper_six(), eval).expect("energy experiment");
+    let mut t = Table::new(
+        "Embedding-layer energy (modeled)",
+        &["dataset", "UpDLRM (uJ)", "CPU DRAM (uJ)", "reduction"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.dataset.clone(),
+            format!("{:.0}", r.updlrm_uj),
+            format!("{:.0}", r.cpu_uj),
+            format!("{:.0}%", (1.0 - r.updlrm_uj / r.cpu_uj) * 100.0),
+        ]);
+    }
+    t.print();
+    t.write_csv("energy");
+    println!("paper (UPMEM tech report, cited in §2.3): ~60% energy reduction potential");
+}

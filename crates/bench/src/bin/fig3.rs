@@ -1,0 +1,24 @@
+//! Fig. 3 — MRAM read latency versus access size.
+
+use bench::{experiments, Table};
+
+fn main() {
+    let rows = experiments::fig3();
+    let mut t = Table::new(
+        "Fig. 3: MRAM read latency (8-byte aligned DMA, <= 2048 B)",
+        &["size (B)", "latency (ns)", "ns/B"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.size_bytes.to_string(),
+            format!("{:.1}", r.latency_ns),
+            format!("{:.3}", r.latency_ns / r.size_bytes as f64),
+        ]);
+    }
+    t.print();
+    t.write_csv("fig3");
+    let l8 = rows[0].latency_ns;
+    let l32 = rows[2].latency_ns;
+    let l2048 = rows.last().expect("rows").latency_ns;
+    println!("flat region 8->32 B: {:.2}x; 32->2048 B: {:.2}x", l32 / l8, l2048 / l32);
+}

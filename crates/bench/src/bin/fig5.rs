@@ -1,0 +1,28 @@
+//! Fig. 5 — proportion of accesses per row block (8 blocks).
+
+use bench::{experiments, BarChart, EvalConfig, Table};
+
+fn main() {
+    let eval = EvalConfig::from_env();
+    let rows = experiments::fig5(eval);
+    let mut t = Table::new(
+        "Fig. 5: accesses per row block (8 contiguous blocks)",
+        &["dataset", "b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "max/min"],
+    );
+    for r in &rows {
+        let mut cells = vec![r.dataset.clone()];
+        cells.extend(r.blocks.iter().map(u64::to_string));
+        cells.push(format!("{:.0}x", r.skew));
+        t.row(cells);
+    }
+    t.print();
+    t.write_csv("fig5");
+    for r in &rows {
+        let mut chart = BarChart::new(&format!("{} accesses per block", r.dataset));
+        for (i, &b) in r.blocks.iter().enumerate() {
+            chart.bar(&format!("b{i}"), b as f64);
+        }
+        chart.print();
+    }
+    println!("paper: the most popular block sees ~340x the accesses of the least popular");
+}

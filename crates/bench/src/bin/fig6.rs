@@ -1,0 +1,32 @@
+//! Fig. 6 — Movie: access pattern per partition with and without cache.
+
+use bench::{experiments, EvalConfig, Table};
+
+fn main() {
+    let eval = EvalConfig::from_env();
+    let r = experiments::fig6(eval).expect("fig6 experiment");
+    let mut t = Table::new(
+        "Fig. 6: Movie, accesses per partition (8 partitions)",
+        &["partition", "NU w/o cache", "NU + naive cache", "cache-aware (Alg. 1)"],
+    );
+    for p in 0..r.nu_load.len() {
+        t.row(vec![
+            p.to_string(),
+            format!("{:.0}", r.nu_load[p]),
+            format!("{:.0}", r.naive_cache_load[p]),
+            format!("{:.0}", r.ca_load[p]),
+        ]);
+    }
+    t.print();
+    t.write_csv("fig6");
+    println!(
+        "total accesses cut by caching: {:.0}% (paper: ~40%)",
+        r.cache_reduction * 100.0
+    );
+    println!(
+        "imbalance (max/mean): NU {:.2}, NU+naive cache {:.2}, cache-aware {:.2}",
+        r.nu_imbalance(),
+        r.naive_imbalance(),
+        r.ca_imbalance()
+    );
+}

@@ -1,0 +1,27 @@
+//! Fig. 9 — embedding-layer speedup of U/NU/CA partitioning over
+//! DLRM-CPU, N_c fixed at 2, 4 or 8.
+
+use bench::{experiments, EvalConfig, Table};
+use workloads::DatasetSpec;
+
+fn main() {
+    let eval = EvalConfig::from_env();
+    eprintln!("running fig9 (6 datasets x 3 strategies x 3 N_c)...");
+    let rows = experiments::fig9(&DatasetSpec::paper_six(), eval).expect("fig9 experiment");
+    let mut t = Table::new(
+        "Fig. 9: embedding-layer speedup over DLRM-CPU",
+        &["dataset", "strategy", "N_c", "speedup"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.dataset.clone(),
+            r.strategy.clone(),
+            r.n_c.to_string(),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    t.print();
+    t.write_csv("fig9");
+    println!("paper: CA >= NU >= U on High Hot datasets; near-equal on 'clo';");
+    println!("       no universally best N_c across datasets");
+}

@@ -1,0 +1,27 @@
+//! Inter-batch pipelining (extension): overlap stage 1/3 bus transfers
+//! with stage-2 lookups across consecutive batches.
+
+use bench::{experiments, fmt_ns, EvalConfig, Table};
+use workloads::DatasetSpec;
+
+fn main() {
+    let eval = EvalConfig::from_env();
+    eprintln!("running inter-batch pipelining analysis...");
+    let rows =
+        experiments::pipeline(&DatasetSpec::paper_six(), eval).expect("pipeline experiment");
+    let mut t = Table::new(
+        "Inter-batch pipelining of the embedding stages (extension)",
+        &["dataset", "sequential", "pipelined", "speedup"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.dataset.clone(),
+            fmt_ns(r.sequential_ns),
+            fmt_ns(r.pipelined_ns),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    t.print();
+    t.write_csv("pipeline");
+    println!("stage-2-bound traces gain little; transfer-bound configurations gain more");
+}

@@ -1,0 +1,25 @@
+//! Table 1 — workload configurations (spec versus synthesized trace).
+
+use bench::{experiments, EvalConfig, Table};
+
+fn main() {
+    let eval = EvalConfig::from_env();
+    let rows = experiments::table1(eval);
+    let mut t = Table::new(
+        "Table 1: workload configurations",
+        &["workload", "category", "Avg.Red (paper)", "Avg.Red (measured)", "#items (paper)", "#items (scaled)"],
+    );
+    for r in &rows {
+        t.row(vec![
+            format!("{}({})", r.name, r.short),
+            r.hotness.clone(),
+            format!("{:.2}", r.spec_avg_reduction),
+            format!("{:.2}", r.measured_avg_reduction),
+            r.items_full.to_string(),
+            r.items_scaled.to_string(),
+        ]);
+    }
+    t.print();
+    t.write_csv("table1");
+    println!("item scale: 1/{} (see EXPERIMENTS.md)", eval.item_scale);
+}

@@ -1,0 +1,208 @@
+//! Aligned-table printing and CSV export for experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple column-aligned text table with an optional CSV mirror.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths.iter()) {
+                let _ = write!(s, "{cell:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes a CSV mirror under `target/experiments/<name>.csv` and
+    /// returns the path (best-effort: IO errors are reported, not
+    /// fatal).
+    pub fn write_csv(&self, name: &str) -> Option<PathBuf> {
+        let dir = PathBuf::from("target/experiments");
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        let mut csv = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(csv, "{}", self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(csv, "{}", row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        }
+        match fs::write(&path, csv) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// A horizontal ASCII bar chart — the binaries use it to echo the
+/// paper's figure form next to the numeric tables.
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    title: String,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates an empty chart.
+    pub fn new(title: &str) -> Self {
+        BarChart { title: title.to_string(), bars: Vec::new() }
+    }
+
+    /// Appends one labeled bar (values must be non-negative).
+    pub fn bar(&mut self, label: &str, value: f64) -> &mut Self {
+        self.bars.push((label.to_string(), value.max(0.0)));
+        self
+    }
+
+    /// Renders the chart with bars scaled to `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "-- {} --", self.title);
+        let max = self.bars.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, value) in &self.bars {
+            let n = if max > 0.0 {
+                ((value / max) * width as f64).round() as usize
+            } else {
+                0
+            };
+            let _ = writeln!(out, "{label:>label_w$} | {} {value:.2}", "#".repeat(n));
+        }
+        out
+    }
+
+    /// Prints the chart to stdout at a default width.
+    pub fn print(&self) {
+        print!("{}", self.render(40));
+    }
+}
+
+/// Formats nanoseconds as a human-scaled string.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "200".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_is_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let mut b = BarChart::new("demo");
+        b.bar("a", 1.0).bar("bb", 2.0).bar("c", 0.0);
+        let s = b.render(10);
+        assert!(s.contains("-- demo --"));
+        // The max bar fills the width, the half bar is half.
+        assert!(s.contains(&"#".repeat(10)));
+        assert!(s.lines().any(|l| l.starts_with(" a |") && l.matches('#').count() == 5));
+        // Zero value renders no hashes but keeps the row.
+        assert!(s.lines().any(|l| l.trim_start().starts_with("c |")));
+    }
+
+    #[test]
+    fn bar_chart_handles_empty_and_all_zero() {
+        let b = BarChart::new("empty");
+        assert!(b.render(10).contains("empty"));
+        let mut z = BarChart::new("zeros");
+        z.bar("x", 0.0);
+        assert!(!z.render(10).contains('#'));
+    }
+
+    #[test]
+    fn formats_time_scales() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1500.0), "1.5 us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+    }
+}

@@ -1,0 +1,216 @@
+//! Item co-occurrence graph.
+//!
+//! GRACE (Ye et al., ASPLOS'23) identifies frequently co-accessed item
+//! combinations from a graph whose nodes are items and whose edge
+//! weights count how often two items appear in the same sample. Like
+//! GRACE, we restrict the graph to the hottest items — cold items cannot
+//! amortize cached partial sums — which bounds the memory of the
+//! otherwise quadratic pair counting.
+
+use std::collections::HashMap;
+use workloads::FreqProfile;
+
+/// Co-occurrence graph over the `hot_set_size` most frequent items.
+#[derive(Debug, Clone)]
+pub struct CooccurGraph {
+    /// Hot item id -> dense hot rank (0 = hottest).
+    hot_rank: HashMap<u64, u32>,
+    /// Hot items in rank order.
+    hot_items: Vec<u64>,
+    /// Edge weights keyed by (min_rank, max_rank).
+    edges: HashMap<(u32, u32), u64>,
+    /// Per-hot-item total accesses (copied from the profile).
+    freq: Vec<u64>,
+}
+
+impl CooccurGraph {
+    /// Creates a graph tracking the `hot_set_size` most frequent items
+    /// of `profile`.
+    pub fn new(profile: &FreqProfile, hot_set_size: usize) -> Self {
+        let hot_items: Vec<u64> =
+            profile.items_by_frequency().into_iter().take(hot_set_size).collect();
+        let hot_rank =
+            hot_items.iter().enumerate().map(|(r, &i)| (i, r as u32)).collect();
+        let freq = hot_items.iter().map(|&i| profile.count(i)).collect();
+        CooccurGraph { hot_rank, hot_items, edges: HashMap::new(), freq }
+    }
+
+    /// Number of hot items tracked.
+    pub fn hot_set_size(&self) -> usize {
+        self.hot_items.len()
+    }
+
+    /// The hot items, hottest first.
+    pub fn hot_items(&self) -> &[u64] {
+        &self.hot_items
+    }
+
+    /// Access frequency of a hot item by rank.
+    pub fn rank_freq(&self, rank: u32) -> u64 {
+        self.freq[rank as usize]
+    }
+
+    /// Item id of a hot rank.
+    pub fn rank_item(&self, rank: u32) -> u64 {
+        self.hot_items[rank as usize]
+    }
+
+    /// Cap on hot items per sample considered for pair counting: keeps
+    /// the per-sample cost bounded on reduction-heavy traces (GRACE
+    /// similarly samples its graph construction).
+    pub const MAX_PAIR_SPAN: usize = 64;
+
+    /// Records one sample's index list: every pair of hot items in the
+    /// sample gains one unit of edge weight. At most
+    /// [`CooccurGraph::MAX_PAIR_SPAN`] of the sample's hot items take
+    /// part (pair counting is quadratic); when a sample exceeds that,
+    /// an evenly-strided subset is used so that mid-popularity pairs
+    /// are not systematically dropped.
+    pub fn record_sample(&mut self, sample: &[u64]) {
+        let mut hot: Vec<u32> =
+            sample.iter().filter_map(|i| self.hot_rank.get(i).copied()).collect();
+        hot.sort_unstable();
+        if hot.len() > Self::MAX_PAIR_SPAN {
+            let stride = hot.len().div_ceil(Self::MAX_PAIR_SPAN);
+            hot = hot.into_iter().step_by(stride).collect();
+        }
+        for (k, &a) in hot.iter().enumerate() {
+            for &b in &hot[k + 1..] {
+                *self.edges.entry((a, b)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Records every sample of an iterator of CSR inputs.
+    pub fn record_inputs<'a>(
+        &mut self,
+        inputs: impl IntoIterator<Item = &'a dlrm_model::SparseInput>,
+    ) {
+        for input in inputs {
+            for s in input.iter() {
+                self.record_sample(s);
+            }
+        }
+    }
+
+    /// Co-occurrence count of two hot ranks.
+    pub fn edge(&self, a: u32, b: u32) -> u64 {
+        let key = (a.min(b), a.max(b));
+        self.edges.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of nonzero edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The neighbors of `rank` sorted by descending edge weight, with
+    /// their weights.
+    ///
+    /// For a single query this scans all edges; bulk consumers (the
+    /// miner) should use [`CooccurGraph::adjacency`] instead.
+    pub fn neighbors_by_weight(&self, rank: u32) -> Vec<(u32, u64)> {
+        let mut out: Vec<(u32, u64)> = self
+            .edges
+            .iter()
+            .filter_map(|(&(a, b), &w)| {
+                if a == rank {
+                    Some((b, w))
+                } else if b == rank {
+                    Some((a, w))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_by_key(|&(n, w)| (std::cmp::Reverse(w), n));
+        out
+    }
+
+    /// Builds the full adjacency structure in one O(E) pass: entry
+    /// `rank` holds that rank's neighbors sorted by descending weight.
+    pub fn adjacency(&self) -> Vec<Vec<(u32, u64)>> {
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); self.hot_items.len()];
+        for (&(a, b), &w) in &self.edges {
+            adj[a as usize].push((b, w));
+            adj[b as usize].push((a, w));
+        }
+        for n in &mut adj {
+            n.sort_by_key(|&(r, w)| (std::cmp::Reverse(w), r));
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_model::SparseInput;
+
+    fn profile_with_counts(counts: &[u64]) -> FreqProfile {
+        let mut p = FreqProfile::new(counts.len());
+        for (i, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                p.record(i as u64);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn hot_set_selects_most_frequent() {
+        let p = profile_with_counts(&[5, 1, 9, 3]);
+        let g = CooccurGraph::new(&p, 2);
+        assert_eq!(g.hot_items(), &[2, 0]);
+        assert_eq!(g.rank_freq(0), 9);
+    }
+
+    #[test]
+    fn pairs_are_counted_symmetrically() {
+        let p = profile_with_counts(&[3, 3, 3]);
+        let mut g = CooccurGraph::new(&p, 3);
+        g.record_sample(&[0, 1]);
+        g.record_sample(&[1, 0]);
+        assert_eq!(g.edge(0, 1), 2);
+        assert_eq!(g.edge(1, 0), 2);
+        assert_eq!(g.edge(0, 2), 0);
+    }
+
+    #[test]
+    fn cold_items_are_ignored() {
+        let p = profile_with_counts(&[9, 8, 1, 1]);
+        let mut g = CooccurGraph::new(&p, 2);
+        g.record_sample(&[0, 1, 2, 3]);
+        assert_eq!(g.edge(0, 1), 1);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn triple_sample_counts_all_pairs() {
+        let p = profile_with_counts(&[2, 2, 2]);
+        let mut g = CooccurGraph::new(&p, 3);
+        g.record_sample(&[0, 1, 2]);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_weight() {
+        let p = profile_with_counts(&[4, 4, 4, 4]);
+        let mut g = CooccurGraph::new(&p, 4);
+        g.record_sample(&[0, 1]);
+        g.record_sample(&[0, 1]);
+        g.record_sample(&[0, 2]);
+        let n = g.neighbors_by_weight(0);
+        assert_eq!(n, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn record_inputs_walks_every_sample() {
+        let p = profile_with_counts(&[2, 2, 2]);
+        let mut g = CooccurGraph::new(&p, 3);
+        let input = SparseInput::from_samples([vec![0u64, 1], vec![1, 2]]);
+        g.record_inputs([&input]);
+        assert_eq!(g.edge(0, 1), 1);
+        assert_eq!(g.edge(1, 2), 1);
+    }
+}

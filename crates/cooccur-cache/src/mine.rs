@@ -1,0 +1,315 @@
+//! Greedy cache-list mining (the GRACE role).
+//!
+//! Extracts small sets of items that frequently co-occur; each set
+//! becomes a *cache list* whose `2^k - 1` partial-sum combinations are
+//! cached (paper §3.3: "a cache list of {a, b, c} means partial sums
+//! a, b, c, a+b, a+c, b+c and a+b+c are cached"). Each list carries a
+//! `benefit` — the estimated reduction in memory accesses — which is the
+//! `list[-1]` input consumed by Algorithm 1.
+
+use crate::graph::CooccurGraph;
+use dlrm_model::SparseInput;
+use std::collections::{HashMap, HashSet};
+
+/// One mined cache list.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheList {
+    /// The co-occurring items (2..=max_list_len of them, distinct).
+    pub items: Vec<u64>,
+    /// Estimated memory accesses saved per generated batch window —
+    /// Algorithm 1 subtracts this from the owning partition's load.
+    pub benefit: f64,
+}
+
+impl CacheList {
+    /// Number of cached combination rows for this list (`2^k - 1`).
+    pub fn num_combinations(&self) -> usize {
+        (1usize << self.items.len()) - 1
+    }
+
+    /// Bytes of cache storage this list needs at embedding dimension
+    /// `dim` (f32 rows, one per combination).
+    pub fn storage_bytes(&self, dim: usize) -> usize {
+        self.num_combinations() * dim * 4
+    }
+}
+
+/// Parameters of the miner.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MinerConfig {
+    /// Track co-occurrence among this many hottest items.
+    pub hot_set_size: usize,
+    /// Maximum items per cache list (storage is 2^k - 1 rows, so keep
+    /// small; GRACE uses similarly small combinations).
+    pub max_list_len: usize,
+    /// Minimum co-occurrence weight for a neighbor to join a list, as a
+    /// fraction of the seed item's own frequency.
+    pub min_edge_fraction: f64,
+    /// Maximum number of lists to emit.
+    pub max_lists: usize,
+    /// Maximum trace samples fed into graph construction (mining cost
+    /// control; benefits are still measured on the full trace).
+    pub max_samples: usize,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig {
+            hot_set_size: 4096,
+            max_list_len: 4,
+            min_edge_fraction: 0.10,
+            max_lists: 768,
+            max_samples: 4096,
+        }
+    }
+}
+
+/// The miner's output: disjoint cache lists, strongest first.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CacheListSet {
+    /// Mined lists ordered by descending benefit.
+    pub lists: Vec<CacheList>,
+}
+
+impl CacheListSet {
+    /// Mines cache lists from a co-occurrence graph.
+    ///
+    /// Greedy clustering: seed with the hottest unassigned item, grow
+    /// with its strongest unassigned neighbors whose edge weight clears
+    /// `min_edge_fraction` of the seed frequency, emit if at least two
+    /// items cluster.
+    pub fn mine(graph: &CooccurGraph, config: &MinerConfig) -> CacheListSet {
+        let adjacency = graph.adjacency();
+        let mut assigned: HashSet<u32> = HashSet::new();
+        let mut lists = Vec::new();
+        for seed in 0..graph.hot_set_size() as u32 {
+            if lists.len() >= config.max_lists {
+                break;
+            }
+            if assigned.contains(&seed) {
+                continue;
+            }
+            let seed_freq = graph.rank_freq(seed);
+            if seed_freq == 0 {
+                break;
+            }
+            let threshold = (seed_freq as f64 * config.min_edge_fraction).max(1.0);
+            let mut members = vec![seed];
+            let mut min_edge = u64::MAX;
+            for &(n, w) in &adjacency[seed as usize] {
+                if members.len() >= config.max_list_len {
+                    break;
+                }
+                if assigned.contains(&n) || (w as f64) < threshold {
+                    continue;
+                }
+                members.push(n);
+                min_edge = min_edge.min(w);
+            }
+            if members.len() < 2 {
+                continue;
+            }
+            assigned.extend(members.iter().copied());
+            // Benefit: every time the whole group co-occurs, k reads
+            // collapse into one — (k-1) saved per co-occurrence. The
+            // weakest pairwise edge lower-bounds group co-occurrence.
+            let benefit = min_edge as f64 * (members.len() as f64 - 1.0);
+            lists.push(CacheList {
+                items: members.iter().map(|&r| graph.rank_item(r)).collect(),
+                benefit,
+            });
+        }
+        lists.sort_by(|a, b| b.benefit.partial_cmp(&a.benefit).expect("benefits are finite"));
+        CacheListSet { lists }
+    }
+
+    /// Replaces each list's estimated benefit with one *measured* on a
+    /// trace: the number of memory accesses the cache would actually
+    /// save (covered items minus one cache read, per sample).
+    pub fn measure_benefit<'a>(
+        &mut self,
+        inputs: impl IntoIterator<Item = &'a SparseInput>,
+    ) {
+        let item_to_list = self.item_index();
+        let mut saved = vec![0u64; self.lists.len()];
+        for input in inputs {
+            for sample in input.iter() {
+                let mut matched: HashMap<usize, u64> = HashMap::new();
+                for i in sample {
+                    if let Some(&l) = item_to_list.get(i) {
+                        *matched.entry(l).or_insert(0) += 1;
+                    }
+                }
+                for (l, k) in matched {
+                    if k >= 2 {
+                        saved[l] += k - 1;
+                    }
+                }
+            }
+        }
+        for (list, s) in self.lists.iter_mut().zip(saved) {
+            list.benefit = s as f64;
+        }
+        self.lists
+            .sort_by(|a, b| b.benefit.partial_cmp(&a.benefit).expect("benefits are finite"));
+    }
+
+    /// Item -> list index (lists are disjoint by construction).
+    pub fn item_index(&self) -> HashMap<u64, usize> {
+        let mut m = HashMap::new();
+        for (l, list) in self.lists.iter().enumerate() {
+            for &i in &list.items {
+                m.insert(i, l);
+            }
+        }
+        m
+    }
+
+    /// Total cache storage at dimension `dim` for every list.
+    pub fn total_storage_bytes(&self, dim: usize) -> usize {
+        self.lists.iter().map(|l| l.storage_bytes(dim)).sum()
+    }
+
+    /// Keeps only the highest-benefit prefix fitting in `budget_bytes`
+    /// at dimension `dim` — the paper's 40%/70%/100% cache-capacity
+    /// sensitivity knob.
+    pub fn truncate_to_bytes(&mut self, budget_bytes: usize, dim: usize) {
+        let mut used = 0usize;
+        let mut keep = 0usize;
+        for list in &self.lists {
+            let sz = list.storage_bytes(dim);
+            if used + sz > budget_bytes {
+                break;
+            }
+            used += sz;
+            keep += 1;
+        }
+        self.lists.truncate(keep);
+    }
+
+    /// Number of lists.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// True when no lists were mined.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::FreqProfile;
+
+    /// Builds a graph where items {0,1,2} strongly co-occur and {3,4}
+    /// weakly.
+    fn clustered_graph() -> CooccurGraph {
+        let mut p = FreqProfile::new(8);
+        for i in 0..5u64 {
+            for _ in 0..(100 - i * 10) {
+                p.record(i);
+            }
+        }
+        let mut g = CooccurGraph::new(&p, 8);
+        for _ in 0..50 {
+            g.record_sample(&[0, 1, 2]);
+        }
+        for _ in 0..5 {
+            g.record_sample(&[3, 4]);
+        }
+        g
+    }
+
+    #[test]
+    fn mines_the_planted_cluster() {
+        let g = clustered_graph();
+        let set = CacheListSet::mine(&g, &MinerConfig::default());
+        assert!(!set.is_empty());
+        let first: HashSet<u64> = set.lists[0].items.iter().copied().collect();
+        assert_eq!(first, HashSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn lists_are_disjoint() {
+        let g = clustered_graph();
+        let set = CacheListSet::mine(&g, &MinerConfig::default());
+        let mut seen = HashSet::new();
+        for l in &set.lists {
+            for &i in &l.items {
+                assert!(seen.insert(i), "item {i} appears in two lists");
+            }
+        }
+    }
+
+    #[test]
+    fn weak_edges_are_rejected() {
+        let g = clustered_graph();
+        // min_edge_fraction 0.9 means a neighbor must co-occur in 90% of
+        // the seed's accesses — the 5/50 edges fail.
+        let cfg = MinerConfig { min_edge_fraction: 0.9, ..MinerConfig::default() };
+        let set = CacheListSet::mine(&g, &cfg);
+        assert!(set.lists.iter().all(|l| {
+            let s: HashSet<u64> = l.items.iter().copied().collect();
+            !s.contains(&3) || !s.contains(&4)
+        }));
+    }
+
+    #[test]
+    fn max_list_len_is_respected() {
+        let g = clustered_graph();
+        let cfg = MinerConfig { max_list_len: 2, ..MinerConfig::default() };
+        let set = CacheListSet::mine(&g, &cfg);
+        assert!(set.lists.iter().all(|l| l.items.len() <= 2));
+    }
+
+    #[test]
+    fn combination_count_is_exponential() {
+        let l = CacheList { items: vec![1, 2, 3], benefit: 0.0 };
+        assert_eq!(l.num_combinations(), 7);
+        assert_eq!(l.storage_bytes(32), 7 * 32 * 4);
+    }
+
+    #[test]
+    fn measured_benefit_counts_real_savings() {
+        let g = clustered_graph();
+        let mut set = CacheListSet::mine(&g, &MinerConfig::default());
+        // A sample containing all of {0,1,2} saves 2 accesses; one with
+        // {0,1} saves 1; disjoint samples save 0.
+        let input = SparseInput::from_samples([vec![0u64, 1, 2], vec![0, 1], vec![5, 6]]);
+        set.measure_benefit([&input]);
+        let cluster = set
+            .lists
+            .iter()
+            .find(|l| l.items.contains(&0))
+            .expect("cluster list");
+        assert_eq!(cluster.benefit, 3.0);
+    }
+
+    #[test]
+    fn truncate_to_bytes_keeps_best_prefix() {
+        let mut set = CacheListSet {
+            lists: vec![
+                CacheList { items: vec![0, 1], benefit: 10.0 }, // 3 rows
+                CacheList { items: vec![2, 3], benefit: 5.0 },  // 3 rows
+            ],
+        };
+        let dim = 4; // one row = 16 bytes, one list = 48 bytes
+        set.truncate_to_bytes(50, dim);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.lists[0].items, vec![0, 1]);
+        let mut empty = CacheListSet::default();
+        empty.truncate_to_bytes(0, dim);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn benefit_ordering_is_descending() {
+        let g = clustered_graph();
+        let set = CacheListSet::mine(&g, &MinerConfig { min_edge_fraction: 0.01, ..Default::default() });
+        for w in set.lists.windows(2) {
+            assert!(w[0].benefit >= w[1].benefit);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Functional partial-sum cache storage and lookup.
+//!
+//! Materializes every combination row of a [`CacheListSet`] from an
+//! embedding table and answers, for a sample's index list, which cached
+//! partial sums can serve it and which indices remain for regular EMT
+//! lookups. The fundamental correctness invariant — cache rows plus
+//! residual rows reconstruct the exact full reduction — is what the
+//! property tests of this crate pin down.
+
+use crate::mine::CacheListSet;
+use dlrm_model::{EmbeddingTable, ModelError, Result};
+use std::collections::HashMap;
+
+/// One cached combination: a subset of a cache list and its partial sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// Owning list index in the originating [`CacheListSet`].
+    pub list: usize,
+    /// Bitmask over the list's items selecting this combination.
+    pub mask: u32,
+    /// The combination's items (ascending by position in the list).
+    pub items: Vec<u64>,
+    /// The cached partial-sum vector (length = embedding dim).
+    pub vector: Vec<f32>,
+}
+
+/// Result of a cache lookup for one sample.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheHit {
+    /// Indices of matched [`CacheEntry`]s in [`PartialSumCache::entries`].
+    pub entries: Vec<usize>,
+    /// Sample indices not covered by any cached combination.
+    pub residual: Vec<u64>,
+}
+
+impl CacheHit {
+    /// Memory accesses saved versus looking up every index (one cache
+    /// read replaces `k` row reads).
+    pub fn accesses_saved(&self, sample_len: usize) -> usize {
+        sample_len - (self.entries.len() + self.residual.len())
+    }
+}
+
+/// Materialized partial-sum cache for one embedding table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialSumCache {
+    entries: Vec<CacheEntry>,
+    /// item -> (list, bit position)
+    item_pos: HashMap<u64, (usize, u32)>,
+    /// (list, mask) -> entry index
+    combo_index: HashMap<(usize, u32), usize>,
+    dim: usize,
+}
+
+impl PartialSumCache {
+    /// Computes all `2^k - 1` combination rows for every list.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any listed item is out of range for `table`.
+    pub fn materialize(lists: &CacheListSet, table: &EmbeddingTable) -> Result<Self> {
+        let mut entries = Vec::new();
+        let mut item_pos = HashMap::new();
+        let mut combo_index = HashMap::new();
+        for (l, list) in lists.lists.iter().enumerate() {
+            if list.items.len() > 20 {
+                return Err(ModelError::InvalidConfig(format!(
+                    "cache list of {} items would need 2^{} combination rows",
+                    list.items.len(),
+                    list.items.len()
+                )));
+            }
+            for (bit, &item) in list.items.iter().enumerate() {
+                item_pos.insert(item, (l, bit as u32));
+            }
+            let k = list.items.len() as u32;
+            for mask in 1u32..(1 << k) {
+                let items: Vec<u64> = (0..k)
+                    .filter(|b| mask & (1 << b) != 0)
+                    .map(|b| list.items[b as usize])
+                    .collect();
+                let vector = table.partial_sum(&items)?;
+                combo_index.insert((l, mask), entries.len());
+                entries.push(CacheEntry { list: l, mask, items, vector });
+            }
+        }
+        Ok(PartialSumCache { entries, item_pos, combo_index, dim: table.dim() })
+    }
+
+    /// The cached entries (stable order: list-major, mask-minor).
+    pub fn entries(&self) -> &[CacheEntry] {
+        &self.entries
+    }
+
+    /// Embedding dimension of the cached rows.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total storage bytes of the cached rows.
+    pub fn storage_bytes(&self) -> usize {
+        self.entries.len() * self.dim * 4
+    }
+
+    /// Splits a sample's index list into cached combinations and
+    /// residual indices.
+    ///
+    /// For each cache list, the intersection with the sample maps to
+    /// exactly one combination row (its bitmask); intersections of size
+    /// one are served from the cache too (the single-item combination is
+    /// cached), everything else becomes residual EMT lookups.
+    pub fn lookup(&self, sample: &[u64]) -> CacheHit {
+        let mut masks: HashMap<usize, u32> = HashMap::new();
+        let mut residual = Vec::new();
+        for &i in sample {
+            match self.item_pos.get(&i) {
+                Some(&(l, bit)) => *masks.entry(l).or_insert(0) |= 1 << bit,
+                None => residual.push(i),
+            }
+        }
+        let mut lists: Vec<(usize, u32)> = masks.into_iter().collect();
+        lists.sort_unstable();
+        let entries = lists
+            .into_iter()
+            .map(|(l, m)| self.combo_index[&(l, m)])
+            .collect();
+        CacheHit { entries, residual }
+    }
+
+    /// Reconstructs a sample's full reduction from a lookup — reference
+    /// combining logic used by tests and the CPU-side aggregator.
+    pub fn reduce_with_table(&self, hit: &CacheHit, table: &EmbeddingTable) -> Result<Vec<f32>> {
+        let mut acc = vec![0.0f32; self.dim];
+        for &e in &hit.entries {
+            for (a, v) in acc.iter_mut().zip(self.entries[e].vector.iter()) {
+                *a += v;
+            }
+        }
+        let residual_sum = table.partial_sum(&hit.residual)?;
+        for (a, v) in acc.iter_mut().zip(residual_sum.iter()) {
+            *a += v;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine::CacheList;
+
+    fn table() -> EmbeddingTable {
+        EmbeddingTable::random_integer_valued(32, 4, 3, 99).unwrap()
+    }
+
+    fn lists() -> CacheListSet {
+        CacheListSet {
+            lists: vec![
+                CacheList { items: vec![1, 2, 3], benefit: 10.0 },
+                CacheList { items: vec![7, 8], benefit: 5.0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn materializes_all_combinations() {
+        let c = PartialSumCache::materialize(&lists(), &table()).unwrap();
+        assert_eq!(c.entries().len(), 7 + 3);
+        assert_eq!(c.storage_bytes(), 10 * 4 * 4);
+    }
+
+    #[test]
+    fn combination_vectors_are_sums() {
+        let t = table();
+        let c = PartialSumCache::materialize(&lists(), &t).unwrap();
+        for e in c.entries() {
+            let expect = t.partial_sum(&e.items).unwrap();
+            assert_eq!(e.vector, expect);
+        }
+    }
+
+    #[test]
+    fn lookup_splits_cached_and_residual() {
+        let c = PartialSumCache::materialize(&lists(), &table()).unwrap();
+        // Paper's Fig. 7 example shape: 4 and 5 cached together, 1 not.
+        let hit = c.lookup(&[1, 2, 20]);
+        assert_eq!(hit.entries.len(), 1);
+        assert_eq!(hit.residual, vec![20]);
+        assert_eq!(hit.accesses_saved(3), 1);
+        let e = &c.entries()[hit.entries[0]];
+        assert_eq!(e.items, vec![1, 2]);
+    }
+
+    #[test]
+    fn lookup_spanning_two_lists() {
+        let c = PartialSumCache::materialize(&lists(), &table()).unwrap();
+        let hit = c.lookup(&[1, 3, 7, 8, 30]);
+        assert_eq!(hit.entries.len(), 2);
+        assert_eq!(hit.residual, vec![30]);
+        assert_eq!(hit.accesses_saved(5), 2);
+    }
+
+    #[test]
+    fn reduce_reconstructs_full_sum() {
+        let t = table();
+        let c = PartialSumCache::materialize(&lists(), &t).unwrap();
+        let sample = [1u64, 2, 3, 7, 20, 25];
+        let hit = c.lookup(&sample);
+        let via_cache = c.reduce_with_table(&hit, &t).unwrap();
+        let direct = t.partial_sum(&sample).unwrap();
+        assert_eq!(via_cache, direct);
+    }
+
+    #[test]
+    fn empty_sample_is_all_residual() {
+        let c = PartialSumCache::materialize(&lists(), &table()).unwrap();
+        let hit = c.lookup(&[]);
+        assert!(hit.entries.is_empty());
+        assert!(hit.residual.is_empty());
+        assert_eq!(hit.accesses_saved(0), 0);
+    }
+
+    #[test]
+    fn oversized_list_is_rejected() {
+        let big = CacheListSet {
+            lists: vec![CacheList { items: (0..21).collect(), benefit: 0.0 }],
+        };
+        assert!(PartialSumCache::materialize(&big, &table()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_item_is_rejected() {
+        let bad = CacheListSet {
+            lists: vec![CacheList { items: vec![1000, 1001], benefit: 0.0 }],
+        };
+        assert!(PartialSumCache::materialize(&bad, &table()).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the partial-sum cache: the cache must never change
+//! the result of a reduction, only the number of memory accesses.
+
+use cooccur_cache::{CacheList, CacheListSet, PartialSumCache};
+use dlrm_model::EmbeddingTable;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a set of disjoint cache lists over items `0..n`.
+fn disjoint_lists(n: u64) -> impl Strategy<Value = CacheListSet> {
+    prop::collection::vec(1usize..5, 0..4).prop_map(move |sizes| {
+        let mut next = 0u64;
+        let mut lists = Vec::new();
+        for s in sizes {
+            let items: Vec<u64> = (next..next + s as u64 + 1).take_while(|&i| i < n).collect();
+            next += s as u64 + 1;
+            if items.len() >= 2 {
+                lists.push(CacheList { items, benefit: 1.0 });
+            }
+        }
+        CacheListSet { lists }
+    })
+}
+
+proptest! {
+    /// Cached reduction == direct reduction, for any sample.
+    #[test]
+    fn cache_never_changes_results(
+        lists in disjoint_lists(64),
+        sample in prop::collection::hash_set(0u64..64, 0..24),
+        seed in any::<u64>(),
+    ) {
+        let table = EmbeddingTable::random_integer_valued(64, 8, 4, seed).unwrap();
+        let cache = PartialSumCache::materialize(&lists, &table).unwrap();
+        let sample: Vec<u64> = sample.into_iter().collect();
+        let hit = cache.lookup(&sample);
+        let via_cache = cache.reduce_with_table(&hit, &table).unwrap();
+        let direct = table.partial_sum(&sample).unwrap();
+        prop_assert_eq!(via_cache, direct);
+    }
+
+    /// A lookup never *increases* memory accesses, and covered+residual
+    /// partitions the sample.
+    #[test]
+    fn lookup_partitions_sample(
+        lists in disjoint_lists(64),
+        sample in prop::collection::hash_set(0u64..64, 0..24),
+    ) {
+        let table = EmbeddingTable::random_integer_valued(64, 4, 2, 1).unwrap();
+        let cache = PartialSumCache::materialize(&lists, &table).unwrap();
+        let sample: Vec<u64> = sample.into_iter().collect();
+        let hit = cache.lookup(&sample);
+        prop_assert!(hit.entries.len() + hit.residual.len() <= sample.len().max(hit.residual.len()));
+        // Every covered item + every residual item = the sample, exactly once.
+        let mut covered: Vec<u64> = hit.residual.clone();
+        for &e in &hit.entries {
+            covered.extend(cache.entries()[e].items.iter().copied());
+        }
+        let covered_set: HashSet<u64> = covered.iter().copied().collect();
+        let sample_set: HashSet<u64> = sample.iter().copied().collect();
+        prop_assert_eq!(covered.len(), covered_set.len(), "double coverage");
+        prop_assert_eq!(covered_set, sample_set);
+    }
+
+    /// Truncation keeps a prefix and never exceeds the budget.
+    #[test]
+    fn truncate_respects_budget(lists in disjoint_lists(64), budget in 0usize..4096) {
+        let mut set = lists;
+        let dim = 8;
+        set.truncate_to_bytes(budget, dim);
+        prop_assert!(set.total_storage_bytes(dim) <= budget);
+    }
+}

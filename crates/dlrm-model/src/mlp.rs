@@ -1,0 +1,364 @@
+//! Fully-connected layers: the bottom and top MLPs of DLRM.
+
+use crate::error::{ModelError, Result};
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Activation applied after a linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid (used by the final CTR layer).
+    Sigmoid,
+    /// Identity.
+    None,
+}
+
+/// One dense layer: `y = act(x W + b)`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Linear {
+    weight: Matrix,
+    bias: Vec<f32>,
+    activation: Activation,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights, deterministic in
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either dimension is zero.
+    pub fn xavier(in_dim: usize, out_dim: usize, activation: Activation, seed: u64) -> Result<Self> {
+        if in_dim == 0 || out_dim == 0 {
+            return Err(ModelError::InvalidConfig(format!(
+                "linear layer dims must be nonzero, got {in_dim}x{out_dim}"
+            )));
+        }
+        let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..in_dim * out_dim).map(|_| rng.random_range(-bound..bound)).collect();
+        Ok(Linear {
+            weight: Matrix::from_vec(in_dim, out_dim, data)?,
+            bias: vec![0.0; out_dim],
+            activation,
+        })
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Forward pass over a `batch x in_dim` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a shape mismatch.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        let mut y = x.matmul(&self.weight)?;
+        y.add_bias(&self.bias)?;
+        match self.activation {
+            Activation::Relu => y.relu_in_place(),
+            Activation::Sigmoid => y.sigmoid_in_place(),
+            Activation::None => {}
+        }
+        Ok(y)
+    }
+
+    /// Multiply-accumulate count for one sample (used by hardware cost
+    /// models).
+    pub fn flops_per_sample(&self) -> u64 {
+        2 * self.weight.rows() as u64 * self.weight.cols() as u64
+    }
+
+    /// Forward pass that also returns the cache needed for
+    /// [`Linear::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a shape mismatch.
+    pub fn forward_cached(&self, x: &Matrix) -> Result<(Matrix, LinearCache)> {
+        let mut pre = x.matmul(&self.weight)?;
+        pre.add_bias(&self.bias)?;
+        let mut out = pre.clone();
+        match self.activation {
+            Activation::Relu => out.relu_in_place(),
+            Activation::Sigmoid => out.sigmoid_in_place(),
+            Activation::None => {}
+        }
+        Ok((out.clone(), LinearCache { input: x.clone(), pre, out }))
+    }
+
+    /// Backward pass: given `d_out = dL/d(activation output)` (or, with
+    /// `skip_activation`, `dL/d(pre-activation)` — the BCE+sigmoid
+    /// shortcut), returns `dL/d(input)` and the parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape mismatches between cache and `d_out`.
+    pub fn backward(
+        &self,
+        cache: &LinearCache,
+        d_out: &Matrix,
+        skip_activation: bool,
+    ) -> Result<(Matrix, LinearGrads)> {
+        // d_pre = d_out ∘ act'(pre)
+        let mut d_pre = d_out.clone();
+        if !skip_activation {
+            match self.activation {
+                Activation::Relu => {
+                    for (g, &p) in d_pre.as_mut_slice().iter_mut().zip(cache.pre.as_slice()) {
+                        if p <= 0.0 {
+                            *g = 0.0;
+                        }
+                    }
+                }
+                Activation::Sigmoid => {
+                    for (g, &s) in d_pre.as_mut_slice().iter_mut().zip(cache.out.as_slice()) {
+                        *g *= s * (1.0 - s);
+                    }
+                }
+                Activation::None => {}
+            }
+        }
+        let d_weight = cache.input.transpose().matmul(&d_pre)?;
+        let d_bias = d_pre.column_sums();
+        let d_input = d_pre.matmul(&self.weight.transpose())?;
+        Ok((d_input, LinearGrads { weight: d_weight, bias: d_bias }))
+    }
+
+    /// SGD update: `param -= lr * grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shapes do not match this layer.
+    pub fn apply_grads(&mut self, grads: &LinearGrads, lr: f32) {
+        assert_eq!(grads.weight.rows(), self.weight.rows(), "weight grad shape");
+        assert_eq!(grads.weight.cols(), self.weight.cols(), "weight grad shape");
+        for (w, &g) in self.weight.as_mut_slice().iter_mut().zip(grads.weight.as_slice()) {
+            *w -= lr * g;
+        }
+        for (b, &g) in self.bias.iter_mut().zip(grads.bias.iter()) {
+            *b -= lr * g;
+        }
+    }
+
+    /// Borrow the weight matrix (tests and gradient checks).
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Mutably borrow the weight matrix (gradient checks perturb it).
+    pub fn weight_mut(&mut self) -> &mut Matrix {
+        &mut self.weight
+    }
+}
+
+/// Activation/input cache of one [`Linear`] forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearCache {
+    input: Matrix,
+    pre: Matrix,
+    out: Matrix,
+}
+
+/// Parameter gradients of one [`Linear`] layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearGrads {
+    /// `dL/dW`, same shape as the weight matrix.
+    pub weight: Matrix,
+    /// `dL/db`, one value per output unit.
+    pub bias: Vec<f32>,
+}
+
+/// A stack of [`Linear`] layers.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP from a list of layer sizes, e.g. `[13, 64, 32]`
+    /// gives two layers (13→64, 64→32). Hidden layers use ReLU; the last
+    /// layer uses `final_activation`. Deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than two sizes are supplied or any is zero.
+    pub fn new(sizes: &[usize], final_activation: Activation, seed: u64) -> Result<Self> {
+        if sizes.len() < 2 {
+            return Err(ModelError::InvalidConfig(
+                "mlp needs at least input and output sizes".into(),
+            ));
+        }
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for (i, w) in sizes.windows(2).enumerate() {
+            let act = if i + 2 == sizes.len() { final_activation } else { Activation::Relu };
+            layers.push(Linear::xavier(w[0], w[1], act, seed.wrapping_add(i as u64))?);
+        }
+        Ok(Mlp { layers })
+    }
+
+    /// Input dimension of the first layer.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension of the last layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("mlp has layers").out_dim()
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a shape mismatch.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        let mut cur = self.layers[0].forward(x)?;
+        for layer in &self.layers[1..] {
+            cur = layer.forward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Total multiply-accumulate count for one sample.
+    pub fn flops_per_sample(&self) -> u64 {
+        self.layers.iter().map(Linear::flops_per_sample).sum()
+    }
+
+    /// Forward pass returning per-layer caches for [`Mlp::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a shape mismatch.
+    pub fn forward_cached(&self, x: &Matrix) -> Result<(Matrix, MlpCache)> {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            let (out, cache) = layer.forward_cached(&cur)?;
+            caches.push(cache);
+            cur = out;
+        }
+        Ok((cur, MlpCache { layers: caches }))
+    }
+
+    /// Backward pass. `d_out` is `dL/d(output)`; with
+    /// `last_is_pre_activation` it is interpreted as the *pre-activation*
+    /// delta of the final layer (the numerically stable BCE+sigmoid
+    /// path). Returns `dL/d(input)` and per-layer gradients in layer
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape mismatches.
+    pub fn backward(
+        &self,
+        cache: &MlpCache,
+        d_out: &Matrix,
+        last_is_pre_activation: bool,
+    ) -> Result<(Matrix, Vec<LinearGrads>)> {
+        let mut grads = vec![None; self.layers.len()];
+        let mut d = d_out.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let skip = last_is_pre_activation && i + 1 == self.layers.len();
+            let (d_in, g) = layer.backward(&cache.layers[i], &d, skip)?;
+            grads[i] = Some(g);
+            d = d_in;
+        }
+        Ok((d, grads.into_iter().map(|g| g.expect("all layers visited")).collect()))
+    }
+
+    /// Applies per-layer SGD updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` does not match the layer count/shapes.
+    pub fn apply_grads(&mut self, grads: &[LinearGrads], lr: f32) {
+        assert_eq!(grads.len(), self.layers.len(), "gradient count");
+        for (layer, g) in self.layers.iter_mut().zip(grads.iter()) {
+            layer.apply_grads(g, lr);
+        }
+    }
+
+    /// Mutable access to the layers (gradient checks).
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+}
+
+/// Per-layer caches of one [`Mlp`] forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpCache {
+    layers: Vec<LinearCache>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_shapes_flow_through() {
+        let mlp = Mlp::new(&[13, 64, 32], Activation::Relu, 0).unwrap();
+        assert_eq!(mlp.in_dim(), 13);
+        assert_eq!(mlp.out_dim(), 32);
+        let x = Matrix::zeros(4, 13);
+        let y = mlp.forward(&x).unwrap();
+        assert_eq!((y.rows(), y.cols()), (4, 32));
+    }
+
+    #[test]
+    fn mlp_needs_two_sizes() {
+        assert!(Mlp::new(&[8], Activation::None, 0).is_err());
+        assert!(Mlp::new(&[], Activation::None, 0).is_err());
+    }
+
+    #[test]
+    fn relu_output_is_nonnegative() {
+        let mlp = Mlp::new(&[4, 8, 8], Activation::Relu, 3).unwrap();
+        let x = Matrix::from_vec(2, 4, vec![-5.0, 3.0, -1.0, 0.5, 1.0, -2.0, 4.0, -0.1]).unwrap();
+        let y = mlp.forward(&x).unwrap();
+        assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn sigmoid_head_is_probability() {
+        let mlp = Mlp::new(&[4, 1], Activation::Sigmoid, 9).unwrap();
+        let x = Matrix::from_vec(3, 4, vec![10.0; 12]).unwrap();
+        let y = mlp.forward(&x).unwrap();
+        assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Mlp::new(&[4, 4], Activation::None, 11).unwrap();
+        let b = Mlp::new(&[4, 4], Activation::None, 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flops_count_macs() {
+        let mlp = Mlp::new(&[10, 20, 5], Activation::None, 0).unwrap();
+        assert_eq!(mlp.flops_per_sample(), 2 * (10 * 20 + 20 * 5));
+    }
+
+    #[test]
+    fn forward_shape_mismatch_is_error() {
+        let mlp = Mlp::new(&[4, 4], Activation::None, 0).unwrap();
+        let x = Matrix::zeros(2, 5);
+        assert!(mlp.forward(&x).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Sparse query types shared by every backend.
+//!
+//! DLRM inference consumes, per embedding table, a *multi-hot* batch in
+//! CSR form (FBGEMM layout): a flat `indices` buffer and `offsets` of
+//! length `batch + 1` delimiting each sample's index list. The average
+//! index-list length is the paper's "Avg.Reduction".
+
+use crate::error::{ModelError, Result};
+
+/// Multi-hot lookups for one embedding table over one batch (CSR form).
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct SparseInput {
+    /// Flat row indices into the embedding table.
+    pub indices: Vec<u64>,
+    /// Sample boundaries: sample `s` uses `indices[offsets[s]..offsets[s+1]]`.
+    pub offsets: Vec<usize>,
+}
+
+impl SparseInput {
+    /// Builds and validates a CSR sparse input.
+    ///
+    /// # Errors
+    ///
+    /// Fails if offsets are empty, non-monotonic, don't start at 0 or
+    /// don't end at `indices.len()`.
+    pub fn new(indices: Vec<u64>, offsets: Vec<usize>) -> Result<Self> {
+        let input = SparseInput { indices, offsets };
+        input.validate()?;
+        Ok(input)
+    }
+
+    /// Builds a CSR input from per-sample index lists.
+    pub fn from_samples<I, S>(samples: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u64]>,
+    {
+        let mut indices = Vec::new();
+        let mut offsets = vec![0usize];
+        for s in samples {
+            indices.extend_from_slice(s.as_ref());
+            offsets.push(indices.len());
+        }
+        SparseInput { indices, offsets }
+    }
+
+    /// Checks the CSR invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MalformedOffsets`] describing the violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.offsets.is_empty() {
+            return Err(ModelError::MalformedOffsets("offsets must have length >= 1".into()));
+        }
+        if self.offsets[0] != 0 {
+            return Err(ModelError::MalformedOffsets(format!(
+                "offsets must start at 0, got {}",
+                self.offsets[0]
+            )));
+        }
+        for w in self.offsets.windows(2) {
+            if w[1] < w[0] {
+                return Err(ModelError::MalformedOffsets(format!(
+                    "offsets must be non-decreasing: {} then {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        let last = *self.offsets.last().expect("nonempty");
+        if last != self.indices.len() {
+            return Err(ModelError::MalformedOffsets(format!(
+                "final offset {last} != indices length {}",
+                self.indices.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of samples in the batch.
+    #[inline]
+    pub fn batch_size(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of lookups (sum of per-sample list lengths).
+    #[inline]
+    pub fn total_lookups(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Average reduction (lookups per sample) — the paper's `Avg_Red`.
+    pub fn avg_reduction(&self) -> f64 {
+        if self.batch_size() == 0 {
+            0.0
+        } else {
+            self.total_lookups() as f64 / self.batch_size() as f64
+        }
+    }
+
+    /// The index list of sample `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= batch_size()`.
+    #[inline]
+    pub fn sample(&self, s: usize) -> &[u64] {
+        &self.indices[self.offsets[s]..self.offsets[s + 1]]
+    }
+
+    /// Iterator over per-sample index lists.
+    pub fn iter(&self) -> impl Iterator<Item = &[u64]> + '_ {
+        (0..self.batch_size()).map(move |s| self.sample(s))
+    }
+}
+
+/// One inference batch: dense features plus one [`SparseInput`] per
+/// embedding table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryBatch {
+    /// Dense features: `batch x num_dense` row-major values.
+    pub dense: Vec<f32>,
+    /// Number of dense features per sample.
+    pub num_dense: usize,
+    /// One sparse group per embedding table.
+    pub sparse: Vec<SparseInput>,
+}
+
+impl QueryBatch {
+    /// Builds and validates a batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails if dense dimensions disagree with the sparse batch size or
+    /// any sparse group is malformed / has inconsistent batch size.
+    pub fn new(dense: Vec<f32>, num_dense: usize, sparse: Vec<SparseInput>) -> Result<Self> {
+        let batch = QueryBatch { dense, num_dense, sparse };
+        batch.validate()?;
+        Ok(batch)
+    }
+
+    /// Checks cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MalformedOffsets`] or
+    /// [`ModelError::InvalidConfig`] describing the violation.
+    pub fn validate(&self) -> Result<()> {
+        let b = self.batch_size();
+        if self.num_dense == 0 {
+            if !self.dense.is_empty() {
+                return Err(ModelError::InvalidConfig(
+                    "dense data present but num_dense is 0".into(),
+                ));
+            }
+        } else if self.dense.len() != b * self.num_dense {
+            return Err(ModelError::InvalidConfig(format!(
+                "dense buffer has {} values, expected batch {} x num_dense {}",
+                self.dense.len(),
+                b,
+                self.num_dense
+            )));
+        }
+        for (i, s) in self.sparse.iter().enumerate() {
+            s.validate()?;
+            if s.batch_size() != b {
+                return Err(ModelError::InvalidConfig(format!(
+                    "sparse group {i} has batch size {} but group 0 has {b}",
+                    s.batch_size()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Batch size (number of samples). Zero for an empty batch.
+    pub fn batch_size(&self) -> usize {
+        self.sparse
+            .first()
+            .map(|s| s.batch_size())
+            .unwrap_or_else(|| self.dense.len().checked_div(self.num_dense).unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_samples_builds_valid_csr() {
+        let s = SparseInput::from_samples([vec![1u64, 2, 3], vec![], vec![7]]);
+        s.validate().unwrap();
+        assert_eq!(s.batch_size(), 3);
+        assert_eq!(s.total_lookups(), 4);
+        assert_eq!(s.sample(0), &[1, 2, 3]);
+        assert_eq!(s.sample(1), &[] as &[u64]);
+        assert_eq!(s.sample(2), &[7]);
+        assert!((s.avg_reduction() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_bad_offsets() {
+        assert!(SparseInput::new(vec![1], vec![]).is_err());
+        assert!(SparseInput::new(vec![1], vec![1, 1]).is_err());
+        assert!(SparseInput::new(vec![1, 2], vec![0, 2, 1]).is_err());
+        assert!(SparseInput::new(vec![1, 2], vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn iter_matches_samples() {
+        let s = SparseInput::from_samples([vec![5u64], vec![6, 7]]);
+        let collected: Vec<Vec<u64>> = s.iter().map(|x| x.to_vec()).collect();
+        assert_eq!(collected, vec![vec![5], vec![6, 7]]);
+    }
+
+    #[test]
+    fn batch_validates_dense_shape() {
+        let sp = SparseInput::from_samples([vec![0u64], vec![1]]);
+        assert!(QueryBatch::new(vec![0.0; 4], 2, vec![sp.clone()]).is_ok());
+        assert!(QueryBatch::new(vec![0.0; 3], 2, vec![sp.clone()]).is_err());
+        let ragged = SparseInput::from_samples([vec![0u64]]);
+        assert!(QueryBatch::new(vec![0.0; 4], 2, vec![sp, ragged]).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let b = QueryBatch::new(vec![], 0, vec![]).unwrap();
+        assert_eq!(b.batch_size(), 0);
+    }
+}

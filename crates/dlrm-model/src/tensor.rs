@@ -1,0 +1,339 @@
+//! Minimal row-major matrix type and the dense ops DLRM needs.
+//!
+//! The workspace implements its own linear algebra (no external crates):
+//! DLRM's dense side only needs matmul, bias add, ReLU and sigmoid over
+//! small matrices, so a simple cache-friendly row-major implementation
+//! suffices.
+
+use crate::error::{ModelError, Result};
+
+/// A row-major `rows x cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(ModelError::ShapeMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the row-major backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self @ other` — matrix multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(ModelError::ShapeMismatch {
+                op: "matmul",
+                lhs: (self.rows, self.cols),
+                rhs: (other.rows, other.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order: streams `other` rows, cache friendly.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Adds a bias row vector to every row in place.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `bias.len() != cols`.
+    pub fn add_bias(&mut self, bias: &[f32]) -> Result<()> {
+        if bias.len() != self.cols {
+            return Err(ModelError::ShapeMismatch {
+                op: "add_bias",
+                lhs: (self.rows, self.cols),
+                rhs: (1, bias.len()),
+            });
+        }
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies ReLU in place.
+    pub fn relu_in_place(&mut self) {
+        for v in &mut self.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Applies the logistic sigmoid in place.
+    pub fn sigmoid_in_place(&mut self) {
+        for v in &mut self.data {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+    }
+
+    /// Horizontally concatenates matrices with equal row counts.
+    ///
+    /// # Errors
+    ///
+    /// Fails if row counts differ or `parts` is empty.
+    pub fn hconcat(parts: &[&Matrix]) -> Result<Matrix> {
+        let first = parts.first().ok_or(ModelError::InvalidConfig(
+            "hconcat of zero matrices".into(),
+        ))?;
+        let rows = first.rows;
+        let total_cols: usize = parts.iter().map(|m| m.cols).sum();
+        for m in parts {
+            if m.rows != rows {
+                return Err(ModelError::ShapeMismatch {
+                    op: "hconcat",
+                    lhs: (rows, first.cols),
+                    rhs: (m.rows, m.cols),
+                });
+            }
+        }
+        let mut out = Matrix::zeros(rows, total_cols);
+        for r in 0..rows {
+            let mut c0 = 0;
+            for m in parts {
+                out.data[r * total_cols + c0..r * total_cols + c0 + m.cols]
+                    .copy_from_slice(m.row(r));
+                c0 += m.cols;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Consumes the matrix and returns the backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Scales every element in place.
+    pub fn scale_in_place(&mut self, k: f32) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Sums each column into a length-`cols` vector (used for bias
+    /// gradients).
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Splits the matrix horizontally at `col`, returning the left and
+    /// right parts.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `col > cols`.
+    pub fn hsplit(&self, col: usize) -> Result<(Matrix, Matrix)> {
+        if col > self.cols {
+            return Err(ModelError::ShapeMismatch {
+                op: "hsplit",
+                lhs: (self.rows, self.cols),
+                rhs: (0, col),
+            });
+        }
+        let mut left = Matrix::zeros(self.rows, col);
+        let mut right = Matrix::zeros(self.rows, self.cols - col);
+        for r in 0..self.rows {
+            left.row_mut(r).copy_from_slice(&self.row(r)[..col]);
+            right.row_mut(r).copy_from_slice(&self.row(r)[col..]);
+        }
+        Ok((left, right))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_is_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(ModelError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn bias_and_relu() {
+        let mut m = Matrix::from_vec(2, 2, vec![-1.0, 1.0, -3.0, 3.0]).unwrap();
+        m.add_bias(&[0.5, -0.5]).unwrap();
+        m.relu_in_place();
+        assert_eq!(m.as_slice(), &[0.0, 0.5, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn bias_shape_checked() {
+        let mut m = Matrix::zeros(1, 3);
+        assert!(m.add_bias(&[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_centered() {
+        let mut m = Matrix::from_vec(1, 3, vec![-100.0, 0.0, 100.0]).unwrap();
+        m.sigmoid_in_place();
+        let s = m.as_slice();
+        assert!(s[0] < 1e-6);
+        assert!((s[1] - 0.5).abs() < 1e-6);
+        assert!(s[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn hconcat_layout() {
+        let a = Matrix::from_vec(2, 1, vec![1.0, 2.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let c = Matrix::hconcat(&[&a, &b]).unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.as_slice(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn hconcat_rejects_ragged_rows() {
+        let a = Matrix::zeros(2, 1);
+        let b = Matrix::zeros(3, 1);
+        assert!(Matrix::hconcat(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn hconcat_rejects_empty() {
+        assert!(Matrix::hconcat(&[]).is_err());
+    }
+}

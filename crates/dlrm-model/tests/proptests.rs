@@ -1,0 +1,73 @@
+//! Property-based tests for DLRM building blocks.
+
+use dlrm_model::{EmbeddingTable, Matrix, SparseInput};
+use proptest::prelude::*;
+
+/// Strategy: a small CSR sparse input over `rows` rows.
+fn sparse_input(rows: u64, max_batch: usize, max_red: usize) -> impl Strategy<Value = SparseInput> {
+    prop::collection::vec(
+        prop::collection::vec(0..rows, 0..max_red),
+        1..max_batch,
+    )
+    .prop_map(SparseInput::from_samples)
+}
+
+proptest! {
+    /// bag_sum equals per-sample partial_sum for every sample.
+    #[test]
+    fn bag_sum_matches_partial_sums(input in sparse_input(64, 8, 10), seed in any::<u64>()) {
+        let table = EmbeddingTable::random_integer_valued(64, 4, 3, seed).unwrap();
+        let pooled = table.bag_sum(&input).unwrap();
+        for s in 0..input.batch_size() {
+            let expect = table.partial_sum(input.sample(s)).unwrap();
+            prop_assert_eq!(pooled.row(s), expect.as_slice());
+        }
+    }
+
+    /// Summation with integer-valued tables is order independent (exact).
+    #[test]
+    fn integer_sums_are_order_independent(mut idxs in prop::collection::vec(0u64..64, 1..32), seed in any::<u64>()) {
+        let table = EmbeddingTable::random_integer_valued(64, 8, 4, seed).unwrap();
+        let a = table.partial_sum(&idxs).unwrap();
+        idxs.reverse();
+        let b = table.partial_sum(&idxs).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Splitting a sample's indices into two partitions and summing the
+    /// partial results reconstructs the full reduction — the invariant
+    /// EMT partitioning relies on.
+    #[test]
+    fn partition_partial_sums_reconstruct(
+        idxs in prop::collection::vec(0u64..64, 0..32),
+        split_at in 0usize..32,
+        seed in any::<u64>(),
+    ) {
+        let table = EmbeddingTable::random_integer_valued(64, 8, 4, seed).unwrap();
+        let cut = split_at.min(idxs.len());
+        let full = table.partial_sum(&idxs).unwrap();
+        let left = table.partial_sum(&idxs[..cut]).unwrap();
+        let right = table.partial_sum(&idxs[cut..]).unwrap();
+        let combined: Vec<f32> = left.iter().zip(right.iter()).map(|(a, b)| a + b).collect();
+        prop_assert_eq!(full, combined);
+    }
+
+    /// Matmul distributes over horizontal concatenation of the identity
+    /// blocks — sanity for hconcat layout.
+    #[test]
+    fn hconcat_preserves_rows(r in 1usize..6, c1 in 1usize..5, c2 in 1usize..5) {
+        let a = Matrix::zeros(r, c1);
+        let b = Matrix::zeros(r, c2);
+        let cat = Matrix::hconcat(&[&a, &b]).unwrap();
+        prop_assert_eq!(cat.rows(), r);
+        prop_assert_eq!(cat.cols(), c1 + c2);
+    }
+
+    /// CSR validation accepts everything from_samples builds.
+    #[test]
+    fn from_samples_always_valid(samples in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..8), 0..8)) {
+        let s = SparseInput::from_samples(samples.clone());
+        prop_assert!(s.validate().is_ok());
+        prop_assert_eq!(s.batch_size(), samples.len());
+    }
+}

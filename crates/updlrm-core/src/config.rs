@@ -1,0 +1,124 @@
+//! Engine configuration.
+
+use crate::partition::PartitionStrategy;
+use cooccur_cache::MinerConfig;
+use upmem_sim::CostModel;
+
+/// Configuration of an [`UpdlrmEngine`](crate::engine::UpdlrmEngine).
+///
+/// Defaults mirror the paper's evaluation setup: 256 DPUs, 14 tasklets,
+/// automatic `N_c` selection, cache-aware partitioning with the cache
+/// sized to 100% of the mined cache lists' storage requirement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdlrmConfig {
+    /// Total DPUs (the paper uses two modules = 256).
+    pub nr_dpus: usize,
+    /// Tasklets per DPU (the paper uses 14).
+    pub tasklets: usize,
+    /// Fixed `N_c` (columns per tile); `None` runs the Eq. 1–3 search.
+    pub n_c: Option<usize>,
+    /// Partitioning strategy (paper's U / NU / CA).
+    pub strategy: PartitionStrategy,
+    /// Cache capacity as a fraction of the mined lists' total storage
+    /// (the paper's 40%/70%/100% knob). Ignored outside `CacheAware`.
+    pub cache_fraction: f64,
+    /// Per-DPU MRAM bytes reserved for the EMT region.
+    pub emt_capacity_bytes: usize,
+    /// Per-DPU MRAM bytes reserved for per-batch reference streams.
+    pub input_reserve_bytes: usize,
+    /// Batch size assumed by the tiling cost model.
+    pub batch_size: usize,
+    /// Average reduction assumed by the tiling cost model (overridden
+    /// by [`UpdlrmEngine::from_workload`](crate::engine::UpdlrmEngine::from_workload)).
+    pub avg_reduction_hint: f64,
+    /// PIM timing/energy model.
+    pub cost: CostModel,
+    /// Host-side batch-global deduplication of row references — an
+    /// *extension* beyond the paper's per-access lookups (DESIGN.md
+    /// §4.1). Off by default to stay faithful to the paper's kernel;
+    /// the ablation bench and Fig. 11 exercise it.
+    pub dedup: bool,
+    /// Pad stage-1 buffers to a uniform size so rank transfers run in
+    /// parallel (ablation knob; on by default — see DESIGN.md §4.4).
+    pub pad_transfers: bool,
+    /// Cache-list miner parameters (used by `from_workload` under CA).
+    pub miner: MinerConfig,
+    /// Rows replicated into every partition under
+    /// [`PartitionStrategy::Replicated`] (ignored otherwise).
+    pub replicate_top: usize,
+    /// Host CPU nanoseconds per routed reference (stage-1 preprocessing).
+    pub route_ns_per_ref: f64,
+    /// Host CPU nanoseconds per scalar add when combining partial sums.
+    pub combine_ns_per_add: f64,
+}
+
+impl Default for UpdlrmConfig {
+    fn default() -> Self {
+        UpdlrmConfig {
+            nr_dpus: 256,
+            tasklets: 14,
+            n_c: None,
+            strategy: PartitionStrategy::CacheAware,
+            cache_fraction: 1.0,
+            emt_capacity_bytes: 48 << 20,
+            input_reserve_bytes: 2 << 20,
+            batch_size: 64,
+            avg_reduction_hint: 100.0,
+            cost: CostModel::default(),
+            dedup: false,
+            pad_transfers: true,
+            miner: MinerConfig::default(),
+            replicate_top: 64,
+            route_ns_per_ref: 1.0,
+            combine_ns_per_add: 0.1,
+        }
+    }
+}
+
+impl UpdlrmConfig {
+    /// A small configuration for tests and examples: `nr_dpus` DPUs and
+    /// the given strategy, everything else default.
+    pub fn with_dpus(nr_dpus: usize, strategy: PartitionStrategy) -> Self {
+        UpdlrmConfig { nr_dpus, strategy, ..UpdlrmConfig::default() }
+    }
+
+    /// Returns a copy with a fixed `N_c` (Figs. 9/10 sweep the fixed
+    /// values 2, 4 and 8).
+    pub fn with_fixed_nc(mut self, n_c: usize) -> Self {
+        self.n_c = Some(n_c);
+        self
+    }
+
+    /// Returns a copy with the given cache-capacity fraction.
+    pub fn with_cache_fraction(mut self, fraction: f64) -> Self {
+        self.cache_fraction = fraction;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = UpdlrmConfig::default();
+        assert_eq!(c.nr_dpus, 256);
+        assert_eq!(c.tasklets, 14);
+        assert_eq!(c.batch_size, 64);
+        assert_eq!(c.strategy, PartitionStrategy::CacheAware);
+        assert_eq!(c.cache_fraction, 1.0);
+        assert!(c.n_c.is_none());
+    }
+
+    #[test]
+    fn builder_helpers_compose() {
+        let c = UpdlrmConfig::with_dpus(32, PartitionStrategy::Uniform)
+            .with_fixed_nc(4)
+            .with_cache_fraction(0.4);
+        assert_eq!(c.nr_dpus, 32);
+        assert_eq!(c.strategy, PartitionStrategy::Uniform);
+        assert_eq!(c.n_c, Some(4));
+        assert_eq!(c.cache_fraction, 0.4);
+    }
+}

@@ -1,0 +1,758 @@
+//! The UpDLRM embedding engine: Fig. 4's three-stage pipeline.
+//!
+//! Pre-processing (untimed, as in the paper) partitions each embedding
+//! table with the configured strategy and loads the tiles — and, under
+//! cache-aware partitioning, the cached partial-sum rows — into DPU
+//! MRAM. Each inference batch then runs:
+//!
+//! 1. **stage 1** — the host routes every lookup to its row partition,
+//!    builds per-tasklet reference streams and scatters them CPU→MRAM;
+//! 2. **stage 2** — every DPU runs the [`EmbeddingKernel`], fetching
+//!    rows (EMT or cache region) and reducing per-sample partial sums;
+//! 3. **stage 3** — the host gathers the partial-sum rows MRAM→CPU and
+//!    combines them into pooled `batch x dim` embeddings.
+//!
+//! The per-stage wall times form the Fig. 10 latency breakdown; the
+//! pooled embeddings are bit-compatible with the
+//! [`dlrm_model`] reference (exactly so for integer-valued tables).
+
+use crate::config::UpdlrmConfig;
+use crate::error::{CoreError, Result};
+use crate::kernel::{build_stream, DpuTask, EmbeddingKernel, CACHE_REF_BIT};
+use crate::partition::{self, PartitionStrategy, RowAssignment};
+use crate::tiling::{Tiling, TilingProblem};
+use cooccur_cache::{CacheListSet, CooccurGraph, PartialSumCache};
+use dlrm_model::{Dlrm, EmbeddingTable, Matrix, QueryBatch};
+use upmem_sim::{DpuId, PimConfig, PimSystem};
+use workloads::{FreqProfile, Workload};
+
+/// Per-batch latency breakdown of the embedding layer (Fig. 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EmbeddingBreakdown {
+    /// Stage 1: CPU→DPU reference-stream transfer (ns).
+    pub stage1_ns: f64,
+    /// Stage 2: DPU lookup + in-DPU reduction (ns).
+    pub stage2_ns: f64,
+    /// Stage 3: DPU→CPU partial-sum transfer (ns).
+    pub stage3_ns: f64,
+    /// Host-side routing/stream building (ns), outside the 3 stages.
+    pub route_ns: f64,
+    /// Host-side final partial-sum combination (ns), outside the 3 stages.
+    pub combine_ns: f64,
+    /// Modeled DPU + link energy (picojoules).
+    pub energy_pj: f64,
+    /// MRAM DMA transfers issued by the kernels.
+    pub dma_transfers: u64,
+    /// Pipeline instructions issued by the kernels.
+    pub instrs: u64,
+    /// Lookups served by cached partial-sum combinations.
+    pub cache_hits: u64,
+    /// Lookups served from the EMT region.
+    pub emt_lookups: u64,
+    /// Slowest-DPU over mean-DPU lookup cycles (1.0 = perfectly balanced).
+    pub lookup_imbalance: f64,
+}
+
+impl EmbeddingBreakdown {
+    /// The paper's embedding-layer time: stage 1 + stage 2 + stage 3.
+    pub fn total_ns(&self) -> f64 {
+        self.stage1_ns + self.stage2_ns + self.stage3_ns
+    }
+
+    /// Embedding time including host-side routing and combination.
+    pub fn total_with_host_ns(&self) -> f64 {
+        self.total_ns() + self.route_ns + self.combine_ns
+    }
+
+    /// Accumulates another batch's breakdown (imbalance is averaged by
+    /// the caller; here the max is kept).
+    pub fn accumulate(&mut self, other: &EmbeddingBreakdown) {
+        self.stage1_ns += other.stage1_ns;
+        self.stage2_ns += other.stage2_ns;
+        self.stage3_ns += other.stage3_ns;
+        self.route_ns += other.route_ns;
+        self.combine_ns += other.combine_ns;
+        self.energy_pj += other.energy_pj;
+        self.dma_transfers += other.dma_transfers;
+        self.instrs += other.instrs;
+        self.cache_hits += other.cache_hits;
+        self.emt_lookups += other.emt_lookups;
+        self.lookup_imbalance = self.lookup_imbalance.max(other.lookup_imbalance);
+    }
+}
+
+/// Summary of one table's placement, for analyses and figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableReport {
+    /// The tiling in effect.
+    pub tiling: Tiling,
+    /// Predicted access load per row partition.
+    pub part_load: Vec<f64>,
+    /// Max-over-mean of `part_load`.
+    pub imbalance: f64,
+    /// Number of cache lists placed (0 outside CA).
+    pub cached_lists: usize,
+    /// Cached combination rows per partition.
+    pub cache_rows_per_part: Vec<u32>,
+}
+
+struct CacheState {
+    store: PartialSumCache,
+    entry_part: Vec<u32>,
+    entry_slot: Vec<u32>,
+    cache_rows_per_part: Vec<u32>,
+    placed_lists: usize,
+}
+
+struct TableState {
+    tiling: Tiling,
+    assignment: RowAssignment,
+    cache: Option<CacheState>,
+    /// Rows replicated into every partition, in replica-slot order.
+    replicas: Vec<u32>,
+    dpu_base: usize,
+    input_base: u32,
+    output_base: u32,
+    dim: usize,
+}
+
+impl TableState {
+    fn dpu(&self, part: usize, slice: usize) -> DpuId {
+        DpuId((self.dpu_base + part * self.tiling.col_slices + slice) as u32)
+    }
+}
+
+/// The UpDLRM system: a PIM array loaded with partitioned embedding
+/// tables, executing the three-stage embedding pipeline per batch.
+///
+/// ## Example
+///
+/// ```rust
+/// use updlrm_core::{PartitionStrategy, UpdlrmConfig, UpdlrmEngine};
+/// use dlrm_model::EmbeddingTable;
+/// use workloads::{DatasetSpec, TraceConfig, Workload};
+///
+/// # fn main() -> Result<(), updlrm_core::CoreError> {
+/// let spec = DatasetSpec::goodreads().scaled_down(5000); // 472 items
+/// let workload = Workload::generate(
+///     &spec,
+///     TraceConfig { num_tables: 2, num_batches: 2, ..TraceConfig::default() },
+/// );
+/// let tables: Vec<EmbeddingTable> = (0..2)
+///     .map(|t| EmbeddingTable::random(spec.num_items, 32, 0.1, t))
+///     .collect::<Result<_, _>>()?;
+///
+/// let config = UpdlrmConfig::with_dpus(16, PartitionStrategy::CacheAware);
+/// let mut engine = UpdlrmEngine::from_workload(config, &tables, &workload)?;
+/// let (pooled, breakdown) = engine.run_batch(&workload.batches[0])?;
+/// assert_eq!(pooled.len(), 2);
+/// assert!(breakdown.total_ns() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct UpdlrmEngine {
+    sys: PimSystem,
+    config: UpdlrmConfig,
+    tables: Vec<TableState>,
+}
+
+impl std::fmt::Debug for UpdlrmEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdlrmEngine")
+            .field("nr_dpus", &self.config.nr_dpus)
+            .field("strategy", &self.config.strategy)
+            .field("tables", &self.tables.len())
+            .finish()
+    }
+}
+
+impl UpdlrmEngine {
+    /// Builds an engine from explicit per-table frequency profiles and
+    /// cache lists.
+    ///
+    /// `cache_lists` may be empty when the strategy is not
+    /// [`PartitionStrategy::CacheAware`]; under CA it must carry one
+    /// (possibly empty) list set per table.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors (DPU counts, table/profile mismatches),
+    /// infeasible tilings, capacity violations and simulator errors.
+    pub fn new(
+        config: UpdlrmConfig,
+        tables: &[EmbeddingTable],
+        profiles: &[FreqProfile],
+        cache_lists: &[CacheListSet],
+    ) -> Result<Self> {
+        if tables.is_empty() {
+            return Err(CoreError::InvalidConfig("at least one embedding table".into()));
+        }
+        if profiles.len() != tables.len() {
+            return Err(CoreError::InvalidConfig(format!(
+                "{} profiles for {} tables",
+                profiles.len(),
+                tables.len()
+            )));
+        }
+        if !config.nr_dpus.is_multiple_of(tables.len()) {
+            return Err(CoreError::InvalidConfig(format!(
+                "{} dpus not divisible into {} table groups",
+                config.nr_dpus,
+                tables.len()
+            )));
+        }
+        if config.strategy == PartitionStrategy::CacheAware
+            && cache_lists.len() != tables.len()
+        {
+            return Err(CoreError::InvalidConfig(format!(
+                "cache-aware partitioning needs one cache list set per table ({} for {})",
+                cache_lists.len(),
+                tables.len()
+            )));
+        }
+        let mut sys = PimSystem::new(PimConfig {
+            nr_dpus: config.nr_dpus,
+            tasklets: config.tasklets,
+            cost: config.cost.clone(),
+        })?;
+
+        let dpus_per_table = config.nr_dpus / tables.len();
+        let mut states = Vec::with_capacity(tables.len());
+        for (t, table) in tables.iter().enumerate() {
+            let state = Self::build_table(
+                &config,
+                table,
+                &profiles[t],
+                cache_lists.get(t),
+                t * dpus_per_table,
+                dpus_per_table,
+            )?;
+            Self::load_table(&mut sys, table, &state)?;
+            states.push(state);
+        }
+        Ok(UpdlrmEngine { sys, config, tables: states })
+    }
+
+    /// Builds an engine directly from a generated workload: profiles
+    /// every table's trace and, under CA, mines cache lists with the
+    /// configured miner.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`UpdlrmEngine::new`].
+    pub fn from_workload(
+        mut config: UpdlrmConfig,
+        tables: &[EmbeddingTable],
+        workload: &Workload,
+    ) -> Result<Self> {
+        if workload.config.num_tables != tables.len() {
+            return Err(CoreError::InvalidConfig(format!(
+                "workload has {} tables, engine got {}",
+                workload.config.num_tables,
+                tables.len()
+            )));
+        }
+        config.avg_reduction_hint = workload.measured_avg_reduction().max(1.0);
+        let mut profiles = Vec::with_capacity(tables.len());
+        let mut lists = Vec::with_capacity(tables.len());
+        for (t, table) in tables.iter().enumerate() {
+            let profile = FreqProfile::from_inputs(table.rows(), workload.table_inputs(t));
+            if config.strategy == PartitionStrategy::CacheAware {
+                let mut graph = CooccurGraph::new(&profile, config.miner.hot_set_size);
+                let mut budget = config.miner.max_samples;
+                'record: for input in workload.table_inputs(t) {
+                    for sample in input.iter() {
+                        if budget == 0 {
+                            break 'record;
+                        }
+                        graph.record_sample(sample);
+                        budget -= 1;
+                    }
+                }
+                let mut set = CacheListSet::mine(&graph, &config.miner);
+                set.measure_benefit(workload.table_inputs(t));
+                lists.push(set);
+            } else {
+                lists.push(CacheListSet::default());
+            }
+            profiles.push(profile);
+        }
+        Self::new(config, tables, &profiles, &lists)
+    }
+
+    fn build_table(
+        config: &UpdlrmConfig,
+        table: &EmbeddingTable,
+        profile: &FreqProfile,
+        cache_lists: Option<&CacheListSet>,
+        dpu_base: usize,
+        dpus: usize,
+    ) -> Result<TableState> {
+        let problem = TilingProblem {
+            rows: table.rows(),
+            cols: table.dim(),
+            dpus,
+            batch_size: config.batch_size,
+            avg_reduction: config.avg_reduction_hint,
+            emt_capacity_bytes: config.emt_capacity_bytes,
+        };
+        let tiling = match config.n_c {
+            Some(n_c) => problem.tiling_for_nc(n_c, &config.cost)?,
+            None => problem.search(&config.cost)?,
+        };
+        let row_bytes = tiling.row_bytes();
+        let parts = tiling.row_parts;
+        let emt_cap_rows = config.emt_capacity_bytes / row_bytes;
+
+        let (assignment, cache) = match config.strategy {
+            PartitionStrategy::Uniform => {
+                (partition::uniform(table.rows(), parts, emt_cap_rows, profile)?, None)
+            }
+            PartitionStrategy::NonUniform => {
+                (partition::non_uniform(table.rows(), parts, emt_cap_rows, profile)?, None)
+            }
+            PartitionStrategy::Replicated => (
+                partition::replicated_non_uniform(
+                    table.rows(),
+                    parts,
+                    emt_cap_rows,
+                    profile,
+                    config.replicate_top,
+                )?,
+                None,
+            ),
+            PartitionStrategy::CacheAware => {
+                let mut lists = cache_lists.cloned().unwrap_or_default();
+                // The paper's cache-capacity knob: keep the best lists
+                // fitting in `fraction` of the full requirement.
+                let required = lists.total_storage_bytes(table.dim());
+                let budget = (required as f64 * config.cache_fraction) as usize;
+                lists.truncate_to_bytes(budget, table.dim());
+                let total_combos: usize =
+                    lists.lists.iter().map(|l| l.num_combinations()).sum();
+                let largest = lists
+                    .lists
+                    .iter()
+                    .map(|l| l.num_combinations())
+                    .max()
+                    .unwrap_or(0);
+                let cache_cap_rows = total_combos.div_ceil(parts.max(1)) + largest;
+                let ca = partition::cache_aware(
+                    table.rows(),
+                    parts,
+                    emt_cap_rows,
+                    cache_cap_rows,
+                    profile,
+                    &lists,
+                )?;
+                let store = PartialSumCache::materialize(&ca.placed_lists, table)?;
+                // Assign cache slots: combos of one list are consecutive
+                // in the owning partition's cache region, in the same
+                // (list-major, mask-minor) order the store enumerates.
+                let mut next_slot = vec![0u32; parts];
+                let mut entry_part = Vec::with_capacity(store.entries().len());
+                let mut entry_slot = Vec::with_capacity(store.entries().len());
+                for (l, list) in ca.placed_lists.lists.iter().enumerate() {
+                    let p = ca.list_part[l];
+                    let combos = list.num_combinations() as u32;
+                    for i in 0..combos {
+                        entry_part.push(p);
+                        entry_slot.push(next_slot[p as usize] + i);
+                    }
+                    next_slot[p as usize] += combos;
+                }
+                let placed = ca.placed_lists.lists.len();
+                (
+                    ca.rows,
+                    Some(CacheState {
+                        store,
+                        entry_part,
+                        entry_slot,
+                        cache_rows_per_part: ca.cache_rows_per_part,
+                        placed_lists: placed,
+                    }),
+                )
+            }
+        };
+
+        // Replica block (Replicated strategy): rows in slot order.
+        let mut replicas: Vec<(u32, u32)> = assignment
+            .part_of_row
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == partition::REPLICATED_ROW_PART)
+            .map(|(r, _)| (assignment.slot_of_row[r], r as u32))
+            .collect();
+        replicas.sort_unstable();
+        let replicas: Vec<u32> = replicas.into_iter().map(|(_, r)| r).collect();
+
+        // MRAM regions: [EMT | cache | input | output].
+        let emt_rows_max = replicas.len()
+            + assignment.rows_per_part.iter().copied().max().unwrap_or(0) as usize;
+        let cache_rows_max = cache
+            .as_ref()
+            .map(|c| c.cache_rows_per_part.iter().copied().max().unwrap_or(0) as usize)
+            .unwrap_or(0);
+        let cache_base = emt_rows_max * row_bytes;
+        let input_base = cache_base + cache_rows_max * row_bytes;
+        let output_base = input_base + config.input_reserve_bytes;
+        let end = output_base + config.batch_size * row_bytes * 2;
+        if end > upmem_sim::arch::MRAM_CAPACITY {
+            return Err(CoreError::CapacityExceeded {
+                partition: 0,
+                required: end,
+                available: upmem_sim::arch::MRAM_CAPACITY,
+            });
+        }
+        Ok(TableState {
+            tiling,
+            assignment,
+            cache,
+            replicas,
+            dpu_base,
+            input_base: input_base as u32,
+            output_base: output_base as u32,
+            dim: table.dim(),
+        })
+    }
+
+    /// Loads the EMT tiles and cache regions into MRAM (untimed
+    /// pre-processing, as in the paper).
+    fn load_table(sys: &mut PimSystem, table: &EmbeddingTable, state: &TableState) -> Result<()> {
+        let tiling = &state.tiling;
+        let n_c = tiling.n_c;
+        let row_bytes = tiling.row_bytes();
+        let parts = tiling.row_parts;
+        // slot -> row per partition.
+        let mut rows_in_part: Vec<Vec<u32>> = state
+            .assignment
+            .rows_per_part
+            .iter()
+            .map(|&n| vec![0u32; n as usize])
+            .collect();
+        let rc = state.replicas.len();
+        for (r, (&p, &s)) in state
+            .assignment
+            .part_of_row
+            .iter()
+            .zip(state.assignment.slot_of_row.iter())
+            .enumerate()
+        {
+            if p != partition::REPLICATED_ROW_PART && s != partition::CACHED_ROW_SLOT {
+                rows_in_part[p as usize][s as usize - rc] = r as u32;
+            }
+        }
+        // Entries per partition in slot order.
+        let entries_in_part: Vec<Vec<usize>> = match &state.cache {
+            Some(c) => {
+                let mut v: Vec<Vec<usize>> =
+                    c.cache_rows_per_part.iter().map(|&n| vec![0; n as usize]).collect();
+                for (e, (&p, &s)) in c.entry_part.iter().zip(c.entry_slot.iter()).enumerate() {
+                    v[p as usize][s as usize] = e;
+                }
+                v
+            }
+            None => vec![Vec::new(); parts],
+        };
+
+        let cache_base = (rc
+            + state.assignment.rows_per_part.iter().copied().max().unwrap_or(0) as usize)
+            * row_bytes;
+        for p in 0..parts {
+            for c in 0..tiling.col_slices {
+                let dpu = state.dpu(p, c);
+                // EMT tile: the shared replica block (slots 0..rc), then
+                // this partition's rows, columns [c*n_c, ...).
+                let mut buf =
+                    Vec::with_capacity((rc + rows_in_part[p].len()) * row_bytes);
+                for &r in state.replicas.iter().chain(rows_in_part[p].iter()) {
+                    let row = table.row(r as u64)?;
+                    for &v in &row[c * n_c..(c + 1) * n_c] {
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                if !buf.is_empty() {
+                    sys.load_mram(dpu, 0, &buf)?;
+                }
+                // Cache region: this partition's combination rows.
+                if let Some(cs) = &state.cache {
+                    let mut cbuf =
+                        Vec::with_capacity(entries_in_part[p].len() * row_bytes);
+                    for &e in &entries_in_part[p] {
+                        let vec = &cs.store.entries()[e].vector;
+                        for &v in &vec[c * n_c..(c + 1) * n_c] {
+                            cbuf.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                    if !cbuf.is_empty() {
+                        sys.load_mram(dpu, cache_base as u32, &cbuf)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &UpdlrmConfig {
+        &self.config
+    }
+
+    /// Number of embedding tables loaded.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Placement summary for table `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn table_report(&self, t: usize) -> TableReport {
+        let s = &self.tables[t];
+        TableReport {
+            tiling: s.tiling,
+            part_load: s.assignment.part_load.clone(),
+            imbalance: s.assignment.imbalance(),
+            cached_lists: s.cache.as_ref().map(|c| c.placed_lists).unwrap_or(0),
+            cache_rows_per_part: s
+                .cache
+                .as_ref()
+                .map(|c| c.cache_rows_per_part.clone())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Runs the embedding layer for one batch: returns the pooled
+    /// `batch x dim` embeddings per table and the stage breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Malformed batches, out-of-range indices, reference streams
+    /// exceeding the input reserve, and simulator faults.
+    pub fn run_batch(&mut self, batch: &QueryBatch) -> Result<(Vec<Matrix>, EmbeddingBreakdown)> {
+        batch.validate()?;
+        if batch.sparse.len() != self.tables.len() {
+            return Err(CoreError::InvalidConfig(format!(
+                "batch has {} sparse groups, engine has {} tables",
+                batch.sparse.len(),
+                self.tables.len()
+            )));
+        }
+        let b = batch.batch_size();
+        let tasklets = self.config.tasklets;
+        for state in &self.tables {
+            // The kernel's shared WRAM accumulator block must leave room
+            // for per-tasklet locals.
+            let acc = b * state.tiling.row_bytes();
+            if acc + tasklets * 64 > upmem_sim::arch::WRAM_CAPACITY {
+                return Err(CoreError::InvalidConfig(format!(
+                    "batch {b} x {} B rows needs {acc} B of WRAM accumulators (64 KB available)",
+                    state.tiling.row_bytes()
+                )));
+            }
+        }
+        let mut breakdown = EmbeddingBreakdown::default();
+
+        // --- host routing: build per-partition reference streams ---
+        let mut streams: Vec<(usize, usize, Vec<u8>)> = Vec::new(); // (table, part, bytes)
+        let mut route_refs = 0usize;
+        for (t, state) in self.tables.iter().enumerate() {
+            let sparse = &batch.sparse[t];
+            let parts = state.tiling.row_parts;
+            let mut refs_by_part: Vec<Vec<Vec<u32>>> =
+                (0..parts).map(|_| vec![Vec::new(); b]).collect();
+            #[allow(clippy::needless_range_loop)] // s indexes two structures
+            for s in 0..b {
+                let sample = sparse.sample(s);
+                route_refs += sample.len();
+                match &state.cache {
+                    Some(cs) => {
+                        let hit = cs.store.lookup(sample);
+                        breakdown.cache_hits += hit.entries.len() as u64;
+                        breakdown.emt_lookups += hit.residual.len() as u64;
+                        for &e in &hit.entries {
+                            let p = cs.entry_part[e] as usize;
+                            refs_by_part[p][s].push(CACHE_REF_BIT | cs.entry_slot[e]);
+                        }
+                        for &idx in &hit.residual {
+                            let (p, slot) = self.route_row(state, idx, s)?;
+                            refs_by_part[p][s].push(slot);
+                        }
+                    }
+                    None => {
+                        breakdown.emt_lookups += sample.len() as u64;
+                        for &idx in sample {
+                            let (p, slot) = self.route_row(state, idx, s)?;
+                            refs_by_part[p][s].push(slot);
+                        }
+                    }
+                }
+            }
+            for (p, refs) in refs_by_part.into_iter().enumerate() {
+                let stream = build_stream(&refs, tasklets, self.config.dedup);
+                if stream.len() > self.config.input_reserve_bytes {
+                    return Err(CoreError::CapacityExceeded {
+                        partition: p,
+                        required: stream.len(),
+                        available: self.config.input_reserve_bytes,
+                    });
+                }
+                streams.push((t, p, stream));
+            }
+        }
+        breakdown.route_ns = route_refs as f64 * self.config.route_ns_per_ref;
+
+        // --- stage 1: scatter reference streams (replicated per slice) ---
+        if self.config.pad_transfers {
+            let max_len = streams.iter().map(|(_, _, s)| s.len()).max().unwrap_or(0);
+            for (_, _, s) in &mut streams {
+                s.resize(max_len, 0);
+            }
+        }
+        // One row partition's stream is broadcast to all of its column
+        // slices in a single bus pass.
+        let groups_ids: Vec<Vec<DpuId>> = streams
+            .iter()
+            .map(|(t, p, _)| {
+                let state = &self.tables[*t];
+                (0..state.tiling.col_slices).map(|c| state.dpu(*p, c)).collect()
+            })
+            .collect();
+        let transfers: Vec<(&[DpuId], u32, &[u8])> = streams
+            .iter()
+            .zip(groups_ids.iter())
+            .map(|((t, _, stream), ids)| {
+                (ids.as_slice(), self.tables[*t].input_base, stream.as_slice())
+            })
+            .collect();
+        let scatter_report = self.sys.scatter_broadcast(&transfers)?;
+        breakdown.stage1_ns = scatter_report.wall_ns;
+        breakdown.energy_pj += scatter_report.energy_pj;
+
+        // --- stage 2: launch the kernels (all groups run concurrently) ---
+        let mut stage2_ns = 0.0f64;
+        let mut all_cycles: Vec<u64> = Vec::new();
+        for (t, state) in self.tables.iter().enumerate() {
+            let _ = t;
+            let mut kernel = EmbeddingKernel::new(state.tiling.row_bytes(), self.config.dedup);
+            let mut ids = Vec::new();
+            let cache_base = state.input_base
+                - state
+                    .cache
+                    .as_ref()
+                    .map(|c| {
+                        c.cache_rows_per_part.iter().copied().max().unwrap_or(0)
+                            * state.tiling.row_bytes() as u32
+                    })
+                    .unwrap_or(0);
+            for p in 0..state.tiling.row_parts {
+                for c in 0..state.tiling.col_slices {
+                    let dpu = state.dpu(p, c);
+                    ids.push(dpu);
+                    kernel.set_task(
+                        dpu,
+                        DpuTask {
+                            emt_base: 0,
+                            cache_base,
+                            input_base: state.input_base,
+                            output_base: state.output_base,
+                            n_samples: b as u32,
+                        },
+                    );
+                }
+            }
+            let report = self.sys.launch(&ids, &kernel)?;
+            stage2_ns = stage2_ns.max(report.wall_ns);
+            breakdown.energy_pj += report.energy_pj;
+            breakdown.dma_transfers += report.total_dma_transfers();
+            breakdown.instrs += report.total_instrs();
+            all_cycles.extend(report.per_dpu.iter().map(|(_, s)| s.cycles.0));
+        }
+        breakdown.stage2_ns = stage2_ns;
+        if !all_cycles.is_empty() {
+            let max = *all_cycles.iter().max().expect("nonempty") as f64;
+            let mean =
+                all_cycles.iter().sum::<u64>() as f64 / all_cycles.len() as f64;
+            breakdown.lookup_imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+        }
+
+        // --- stage 3: gather partial-sum rows ---
+        let mut requests: Vec<(DpuId, u32, usize)> = Vec::new();
+        let mut request_meta: Vec<(usize, usize, usize)> = Vec::new(); // (table, part, slice)
+        for (t, state) in self.tables.iter().enumerate() {
+            let row_bytes = state.tiling.row_bytes();
+            for p in 0..state.tiling.row_parts {
+                for c in 0..state.tiling.col_slices {
+                    requests.push((state.dpu(p, c), state.output_base, b * row_bytes));
+                    request_meta.push((t, p, c));
+                }
+            }
+        }
+        let (buffers, gather_report) = self.sys.gather(&requests)?;
+        breakdown.stage3_ns = gather_report.wall_ns;
+        breakdown.energy_pj += gather_report.energy_pj;
+
+        // --- host combine: assemble pooled matrices ---
+        let mut pooled: Vec<Matrix> =
+            self.tables.iter().map(|s| Matrix::zeros(b, s.dim)).collect();
+        let mut combine_adds = 0u64;
+        for (buf, &(t, _p, c)) in buffers.iter().zip(request_meta.iter()) {
+            let state = &self.tables[t];
+            let n_c = state.tiling.n_c;
+            let row_bytes = state.tiling.row_bytes();
+            for s in 0..b {
+                let row = &buf[s * row_bytes..(s + 1) * row_bytes];
+                let out = pooled[t].row_mut(s);
+                for (j, chunk) in row.chunks_exact(4).enumerate() {
+                    out[c * n_c + j] +=
+                        f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+                combine_adds += n_c as u64;
+            }
+        }
+        breakdown.combine_ns = combine_adds as f64 * self.config.combine_ns_per_add;
+        Ok((pooled, breakdown))
+    }
+
+    fn route_row(&self, state: &TableState, idx: u64, sample: usize) -> Result<(usize, u32)> {
+        let r = idx as usize;
+        if r >= state.assignment.part_of_row.len() {
+            return Err(CoreError::Model(dlrm_model::ModelError::IndexOutOfRange {
+                index: idx,
+                rows: state.assignment.part_of_row.len(),
+            }));
+        }
+        let p = state.assignment.part_of_row[r];
+        let slot = state.assignment.slot_of_row[r];
+        if slot == partition::CACHED_ROW_SLOT {
+            return Err(CoreError::InvalidConfig(format!(
+                "row {idx} is cache-resident but was routed to the EMT path"
+            )));
+        }
+        if p == partition::REPLICATED_ROW_PART {
+            // Replicated rows live in every partition at the same slot;
+            // spread their traffic round-robin by (row, sample).
+            let parts = state.tiling.row_parts;
+            return Ok(((r + sample) % parts, slot));
+        }
+        Ok((p as usize, slot))
+    }
+
+    /// Full DLRM inference for one batch: embedding layer on the PIM
+    /// array, dense layers on the (functional) CPU model. Returns CTR
+    /// probabilities and the embedding breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`UpdlrmEngine::run_batch`] and model errors.
+    pub fn run_inference(
+        &mut self,
+        model: &Dlrm,
+        batch: &QueryBatch,
+    ) -> Result<(Vec<f32>, EmbeddingBreakdown)> {
+        let (pooled, breakdown) = self.run_batch(batch)?;
+        let out = model.forward_with_pooled(batch, &pooled)?;
+        Ok((out, breakdown))
+    }
+}

@@ -1,0 +1,635 @@
+//! The DPU-side embedding kernel (stage 2 of Fig. 4).
+//!
+//! Each DPU holds one tile of one embedding table (its row partition ×
+//! its column slice) plus, under cache-aware partitioning, a region of
+//! cached partial-sum rows. Per batch, the host writes a *reference
+//! stream* into MRAM and launches this kernel.
+//!
+//! ## Execution model
+//!
+//! The host deduplicates row references across the whole batch
+//! (pre-processing, Fig. 4 stage 1): a row needed by several samples is
+//! fetched from MRAM exactly once. Unique rows are distributed
+//! round-robin over the tasklets; every tasklet accumulates its rows
+//! into a *shared* WRAM accumulator block (`n_samples x row_bytes`),
+//! which on real hardware is guarded by per-accumulator mutexes (the
+//! cost model charges that synchronization inside the accumulate cost).
+//! Finally each tasklet writes its share of the per-sample partial-sum
+//! rows to the MRAM output region.
+//!
+//! ## Reference stream layout (little-endian `u32`, 8-byte padded)
+//!
+//! ```text
+//! input_base: [n_tasklets + 1 stream end-offsets, bytes rel. to streams_base]
+//! per tasklet: [n_entries] { [ref] [k] [k x global sample ids] } x n_entries
+//! ```
+//!
+//! A `ref` with [`CACHE_REF_BIT`] set addresses the cache region
+//! (slot within this partition's cached combination rows), otherwise
+//! the EMT region.
+
+use std::collections::HashMap;
+use upmem_sim::{DpuId, Kernel, SimError, TaskletCtx};
+
+/// High bit of a reference word: set = cache region, clear = EMT region.
+pub const CACHE_REF_BIT: u32 = 1 << 31;
+
+/// Per-DPU launch parameters for [`EmbeddingKernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpuTask {
+    /// MRAM base of the EMT tile (row-major `row_bytes` rows).
+    pub emt_base: u32,
+    /// MRAM base of the cached combination rows.
+    pub cache_base: u32,
+    /// MRAM base of the reference stream written by the host.
+    pub input_base: u32,
+    /// MRAM base of the output region (`n_samples` rows).
+    pub output_base: u32,
+    /// Samples in the batch.
+    pub n_samples: u32,
+}
+
+/// The embedding lookup-and-reduce kernel.
+///
+/// Two stream formats are supported (see [`build_stream`]):
+///
+/// * **CSR** (`dedup = false`, the paper's IDX+OFFSET transfer): each
+///   tasklet owns the samples `s ≡ tasklet_id (mod n_tasklets)`,
+///   gathers their rows and writes the partial sums directly — no
+///   barrier needed.
+/// * **Dedup** (`dedup = true`, an extension): unique rows are dealt
+///   round-robin to tasklets, accumulated into shared WRAM and written
+///   back after a barrier ([`Kernel::finalize`]).
+#[derive(Debug, Clone, Default)]
+pub struct EmbeddingKernel {
+    /// Bytes per row (`N_c * 4`), a multiple of 8.
+    pub row_bytes: usize,
+    /// Whether streams use the dedup format.
+    pub dedup: bool,
+    /// Per-DPU parameters; DPUs not present return immediately.
+    pub tasks: HashMap<DpuId, DpuTask>,
+}
+
+impl EmbeddingKernel {
+    /// Creates a kernel for tiles of `row_bytes` bytes per row reading
+    /// streams built with the same `dedup` flag.
+    pub fn new(row_bytes: usize, dedup: bool) -> Self {
+        EmbeddingKernel { row_bytes, dedup, tasks: HashMap::new() }
+    }
+
+    /// Registers one DPU's launch parameters.
+    pub fn set_task(&mut self, dpu: DpuId, task: DpuTask) {
+        self.tasks.insert(dpu, task);
+    }
+}
+
+/// Reads `len` bytes at (possibly unaligned) `addr` via aligned DMA.
+fn read_padded(ctx: &mut TaskletCtx<'_>, addr: u32, len: usize) -> Result<Vec<u8>, SimError> {
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let start = addr & !7;
+    let end = (addr as usize + len + 7) & !7;
+    let mut out = vec![0u8; end - start as usize];
+    let mut off = 0usize;
+    while off < out.len() {
+        let chunk = (out.len() - off).min(2048);
+        ctx.mram_read(start + off as u32, &mut out[off..off + chunk])?;
+        off += chunk;
+    }
+    let lead = (addr - start) as usize;
+    out.drain(..lead);
+    out.truncate(len);
+    Ok(out)
+}
+
+fn u32_at(buf: &[u8], idx: usize) -> u32 {
+    u32::from_le_bytes([buf[4 * idx], buf[4 * idx + 1], buf[4 * idx + 2], buf[4 * idx + 3]])
+}
+
+impl EmbeddingKernel {
+    /// CSR mode: each tasklet serves its own samples end to end.
+    fn run_csr(&self, ctx: &mut TaskletCtx<'_>, task: DpuTask) -> Result<(), SimError> {
+        let t = ctx.tasklet_id();
+        let n_tasklets = ctx.n_tasklets();
+        let n_c = self.row_bytes / 4;
+        let n_samples = task.n_samples as usize;
+        let refs_base = task.input_base + (((n_samples + 1) * 4 + 7) & !7) as u32;
+        let mut row = vec![0u8; self.row_bytes];
+        let mut out_row = vec![0u8; self.row_bytes];
+        let mut s = t;
+        while s < n_samples {
+            // offsets[s], offsets[s+1]
+            let off = read_padded(ctx, task.input_base + (4 * s) as u32, 8)?;
+            ctx.charge_int_ops(4);
+            let start = u32_at(&off, 0) as usize;
+            let end = u32_at(&off, 1) as usize;
+            if end < start {
+                return Err(SimError::KernelFault(format!(
+                    "sample {s}: offsets decrease ({start}..{end})"
+                )));
+            }
+            let refs = read_padded(ctx, refs_base + (4 * start) as u32, 4 * (end - start))?;
+            let mut acc = vec![0.0f32; n_c];
+            ctx.charge_int_ops((n_c / 2) as u64);
+            for i in 0..(end - start) {
+                let r = u32_at(&refs, i);
+                let slot = (r & !CACHE_REF_BIT) as usize;
+                let base = if r & CACHE_REF_BIT != 0 { task.cache_base } else { task.emt_base };
+                ctx.mram_read(base + (slot * self.row_bytes) as u32, &mut row)?;
+                ctx.charge_loop(1);
+                for (c, chunk) in row.chunks_exact(4).enumerate() {
+                    acc[c] += f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+                ctx.charge_accumulate(n_c as u64);
+            }
+            for (c, b) in out_row.chunks_exact_mut(4).enumerate() {
+                b.copy_from_slice(&acc[c].to_le_bytes());
+            }
+            ctx.mram_write(task.output_base + (s * self.row_bytes) as u32, &out_row)?;
+            ctx.charge_loop(1);
+            s += n_tasklets;
+        }
+        Ok(())
+    }
+}
+
+impl Kernel for EmbeddingKernel {
+    fn shared_wram_bytes(&self) -> usize {
+        if !self.dedup {
+            return 0;
+        }
+        // The shared accumulator block: one row per sample of the
+        // largest registered batch.
+        self.tasks
+            .values()
+            .map(|t| t.n_samples as usize * self.row_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn run(&self, ctx: &mut TaskletCtx<'_>) -> Result<(), SimError> {
+        let Some(task) = self.tasks.get(&ctx.dpu_id()).copied() else {
+            return Ok(());
+        };
+        if !self.dedup {
+            return self.run_csr(ctx, task);
+        }
+        let t = ctx.tasklet_id();
+        let n_tasklets = ctx.n_tasklets();
+        let n_c = self.row_bytes / 4;
+        let n_samples = task.n_samples as usize;
+        let acc_bytes = n_samples * self.row_bytes;
+
+        // Tasklet 0 zeroes the shared accumulator block (the others
+        // wait at a barrier on real hardware; launch overhead covers it).
+        if t == 0 {
+            ctx.shared_wram()[..acc_bytes].fill(0);
+            ctx.charge_int_ops((n_samples * n_c / 2) as u64);
+        }
+
+        // Header: stream end-offsets for every tasklet.
+        let header = read_padded(ctx, task.input_base, (n_tasklets + 2) * 4)?;
+        ctx.charge_int_ops(4);
+        let streams_base = task.input_base + (((n_tasklets + 2) * 4 + 7) & !7) as u32;
+        let start = u32_at(&header, t);
+        let end = u32_at(&header, t + 1);
+        if end < start {
+            return Err(SimError::KernelFault(format!(
+                "tasklet {t}: stream ends before it starts ({start}..{end})"
+            )));
+        }
+
+        // Stream this tasklet's unique-row entries (chunked MRAM reads).
+        let stream = read_padded(ctx, streams_base + start, (end - start) as usize)?;
+        if !stream.is_empty() {
+            let n_entries = u32_at(&stream, 0) as usize;
+            ctx.charge_int_ops(2);
+            let mut pos = 1usize; // u32 cursor
+            let mut row = vec![0u8; self.row_bytes];
+            for _ in 0..n_entries {
+                if (pos + 2) * 4 > stream.len() {
+                    return Err(SimError::KernelFault("truncated stream entry".into()));
+                }
+                let r = u32_at(&stream, pos);
+                let k = u32_at(&stream, pos + 1) as usize;
+                pos += 2;
+                if (pos + k) * 4 > stream.len() {
+                    return Err(SimError::KernelFault("truncated sample id list".into()));
+                }
+                // Resolve the row address and fetch it once.
+                let slot = (r & !CACHE_REF_BIT) as usize;
+                let base = if r & CACHE_REF_BIT != 0 { task.cache_base } else { task.emt_base };
+                let addr = base + (slot * self.row_bytes) as u32;
+                ctx.mram_read(addr, &mut row)?;
+                ctx.charge_loop(1);
+                // Accumulate into each referencing sample's shared row
+                // (mutex-guarded on hardware; cost inside the charge).
+                for j in 0..k {
+                    let sample = u32_at(&stream, pos + j) as usize;
+                    if sample >= n_samples {
+                        return Err(SimError::KernelFault(format!(
+                            "sample id {sample} out of range {n_samples}"
+                        )));
+                    }
+                    let off = sample * self.row_bytes;
+                    let shared = ctx.shared_wram();
+                    for (c, chunk) in row.chunks_exact(4).enumerate() {
+                        let cur = f32::from_le_bytes([
+                            shared[off + 4 * c],
+                            shared[off + 4 * c + 1],
+                            shared[off + 4 * c + 2],
+                            shared[off + 4 * c + 3],
+                        ]);
+                        let v = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                        shared[off + 4 * c..off + 4 * c + 4]
+                            .copy_from_slice(&(cur + v).to_le_bytes());
+                    }
+                    ctx.charge_accumulate(n_c as u64);
+                }
+                pos += k;
+            }
+        }
+
+        Ok(())
+    }
+
+    fn finalize(&self, ctx: &mut TaskletCtx<'_>) -> Result<(), SimError> {
+        // Post-barrier phase (dedup mode only): each tasklet writes its
+        // share of the per-sample output rows from the shared
+        // accumulators to MRAM.
+        if !self.dedup {
+            return Ok(());
+        }
+        let Some(task) = self.tasks.get(&ctx.dpu_id()).copied() else {
+            return Ok(());
+        };
+        let t = ctx.tasklet_id();
+        let n_tasklets = ctx.n_tasklets();
+        let n_samples = task.n_samples as usize;
+        let mut out_row = vec![0u8; self.row_bytes];
+        let mut s = t;
+        while s < n_samples {
+            let off = s * self.row_bytes;
+            {
+                let shared = ctx.shared_wram();
+                out_row.copy_from_slice(&shared[off..off + self.row_bytes]);
+            }
+            ctx.mram_write(task.output_base + off as u32, &out_row)?;
+            ctx.charge_loop(1);
+            s += n_tasklets;
+        }
+        Ok(())
+    }
+}
+
+/// Builds one DPU's reference stream from per-sample reference lists.
+///
+/// `refs_per_sample[s]` holds sample `s`'s encoded references (EMT slot
+/// or cache slot with [`CACHE_REF_BIT`]).
+///
+/// * `dedup = false` (the paper's format): a CSR stream —
+///   `offsets[n_samples + 1]` followed by the flat 4-byte reference
+///   array, exactly the IDX+OFFSET transfer of Fig. 4.
+/// * `dedup = true` (extension): references are deduplicated across the
+///   whole batch — a row shared by several samples is fetched from MRAM
+///   once. Unique entries `[ref][k][k sample ids]` are dealt
+///   round-robin to the `n_tasklets` tasklet streams behind a
+///   per-tasklet end-offset header.
+///
+/// Returns the bytes to write at `input_base` (8-byte padded).
+pub fn build_stream(refs_per_sample: &[Vec<u32>], n_tasklets: usize, dedup: bool) -> Vec<u8> {
+    assert!(n_tasklets > 0, "need at least one tasklet");
+    if !dedup {
+        // CSR: offsets (n_samples + 1, 8-byte padded), then refs.
+        let n = refs_per_sample.len();
+        let total_refs: usize = refs_per_sample.iter().map(Vec::len).sum();
+        let mut bytes = Vec::with_capacity((n + 2 + total_refs) * 4 + 16);
+        let mut acc = 0u32;
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        for refs in refs_per_sample {
+            acc += refs.len() as u32;
+            bytes.extend_from_slice(&acc.to_le_bytes());
+        }
+        while bytes.len() % 8 != 0 {
+            bytes.push(0);
+        }
+        for refs in refs_per_sample {
+            for r in refs {
+                bytes.extend_from_slice(&r.to_le_bytes());
+            }
+        }
+        while bytes.len() % 8 != 0 {
+            bytes.push(0);
+        }
+        return bytes;
+    }
+    // Collect (ref -> sample ids), preserving first-seen order.
+    let mut order: Vec<u32> = Vec::new();
+    let mut users: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (s, refs) in refs_per_sample.iter().enumerate() {
+        for &r in refs {
+            let e = users.entry(r).or_default();
+            if e.is_empty() {
+                order.push(r);
+            }
+            e.push(s as u32);
+        }
+    }
+    // Deal entries round-robin to tasklet streams.
+    let mut streams: Vec<Vec<u32>> = vec![Vec::new(); n_tasklets];
+    let mut counts = vec![0u32; n_tasklets];
+    for (i, r) in order.iter().enumerate() {
+        let t = i % n_tasklets;
+        let ids = &users[r];
+        streams[t].push(*r);
+        streams[t].push(ids.len() as u32);
+        streams[t].extend_from_slice(ids);
+        counts[t] += 1;
+    }
+    for (st, c) in streams.iter_mut().zip(counts.iter()) {
+        st.insert(0, *c);
+    }
+    // Header: end offset of each tasklet's stream in bytes, plus a
+    // leading zero, padded to 8 bytes.
+    let mut offsets = Vec::with_capacity(n_tasklets + 2);
+    offsets.push(0u32);
+    let mut acc = 0u32;
+    for s in &streams {
+        acc += (s.len() * 4) as u32;
+        offsets.push(acc);
+    }
+    offsets.push(0); // pad word so the header stays 8-byte aligned
+    let header_words = n_tasklets + 2;
+    let mut bytes = Vec::with_capacity(
+        (header_words + streams.iter().map(Vec::len).sum::<usize>()) * 4 + 8,
+    );
+    for w in offsets.iter().take(header_words) {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    while bytes.len() % 8 != 0 {
+        bytes.push(0);
+    }
+    for s in &streams {
+        for w in s {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    while bytes.len() % 8 != 0 {
+        bytes.push(0);
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upmem_sim::{PimConfig, PimSystem};
+
+    /// Loads a toy tile, runs the kernel, checks functional output.
+    fn run_case(
+        rows: &[[f32; 2]],
+        refs_per_sample: &[Vec<u32>],
+        n_tasklets: usize,
+    ) -> Vec<[f32; 2]> {
+        let row_bytes = 8;
+        let mut sys = PimSystem::new(PimConfig::new(1, n_tasklets)).unwrap();
+        let dpu = DpuId(0);
+        let mut emt = Vec::new();
+        for r in rows {
+            emt.extend_from_slice(&r[0].to_le_bytes());
+            emt.extend_from_slice(&r[1].to_le_bytes());
+        }
+        sys.load_mram(dpu, 0, &emt).unwrap();
+        let input_base = 4096u32;
+        let stream = build_stream(refs_per_sample, n_tasklets, true);
+        sys.load_mram(dpu, input_base, &stream).unwrap();
+        let output_base = 8192u32;
+        let mut kernel = EmbeddingKernel::new(row_bytes, true);
+        kernel.set_task(
+            dpu,
+            DpuTask {
+                emt_base: 0,
+                cache_base: 2048,
+                input_base,
+                output_base,
+                n_samples: refs_per_sample.len() as u32,
+            },
+        );
+        sys.launch_all(&kernel).unwrap();
+        let (bufs, _) = sys
+            .gather(&[(dpu, output_base, refs_per_sample.len() * row_bytes)])
+            .unwrap();
+        bufs[0]
+            .chunks_exact(8)
+            .map(|c| {
+                [
+                    f32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                    f32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sums_single_sample() {
+        let rows = [[1.0, 2.0], [10.0, 20.0], [100.0, 200.0]];
+        let out = run_case(&rows, &[vec![0, 2]], 2);
+        assert_eq!(out[0], [101.0, 202.0]);
+    }
+
+    #[test]
+    fn correct_across_tasklet_counts() {
+        let rows = [[1.0, 2.0], [10.0, 20.0], [100.0, 200.0]];
+        let refs = vec![vec![0u32], vec![1], vec![2], vec![0, 1, 2]];
+        for n_tasklets in [1, 2, 3, 8, 14] {
+            let out = run_case(&rows, &refs, n_tasklets);
+            assert_eq!(out[0], [1.0, 2.0], "tasklets={n_tasklets}");
+            assert_eq!(out[1], [10.0, 20.0]);
+            assert_eq!(out[2], [100.0, 200.0]);
+            assert_eq!(out[3], [111.0, 222.0]);
+        }
+    }
+
+    #[test]
+    fn shared_rows_are_deduplicated_across_batch() {
+        // Two samples both use row 0: the stream carries one entry with
+        // k = 2 regardless of the tasklet count.
+        let refs = vec![vec![0u32], vec![0u32]];
+        for n_tasklets in [1usize, 2] {
+            let stream = build_stream(&refs, n_tasklets, true);
+            let header_bytes = ((n_tasklets + 2) * 4 + 7) & !7;
+            let body = &stream[header_bytes..];
+            let n_entries = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+            assert_eq!(n_entries, 1, "tasklets={n_tasklets}");
+            let k = u32::from_le_bytes([body[8], body[9], body[10], body[11]]);
+            assert_eq!(k, 2);
+        }
+        let out = run_case(&[[5.0, 7.0]], &refs, 2);
+        assert_eq!(out[0], [5.0, 7.0]);
+        assert_eq!(out[1], [5.0, 7.0]);
+    }
+
+    #[test]
+    fn csr_format_is_offsets_then_refs() {
+        let refs = vec![vec![7u32, 9], vec![], vec![9]];
+        let stream = build_stream(&refs, 4, false);
+        // offsets [0, 2, 2, 3] = 16 bytes (already 8-aligned), refs
+        // [7, 9, 9] padded to 16 bytes.
+        assert_eq!(stream.len(), 32);
+        let off: Vec<u32> = (0..4)
+            .map(|i| u32::from_le_bytes(stream[4 * i..4 * i + 4].try_into().unwrap()))
+            .collect();
+        assert_eq!(off, vec![0, 2, 2, 3]);
+        let refs_out: Vec<u32> = (4..7)
+            .map(|i| u32::from_le_bytes(stream[4 * i..4 * i + 4].try_into().unwrap()))
+            .collect();
+        assert_eq!(refs_out, vec![7, 9, 9]);
+    }
+
+    /// Runs the same case in CSR (no-dedup) mode.
+    fn run_case_csr(
+        rows: &[[f32; 2]],
+        refs_per_sample: &[Vec<u32>],
+        n_tasklets: usize,
+    ) -> Vec<[f32; 2]> {
+        let row_bytes = 8;
+        let mut sys = PimSystem::new(PimConfig::new(1, n_tasklets)).unwrap();
+        let dpu = DpuId(0);
+        let mut emt = Vec::new();
+        for r in rows {
+            emt.extend_from_slice(&r[0].to_le_bytes());
+            emt.extend_from_slice(&r[1].to_le_bytes());
+        }
+        sys.load_mram(dpu, 0, &emt).unwrap();
+        let input_base = 4096u32;
+        sys.load_mram(dpu, input_base, &build_stream(refs_per_sample, n_tasklets, false))
+            .unwrap();
+        let mut kernel = EmbeddingKernel::new(row_bytes, false);
+        kernel.set_task(
+            dpu,
+            DpuTask {
+                emt_base: 0,
+                cache_base: 2048,
+                input_base,
+                output_base: 8192,
+                n_samples: refs_per_sample.len() as u32,
+            },
+        );
+        sys.launch_all(&kernel).unwrap();
+        let (bufs, _) = sys
+            .gather(&[(dpu, 8192, refs_per_sample.len() * row_bytes)])
+            .unwrap();
+        bufs[0]
+            .chunks_exact(8)
+            .map(|c| {
+                [
+                    f32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                    f32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csr_mode_correct_across_tasklet_counts() {
+        let rows = [[1.0, 2.0], [10.0, 20.0], [100.0, 200.0]];
+        let refs = vec![vec![0u32], vec![1], vec![2], vec![0, 1, 2], vec![]];
+        for n_tasklets in [1, 2, 3, 8, 14] {
+            let out = run_case_csr(&rows, &refs, n_tasklets);
+            assert_eq!(out[0], [1.0, 2.0], "tasklets={n_tasklets}");
+            assert_eq!(out[1], [10.0, 20.0]);
+            assert_eq!(out[2], [100.0, 200.0]);
+            assert_eq!(out[3], [111.0, 222.0]);
+            assert_eq!(out[4], [0.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn csr_mode_is_cheaper_to_transfer_than_dedup_entries() {
+        // The CSR stream carries 4 bytes per reference; the dedup format
+        // carries 12+ for unshared rows.
+        let refs: Vec<Vec<u32>> = (0..16u32).map(|i| vec![i, i + 16]).collect();
+        let csr = build_stream(&refs, 8, false);
+        let dedup = build_stream(&refs, 8, true);
+        assert!(csr.len() < dedup.len(), "csr {} vs dedup {}", csr.len(), dedup.len());
+    }
+
+    #[test]
+    fn empty_samples_produce_zero_rows() {
+        let rows = [[1.0, 2.0]];
+        let out = run_case(&rows, &[vec![], vec![0]], 2);
+        assert_eq!(out[0], [0.0, 0.0]);
+        assert_eq!(out[1], [1.0, 2.0]);
+    }
+
+    #[test]
+    fn cache_refs_read_the_cache_region() {
+        let row_bytes = 8;
+        let mut sys = PimSystem::new(PimConfig::new(1, 2)).unwrap();
+        let dpu = DpuId(0);
+        let cache_base = 1024u32;
+        sys.load_mram(dpu, 0, &[0u8; 8]).unwrap();
+        let mut cached = Vec::new();
+        cached.extend_from_slice(&42.0f32.to_le_bytes());
+        cached.extend_from_slice(&43.0f32.to_le_bytes());
+        sys.load_mram(dpu, cache_base, &cached).unwrap();
+        let refs = vec![vec![CACHE_REF_BIT]];
+        let input_base = 4096;
+        sys.load_mram(dpu, input_base, &build_stream(&refs, 2, true)).unwrap();
+        let mut kernel = EmbeddingKernel::new(row_bytes, true);
+        kernel.set_task(
+            dpu,
+            DpuTask { emt_base: 0, cache_base, input_base, output_base: 8192, n_samples: 1 },
+        );
+        sys.launch_all(&kernel).unwrap();
+        let (bufs, _) = sys.gather(&[(dpu, 8192, 8)]).unwrap();
+        let x = f32::from_le_bytes(bufs[0][0..4].try_into().unwrap());
+        let y = f32::from_le_bytes(bufs[0][4..8].try_into().unwrap());
+        assert_eq!((x, y), (42.0, 43.0));
+    }
+
+    #[test]
+    fn more_reuse_means_fewer_dma_transfers() {
+        // 8 samples all hitting the same row should cost far fewer MRAM
+        // reads than 8 samples hitting distinct rows.
+        let rows: Vec<[f32; 2]> = (0..8).map(|i| [i as f32, 0.0]).collect();
+        let shared_refs: Vec<Vec<u32>> = (0..8).map(|_| vec![0u32]).collect();
+        let distinct_refs: Vec<Vec<u32>> = (0..8).map(|i| vec![i as u32]).collect();
+
+        let run_and_count = |refs: &[Vec<u32>]| {
+            let mut sys = PimSystem::new(PimConfig::new(1, 4)).unwrap();
+            let dpu = DpuId(0);
+            let mut emt = Vec::new();
+            for r in &rows {
+                emt.extend_from_slice(&r[0].to_le_bytes());
+                emt.extend_from_slice(&r[1].to_le_bytes());
+            }
+            sys.load_mram(dpu, 0, &emt).unwrap();
+            sys.load_mram(dpu, 4096, &build_stream(refs, 4, true)).unwrap();
+            let mut kernel = EmbeddingKernel::new(8, true);
+            kernel.set_task(
+                dpu,
+                DpuTask {
+                    emt_base: 0,
+                    cache_base: 2048,
+                    input_base: 4096,
+                    output_base: 8192,
+                    n_samples: refs.len() as u32,
+                },
+            );
+            sys.launch_all(&kernel).unwrap().total_dma_transfers()
+        };
+        let shared = run_and_count(&shared_refs);
+        let distinct = run_and_count(&distinct_refs);
+        assert!(shared + 6 <= distinct, "shared {shared} vs distinct {distinct}");
+    }
+
+    #[test]
+    fn unknown_dpu_task_is_noop() {
+        let mut sys = PimSystem::new(PimConfig::new(2, 2)).unwrap();
+        let kernel = EmbeddingKernel::new(8, true); // no tasks registered
+        let rep = sys.launch_all(&kernel).unwrap();
+        assert_eq!(rep.total_dma_transfers(), 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Integration tests: the PIM engine must reproduce the reference
+//! embedding layer exactly (integer tables) for every strategy and
+//! tile shape, and its performance counters must reflect the paper's
+//! qualitative claims.
+
+use dlrm_model::{EmbeddingTable, QueryBatch, SparseInput};
+use updlrm_core::{PartitionStrategy, UpdlrmConfig, UpdlrmEngine};
+use workloads::{DatasetSpec, TraceConfig, Workload};
+
+const DIM: usize = 32;
+
+fn setup(spec: &DatasetSpec, num_tables: usize, batches: usize) -> (Vec<EmbeddingTable>, Workload) {
+    let workload = Workload::generate(
+        spec,
+        TraceConfig { num_tables, num_batches: batches, ..TraceConfig::default() },
+    );
+    let tables = (0..num_tables)
+        .map(|t| EmbeddingTable::random_integer_valued(spec.num_items, DIM, 3, t as u64).unwrap())
+        .collect();
+    (tables, workload)
+}
+
+fn reference_pooled(tables: &[EmbeddingTable], batch: &QueryBatch) -> Vec<Vec<f32>> {
+    tables
+        .iter()
+        .zip(batch.sparse.iter())
+        .map(|(t, s)| t.bag_sum(s).unwrap().into_vec())
+        .collect()
+}
+
+#[test]
+fn engine_matches_reference_for_all_strategies() {
+    let spec = DatasetSpec::goodreads().scaled_down(5000);
+    let (tables, workload) = setup(&spec, 2, 2);
+    for strategy in [
+        PartitionStrategy::Uniform,
+        PartitionStrategy::NonUniform,
+        PartitionStrategy::CacheAware,
+    ] {
+        let config = UpdlrmConfig::with_dpus(16, strategy);
+        let mut engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
+        for batch in &workload.batches {
+            let (pooled, _) = engine.run_batch(batch).unwrap();
+            let expect = reference_pooled(&tables, batch);
+            for (t, m) in pooled.iter().enumerate() {
+                assert_eq!(m.as_slice(), expect[t].as_slice(), "strategy {strategy}, table {t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_matches_reference_for_fixed_nc() {
+    let spec = DatasetSpec::amazon_home().scaled_down(5000);
+    let (tables, workload) = setup(&spec, 2, 1);
+    for n_c in [2usize, 4, 8] {
+        let config =
+            UpdlrmConfig::with_dpus(64, PartitionStrategy::NonUniform).with_fixed_nc(n_c);
+        let mut engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
+        let (pooled, breakdown) = engine.run_batch(&workload.batches[0]).unwrap();
+        let expect = reference_pooled(&tables, &workload.batches[0]);
+        for (t, m) in pooled.iter().enumerate() {
+            assert_eq!(m.as_slice(), expect[t].as_slice(), "n_c {n_c}, table {t}");
+        }
+        assert!(breakdown.total_ns() > 0.0);
+        assert_eq!(engine.table_report(0).tiling.n_c, n_c);
+    }
+}
+
+#[test]
+fn cache_aware_reduces_dma_traffic_on_hot_data() {
+    // §3.3 / Fig. 6: partial-sum caching cuts memory accesses on
+    // co-occurrence-heavy, skewed workloads.
+    let mut spec = DatasetSpec::movie().scaled_down(500);
+    spec.cooccur.cluster_rate = 0.6;
+    let (tables, workload) = setup(&spec, 1, 4);
+    let mut total = [0u64; 2];
+    for (i, strategy) in [PartitionStrategy::NonUniform, PartitionStrategy::CacheAware]
+        .into_iter()
+        .enumerate()
+    {
+        let config = UpdlrmConfig::with_dpus(16, strategy);
+        let mut engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
+        for batch in &workload.batches {
+            let (_, b) = engine.run_batch(batch).unwrap();
+            total[i] += b.dma_transfers;
+        }
+    }
+    assert!(
+        total[1] < total[0],
+        "CA should issue fewer MRAM reads: NU {} vs CA {}",
+        total[0],
+        total[1]
+    );
+}
+
+#[test]
+fn non_uniform_balances_lookup_cycles_on_skewed_data() {
+    // §3.2 / Fig. 6: NU balances per-DPU work where U cannot.
+    let spec = DatasetSpec::goodreads().scaled_down(2000);
+    let (tables, workload) = setup(&spec, 1, 3);
+    let imbalance = |strategy| {
+        let config = UpdlrmConfig::with_dpus(16, strategy).with_fixed_nc(8);
+        let mut engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
+        let mut worst: f64 = 0.0;
+        for batch in &workload.batches {
+            let (_, b) = engine.run_batch(batch).unwrap();
+            worst = worst.max(b.lookup_imbalance);
+        }
+        worst
+    };
+    let u = imbalance(PartitionStrategy::Uniform);
+    let nu = imbalance(PartitionStrategy::NonUniform);
+    assert!(nu < u, "NU lookup imbalance {nu} should beat U {u}");
+}
+
+#[test]
+fn run_inference_produces_reference_ctr() {
+    use dlrm_model::{Dlrm, DlrmConfig};
+    let spec = DatasetSpec::amazon_clothes().scaled_down(10_000);
+    let workload = Workload::generate(
+        &spec,
+        TraceConfig { num_tables: 2, num_batches: 1, ..TraceConfig::default() },
+    );
+    let config = DlrmConfig {
+        num_dense: 13,
+        embedding_dim: DIM,
+        table_rows: vec![spec.num_items; 2],
+        bottom_hidden: vec![32],
+        top_hidden: vec![32],
+        seed: 5,
+    };
+    let model = Dlrm::new_integer_tables(config).unwrap();
+    let mut engine = UpdlrmEngine::from_workload(
+        UpdlrmConfig::with_dpus(16, PartitionStrategy::CacheAware),
+        model.tables(),
+        &workload,
+    )
+    .unwrap();
+    let batch = &workload.batches[0];
+    let (ctr, _) = engine.run_inference(&model, batch).unwrap();
+    assert_eq!(ctr, model.forward(batch).unwrap());
+}
+
+#[test]
+fn dedup_ablation_increases_dma_but_not_results() {
+    let spec = DatasetSpec::goodreads().scaled_down(2000);
+    let (tables, workload) = setup(&spec, 1, 1);
+    let run = |dedup: bool| {
+        let config = UpdlrmConfig {
+            dedup,
+            ..UpdlrmConfig::with_dpus(8, PartitionStrategy::NonUniform)
+        };
+        let mut engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
+        let (pooled, b) = engine.run_batch(&workload.batches[0]).unwrap();
+        (pooled[0].as_slice().to_vec(), b.dma_transfers)
+    };
+    let (with_dedup, dma_dedup) = run(true);
+    let (without, dma_plain) = run(false);
+    assert_eq!(with_dedup, without, "dedup must not change results");
+    assert!(dma_dedup < dma_plain, "dedup must cut MRAM reads: {dma_dedup} vs {dma_plain}");
+}
+
+#[test]
+fn ragged_transfers_are_slower_than_padded() {
+    let spec = DatasetSpec::goodreads().scaled_down(2000);
+    let (tables, workload) = setup(&spec, 1, 1);
+    let stage1 = |pad: bool| {
+        let config = UpdlrmConfig {
+            pad_transfers: pad,
+            ..UpdlrmConfig::with_dpus(8, PartitionStrategy::Uniform)
+        };
+        let mut engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
+        let (_, b) = engine.run_batch(&workload.batches[0]).unwrap();
+        b.stage1_ns
+    };
+    // Uniform partitioning on skewed data gives ragged per-partition
+    // streams; padding restores parallel rank transfers.
+    assert!(stage1(true) < stage1(false));
+}
+
+#[test]
+fn engine_rejects_mismatched_batches() {
+    let spec = DatasetSpec::amazon_clothes().scaled_down(20_000);
+    let (tables, workload) = setup(&spec, 2, 1);
+    let mut engine = UpdlrmEngine::from_workload(
+        UpdlrmConfig::with_dpus(16, PartitionStrategy::Uniform),
+        &tables,
+        &workload,
+    )
+    .unwrap();
+    // Wrong number of sparse groups.
+    let bad = QueryBatch::new(
+        vec![0.0; 13],
+        13,
+        vec![SparseInput::from_samples([vec![0u64]])],
+    )
+    .unwrap();
+    assert!(engine.run_batch(&bad).is_err());
+    // Out-of-range index.
+    let bad2 = QueryBatch::new(
+        vec![0.0; 13],
+        13,
+        vec![
+            SparseInput::from_samples([vec![u64::MAX]]),
+            SparseInput::from_samples([vec![0u64]]),
+        ],
+    )
+    .unwrap();
+    assert!(engine.run_batch(&bad2).is_err());
+}
+
+#[test]
+fn engine_rejects_bad_configs() {
+    let spec = DatasetSpec::amazon_clothes().scaled_down(20_000);
+    let (tables, workload) = setup(&spec, 3, 1);
+    // 16 DPUs not divisible by 3 tables.
+    assert!(UpdlrmEngine::from_workload(
+        UpdlrmConfig::with_dpus(16, PartitionStrategy::Uniform),
+        &tables,
+        &workload
+    )
+    .is_err());
+}
+
+#[test]
+fn cache_fraction_zero_behaves_like_non_uniform() {
+    let spec = DatasetSpec::movie().scaled_down(1000);
+    let (tables, workload) = setup(&spec, 1, 2);
+    let config = UpdlrmConfig::with_dpus(8, PartitionStrategy::CacheAware)
+        .with_cache_fraction(0.0);
+    let mut engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
+    assert_eq!(engine.table_report(0).cached_lists, 0);
+    let (pooled, _) = engine.run_batch(&workload.batches[0]).unwrap();
+    let expect = reference_pooled(&tables, &workload.batches[0]);
+    assert_eq!(pooled[0].as_slice(), expect[0].as_slice());
+}
+
+#[test]
+fn breakdown_reports_cache_hit_counts() {
+    let mut spec = DatasetSpec::movie().scaled_down(500);
+    spec.cooccur.cluster_rate = 0.6;
+    let (tables, workload) = setup(&spec, 1, 2);
+    let mut ca = UpdlrmEngine::from_workload(
+        UpdlrmConfig::with_dpus(16, PartitionStrategy::CacheAware),
+        &tables,
+        &workload,
+    )
+    .unwrap();
+    let (_, b_ca) = ca.run_batch(&workload.batches[0]).unwrap();
+    assert!(b_ca.cache_hits > 0, "CA on a clustered trace should hit the cache");
+    assert!(b_ca.emt_lookups > 0);
+
+    let mut nu = UpdlrmEngine::from_workload(
+        UpdlrmConfig::with_dpus(16, PartitionStrategy::NonUniform),
+        &tables,
+        &workload,
+    )
+    .unwrap();
+    let (_, b_nu) = nu.run_batch(&workload.batches[0]).unwrap();
+    assert_eq!(b_nu.cache_hits, 0);
+    // Cache hits replace several EMT lookups each: total served lookups
+    // match the batch's demand either way.
+    let demand: u64 = workload.batches[0]
+        .sparse
+        .iter()
+        .map(|s| s.total_lookups() as u64)
+        .sum();
+    assert_eq!(b_nu.emt_lookups, demand);
+    assert!(b_ca.cache_hits + b_ca.emt_lookups < demand);
+}
+
+#[test]
+fn replicated_strategy_matches_reference_and_balances_a_hot_row() {
+    // A pathological trace: one item appears in every sample while the
+    // rest of the reduction is tiny, so a single row carries more load
+    // than a balanced partition's share (greedy NU's LPT floor).
+    let items = 1024usize;
+    let batch = 256usize;
+    let spec = DatasetSpec::balanced_synthetic(items, 2.0);
+    let base = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_tables: 1,
+            batch_size: batch,
+            num_batches: 2,
+            ..TraceConfig::default()
+        },
+    );
+    let mut workload = base;
+    for b in &mut workload.batches {
+        let sp = &b.sparse[0];
+        let samples: Vec<Vec<u64>> = (0..sp.batch_size())
+            .map(|s| {
+                let mut v = sp.sample(s).to_vec();
+                if !v.contains(&0) {
+                    v.push(0);
+                }
+                v
+            })
+            .collect();
+        b.sparse[0] = SparseInput::from_samples(samples);
+    }
+    let tables = vec![EmbeddingTable::random_integer_valued(items, DIM, 3, 1).unwrap()];
+
+    let run = |strategy: PartitionStrategy| {
+        let mut config = UpdlrmConfig::with_dpus(16, strategy).with_fixed_nc(8);
+        config.replicate_top = 8;
+        config.batch_size = batch;
+        // Remove the fixed launch overhead so per-DPU cycle imbalance
+        // reflects the lookup load alone.
+        config.cost.launch_overhead_cycles = 0;
+        let mut engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
+        let (pooled, b) = engine.run_batch(&workload.batches[0]).unwrap();
+        (pooled[0].as_slice().to_vec(), b.lookup_imbalance)
+    };
+    let (nu_out, nu_imb) = run(PartitionStrategy::NonUniform);
+    let (rep_out, rep_imb) = run(PartitionStrategy::Replicated);
+    // Functional equivalence regardless of placement.
+    assert_eq!(nu_out, rep_out, "replication must not change results");
+    let expect = tables[0].bag_sum(&workload.batches[0].sparse[0]).unwrap();
+    assert_eq!(rep_out, expect.as_slice());
+    // And better balance under the planted hot row.
+    assert!(
+        rep_imb < nu_imb - 0.05,
+        "replication should balance the hot row: NU+R {rep_imb} vs NU {nu_imb}"
+    );
+}

@@ -1,0 +1,146 @@
+//! Property tests for the partitioning invariants DESIGN.md §6 calls
+//! out: completeness (every row placed exactly once), capacity, and
+//! balance dominance of NU over U on arbitrary frequency profiles.
+
+use cooccur_cache::{CacheList, CacheListSet};
+use proptest::prelude::*;
+use updlrm_core::{cache_aware, non_uniform, uniform, CACHED_ROW_SLOT};
+use workloads::FreqProfile;
+
+fn profile_from_counts(counts: &[u32]) -> FreqProfile {
+    let mut p = FreqProfile::new(counts.len());
+    for (i, &c) in counts.iter().enumerate() {
+        for _ in 0..c {
+            p.record(i as u64);
+        }
+    }
+    p
+}
+
+/// Checks that an assignment covers every row exactly once with dense,
+/// unique slots per partition.
+fn assert_complete(
+    part_of_row: &[u32],
+    slot_of_row: &[u32],
+    rows_per_part: &[u32],
+    rows: usize,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(part_of_row.len(), rows);
+    let placed: u32 = rows_per_part.iter().sum();
+    let cached = slot_of_row.iter().filter(|&&s| s == CACHED_ROW_SLOT).count();
+    prop_assert_eq!(placed as usize + cached, rows);
+    for (part, &n) in rows_per_part.iter().enumerate() {
+        let mut slots: Vec<u32> = (0..rows)
+            .filter(|&r| part_of_row[r] as usize == part && slot_of_row[r] != CACHED_ROW_SLOT)
+            .map(|r| slot_of_row[r])
+            .collect();
+        slots.sort_unstable();
+        let expect: Vec<u32> = (0..n).collect();
+        prop_assert_eq!(slots, expect, "partition {} slots not dense", part);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Uniform and non-uniform placements are complete and in capacity.
+    #[test]
+    fn placements_are_complete(
+        counts in prop::collection::vec(0u32..50, 1..120),
+        parts in 1usize..9,
+    ) {
+        let rows = counts.len();
+        let profile = profile_from_counts(&counts);
+        let cap = rows; // always enough
+        let u = uniform(rows, parts, cap, &profile).unwrap();
+        assert_complete(&u.part_of_row, &u.slot_of_row, &u.rows_per_part, rows)?;
+        let nu = non_uniform(rows, parts, cap, &profile).unwrap();
+        assert_complete(&nu.part_of_row, &nu.slot_of_row, &nu.rows_per_part, rows)?;
+        // Total predicted load is conserved.
+        let total: f64 = profile.total_accesses() as f64;
+        prop_assert!((u.part_load.iter().sum::<f64>() - total).abs() < 1e-6);
+        prop_assert!((nu.part_load.iter().sum::<f64>() - total).abs() < 1e-6);
+    }
+
+    /// Greedy NU never balances worse than U.
+    #[test]
+    fn nu_dominates_u_in_balance(
+        counts in prop::collection::vec(0u32..50, 8..120),
+        parts in 2usize..9,
+    ) {
+        let rows = counts.len();
+        let profile = profile_from_counts(&counts);
+        let u = uniform(rows, parts, rows, &profile).unwrap();
+        let nu = non_uniform(rows, parts, rows, &profile).unwrap();
+        // Greedy LPT-style packing bounds: NU max load <= U max load.
+        let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(max(&nu.part_load) <= max(&u.part_load) + 1e-9);
+    }
+
+    /// Capacity violations surface as errors, never as silent overflow.
+    #[test]
+    fn capacity_is_enforced(
+        counts in prop::collection::vec(0u32..10, 4..64),
+        parts in 1usize..5,
+    ) {
+        let rows = counts.len();
+        let profile = profile_from_counts(&counts);
+        let cap = rows / parts; // may round below the needed capacity
+        match non_uniform(rows, parts, cap, &profile) {
+            Ok(a) => {
+                for &n in &a.rows_per_part {
+                    prop_assert!((n as usize) <= cap);
+                }
+                prop_assert_eq!(a.rows_per_part.iter().sum::<u32>() as usize, rows);
+            }
+            Err(_) => prop_assert!(cap * parts < rows),
+        }
+    }
+
+    /// Cache-aware placement is complete: cached rows carry the
+    /// sentinel, everything else gets a dense EMT slot, and every
+    /// placed list's partition stays within cache capacity.
+    #[test]
+    fn cache_aware_is_complete(
+        counts in prop::collection::vec(1u32..30, 12..80),
+        parts in 2usize..6,
+        list_sizes in prop::collection::vec(2usize..4, 0..4),
+        cache_cap in 0usize..32,
+    ) {
+        let rows = counts.len();
+        let profile = profile_from_counts(&counts);
+        // Disjoint lists over the first rows.
+        let mut next = 0u64;
+        let mut lists = Vec::new();
+        for s in list_sizes {
+            let items: Vec<u64> = (next..next + s as u64).take_while(|&i| (i as usize) < rows).collect();
+            next += s as u64;
+            if items.len() >= 2 {
+                lists.push(CacheList { items, benefit: 5.0 });
+            }
+        }
+        let set = CacheListSet { lists };
+        let ca = cache_aware(rows, parts, rows, cache_cap, &profile, &set).unwrap();
+        assert_complete(
+            &ca.rows.part_of_row,
+            &ca.rows.slot_of_row,
+            &ca.rows.rows_per_part,
+            rows,
+        )?;
+        // Cached rows are exactly the placed lists' items.
+        let cached_rows: usize = ca
+            .rows
+            .slot_of_row
+            .iter()
+            .filter(|&&s| s == CACHED_ROW_SLOT)
+            .count();
+        let placed_items: usize = ca.placed_lists.lists.iter().map(|l| l.items.len()).sum();
+        prop_assert_eq!(cached_rows, placed_items);
+        // Per-partition cache rows within capacity.
+        for &n in &ca.cache_rows_per_part {
+            prop_assert!((n as usize) <= cache_cap + 15, "cap {} rows {}", cache_cap, n);
+        }
+        prop_assert_eq!(ca.placed_lists.lists.len(), ca.list_part.len());
+    }
+}

@@ -1,0 +1,193 @@
+//! Architectural constants and strong ID types for the UPMEM PIM system.
+//!
+//! The numbers below follow the UPMEM v1A product described in the UpDLRM
+//! paper (DAC'24, §2.2) and the public UPMEM SDK documentation: each DPU is
+//! a 350 MHz multi-threaded 32-bit RISC core with an 11-stage pipeline,
+//! exclusive access to a 64 MB DRAM bank (MRAM), a 64 KB scratchpad (WRAM)
+//! and a 24 KB instruction memory (IRAM). MRAM is reached through a DMA
+//! engine whose transfers must be 8-byte aligned and at most 2048 bytes.
+
+use std::fmt;
+
+/// Capacity of one DPU's MRAM bank in bytes (64 MB).
+pub const MRAM_CAPACITY: usize = 64 * 1024 * 1024;
+
+/// Capacity of one DPU's WRAM scratchpad in bytes (64 KB).
+pub const WRAM_CAPACITY: usize = 64 * 1024;
+
+/// Capacity of one DPU's IRAM instruction memory in bytes (24 KB).
+pub const IRAM_CAPACITY: usize = 24 * 1024;
+
+/// Required alignment (bytes) of every MRAM DMA transfer.
+pub const DMA_ALIGN: usize = 8;
+
+/// Maximum size (bytes) of a single MRAM DMA transfer.
+pub const DMA_MAX_TRANSFER: usize = 2048;
+
+/// Default DPU clock frequency in Hz (350 MHz, Table 2 of the paper).
+pub const DEFAULT_CLOCK_HZ: u64 = 350_000_000;
+
+/// Depth of the DPU instruction pipeline. A single tasklet may only have
+/// one instruction in flight, so a lone tasklet dispatches at most one
+/// instruction every `PIPELINE_DEPTH` cycles; `PIPELINE_DEPTH` or more
+/// tasklets saturate the pipeline at one instruction per cycle.
+pub const PIPELINE_DEPTH: u64 = 11;
+
+/// Maximum number of hardware tasklets (threads) per DPU.
+pub const MAX_TASKLETS: usize = 24;
+
+/// Number of tasklets the paper employs per DPU (§4.1).
+pub const DEFAULT_TASKLETS: usize = 14;
+
+/// Number of DPUs per rank (one side of a UPMEM DIMM).
+pub const DPUS_PER_RANK: usize = 64;
+
+/// Number of DPUs used in the paper's evaluation (two UPMEM modules).
+pub const DEFAULT_NR_DPUS: usize = 256;
+
+/// Identifier of a DPU within a [`PimSystem`](crate::host::PimSystem).
+///
+/// `DpuId` is a dense index in `0..nr_dpus`; ranks are derived from it
+/// (`id / DPUS_PER_RANK`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct DpuId(pub u32);
+
+impl DpuId {
+    /// Returns the dense index as `usize` for container indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rank this DPU belongs to (64 DPUs per rank).
+    #[inline]
+    pub fn rank(self) -> u32 {
+        self.0 / DPUS_PER_RANK as u32
+    }
+}
+
+impl fmt::Display for DpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dpu{}", self.0)
+    }
+}
+
+impl From<u32> for DpuId {
+    fn from(v: u32) -> Self {
+        DpuId(v)
+    }
+}
+
+/// A cycle count on the DPU clock domain.
+///
+/// Newtype so cycle math cannot be accidentally mixed with nanoseconds;
+/// convert explicitly with [`Cycles::to_nanos`].
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Converts a cycle count into nanoseconds at clock `hz`.
+    #[inline]
+    pub fn to_nanos(self, hz: u64) -> f64 {
+        self.0 as f64 * 1e9 / hz as f64
+    }
+
+    /// Converts a cycle count into microseconds at clock `hz`.
+    #[inline]
+    pub fn to_micros(self, hz: u64) -> f64 {
+        self.to_nanos(hz) / 1e3
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::ops::Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl std::iter::Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mram_is_64_mb() {
+        assert_eq!(MRAM_CAPACITY, 67_108_864);
+    }
+
+    #[test]
+    fn dma_limits_match_paper() {
+        // §3.1: "each MRAM read has to be 8 bytes aligned and can be 2,048
+        // bytes maximum".
+        assert_eq!(DMA_ALIGN, 8);
+        assert_eq!(DMA_MAX_TRANSFER, 2048);
+    }
+
+    #[test]
+    fn dpu_id_rank_mapping() {
+        assert_eq!(DpuId(0).rank(), 0);
+        assert_eq!(DpuId(63).rank(), 0);
+        assert_eq!(DpuId(64).rank(), 1);
+        assert_eq!(DpuId(255).rank(), 3);
+    }
+
+    #[test]
+    fn cycles_to_time_at_350mhz() {
+        let c = Cycles(350);
+        assert!((c.to_nanos(DEFAULT_CLOCK_HZ) - 1000.0).abs() < 1e-9);
+        assert!((c.to_micros(DEFAULT_CLOCK_HZ) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles(3) + Cycles(4);
+        assert_eq!(a, Cycles(7));
+        let mut b = Cycles(1);
+        b += Cycles(2);
+        assert_eq!(b, Cycles(3));
+        assert_eq!(Cycles(5) * 3, Cycles(15));
+        let s: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(s, Cycles(6));
+    }
+
+    #[test]
+    fn dpu_id_display() {
+        assert_eq!(DpuId(7).to_string(), "dpu7");
+    }
+}

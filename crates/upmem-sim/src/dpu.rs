@@ -1,0 +1,481 @@
+//! One DPU: tasklets, pipeline timing and kernel execution.
+//!
+//! Kernels are ordinary Rust values implementing [`Kernel`]. The
+//! simulator runs each tasklet's body sequentially (for determinism) but
+//! *accounts* time as the hardware would execute them concurrently:
+//!
+//! * the 11-deep single-issue pipeline retires at most one instruction
+//!   per cycle across all tasklets, and a lone tasklet can only issue one
+//!   instruction every 11 cycles;
+//! * the MRAM DMA engine serializes transfers, overlapping them with
+//!   other tasklets' compute;
+//! * the modeled launch time is the maximum of the pipeline bound, the
+//!   DMA bound, and the slowest single tasklet's serial critical path.
+
+use crate::arch::{Cycles, DpuId, MAX_TASKLETS, PIPELINE_DEPTH, WRAM_CAPACITY};
+use crate::cost::CostModel;
+use crate::error::{Result, SimError};
+use crate::mem::{Mram, Wram};
+use crate::stats::{DpuRunStats, TaskletStats};
+
+/// A DPU-side program.
+///
+/// One kernel value is shared by every tasklet of every launched DPU; the
+/// per-tasklet entry point receives a [`TaskletCtx`] identifying which
+/// DPU/tasklet is running and mediating all memory access and cycle
+/// charging.
+pub trait Kernel {
+    /// Bytes of WRAM reserved as a region shared by all tasklets of a
+    /// DPU (e.g. a software row cache). The remainder of WRAM is split
+    /// evenly into per-tasklet private regions.
+    fn shared_wram_bytes(&self) -> usize {
+        0
+    }
+
+    /// Runs the kernel body for one tasklet (phase 1).
+    ///
+    /// # Errors
+    ///
+    /// Implementations should propagate [`SimError`]s from context
+    /// operations and may return [`SimError::KernelFault`] for their own
+    /// failures.
+    fn run(&self, ctx: &mut TaskletCtx<'_>) -> Result<()>;
+
+    /// Optional second phase, executed after *every* tasklet finished
+    /// [`Kernel::run`] — the simulator's equivalent of a hardware
+    /// barrier (`barrier_wait` in the UPMEM SDK). Phase-2 cycle costs
+    /// are accounted on top of phase 1. The default does nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Kernel::run`].
+    fn finalize(&self, ctx: &mut TaskletCtx<'_>) -> Result<()> {
+        let _ = ctx;
+        Ok(())
+    }
+}
+
+/// Execution context handed to a kernel for one tasklet.
+///
+/// All MRAM traffic and explicit instruction charges flow through this
+/// context; the DPU aggregates the per-tasklet counters into a launch
+/// time after every tasklet has run.
+#[derive(Debug)]
+pub struct TaskletCtx<'a> {
+    dpu: DpuId,
+    tasklet: usize,
+    n_tasklets: usize,
+    mram: &'a mut Mram,
+    shared: &'a mut [u8],
+    local: &'a mut [u8],
+    cost: &'a CostModel,
+    stats: TaskletStats,
+}
+
+impl<'a> TaskletCtx<'a> {
+    /// The DPU this tasklet runs on.
+    #[inline]
+    pub fn dpu_id(&self) -> DpuId {
+        self.dpu
+    }
+
+    /// This tasklet's index in `0..n_tasklets`.
+    #[inline]
+    pub fn tasklet_id(&self) -> usize {
+        self.tasklet
+    }
+
+    /// Number of tasklets in the launch.
+    #[inline]
+    pub fn n_tasklets(&self) -> usize {
+        self.n_tasklets
+    }
+
+    /// The cost model in effect (read-only).
+    #[inline]
+    pub fn cost(&self) -> &CostModel {
+        self.cost
+    }
+
+    /// DMA read from MRAM into a caller buffer, charging DMA latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates alignment/size/bounds violations from [`Mram`].
+    pub fn mram_read(&mut self, addr: u32, buf: &mut [u8]) -> Result<()> {
+        self.mram.dma_read(addr, buf)?;
+        self.charge_dma(buf.len());
+        Ok(())
+    }
+
+    /// DMA write from a caller buffer into MRAM, charging DMA latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates alignment/size/bounds violations from [`Mram`].
+    pub fn mram_write(&mut self, addr: u32, buf: &[u8]) -> Result<()> {
+        self.mram.dma_write(addr, buf)?;
+        self.charge_dma(buf.len());
+        Ok(())
+    }
+
+    fn charge_dma(&mut self, len: usize) {
+        self.stats.dma_cycles += self.cost.dma_cycles(len).0;
+        self.stats.dma_engine_cycles += self.cost.dma_engine_cycles(len).0;
+        self.stats.dma_transfers += 1;
+        self.stats.dma_bytes += len as u64;
+        // Issuing a DMA costs a few pipeline instructions (address setup).
+        self.stats.instrs += 4 * self.cost.int_op_cycles;
+    }
+
+    /// Charges `n` generic pipeline instructions (1 cycle slots each).
+    #[inline]
+    pub fn charge_instrs(&mut self, n: u64) {
+        self.stats.instrs += n;
+    }
+
+    /// Charges `n` native 32-bit integer ALU operations.
+    #[inline]
+    pub fn charge_int_ops(&mut self, n: u64) {
+        self.stats.instrs += n * self.cost.int_op_cycles;
+    }
+
+    /// Charges `n` software-emulated fp32 additions (the DPU has no FPU).
+    #[inline]
+    pub fn charge_fp32_adds(&mut self, n: u64) {
+        self.stats.instrs += n * self.cost.fp32_add_cycles;
+    }
+
+    /// Charges one vector-accumulate of `n_elems` elements: a fixed
+    /// parse/address/branch cost plus packed-add work (two 32-bit lanes
+    /// per instruction — embedding accumulation uses the DPU's native
+    /// 64-bit integer path on fixed-point lanes).
+    #[inline]
+    pub fn charge_accumulate(&mut self, n_elems: u64) {
+        self.stats.instrs += self.cost.accumulate_base_instrs
+            + (self.cost.accumulate_per_elem_instrs * n_elems as f64).round() as u64;
+    }
+
+    /// Charges loop bookkeeping for `iters` iterations of an
+    /// embedding-style loop (address computation, compare, branch).
+    #[inline]
+    pub fn charge_loop(&mut self, iters: u64) {
+        self.stats.instrs += iters * self.cost.loop_overhead_instrs;
+    }
+
+    /// The WRAM region shared by all tasklets of this DPU.
+    #[inline]
+    pub fn shared_wram(&mut self) -> &mut [u8] {
+        self.shared
+    }
+
+    /// This tasklet's private WRAM region.
+    #[inline]
+    pub fn local_wram(&mut self) -> &mut [u8] {
+        self.local
+    }
+
+    /// Counters accumulated so far (mainly for tests).
+    #[inline]
+    pub fn stats(&self) -> &TaskletStats {
+        &self.stats
+    }
+}
+
+/// One simulated DPU: 64 MB MRAM + 64 KB WRAM plus launch accounting.
+#[derive(Debug)]
+pub struct Dpu {
+    id: DpuId,
+    mram: Mram,
+    wram: Wram,
+}
+
+impl Dpu {
+    /// Creates a DPU with empty memories.
+    pub fn new(id: DpuId) -> Self {
+        Dpu { id, mram: Mram::new(), wram: Wram::new() }
+    }
+
+    /// This DPU's identifier.
+    pub fn id(&self) -> DpuId {
+        self.id
+    }
+
+    /// Immutable access to the MRAM bank (host-side use).
+    pub fn mram(&self) -> &Mram {
+        &self.mram
+    }
+
+    /// Mutable access to the MRAM bank (host-side use).
+    pub fn mram_mut(&mut self) -> &mut Mram {
+        &mut self.mram
+    }
+
+    /// Runs `kernel` with `n_tasklets` tasklets and returns the modeled
+    /// launch statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] if `n_tasklets` is 0 or exceeds
+    ///   [`MAX_TASKLETS`].
+    /// * [`SimError::WramExhausted`] if the kernel's shared region leaves
+    ///   no per-tasklet WRAM.
+    /// * Any error returned by the kernel body.
+    pub fn launch<K: Kernel + ?Sized>(
+        &mut self,
+        kernel: &K,
+        n_tasklets: usize,
+        cost: &CostModel,
+    ) -> Result<DpuRunStats> {
+        if n_tasklets == 0 || n_tasklets > MAX_TASKLETS {
+            return Err(SimError::InvalidConfig(format!(
+                "tasklets must be in 1..={MAX_TASKLETS}, got {n_tasklets}"
+            )));
+        }
+        let shared_len = kernel.shared_wram_bytes();
+        if shared_len >= WRAM_CAPACITY {
+            return Err(SimError::WramExhausted {
+                requested: shared_len,
+                available: WRAM_CAPACITY,
+            });
+        }
+        let local_len = (WRAM_CAPACITY - shared_len) / n_tasklets;
+        if local_len == 0 {
+            return Err(SimError::WramExhausted {
+                requested: shared_len + n_tasklets,
+                available: WRAM_CAPACITY,
+            });
+        }
+
+        // Split WRAM: [shared | t0 local | t1 local | ...]. Tasklets run
+        // sequentially, so re-borrowing per tasklet is safe and keeps the
+        // shared region's contents visible across tasklets. Phase 2
+        // (`finalize`) starts only after every tasklet completed phase 1
+        // — the hardware barrier.
+        let mut phase1 = Vec::with_capacity(n_tasklets);
+        let mut phase2 = Vec::with_capacity(n_tasklets);
+        for (phase, stats) in [(0usize, &mut phase1), (1, &mut phase2)] {
+            for t in 0..n_tasklets {
+                let (shared, rest) =
+                    self.wram.slice_mut(0, WRAM_CAPACITY)?.split_at_mut(shared_len);
+                let local = &mut rest[t * local_len..(t + 1) * local_len];
+                let mut ctx = TaskletCtx {
+                    dpu: self.id,
+                    tasklet: t,
+                    n_tasklets,
+                    mram: &mut self.mram,
+                    shared,
+                    local,
+                    cost,
+                    stats: TaskletStats::default(),
+                };
+                if phase == 0 {
+                    kernel.run(&mut ctx)?;
+                } else {
+                    kernel.finalize(&mut ctx)?;
+                }
+                stats.push(ctx.stats);
+            }
+        }
+
+        // The barrier means phase times add up; the launch overhead is
+        // charged once.
+        let no_overhead = CostModel { launch_overhead_cycles: 0, ..cost.clone() };
+        let p1 = Self::account(phase1, cost);
+        let p2 = Self::account(phase2, &no_overhead);
+        let mut per_tasklet = p1.per_tasklet;
+        for (a, b) in per_tasklet.iter_mut().zip(p2.per_tasklet.iter()) {
+            a.merge(b);
+        }
+        let mut totals = p1.totals;
+        totals.merge(&p2.totals);
+        Ok(DpuRunStats {
+            cycles: p1.cycles + p2.cycles,
+            totals,
+            per_tasklet,
+            energy_pj: p1.energy_pj + p2.energy_pj,
+        })
+    }
+
+    /// Aggregates per-tasklet counters into a modeled launch time.
+    fn account(per_tasklet: Vec<TaskletStats>, cost: &CostModel) -> DpuRunStats {
+        let mut totals = TaskletStats::default();
+        for t in &per_tasklet {
+            totals.merge(t);
+        }
+        // Bound 1: pipeline throughput — one instruction per cycle total.
+        let pipeline_bound = totals.instrs;
+        // Bound 2: MRAM DMA engine — transfers serialize, but setup
+        // latency overlaps across queued transfers (occupancy view).
+        let dma_bound = totals.dma_engine_cycles;
+        // Bound 3: slowest tasklet's serial path — a lone tasklet issues
+        // one instruction every PIPELINE_DEPTH cycles and waits for its
+        // own DMAs.
+        let serial_bound = per_tasklet
+            .iter()
+            .map(|t| t.instrs * PIPELINE_DEPTH + t.dma_cycles)
+            .max()
+            .unwrap_or(0);
+        let cycles = Cycles(
+            pipeline_bound
+                .max(dma_bound)
+                .max(serial_bound)
+                .saturating_add(cost.launch_overhead_cycles),
+        );
+        let energy_pj =
+            totals.instrs as f64 * cost.instr_pj + totals.dma_bytes as f64 * cost.dma_pj_per_byte;
+        DpuRunStats { cycles, totals, per_tasklet, energy_pj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Kernel that reads `reads` rows of `row_bytes` each and charges a
+    /// fixed amount of compute per read.
+    struct ReadLoop {
+        reads: u32,
+        row_bytes: usize,
+        instrs_per_read: u64,
+    }
+
+    impl Kernel for ReadLoop {
+        fn run(&self, ctx: &mut TaskletCtx<'_>) -> Result<()> {
+            let per = self.reads as usize / ctx.n_tasklets();
+            let mut buf = vec![0u8; self.row_bytes];
+            for i in 0..per {
+                ctx.mram_read((i * self.row_bytes) as u32 & !7, &mut buf)?;
+                ctx.charge_instrs(self.instrs_per_read);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn launch_rejects_bad_tasklet_count() {
+        let mut d = Dpu::new(DpuId(0));
+        let k = ReadLoop { reads: 0, row_bytes: 8, instrs_per_read: 1 };
+        assert!(d.launch(&k, 0, &CostModel::default()).is_err());
+        assert!(d.launch(&k, MAX_TASKLETS + 1, &CostModel::default()).is_err());
+    }
+
+    #[test]
+    fn more_tasklets_hide_dma_latency() {
+        // With 1 tasklet every DMA is exposed serially; with 14 the DMA
+        // engine bound (sum of transfer costs) dominates, which is lower
+        // than the serial bound because compute overlaps.
+        let cost = CostModel::default();
+        let k = ReadLoop { reads: 1400, row_bytes: 64, instrs_per_read: 40 };
+        let mut d1 = Dpu::new(DpuId(0));
+        let s1 = d1.launch(&k, 1, &cost).unwrap();
+        let mut d14 = Dpu::new(DpuId(1));
+        let s14 = d14.launch(&k, 14, &cost).unwrap();
+        assert!(
+            s14.cycles.0 * 3 < s1.cycles.0,
+            "14 tasklets should be much faster: {} vs {}",
+            s14.cycles,
+            s1.cycles
+        );
+    }
+
+    #[test]
+    fn accounting_uses_max_of_bounds() {
+        let cost = CostModel { launch_overhead_cycles: 0, ..CostModel::default() };
+        // Compute-heavy kernel: pipeline bound dominates.
+        let heavy = vec![TaskletStats { instrs: 10_000, dma_cycles: 10, ..Default::default() }; 14];
+        let s = Dpu::account(heavy, &cost);
+        assert_eq!(s.cycles.0, 14 * 10_000);
+        // DMA-heavy kernel: DMA engine occupancy bound dominates.
+        let dma = vec![
+            TaskletStats {
+                instrs: 10,
+                dma_cycles: 12_000,
+                dma_engine_cycles: 10_000,
+                ..Default::default()
+            };
+            14
+        ];
+        let s = Dpu::account(dma, &cost);
+        assert_eq!(s.cycles.0, 14 * 10_000);
+        // Single tasklet: serial bound dominates.
+        let single = vec![TaskletStats { instrs: 1_000, dma_cycles: 5_000, ..Default::default() }];
+        let s = Dpu::account(single, &cost);
+        assert_eq!(s.cycles.0, 1_000 * PIPELINE_DEPTH + 5_000);
+    }
+
+    #[test]
+    fn kernel_results_are_functional() {
+        // Data written by the host is what the kernel reads back.
+        struct Sum8 {
+            expect: [u8; 8],
+        }
+        impl Kernel for Sum8 {
+            fn run(&self, ctx: &mut TaskletCtx<'_>) -> Result<()> {
+                if ctx.tasklet_id() != 0 {
+                    return Ok(());
+                }
+                let mut buf = [0u8; 8];
+                ctx.mram_read(0, &mut buf)?;
+                if buf != self.expect {
+                    return Err(SimError::KernelFault("mismatch".into()));
+                }
+                Ok(())
+            }
+        }
+        let mut d = Dpu::new(DpuId(3));
+        d.mram_mut().host_write(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let k = Sum8 { expect: [1, 2, 3, 4, 5, 6, 7, 8] };
+        d.launch(&k, 2, &CostModel::default()).unwrap();
+    }
+
+    #[test]
+    fn shared_wram_persists_across_tasklets() {
+        struct Chain;
+        impl Kernel for Chain {
+            fn shared_wram_bytes(&self) -> usize {
+                8
+            }
+            fn run(&self, ctx: &mut TaskletCtx<'_>) -> Result<()> {
+                let t = ctx.tasklet_id() as u8;
+                let shared = ctx.shared_wram();
+                if t == 0 {
+                    shared[0] = 41;
+                } else if shared[0] != 41 {
+                    return Err(SimError::KernelFault("shared region lost".into()));
+                }
+                Ok(())
+            }
+        }
+        let mut d = Dpu::new(DpuId(0));
+        d.launch(&Chain, 4, &CostModel::default()).unwrap();
+    }
+
+    #[test]
+    fn shared_wram_cannot_consume_everything() {
+        struct Greedy;
+        impl Kernel for Greedy {
+            fn shared_wram_bytes(&self) -> usize {
+                WRAM_CAPACITY
+            }
+            fn run(&self, _ctx: &mut TaskletCtx<'_>) -> Result<()> {
+                Ok(())
+            }
+        }
+        let mut d = Dpu::new(DpuId(0));
+        assert!(matches!(
+            d.launch(&Greedy, 1, &CostModel::default()),
+            Err(SimError::WramExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let cost = CostModel::default();
+        let small = ReadLoop { reads: 140, row_bytes: 32, instrs_per_read: 10 };
+        let large = ReadLoop { reads: 1400, row_bytes: 32, instrs_per_read: 10 };
+        let e_small = Dpu::new(DpuId(0)).launch(&small, 14, &cost).unwrap().energy_pj;
+        let e_large = Dpu::new(DpuId(1)).launch(&large, 14, &cost).unwrap().energy_pj;
+        assert!(e_large > e_small * 8.0);
+    }
+}

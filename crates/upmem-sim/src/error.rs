@@ -1,0 +1,124 @@
+//! Error type for the simulator.
+
+use crate::arch::DpuId;
+use std::fmt;
+
+/// Errors produced by the UPMEM simulator.
+///
+/// Every variant names the violated architectural constraint so that a
+/// failing kernel or host transfer can be debugged without a real DPU's
+/// (notoriously terse) fault registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An MRAM DMA transfer was not 8-byte aligned.
+    UnalignedDma {
+        /// Offending MRAM address.
+        addr: u32,
+        /// Transfer length in bytes.
+        len: usize,
+    },
+    /// An MRAM DMA transfer exceeded the 2048-byte hardware maximum.
+    DmaTooLarge {
+        /// Requested length in bytes.
+        len: usize,
+    },
+    /// A zero-length DMA transfer was requested.
+    EmptyDma,
+    /// An access fell outside the 64 MB MRAM bank.
+    MramOutOfBounds {
+        /// Offending address.
+        addr: u32,
+        /// Transfer length in bytes.
+        len: usize,
+        /// Configured MRAM capacity.
+        capacity: usize,
+    },
+    /// An access fell outside the 64 KB WRAM scratchpad.
+    WramOutOfBounds {
+        /// Offending offset.
+        offset: usize,
+        /// Access length.
+        len: usize,
+    },
+    /// A kernel asked for more per-tasklet WRAM than available.
+    WramExhausted {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available to this tasklet.
+        available: usize,
+    },
+    /// A `DpuId` was out of range for the system.
+    UnknownDpu {
+        /// Offending id.
+        id: DpuId,
+        /// Number of DPUs in the system.
+        nr_dpus: usize,
+    },
+    /// Invalid system configuration (e.g. zero DPUs or tasklets).
+    InvalidConfig(String),
+    /// A kernel reported a fault of its own.
+    KernelFault(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnalignedDma { addr, len } => write!(
+                f,
+                "mram dma must be 8-byte aligned: addr={addr:#x}, len={len}"
+            ),
+            SimError::DmaTooLarge { len } => {
+                write!(f, "mram dma exceeds 2048-byte maximum: len={len}")
+            }
+            SimError::EmptyDma => write!(f, "mram dma of zero bytes"),
+            SimError::MramOutOfBounds { addr, len, capacity } => write!(
+                f,
+                "mram access out of bounds: addr={addr:#x}, len={len}, capacity={capacity}"
+            ),
+            SimError::WramOutOfBounds { offset, len } => {
+                write!(f, "wram access out of bounds: offset={offset}, len={len}")
+            }
+            SimError::WramExhausted { requested, available } => write!(
+                f,
+                "wram allocation of {requested} bytes exceeds {available} available"
+            ),
+            SimError::UnknownDpu { id, nr_dpus } => {
+                write!(f, "unknown dpu {id} (system has {nr_dpus} dpus)")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::KernelFault(msg) => write!(f, "kernel fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias for simulator results.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = SimError::UnalignedDma { addr: 0x11, len: 7 };
+        let s = e.to_string();
+        assert!(s.contains("8-byte aligned"));
+        assert!(s.contains("0x11"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(SimError::EmptyDma);
+        assert_eq!(e.to_string(), "mram dma of zero bytes");
+    }
+}

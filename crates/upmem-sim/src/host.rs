@@ -1,0 +1,359 @@
+//! Host-side view of the PIM system: DPU allocation, CPU⇄MRAM transfers
+//! and kernel launches.
+//!
+//! The host CPU is the only communication path between DPUs (paper
+//! §2.2) — the API deliberately offers no DPU-to-DPU copy. Transfer
+//! timing follows the UPMEM rank rule: per-DPU buffers move in parallel
+//! when they all have the same size and serialize otherwise.
+
+use crate::arch::{Cycles, DpuId};
+use crate::cost::CostModel;
+use crate::dpu::{Dpu, Kernel};
+use crate::error::{Result, SimError};
+use crate::stats::{LaunchReport, TransferReport};
+
+/// Configuration for a [`PimSystem`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PimConfig {
+    /// Number of DPUs in the system (the paper uses 256).
+    pub nr_dpus: usize,
+    /// Tasklets used per kernel launch (the paper uses 14).
+    pub tasklets: usize,
+    /// Timing/energy model.
+    pub cost: CostModel,
+}
+
+impl Default for PimConfig {
+    fn default() -> Self {
+        PimConfig {
+            nr_dpus: crate::arch::DEFAULT_NR_DPUS,
+            tasklets: crate::arch::DEFAULT_TASKLETS,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl PimConfig {
+    /// Convenience constructor with default cost model.
+    pub fn new(nr_dpus: usize, tasklets: usize) -> Self {
+        PimConfig { nr_dpus, tasklets, cost: CostModel::default() }
+    }
+}
+
+/// A simulated UPMEM system: a pool of DPUs plus the host transfer engine.
+#[derive(Debug)]
+pub struct PimSystem {
+    dpus: Vec<Dpu>,
+    config: PimConfig,
+}
+
+impl PimSystem {
+    /// Builds a system from `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if the DPU or tasklet count is zero or
+    /// the tasklet count exceeds the hardware maximum.
+    pub fn new(config: PimConfig) -> Result<Self> {
+        if config.nr_dpus == 0 {
+            return Err(SimError::InvalidConfig("nr_dpus must be > 0".into()));
+        }
+        if config.tasklets == 0 || config.tasklets > crate::arch::MAX_TASKLETS {
+            return Err(SimError::InvalidConfig(format!(
+                "tasklets must be in 1..={}, got {}",
+                crate::arch::MAX_TASKLETS,
+                config.tasklets
+            )));
+        }
+        let dpus = (0..config.nr_dpus).map(|i| Dpu::new(DpuId(i as u32))).collect();
+        Ok(PimSystem { dpus, config })
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &PimConfig {
+        &self.config
+    }
+
+    /// Number of DPUs.
+    pub fn nr_dpus(&self) -> usize {
+        self.dpus.len()
+    }
+
+    /// All DPU ids, in order.
+    pub fn dpu_ids(&self) -> impl Iterator<Item = DpuId> + '_ {
+        self.dpus.iter().map(|d| d.id())
+    }
+
+    /// Borrow one DPU.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownDpu`] if `id` is out of range.
+    pub fn dpu(&self, id: DpuId) -> Result<&Dpu> {
+        self.dpus
+            .get(id.index())
+            .ok_or(SimError::UnknownDpu { id, nr_dpus: self.dpus.len() })
+    }
+
+    /// Borrow one DPU mutably.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownDpu`] if `id` is out of range.
+    pub fn dpu_mut(&mut self, id: DpuId) -> Result<&mut Dpu> {
+        let n = self.dpus.len();
+        self.dpus
+            .get_mut(id.index())
+            .ok_or(SimError::UnknownDpu { id, nr_dpus: n })
+    }
+
+    /// Untimed host write into a DPU's MRAM — used for loading static
+    /// data (embedding tables) during pre-processing, which the paper
+    /// does not count toward inference latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bounds/alignment errors and unknown DPU ids.
+    pub fn load_mram(&mut self, id: DpuId, addr: u32, data: &[u8]) -> Result<()> {
+        self.dpu_mut(id)?.mram_mut().host_write(addr, data)
+    }
+
+    /// Timed CPU→MRAM scatter: writes one buffer per `(dpu, addr, data)`
+    /// triple (stage 1 of the UpDLRM pipeline).
+    ///
+    /// Timing: the host bus is shared, so the wall time is the *total*
+    /// byte count over the aggregate bandwidth; when buffer sizes differ
+    /// the transfers serialize at [`CostModel::ragged_bw_factor`] of the
+    /// parallel bandwidth (paper §2.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bounds/alignment errors and unknown DPU ids; the
+    /// system state is unspecified-but-valid if a mid-scatter error
+    /// occurs (earlier buffers stay written).
+    pub fn scatter(&mut self, transfers: &[(DpuId, u32, &[u8])]) -> Result<TransferReport> {
+        for (id, addr, data) in transfers {
+            self.dpu_mut(*id)?.mram_mut().host_write(*addr, data)?;
+        }
+        Ok(self.time_transfer(
+            transfers.iter().map(|(_, _, d)| d.len()),
+            true,
+        ))
+    }
+
+    /// Timed CPU→MRAM scatter where each buffer is *broadcast* to a set
+    /// of DPUs. The rank interface replicates a broadcast buffer to all
+    /// targets in one bus pass, so each group's bytes are charged once
+    /// regardless of how many DPUs receive them (UpDLRM uses this to
+    /// hand one row partition's reference stream to all of its column
+    /// slices).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bounds/alignment errors and unknown DPU ids.
+    pub fn scatter_broadcast(
+        &mut self,
+        groups: &[(&[DpuId], u32, &[u8])],
+    ) -> Result<TransferReport> {
+        for (ids, addr, data) in groups {
+            for id in ids.iter() {
+                self.dpu_mut(*id)?.mram_mut().host_write(*addr, data)?;
+            }
+        }
+        Ok(self.time_transfer(groups.iter().map(|(_, _, d)| d.len()), true))
+    }
+
+    /// Timed MRAM→CPU gather: reads `len` bytes at `addr` from each DPU
+    /// (stage 3 of the UpDLRM pipeline). Returns one buffer per request
+    /// in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bounds/alignment errors and unknown DPU ids.
+    pub fn gather(
+        &self,
+        requests: &[(DpuId, u32, usize)],
+    ) -> Result<(Vec<Vec<u8>>, TransferReport)> {
+        let mut out = Vec::with_capacity(requests.len());
+        for (id, addr, len) in requests {
+            let dpu = self.dpu(*id)?;
+            let mut buf = vec![0u8; *len];
+            dpu.mram().host_read(*addr, &mut buf)?;
+            out.push(buf);
+        }
+        let report = self.time_transfer(requests.iter().map(|(_, _, l)| *l), false);
+        Ok((out, report))
+    }
+
+    fn time_transfer(&self, lens: impl Iterator<Item = usize> + Clone, to_mram: bool) -> TransferReport {
+        let cost = &self.config.cost;
+        let per_byte = if to_mram {
+            cost.host_to_mram_ns_per_byte
+        } else {
+            cost.mram_to_host_ns_per_byte
+        };
+        let mut total: u64 = 0;
+        let mut n = 0usize;
+        let mut first: Option<usize> = None;
+        let mut uniform = true;
+        let mut max_len = 0usize;
+        for len in lens {
+            total += len as u64;
+            n += 1;
+            max_len = max_len.max(len);
+            match first {
+                None => first = Some(len),
+                Some(f) if f != len => uniform = false,
+                _ => {}
+            }
+        }
+        if n == 0 {
+            return TransferReport::default();
+        }
+        let _ = max_len;
+        let wall_ns = if uniform {
+            cost.host_transfer_base_ns + total as f64 * per_byte
+        } else {
+            cost.host_transfer_base_ns + total as f64 * per_byte / cost.ragged_bw_factor
+        };
+        TransferReport {
+            wall_ns,
+            bytes: total,
+            buffers: n,
+            parallel: uniform,
+            energy_pj: total as f64 * cost.host_pj_per_byte,
+        }
+    }
+
+    /// Launches `kernel` on the given DPUs with the configured tasklet
+    /// count. DPUs execute in parallel: the report's wall time is the
+    /// slowest DPU's time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel faults and unknown DPU ids.
+    pub fn launch<K: Kernel + ?Sized>(&mut self, ids: &[DpuId], kernel: &K) -> Result<LaunchReport> {
+        let tasklets = self.config.tasklets;
+        let cost = self.config.cost.clone();
+        let mut per_dpu = Vec::with_capacity(ids.len());
+        let mut wall = Cycles::ZERO;
+        let mut energy = 0.0;
+        for &id in ids {
+            let dpu = self.dpu_mut(id)?;
+            let stats = dpu.launch(kernel, tasklets, &cost)?;
+            wall = wall.max(stats.cycles);
+            energy += stats.energy_pj;
+            per_dpu.push((id, stats));
+        }
+        Ok(LaunchReport {
+            wall_cycles: wall,
+            wall_ns: cost.cycles_to_ns(wall),
+            per_dpu,
+            energy_pj: energy,
+        })
+    }
+
+    /// Launches `kernel` on *all* DPUs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel faults.
+    pub fn launch_all<K: Kernel + ?Sized>(&mut self, kernel: &K) -> Result<LaunchReport> {
+        let ids: Vec<DpuId> = self.dpu_ids().collect();
+        self.launch(&ids, kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpu::TaskletCtx;
+
+    struct Nop;
+    impl Kernel for Nop {
+        fn run(&self, ctx: &mut TaskletCtx<'_>) -> Result<()> {
+            ctx.charge_instrs(10);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn rejects_zero_dpus() {
+        assert!(PimSystem::new(PimConfig::new(0, 14)).is_err());
+        assert!(PimSystem::new(PimConfig::new(4, 0)).is_err());
+        assert!(PimSystem::new(PimConfig::new(4, 25)).is_err());
+    }
+
+    #[test]
+    fn uniform_scatter_is_parallel_ragged_is_sequential() {
+        let mut sys = PimSystem::new(PimConfig::new(4, 14)).unwrap();
+        let buf = vec![0u8; 1024];
+        let uniform: Vec<(DpuId, u32, &[u8])> =
+            (0..4).map(|i| (DpuId(i), 0, buf.as_slice())).collect();
+        let r_uniform = sys.scatter(&uniform).unwrap();
+        assert!(r_uniform.parallel);
+
+        let small = vec![0u8; 8];
+        let ragged: Vec<(DpuId, u32, &[u8])> = vec![
+            (DpuId(0), 0, buf.as_slice()),
+            (DpuId(1), 0, buf.as_slice()),
+            (DpuId(2), 0, buf.as_slice()),
+            (DpuId(3), 0, small.as_slice()),
+        ];
+        let r_ragged = sys.scatter(&ragged).unwrap();
+        assert!(!r_ragged.parallel);
+        // Sequential 3*1024+8 bytes beats parallel max(1024) in bytes but
+        // costs more time.
+        assert!(r_ragged.wall_ns > r_uniform.wall_ns);
+    }
+
+    #[test]
+    fn gather_returns_loaded_data() {
+        let mut sys = PimSystem::new(PimConfig::new(2, 2)).unwrap();
+        sys.load_mram(DpuId(0), 0, &[1u8; 16]).unwrap();
+        sys.load_mram(DpuId(1), 0, &[2u8; 16]).unwrap();
+        let (bufs, rep) = sys.gather(&[(DpuId(0), 0, 16), (DpuId(1), 0, 16)]).unwrap();
+        assert_eq!(bufs[0], vec![1u8; 16]);
+        assert_eq!(bufs[1], vec![2u8; 16]);
+        assert!(rep.parallel);
+        assert_eq!(rep.bytes, 32);
+    }
+
+    #[test]
+    fn launch_wall_time_is_max_over_dpus() {
+        struct Skewed;
+        impl Kernel for Skewed {
+            fn run(&self, ctx: &mut TaskletCtx<'_>) -> Result<()> {
+                // dpu0 does 10x the work of dpu1.
+                let w = if ctx.dpu_id() == DpuId(0) { 10_000 } else { 1_000 };
+                ctx.charge_instrs(w);
+                Ok(())
+            }
+        }
+        let mut sys = PimSystem::new(PimConfig::new(2, 14)).unwrap();
+        let rep = sys.launch_all(&Skewed).unwrap();
+        let c0 = rep.per_dpu[0].1.cycles;
+        let c1 = rep.per_dpu[1].1.cycles;
+        assert!(c0 > c1);
+        assert_eq!(rep.wall_cycles, c0);
+        assert!(rep.imbalance() > 1.5);
+    }
+
+    #[test]
+    fn unknown_dpu_is_reported() {
+        let mut sys = PimSystem::new(PimConfig::new(2, 2)).unwrap();
+        assert!(matches!(
+            sys.load_mram(DpuId(7), 0, &[0u8; 8]),
+            Err(SimError::UnknownDpu { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_transfer_report_is_zero() {
+        let mut sys = PimSystem::new(PimConfig::new(1, 1)).unwrap();
+        let rep = sys.scatter(&[]).unwrap();
+        assert_eq!(rep.bytes, 0);
+        assert_eq!(rep.wall_ns, 0.0);
+        let _ = sys.launch(&[], &Nop).unwrap();
+    }
+}

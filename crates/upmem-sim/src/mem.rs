@@ -1,0 +1,325 @@
+//! Functional memory components of one DPU: the 64 MB MRAM bank and the
+//! 64 KB WRAM scratchpad.
+//!
+//! Both memories hold real bytes — kernels running on the simulator
+//! compute real results, which downstream crates check against a pure-CPU
+//! reference. MRAM storage is grown on demand so that simulating 256 DPUs
+//! does not eagerly commit 16 GB of host memory.
+
+use crate::arch::{DMA_ALIGN, DMA_MAX_TRANSFER, MRAM_CAPACITY, WRAM_CAPACITY};
+use crate::error::{Result, SimError};
+
+/// One DPU's 64 MB DRAM bank.
+///
+/// All accesses go through DMA-shaped read/write methods that enforce the
+/// hardware's alignment (8 B) and size (≤ 2048 B) rules. The backing
+/// storage grows lazily up to [`MRAM_CAPACITY`].
+#[derive(Debug, Clone, Default)]
+pub struct Mram {
+    data: Vec<u8>,
+}
+
+impl Mram {
+    /// Creates an empty MRAM bank.
+    pub fn new() -> Self {
+        Mram { data: Vec::new() }
+    }
+
+    /// Bytes currently committed (high-water mark of writes).
+    pub fn committed(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Validates a DMA request against alignment, size and capacity rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`SimError`] for an empty, unaligned,
+    /// oversized or out-of-bounds transfer.
+    pub fn check_dma(addr: u32, len: usize) -> Result<()> {
+        if len == 0 {
+            return Err(SimError::EmptyDma);
+        }
+        if len > DMA_MAX_TRANSFER {
+            return Err(SimError::DmaTooLarge { len });
+        }
+        if !(addr as usize).is_multiple_of(DMA_ALIGN) || !len.is_multiple_of(DMA_ALIGN) {
+            return Err(SimError::UnalignedDma { addr, len });
+        }
+        let end = addr as usize + len;
+        if end > MRAM_CAPACITY {
+            return Err(SimError::MramOutOfBounds { addr, len, capacity: MRAM_CAPACITY });
+        }
+        Ok(())
+    }
+
+    fn ensure(&mut self, end: usize) {
+        if self.data.len() < end {
+            self.data.resize(end, 0);
+        }
+    }
+
+    /// DMA read of `buf.len()` bytes starting at `addr` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transfer violates DMA rules (see [`Mram::check_dma`]).
+    pub fn dma_read(&self, addr: u32, buf: &mut [u8]) -> Result<()> {
+        Self::check_dma(addr, buf.len())?;
+        let start = addr as usize;
+        let end = start + buf.len();
+        if end <= self.data.len() {
+            buf.copy_from_slice(&self.data[start..end]);
+        } else if start >= self.data.len() {
+            buf.fill(0);
+        } else {
+            let n = self.data.len() - start;
+            buf[..n].copy_from_slice(&self.data[start..]);
+            buf[n..].fill(0);
+        }
+        Ok(())
+    }
+
+    /// DMA write of `buf` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transfer violates DMA rules (see [`Mram::check_dma`]).
+    pub fn dma_write(&mut self, addr: u32, buf: &[u8]) -> Result<()> {
+        Self::check_dma(addr, buf.len())?;
+        let start = addr as usize;
+        self.ensure(start + buf.len());
+        self.data[start..start + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Host-side bulk write (CPU→MRAM), free of per-DMA size limits but
+    /// still 8-byte aligned and bounded by capacity.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unaligned or out-of-bounds writes.
+    pub fn host_write(&mut self, addr: u32, buf: &[u8]) -> Result<()> {
+        if !(addr as usize).is_multiple_of(DMA_ALIGN) {
+            return Err(SimError::UnalignedDma { addr, len: buf.len() });
+        }
+        let end = addr as usize + buf.len();
+        if end > MRAM_CAPACITY {
+            return Err(SimError::MramOutOfBounds { addr, len: buf.len(), capacity: MRAM_CAPACITY });
+        }
+        self.ensure(end);
+        self.data[addr as usize..end].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Host-side bulk read (MRAM→CPU).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unaligned or out-of-bounds reads.
+    pub fn host_read(&self, addr: u32, buf: &mut [u8]) -> Result<()> {
+        if !(addr as usize).is_multiple_of(DMA_ALIGN) {
+            return Err(SimError::UnalignedDma { addr, len: buf.len() });
+        }
+        let start = addr as usize;
+        let end = start + buf.len();
+        if end > MRAM_CAPACITY {
+            return Err(SimError::MramOutOfBounds { addr, len: buf.len(), capacity: MRAM_CAPACITY });
+        }
+        if end <= self.data.len() {
+            buf.copy_from_slice(&self.data[start..end]);
+        } else if start >= self.data.len() {
+            buf.fill(0);
+        } else {
+            let n = self.data.len() - start;
+            buf[..n].copy_from_slice(&self.data[start..]);
+            buf[n..].fill(0);
+        }
+        Ok(())
+    }
+}
+
+/// One DPU's 64 KB scratchpad.
+///
+/// Kernels receive disjoint per-tasklet views of this memory; the
+/// simulator does not model WRAM access latency separately because WRAM
+/// accesses complete within the pipeline (they are covered by the
+/// per-instruction cost).
+#[derive(Debug, Clone)]
+pub struct Wram {
+    data: Box<[u8]>,
+}
+
+impl Default for Wram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Wram {
+    /// Creates a zeroed 64 KB scratchpad.
+    pub fn new() -> Self {
+        Wram { data: vec![0u8; WRAM_CAPACITY].into_boxed_slice() }
+    }
+
+    /// Total capacity in bytes (64 KB).
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reads `buf.len()` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range exceeds the scratchpad.
+    pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
+        let end = offset.checked_add(buf.len()).filter(|&e| e <= self.data.len());
+        match end {
+            Some(end) => {
+                buf.copy_from_slice(&self.data[offset..end]);
+                Ok(())
+            }
+            None => Err(SimError::WramOutOfBounds { offset, len: buf.len() }),
+        }
+    }
+
+    /// Writes `buf` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range exceeds the scratchpad.
+    pub fn write(&mut self, offset: usize, buf: &[u8]) -> Result<()> {
+        let end = offset.checked_add(buf.len()).filter(|&e| e <= self.data.len());
+        match end {
+            Some(end) => {
+                self.data[offset..end].copy_from_slice(buf);
+                Ok(())
+            }
+            None => Err(SimError::WramOutOfBounds { offset, len: buf.len() }),
+        }
+    }
+
+    /// Mutable view of a sub-range, used to hand tasklets disjoint slices.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range exceeds the scratchpad.
+    pub fn slice_mut(&mut self, offset: usize, len: usize) -> Result<&mut [u8]> {
+        let end = offset.checked_add(len).filter(|&e| e <= self.data.len());
+        match end {
+            Some(end) => Ok(&mut self.data[offset..end]),
+            None => Err(SimError::WramOutOfBounds { offset, len }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_round_trip() {
+        let mut m = Mram::new();
+        let src = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        m.dma_write(16, &src).unwrap();
+        let mut dst = [0u8; 8];
+        m.dma_read(16, &mut dst).unwrap();
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn dma_rejects_unaligned() {
+        let m = Mram::new();
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            m.dma_read(4, &mut buf),
+            Err(SimError::UnalignedDma { addr: 4, len: 8 })
+        );
+        let mut buf7 = [0u8; 7];
+        assert!(matches!(m.dma_read(0, &mut buf7), Err(SimError::UnalignedDma { .. })));
+    }
+
+    #[test]
+    fn dma_rejects_oversized() {
+        let m = Mram::new();
+        let mut buf = vec![0u8; 2056];
+        assert_eq!(m.dma_read(0, &mut buf), Err(SimError::DmaTooLarge { len: 2056 }));
+    }
+
+    #[test]
+    fn dma_rejects_empty() {
+        let m = Mram::new();
+        let mut buf = [0u8; 0];
+        assert_eq!(m.dma_read(0, &mut buf), Err(SimError::EmptyDma));
+    }
+
+    #[test]
+    fn dma_rejects_out_of_bounds() {
+        let m = Mram::new();
+        let mut buf = [0u8; 16];
+        let addr = (MRAM_CAPACITY - 8) as u32;
+        assert!(matches!(
+            m.dma_read(addr, &mut buf),
+            Err(SimError::MramOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn unwritten_mram_reads_zero() {
+        let m = Mram::new();
+        let mut buf = [0xAAu8; 16];
+        m.dma_read(1024, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn lazy_growth_tracks_high_water_mark() {
+        let mut m = Mram::new();
+        assert_eq!(m.committed(), 0);
+        m.host_write(1 << 20, &[1u8; 64]).unwrap();
+        assert_eq!(m.committed(), (1 << 20) + 64);
+        assert!(m.committed() < MRAM_CAPACITY);
+    }
+
+    #[test]
+    fn host_rw_round_trip_straddling_committed_edge() {
+        let mut m = Mram::new();
+        m.host_write(0, &[7u8; 8]).unwrap();
+        let mut out = [0u8; 16];
+        m.host_read(0, &mut out).unwrap();
+        assert_eq!(&out[..8], &[7u8; 8]);
+        assert_eq!(&out[8..], &[0u8; 8]);
+    }
+
+    #[test]
+    fn wram_round_trip_and_bounds() {
+        let mut w = Wram::new();
+        w.write(100, &[9u8; 4]).unwrap();
+        let mut out = [0u8; 4];
+        w.read(100, &mut out).unwrap();
+        assert_eq!(out, [9u8; 4]);
+        assert!(matches!(
+            w.write(WRAM_CAPACITY - 2, &[0u8; 4]),
+            Err(SimError::WramOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn wram_slice_mut_is_disjoint_view() {
+        let mut w = Wram::new();
+        {
+            let s = w.slice_mut(0, 8).unwrap();
+            s.copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        }
+        let mut out = [0u8; 8];
+        w.read(0, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn wram_overflow_offset_does_not_panic() {
+        let w = Wram::new();
+        let mut buf = [0u8; 8];
+        assert!(w.read(usize::MAX - 2, &mut buf).is_err());
+    }
+}

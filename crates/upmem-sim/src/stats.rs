@@ -1,0 +1,158 @@
+//! Execution and transfer statistics reported by the simulator.
+
+use crate::arch::{Cycles, DpuId};
+
+/// Per-tasklet counters accumulated while a kernel runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskletStats {
+    /// Pipeline instructions issued by this tasklet.
+    pub instrs: u64,
+    /// Cycles this tasklet spent blocked on MRAM DMA (latency view).
+    pub dma_cycles: u64,
+    /// Cycles the shared DMA engine was occupied by this tasklet's
+    /// transfers (serialization view).
+    pub dma_engine_cycles: u64,
+    /// Number of MRAM DMA transfers issued.
+    pub dma_transfers: u64,
+    /// Bytes moved over the MRAM DMA engine.
+    pub dma_bytes: u64,
+}
+
+impl TaskletStats {
+    /// Merges another tasklet's counters into this one.
+    pub fn merge(&mut self, other: &TaskletStats) {
+        self.instrs += other.instrs;
+        self.dma_cycles += other.dma_cycles;
+        self.dma_engine_cycles += other.dma_engine_cycles;
+        self.dma_transfers += other.dma_transfers;
+        self.dma_bytes += other.dma_bytes;
+    }
+}
+
+/// Result of running one kernel launch on one DPU.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DpuRunStats {
+    /// Modeled wall-clock cycles for the launch on this DPU.
+    pub cycles: Cycles,
+    /// Aggregate counters over all tasklets.
+    pub totals: TaskletStats,
+    /// Per-tasklet counters (length = tasklets used by the launch).
+    pub per_tasklet: Vec<TaskletStats>,
+    /// Modeled DPU-side energy in picojoules.
+    pub energy_pj: f64,
+}
+
+/// Result of a kernel launch across a set of DPUs (they execute in
+/// parallel, so the wall time is the slowest DPU).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaunchReport {
+    /// Wall-clock cycles: maximum over the launched DPUs.
+    pub wall_cycles: Cycles,
+    /// Wall-clock time in nanoseconds.
+    pub wall_ns: f64,
+    /// Per-DPU run statistics, in launch order.
+    pub per_dpu: Vec<(DpuId, DpuRunStats)>,
+    /// Total modeled energy across DPUs (picojoules).
+    pub energy_pj: f64,
+}
+
+impl LaunchReport {
+    /// Sum of instructions over all DPUs.
+    pub fn total_instrs(&self) -> u64 {
+        self.per_dpu.iter().map(|(_, s)| s.totals.instrs).sum()
+    }
+
+    /// Sum of MRAM DMA bytes over all DPUs.
+    pub fn total_dma_bytes(&self) -> u64 {
+        self.per_dpu.iter().map(|(_, s)| s.totals.dma_bytes).sum()
+    }
+
+    /// Sum of MRAM DMA transfers over all DPUs.
+    pub fn total_dma_transfers(&self) -> u64 {
+        self.per_dpu.iter().map(|(_, s)| s.totals.dma_transfers).sum()
+    }
+
+    /// Cycle-imbalance ratio: slowest DPU over mean DPU (1.0 = perfectly
+    /// balanced). Returns 1.0 for an empty launch.
+    pub fn imbalance(&self) -> f64 {
+        if self.per_dpu.is_empty() {
+            return 1.0;
+        }
+        let max = self.per_dpu.iter().map(|(_, s)| s.cycles.0).max().unwrap_or(0) as f64;
+        let mean = self.per_dpu.iter().map(|(_, s)| s.cycles.0).sum::<u64>() as f64
+            / self.per_dpu.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Timing of one host⇄MRAM transfer phase (stage 1 or stage 3 of the
+/// UpDLRM pipeline).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransferReport {
+    /// Wall-clock nanoseconds for the phase.
+    pub wall_ns: f64,
+    /// Total bytes moved across all DPUs.
+    pub bytes: u64,
+    /// Number of per-DPU buffers in the phase.
+    pub buffers: usize,
+    /// Whether the buffers were all the same size and therefore moved in
+    /// parallel (the UPMEM rank transfer rule, paper §2.2).
+    pub parallel: bool,
+    /// Modeled host-link energy in picojoules.
+    pub energy_pj: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TaskletStats {
+            instrs: 1,
+            dma_cycles: 2,
+            dma_engine_cycles: 2,
+            dma_transfers: 3,
+            dma_bytes: 4,
+        };
+        let b = TaskletStats {
+            instrs: 10,
+            dma_cycles: 20,
+            dma_engine_cycles: 20,
+            dma_transfers: 30,
+            dma_bytes: 40,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            TaskletStats {
+                instrs: 11,
+                dma_cycles: 22,
+                dma_engine_cycles: 22,
+                dma_transfers: 33,
+                dma_bytes: 44,
+            }
+        );
+    }
+
+    #[test]
+    fn imbalance_of_empty_launch_is_one() {
+        assert_eq!(LaunchReport::default().imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let mk = |c: u64| DpuRunStats { cycles: Cycles(c), ..Default::default() };
+        let r = LaunchReport {
+            wall_cycles: Cycles(300),
+            wall_ns: 0.0,
+            per_dpu: vec![(DpuId(0), mk(100)), (DpuId(1), mk(300))],
+            energy_pj: 0.0,
+        };
+        assert!((r.imbalance() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the UPMEM simulator's architectural laws.
+
+use proptest::prelude::*;
+use upmem_sim::arch::{DMA_MAX_TRANSFER, MRAM_CAPACITY};
+use upmem_sim::{CostModel, Mram, Wram};
+
+proptest! {
+    /// Any aligned, sized, in-bounds DMA write is readable back verbatim.
+    #[test]
+    fn dma_write_read_round_trip(
+        addr_blk in 0u32..1024,
+        len_blk in 1usize..=(DMA_MAX_TRANSFER / 8),
+        seed in any::<u8>(),
+    ) {
+        let addr = addr_blk * 8;
+        let len = len_blk * 8;
+        let mut m = Mram::new();
+        let data: Vec<u8> = (0..len).map(|i| seed.wrapping_add(i as u8)).collect();
+        m.dma_write(addr, &data).unwrap();
+        let mut out = vec![0u8; len];
+        m.dma_read(addr, &mut out).unwrap();
+        prop_assert_eq!(data, out);
+    }
+
+    /// DMA validation accepts exactly the hardware-legal requests.
+    #[test]
+    fn dma_check_matches_hardware_rules(addr in 0u32..=(MRAM_CAPACITY as u32), len in 0usize..4096) {
+        let ok = Mram::check_dma(addr, len).is_ok();
+        let legal = len > 0
+            && len <= DMA_MAX_TRANSFER
+            && (addr as usize).is_multiple_of(8)
+            && len % 8 == 0
+            && addr as usize + len <= MRAM_CAPACITY;
+        prop_assert_eq!(ok, legal);
+    }
+
+    /// Writes to disjoint regions never interfere.
+    #[test]
+    fn disjoint_writes_do_not_interfere(a_blk in 0u32..512, b_off in 1u32..512) {
+        let a = a_blk * 8;
+        let b = a + b_off * 8 + 8; // disjoint, both 8-byte regions
+        let mut m = Mram::new();
+        m.dma_write(a, &[0x11; 8]).unwrap();
+        m.dma_write(b, &[0x22; 8]).unwrap();
+        let mut ra = [0u8; 8];
+        let mut rb = [0u8; 8];
+        m.dma_read(a, &mut ra).unwrap();
+        m.dma_read(b, &mut rb).unwrap();
+        prop_assert_eq!(ra, [0x11; 8]);
+        prop_assert_eq!(rb, [0x22; 8]);
+    }
+
+    /// The DMA latency curve is monotonically non-decreasing in size.
+    #[test]
+    fn dma_latency_monotonic(a in 1usize..=256, b in 1usize..=256) {
+        let m = CostModel::default();
+        let (small, large) = (a.min(b) * 8, a.max(b) * 8);
+        prop_assert!(m.dma_nanos(small) <= m.dma_nanos(large));
+    }
+
+    /// WRAM round trip for arbitrary in-bounds ranges.
+    #[test]
+    fn wram_round_trip(off in 0usize..60_000, len in 1usize..4096) {
+        let mut w = Wram::new();
+        if off + len <= w.capacity() {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            w.write(off, &data).unwrap();
+            let mut out = vec![0u8; len];
+            w.read(off, &mut out).unwrap();
+            prop_assert_eq!(data, out);
+        } else {
+            prop_assert!(w.write(off, &vec![0u8; len]).is_err());
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Multi-hot trace synthesis.
+//!
+//! Generates the inference request stream a recommendation service
+//! would see: batches of samples, each carrying one multi-hot index
+//! list per embedding table. Index draws follow the spec's Zipf
+//! popularity with planted co-occurrence clusters (so that partial-sum
+//! cache mining has real structure to discover), and per-sample list
+//! lengths average to the spec's `Avg.Reduction`.
+
+use crate::spec::DatasetSpec;
+use crate::zipf::ZipfSampler;
+use dlrm_model::{QueryBatch, SparseInput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Shape of a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TraceConfig {
+    /// Embedding tables per model (the paper duplicates each dataset
+    /// into 8 EMTs).
+    pub num_tables: usize,
+    /// Samples per batch (the paper uses 64).
+    pub batch_size: usize,
+    /// Number of batches (the paper samples 12,800 inferences = 200
+    /// batches of 64).
+    pub num_batches: usize,
+    /// Dense features per sample (13, Criteo-style).
+    pub num_dense: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { num_tables: 8, batch_size: 64, num_batches: 10, num_dense: 13, seed: 0xDA7A }
+    }
+}
+
+impl TraceConfig {
+    /// The paper's evaluation shape: 8 tables, batch 64, 12,800
+    /// inferences (200 batches).
+    pub fn paper_eval(seed: u64) -> Self {
+        TraceConfig { num_tables: 8, batch_size: 64, num_batches: 200, num_dense: 13, seed }
+    }
+}
+
+/// A generated workload: the spec it came from plus the request batches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Originating dataset specification.
+    pub spec: DatasetSpec,
+    /// Generation parameters.
+    pub config: TraceConfig,
+    /// The request stream.
+    pub batches: Vec<QueryBatch>,
+}
+
+impl Workload {
+    /// Synthesizes a workload from `spec` deterministically in
+    /// `config.seed`.
+    pub fn generate(spec: &DatasetSpec, config: TraceConfig) -> Workload {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let item_sampler = ZipfSampler::new(spec.num_items, spec.zipf_theta);
+        let cluster_sampler = ClusterPlan::new(spec);
+
+        let mut batches = Vec::with_capacity(config.num_batches);
+        for _ in 0..config.num_batches {
+            let dense: Vec<f32> = (0..config.batch_size * config.num_dense)
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect();
+            let sparse: Vec<SparseInput> = (0..config.num_tables)
+                .map(|_| {
+                    SparseInput::from_samples(
+                        (0..config.batch_size)
+                            .map(|_| {
+                                sample_multi_hot(spec, &item_sampler, &cluster_sampler, &mut rng)
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            batches.push(
+                QueryBatch::new(dense, config.num_dense, sparse)
+                    .expect("generated batches are valid by construction"),
+            );
+        }
+        Workload { spec: spec.clone(), config, batches }
+    }
+
+    /// Total lookups across all batches and tables.
+    pub fn total_lookups(&self) -> usize {
+        self.batches
+            .iter()
+            .map(|b| b.sparse.iter().map(SparseInput::total_lookups).sum::<usize>())
+            .sum()
+    }
+
+    /// Empirical average reduction over the generated trace.
+    pub fn measured_avg_reduction(&self) -> f64 {
+        let samples: usize = self
+            .batches
+            .iter()
+            .map(|b| b.sparse.iter().map(SparseInput::batch_size).sum::<usize>())
+            .sum();
+        if samples == 0 {
+            0.0
+        } else {
+            self.total_lookups() as f64 / samples as f64
+        }
+    }
+
+    /// Iterator over all sparse inputs of one table across batches.
+    pub fn table_inputs(&self, table: usize) -> impl Iterator<Item = &SparseInput> + '_ {
+        self.batches.iter().map(move |b| &b.sparse[table])
+    }
+}
+
+/// Where the planted co-occurrence clusters live in the item space.
+#[derive(Debug)]
+struct ClusterPlan {
+    /// Number of clusters (0 disables co-occurrence).
+    num_clusters: usize,
+    cluster_size: usize,
+    cluster_rate: f64,
+    sampler: Option<ZipfSampler>,
+}
+
+impl ClusterPlan {
+    fn new(spec: &DatasetSpec) -> ClusterPlan {
+        let clustered_items =
+            (spec.num_items as f64 * spec.cooccur.clustered_fraction) as usize;
+        let num_clusters = clustered_items / spec.cooccur.cluster_size.max(1);
+        let sampler = (num_clusters > 0 && spec.cooccur.cluster_rate > 0.0)
+            .then(|| ZipfSampler::new(num_clusters, spec.zipf_theta.max(0.5)));
+        ClusterPlan {
+            num_clusters,
+            cluster_size: spec.cooccur.cluster_size,
+            cluster_rate: spec.cooccur.cluster_rate,
+            sampler,
+        }
+    }
+
+    /// Items of cluster `c`: consecutive ids among the most popular.
+    fn members(&self, c: u64) -> impl Iterator<Item = u64> {
+        let start = c * self.cluster_size as u64;
+        start..start + self.cluster_size as u64
+    }
+}
+
+/// Draws one sample's distinct multi-hot index list.
+fn sample_multi_hot(
+    spec: &DatasetSpec,
+    items: &ZipfSampler,
+    clusters: &ClusterPlan,
+    rng: &mut StdRng,
+) -> Vec<u64> {
+    // Per-sample length: uniform in [0.5, 1.5] * avg so the mean matches
+    // the spec while lengths vary as in real traces.
+    let target = (spec.avg_reduction * rng.random_range(0.5..1.5)).round().max(1.0) as usize;
+    let target = target.min(spec.num_items);
+    let mut out = Vec::with_capacity(target);
+    let mut seen = HashSet::with_capacity(target * 2);
+    let mut attempts = 0usize;
+    let max_attempts = target * 20 + 64;
+    while out.len() < target && attempts < max_attempts {
+        attempts += 1;
+        let take_cluster = clusters
+            .sampler
+            .as_ref()
+            .is_some_and(|_| rng.random_bool(clusters.cluster_rate));
+        if take_cluster {
+            let c = clusters.sampler.as_ref().expect("checked").sample(rng);
+            debug_assert!((c as usize) < clusters.num_clusters);
+            for item in clusters.members(c) {
+                if out.len() >= target {
+                    break;
+                }
+                if seen.insert(item) {
+                    out.push(item);
+                }
+            }
+        } else {
+            let item = items.sample(rng);
+            if seen.insert(item) {
+                out.push(item);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> DatasetSpec {
+        DatasetSpec::goodreads().scaled_down(1000) // 2360 items
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = small_spec();
+        let cfg = TraceConfig { num_batches: 2, ..TraceConfig::default() };
+        let a = Workload::generate(&spec, cfg);
+        let b = Workload::generate(&spec, cfg);
+        assert_eq!(a.batches, b.batches);
+    }
+
+    #[test]
+    fn measured_reduction_tracks_spec() {
+        let spec = small_spec();
+        let cfg = TraceConfig { num_batches: 6, ..TraceConfig::default() };
+        let w = Workload::generate(&spec, cfg);
+        let measured = w.measured_avg_reduction();
+        assert!(
+            (measured - spec.avg_reduction).abs() < spec.avg_reduction * 0.15,
+            "measured {measured} vs spec {}",
+            spec.avg_reduction
+        );
+    }
+
+    #[test]
+    fn indices_in_range_and_distinct_per_sample() {
+        let spec = small_spec();
+        let w = Workload::generate(&spec, TraceConfig { num_batches: 2, ..TraceConfig::default() });
+        for b in &w.batches {
+            for s in &b.sparse {
+                for sample_idx in 0..s.batch_size() {
+                    let sample = s.sample(sample_idx);
+                    assert!(sample.iter().all(|&i| (i as usize) < spec.num_items));
+                    let set: HashSet<u64> = sample.iter().copied().collect();
+                    assert_eq!(set.len(), sample.len(), "duplicate index in sample");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let spec = small_spec();
+        let cfg = TraceConfig { num_tables: 3, batch_size: 16, num_batches: 4, num_dense: 5, seed: 1 };
+        let w = Workload::generate(&spec, cfg);
+        assert_eq!(w.batches.len(), 4);
+        for b in &w.batches {
+            assert_eq!(b.sparse.len(), 3);
+            assert_eq!(b.batch_size(), 16);
+            assert_eq!(b.dense.len(), 16 * 5);
+        }
+    }
+
+    #[test]
+    fn balanced_synthetic_has_no_skew() {
+        // With theta = 0 the most popular block should see roughly the
+        // same traffic as the least popular one.
+        let spec = DatasetSpec::balanced_synthetic(1024, 40.0);
+        let w = Workload::generate(&spec, TraceConfig { num_batches: 8, ..TraceConfig::default() });
+        let mut counts = vec![0u64; 1024];
+        for b in &w.batches {
+            for s in &b.sparse {
+                for &i in &s.indices {
+                    counts[i as usize] += 1;
+                }
+            }
+        }
+        let head: u64 = counts[..128].iter().sum();
+        let tail: u64 = counts[896..].iter().sum();
+        let ratio = head as f64 / tail.max(1) as f64;
+        assert!(ratio < 1.5, "balanced trace too skewed: {ratio}");
+    }
+
+    #[test]
+    fn cooccurrence_is_planted() {
+        // Items of the same cluster should co-occur far more often than
+        // random pairs: check pair (0, 1) vs (0, large non-cluster id).
+        let mut spec = small_spec();
+        spec.cooccur.cluster_rate = 0.6;
+        let w = Workload::generate(&spec, TraceConfig { num_batches: 8, ..TraceConfig::default() });
+        let mut co01 = 0u64;
+        let mut co0x = 0u64;
+        let far = (spec.num_items - 10) as u64;
+        for b in &w.batches {
+            for s in &b.sparse {
+                for smp in s.iter() {
+                    let has0 = smp.contains(&0);
+                    if has0 && smp.contains(&1) {
+                        co01 += 1;
+                    }
+                    if has0 && smp.contains(&far) {
+                        co0x += 1;
+                    }
+                }
+            }
+        }
+        assert!(co01 > co0x * 3, "cluster pair co-occurs {co01}, random pair {co0x}");
+    }
+
+    #[test]
+    fn paper_eval_config_is_12800_inferences() {
+        let c = TraceConfig::paper_eval(0);
+        assert_eq!(c.batch_size * c.num_batches, 12_800);
+        assert_eq!(c.num_tables, 8);
+    }
+}

@@ -1,0 +1,152 @@
+//! Seeded Zipf sampling over item ranks.
+//!
+//! Implemented from scratch (no `rand_distr`): an exact inverse-CDF
+//! sampler over a precomputed cumulative weight table with binary
+//! search. Build cost is O(N), sampling O(log N). `theta = 0` degrades
+//! to the uniform distribution; larger `theta` concentrates probability
+//! on low ranks (item 0 is the most popular by construction).
+
+use rand::Rng;
+
+/// Exact Zipf(θ) sampler over `0..n`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+    theta: f64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` items with exponent `theta >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf sampler needs at least one item");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be finite and >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-theta);
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative, theta }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the sampler has exactly one item.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// The exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one item in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let total = *self.cumulative.last().expect("nonempty");
+        let u = rng.random_range(0.0..total);
+        // First index whose cumulative weight exceeds u.
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        idx.min(self.cumulative.len() - 1) as u64
+    }
+
+    /// Probability mass of item `rank` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let total = *self.cumulative.last().expect("nonempty");
+        let w = ((rank + 1) as f64).powf(-self.theta);
+        w / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(theta: f64, n: usize, draws: usize) -> Vec<u64> {
+        let z = ZipfSampler::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut h = vec![0u64; n];
+        for _ in 0..draws {
+            h[z.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let h = histogram(0.0, 16, 64_000);
+        let expect = 4_000.0;
+        for &c in &h {
+            assert!((c as f64 - expect).abs() < expect * 0.15, "count {c} too far from {expect}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let h = histogram(1.2, 1000, 100_000);
+        // Rank 0 should dominate the tail by a large factor.
+        let head: u64 = h[..10].iter().sum();
+        let tail: u64 = h[990..].iter().sum();
+        assert!(head > tail * 50, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let h1 = histogram(0.6, 100, 50_000);
+        let h2 = histogram(1.4, 100, 50_000);
+        assert!(h2[0] > h1[0]);
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = ZipfSampler::new(7, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(50, 0.9);
+        let total: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let z = ZipfSampler::new(20, 1.1);
+        for r in 1..20 {
+            assert!(z.pmf(r) < z.pmf(r - 1));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

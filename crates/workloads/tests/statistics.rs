@@ -1,0 +1,132 @@
+//! Statistical integration tests for the workload generator: the
+//! synthesized traces must actually carry the properties the paper's
+//! algorithms exploit.
+
+use workloads::{DatasetSpec, FreqProfile, TraceConfig, Workload, ZipfSampler};
+
+fn chi_square_uniformity(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    let expect = total as f64 / counts.len() as f64;
+    counts.iter().map(|&c| (c as f64 - expect).powi(2) / expect).sum()
+}
+
+#[test]
+fn zipf_theta_zero_passes_a_coarse_uniformity_check() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let z = ZipfSampler::new(64, 0.0);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut counts = vec![0u64; 64];
+    for _ in 0..64_000 {
+        counts[z.sample(&mut rng) as usize] += 1;
+    }
+    // 63 degrees of freedom; the 99.9% quantile is ~103. Allow margin.
+    let chi2 = chi_square_uniformity(&counts);
+    assert!(chi2 < 120.0, "chi-square {chi2} too large for uniform");
+}
+
+#[test]
+fn zipf_empirical_frequency_follows_rank_power_law() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let theta = 1.0;
+    let z = ZipfSampler::new(1000, theta);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut counts = vec![0u64; 1000];
+    for _ in 0..400_000 {
+        counts[z.sample(&mut rng) as usize] += 1;
+    }
+    // Frequency ratio between ranks 1 and 10 should approximate 10^theta.
+    let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+    assert!(
+        (ratio / 10.0f64.powf(theta) - 1.0).abs() < 0.35,
+        "rank-1/rank-10 ratio {ratio} too far from {}",
+        10.0f64.powf(theta)
+    );
+}
+
+#[test]
+fn paper_six_traces_reproduce_their_reduction_targets() {
+    for spec in DatasetSpec::paper_six() {
+        let scaled = spec.scaled_down(2000);
+        let w = Workload::generate(
+            &scaled,
+            TraceConfig { num_batches: 3, ..TraceConfig::default() },
+        );
+        let measured = w.measured_avg_reduction();
+        assert!(
+            (measured - spec.avg_reduction).abs() < spec.avg_reduction * 0.15,
+            "{}: measured {measured} vs spec {}",
+            spec.short,
+            spec.avg_reduction
+        );
+    }
+}
+
+#[test]
+fn hotness_classes_order_their_skew() {
+    let skew_of = |spec: &DatasetSpec| {
+        let scaled = spec.scaled_down(2000);
+        let w = Workload::generate(
+            &scaled,
+            TraceConfig { num_batches: 4, ..TraceConfig::default() },
+        );
+        FreqProfile::from_inputs(scaled.num_items, w.table_inputs(0)).block_skew(8)
+    };
+    let low = skew_of(&DatasetSpec::amazon_clothes());
+    let high = skew_of(&DatasetSpec::goodreads());
+    assert!(
+        high > low * 1.5,
+        "high-hot skew {high} should clearly exceed low-hot {low}"
+    );
+    assert!(high > 8.0, "high-hot skew {high} should be strong even at test scale");
+}
+
+#[test]
+fn different_tables_get_independent_draws() {
+    let spec = DatasetSpec::movie().scaled_down(2000);
+    let w = Workload::generate(
+        &spec,
+        TraceConfig { num_tables: 2, num_batches: 1, ..TraceConfig::default() },
+    );
+    let b = &w.batches[0];
+    assert_ne!(
+        b.sparse[0].indices, b.sparse[1].indices,
+        "tables must not receive identical index streams"
+    );
+}
+
+#[test]
+fn seeds_change_traces_but_specs_do_not() {
+    let spec = DatasetSpec::twitch().scaled_down(2000);
+    let mk = |seed| {
+        Workload::generate(
+            &spec,
+            TraceConfig { num_batches: 1, seed, ..TraceConfig::default() },
+        )
+    };
+    let a = mk(1);
+    let b = mk(2);
+    assert_ne!(a.batches, b.batches);
+    assert_eq!(a.spec, b.spec);
+}
+
+#[test]
+fn save_load_round_trip_through_a_file() {
+    let spec = DatasetSpec::amazon_home().scaled_down(5000);
+    let w = Workload::generate(
+        &spec,
+        TraceConfig { num_tables: 2, num_batches: 2, ..TraceConfig::default() },
+    );
+    let dir = std::env::temp_dir().join("updlrm-io-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.upwl");
+    {
+        let mut f = std::fs::File::create(&path).expect("create");
+        w.save(&mut f).expect("save");
+    }
+    let mut f = std::fs::File::open(&path).expect("open");
+    let loaded = Workload::load(&mut f).expect("load");
+    assert_eq!(loaded.batches, w.batches);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,227 @@
+//! `updlrm` — command-line driver for the reproduction.
+//!
+//! ```text
+//! updlrm run   [--dataset read] [--backend updlrm|cpu|hybrid|fae|hetero]
+//!              [--strategy u|nu|ca|nur] [--dpus 256] [--nc auto|2|4|8]
+//!              [--scale 200] [--batches 10] [--seed 7]
+//! updlrm trace [--dataset movie] [--scale 200] [--batches 10] --out trace.upwl
+//! updlrm info  [--dataset read]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use updlrm::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  updlrm run   [--dataset TAG] [--backend updlrm|cpu|hybrid|fae|hetero] \
+         [--strategy u|nu|ca|nur] [--dpus N] [--nc auto|2|4|8] [--scale N] [--batches N] [--seed N]\n  \
+         updlrm trace [--dataset TAG] [--scale N] [--batches N] [--seed N] --out FILE\n  \
+         updlrm info  [--dataset TAG]\n\nTAG: clo home meta1 meta2 read read2 movie twitch"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut flags = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                match it.next() {
+                    Some(v) => {
+                        flags.insert(name.to_string(), v.clone());
+                    }
+                    None => usage(),
+                }
+            } else {
+                usage();
+            }
+        }
+        Args { flags }
+    }
+
+    fn str(&self, name: &str, default: &str) -> String {
+        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn num(&self, name: &str, default: usize) -> usize {
+        match self.flags.get(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{name} expects a number, got '{v}'");
+                std::process::exit(2)
+            }),
+        }
+    }
+}
+
+fn spec_or_exit(args: &Args) -> DatasetSpec {
+    let tag = args.str("dataset", "read");
+    match DatasetSpec::by_short_tag(&tag) {
+        Some(s) => s,
+        None => {
+            eprintln!("unknown dataset '{tag}'");
+            usage()
+        }
+    }
+}
+
+fn build_setting(args: &Args) -> Result<(DatasetSpec, Workload, Arc<Dlrm>), Box<dyn std::error::Error>> {
+    let spec = spec_or_exit(args).scaled_down(args.num("scale", 200));
+    let workload = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_batches: args.num("batches", 10),
+            seed: args.num("seed", 7) as u64,
+            ..TraceConfig::default()
+        },
+    );
+    let model = Arc::new(Dlrm::new(DlrmConfig {
+        num_dense: 13,
+        embedding_dim: 32,
+        table_rows: vec![spec.num_items; 8],
+        bottom_hidden: vec![64],
+        top_hidden: vec![64, 16],
+        seed: args.num("seed", 7) as u64,
+    })?);
+    Ok((spec, workload, model))
+}
+
+fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (spec, workload, model) = build_setting(args)?;
+    let profiles: Vec<FreqProfile> = (0..8)
+        .map(|t| FreqProfile::from_inputs(spec.num_items, workload.table_inputs(t)))
+        .collect();
+    let strategy = match args.str("strategy", "ca").as_str() {
+        "u" => PartitionStrategy::Uniform,
+        "nu" => PartitionStrategy::NonUniform,
+        "ca" => PartitionStrategy::CacheAware,
+        "nur" => PartitionStrategy::Replicated,
+        other => {
+            eprintln!("unknown strategy '{other}'");
+            usage()
+        }
+    };
+    let mut config = UpdlrmConfig::with_dpus(args.num("dpus", 256), strategy);
+    match args.str("nc", "auto").as_str() {
+        "auto" => {}
+        v => config.n_c = Some(v.parse()?),
+    }
+    let mem = CpuMemoryModel::default();
+    let mut backend: Box<dyn InferenceBackend> = match args.str("backend", "updlrm").as_str() {
+        "updlrm" => Box::new(UpdlrmBackend::from_workload(
+            config,
+            model.clone(),
+            &workload,
+            mem,
+        )?),
+        "cpu" => Box::new(DlrmCpu::new(model.clone(), &profiles, mem)?),
+        "hybrid" => Box::new(DlrmHybrid::new(model.clone(), &profiles, mem, GpuModel::default())?),
+        "fae" => Box::new(Fae::new(model.clone(), &profiles, mem, GpuModel::default(), 0.85)?),
+        "hetero" => Box::new(DpuGpuHetero::from_workload(
+            config,
+            model.clone(),
+            &workload,
+            GpuModel::default(),
+        )?),
+        other => {
+            eprintln!("unknown backend '{other}'");
+            usage()
+        }
+    };
+
+    println!(
+        "{} on {} ({} items/table, avg reduction {:.1}, {} batches of {})",
+        backend.name(),
+        spec.name,
+        spec.num_items,
+        workload.measured_avg_reduction(),
+        workload.batches.len(),
+        workload.config.batch_size,
+    );
+    let mut total = LatencyReport::default();
+    let mut breakdowns = Vec::new();
+    for batch in &workload.batches {
+        let (_, report) = backend.run_batch(batch)?;
+        if let Some(pim) = report.pim {
+            breakdowns.push(pim);
+        }
+        total.accumulate(&report);
+    }
+    let n = workload.batches.len() as f64;
+    println!("per-batch mean:");
+    println!("  embedding: {:10.1} us", total.embedding_ns / n / 1e3);
+    println!("  dense:     {:10.1} us", total.dense_ns / n / 1e3);
+    println!("  transfer:  {:10.1} us", total.transfer_ns / n / 1e3);
+    println!("  total:     {:10.1} us", total.total_ns() / n / 1e3);
+    if let Some(pim) = &total.pim {
+        let t = pim.total_ns();
+        println!(
+            "  PIM stages: s1 {:.0}% / s2 {:.0}% / s3 {:.0}%  (imbalance {:.2})",
+            100.0 * pim.stage1_ns / t,
+            100.0 * pim.stage2_ns / t,
+            100.0 * pim.stage3_ns / t,
+            pim.lookup_imbalance,
+        );
+        let pr = PipelineReport::from_batches(&breakdowns);
+        println!("  inter-batch pipelining would save {:.1}%", (1.0 - 1.0 / pr.speedup()) * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (spec, workload, _) = build_setting(args)?;
+    let out = args.flags.get("out").cloned().unwrap_or_else(|| usage());
+    let mut file = std::fs::File::create(&out)?;
+    workload.save(&mut file)?;
+    println!(
+        "wrote {} ({} batches, {} lookups, {} items/table) to {out}",
+        spec.name,
+        workload.batches.len(),
+        workload.total_lookups(),
+        spec.num_items,
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = spec_or_exit(args);
+    println!("{} ({})", spec.name, spec.short);
+    println!("  category:       {}", spec.hotness);
+    println!("  avg reduction:  {}", spec.avg_reduction);
+    println!("  items:          {}", spec.num_items);
+    println!("  zipf theta:     {}", spec.zipf_theta);
+    println!("  table size:     {:.1} MB at 32 dims", spec.table_bytes(32) as f64 / 1e6);
+    println!(
+        "  co-occurrence:  clusters of {}, rate {}, fraction {}",
+        spec.cooccur.cluster_size, spec.cooccur.cluster_rate, spec.cooccur.clustered_fraction
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        usage();
+    };
+    let args = Args::parse(rest);
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "trace" => cmd_trace(&args),
+        "info" => cmd_info(&args),
+        _ => usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Integration tests for the `updlrm` command-line binary.
+
+use std::process::Command;
+
+fn updlrm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_updlrm"))
+}
+
+#[test]
+fn info_prints_dataset_facts() {
+    let out = updlrm().args(["info", "--dataset", "read2"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GoodReads2"));
+    assert!(text.contains("374.08"));
+    assert!(text.contains("2360650"));
+}
+
+#[test]
+fn run_reports_latency_breakdown() {
+    let out = updlrm()
+        .args([
+            "run", "--dataset", "movie", "--strategy", "nu", "--dpus", "32", "--scale",
+            "1000", "--batches", "2",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("UpDLRM on Movie"));
+    assert!(text.contains("embedding:"));
+    assert!(text.contains("PIM stages"));
+}
+
+#[test]
+fn run_supports_every_backend() {
+    for backend in ["cpu", "hybrid", "fae"] {
+        let out = updlrm()
+            .args([
+                "run", "--dataset", "clo", "--backend", backend, "--scale", "2000",
+                "--batches", "1",
+            ])
+            .output()
+            .expect("run");
+        assert!(
+            out.status.success(),
+            "{backend}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn trace_round_trips_through_a_file() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("cli-trace.upwl");
+    let out = updlrm()
+        .args([
+            "trace", "--dataset", "twitch", "--scale", "2000", "--batches", "2", "--out",
+        ])
+        .arg(&path)
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let mut f = std::fs::File::open(&path).expect("trace file written");
+    let loaded = updlrm::workloads::Workload::load(&mut f).expect("valid UPWL file");
+    assert_eq!(loaded.batches.len(), 2);
+    assert_eq!(loaded.spec.name, "Twitch");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_arguments_exit_nonzero() {
+    let out = updlrm().args(["run", "--dataset", "nope"]).output().expect("run");
+    assert!(!out.status.success());
+    let out = updlrm().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+    let out = updlrm().output().expect("run");
+    assert!(!out.status.success());
+}
