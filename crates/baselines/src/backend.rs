@@ -62,9 +62,19 @@ mod tests {
 
     #[test]
     fn report_totals_and_accumulates() {
-        let mut a = LatencyReport { embedding_ns: 1.0, dense_ns: 2.0, transfer_ns: 3.0, pim: None };
+        let mut a = LatencyReport {
+            embedding_ns: 1.0,
+            dense_ns: 2.0,
+            transfer_ns: 3.0,
+            pim: None,
+        };
         assert_eq!(a.total_ns(), 6.0);
-        let b = LatencyReport { embedding_ns: 10.0, dense_ns: 20.0, transfer_ns: 30.0, pim: None };
+        let b = LatencyReport {
+            embedding_ns: 10.0,
+            dense_ns: 20.0,
+            transfer_ns: 30.0,
+            pim: None,
+        };
         a.accumulate(&b);
         assert_eq!(a.total_ns(), 66.0);
     }

@@ -113,7 +113,11 @@ mod tests {
         let spec = DatasetSpec::goodreads().scaled_down(10_000);
         let workload = Workload::generate(
             &spec,
-            TraceConfig { num_tables: 2, num_batches: 2, ..TraceConfig::default() },
+            TraceConfig {
+                num_tables: 2,
+                num_batches: 2,
+                ..TraceConfig::default()
+            },
         );
         let model = Dlrm::new(DlrmConfig {
             num_dense: 13,
@@ -151,7 +155,10 @@ mod tests {
         let p = profiles(&model, &w);
         let cpu = DlrmCpu::new(model, &p, CpuMemoryModel::default()).unwrap();
         let (hits, misses) = cpu.classify(&w.batches[0]);
-        assert!(hits > misses, "goodreads-like trace should be cache friendly: {hits}/{misses}");
+        assert!(
+            hits > misses,
+            "goodreads-like trace should be cache friendly: {hits}/{misses}"
+        );
     }
 
     #[test]

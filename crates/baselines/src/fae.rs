@@ -74,9 +74,17 @@ impl Fae {
                 flags
             })
             .collect();
-        let cpu_hot =
-            profiles.iter().map(|p| mem.hot_flags(p, row_bytes, tables)).collect();
-        Ok(Fae { model, mem, gpu, gpu_hot, cpu_hot })
+        let cpu_hot = profiles
+            .iter()
+            .map(|p| mem.hot_flags(p, row_bytes, tables))
+            .collect();
+        Ok(Fae {
+            model,
+            mem,
+            gpu,
+            gpu_hot,
+            cpu_hot,
+        })
     }
 
     /// Fraction of this batch's accesses served by the GPU cache.
@@ -136,8 +144,7 @@ impl InferenceBackend for Fae {
         let report = LatencyReport {
             embedding_ns,
             dense_ns: self.gpu.mlp_ns(flops),
-            transfer_ns: self.gpu.pcie_ns(pooled_bytes + dense_bytes)
-                + self.gpu.launch_overhead_ns,
+            transfer_ns: self.gpu.pcie_ns(pooled_bytes + dense_bytes) + self.gpu.launch_overhead_ns,
             pim: None,
         };
         Ok((out, report))
@@ -155,7 +162,11 @@ mod tests {
         let spec = DatasetSpec::goodreads().scaled_down(10_000);
         let workload = Workload::generate(
             &spec,
-            TraceConfig { num_tables: 2, num_batches: 1, ..TraceConfig::default() },
+            TraceConfig {
+                num_tables: 2,
+                num_batches: 1,
+                ..TraceConfig::default()
+            },
         );
         let model = Arc::new(
             Dlrm::new(DlrmConfig {
@@ -171,8 +182,18 @@ mod tests {
         let profiles: Vec<FreqProfile> = (0..2)
             .map(|t| FreqProfile::from_inputs(model.tables()[t].rows(), workload.table_inputs(t)))
             .collect();
-        let gpu = GpuModel { mem_bytes: gpu_bytes, ..GpuModel::default() };
-        let fae = Fae::new(model.clone(), &profiles, CpuMemoryModel::default(), gpu, 0.9).unwrap();
+        let gpu = GpuModel {
+            mem_bytes: gpu_bytes,
+            ..GpuModel::default()
+        };
+        let fae = Fae::new(
+            model.clone(),
+            &profiles,
+            CpuMemoryModel::default(),
+            gpu,
+            0.9,
+        )
+        .unwrap();
         (model, workload, profiles, fae)
     }
 
@@ -190,7 +211,10 @@ mod tests {
         let small = fae_small.gpu_coverage(&w.batches[0]);
         let large = fae_large.gpu_coverage(&w.batches[0]);
         assert!(large > small, "coverage {small} -> {large}");
-        assert!(large > 0.5, "skewed trace should be mostly GPU-served: {large}");
+        assert!(
+            large > 0.5,
+            "skewed trace should be mostly GPU-served: {large}"
+        );
     }
 
     #[test]

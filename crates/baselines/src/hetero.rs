@@ -59,8 +59,7 @@ impl InferenceBackend for DpuGpuHetero {
         let report = LatencyReport {
             embedding_ns: breakdown.total_with_host_ns(),
             dense_ns: self.gpu.mlp_ns(flops),
-            transfer_ns: self.gpu.pcie_ns(pooled_bytes + dense_bytes)
-                + self.gpu.launch_overhead_ns,
+            transfer_ns: self.gpu.pcie_ns(pooled_bytes + dense_bytes) + self.gpu.launch_overhead_ns,
             pim: Some(breakdown),
         };
         Ok((out, report))
@@ -80,7 +79,11 @@ mod tests {
         let spec = DatasetSpec::goodreads().scaled_down(5000);
         let workload = Workload::generate(
             &spec,
-            TraceConfig { num_tables: 2, num_batches: 1, ..TraceConfig::default() },
+            TraceConfig {
+                num_tables: 2,
+                num_batches: 1,
+                ..TraceConfig::default()
+            },
         );
         let model = Arc::new(
             Dlrm::new_integer_tables(DlrmConfig {
@@ -125,16 +128,14 @@ mod tests {
             CpuMemoryModel::default(),
         )
         .unwrap();
-        let mut eager = DpuGpuHetero::from_workload(
-            config.clone(),
-            model.clone(),
-            &w,
-            GpuModel::default(),
-        )
-        .unwrap();
-        let captured = GpuModel { launch_overhead_ns: 2_000.0, ..GpuModel::default() };
-        let mut graphed =
-            DpuGpuHetero::from_workload(config, model.clone(), &w, captured).unwrap();
+        let mut eager =
+            DpuGpuHetero::from_workload(config.clone(), model.clone(), &w, GpuModel::default())
+                .unwrap();
+        let captured = GpuModel {
+            launch_overhead_ns: 2_000.0,
+            ..GpuModel::default()
+        };
+        let mut graphed = DpuGpuHetero::from_workload(config, model.clone(), &w, captured).unwrap();
 
         let (_, r_plain) = plain.run_batch(&w.batches[0]).unwrap();
         let (_, r_eager) = eager.run_batch(&w.batches[0]).unwrap();

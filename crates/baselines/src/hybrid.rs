@@ -36,7 +36,11 @@ impl DlrmHybrid {
         mem: CpuMemoryModel,
         gpu: GpuModel,
     ) -> Result<Self, CoreError> {
-        Ok(DlrmHybrid { cpu: DlrmCpu::new(model.clone(), profiles, mem)?, gpu, model })
+        Ok(DlrmHybrid {
+            cpu: DlrmCpu::new(model.clone(), profiles, mem)?,
+            gpu,
+            model,
+        })
     }
 }
 
@@ -58,8 +62,7 @@ impl InferenceBackend for DlrmHybrid {
         let report = LatencyReport {
             embedding_ns: self.cpu.embedding_ns(batch),
             dense_ns: self.gpu.mlp_ns(flops),
-            transfer_ns: self.gpu.pcie_ns(pooled_bytes + dense_bytes)
-                + self.gpu.launch_overhead_ns,
+            transfer_ns: self.gpu.pcie_ns(pooled_bytes + dense_bytes) + self.gpu.launch_overhead_ns,
             pim: None,
         };
         Ok((out, report))
@@ -77,7 +80,11 @@ mod tests {
         let spec = DatasetSpec::goodreads().scaled_down(10_000);
         let workload = Workload::generate(
             &spec,
-            TraceConfig { num_tables: 2, num_batches: 1, ..TraceConfig::default() },
+            TraceConfig {
+                num_tables: 2,
+                num_batches: 1,
+                ..TraceConfig::default()
+            },
         );
         let model = Arc::new(
             Dlrm::new(DlrmConfig {
@@ -99,9 +106,13 @@ mod tests {
     #[test]
     fn hybrid_output_matches_cpu_output() {
         let (model, w, p) = setup();
-        let mut hybrid =
-            DlrmHybrid::new(model.clone(), &p, CpuMemoryModel::default(), GpuModel::default())
-                .unwrap();
+        let mut hybrid = DlrmHybrid::new(
+            model.clone(),
+            &p,
+            CpuMemoryModel::default(),
+            GpuModel::default(),
+        )
+        .unwrap();
         let mut cpu = DlrmCpu::new(model, &p, CpuMemoryModel::default()).unwrap();
         let (a, _) = hybrid.run_batch(&w.batches[0]).unwrap();
         let (b, _) = cpu.run_batch(&w.batches[0]).unwrap();
@@ -112,9 +123,13 @@ mod tests {
     fn hybrid_is_slower_than_cpu_at_small_batches() {
         // The paper's §4.2 observation: DLRM-Hybrid performs the worst.
         let (model, w, p) = setup();
-        let mut hybrid =
-            DlrmHybrid::new(model.clone(), &p, CpuMemoryModel::default(), GpuModel::default())
-                .unwrap();
+        let mut hybrid = DlrmHybrid::new(
+            model.clone(),
+            &p,
+            CpuMemoryModel::default(),
+            GpuModel::default(),
+        )
+        .unwrap();
         let mut cpu = DlrmCpu::new(model, &p, CpuMemoryModel::default()).unwrap();
         let (_, rh) = hybrid.run_batch(&w.batches[0]).unwrap();
         let (_, rc) = cpu.run_batch(&w.batches[0]).unwrap();

@@ -80,7 +80,10 @@ mod tests {
             p.record(42);
         }
         p.record(7);
-        let m = CpuMemoryModel { llc_bytes: 128 * 2, ..CpuMemoryModel::default() };
+        let m = CpuMemoryModel {
+            llc_bytes: 128 * 2,
+            ..CpuMemoryModel::default()
+        };
         // share = 256 bytes / 1 table, 128-byte rows -> 2 hot rows.
         let flags = m.hot_flags(&p, 128, 1);
         assert!(flags[42]);
@@ -94,7 +97,10 @@ mod tests {
         for i in 0..64 {
             p.record(i);
         }
-        let m = CpuMemoryModel { llc_bytes: 64 * 128, ..CpuMemoryModel::default() };
+        let m = CpuMemoryModel {
+            llc_bytes: 64 * 128,
+            ..CpuMemoryModel::default()
+        };
         let one = m.hot_flags(&p, 128, 1).iter().filter(|&&f| f).count();
         let eight = m.hot_flags(&p, 128, 8).iter().filter(|&&f| f).count();
         assert_eq!(one, 64);

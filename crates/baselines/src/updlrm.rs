@@ -73,7 +73,11 @@ mod tests {
         let spec = DatasetSpec::goodreads().scaled_down(10_000);
         let workload = workloads::Workload::generate(
             &spec,
-            TraceConfig { num_tables: 2, num_batches: 1, ..TraceConfig::default() },
+            TraceConfig {
+                num_tables: 2,
+                num_batches: 1,
+                ..TraceConfig::default()
+            },
         );
         let model = Arc::new(
             Dlrm::new_integer_tables(DlrmConfig {

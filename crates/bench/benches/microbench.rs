@@ -1,123 +1,144 @@
-//! Criterion micro-benchmarks for the workspace's hot paths.
+//! Micro-benchmarks for the workspace's hot paths.
 //!
 //! These complement the figure binaries: the binaries report *modeled*
 //! hardware time, while these measure the *simulator's own* throughput
-//! (how fast the reproduction runs on the host).
+//! (how fast the reproduction runs on the host). Uses the in-tree
+//! `bench::timing` harness rather than criterion so the workspace
+//! builds without registry access.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing;
 use dlrm_model::{EmbeddingTable, SparseInput};
 use std::hint::black_box;
-use updlrm_core::{build_stream, non_uniform, uniform, PartitionStrategy, UpdlrmConfig, UpdlrmEngine};
+use updlrm_core::{
+    build_stream, non_uniform, uniform, PartitionStrategy, UpdlrmConfig, UpdlrmEngine,
+};
 use upmem_sim::{CostModel, DpuId, PimConfig, PimSystem};
 use workloads::{DatasetSpec, FreqProfile, TraceConfig, Workload, ZipfSampler};
 
-fn bench_mram_dma(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mram_dma_read");
+fn bench_mram_dma() {
     for size in [8usize, 64, 512, 2048] {
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            let mut sys = PimSystem::new(PimConfig::new(1, 1)).unwrap();
-            sys.load_mram(DpuId(0), 0, &vec![7u8; 4096]).unwrap();
-            let mut buf = vec![0u8; size];
-            let dpu = sys.dpu(DpuId(0)).unwrap();
-            b.iter(|| {
-                dpu.mram().dma_read(black_box(0), &mut buf).unwrap();
-                black_box(&buf);
-            });
+        let mut sys = PimSystem::new(PimConfig::new(1, 1)).unwrap();
+        sys.load_mram(DpuId(0), 0, &vec![7u8; 4096]).unwrap();
+        let mut buf = vec![0u8; size];
+        let dpu = sys.dpu(DpuId(0)).unwrap();
+        timing::run(&format!("mram_dma_read/{size}"), || {
+            dpu.mram().dma_read(black_box(0), &mut buf).unwrap();
+            black_box(&buf);
         });
     }
-    group.finish();
 }
 
-fn bench_dma_cost_model(c: &mut Criterion) {
+fn bench_dma_cost_model() {
     let cost = CostModel::default();
-    c.bench_function("dma_cost_model", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for len in (8..=2048).step_by(8) {
-                acc += cost.dma_nanos(black_box(len));
-            }
-            black_box(acc)
-        })
+    timing::run("dma_cost_model", || {
+        let mut acc = 0.0;
+        for len in (8..=2048).step_by(8) {
+            acc += cost.dma_nanos(black_box(len));
+        }
+        black_box(acc);
     });
 }
 
-fn bench_zipf(c: &mut Criterion) {
-    let mut group = c.benchmark_group("zipf_sample");
+fn bench_zipf() {
     for n in [1_000usize, 100_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            use rand::rngs::StdRng;
-            use rand::SeedableRng;
-            let z = ZipfSampler::new(n, 1.05);
-            let mut rng = StdRng::seed_from_u64(3);
-            b.iter(|| black_box(z.sample(&mut rng)));
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let z = ZipfSampler::new(n, 1.05);
+        let mut rng = StdRng::seed_from_u64(3);
+        timing::run(&format!("zipf_sample/{n}"), || {
+            black_box(z.sample(&mut rng));
         });
     }
-    group.finish();
 }
 
-fn bench_bag_sum(c: &mut Criterion) {
+fn bench_bag_sum() {
     let table = EmbeddingTable::random(100_000, 32, 0.1, 5).unwrap();
-    let input = SparseInput::from_samples(
-        (0..64u64).map(|s| (0..100).map(|i| (s * 997 + i * 131) % 100_000).collect::<Vec<_>>()),
-    );
-    c.bench_function("embedding_bag_sum_64x100", |b| {
-        b.iter(|| black_box(table.bag_sum(black_box(&input)).unwrap()))
+    let input = SparseInput::from_samples((0..64u64).map(|s| {
+        (0..100)
+            .map(|i| (s * 997 + i * 131) % 100_000)
+            .collect::<Vec<_>>()
+    }));
+    timing::run("embedding_bag_sum_64x100", || {
+        black_box(table.bag_sum(black_box(&input)).unwrap());
     });
 }
 
-fn bench_build_stream(c: &mut Criterion) {
-    let refs: Vec<Vec<u32>> =
-        (0..64).map(|s| (0..200u32).map(|i| (s * 31 + i * 7) % 4096).collect()).collect();
-    let mut group = c.benchmark_group("build_stream");
-    group.bench_function("csr", |b| b.iter(|| black_box(build_stream(&refs, 14, false))));
-    group.bench_function("dedup", |b| b.iter(|| black_box(build_stream(&refs, 14, true))));
-    group.finish();
+fn bench_build_stream() {
+    let refs: Vec<Vec<u32>> = (0..64)
+        .map(|s| (0..200u32).map(|i| (s * 31 + i * 7) % 4096).collect())
+        .collect();
+    timing::run("build_stream/csr", || {
+        black_box(build_stream(&refs, 14, false));
+    });
+    timing::run("build_stream/dedup", || {
+        black_box(build_stream(&refs, 14, true));
+    });
 }
 
-fn bench_partitioners(c: &mut Criterion) {
+fn bench_partitioners() {
     let spec = DatasetSpec::goodreads().scaled_down(100);
-    let workload =
-        Workload::generate(&spec, TraceConfig { num_tables: 1, num_batches: 4, ..Default::default() });
+    let workload = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_tables: 1,
+            num_batches: 4,
+            ..Default::default()
+        },
+    );
     let profile = FreqProfile::from_inputs(spec.num_items, workload.table_inputs(0));
-    let mut group = c.benchmark_group("partition");
-    group.bench_function("uniform_23k_rows", |b| {
-        b.iter(|| black_box(uniform(spec.num_items, 8, spec.num_items, &profile).unwrap()))
+    timing::run("partition/uniform_23k_rows", || {
+        black_box(uniform(spec.num_items, 8, spec.num_items, &profile).unwrap());
     });
-    group.bench_function("non_uniform_23k_rows", |b| {
-        b.iter(|| black_box(non_uniform(spec.num_items, 8, spec.num_items, &profile).unwrap()))
+    timing::run("partition/non_uniform_23k_rows", || {
+        black_box(non_uniform(spec.num_items, 8, spec.num_items, &profile).unwrap());
     });
-    group.finish();
 }
 
-fn bench_engine_batch(c: &mut Criterion) {
+fn bench_engine_batch() {
     let spec = DatasetSpec::goodreads().scaled_down(2000);
-    let workload =
-        Workload::generate(&spec, TraceConfig { num_tables: 2, num_batches: 1, ..Default::default() });
+    let workload = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_tables: 2,
+            num_batches: 1,
+            ..Default::default()
+        },
+    );
     let tables: Vec<EmbeddingTable> = (0..2)
         .map(|t| EmbeddingTable::random(spec.num_items, 32, 0.1, t).unwrap())
         .collect();
     let config = UpdlrmConfig::with_dpus(16, PartitionStrategy::NonUniform);
     let mut engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
-    c.bench_function("engine_run_batch_2tables", |b| {
-        b.iter(|| black_box(engine.run_batch(&workload.batches[0]).unwrap()))
+    timing::run("engine_run_batch_2tables", || {
+        black_box(engine.run_batch(&workload.batches[0]).unwrap());
     });
 }
 
-fn bench_profile(c: &mut Criterion) {
+fn bench_profile() {
     let spec = DatasetSpec::movie().scaled_down(100);
-    let workload =
-        Workload::generate(&spec, TraceConfig { num_tables: 1, num_batches: 4, ..Default::default() });
-    c.bench_function("freq_profile_from_trace", |b| {
-        b.iter(|| {
-            black_box(FreqProfile::from_inputs(spec.num_items, workload.table_inputs(0)))
-        })
+    let workload = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_tables: 1,
+            num_batches: 4,
+            ..Default::default()
+        },
+    );
+    timing::run("freq_profile_from_trace", || {
+        black_box(FreqProfile::from_inputs(
+            spec.num_items,
+            workload.table_inputs(0),
+        ));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_mram_dma, bench_dma_cost_model, bench_zipf, bench_bag_sum,
-              bench_build_stream, bench_partitioners, bench_engine_batch, bench_profile
+fn main() {
+    bench_mram_dma();
+    bench_dma_cost_model();
+    bench_zipf();
+    bench_bag_sum();
+    bench_build_stream();
+    bench_partitioners();
+    bench_engine_batch();
+    bench_profile();
 }
-criterion_main!(benches);

@@ -6,8 +6,18 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "fig3", "table1", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11",
-        "cache_capacity", "energy", "ablations", "pipeline",
+        "fig3",
+        "table1",
+        "fig5",
+        "fig6",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "cache_capacity",
+        "energy",
+        "ablations",
+        "pipeline",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("bin dir");

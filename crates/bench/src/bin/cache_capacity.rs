@@ -12,7 +12,11 @@ fn main() {
     );
     for r in &rows {
         t.row(vec![
-            if r.fraction == 0.0 { "none".into() } else { format!("{:.0}%", r.fraction * 100.0) },
+            if r.fraction == 0.0 {
+                "none".into()
+            } else {
+                format!("{:.0}%", r.fraction * 100.0)
+            },
             fmt_ns(r.lookup_ns),
             format!("{:.0}%", r.reduction_vs_no_cache * 100.0),
         ]);

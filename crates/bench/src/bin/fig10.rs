@@ -8,7 +8,14 @@ fn main() {
     let rows = experiments::fig10(eval).expect("fig10 experiment");
     let mut t = Table::new(
         "Fig. 10: embedding-layer latency breakdown (GoodReads)",
-        &["strategy", "N_c", "stage1 CPU->DPU", "stage2 lookup", "stage3 DPU->CPU", "total"],
+        &[
+            "strategy",
+            "N_c",
+            "stage1 CPU->DPU",
+            "stage2 lookup",
+            "stage3 DPU->CPU",
+            "total",
+        ],
     );
     for r in &rows {
         t.row(vec![

@@ -20,5 +20,9 @@ fn main() {
     let l8 = rows[0].latency_ns;
     let l32 = rows[2].latency_ns;
     let l2048 = rows.last().expect("rows").latency_ns;
-    println!("flat region 8->32 B: {:.2}x; 32->2048 B: {:.2}x", l32 / l8, l2048 / l32);
+    println!(
+        "flat region 8->32 B: {:.2}x; 32->2048 B: {:.2}x",
+        l32 / l8,
+        l2048 / l32
+    );
 }

@@ -7,7 +7,9 @@ fn main() {
     let rows = experiments::fig5(eval);
     let mut t = Table::new(
         "Fig. 5: accesses per row block (8 contiguous blocks)",
-        &["dataset", "b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "max/min"],
+        &[
+            "dataset", "b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "max/min",
+        ],
     );
     for r in &rows {
         let mut cells = vec![r.dataset.clone()];

@@ -7,7 +7,12 @@ fn main() {
     let r = experiments::fig6(eval).expect("fig6 experiment");
     let mut t = Table::new(
         "Fig. 6: Movie, accesses per partition (8 partitions)",
-        &["partition", "NU w/o cache", "NU + naive cache", "cache-aware (Alg. 1)"],
+        &[
+            "partition",
+            "NU w/o cache",
+            "NU + naive cache",
+            "cache-aware (Alg. 1)",
+        ],
     );
     for p in 0..r.nu_load.len() {
         t.row(vec![

@@ -4,11 +4,22 @@ use bench::{experiments, fmt_ns, BarChart, EvalConfig, Table};
 
 fn main() {
     let eval = EvalConfig::from_env();
-    eprintln!("running fig8 ({} batches x 64, item scale 1/{})...", eval.num_batches, eval.item_scale);
+    eprintln!(
+        "running fig8 ({} batches x 64, item scale 1/{})...",
+        eval.num_batches, eval.item_scale
+    );
     let rows = experiments::fig8(eval).expect("fig8 experiment");
     let mut t = Table::new(
         "Fig. 8: inference speedup over DLRM-CPU",
-        &["dataset", "category", "CPU", "Hybrid", "FAE", "UpDLRM", "UpDLRM total"],
+        &[
+            "dataset",
+            "category",
+            "CPU",
+            "Hybrid",
+            "FAE",
+            "UpDLRM",
+            "UpDLRM total",
+        ],
     );
     for r in &rows {
         let s = r.speedups();

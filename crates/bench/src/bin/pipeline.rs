@@ -7,8 +7,7 @@ use workloads::DatasetSpec;
 fn main() {
     let eval = EvalConfig::from_env();
     eprintln!("running inter-batch pipelining analysis...");
-    let rows =
-        experiments::pipeline(&DatasetSpec::paper_six(), eval).expect("pipeline experiment");
+    let rows = experiments::pipeline(&DatasetSpec::paper_six(), eval).expect("pipeline experiment");
     let mut t = Table::new(
         "Inter-batch pipelining of the embedding stages (extension)",
         &["dataset", "sequential", "pipelined", "speedup"],

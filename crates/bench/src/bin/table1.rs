@@ -7,7 +7,14 @@ fn main() {
     let rows = experiments::table1(eval);
     let mut t = Table::new(
         "Table 1: workload configurations",
-        &["workload", "category", "Avg.Red (paper)", "Avg.Red (measured)", "#items (paper)", "#items (scaled)"],
+        &[
+            "workload",
+            "category",
+            "Avg.Red (paper)",
+            "Avg.Red (measured)",
+            "#items (paper)",
+            "#items (scaled)",
+        ],
     );
     for r in &rows {
         t.row(vec![

@@ -25,7 +25,10 @@ pub fn fig3() -> Vec<Fig3Row> {
     let mut out = Vec::new();
     let mut size = 8;
     while size <= 2048 {
-        out.push(Fig3Row { size_bytes: size, latency_ns: cost.dma_nanos(size) });
+        out.push(Fig3Row {
+            size_bytes: size,
+            latency_ns: cost.dma_nanos(size),
+        });
         size *= 2;
     }
     out
@@ -56,7 +59,10 @@ pub fn table1(eval: EvalConfig) -> Vec<Table1Row> {
         .into_iter()
         .map(|spec| {
             let scaled = eval.scale(&spec);
-            let trace = TraceConfig { num_batches: 4, ..eval.trace() };
+            let trace = TraceConfig {
+                num_batches: 4,
+                ..eval.trace()
+            };
             let w = Workload::generate(&scaled, trace);
             Table1Row {
                 name: spec.name.clone(),
@@ -84,22 +90,32 @@ pub struct Fig5Row {
 
 /// Regenerates Fig. 5 for the Goodreads / Movie / Twitch traces.
 pub fn fig5(eval: EvalConfig) -> Vec<Fig5Row> {
-    [DatasetSpec::goodreads(), DatasetSpec::movie(), DatasetSpec::twitch()]
-        .into_iter()
-        .map(|spec| {
-            let scaled = eval.scale(&spec);
-            let w = Workload::generate(&scaled, TraceConfig { num_batches: 8, ..eval.trace() });
-            let mut profile = FreqProfile::new(scaled.num_items);
-            for input in w.table_inputs(0) {
-                profile.record_input(input);
-            }
-            Fig5Row {
-                dataset: spec.name.clone(),
-                blocks: profile.block_histogram(8),
-                skew: profile.block_skew(8),
-            }
-        })
-        .collect()
+    [
+        DatasetSpec::goodreads(),
+        DatasetSpec::movie(),
+        DatasetSpec::twitch(),
+    ]
+    .into_iter()
+    .map(|spec| {
+        let scaled = eval.scale(&spec);
+        let w = Workload::generate(
+            &scaled,
+            TraceConfig {
+                num_batches: 8,
+                ..eval.trace()
+            },
+        );
+        let mut profile = FreqProfile::new(scaled.num_items);
+        for input in w.table_inputs(0) {
+            profile.record_input(input);
+        }
+        Fig5Row {
+            dataset: spec.name.clone(),
+            blocks: profile.block_histogram(8),
+            skew: profile.block_skew(8),
+        }
+    })
+    .collect()
 }
 
 /// Fig. 6 — Movie: accesses per partition for NU without cache, NU with
@@ -153,7 +169,13 @@ pub fn fig6(eval: EvalConfig) -> Result<Fig6Result, CoreError> {
     use cooccur_cache::{CacheListSet, CooccurGraph, MinerConfig};
 
     let spec = eval.scale(&DatasetSpec::movie());
-    let w = Workload::generate(&spec, TraceConfig { num_batches: 8, ..eval.trace() });
+    let w = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_batches: 8,
+            ..eval.trace()
+        },
+    );
     let profile = FreqProfile::from_inputs(spec.num_items, w.table_inputs(0));
     let parts = 8;
     let cap = spec.num_items; // capacity is not the subject here
@@ -199,7 +221,11 @@ pub fn fig6(eval: EvalConfig) -> Result<Fig6Result, CoreError> {
         nu_load: nu.part_load,
         naive_cache_load: naive,
         ca_load: ca.rows.part_load,
-        cache_reduction: if total_nu > 0.0 { saved_total / total_nu } else { 0.0 },
+        cache_reduction: if total_nu > 0.0 {
+            saved_total / total_nu
+        } else {
+            0.0
+        },
     })
 }
 
@@ -299,8 +325,12 @@ pub fn fig9(specs: &[DatasetSpec], eval: EvalConfig) -> Result<Vec<Fig9Row>, Cor
     for spec in specs {
         let setup = EvalSetup::build(spec, eval)?;
         let cpu = setup.cpu()?;
-        let cpu_embedding_ns: f64 =
-            setup.workload.batches.iter().map(|b| cpu.embedding_ns(b)).sum();
+        let cpu_embedding_ns: f64 = setup
+            .workload
+            .batches
+            .iter()
+            .map(|b| cpu.embedding_ns(b))
+            .sum();
         for strategy in [
             PartitionStrategy::Uniform,
             PartitionStrategy::NonUniform,
@@ -405,15 +435,17 @@ pub fn fig11(eval: EvalConfig) -> Result<Vec<Fig11Row>, CoreError> {
         let spec = DatasetSpec::balanced_synthetic(items, red as f64);
         let w = Workload::generate(
             &spec,
-            TraceConfig { num_batches: eval.num_batches.min(6), ..eval.trace() },
+            TraceConfig {
+                num_batches: eval.num_batches.min(6),
+                ..eval.trace()
+            },
         );
         let tables: Vec<dlrm_model::EmbeddingTable> = (0..8)
             .map(|t| dlrm_model::EmbeddingTable::random(items, 32, 0.1, t as u64))
             .collect::<Result<_, _>>()?;
         for &n_c in &[2usize, 4, 8, 16, 32] {
-            let mut config =
-                UpdlrmConfig::with_dpus(eval.nr_dpus, PartitionStrategy::Uniform)
-                    .with_fixed_nc(n_c);
+            let mut config = UpdlrmConfig::with_dpus(eval.nr_dpus, PartitionStrategy::Uniform)
+                .with_fixed_nc(n_c);
             config.tasklets = eval.tasklets;
             // The batch-dedup extension is what reproduces the paper's
             // saturation at large lookup sizes (see EXPERIMENTS.md).
@@ -459,8 +491,8 @@ pub fn cache_capacity(eval: EvalConfig) -> Result<Vec<CacheCapacityRow>, CoreErr
         } else {
             PartitionStrategy::CacheAware
         };
-        let mut config = UpdlrmConfig::with_dpus(setup.eval.nr_dpus, strategy)
-            .with_cache_fraction(fraction);
+        let mut config =
+            UpdlrmConfig::with_dpus(setup.eval.nr_dpus, strategy).with_cache_fraction(fraction);
         config.tasklets = setup.eval.tasklets;
         let mut backend = baselines::UpdlrmBackend::from_workload(
             config,
@@ -624,7 +656,10 @@ pub fn ablations(eval: EvalConfig) -> Result<Vec<AblationRow>, CoreError> {
     // 1. host-side batch-global dedup of row references (extension).
     out.push(AblationRow {
         knob: "host dedup".into(),
-        on_ns: measure(UpdlrmConfig { dedup: true, ..base(PartitionStrategy::NonUniform) })?,
+        on_ns: measure(UpdlrmConfig {
+            dedup: true,
+            ..base(PartitionStrategy::NonUniform)
+        })?,
         off_ns: measure(base(PartitionStrategy::NonUniform))?,
     });
     // 2. padded (parallel) stage-1 transfers.
@@ -640,10 +675,15 @@ pub fn ablations(eval: EvalConfig) -> Result<Vec<AblationRow>, CoreError> {
     let auto = measure(base(PartitionStrategy::NonUniform))?;
     let mut worst_fixed: f64 = 0.0;
     for n_c in [2usize, 4, 8] {
-        worst_fixed =
-            worst_fixed.max(measure(base(PartitionStrategy::NonUniform).with_fixed_nc(n_c))?);
+        worst_fixed = worst_fixed.max(measure(
+            base(PartitionStrategy::NonUniform).with_fixed_nc(n_c),
+        )?);
     }
-    out.push(AblationRow { knob: "auto N_c (vs worst fixed)".into(), on_ns: auto, off_ns: worst_fixed });
+    out.push(AblationRow {
+        knob: "auto N_c (vs worst fixed)".into(),
+        on_ns: auto,
+        off_ns: worst_fixed,
+    });
     // 4. Algorithm 1's benefit credit (line 10): compare CA against CA
     // with all list benefits zeroed (same caching, no load credit).
     let ca_on = measure(base(PartitionStrategy::CacheAware))?;
@@ -676,8 +716,7 @@ pub fn ablations(eval: EvalConfig) -> Result<Vec<AblationRow>, CoreError> {
             profiles.push(profile);
             lists.push(set);
         }
-        let engine =
-            UpdlrmEngine::new(config, setup.model.tables(), &profiles, &lists)?;
+        let engine = UpdlrmEngine::new(config, setup.model.tables(), &profiles, &lists)?;
         let mut engine = engine;
         let mut total = 0.0;
         for batch in &setup.workload.batches {
@@ -686,7 +725,11 @@ pub fn ablations(eval: EvalConfig) -> Result<Vec<AblationRow>, CoreError> {
         }
         total
     };
-    out.push(AblationRow { knob: "Alg.1 benefit credit".into(), on_ns: ca_on, off_ns: ca_off });
+    out.push(AblationRow {
+        knob: "Alg.1 benefit credit".into(),
+        on_ns: ca_on,
+        off_ns: ca_off,
+    });
     // 5. hot-row replication (extension) versus plain NU.
     out.push(AblationRow {
         knob: "hot-row replication (NU+R vs NU)".into(),

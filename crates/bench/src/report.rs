@@ -57,7 +57,11 @@ impl Table {
             s.trim_end().to_string()
         };
         let _ = writeln!(out, "{}", line(&self.header, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
@@ -87,9 +91,21 @@ impl Table {
                 s.to_string()
             }
         };
-        let _ = writeln!(csv, "{}", self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            csv,
+            "{}",
+            self.header
+                .iter()
+                .map(|s| esc(s))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(csv, "{}", row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                csv,
+                "{}",
+                row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+            );
         }
         match fs::write(&path, csv) {
             Ok(()) => Some(path),
@@ -112,7 +128,10 @@ pub struct BarChart {
 impl BarChart {
     /// Creates an empty chart.
     pub fn new(title: &str) -> Self {
-        BarChart { title: title.to_string(), bars: Vec::new() }
+        BarChart {
+            title: title.to_string(),
+            bars: Vec::new(),
+        }
     }
 
     /// Appends one labeled bar (values must be non-negative).
@@ -185,7 +204,9 @@ mod tests {
         assert!(s.contains("-- demo --"));
         // The max bar fills the width, the half bar is half.
         assert!(s.contains(&"#".repeat(10)));
-        assert!(s.lines().any(|l| l.starts_with(" a |") && l.matches('#').count() == 5));
+        assert!(s
+            .lines()
+            .any(|l| l.starts_with(" a |") && l.matches('#').count() == 5));
         // Zero value renders no hashes but keeps the row.
         assert!(s.lines().any(|l| l.trim_start().starts_with("c |")));
     }

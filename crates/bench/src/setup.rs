@@ -8,7 +8,9 @@
 //! caching and routing logic are scale-free; EXPERIMENTS.md records the
 //! scaling next to every result.
 
-use baselines::{CpuMemoryModel, DlrmCpu, DlrmHybrid, Fae, GpuModel, InferenceBackend, UpdlrmBackend};
+use baselines::{
+    CpuMemoryModel, DlrmCpu, DlrmHybrid, Fae, GpuModel, InferenceBackend, UpdlrmBackend,
+};
 use dlrm_model::{Dlrm, DlrmConfig};
 use std::sync::Arc;
 use updlrm_core::{CoreError, PartitionStrategy, UpdlrmConfig};
@@ -32,12 +34,24 @@ pub struct EvalConfig {
 impl EvalConfig {
     /// Fast configuration for CI-style shape tests.
     pub fn quick() -> Self {
-        EvalConfig { item_scale: 512, num_batches: 4, nr_dpus: 256, tasklets: 14, seed: 7 }
+        EvalConfig {
+            item_scale: 512,
+            num_batches: 4,
+            nr_dpus: 256,
+            tasklets: 14,
+            seed: 7,
+        }
     }
 
     /// Standard configuration for the experiment binaries.
     pub fn standard() -> Self {
-        EvalConfig { item_scale: 64, num_batches: 20, nr_dpus: 256, tasklets: 14, seed: 7 }
+        EvalConfig {
+            item_scale: 64,
+            num_batches: 20,
+            nr_dpus: 256,
+            tasklets: 14,
+            seed: 7,
+        }
     }
 
     /// Reads `UPDLRM_EVAL` from the environment: `full` runs the
@@ -45,9 +59,13 @@ impl EvalConfig {
     /// unset) uses [`EvalConfig::standard`].
     pub fn from_env() -> Self {
         match std::env::var("UPDLRM_EVAL").as_deref() {
-            Ok("full") => {
-                EvalConfig { item_scale: 32, num_batches: 200, nr_dpus: 256, tasklets: 14, seed: 7 }
-            }
+            Ok("full") => EvalConfig {
+                item_scale: 32,
+                num_batches: 200,
+                nr_dpus: 256,
+                tasklets: 14,
+                seed: 7,
+            },
             Ok("quick") => Self::quick(),
             _ => Self::standard(),
         }
@@ -114,7 +132,13 @@ impl EvalSetup {
         let profiles = (0..8)
             .map(|t| FreqProfile::from_inputs(spec.num_items, workload.table_inputs(t)))
             .collect();
-        Ok(EvalSetup { spec, eval, model, workload, profiles })
+        Ok(EvalSetup {
+            spec,
+            eval,
+            model,
+            workload,
+            profiles,
+        })
     }
 
     /// The GPU model with device memory scaled like the tables (the

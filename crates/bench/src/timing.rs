@@ -1,0 +1,92 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline, so instead of criterion the bench
+//! targets use this ~50-line harness: warm up, grow the iteration
+//! count geometrically until a measurement window is long enough to
+//! trust (default 20 ms), then report mean wall time per iteration.
+//! That is deliberately simpler than criterion — no outlier rejection
+//! or regression fitting — but it is dependency-free and plenty to
+//! compare two implementations of the same loop on one machine.
+
+use std::time::Instant;
+
+/// Result of timing one closure.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Iterations in the accepted measurement window.
+    pub iters: u64,
+    /// Mean wall time per iteration in nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl Measurement {
+    /// Formats as a human-readable line, e.g. `zipf/100000  41.2 ns/iter (x65536)`.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<40} {:>12}/iter  (x{})",
+            self.name,
+            crate::report::fmt_ns(self.mean_ns),
+            self.iters
+        )
+    }
+}
+
+/// Times `f`, auto-calibrating the iteration count until the window
+/// reaches `min_window_ms` of wall time (capped at 2^20 iterations so
+/// pathologically fast closures still terminate).
+pub fn run_with_window<F: FnMut()>(name: &str, min_window_ms: u64, mut f: F) -> Measurement {
+    for _ in 0..3 {
+        f();
+    }
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() as u64 >= min_window_ms || iters >= 1 << 20 {
+            return Measurement {
+                name: name.to_string(),
+                iters,
+                mean_ns: elapsed.as_nanos() as f64 / iters as f64,
+            };
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
+
+/// Times `f` with the default 20 ms window and prints the result line.
+pub fn run<F: FnMut()>(name: &str, f: F) -> Measurement {
+    let m = run_with_window(name, 20, f);
+    println!("{}", m.line());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut acc = 0u64;
+        let m = run_with_window("spin", 1, || {
+            acc = acc.wrapping_add(std::hint::black_box(acc ^ 0x9E37));
+        });
+        assert!(m.mean_ns > 0.0);
+        assert!(m.iters >= 1);
+    }
+
+    #[test]
+    fn line_contains_name() {
+        let m = Measurement {
+            name: "abc".into(),
+            iters: 8,
+            mean_ns: 1234.5,
+        };
+        assert!(m.line().contains("abc"));
+        assert!(m.line().contains("x8"));
+    }
+}

@@ -28,8 +28,9 @@ fn estimator_ranking_agrees_with_measurement_on_extremes() {
     for n_c in [2usize, 4, 8] {
         let tiling = problem.tiling_for_nc(n_c, &cost).expect("feasible");
         estimated.push((n_c, tiling.est_cost_ns));
-        let mut backend =
-            setup.updlrm(PartitionStrategy::NonUniform, Some(n_c)).expect("backend");
+        let mut backend = setup
+            .updlrm(PartitionStrategy::NonUniform, Some(n_c))
+            .expect("backend");
         let mut total = 0.0;
         for batch in &setup.workload.batches {
             let (_, report) = backend.run_batch(batch).expect("run");
@@ -42,10 +43,16 @@ fn estimator_ranking_agrees_with_measurement_on_extremes() {
     // best and worst (full rank agreement is not required of a
     // closed-form model, extreme agreement is).
     let arg_min = |v: &[(usize, f64)]| {
-        v.iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).expect("nonempty").0
+        v.iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("nonempty")
+            .0
     };
     let arg_max = |v: &[(usize, f64)]| {
-        v.iter().max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).expect("nonempty").0
+        v.iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("nonempty")
+            .0
     };
     assert_eq!(
         arg_min(&estimated),
@@ -65,8 +72,9 @@ fn auto_nc_is_never_the_worst_choice() {
     for spec in [DatasetSpec::amazon_clothes(), DatasetSpec::goodreads2()] {
         let setup = EvalSetup::build(&spec, eval).expect("setup");
         let measure = |n_c: Option<usize>| {
-            let mut backend =
-                setup.updlrm(PartitionStrategy::NonUniform, n_c).expect("backend");
+            let mut backend = setup
+                .updlrm(PartitionStrategy::NonUniform, n_c)
+                .expect("backend");
             let mut total = 0.0;
             for batch in &setup.workload.batches {
                 let (_, report) = backend.run_batch(batch).expect("run");

@@ -14,7 +14,12 @@ fn quick() -> EvalConfig {
 #[test]
 fn fig3_shape_flat_then_steep() {
     let rows = experiments::fig3();
-    let by_size = |s: usize| rows.iter().find(|r| r.size_bytes == s).expect("size").latency_ns;
+    let by_size = |s: usize| {
+        rows.iter()
+            .find(|r| r.size_bytes == s)
+            .expect("size")
+            .latency_ns
+    };
     // Paper: 8 -> 32 B nearly flat, then dramatic growth.
     assert!(by_size(32) / by_size(8) < 1.25);
     assert!(by_size(2048) / by_size(32) > 5.0);
@@ -79,7 +84,13 @@ fn fig8_shape_system_ordering() {
         // Hybrid loses to CPU; UpDLRM beats CPU and FAE.
         assert!(s[1] < 1.0, "{}: hybrid {}", row.dataset, s[1]);
         assert!(s[3] > 1.0, "{}: updlrm {}", row.dataset, s[3]);
-        assert!(s[3] > s[2] * 0.95, "{}: updlrm {} vs fae {}", row.dataset, s[3], s[2]);
+        assert!(
+            s[3] > s[2] * 0.95,
+            "{}: updlrm {} vs fae {}",
+            row.dataset,
+            s[3],
+            s[2]
+        );
         assert!(s[2] > 1.0, "{}: fae {}", row.dataset, s[2]);
     }
 }
@@ -156,7 +167,10 @@ fn fig11_shape_linear_small_saturating_large() {
     let growth_8 = t(300, 8) / t(50, 8);
     let growth_128 = t(300, 128) / t(50, 128);
     assert!(growth_8 > 2.5, "8 B should grow strongly: {growth_8}");
-    assert!(growth_128 < growth_8 * 0.75, "128 B should saturate: {growth_128} vs {growth_8}");
+    assert!(
+        growth_128 < growth_8 * 0.75,
+        "128 B should saturate: {growth_128} vs {growth_8}"
+    );
     // At high reduction, small lookups are the slowest (many tiny DMAs).
     assert!(t(300, 8) > t(300, 64));
 }
@@ -175,16 +189,20 @@ fn cache_capacity_shape_more_cache_less_lookup() {
 
 #[test]
 fn energy_shape_pim_saves_energy() {
-    let rows =
-        experiments::energy(&[DatasetSpec::goodreads()], quick()).expect("energy");
-    assert!(rows[0].updlrm_uj < rows[0].cpu_uj, "PIM should save embedding energy");
+    let rows = experiments::energy(&[DatasetSpec::goodreads()], quick()).expect("energy");
+    assert!(
+        rows[0].updlrm_uj < rows[0].cpu_uj,
+        "PIM should save embedding energy"
+    );
 }
 
 #[test]
 fn updlrm_matches_cpu_functionally_at_harness_scale() {
     let setup = EvalSetup::build(&DatasetSpec::goodreads(), quick()).expect("setup");
     let mut cpu = setup.cpu().expect("cpu");
-    let mut updlrm = setup.updlrm(PartitionStrategy::CacheAware, None).expect("updlrm");
+    let mut updlrm = setup
+        .updlrm(PartitionStrategy::CacheAware, None)
+        .expect("updlrm");
     use baselines::InferenceBackend;
     let batch = &setup.workload.batches[0];
     let (a, _) = cpu.run_batch(batch).expect("cpu run");

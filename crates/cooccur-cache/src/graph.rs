@@ -27,12 +27,23 @@ impl CooccurGraph {
     /// Creates a graph tracking the `hot_set_size` most frequent items
     /// of `profile`.
     pub fn new(profile: &FreqProfile, hot_set_size: usize) -> Self {
-        let hot_items: Vec<u64> =
-            profile.items_by_frequency().into_iter().take(hot_set_size).collect();
-        let hot_rank =
-            hot_items.iter().enumerate().map(|(r, &i)| (i, r as u32)).collect();
+        let hot_items: Vec<u64> = profile
+            .items_by_frequency()
+            .into_iter()
+            .take(hot_set_size)
+            .collect();
+        let hot_rank = hot_items
+            .iter()
+            .enumerate()
+            .map(|(r, &i)| (i, r as u32))
+            .collect();
         let freq = hot_items.iter().map(|&i| profile.count(i)).collect();
-        CooccurGraph { hot_rank, hot_items, edges: HashMap::new(), freq }
+        CooccurGraph {
+            hot_rank,
+            hot_items,
+            edges: HashMap::new(),
+            freq,
+        }
     }
 
     /// Number of hot items tracked.
@@ -67,8 +78,10 @@ impl CooccurGraph {
     /// an evenly-strided subset is used so that mid-popularity pairs
     /// are not systematically dropped.
     pub fn record_sample(&mut self, sample: &[u64]) {
-        let mut hot: Vec<u32> =
-            sample.iter().filter_map(|i| self.hot_rank.get(i).copied()).collect();
+        let mut hot: Vec<u32> = sample
+            .iter()
+            .filter_map(|i| self.hot_rank.get(i).copied())
+            .collect();
         hot.sort_unstable();
         if hot.len() > Self::MAX_PAIR_SPAN {
             let stride = hot.len().div_ceil(Self::MAX_PAIR_SPAN);

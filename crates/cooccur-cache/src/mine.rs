@@ -119,17 +119,18 @@ impl CacheListSet {
                 benefit,
             });
         }
-        lists.sort_by(|a, b| b.benefit.partial_cmp(&a.benefit).expect("benefits are finite"));
+        lists.sort_by(|a, b| {
+            b.benefit
+                .partial_cmp(&a.benefit)
+                .expect("benefits are finite")
+        });
         CacheListSet { lists }
     }
 
     /// Replaces each list's estimated benefit with one *measured* on a
     /// trace: the number of memory accesses the cache would actually
     /// save (covered items minus one cache read, per sample).
-    pub fn measure_benefit<'a>(
-        &mut self,
-        inputs: impl IntoIterator<Item = &'a SparseInput>,
-    ) {
+    pub fn measure_benefit<'a>(&mut self, inputs: impl IntoIterator<Item = &'a SparseInput>) {
         let item_to_list = self.item_index();
         let mut saved = vec![0u64; self.lists.len()];
         for input in inputs {
@@ -150,8 +151,11 @@ impl CacheListSet {
         for (list, s) in self.lists.iter_mut().zip(saved) {
             list.benefit = s as f64;
         }
-        self.lists
-            .sort_by(|a, b| b.benefit.partial_cmp(&a.benefit).expect("benefits are finite"));
+        self.lists.sort_by(|a, b| {
+            b.benefit
+                .partial_cmp(&a.benefit)
+                .expect("benefits are finite")
+        });
     }
 
     /// Item -> list index (lists are disjoint by construction).
@@ -248,7 +252,10 @@ mod tests {
         let g = clustered_graph();
         // min_edge_fraction 0.9 means a neighbor must co-occur in 90% of
         // the seed's accesses — the 5/50 edges fail.
-        let cfg = MinerConfig { min_edge_fraction: 0.9, ..MinerConfig::default() };
+        let cfg = MinerConfig {
+            min_edge_fraction: 0.9,
+            ..MinerConfig::default()
+        };
         let set = CacheListSet::mine(&g, &cfg);
         assert!(set.lists.iter().all(|l| {
             let s: HashSet<u64> = l.items.iter().copied().collect();
@@ -259,14 +266,20 @@ mod tests {
     #[test]
     fn max_list_len_is_respected() {
         let g = clustered_graph();
-        let cfg = MinerConfig { max_list_len: 2, ..MinerConfig::default() };
+        let cfg = MinerConfig {
+            max_list_len: 2,
+            ..MinerConfig::default()
+        };
         let set = CacheListSet::mine(&g, &cfg);
         assert!(set.lists.iter().all(|l| l.items.len() <= 2));
     }
 
     #[test]
     fn combination_count_is_exponential() {
-        let l = CacheList { items: vec![1, 2, 3], benefit: 0.0 };
+        let l = CacheList {
+            items: vec![1, 2, 3],
+            benefit: 0.0,
+        };
         assert_eq!(l.num_combinations(), 7);
         assert_eq!(l.storage_bytes(32), 7 * 32 * 4);
     }
@@ -291,8 +304,14 @@ mod tests {
     fn truncate_to_bytes_keeps_best_prefix() {
         let mut set = CacheListSet {
             lists: vec![
-                CacheList { items: vec![0, 1], benefit: 10.0 }, // 3 rows
-                CacheList { items: vec![2, 3], benefit: 5.0 },  // 3 rows
+                CacheList {
+                    items: vec![0, 1],
+                    benefit: 10.0,
+                }, // 3 rows
+                CacheList {
+                    items: vec![2, 3],
+                    benefit: 5.0,
+                }, // 3 rows
             ],
         };
         let dim = 4; // one row = 16 bytes, one list = 48 bytes
@@ -307,7 +326,13 @@ mod tests {
     #[test]
     fn benefit_ordering_is_descending() {
         let g = clustered_graph();
-        let set = CacheListSet::mine(&g, &MinerConfig { min_edge_fraction: 0.01, ..Default::default() });
+        let set = CacheListSet::mine(
+            &g,
+            &MinerConfig {
+                min_edge_fraction: 0.01,
+                ..Default::default()
+            },
+        );
         for w in set.lists.windows(2) {
             assert!(w[0].benefit >= w[1].benefit);
         }

@@ -81,10 +81,20 @@ impl PartialSumCache {
                     .collect();
                 let vector = table.partial_sum(&items)?;
                 combo_index.insert((l, mask), entries.len());
-                entries.push(CacheEntry { list: l, mask, items, vector });
+                entries.push(CacheEntry {
+                    list: l,
+                    mask,
+                    items,
+                    vector,
+                });
             }
         }
-        Ok(PartialSumCache { entries, item_pos, combo_index, dim: table.dim() })
+        Ok(PartialSumCache {
+            entries,
+            item_pos,
+            combo_index,
+            dim: table.dim(),
+        })
     }
 
     /// The cached entries (stable order: list-major, mask-minor).
@@ -156,8 +166,14 @@ mod tests {
     fn lists() -> CacheListSet {
         CacheListSet {
             lists: vec![
-                CacheList { items: vec![1, 2, 3], benefit: 10.0 },
-                CacheList { items: vec![7, 8], benefit: 5.0 },
+                CacheList {
+                    items: vec![1, 2, 3],
+                    benefit: 10.0,
+                },
+                CacheList {
+                    items: vec![7, 8],
+                    benefit: 5.0,
+                },
             ],
         }
     }
@@ -223,7 +239,10 @@ mod tests {
     #[test]
     fn oversized_list_is_rejected() {
         let big = CacheListSet {
-            lists: vec![CacheList { items: (0..21).collect(), benefit: 0.0 }],
+            lists: vec![CacheList {
+                items: (0..21).collect(),
+                benefit: 0.0,
+            }],
         };
         assert!(PartialSumCache::materialize(&big, &table()).is_err());
     }
@@ -231,7 +250,10 @@ mod tests {
     #[test]
     fn out_of_range_item_is_rejected() {
         let bad = CacheListSet {
-            lists: vec![CacheList { items: vec![1000, 1001], benefit: 0.0 }],
+            lists: vec![CacheList {
+                items: vec![1000, 1001],
+                benefit: 0.0,
+            }],
         };
         assert!(PartialSumCache::materialize(&bad, &table()).is_err());
     }

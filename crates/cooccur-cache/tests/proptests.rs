@@ -15,7 +15,10 @@ fn disjoint_lists(n: u64) -> impl Strategy<Value = CacheListSet> {
             let items: Vec<u64> = (next..next + s as u64 + 1).take_while(|&i| i < n).collect();
             next += s as u64 + 1;
             if items.len() >= 2 {
-                lists.push(CacheList { items, benefit: 1.0 });
+                lists.push(CacheList {
+                    items,
+                    benefit: 1.0,
+                });
             }
         }
         CacheListSet { lists }

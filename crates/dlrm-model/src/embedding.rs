@@ -32,7 +32,11 @@ impl EmbeddingTable {
                 "embedding table must be non-empty, got {rows}x{dim}"
             )));
         }
-        Ok(EmbeddingTable { rows, dim, data: vec![0.0; rows * dim] })
+        Ok(EmbeddingTable {
+            rows,
+            dim,
+            data: vec![0.0; rows * dim],
+        })
     }
 
     /// Creates a table with uniform random values in `[-scale, scale)`,
@@ -92,7 +96,10 @@ impl EmbeddingTable {
     /// Fails if `i` is out of range.
     pub fn row(&self, i: u64) -> Result<&[f32]> {
         let idx = usize::try_from(i).ok().filter(|&v| v < self.rows).ok_or(
-            ModelError::IndexOutOfRange { index: i, rows: self.rows },
+            ModelError::IndexOutOfRange {
+                index: i,
+                rows: self.rows,
+            },
         )?;
         Ok(&self.data[idx * self.dim..(idx + 1) * self.dim])
     }
@@ -165,7 +172,8 @@ mod tests {
 
     fn table_3x2() -> EmbeddingTable {
         let mut t = EmbeddingTable::zeros(3, 2).unwrap();
-        t.as_mut_slice().copy_from_slice(&[1.0, 2.0, 10.0, 20.0, 100.0, 200.0]);
+        t.as_mut_slice()
+            .copy_from_slice(&[1.0, 2.0, 10.0, 20.0, 100.0, 200.0]);
         t
     }
 
@@ -226,7 +234,10 @@ mod tests {
     #[test]
     fn integer_valued_tables_have_integer_entries() {
         let t = EmbeddingTable::random_integer_valued(32, 8, 3, 7).unwrap();
-        assert!(t.as_slice().iter().all(|v| v.fract() == 0.0 && v.abs() <= 3.0));
+        assert!(t
+            .as_slice()
+            .iter()
+            .all(|v| v.fract() == 0.0 && v.abs() <= 3.0));
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl fmt::Display for ModelError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             ModelError::IndexOutOfRange { index, rows } => {
-                write!(f, "embedding index {index} out of range for table with {rows} rows")
+                write!(
+                    f,
+                    "embedding index {index} out of range for table with {rows} rows"
+                )
             }
             ModelError::MalformedOffsets(msg) => write!(f, "malformed offsets: {msg}"),
             ModelError::InvalidConfig(msg) => write!(f, "invalid model configuration: {msg}"),
@@ -69,7 +72,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_specific() {
-        let e = ModelError::IndexOutOfRange { index: 99, rows: 10 };
+        let e = ModelError::IndexOutOfRange {
+            index: 99,
+            rows: 10,
+        };
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("10"));
     }

@@ -55,5 +55,5 @@ pub use error::{ModelError, Result};
 pub use mlp::{Activation, Linear, LinearGrads, Mlp};
 pub use model::{Dlrm, DlrmConfig};
 pub use query::{QueryBatch, SparseInput};
-pub use train::{bce_loss, SgdConfig, TrainStats};
 pub use tensor::Matrix;
+pub use train::{bce_loss, SgdConfig, TrainStats};

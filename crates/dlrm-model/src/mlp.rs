@@ -31,7 +31,12 @@ impl Linear {
     /// # Errors
     ///
     /// Fails if either dimension is zero.
-    pub fn xavier(in_dim: usize, out_dim: usize, activation: Activation, seed: u64) -> Result<Self> {
+    pub fn xavier(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        seed: u64,
+    ) -> Result<Self> {
         if in_dim == 0 || out_dim == 0 {
             return Err(ModelError::InvalidConfig(format!(
                 "linear layer dims must be nonzero, got {in_dim}x{out_dim}"
@@ -39,7 +44,9 @@ impl Linear {
         }
         let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
         let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..in_dim * out_dim).map(|_| rng.random_range(-bound..bound)).collect();
+        let data = (0..in_dim * out_dim)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
         Ok(Linear {
             weight: Matrix::from_vec(in_dim, out_dim, data)?,
             bias: vec![0.0; out_dim],
@@ -94,7 +101,14 @@ impl Linear {
             Activation::Sigmoid => out.sigmoid_in_place(),
             Activation::None => {}
         }
-        Ok((out.clone(), LinearCache { input: x.clone(), pre, out }))
+        Ok((
+            out.clone(),
+            LinearCache {
+                input: x.clone(),
+                pre,
+                out,
+            },
+        ))
     }
 
     /// Backward pass: given `d_out = dL/d(activation output)` (or, with
@@ -132,7 +146,13 @@ impl Linear {
         let d_weight = cache.input.transpose().matmul(&d_pre)?;
         let d_bias = d_pre.column_sums();
         let d_input = d_pre.matmul(&self.weight.transpose())?;
-        Ok((d_input, LinearGrads { weight: d_weight, bias: d_bias }))
+        Ok((
+            d_input,
+            LinearGrads {
+                weight: d_weight,
+                bias: d_bias,
+            },
+        ))
     }
 
     /// SGD update: `param -= lr * grad`.
@@ -143,7 +163,12 @@ impl Linear {
     pub fn apply_grads(&mut self, grads: &LinearGrads, lr: f32) {
         assert_eq!(grads.weight.rows(), self.weight.rows(), "weight grad shape");
         assert_eq!(grads.weight.cols(), self.weight.cols(), "weight grad shape");
-        for (w, &g) in self.weight.as_mut_slice().iter_mut().zip(grads.weight.as_slice()) {
+        for (w, &g) in self
+            .weight
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grads.weight.as_slice())
+        {
             *w -= lr * g;
         }
         for (b, &g) in self.bias.iter_mut().zip(grads.bias.iter()) {
@@ -201,8 +226,17 @@ impl Mlp {
         }
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for (i, w) in sizes.windows(2).enumerate() {
-            let act = if i + 2 == sizes.len() { final_activation } else { Activation::Relu };
-            layers.push(Linear::xavier(w[0], w[1], act, seed.wrapping_add(i as u64))?);
+            let act = if i + 2 == sizes.len() {
+                final_activation
+            } else {
+                Activation::Relu
+            };
+            layers.push(Linear::xavier(
+                w[0],
+                w[1],
+                act,
+                seed.wrapping_add(i as u64),
+            )?);
         }
         Ok(Mlp { layers })
     }
@@ -279,7 +313,13 @@ impl Mlp {
             grads[i] = Some(g);
             d = d_in;
         }
-        Ok((d, grads.into_iter().map(|g| g.expect("all layers visited")).collect()))
+        Ok((
+            d,
+            grads
+                .into_iter()
+                .map(|g| g.expect("all layers visited"))
+                .collect(),
+        ))
     }
 
     /// Applies per-layer SGD updates.

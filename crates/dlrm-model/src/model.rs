@@ -56,10 +56,14 @@ impl DlrmConfig {
             return Err(ModelError::InvalidConfig("num_dense must be > 0".into()));
         }
         if self.embedding_dim == 0 {
-            return Err(ModelError::InvalidConfig("embedding_dim must be > 0".into()));
+            return Err(ModelError::InvalidConfig(
+                "embedding_dim must be > 0".into(),
+            ));
         }
         if self.table_rows.is_empty() {
-            return Err(ModelError::InvalidConfig("at least one embedding table".into()));
+            return Err(ModelError::InvalidConfig(
+                "at least one embedding table".into(),
+            ));
         }
         if self.table_rows.contains(&0) {
             return Err(ModelError::InvalidConfig("table rows must be > 0".into()));
@@ -121,15 +125,30 @@ impl Dlrm {
         let mut top_sizes = vec![config.interaction_dim()];
         top_sizes.extend_from_slice(&config.top_hidden);
         top_sizes.push(1);
-        let top = Mlp::new(&top_sizes, Activation::Sigmoid, config.seed.wrapping_add(1000))?;
+        let top = Mlp::new(
+            &top_sizes,
+            Activation::Sigmoid,
+            config.seed.wrapping_add(1000),
+        )?;
 
         let tables = config
             .table_rows
             .iter()
             .enumerate()
-            .map(|(i, &rows)| init(rows, config.embedding_dim, config.seed.wrapping_add(2000 + i as u64)))
+            .map(|(i, &rows)| {
+                init(
+                    rows,
+                    config.embedding_dim,
+                    config.seed.wrapping_add(2000 + i as u64),
+                )
+            })
             .collect::<Result<Vec<_>>>()?;
-        Ok(Dlrm { config, bottom, top, tables })
+        Ok(Dlrm {
+            config,
+            bottom,
+            top,
+            tables,
+        })
     }
 
     /// The configuration.

@@ -51,7 +51,9 @@ impl SparseInput {
     /// Returns [`ModelError::MalformedOffsets`] describing the violation.
     pub fn validate(&self) -> Result<()> {
         if self.offsets.is_empty() {
-            return Err(ModelError::MalformedOffsets("offsets must have length >= 1".into()));
+            return Err(ModelError::MalformedOffsets(
+                "offsets must have length >= 1".into(),
+            ));
         }
         if self.offsets[0] != 0 {
             return Err(ModelError::MalformedOffsets(format!(
@@ -134,7 +136,11 @@ impl QueryBatch {
     /// Fails if dense dimensions disagree with the sparse batch size or
     /// any sparse group is malformed / has inconsistent batch size.
     pub fn new(dense: Vec<f32>, num_dense: usize, sparse: Vec<SparseInput>) -> Result<Self> {
-        let batch = QueryBatch { dense, num_dense, sparse };
+        let batch = QueryBatch {
+            dense,
+            num_dense,
+            sparse,
+        };
         batch.validate()?;
         Ok(batch)
     }

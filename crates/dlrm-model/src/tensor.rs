@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from row-major data.
@@ -175,9 +179,9 @@ impl Matrix {
     ///
     /// Fails if row counts differ or `parts` is empty.
     pub fn hconcat(parts: &[&Matrix]) -> Result<Matrix> {
-        let first = parts.first().ok_or(ModelError::InvalidConfig(
-            "hconcat of zero matrices".into(),
-        ))?;
+        let first = parts
+            .first()
+            .ok_or(ModelError::InvalidConfig("hconcat of zero matrices".into()))?;
         let rows = first.rows;
         let total_cols: usize = parts.iter().map(|m| m.cols).sum();
         for m in parts {
@@ -283,7 +287,10 @@ mod tests {
     fn matmul_shape_mismatch_is_error() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(ModelError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(ModelError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

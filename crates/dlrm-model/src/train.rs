@@ -24,7 +24,10 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig { lr_dense: 0.05, lr_embedding: 0.05 }
+        SgdConfig {
+            lr_dense: 0.05,
+            lr_embedding: 0.05,
+        }
     }
 }
 
@@ -53,7 +56,9 @@ pub fn bce_loss(p: &[f32], y: &[f32]) -> Result<f32> {
     let mut total = 0.0f64;
     for (&pi, &yi) in p.iter().zip(y.iter()) {
         if !(0.0..=1.0).contains(&yi) {
-            return Err(ModelError::InvalidConfig(format!("label {yi} outside [0, 1]")));
+            return Err(ModelError::InvalidConfig(format!(
+                "label {yi} outside [0, 1]"
+            )));
         }
         let pi = pi.clamp(1e-7, 1.0 - 1e-7) as f64;
         total -= yi as f64 * pi.ln() + (1.0 - yi as f64) * (1.0 - pi).ln();
@@ -104,8 +109,11 @@ impl Dlrm {
 
         // ---- backward ----
         // BCE + sigmoid shortcut: dL/d(pre-sigmoid) = (p - y) / B.
-        let delta: Vec<f32> =
-            p.iter().zip(labels.iter()).map(|(&pi, &yi)| (pi - yi) / b as f32).collect();
+        let delta: Vec<f32> = p
+            .iter()
+            .zip(labels.iter())
+            .map(|(&pi, &yi)| (pi - yi) / b as f32)
+            .collect();
         let d_logits = Matrix::from_vec(b, 1, delta)?;
         let (d_interaction, top_grads) = self.top_mlp().backward(&top_cache, &d_logits, true)?;
 
@@ -113,11 +121,14 @@ impl Dlrm {
         // then one block per table.
         let dim = self.config().embedding_dim;
         let (d_dense_feat, mut d_rest) = d_interaction.hsplit(dim)?;
-        let (_, bottom_grads) = self.bottom_mlp().backward(&bottom_cache, &d_dense_feat, false)?;
+        let (_, bottom_grads) = self
+            .bottom_mlp()
+            .backward(&bottom_cache, &d_dense_feat, false)?;
 
         // ---- apply dense updates ----
         self.top_mlp_mut().apply_grads(&top_grads, sgd.lr_dense);
-        self.bottom_mlp_mut().apply_grads(&bottom_grads, sgd.lr_dense);
+        self.bottom_mlp_mut()
+            .apply_grads(&bottom_grads, sgd.lr_dense);
 
         // ---- sparse embedding updates ----
         // The pooled embedding is a plain sum, so every contributing row
@@ -175,7 +186,10 @@ mod tests {
             let positive = rng.random_bool(0.5);
             labels.push(if positive { 1.0 } else { 0.0 });
             let base = if positive { 0u64 } else { 10 };
-            s0.push(vec![base + rng.random_range(0..10), base + rng.random_range(0..10)]);
+            s0.push(vec![
+                base + rng.random_range(0..10),
+                base + rng.random_range(0..10),
+            ]);
             s1.push(vec![base + rng.random_range(0..10)]);
             for _ in 0..3 {
                 dense.push(rng.random_range(-0.5..0.5));
@@ -201,7 +215,10 @@ mod tests {
     #[test]
     fn training_reduces_loss_and_learns_the_task() {
         let mut model = tiny();
-        let sgd = SgdConfig { lr_dense: 0.1, lr_embedding: 0.5 };
+        let sgd = SgdConfig {
+            lr_dense: 0.1,
+            lr_embedding: 0.5,
+        };
         let (batch, labels) = task_batch(64, 1);
         let first = model.train_batch(&batch, &labels, &sgd).unwrap();
         let mut last = first;
@@ -225,7 +242,10 @@ mod tests {
         // the trainer applied.
         let (batch, labels) = task_batch(8, 99);
         let eps = 1e-3f32;
-        let sgd = SgdConfig { lr_dense: 1.0, lr_embedding: 1.0 };
+        let sgd = SgdConfig {
+            lr_dense: 1.0,
+            lr_embedding: 1.0,
+        };
 
         // Analytic gradient via the applied update (lr = 1 ⇒ delta = -grad).
         let base_model = tiny();
@@ -272,7 +292,9 @@ mod tests {
     fn label_count_is_validated() {
         let mut model = tiny();
         let (batch, _) = task_batch(4, 0);
-        assert!(model.train_batch(&batch, &[1.0; 3], &SgdConfig::default()).is_err());
+        assert!(model
+            .train_batch(&batch, &[1.0; 3], &SgdConfig::default())
+            .is_err());
     }
 
     #[test]
@@ -288,7 +310,9 @@ mod tests {
             ],
         )
         .unwrap();
-        model.train_batch(&batch, &[1.0], &SgdConfig::default()).unwrap();
+        model
+            .train_batch(&batch, &[1.0], &SgdConfig::default())
+            .unwrap();
         let after = model.tables()[0].as_slice();
         // Row 0 moved, row 5 (untouched) did not.
         assert_ne!(&before[0..4], &after[0..4]);

@@ -5,11 +5,8 @@ use proptest::prelude::*;
 
 /// Strategy: a small CSR sparse input over `rows` rows.
 fn sparse_input(rows: u64, max_batch: usize, max_red: usize) -> impl Strategy<Value = SparseInput> {
-    prop::collection::vec(
-        prop::collection::vec(0..rows, 0..max_red),
-        1..max_batch,
-    )
-    .prop_map(SparseInput::from_samples)
+    prop::collection::vec(prop::collection::vec(0..rows, 0..max_red), 1..max_batch)
+        .prop_map(SparseInput::from_samples)
 }
 
 proptest! {

@@ -50,6 +50,11 @@ pub struct UpdlrmConfig {
     pub route_ns_per_ref: f64,
     /// Host CPU nanoseconds per scalar add when combining partial sums.
     pub combine_ns_per_add: f64,
+    /// Host threads used to fan out the functional DPU simulation
+    /// (`1` = serial). Modeled timing is unaffected; this only changes
+    /// simulator wall-clock throughput. Defaults to the machine's
+    /// available parallelism.
+    pub host_threads: usize,
 }
 
 impl Default for UpdlrmConfig {
@@ -71,6 +76,7 @@ impl Default for UpdlrmConfig {
             replicate_top: 64,
             route_ns_per_ref: 1.0,
             combine_ns_per_add: 0.1,
+            host_threads: upmem_sim::default_host_threads(),
         }
     }
 }
@@ -79,7 +85,11 @@ impl UpdlrmConfig {
     /// A small configuration for tests and examples: `nr_dpus` DPUs and
     /// the given strategy, everything else default.
     pub fn with_dpus(nr_dpus: usize, strategy: PartitionStrategy) -> Self {
-        UpdlrmConfig { nr_dpus, strategy, ..UpdlrmConfig::default() }
+        UpdlrmConfig {
+            nr_dpus,
+            strategy,
+            ..UpdlrmConfig::default()
+        }
     }
 
     /// Returns a copy with a fixed `N_c` (Figs. 9/10 sweep the fixed
@@ -92,6 +102,12 @@ impl UpdlrmConfig {
     /// Returns a copy with the given cache-capacity fraction.
     pub fn with_cache_fraction(mut self, fraction: f64) -> Self {
         self.cache_fraction = fraction;
+        self
+    }
+
+    /// Returns a copy with the given number of simulation host threads.
+    pub fn with_host_threads(mut self, host_threads: usize) -> Self {
+        self.host_threads = host_threads;
         self
     }
 }

@@ -185,7 +185,9 @@ impl UpdlrmEngine {
         cache_lists: &[CacheListSet],
     ) -> Result<Self> {
         if tables.is_empty() {
-            return Err(CoreError::InvalidConfig("at least one embedding table".into()));
+            return Err(CoreError::InvalidConfig(
+                "at least one embedding table".into(),
+            ));
         }
         if profiles.len() != tables.len() {
             return Err(CoreError::InvalidConfig(format!(
@@ -201,9 +203,7 @@ impl UpdlrmEngine {
                 tables.len()
             )));
         }
-        if config.strategy == PartitionStrategy::CacheAware
-            && cache_lists.len() != tables.len()
-        {
+        if config.strategy == PartitionStrategy::CacheAware && cache_lists.len() != tables.len() {
             return Err(CoreError::InvalidConfig(format!(
                 "cache-aware partitioning needs one cache list set per table ({} for {})",
                 cache_lists.len(),
@@ -214,6 +214,7 @@ impl UpdlrmEngine {
             nr_dpus: config.nr_dpus,
             tasklets: config.tasklets,
             cost: config.cost.clone(),
+            host_threads: config.host_threads,
         })?;
 
         let dpus_per_table = config.nr_dpus / tables.len();
@@ -230,7 +231,11 @@ impl UpdlrmEngine {
             Self::load_table(&mut sys, table, &state)?;
             states.push(state);
         }
-        Ok(UpdlrmEngine { sys, config, tables: states })
+        Ok(UpdlrmEngine {
+            sys,
+            config,
+            tables: states,
+        })
     }
 
     /// Builds an engine directly from a generated workload: profiles
@@ -305,12 +310,14 @@ impl UpdlrmEngine {
         let emt_cap_rows = config.emt_capacity_bytes / row_bytes;
 
         let (assignment, cache) = match config.strategy {
-            PartitionStrategy::Uniform => {
-                (partition::uniform(table.rows(), parts, emt_cap_rows, profile)?, None)
-            }
-            PartitionStrategy::NonUniform => {
-                (partition::non_uniform(table.rows(), parts, emt_cap_rows, profile)?, None)
-            }
+            PartitionStrategy::Uniform => (
+                partition::uniform(table.rows(), parts, emt_cap_rows, profile)?,
+                None,
+            ),
+            PartitionStrategy::NonUniform => (
+                partition::non_uniform(table.rows(), parts, emt_cap_rows, profile)?,
+                None,
+            ),
             PartitionStrategy::Replicated => (
                 partition::replicated_non_uniform(
                     table.rows(),
@@ -328,8 +335,7 @@ impl UpdlrmEngine {
                 let required = lists.total_storage_bytes(table.dim());
                 let budget = (required as f64 * config.cache_fraction) as usize;
                 lists.truncate_to_bytes(budget, table.dim());
-                let total_combos: usize =
-                    lists.lists.iter().map(|l| l.num_combinations()).sum();
+                let total_combos: usize = lists.lists.iter().map(|l| l.num_combinations()).sum();
                 let largest = lists
                     .lists
                     .iter()
@@ -387,8 +393,8 @@ impl UpdlrmEngine {
         let replicas: Vec<u32> = replicas.into_iter().map(|(_, r)| r).collect();
 
         // MRAM regions: [EMT | cache | input | output].
-        let emt_rows_max = replicas.len()
-            + assignment.rows_per_part.iter().copied().max().unwrap_or(0) as usize;
+        let emt_rows_max =
+            replicas.len() + assignment.rows_per_part.iter().copied().max().unwrap_or(0) as usize;
         let cache_rows_max = cache
             .as_ref()
             .map(|c| c.cache_rows_per_part.iter().copied().max().unwrap_or(0) as usize)
@@ -445,8 +451,11 @@ impl UpdlrmEngine {
         // Entries per partition in slot order.
         let entries_in_part: Vec<Vec<usize>> = match &state.cache {
             Some(c) => {
-                let mut v: Vec<Vec<usize>> =
-                    c.cache_rows_per_part.iter().map(|&n| vec![0; n as usize]).collect();
+                let mut v: Vec<Vec<usize>> = c
+                    .cache_rows_per_part
+                    .iter()
+                    .map(|&n| vec![0; n as usize])
+                    .collect();
                 for (e, (&p, &s)) in c.entry_part.iter().zip(c.entry_slot.iter()).enumerate() {
                     v[p as usize][s as usize] = e;
                 }
@@ -456,15 +465,20 @@ impl UpdlrmEngine {
         };
 
         let cache_base = (rc
-            + state.assignment.rows_per_part.iter().copied().max().unwrap_or(0) as usize)
+            + state
+                .assignment
+                .rows_per_part
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0) as usize)
             * row_bytes;
         for p in 0..parts {
             for c in 0..tiling.col_slices {
                 let dpu = state.dpu(p, c);
                 // EMT tile: the shared replica block (slots 0..rc), then
                 // this partition's rows, columns [c*n_c, ...).
-                let mut buf =
-                    Vec::with_capacity((rc + rows_in_part[p].len()) * row_bytes);
+                let mut buf = Vec::with_capacity((rc + rows_in_part[p].len()) * row_bytes);
                 for &r in state.replicas.iter().chain(rows_in_part[p].iter()) {
                     let row = table.row(r as u64)?;
                     for &v in &row[c * n_c..(c + 1) * n_c] {
@@ -476,8 +490,7 @@ impl UpdlrmEngine {
                 }
                 // Cache region: this partition's combination rows.
                 if let Some(cs) = &state.cache {
-                    let mut cbuf =
-                        Vec::with_capacity(entries_in_part[p].len() * row_bytes);
+                    let mut cbuf = Vec::with_capacity(entries_in_part[p].len() * row_bytes);
                     for &e in &entries_in_part[p] {
                         let vec = &cs.store.entries()[e].vector;
                         for &v in &vec[c * n_c..(c + 1) * n_c] {
@@ -616,14 +629,20 @@ impl UpdlrmEngine {
             .iter()
             .map(|(t, p, _)| {
                 let state = &self.tables[*t];
-                (0..state.tiling.col_slices).map(|c| state.dpu(*p, c)).collect()
+                (0..state.tiling.col_slices)
+                    .map(|c| state.dpu(*p, c))
+                    .collect()
             })
             .collect();
         let transfers: Vec<(&[DpuId], u32, &[u8])> = streams
             .iter()
             .zip(groups_ids.iter())
             .map(|((t, _, stream), ids)| {
-                (ids.as_slice(), self.tables[*t].input_base, stream.as_slice())
+                (
+                    ids.as_slice(),
+                    self.tables[*t].input_base,
+                    stream.as_slice(),
+                )
             })
             .collect();
         let scatter_report = self.sys.scatter_broadcast(&transfers)?;
@@ -672,8 +691,7 @@ impl UpdlrmEngine {
         breakdown.stage2_ns = stage2_ns;
         if !all_cycles.is_empty() {
             let max = *all_cycles.iter().max().expect("nonempty") as f64;
-            let mean =
-                all_cycles.iter().sum::<u64>() as f64 / all_cycles.len() as f64;
+            let mean = all_cycles.iter().sum::<u64>() as f64 / all_cycles.len() as f64;
             breakdown.lookup_imbalance = if mean > 0.0 { max / mean } else { 1.0 };
         }
 
@@ -694,8 +712,11 @@ impl UpdlrmEngine {
         breakdown.energy_pj += gather_report.energy_pj;
 
         // --- host combine: assemble pooled matrices ---
-        let mut pooled: Vec<Matrix> =
-            self.tables.iter().map(|s| Matrix::zeros(b, s.dim)).collect();
+        let mut pooled: Vec<Matrix> = self
+            .tables
+            .iter()
+            .map(|s| Matrix::zeros(b, s.dim))
+            .collect();
         let mut combine_adds = 0u64;
         for (buf, &(t, _p, c)) in buffers.iter().zip(request_meta.iter()) {
             let state = &self.tables[t];

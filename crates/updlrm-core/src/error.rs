@@ -42,7 +42,11 @@ impl fmt::Display for CoreError {
                 f,
                 "no feasible tiling for a {rows}x{cols} table on {dpus} dpus under Eq. 2-3"
             ),
-            CoreError::CapacityExceeded { partition, required, available } => write!(
+            CoreError::CapacityExceeded {
+                partition,
+                required,
+                available,
+            } => write!(
                 f,
                 "partition {partition} needs {required} bytes but only {available} available"
             ),
@@ -89,7 +93,11 @@ mod tests {
 
     #[test]
     fn display_no_feasible_tiling() {
-        let e = CoreError::NoFeasibleTiling { rows: 10, cols: 32, dpus: 4 };
+        let e = CoreError::NoFeasibleTiling {
+            rows: 10,
+            cols: 32,
+            dpus: 4,
+        };
         assert!(e.to_string().contains("10x32"));
     }
 }

@@ -74,7 +74,11 @@ impl EmbeddingKernel {
     /// Creates a kernel for tiles of `row_bytes` bytes per row reading
     /// streams built with the same `dedup` flag.
     pub fn new(row_bytes: usize, dedup: bool) -> Self {
-        EmbeddingKernel { row_bytes, dedup, tasks: HashMap::new() }
+        EmbeddingKernel {
+            row_bytes,
+            dedup,
+            tasks: HashMap::new(),
+        }
     }
 
     /// Registers one DPU's launch parameters.
@@ -104,7 +108,12 @@ fn read_padded(ctx: &mut TaskletCtx<'_>, addr: u32, len: usize) -> Result<Vec<u8
 }
 
 fn u32_at(buf: &[u8], idx: usize) -> u32 {
-    u32::from_le_bytes([buf[4 * idx], buf[4 * idx + 1], buf[4 * idx + 2], buf[4 * idx + 3]])
+    u32::from_le_bytes([
+        buf[4 * idx],
+        buf[4 * idx + 1],
+        buf[4 * idx + 2],
+        buf[4 * idx + 3],
+    ])
 }
 
 impl EmbeddingKernel {
@@ -135,7 +144,11 @@ impl EmbeddingKernel {
             for i in 0..(end - start) {
                 let r = u32_at(&refs, i);
                 let slot = (r & !CACHE_REF_BIT) as usize;
-                let base = if r & CACHE_REF_BIT != 0 { task.cache_base } else { task.emt_base };
+                let base = if r & CACHE_REF_BIT != 0 {
+                    task.cache_base
+                } else {
+                    task.emt_base
+                };
                 ctx.mram_read(base + (slot * self.row_bytes) as u32, &mut row)?;
                 ctx.charge_loop(1);
                 for (c, chunk) in row.chunks_exact(4).enumerate() {
@@ -219,7 +232,11 @@ impl Kernel for EmbeddingKernel {
                 }
                 // Resolve the row address and fetch it once.
                 let slot = (r & !CACHE_REF_BIT) as usize;
-                let base = if r & CACHE_REF_BIT != 0 { task.cache_base } else { task.emt_base };
+                let base = if r & CACHE_REF_BIT != 0 {
+                    task.cache_base
+                } else {
+                    task.emt_base
+                };
                 let addr = base + (slot * self.row_bytes) as u32;
                 ctx.mram_read(addr, &mut row)?;
                 ctx.charge_loop(1);
@@ -361,9 +378,8 @@ pub fn build_stream(refs_per_sample: &[Vec<u32>], n_tasklets: usize, dedup: bool
     }
     offsets.push(0); // pad word so the header stays 8-byte aligned
     let header_words = n_tasklets + 2;
-    let mut bytes = Vec::with_capacity(
-        (header_words + streams.iter().map(Vec::len).sum::<usize>()) * 4 + 8,
-    );
+    let mut bytes =
+        Vec::with_capacity((header_words + streams.iter().map(Vec::len).sum::<usize>()) * 4 + 8);
     for w in offsets.iter().take(header_words) {
         bytes.extend_from_slice(&w.to_le_bytes());
     }
@@ -503,8 +519,12 @@ mod tests {
         }
         sys.load_mram(dpu, 0, &emt).unwrap();
         let input_base = 4096u32;
-        sys.load_mram(dpu, input_base, &build_stream(refs_per_sample, n_tasklets, false))
-            .unwrap();
+        sys.load_mram(
+            dpu,
+            input_base,
+            &build_stream(refs_per_sample, n_tasklets, false),
+        )
+        .unwrap();
         let mut kernel = EmbeddingKernel::new(row_bytes, false);
         kernel.set_task(
             dpu,
@@ -552,7 +572,12 @@ mod tests {
         let refs: Vec<Vec<u32>> = (0..16u32).map(|i| vec![i, i + 16]).collect();
         let csr = build_stream(&refs, 8, false);
         let dedup = build_stream(&refs, 8, true);
-        assert!(csr.len() < dedup.len(), "csr {} vs dedup {}", csr.len(), dedup.len());
+        assert!(
+            csr.len() < dedup.len(),
+            "csr {} vs dedup {}",
+            csr.len(),
+            dedup.len()
+        );
     }
 
     #[test]
@@ -576,11 +601,18 @@ mod tests {
         sys.load_mram(dpu, cache_base, &cached).unwrap();
         let refs = vec![vec![CACHE_REF_BIT]];
         let input_base = 4096;
-        sys.load_mram(dpu, input_base, &build_stream(&refs, 2, true)).unwrap();
+        sys.load_mram(dpu, input_base, &build_stream(&refs, 2, true))
+            .unwrap();
         let mut kernel = EmbeddingKernel::new(row_bytes, true);
         kernel.set_task(
             dpu,
-            DpuTask { emt_base: 0, cache_base, input_base, output_base: 8192, n_samples: 1 },
+            DpuTask {
+                emt_base: 0,
+                cache_base,
+                input_base,
+                output_base: 8192,
+                n_samples: 1,
+            },
         );
         sys.launch_all(&kernel).unwrap();
         let (bufs, _) = sys.gather(&[(dpu, 8192, 8)]).unwrap();
@@ -606,7 +638,8 @@ mod tests {
                 emt.extend_from_slice(&r[1].to_le_bytes());
             }
             sys.load_mram(dpu, 0, &emt).unwrap();
-            sys.load_mram(dpu, 4096, &build_stream(refs, 4, true)).unwrap();
+            sys.load_mram(dpu, 4096, &build_stream(refs, 4, true))
+                .unwrap();
             let mut kernel = EmbeddingKernel::new(8, true);
             kernel.set_task(
                 dpu,
@@ -622,7 +655,10 @@ mod tests {
         };
         let shared = run_and_count(&shared_refs);
         let distinct = run_and_count(&distinct_refs);
-        assert!(shared + 6 <= distinct, "shared {shared} vs distinct {distinct}");
+        assert!(
+            shared + 6 <= distinct,
+            "shared {shared} vs distinct {distinct}"
+        );
     }
 
     #[test]

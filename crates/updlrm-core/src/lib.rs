@@ -33,9 +33,9 @@ pub use config::UpdlrmConfig;
 pub use engine::{EmbeddingBreakdown, UpdlrmEngine};
 pub use error::{CoreError, Result};
 pub use kernel::{build_stream, DpuTask, EmbeddingKernel, CACHE_REF_BIT};
-pub use pipeline::{pipelined_wall_ns, sequential_wall_ns, PipelineReport};
 pub use partition::{
     cache_aware, non_uniform, uniform, CacheAwareAssignment, PartitionStrategy, RowAssignment,
     CACHED_ROW_SLOT,
 };
+pub use pipeline::{pipelined_wall_ns, sequential_wall_ns, PipelineReport};
 pub use tiling::{Tiling, TilingProblem, CANDIDATE_NC, MAX_TILE_ELEMENTS};

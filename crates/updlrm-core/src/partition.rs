@@ -124,7 +124,12 @@ pub fn uniform(
         rows_per_part[p] += 1;
         part_load[p] += profile.count(r as u64) as f64;
     }
-    let a = RowAssignment { part_of_row, slot_of_row, rows_per_part, part_load };
+    let a = RowAssignment {
+        part_of_row,
+        slot_of_row,
+        rows_per_part,
+        part_load,
+    };
     a.validate_capacity(capacity_rows)?;
     Ok(a)
 }
@@ -153,18 +158,24 @@ pub fn non_uniform(
         if r >= rows {
             continue;
         }
-        let p = least_loaded_with_room(&part_load, &rows_per_part, 1, capacity_rows)
-            .ok_or(CoreError::CapacityExceeded {
+        let p = least_loaded_with_room(&part_load, &rows_per_part, 1, capacity_rows).ok_or(
+            CoreError::CapacityExceeded {
                 partition: 0,
                 required: rows,
                 available: capacity_rows * parts,
-            })?;
+            },
+        )?;
         part_of_row[r] = p as u32;
         slot_of_row[r] = rows_per_part[p];
         rows_per_part[p] += 1;
         part_load[p] += profile.count(item) as f64;
     }
-    Ok(RowAssignment { part_of_row, slot_of_row, rows_per_part, part_load })
+    Ok(RowAssignment {
+        part_of_row,
+        slot_of_row,
+        rows_per_part,
+        part_load,
+    })
 }
 
 /// Extension: non-uniform packing with the `replicate_top` hottest rows
@@ -201,36 +212,56 @@ pub fn replicated_non_uniform(
     let mut rows_per_part = vec![0u32; parts];
     let mut part_load = vec![0.0f64; parts];
 
-    // Replica block: the hottest rows, same slot on every partition.
-    for (slot, &item) in by_freq.iter().take(replicate_top).enumerate() {
-        let r = item as usize;
-        part_of_row[r] = REPLICATED_ROW_PART;
-        slot_of_row[r] = slot as u32;
-        let share = profile.count(item) as f64 / parts as f64;
-        for load in part_load.iter_mut() {
-            *load += share;
+    // Replica block: the hottest *in-range* rows, same slot on every
+    // partition. The profile may cover more items than the table has
+    // rows (check_inputs only requires `num_items >= rows`), so foreign
+    // items must be skipped here just like in the greedy loop below —
+    // indexing `part_of_row[r]` with them used to panic.
+    let mut is_replicated = vec![false; rows];
+    let mut slot = 0u32;
+    for &item in &by_freq {
+        if slot as usize >= replicate_top {
+            break;
         }
-    }
-
-    // Remaining rows: greedy packing into slots after the block.
-    let local_capacity = capacity_rows - replicate_top;
-    for &item in by_freq.iter().skip(replicate_top) {
         let r = item as usize;
         if r >= rows {
             continue;
         }
-        let p = least_loaded_with_room(&part_load, &rows_per_part, 1, local_capacity)
-            .ok_or(CoreError::CapacityExceeded {
+        part_of_row[r] = REPLICATED_ROW_PART;
+        slot_of_row[r] = slot;
+        is_replicated[r] = true;
+        let share = profile.count(item) as f64 / parts as f64;
+        for load in part_load.iter_mut() {
+            *load += share;
+        }
+        slot += 1;
+    }
+
+    // Remaining rows: greedy packing into slots after the block.
+    let local_capacity = capacity_rows - replicate_top;
+    for &item in &by_freq {
+        let r = item as usize;
+        if r >= rows || is_replicated[r] {
+            continue;
+        }
+        let p = least_loaded_with_room(&part_load, &rows_per_part, 1, local_capacity).ok_or(
+            CoreError::CapacityExceeded {
                 partition: 0,
                 required: rows,
                 available: capacity_rows * parts,
-            })?;
+            },
+        )?;
         part_of_row[r] = p as u32;
         slot_of_row[r] = replicate_top as u32 + rows_per_part[p];
         rows_per_part[p] += 1;
         part_load[p] += profile.count(item) as f64;
     }
-    Ok(RowAssignment { part_of_row, slot_of_row, rows_per_part, part_load })
+    Ok(RowAssignment {
+        part_of_row,
+        slot_of_row,
+        rows_per_part,
+        part_load,
+    })
 }
 
 /// Output of [`cache_aware`]: the row assignment plus which cache lists
@@ -289,12 +320,8 @@ pub fn cache_aware(
             continue; // defensive: ignore lists referencing foreign items
         }
         let need = list.num_combinations() as u32;
-        let p = least_loaded_with_room(
-            &part_count,
-            &cache_rows_per_part,
-            need,
-            cache_capacity_rows,
-        );
+        let p =
+            least_loaded_with_room(&part_count, &cache_rows_per_part, need, cache_capacity_rows);
         let Some(p) = p else {
             continue; // no cache room anywhere: items fall through to EMT
         };
@@ -317,12 +344,13 @@ pub fn cache_aware(
         if r >= rows || is_cached[r] {
             continue;
         }
-        let p = least_loaded_with_room(&part_count, &rows_per_part, 1, emt_capacity_rows)
-            .ok_or(CoreError::CapacityExceeded {
+        let p = least_loaded_with_room(&part_count, &rows_per_part, 1, emt_capacity_rows).ok_or(
+            CoreError::CapacityExceeded {
                 partition: 0,
                 required: rows,
                 available: emt_capacity_rows * parts,
-            })?;
+            },
+        )?;
         part_of_row[r] = p as u32;
         slot_of_row[r] = rows_per_part[p];
         rows_per_part[p] += 1;
@@ -360,12 +388,7 @@ fn check_inputs(rows: usize, parts: usize, profile: &FreqProfile) -> Result<()> 
 
 /// The partition with minimum load among those with at least `need`
 /// units of room under `capacity`. Ties break toward the lower index.
-fn least_loaded_with_room(
-    load: &[f64],
-    used: &[u32],
-    need: u32,
-    capacity: usize,
-) -> Option<usize> {
+fn least_loaded_with_room(load: &[f64], used: &[u32], need: u32, capacity: usize) -> Option<usize> {
     let mut best: Option<usize> = None;
     for p in 0..load.len() {
         if used[p] as usize + need as usize > capacity {
@@ -412,7 +435,11 @@ mod tests {
     fn uniform_is_imbalanced_on_skewed_data() {
         let p = skewed_profile(64);
         let a = uniform(64, 8, 100, &p).unwrap();
-        assert!(a.imbalance() > 1.5, "skew should surface: {}", a.imbalance());
+        assert!(
+            a.imbalance() > 1.5,
+            "skew should surface: {}",
+            a.imbalance()
+        );
     }
 
     #[test]
@@ -461,7 +488,10 @@ mod tests {
     #[test]
     fn uniform_rejects_overfull_blocks() {
         let p = skewed_profile(10);
-        assert!(matches!(uniform(10, 2, 4, &p), Err(CoreError::CapacityExceeded { .. })));
+        assert!(matches!(
+            uniform(10, 2, 4, &p),
+            Err(CoreError::CapacityExceeded { .. })
+        ));
     }
 
     #[test]
@@ -476,8 +506,14 @@ mod tests {
     fn two_lists() -> CacheListSet {
         CacheListSet {
             lists: vec![
-                CacheList { items: vec![0, 1], benefit: 500.0 },
-                CacheList { items: vec![2, 3], benefit: 300.0 },
+                CacheList {
+                    items: vec![0, 1],
+                    benefit: 500.0,
+                },
+                CacheList {
+                    items: vec![2, 3],
+                    benefit: 300.0,
+                },
             ],
         }
     }
@@ -510,7 +546,10 @@ mod tests {
         // the next assignments gravitate toward it.
         let p = skewed_profile(8);
         let lists = CacheListSet {
-            lists: vec![CacheList { items: vec![0, 1], benefit: 1e6 }],
+            lists: vec![CacheList {
+                items: vec![0, 1],
+                benefit: 1e6,
+            }],
         };
         let ca = cache_aware(8, 2, 100, 8, &p, &lists).unwrap();
         let cache_part = ca.list_part[0] as usize;
@@ -538,21 +577,34 @@ mod tests {
         let p = skewed_profile(64);
         let lists = CacheListSet {
             lists: vec![
-                CacheList { items: vec![0, 1, 2], benefit: 800.0 },
-                CacheList { items: vec![3, 4], benefit: 400.0 },
+                CacheList {
+                    items: vec![0, 1, 2],
+                    benefit: 800.0,
+                },
+                CacheList {
+                    items: vec![3, 4],
+                    benefit: 400.0,
+                },
             ],
         };
         let ca = cache_aware(64, 8, 100, 16, &p, &lists).unwrap();
         // Lists land on different partitions (both are load magnets).
         assert_ne!(ca.list_part[0], ca.list_part[1]);
-        assert!(ca.rows.imbalance() < 1.6, "CA imbalance {}", ca.rows.imbalance());
+        assert!(
+            ca.rows.imbalance() < 1.6,
+            "CA imbalance {}",
+            ca.rows.imbalance()
+        );
     }
 
     #[test]
     fn cache_aware_ignores_out_of_range_lists() {
         let p = skewed_profile(8);
         let lists = CacheListSet {
-            lists: vec![CacheList { items: vec![100, 101], benefit: 1.0 }],
+            lists: vec![CacheList {
+                items: vec![100, 101],
+                benefit: 1.0,
+            }],
         };
         let ca = cache_aware(8, 2, 100, 8, &p, &lists).unwrap();
         assert!(ca.placed_lists.is_empty());
@@ -611,7 +663,11 @@ mod replication_tests {
         // Every local slot starts after the replica block.
         for r in 0..rows {
             if rep.part_of_row[r] != REPLICATED_ROW_PART {
-                assert!(rep.slot_of_row[r] >= 3, "row {r} slot {}", rep.slot_of_row[r]);
+                assert!(
+                    rep.slot_of_row[r] >= 3,
+                    "row {r} slot {}",
+                    rep.slot_of_row[r]
+                );
             }
         }
         assert_eq!(rep.rows_per_part.iter().sum::<u32>() as usize, rows - 3);
@@ -627,6 +683,44 @@ mod replication_tests {
         // replicate_top larger than the table clamps gracefully.
         let all = replicated_non_uniform(8, 2, 16, &p, 100).unwrap();
         assert_eq!(all.rows_per_part.iter().sum::<u32>(), 0);
+    }
+
+    /// Regression: a frequency profile may cover more items than the
+    /// table has rows (`check_inputs` only requires `num_items >= rows`),
+    /// and the hottest items can be the out-of-range ones. The replica
+    /// block used to index `part_of_row` with them and panic; it must
+    /// skip them and replicate the hottest *in-range* rows instead.
+    #[test]
+    fn replication_skips_out_of_range_profile_items() {
+        let rows = 8;
+        let mut p = FreqProfile::new(16);
+        // Items 8..16 (outside the table) are the hottest.
+        for i in 8..16u64 {
+            for _ in 0..100 {
+                p.record(i);
+            }
+        }
+        for i in 0..8u64 {
+            for _ in 0..=(i as usize) {
+                p.record(i);
+            }
+        }
+        let rep = replicated_non_uniform(rows, 2, rows, &p, 3).unwrap();
+        // Exactly the 3 hottest in-range rows (7, 6, 5) are replicated.
+        let replicated: Vec<usize> = (0..rows)
+            .filter(|&r| rep.part_of_row[r] == REPLICATED_ROW_PART)
+            .collect();
+        assert_eq!(replicated, vec![5, 6, 7]);
+        // Every other row got a real partition and an offset slot.
+        assert_eq!(rep.rows_per_part.iter().sum::<u32>() as usize, rows - 3);
+        for r in 0..rows {
+            if rep.part_of_row[r] != REPLICATED_ROW_PART {
+                assert!(rep.slot_of_row[r] >= 3);
+            }
+        }
+        // Only in-range frequency mass is distributed.
+        let in_range: f64 = (0..8u64).map(|i| p.count(i) as f64).sum();
+        assert!((rep.part_load.iter().sum::<f64>() - in_range).abs() < 1e-6);
     }
 
     #[test]

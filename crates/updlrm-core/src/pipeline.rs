@@ -97,7 +97,12 @@ mod tests {
     use super::*;
 
     fn bd(s1: f64, s2: f64, s3: f64) -> EmbeddingBreakdown {
-        EmbeddingBreakdown { stage1_ns: s1, stage2_ns: s2, stage3_ns: s3, ..Default::default() }
+        EmbeddingBreakdown {
+            stage1_ns: s1,
+            stage2_ns: s2,
+            stage3_ns: s3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -130,7 +135,11 @@ mod tests {
     fn pipelining_never_loses_to_sequential() {
         let traces = [
             vec![bd(10.0, 10.0, 10.0); 8],
-            vec![bd(1.0, 100.0, 1.0), bd(100.0, 1.0, 100.0), bd(10.0, 10.0, 10.0)],
+            vec![
+                bd(1.0, 100.0, 1.0),
+                bd(100.0, 1.0, 100.0),
+                bd(10.0, 10.0, 10.0),
+            ],
             vec![bd(0.0, 0.0, 0.0); 3],
         ];
         for b in &traces {

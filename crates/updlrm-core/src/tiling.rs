@@ -98,7 +98,13 @@ impl TilingProblem {
             return Err(infeasible);
         }
         let est_cost_ns = self.estimate_cost_ns(n_c, row_parts, cost);
-        Ok(Tiling { n_c, col_slices, row_parts, n_r, est_cost_ns })
+        Ok(Tiling {
+            n_c,
+            col_slices,
+            row_parts,
+            n_r,
+            est_cost_ns,
+        })
     }
 
     /// Eq. 1: `T_c-comm + T_lkp + T_d-comm` for one batch.
@@ -116,18 +122,15 @@ impl TilingProblem {
         let t_c = total_lookups * cost.host_to_mram_ns(4);
         // Stage 2: one MRAM read of N_c*4 bytes plus the accumulate
         // instructions per lookup, on the slowest (here: any) DPU.
-        let per_lookup_cycles = cost
-            .dma_engine_cycles(n_c * 4)
-            .0
-            .max(cost.accumulate_base_instrs
+        let per_lookup_cycles = cost.dma_engine_cycles(n_c * 4).0.max(
+            cost.accumulate_base_instrs
                 + (cost.accumulate_per_elem_instrs * n_c as f64).round() as u64
-                + cost.loop_overhead_instrs);
-        let t_lkp =
-            lookups_per_dpu * cost.cycles_to_ns(cycles(per_lookup_cycles));
+                + cost.loop_overhead_instrs,
+        );
+        let t_lkp = lookups_per_dpu * cost.cycles_to_ns(cycles(per_lookup_cycles));
         // Stage 3: every DPU returns one partial-sum row (N_c*4 B) per
         // sample over the shared bus: batch * 4 * C * row_parts bytes.
-        let t_d =
-            self.batch_size as f64 * cost.mram_to_host_ns(4 * self.cols) * row_parts as f64;
+        let t_d = self.batch_size as f64 * cost.mram_to_host_ns(4 * self.cols) * row_parts as f64;
         t_c + t_lkp + t_d
     }
 

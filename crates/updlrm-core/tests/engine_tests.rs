@@ -12,7 +12,11 @@ const DIM: usize = 32;
 fn setup(spec: &DatasetSpec, num_tables: usize, batches: usize) -> (Vec<EmbeddingTable>, Workload) {
     let workload = Workload::generate(
         spec,
-        TraceConfig { num_tables, num_batches: batches, ..TraceConfig::default() },
+        TraceConfig {
+            num_tables,
+            num_batches: batches,
+            ..TraceConfig::default()
+        },
     );
     let tables = (0..num_tables)
         .map(|t| EmbeddingTable::random_integer_valued(spec.num_items, DIM, 3, t as u64).unwrap())
@@ -43,7 +47,11 @@ fn engine_matches_reference_for_all_strategies() {
             let (pooled, _) = engine.run_batch(batch).unwrap();
             let expect = reference_pooled(&tables, batch);
             for (t, m) in pooled.iter().enumerate() {
-                assert_eq!(m.as_slice(), expect[t].as_slice(), "strategy {strategy}, table {t}");
+                assert_eq!(
+                    m.as_slice(),
+                    expect[t].as_slice(),
+                    "strategy {strategy}, table {t}"
+                );
             }
         }
     }
@@ -54,8 +62,7 @@ fn engine_matches_reference_for_fixed_nc() {
     let spec = DatasetSpec::amazon_home().scaled_down(5000);
     let (tables, workload) = setup(&spec, 2, 1);
     for n_c in [2usize, 4, 8] {
-        let config =
-            UpdlrmConfig::with_dpus(64, PartitionStrategy::NonUniform).with_fixed_nc(n_c);
+        let config = UpdlrmConfig::with_dpus(64, PartitionStrategy::NonUniform).with_fixed_nc(n_c);
         let mut engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
         let (pooled, breakdown) = engine.run_batch(&workload.batches[0]).unwrap();
         let expect = reference_pooled(&tables, &workload.batches[0]);
@@ -120,7 +127,11 @@ fn run_inference_produces_reference_ctr() {
     let spec = DatasetSpec::amazon_clothes().scaled_down(10_000);
     let workload = Workload::generate(
         &spec,
-        TraceConfig { num_tables: 2, num_batches: 1, ..TraceConfig::default() },
+        TraceConfig {
+            num_tables: 2,
+            num_batches: 1,
+            ..TraceConfig::default()
+        },
     );
     let config = DlrmConfig {
         num_dense: 13,
@@ -158,7 +169,10 @@ fn dedup_ablation_increases_dma_but_not_results() {
     let (with_dedup, dma_dedup) = run(true);
     let (without, dma_plain) = run(false);
     assert_eq!(with_dedup, without, "dedup must not change results");
-    assert!(dma_dedup < dma_plain, "dedup must cut MRAM reads: {dma_dedup} vs {dma_plain}");
+    assert!(
+        dma_dedup < dma_plain,
+        "dedup must cut MRAM reads: {dma_dedup} vs {dma_plain}"
+    );
 }
 
 #[test]
@@ -227,8 +241,7 @@ fn engine_rejects_bad_configs() {
 fn cache_fraction_zero_behaves_like_non_uniform() {
     let spec = DatasetSpec::movie().scaled_down(1000);
     let (tables, workload) = setup(&spec, 1, 2);
-    let config = UpdlrmConfig::with_dpus(8, PartitionStrategy::CacheAware)
-        .with_cache_fraction(0.0);
+    let config = UpdlrmConfig::with_dpus(8, PartitionStrategy::CacheAware).with_cache_fraction(0.0);
     let mut engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
     assert_eq!(engine.table_report(0).cached_lists, 0);
     let (pooled, _) = engine.run_batch(&workload.batches[0]).unwrap();
@@ -248,7 +261,10 @@ fn breakdown_reports_cache_hit_counts() {
     )
     .unwrap();
     let (_, b_ca) = ca.run_batch(&workload.batches[0]).unwrap();
-    assert!(b_ca.cache_hits > 0, "CA on a clustered trace should hit the cache");
+    assert!(
+        b_ca.cache_hits > 0,
+        "CA on a clustered trace should hit the cache"
+    );
     assert!(b_ca.emt_lookups > 0);
 
     let mut nu = UpdlrmEngine::from_workload(

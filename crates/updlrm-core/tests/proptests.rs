@@ -27,7 +27,10 @@ fn assert_complete(
 ) -> Result<(), TestCaseError> {
     prop_assert_eq!(part_of_row.len(), rows);
     let placed: u32 = rows_per_part.iter().sum();
-    let cached = slot_of_row.iter().filter(|&&s| s == CACHED_ROW_SLOT).count();
+    let cached = slot_of_row
+        .iter()
+        .filter(|&&s| s == CACHED_ROW_SLOT)
+        .count();
     prop_assert_eq!(placed as usize + cached, rows);
     for (part, &n) in rows_per_part.iter().enumerate() {
         let mut slots: Vec<u32> = (0..rows)

@@ -49,7 +49,9 @@ pub const DEFAULT_NR_DPUS: usize = 256;
 ///
 /// `DpuId` is a dense index in `0..nr_dpus`; ranks are derived from it
 /// (`id / DPUS_PER_RANK`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct DpuId(pub u32);
 
 impl DpuId {
@@ -83,7 +85,17 @@ impl From<u32> for DpuId {
 /// Newtype so cycle math cannot be accidentally mixed with nanoseconds;
 /// convert explicitly with [`Cycles::to_nanos`].
 #[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    Default,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct Cycles(pub u64);
 

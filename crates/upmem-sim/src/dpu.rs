@@ -24,7 +24,14 @@ use crate::stats::{DpuRunStats, TaskletStats};
 /// per-tasklet entry point receives a [`TaskletCtx`] identifying which
 /// DPU/tasklet is running and mediating all memory access and cycle
 /// charging.
-pub trait Kernel {
+///
+/// `Sync` is a supertrait because the host may fan a launch out across
+/// host threads (see `PimConfig::host_threads`), with every worker
+/// reading the same kernel value concurrently. Kernels are plain data in
+/// practice (per-DPU task tables built before the launch), so the bound
+/// is free; a kernel needing interior mutability must use thread-safe
+/// primitives — but per-DPU state belongs in MRAM/WRAM, not the kernel.
+pub trait Kernel: Sync {
     /// Bytes of WRAM reserved as a region shared by all tasklets of a
     /// DPU (e.g. a software row cache). The remainder of WRAM is split
     /// evenly into per-tasklet private regions.
@@ -193,7 +200,11 @@ pub struct Dpu {
 impl Dpu {
     /// Creates a DPU with empty memories.
     pub fn new(id: DpuId) -> Self {
-        Dpu { id, mram: Mram::new(), wram: Wram::new() }
+        Dpu {
+            id,
+            mram: Mram::new(),
+            wram: Wram::new(),
+        }
     }
 
     /// This DPU's identifier.
@@ -256,8 +267,10 @@ impl Dpu {
         let mut phase2 = Vec::with_capacity(n_tasklets);
         for (phase, stats) in [(0usize, &mut phase1), (1, &mut phase2)] {
             for t in 0..n_tasklets {
-                let (shared, rest) =
-                    self.wram.slice_mut(0, WRAM_CAPACITY)?.split_at_mut(shared_len);
+                let (shared, rest) = self
+                    .wram
+                    .slice_mut(0, WRAM_CAPACITY)?
+                    .split_at_mut(shared_len);
                 let local = &mut rest[t * local_len..(t + 1) * local_len];
                 let mut ctx = TaskletCtx {
                     dpu: self.id,
@@ -280,7 +293,10 @@ impl Dpu {
 
         // The barrier means phase times add up; the launch overhead is
         // charged once.
-        let no_overhead = CostModel { launch_overhead_cycles: 0, ..cost.clone() };
+        let no_overhead = CostModel {
+            launch_overhead_cycles: 0,
+            ..cost.clone()
+        };
         let p1 = Self::account(phase1, cost);
         let p2 = Self::account(phase2, &no_overhead);
         let mut per_tasklet = p1.per_tasklet;
@@ -324,7 +340,12 @@ impl Dpu {
         );
         let energy_pj =
             totals.instrs as f64 * cost.instr_pj + totals.dma_bytes as f64 * cost.dma_pj_per_byte;
-        DpuRunStats { cycles, totals, per_tasklet, energy_pj }
+        DpuRunStats {
+            cycles,
+            totals,
+            per_tasklet,
+            energy_pj,
+        }
     }
 }
 
@@ -355,9 +376,15 @@ mod tests {
     #[test]
     fn launch_rejects_bad_tasklet_count() {
         let mut d = Dpu::new(DpuId(0));
-        let k = ReadLoop { reads: 0, row_bytes: 8, instrs_per_read: 1 };
+        let k = ReadLoop {
+            reads: 0,
+            row_bytes: 8,
+            instrs_per_read: 1,
+        };
         assert!(d.launch(&k, 0, &CostModel::default()).is_err());
-        assert!(d.launch(&k, MAX_TASKLETS + 1, &CostModel::default()).is_err());
+        assert!(d
+            .launch(&k, MAX_TASKLETS + 1, &CostModel::default())
+            .is_err());
     }
 
     #[test]
@@ -366,7 +393,11 @@ mod tests {
         // engine bound (sum of transfer costs) dominates, which is lower
         // than the serial bound because compute overlaps.
         let cost = CostModel::default();
-        let k = ReadLoop { reads: 1400, row_bytes: 64, instrs_per_read: 40 };
+        let k = ReadLoop {
+            reads: 1400,
+            row_bytes: 64,
+            instrs_per_read: 40,
+        };
         let mut d1 = Dpu::new(DpuId(0));
         let s1 = d1.launch(&k, 1, &cost).unwrap();
         let mut d14 = Dpu::new(DpuId(1));
@@ -381,9 +412,19 @@ mod tests {
 
     #[test]
     fn accounting_uses_max_of_bounds() {
-        let cost = CostModel { launch_overhead_cycles: 0, ..CostModel::default() };
+        let cost = CostModel {
+            launch_overhead_cycles: 0,
+            ..CostModel::default()
+        };
         // Compute-heavy kernel: pipeline bound dominates.
-        let heavy = vec![TaskletStats { instrs: 10_000, dma_cycles: 10, ..Default::default() }; 14];
+        let heavy = vec![
+            TaskletStats {
+                instrs: 10_000,
+                dma_cycles: 10,
+                ..Default::default()
+            };
+            14
+        ];
         let s = Dpu::account(heavy, &cost);
         assert_eq!(s.cycles.0, 14 * 10_000);
         // DMA-heavy kernel: DMA engine occupancy bound dominates.
@@ -399,7 +440,11 @@ mod tests {
         let s = Dpu::account(dma, &cost);
         assert_eq!(s.cycles.0, 14 * 10_000);
         // Single tasklet: serial bound dominates.
-        let single = vec![TaskletStats { instrs: 1_000, dma_cycles: 5_000, ..Default::default() }];
+        let single = vec![TaskletStats {
+            instrs: 1_000,
+            dma_cycles: 5_000,
+            ..Default::default()
+        }];
         let s = Dpu::account(single, &cost);
         assert_eq!(s.cycles.0, 1_000 * PIPELINE_DEPTH + 5_000);
     }
@@ -424,8 +469,12 @@ mod tests {
             }
         }
         let mut d = Dpu::new(DpuId(3));
-        d.mram_mut().host_write(0, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
-        let k = Sum8 { expect: [1, 2, 3, 4, 5, 6, 7, 8] };
+        d.mram_mut()
+            .host_write(0, &[1, 2, 3, 4, 5, 6, 7, 8])
+            .unwrap();
+        let k = Sum8 {
+            expect: [1, 2, 3, 4, 5, 6, 7, 8],
+        };
         d.launch(&k, 2, &CostModel::default()).unwrap();
     }
 
@@ -472,10 +521,24 @@ mod tests {
     #[test]
     fn energy_scales_with_work() {
         let cost = CostModel::default();
-        let small = ReadLoop { reads: 140, row_bytes: 32, instrs_per_read: 10 };
-        let large = ReadLoop { reads: 1400, row_bytes: 32, instrs_per_read: 10 };
-        let e_small = Dpu::new(DpuId(0)).launch(&small, 14, &cost).unwrap().energy_pj;
-        let e_large = Dpu::new(DpuId(1)).launch(&large, 14, &cost).unwrap().energy_pj;
+        let small = ReadLoop {
+            reads: 140,
+            row_bytes: 32,
+            instrs_per_read: 10,
+        };
+        let large = ReadLoop {
+            reads: 1400,
+            row_bytes: 32,
+            instrs_per_read: 10,
+        };
+        let e_small = Dpu::new(DpuId(0))
+            .launch(&small, 14, &cost)
+            .unwrap()
+            .energy_pj;
+        let e_large = Dpu::new(DpuId(1))
+            .launch(&large, 14, &cost)
+            .unwrap()
+            .energy_pj;
         assert!(e_large > e_small * 8.0);
     }
 }

@@ -72,14 +72,21 @@ impl fmt::Display for SimError {
                 write!(f, "mram dma exceeds 2048-byte maximum: len={len}")
             }
             SimError::EmptyDma => write!(f, "mram dma of zero bytes"),
-            SimError::MramOutOfBounds { addr, len, capacity } => write!(
+            SimError::MramOutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "mram access out of bounds: addr={addr:#x}, len={len}, capacity={capacity}"
             ),
             SimError::WramOutOfBounds { offset, len } => {
                 write!(f, "wram access out of bounds: offset={offset}, len={len}")
             }
-            SimError::WramExhausted { requested, available } => write!(
+            SimError::WramExhausted {
+                requested,
+                available,
+            } => write!(
                 f,
                 "wram allocation of {requested} bytes exceeds {available} available"
             ),

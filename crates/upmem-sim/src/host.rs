@@ -5,12 +5,17 @@
 //! §2.2) — the API deliberately offers no DPU-to-DPU copy. Transfer
 //! timing follows the UPMEM rank rule: per-DPU buffers move in parallel
 //! when they all have the same size and serialize otherwise.
+//!
+//! Kernel launches are *functionally* executed across
+//! [`PimConfig::host_threads`] host worker threads (DPUs are isolated,
+//! so the fleet is embarrassingly parallel), while *modeled* timing
+//! stays bit-identical to serial execution — see [`PimSystem::launch`].
 
 use crate::arch::{Cycles, DpuId};
 use crate::cost::CostModel;
 use crate::dpu::{Dpu, Kernel};
 use crate::error::{Result, SimError};
-use crate::stats::{LaunchReport, TransferReport};
+use crate::stats::{DpuRunStats, LaunchReport, TransferReport};
 
 /// Configuration for a [`PimSystem`].
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -19,8 +24,20 @@ pub struct PimConfig {
     pub nr_dpus: usize,
     /// Tasklets used per kernel launch (the paper uses 14).
     pub tasklets: usize,
+    /// Host worker threads used to *execute* kernel launches
+    /// functionally. Purely a simulator-throughput knob: the modeled
+    /// timing/energy is bit-identical for every value (see
+    /// [`PimSystem::launch`]). `1` runs the fleet serially on the
+    /// calling thread; the default is the host's available parallelism.
+    pub host_threads: usize,
     /// Timing/energy model.
     pub cost: CostModel,
+}
+
+/// The default for [`PimConfig::host_threads`]: one worker per
+/// available host CPU (at least 1).
+pub fn default_host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 impl Default for PimConfig {
@@ -28,6 +45,7 @@ impl Default for PimConfig {
         PimConfig {
             nr_dpus: crate::arch::DEFAULT_NR_DPUS,
             tasklets: crate::arch::DEFAULT_TASKLETS,
+            host_threads: default_host_threads(),
             cost: CostModel::default(),
         }
     }
@@ -36,7 +54,26 @@ impl Default for PimConfig {
 impl PimConfig {
     /// Convenience constructor with default cost model.
     pub fn new(nr_dpus: usize, tasklets: usize) -> Self {
-        PimConfig { nr_dpus, tasklets, cost: CostModel::default() }
+        PimConfig {
+            nr_dpus,
+            tasklets,
+            host_threads: default_host_threads(),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Returns `self` with [`PimConfig::host_threads`] set to `n`.
+    #[must_use]
+    pub fn with_host_threads(mut self, n: usize) -> Self {
+        self.host_threads = n;
+        self
+    }
+
+    /// Returns `self` with the given timing/energy model.
+    #[must_use]
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
     }
 }
 
@@ -65,7 +102,14 @@ impl PimSystem {
                 config.tasklets
             )));
         }
-        let dpus = (0..config.nr_dpus).map(|i| Dpu::new(DpuId(i as u32))).collect();
+        if config.host_threads == 0 {
+            return Err(SimError::InvalidConfig(
+                "host_threads must be > 0 (1 = serial execution)".into(),
+            ));
+        }
+        let dpus = (0..config.nr_dpus)
+            .map(|i| Dpu::new(DpuId(i as u32)))
+            .collect();
         Ok(PimSystem { dpus, config })
     }
 
@@ -90,9 +134,10 @@ impl PimSystem {
     ///
     /// [`SimError::UnknownDpu`] if `id` is out of range.
     pub fn dpu(&self, id: DpuId) -> Result<&Dpu> {
-        self.dpus
-            .get(id.index())
-            .ok_or(SimError::UnknownDpu { id, nr_dpus: self.dpus.len() })
+        self.dpus.get(id.index()).ok_or(SimError::UnknownDpu {
+            id,
+            nr_dpus: self.dpus.len(),
+        })
     }
 
     /// Borrow one DPU mutably.
@@ -135,10 +180,7 @@ impl PimSystem {
         for (id, addr, data) in transfers {
             self.dpu_mut(*id)?.mram_mut().host_write(*addr, data)?;
         }
-        Ok(self.time_transfer(
-            transfers.iter().map(|(_, _, d)| d.len()),
-            true,
-        ))
+        Ok(self.time_transfer(transfers.iter().map(|(_, _, d)| d.len()), true))
     }
 
     /// Timed CPU→MRAM scatter where each buffer is *broadcast* to a set
@@ -185,7 +227,11 @@ impl PimSystem {
         Ok((out, report))
     }
 
-    fn time_transfer(&self, lens: impl Iterator<Item = usize> + Clone, to_mram: bool) -> TransferReport {
+    fn time_transfer(
+        &self,
+        lens: impl Iterator<Item = usize> + Clone,
+        to_mram: bool,
+    ) -> TransferReport {
         let cost = &self.config.cost;
         let per_byte = if to_mram {
             cost.host_to_mram_ns_per_byte
@@ -210,11 +256,18 @@ impl PimSystem {
         if n == 0 {
             return TransferReport::default();
         }
-        let _ = max_len;
+        // Ragged transfers serialize at a degraded aggregate bandwidth
+        // (§2.2 rank rule), but they can never complete faster than the
+        // largest single buffer at full parallel bandwidth — that floor
+        // is what `max_len` bounds. With the default `ragged_bw_factor`
+        // (< 1) the serialized term always dominates, so the floor only
+        // bites for calibrations where the factor exceeds 1.
         let wall_ns = if uniform {
             cost.host_transfer_base_ns + total as f64 * per_byte
         } else {
-            cost.host_transfer_base_ns + total as f64 * per_byte / cost.ragged_bw_factor
+            let serialized = total as f64 * per_byte / cost.ragged_bw_factor;
+            let parallel_floor = max_len as f64 * per_byte;
+            cost.host_transfer_base_ns + serialized.max(parallel_floor)
         };
         TransferReport {
             wall_ns,
@@ -229,28 +282,161 @@ impl PimSystem {
     /// count. DPUs execute in parallel: the report's wall time is the
     /// slowest DPU's time.
     ///
+    /// Functionally, the fleet is executed across up to
+    /// [`PimConfig::host_threads`] host worker threads. Real thread
+    /// count never changes the result: each DPU's run is deterministic
+    /// and isolated (its own MRAM/WRAM, a shared read-only kernel), and
+    /// per-DPU statistics are merged back in `ids` order, so
+    /// `wall_cycles` (a max) and `energy_pj` (a left-to-right f64 sum)
+    /// are bit-identical to `host_threads = 1`.
+    ///
     /// # Errors
     ///
-    /// Propagates kernel faults and unknown DPU ids.
-    pub fn launch<K: Kernel + ?Sized>(&mut self, ids: &[DpuId], kernel: &K) -> Result<LaunchReport> {
+    /// Propagates kernel faults and unknown DPU ids. When several DPUs
+    /// fault, the error reported is the faulting DPU earliest in `ids`.
+    /// As with a mid-scatter error, DPU memory state afterwards is
+    /// unspecified-but-valid: workers that already ran other DPUs leave
+    /// their writes in place.
+    pub fn launch<K: Kernel + ?Sized>(
+        &mut self,
+        ids: &[DpuId],
+        kernel: &K,
+    ) -> Result<LaunchReport> {
         let tasklets = self.config.tasklets;
         let cost = self.config.cost.clone();
-        let mut per_dpu = Vec::with_capacity(ids.len());
+        let workers = self.config.host_threads.min(ids.len());
+        let results: Vec<(DpuId, DpuRunStats)> = if workers <= 1 {
+            self.run_fleet_serial(ids, kernel, tasklets, &cost)?
+        } else {
+            match self.disjoint_dpu_refs(ids)? {
+                // Duplicate ids cannot be split into disjoint `&mut`
+                // chunks; re-launching the same DPU is deterministic
+                // either way, so fall back to the serial path.
+                None => self.run_fleet_serial(ids, kernel, tasklets, &cost)?,
+                Some(fleet) => Self::run_fleet_parallel(fleet, kernel, tasklets, &cost, workers)?,
+            }
+        };
+        // Deterministic merge in `ids` order. The max over u64 cycles is
+        // order-independent, but the f64 energy sum is not — summing in
+        // launch order is what keeps the report bit-identical across
+        // `host_threads` settings.
         let mut wall = Cycles::ZERO;
         let mut energy = 0.0;
-        for &id in ids {
-            let dpu = self.dpu_mut(id)?;
-            let stats = dpu.launch(kernel, tasklets, &cost)?;
+        for (_, stats) in &results {
             wall = wall.max(stats.cycles);
             energy += stats.energy_pj;
-            per_dpu.push((id, stats));
         }
         Ok(LaunchReport {
             wall_cycles: wall,
             wall_ns: cost.cycles_to_ns(wall),
-            per_dpu,
+            per_dpu: results,
             energy_pj: energy,
         })
+    }
+
+    /// Serial fleet execution on the calling thread (`host_threads = 1`
+    /// and the duplicate-id fallback).
+    fn run_fleet_serial<K: Kernel + ?Sized>(
+        &mut self,
+        ids: &[DpuId],
+        kernel: &K,
+        tasklets: usize,
+        cost: &CostModel,
+    ) -> Result<Vec<(DpuId, DpuRunStats)>> {
+        let mut out = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let dpu = self.dpu_mut(id)?;
+            out.push((id, dpu.launch(kernel, tasklets, cost)?));
+        }
+        Ok(out)
+    }
+
+    /// Splits the DPU pool into one disjoint `&mut Dpu` per launched id,
+    /// tagged with its position in `ids`.
+    ///
+    /// Returns `Ok(None)` when `ids` contains duplicates (no disjoint
+    /// split exists).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownDpu`] for the out-of-range id earliest in
+    /// `ids`, matching the serial path's error.
+    fn disjoint_dpu_refs(&mut self, ids: &[DpuId]) -> Result<Option<Vec<(usize, &mut Dpu)>>> {
+        let nr_dpus = self.dpus.len();
+        if let Some(&bad) = ids.iter().find(|id| id.index() >= nr_dpus) {
+            return Err(SimError::UnknownDpu { id: bad, nr_dpus });
+        }
+        // Walk the pool in id order, repeatedly splitting off the next
+        // launched DPU — each split hands out a `&mut` that cannot alias
+        // the remainder.
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        order.sort_unstable_by_key(|&pos| ids[pos].index());
+        let mut fleet = Vec::with_capacity(ids.len());
+        let mut rest: &mut [Dpu] = &mut self.dpus;
+        let mut consumed = 0usize;
+        for &pos in &order {
+            let idx = ids[pos].index();
+            if idx < consumed {
+                return Ok(None); // duplicate id
+            }
+            let (_, tail) = rest.split_at_mut(idx - consumed);
+            let (dpu, tail) = tail.split_first_mut().expect("idx validated in range");
+            fleet.push((pos, dpu));
+            rest = tail;
+            consumed = idx + 1;
+        }
+        Ok(Some(fleet))
+    }
+
+    /// Executes the fleet on `workers` scoped host threads, returning
+    /// per-DPU results re-assembled in launch order.
+    fn run_fleet_parallel<K: Kernel + ?Sized>(
+        mut fleet: Vec<(usize, &mut Dpu)>,
+        kernel: &K,
+        tasklets: usize,
+        cost: &CostModel,
+        workers: usize,
+    ) -> Result<Vec<(DpuId, DpuRunStats)>> {
+        let n = fleet.len();
+        let chunk_len = n.div_ceil(workers);
+        let worker_outputs: Vec<Vec<(usize, DpuId, Result<DpuRunStats>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = fleet
+                    .chunks_mut(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter_mut()
+                                .map(|(pos, dpu)| {
+                                    (*pos, dpu.id(), dpu.launch(kernel, tasklets, cost))
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("DPU worker thread panicked"))
+                    .collect()
+            });
+        let mut slots: Vec<Option<(DpuId, DpuRunStats)>> = (0..n).map(|_| None).collect();
+        let mut first_err: Option<(usize, SimError)> = None;
+        for (pos, id, result) in worker_outputs.into_iter().flatten() {
+            match result {
+                Ok(stats) => slots[pos] = Some((id, stats)),
+                Err(e) if first_err.as_ref().is_none_or(|(p, _)| pos < *p) => {
+                    first_err = Some((pos, e));
+                }
+                Err(_) => {}
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every launch position filled"))
+            .collect())
     }
 
     /// Launches `kernel` on *all* DPUs.
@@ -325,7 +511,11 @@ mod tests {
         impl Kernel for Skewed {
             fn run(&self, ctx: &mut TaskletCtx<'_>) -> Result<()> {
                 // dpu0 does 10x the work of dpu1.
-                let w = if ctx.dpu_id() == DpuId(0) { 10_000 } else { 1_000 };
+                let w = if ctx.dpu_id() == DpuId(0) {
+                    10_000
+                } else {
+                    1_000
+                };
                 ctx.charge_instrs(w);
                 Ok(())
             }
@@ -346,6 +536,171 @@ mod tests {
             sys.load_mram(DpuId(7), 0, &[0u8; 8]),
             Err(SimError::UnknownDpu { .. })
         ));
+        // The parallel launch path validates ids up-front and must
+        // report the same error as the serial path.
+        for threads in [1, 4] {
+            let mut sys = PimSystem::new(PimConfig::new(2, 2).with_host_threads(threads)).unwrap();
+            assert!(matches!(
+                sys.launch(&[DpuId(0), DpuId(9)], &Nop),
+                Err(SimError::UnknownDpu {
+                    id: DpuId(9),
+                    nr_dpus: 2
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_zero_host_threads() {
+        assert!(PimSystem::new(PimConfig::new(4, 14).with_host_threads(0)).is_err());
+    }
+
+    /// Uniform transfers pay total bytes at parallel bandwidth; ragged
+    /// transfers pay total bytes at the degraded serialized bandwidth,
+    /// floored by the largest single buffer at parallel bandwidth.
+    #[test]
+    fn transfer_timing_model_uniform_and_ragged() {
+        let cost = CostModel::default();
+        let per_byte = cost.host_to_mram_ns_per_byte;
+        let mut sys = PimSystem::new(PimConfig::new(4, 14)).unwrap();
+        let big = vec![0u8; 1024];
+        let small = vec![0u8; 8];
+
+        let uniform: Vec<(DpuId, u32, &[u8])> =
+            (0..4).map(|i| (DpuId(i), 0, big.as_slice())).collect();
+        let r = sys.scatter(&uniform).unwrap();
+        assert!((r.wall_ns - (cost.host_transfer_base_ns + 4096.0 * per_byte)).abs() < 1e-9);
+
+        let ragged: Vec<(DpuId, u32, &[u8])> = vec![
+            (DpuId(0), 0, big.as_slice()),
+            (DpuId(1), 0, small.as_slice()),
+        ];
+        let r = sys.scatter(&ragged).unwrap();
+        let serialized = 1032.0 * per_byte / cost.ragged_bw_factor;
+        assert!((r.wall_ns - (cost.host_transfer_base_ns + serialized)).abs() < 1e-9);
+    }
+
+    /// With a (hypothetical) ragged bandwidth factor above 1 the
+    /// serialized term can undercut physics; the max-buffer floor must
+    /// bind: no schedule finishes before the largest buffer has moved.
+    #[test]
+    fn ragged_transfer_never_beats_largest_buffer() {
+        let cost = CostModel {
+            ragged_bw_factor: 100.0,
+            ..CostModel::default()
+        };
+        let per_byte = cost.host_to_mram_ns_per_byte;
+        let base = cost.host_transfer_base_ns;
+        let mut sys = PimSystem::new(PimConfig {
+            nr_dpus: 2,
+            cost,
+            ..PimConfig::default()
+        })
+        .unwrap();
+        let big = vec![0u8; 2048];
+        let small = vec![0u8; 8];
+        let ragged: Vec<(DpuId, u32, &[u8])> = vec![
+            (DpuId(0), 0, big.as_slice()),
+            (DpuId(1), 0, small.as_slice()),
+        ];
+        let r = sys.scatter(&ragged).unwrap();
+        assert!(!r.parallel);
+        assert!((r.wall_ns - (base + 2048.0 * per_byte)).abs() < 1e-9);
+    }
+
+    /// A kernel whose per-DPU and per-tasklet work is deliberately
+    /// skewed and DMA-heavy, to exercise every field of the report.
+    struct SkewedWork;
+    impl Kernel for SkewedWork {
+        fn run(&self, ctx: &mut TaskletCtx<'_>) -> Result<()> {
+            let id = ctx.dpu_id().0 as u64;
+            let t = ctx.tasklet_id() as u64;
+            let mut buf = [0u8; 64];
+            for _ in 0..=(id % 7) {
+                ctx.mram_read(((id * 64) % 4096) as u32 & !7, &mut buf)?;
+            }
+            ctx.charge_instrs(100 + 37 * id + 11 * t);
+            ctx.charge_fp32_adds(id * 3);
+            Ok(())
+        }
+        fn finalize(&self, ctx: &mut TaskletCtx<'_>) -> Result<()> {
+            ctx.charge_instrs(5);
+            Ok(())
+        }
+    }
+
+    /// Tentpole invariant: every field of the LaunchReport is
+    /// bit-identical between serial and multi-threaded execution.
+    #[test]
+    fn parallel_launch_report_is_bit_identical_to_serial() {
+        let run = |threads: usize| {
+            let mut sys =
+                PimSystem::new(PimConfig::new(37, 14).with_host_threads(threads)).unwrap();
+            for id in 0..37 {
+                sys.load_mram(DpuId(id), 0, &vec![id as u8; 4096]).unwrap();
+            }
+            sys.launch_all(&SkewedWork).unwrap()
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8, 64] {
+            let parallel = run(threads);
+            assert_eq!(serial, parallel, "host_threads={threads} diverged");
+            assert_eq!(serial.wall_ns.to_bits(), parallel.wall_ns.to_bits());
+            assert_eq!(serial.energy_pj.to_bits(), parallel.energy_pj.to_bits());
+        }
+    }
+
+    /// Launching a strict subset of ids, in scrambled order, must also
+    /// be order- and thread-count-stable.
+    #[test]
+    fn parallel_subset_launch_matches_serial() {
+        let ids = [DpuId(5), DpuId(0), DpuId(11), DpuId(3), DpuId(7)];
+        let run = |threads: usize| {
+            let mut sys = PimSystem::new(PimConfig::new(12, 4).with_host_threads(threads)).unwrap();
+            sys.launch(&ids, &SkewedWork).unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel);
+        let order: Vec<DpuId> = parallel.per_dpu.iter().map(|(id, _)| *id).collect();
+        assert_eq!(order, ids, "per_dpu must stay in launch order");
+    }
+
+    /// Duplicate ids cannot be split into disjoint `&mut` chunks; the
+    /// launch must still succeed (serial fallback), running the DPU once
+    /// per occurrence exactly like `host_threads = 1`.
+    #[test]
+    fn duplicate_ids_fall_back_to_serial() {
+        let ids = [DpuId(1), DpuId(0), DpuId(1)];
+        let run = |threads: usize| {
+            let mut sys = PimSystem::new(PimConfig::new(2, 2).with_host_threads(threads)).unwrap();
+            sys.launch(&ids, &SkewedWork).unwrap()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    /// A fault on one DPU surfaces as that DPU's error and must not
+    /// poison the other workers (they complete; the system stays usable).
+    #[test]
+    fn kernel_fault_does_not_poison_other_workers() {
+        struct FaultOn3;
+        impl Kernel for FaultOn3 {
+            fn run(&self, ctx: &mut TaskletCtx<'_>) -> Result<()> {
+                if ctx.dpu_id() == DpuId(3) && ctx.tasklet_id() == 0 {
+                    return Err(SimError::KernelFault("dpu3 exploded".into()));
+                }
+                ctx.charge_instrs(10);
+                Ok(())
+            }
+        }
+        for threads in [1, 4] {
+            let mut sys = PimSystem::new(PimConfig::new(8, 2).with_host_threads(threads)).unwrap();
+            let err = sys.launch_all(&FaultOn3).unwrap_err();
+            assert_eq!(err, SimError::KernelFault("dpu3 exploded".into()));
+            // The system is not poisoned: a subsequent healthy launch works.
+            let rep = sys.launch_all(&Nop).unwrap();
+            assert_eq!(rep.per_dpu.len(), 8);
+        }
     }
 
     #[test]

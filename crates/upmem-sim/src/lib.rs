@@ -67,6 +67,6 @@ pub use arch::{Cycles, DpuId};
 pub use cost::CostModel;
 pub use dpu::{Dpu, Kernel, TaskletCtx};
 pub use error::{Result, SimError};
-pub use host::{PimConfig, PimSystem};
+pub use host::{default_host_threads, PimConfig, PimSystem};
 pub use mem::{Mram, Wram};
 pub use stats::{DpuRunStats, LaunchReport, TaskletStats, TransferReport};

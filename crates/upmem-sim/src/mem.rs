@@ -48,7 +48,11 @@ impl Mram {
         }
         let end = addr as usize + len;
         if end > MRAM_CAPACITY {
-            return Err(SimError::MramOutOfBounds { addr, len, capacity: MRAM_CAPACITY });
+            return Err(SimError::MramOutOfBounds {
+                addr,
+                len,
+                capacity: MRAM_CAPACITY,
+            });
         }
         Ok(())
     }
@@ -101,11 +105,18 @@ impl Mram {
     /// Fails on unaligned or out-of-bounds writes.
     pub fn host_write(&mut self, addr: u32, buf: &[u8]) -> Result<()> {
         if !(addr as usize).is_multiple_of(DMA_ALIGN) {
-            return Err(SimError::UnalignedDma { addr, len: buf.len() });
+            return Err(SimError::UnalignedDma {
+                addr,
+                len: buf.len(),
+            });
         }
         let end = addr as usize + buf.len();
         if end > MRAM_CAPACITY {
-            return Err(SimError::MramOutOfBounds { addr, len: buf.len(), capacity: MRAM_CAPACITY });
+            return Err(SimError::MramOutOfBounds {
+                addr,
+                len: buf.len(),
+                capacity: MRAM_CAPACITY,
+            });
         }
         self.ensure(end);
         self.data[addr as usize..end].copy_from_slice(buf);
@@ -119,12 +130,19 @@ impl Mram {
     /// Fails on unaligned or out-of-bounds reads.
     pub fn host_read(&self, addr: u32, buf: &mut [u8]) -> Result<()> {
         if !(addr as usize).is_multiple_of(DMA_ALIGN) {
-            return Err(SimError::UnalignedDma { addr, len: buf.len() });
+            return Err(SimError::UnalignedDma {
+                addr,
+                len: buf.len(),
+            });
         }
         let start = addr as usize;
         let end = start + buf.len();
         if end > MRAM_CAPACITY {
-            return Err(SimError::MramOutOfBounds { addr, len: buf.len(), capacity: MRAM_CAPACITY });
+            return Err(SimError::MramOutOfBounds {
+                addr,
+                len: buf.len(),
+                capacity: MRAM_CAPACITY,
+            });
         }
         if end <= self.data.len() {
             buf.copy_from_slice(&self.data[start..end]);
@@ -159,7 +177,9 @@ impl Default for Wram {
 impl Wram {
     /// Creates a zeroed 64 KB scratchpad.
     pub fn new() -> Self {
-        Wram { data: vec![0u8; WRAM_CAPACITY].into_boxed_slice() }
+        Wram {
+            data: vec![0u8; WRAM_CAPACITY].into_boxed_slice(),
+        }
     }
 
     /// Total capacity in bytes (64 KB).
@@ -173,13 +193,18 @@ impl Wram {
     ///
     /// Fails if the range exceeds the scratchpad.
     pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
-        let end = offset.checked_add(buf.len()).filter(|&e| e <= self.data.len());
+        let end = offset
+            .checked_add(buf.len())
+            .filter(|&e| e <= self.data.len());
         match end {
             Some(end) => {
                 buf.copy_from_slice(&self.data[offset..end]);
                 Ok(())
             }
-            None => Err(SimError::WramOutOfBounds { offset, len: buf.len() }),
+            None => Err(SimError::WramOutOfBounds {
+                offset,
+                len: buf.len(),
+            }),
         }
     }
 
@@ -189,13 +214,18 @@ impl Wram {
     ///
     /// Fails if the range exceeds the scratchpad.
     pub fn write(&mut self, offset: usize, buf: &[u8]) -> Result<()> {
-        let end = offset.checked_add(buf.len()).filter(|&e| e <= self.data.len());
+        let end = offset
+            .checked_add(buf.len())
+            .filter(|&e| e <= self.data.len());
         match end {
             Some(end) => {
                 self.data[offset..end].copy_from_slice(buf);
                 Ok(())
             }
-            None => Err(SimError::WramOutOfBounds { offset, len: buf.len() }),
+            None => Err(SimError::WramOutOfBounds {
+                offset,
+                len: buf.len(),
+            }),
         }
     }
 
@@ -236,14 +266,20 @@ mod tests {
             Err(SimError::UnalignedDma { addr: 4, len: 8 })
         );
         let mut buf7 = [0u8; 7];
-        assert!(matches!(m.dma_read(0, &mut buf7), Err(SimError::UnalignedDma { .. })));
+        assert!(matches!(
+            m.dma_read(0, &mut buf7),
+            Err(SimError::UnalignedDma { .. })
+        ));
     }
 
     #[test]
     fn dma_rejects_oversized() {
         let m = Mram::new();
         let mut buf = vec![0u8; 2056];
-        assert_eq!(m.dma_read(0, &mut buf), Err(SimError::DmaTooLarge { len: 2056 }));
+        assert_eq!(
+            m.dma_read(0, &mut buf),
+            Err(SimError::DmaTooLarge { len: 2056 })
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl LaunchReport {
 
     /// Sum of MRAM DMA transfers over all DPUs.
     pub fn total_dma_transfers(&self) -> u64 {
-        self.per_dpu.iter().map(|(_, s)| s.totals.dma_transfers).sum()
+        self.per_dpu
+            .iter()
+            .map(|(_, s)| s.totals.dma_transfers)
+            .sum()
     }
 
     /// Cycle-imbalance ratio: slowest DPU over mean DPU (1.0 = perfectly
@@ -78,7 +81,12 @@ impl LaunchReport {
         if self.per_dpu.is_empty() {
             return 1.0;
         }
-        let max = self.per_dpu.iter().map(|(_, s)| s.cycles.0).max().unwrap_or(0) as f64;
+        let max = self
+            .per_dpu
+            .iter()
+            .map(|(_, s)| s.cycles.0)
+            .max()
+            .unwrap_or(0) as f64;
         let mean = self.per_dpu.iter().map(|(_, s)| s.cycles.0).sum::<u64>() as f64
             / self.per_dpu.len() as f64;
         if mean == 0.0 {
@@ -146,7 +154,10 @@ mod tests {
 
     #[test]
     fn imbalance_detects_skew() {
-        let mk = |c: u64| DpuRunStats { cycles: Cycles(c), ..Default::default() };
+        let mk = |c: u64| DpuRunStats {
+            cycles: Cycles(c),
+            ..Default::default()
+        };
         let r = LaunchReport {
             wall_cycles: Cycles(300),
             wall_ns: 0.0,

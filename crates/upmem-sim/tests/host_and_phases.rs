@@ -1,9 +1,7 @@
 //! Integration tests for host transfer semantics and the two-phase
 //! (barrier) kernel protocol.
 
-use upmem_sim::{
-    CostModel, DpuId, Kernel, PimConfig, PimSystem, SimError, TaskletCtx,
-};
+use upmem_sim::{CostModel, DpuId, Kernel, PimConfig, PimSystem, SimError, TaskletCtx};
 
 #[test]
 fn broadcast_charges_bytes_once_per_group() {
@@ -12,7 +10,9 @@ fn broadcast_charges_bytes_once_per_group() {
     let all: Vec<DpuId> = sys.dpu_ids().collect();
 
     // Broadcast one buffer to 8 DPUs...
-    let broadcast = sys.scatter_broadcast(&[(all.as_slice(), 0, buf.as_slice())]).unwrap();
+    let broadcast = sys
+        .scatter_broadcast(&[(all.as_slice(), 0, buf.as_slice())])
+        .unwrap();
     // ...versus scattering 8 copies.
     let per_dpu: Vec<(DpuId, u32, &[u8])> =
         all.iter().map(|&d| (d, 4096u32, buf.as_slice())).collect();
@@ -68,8 +68,8 @@ impl Kernel for BarrierProbe {
         // Every tasklet sees every other tasklet's phase-1 write.
         let n = ctx.n_tasklets();
         let shared = ctx.shared_wram();
-        for t in 0..n {
-            if shared[t] != (t as u8) + 1 {
+        for (t, &cell) in shared.iter().enumerate().take(n) {
+            if cell != (t as u8) + 1 {
                 return Err(SimError::KernelFault(format!(
                     "tasklet {t}'s phase-1 write not visible at the barrier"
                 )));

@@ -28,7 +28,12 @@ pub struct ImportConfig {
 
 impl Default for ImportConfig {
     fn default() -> Self {
-        ImportConfig { name: "imported".into(), num_tables: 8, batch_size: 64, num_dense: 13 }
+        ImportConfig {
+            name: "imported".into(),
+            num_tables: 8,
+            batch_size: 64,
+            num_dense: 13,
+        }
     }
 }
 
@@ -65,7 +70,10 @@ pub fn import_text_trace<R: Read>(reader: R, config: &ImportConfig) -> io::Resul
         }
     }
     if samples.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "trace contains no samples"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trace contains no samples",
+        ));
     }
 
     let num_items = (max_item + 1) as usize;
@@ -75,7 +83,11 @@ pub fn import_text_trace<R: Read>(reader: R, config: &ImportConfig) -> io::Resul
     if num_batches == 0 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("{} samples cannot fill a batch of {}", samples.len(), config.batch_size),
+            format!(
+                "{} samples cannot fill a batch of {}",
+                samples.len(),
+                config.batch_size
+            ),
         ));
     }
 
@@ -87,9 +99,10 @@ pub fn import_text_trace<R: Read>(reader: R, config: &ImportConfig) -> io::Resul
         let dense: Vec<f32> = window
             .iter()
             .flat_map(|s| {
-                let h = s.iter().fold(0u64, |a, &i| a.wrapping_mul(31).wrapping_add(i));
-                (0..config.num_dense)
-                    .map(move |d| (((h >> (d % 32)) & 0xFF) as f32) / 255.0 - 0.5)
+                let h = s
+                    .iter()
+                    .fold(0u64, |a, &i| a.wrapping_mul(31).wrapping_add(i));
+                (0..config.num_dense).map(move |d| (((h >> (d % 32)) & 0xFF) as f32) / 255.0 - 0.5)
             })
             .collect();
         let sparse: Vec<SparseInput> = (0..config.num_tables)
@@ -116,7 +129,10 @@ pub fn import_text_trace<R: Read>(reader: R, config: &ImportConfig) -> io::Resul
             avg_reduction,
             num_items,
             zipf_theta: f64::NAN, // unknown for real traces
-            cooccur: CooccurConfig { cluster_rate: 0.0, ..CooccurConfig::default() },
+            cooccur: CooccurConfig {
+                cluster_rate: 0.0,
+                ..CooccurConfig::default()
+            },
         },
         config: TraceConfig {
             num_tables: config.num_tables,
@@ -146,7 +162,11 @@ mod tests {
 
     #[test]
     fn parses_mixed_separators_and_comments() {
-        let cfg = ImportConfig { batch_size: 2, num_tables: 2, ..ImportConfig::default() };
+        let cfg = ImportConfig {
+            batch_size: 2,
+            num_tables: 2,
+            ..ImportConfig::default()
+        };
         let w = import_text_trace(SAMPLE.as_bytes(), &cfg).unwrap();
         assert_eq!(w.spec.num_items, 10); // max id 9
         assert_eq!(w.batches.len(), 3); // 6 samples / 2
@@ -159,7 +179,10 @@ mod tests {
 
     #[test]
     fn batches_validate_and_dense_is_deterministic() {
-        let cfg = ImportConfig { batch_size: 3, ..ImportConfig::default() };
+        let cfg = ImportConfig {
+            batch_size: 3,
+            ..ImportConfig::default()
+        };
         let a = import_text_trace(SAMPLE.as_bytes(), &cfg).unwrap();
         let b = import_text_trace(SAMPLE.as_bytes(), &cfg).unwrap();
         assert_eq!(a.batches, b.batches);
@@ -176,7 +199,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_underfilled_traces() {
-        let cfg = ImportConfig { batch_size: 64, ..ImportConfig::default() };
+        let cfg = ImportConfig {
+            batch_size: 64,
+            ..ImportConfig::default()
+        };
         assert!(import_text_trace("".as_bytes(), &cfg).is_err());
         assert!(import_text_trace("1 2 3".as_bytes(), &cfg).is_err());
     }
@@ -184,7 +210,11 @@ mod tests {
     #[test]
     fn imported_workload_drives_the_profiler() {
         use crate::profile::FreqProfile;
-        let cfg = ImportConfig { batch_size: 2, num_tables: 1, ..ImportConfig::default() };
+        let cfg = ImportConfig {
+            batch_size: 2,
+            num_tables: 1,
+            ..ImportConfig::default()
+        };
         let w = import_text_trace(SAMPLE.as_bytes(), &cfg).unwrap();
         let p = FreqProfile::from_inputs(w.spec.num_items, w.table_inputs(0));
         assert_eq!(p.count(1), 2);

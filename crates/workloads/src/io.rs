@@ -53,7 +53,10 @@ fn r_f64<R: Read>(r: &mut R) -> io::Result<f64> {
 fn r_str<R: Read>(r: &mut R) -> io::Result<String> {
     let len = r_u32(r)? as usize;
     if len > 1 << 20 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "string length implausible"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "string length implausible",
+        ));
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
@@ -156,7 +159,11 @@ impl Workload {
             avg_reduction,
             num_items,
             zipf_theta,
-            cooccur: CooccurConfig { cluster_size, cluster_rate, clustered_fraction },
+            cooccur: CooccurConfig {
+                cluster_size,
+                cluster_rate,
+                clustered_fraction,
+            },
         };
         let config = TraceConfig {
             num_tables: r_u64(reader)? as usize,
@@ -201,7 +208,11 @@ impl Workload {
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
             );
         }
-        Ok(Workload { spec, config, batches })
+        Ok(Workload {
+            spec,
+            config,
+            batches,
+        })
     }
 }
 
@@ -214,7 +225,13 @@ mod tests {
         let spec = DatasetSpec::movie().scaled_down(2000);
         Workload::generate(
             &spec,
-            TraceConfig { num_tables: 2, batch_size: 8, num_batches: 3, num_dense: 4, seed: 9 },
+            TraceConfig {
+                num_tables: 2,
+                batch_size: 8,
+                num_batches: 3,
+                num_dense: 4,
+                seed: 9,
+            },
         )
     }
 

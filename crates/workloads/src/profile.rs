@@ -18,7 +18,10 @@ pub struct FreqProfile {
 impl FreqProfile {
     /// An all-zero profile over `num_items` items.
     pub fn new(num_items: usize) -> Self {
-        FreqProfile { counts: vec![0; num_items], total: 0 }
+        FreqProfile {
+            counts: vec![0; num_items],
+            total: 0,
+        }
     }
 
     /// Builds a profile by counting every index in `inputs`.
@@ -117,7 +120,11 @@ impl FreqProfile {
     ///
     /// Panics if the item counts differ.
     pub fn merge(&mut self, other: &FreqProfile) {
-        assert_eq!(self.counts.len(), other.counts.len(), "profile size mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "profile size mismatch"
+        );
         for (a, &b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
         }
@@ -181,16 +188,31 @@ mod tests {
         // The Fig. 5 observation: heavily skewed datasets show orders of
         // magnitude difference between the hottest and coldest block.
         let spec = DatasetSpec::movie().scaled_down(100);
-        let w = Workload::generate(&spec, TraceConfig { num_batches: 8, ..TraceConfig::default() });
+        let w = Workload::generate(
+            &spec,
+            TraceConfig {
+                num_batches: 8,
+                ..TraceConfig::default()
+            },
+        );
         let p = FreqProfile::from_inputs(spec.num_items, w.table_inputs(0));
         let skew = p.block_skew(8);
-        assert!(skew > 50.0, "movie-like trace should be heavily skewed, got {skew}");
+        assert!(
+            skew > 50.0,
+            "movie-like trace should be heavily skewed, got {skew}"
+        );
     }
 
     #[test]
     fn balanced_dataset_shows_no_block_skew() {
         let spec = DatasetSpec::balanced_synthetic(4096, 50.0);
-        let w = Workload::generate(&spec, TraceConfig { num_batches: 8, ..TraceConfig::default() });
+        let w = Workload::generate(
+            &spec,
+            TraceConfig {
+                num_batches: 8,
+                ..TraceConfig::default()
+            },
+        );
         let p = FreqProfile::from_inputs(spec.num_items, w.table_inputs(0));
         assert!(p.block_skew(8) < 1.3);
     }

@@ -44,7 +44,11 @@ pub struct CooccurConfig {
 
 impl Default for CooccurConfig {
     fn default() -> Self {
-        CooccurConfig { cluster_size: 4, cluster_rate: 0.35, clustered_fraction: 0.05 }
+        CooccurConfig {
+            cluster_size: 4,
+            cluster_rate: 0.35,
+            clustered_fraction: 0.05,
+        }
     }
 }
 
@@ -111,7 +115,10 @@ impl DatasetSpec {
             avg_reduction: 52.91,
             num_items: 2_685_059,
             zipf_theta: 0.35,
-            cooccur: CooccurConfig { cluster_rate: 0.08, ..CooccurConfig::default() },
+            cooccur: CooccurConfig {
+                cluster_rate: 0.08,
+                ..CooccurConfig::default()
+            },
         }
     }
 
@@ -124,7 +131,10 @@ impl DatasetSpec {
             avg_reduction: 67.56,
             num_items: 1_301_225,
             zipf_theta: 0.55,
-            cooccur: CooccurConfig { cluster_rate: 0.15, ..CooccurConfig::default() },
+            cooccur: CooccurConfig {
+                cluster_rate: 0.15,
+                ..CooccurConfig::default()
+            },
         }
     }
 
@@ -138,7 +148,10 @@ impl DatasetSpec {
             avg_reduction: 107.2,
             num_items: 5_783_210,
             zipf_theta: 0.85,
-            cooccur: CooccurConfig { cluster_rate: 0.30, ..CooccurConfig::default() },
+            cooccur: CooccurConfig {
+                cluster_rate: 0.30,
+                ..CooccurConfig::default()
+            },
         }
     }
 
@@ -151,7 +164,10 @@ impl DatasetSpec {
             avg_reduction: 188.6,
             num_items: 5_999_981,
             zipf_theta: 0.95,
-            cooccur: CooccurConfig { cluster_rate: 0.35, ..CooccurConfig::default() },
+            cooccur: CooccurConfig {
+                cluster_rate: 0.35,
+                ..CooccurConfig::default()
+            },
         }
     }
 
@@ -164,7 +180,10 @@ impl DatasetSpec {
             avg_reduction: 245.8,
             num_items: 2_360_650,
             zipf_theta: 1.10,
-            cooccur: CooccurConfig { cluster_rate: 0.45, ..CooccurConfig::default() },
+            cooccur: CooccurConfig {
+                cluster_rate: 0.45,
+                ..CooccurConfig::default()
+            },
         }
     }
 
@@ -177,7 +196,10 @@ impl DatasetSpec {
             avg_reduction: 374.08,
             num_items: 2_360_650,
             zipf_theta: 1.15,
-            cooccur: CooccurConfig { cluster_rate: 0.50, ..CooccurConfig::default() },
+            cooccur: CooccurConfig {
+                cluster_rate: 0.50,
+                ..CooccurConfig::default()
+            },
         }
     }
 
@@ -191,7 +213,10 @@ impl DatasetSpec {
             avg_reduction: 80.0,
             num_items: 500_000,
             zipf_theta: 1.20,
-            cooccur: CooccurConfig { cluster_rate: 0.40, ..CooccurConfig::default() },
+            cooccur: CooccurConfig {
+                cluster_rate: 0.40,
+                ..CooccurConfig::default()
+            },
         }
     }
 
@@ -204,7 +229,10 @@ impl DatasetSpec {
             avg_reduction: 60.0,
             num_items: 800_000,
             zipf_theta: 1.05,
-            cooccur: CooccurConfig { cluster_rate: 0.30, ..CooccurConfig::default() },
+            cooccur: CooccurConfig {
+                cluster_rate: 0.30,
+                ..CooccurConfig::default()
+            },
         }
     }
 
@@ -219,7 +247,10 @@ impl DatasetSpec {
             avg_reduction,
             num_items,
             zipf_theta: 0.0,
-            cooccur: CooccurConfig { cluster_rate: 0.0, ..CooccurConfig::default() },
+            cooccur: CooccurConfig {
+                cluster_rate: 0.0,
+                ..CooccurConfig::default()
+            },
         }
     }
 
@@ -248,7 +279,10 @@ mod tests {
         let six = DatasetSpec::paper_six();
         assert_eq!(six.len(), 6);
         let shorts: Vec<&str> = six.iter().map(|s| s.short.as_str()).collect();
-        assert_eq!(shorts, vec!["clo", "home", "meta1", "meta2", "read", "read2"]);
+        assert_eq!(
+            shorts,
+            vec!["clo", "home", "meta1", "meta2", "read", "read2"]
+        );
         // Exact Table 1 numbers.
         assert_eq!(six[0].num_items, 2_685_059);
         assert_eq!(six[1].num_items, 1_301_225);

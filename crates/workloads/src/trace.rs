@@ -33,7 +33,13 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { num_tables: 8, batch_size: 64, num_batches: 10, num_dense: 13, seed: 0xDA7A }
+        TraceConfig {
+            num_tables: 8,
+            batch_size: 64,
+            num_batches: 10,
+            num_dense: 13,
+            seed: 0xDA7A,
+        }
     }
 }
 
@@ -41,7 +47,13 @@ impl TraceConfig {
     /// The paper's evaluation shape: 8 tables, batch 64, 12,800
     /// inferences (200 batches).
     pub fn paper_eval(seed: u64) -> Self {
-        TraceConfig { num_tables: 8, batch_size: 64, num_batches: 200, num_dense: 13, seed }
+        TraceConfig {
+            num_tables: 8,
+            batch_size: 64,
+            num_batches: 200,
+            num_dense: 13,
+            seed,
+        }
     }
 }
 
@@ -85,14 +97,23 @@ impl Workload {
                     .expect("generated batches are valid by construction"),
             );
         }
-        Workload { spec: spec.clone(), config, batches }
+        Workload {
+            spec: spec.clone(),
+            config,
+            batches,
+        }
     }
 
     /// Total lookups across all batches and tables.
     pub fn total_lookups(&self) -> usize {
         self.batches
             .iter()
-            .map(|b| b.sparse.iter().map(SparseInput::total_lookups).sum::<usize>())
+            .map(|b| {
+                b.sparse
+                    .iter()
+                    .map(SparseInput::total_lookups)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -128,8 +149,7 @@ struct ClusterPlan {
 
 impl ClusterPlan {
     fn new(spec: &DatasetSpec) -> ClusterPlan {
-        let clustered_items =
-            (spec.num_items as f64 * spec.cooccur.clustered_fraction) as usize;
+        let clustered_items = (spec.num_items as f64 * spec.cooccur.clustered_fraction) as usize;
         let num_clusters = clustered_items / spec.cooccur.cluster_size.max(1);
         let sampler = (num_clusters > 0 && spec.cooccur.cluster_rate > 0.0)
             .then(|| ZipfSampler::new(num_clusters, spec.zipf_theta.max(0.5)));
@@ -157,7 +177,9 @@ fn sample_multi_hot(
 ) -> Vec<u64> {
     // Per-sample length: uniform in [0.5, 1.5] * avg so the mean matches
     // the spec while lengths vary as in real traces.
-    let target = (spec.avg_reduction * rng.random_range(0.5..1.5)).round().max(1.0) as usize;
+    let target = (spec.avg_reduction * rng.random_range(0.5..1.5))
+        .round()
+        .max(1.0) as usize;
     let target = target.min(spec.num_items);
     let mut out = Vec::with_capacity(target);
     let mut seen = HashSet::with_capacity(target * 2);
@@ -201,7 +223,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let spec = small_spec();
-        let cfg = TraceConfig { num_batches: 2, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            num_batches: 2,
+            ..TraceConfig::default()
+        };
         let a = Workload::generate(&spec, cfg);
         let b = Workload::generate(&spec, cfg);
         assert_eq!(a.batches, b.batches);
@@ -210,7 +235,10 @@ mod tests {
     #[test]
     fn measured_reduction_tracks_spec() {
         let spec = small_spec();
-        let cfg = TraceConfig { num_batches: 6, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            num_batches: 6,
+            ..TraceConfig::default()
+        };
         let w = Workload::generate(&spec, cfg);
         let measured = w.measured_avg_reduction();
         assert!(
@@ -223,7 +251,13 @@ mod tests {
     #[test]
     fn indices_in_range_and_distinct_per_sample() {
         let spec = small_spec();
-        let w = Workload::generate(&spec, TraceConfig { num_batches: 2, ..TraceConfig::default() });
+        let w = Workload::generate(
+            &spec,
+            TraceConfig {
+                num_batches: 2,
+                ..TraceConfig::default()
+            },
+        );
         for b in &w.batches {
             for s in &b.sparse {
                 for sample_idx in 0..s.batch_size() {
@@ -239,7 +273,13 @@ mod tests {
     #[test]
     fn shape_matches_config() {
         let spec = small_spec();
-        let cfg = TraceConfig { num_tables: 3, batch_size: 16, num_batches: 4, num_dense: 5, seed: 1 };
+        let cfg = TraceConfig {
+            num_tables: 3,
+            batch_size: 16,
+            num_batches: 4,
+            num_dense: 5,
+            seed: 1,
+        };
         let w = Workload::generate(&spec, cfg);
         assert_eq!(w.batches.len(), 4);
         for b in &w.batches {
@@ -254,7 +294,13 @@ mod tests {
         // With theta = 0 the most popular block should see roughly the
         // same traffic as the least popular one.
         let spec = DatasetSpec::balanced_synthetic(1024, 40.0);
-        let w = Workload::generate(&spec, TraceConfig { num_batches: 8, ..TraceConfig::default() });
+        let w = Workload::generate(
+            &spec,
+            TraceConfig {
+                num_batches: 8,
+                ..TraceConfig::default()
+            },
+        );
         let mut counts = vec![0u64; 1024];
         for b in &w.batches {
             for s in &b.sparse {
@@ -275,7 +321,13 @@ mod tests {
         // random pairs: check pair (0, 1) vs (0, large non-cluster id).
         let mut spec = small_spec();
         spec.cooccur.cluster_rate = 0.6;
-        let w = Workload::generate(&spec, TraceConfig { num_batches: 8, ..TraceConfig::default() });
+        let w = Workload::generate(
+            &spec,
+            TraceConfig {
+                num_batches: 8,
+                ..TraceConfig::default()
+            },
+        );
         let mut co01 = 0u64;
         let mut co0x = 0u64;
         let far = (spec.num_items - 10) as u64;
@@ -292,7 +344,10 @@ mod tests {
                 }
             }
         }
-        assert!(co01 > co0x * 3, "cluster pair co-occurs {co01}, random pair {co0x}");
+        assert!(
+            co01 > co0x * 3,
+            "cluster pair co-occurs {co01}, random pair {co0x}"
+        );
     }
 
     #[test]

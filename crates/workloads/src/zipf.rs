@@ -23,7 +23,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `theta` is negative or non-finite.
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "zipf sampler needs at least one item");
-        assert!(theta.is_finite() && theta >= 0.0, "theta must be finite and >= 0");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be finite and >= 0"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for rank in 1..=n {
@@ -90,7 +93,10 @@ mod tests {
         let h = histogram(0.0, 16, 64_000);
         let expect = 4_000.0;
         for &c in &h {
-            assert!((c as f64 - expect).abs() < expect * 0.15, "count {c} too far from {expect}");
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.15,
+                "count {c} too far from {expect}"
+            );
         }
     }
 

@@ -7,7 +7,10 @@ use workloads::{DatasetSpec, FreqProfile, TraceConfig, Workload, ZipfSampler};
 fn chi_square_uniformity(counts: &[u64]) -> f64 {
     let total: u64 = counts.iter().sum();
     let expect = total as f64 / counts.len() as f64;
-    counts.iter().map(|&c| (c as f64 - expect).powi(2) / expect).sum()
+    counts
+        .iter()
+        .map(|&c| (c as f64 - expect).powi(2) / expect)
+        .sum()
 }
 
 #[test]
@@ -51,7 +54,10 @@ fn paper_six_traces_reproduce_their_reduction_targets() {
         let scaled = spec.scaled_down(2000);
         let w = Workload::generate(
             &scaled,
-            TraceConfig { num_batches: 3, ..TraceConfig::default() },
+            TraceConfig {
+                num_batches: 3,
+                ..TraceConfig::default()
+            },
         );
         let measured = w.measured_avg_reduction();
         assert!(
@@ -69,7 +75,10 @@ fn hotness_classes_order_their_skew() {
         let scaled = spec.scaled_down(2000);
         let w = Workload::generate(
             &scaled,
-            TraceConfig { num_batches: 4, ..TraceConfig::default() },
+            TraceConfig {
+                num_batches: 4,
+                ..TraceConfig::default()
+            },
         );
         FreqProfile::from_inputs(scaled.num_items, w.table_inputs(0)).block_skew(8)
     };
@@ -79,7 +88,10 @@ fn hotness_classes_order_their_skew() {
         high > low * 1.5,
         "high-hot skew {high} should clearly exceed low-hot {low}"
     );
-    assert!(high > 8.0, "high-hot skew {high} should be strong even at test scale");
+    assert!(
+        high > 8.0,
+        "high-hot skew {high} should be strong even at test scale"
+    );
 }
 
 #[test]
@@ -87,7 +99,11 @@ fn different_tables_get_independent_draws() {
     let spec = DatasetSpec::movie().scaled_down(2000);
     let w = Workload::generate(
         &spec,
-        TraceConfig { num_tables: 2, num_batches: 1, ..TraceConfig::default() },
+        TraceConfig {
+            num_tables: 2,
+            num_batches: 1,
+            ..TraceConfig::default()
+        },
     );
     let b = &w.batches[0];
     assert_ne!(
@@ -102,7 +118,11 @@ fn seeds_change_traces_but_specs_do_not() {
     let mk = |seed| {
         Workload::generate(
             &spec,
-            TraceConfig { num_batches: 1, seed, ..TraceConfig::default() },
+            TraceConfig {
+                num_batches: 1,
+                seed,
+                ..TraceConfig::default()
+            },
         )
     };
     let a = mk(1);
@@ -116,7 +136,11 @@ fn save_load_round_trip_through_a_file() {
     let spec = DatasetSpec::amazon_home().scaled_down(5000);
     let w = Workload::generate(
         &spec,
-        TraceConfig { num_tables: 2, num_batches: 2, ..TraceConfig::default() },
+        TraceConfig {
+            num_tables: 2,
+            num_batches: 2,
+            ..TraceConfig::default()
+        },
     );
     let dir = std::env::temp_dir().join("updlrm-io-test");
     std::fs::create_dir_all(&dir).expect("temp dir");

@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = DatasetSpec::goodreads().scaled_down(400);
     let workload = Workload::generate(
         &spec,
-        TraceConfig { num_batches: 12, ..TraceConfig::default() },
+        TraceConfig {
+            num_batches: 12,
+            ..TraceConfig::default()
+        },
     );
     let model = Arc::new(Dlrm::new(DlrmConfig {
         num_dense: 13,
@@ -48,12 +51,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // Baseline: non-uniform, no cache.
-    let (base_ns, base_dma) =
-        measure(UpdlrmConfig::with_dpus(64, PartitionStrategy::NonUniform))?;
-    println!("baseline NU (no cache): lookup {:.1} us, {} MRAM reads", base_ns / 1e3, base_dma);
+    let (base_ns, base_dma) = measure(UpdlrmConfig::with_dpus(64, PartitionStrategy::NonUniform))?;
+    println!(
+        "baseline NU (no cache): lookup {:.1} us, {} MRAM reads",
+        base_ns / 1e3,
+        base_dma
+    );
 
     println!("\ncache capacity sweep (fraction of mined-list storage):");
-    println!("{:>10}  {:>12}  {:>12}  {:>10}", "capacity", "lookup (us)", "MRAM reads", "vs base");
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>10}",
+        "capacity", "lookup (us)", "MRAM reads", "vs base"
+    );
     for fraction in [0.2, 0.4, 0.7, 1.0] {
         let config = UpdlrmConfig::with_dpus(64, PartitionStrategy::CacheAware)
             .with_cache_fraction(fraction);
@@ -68,17 +77,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nmax cache-list length sweep (storage is 2^k - 1 rows per list):");
-    println!("{:>10}  {:>12}  {:>14}", "max items", "lookup (us)", "cache rows/tbl");
+    println!(
+        "{:>10}  {:>12}  {:>14}",
+        "max items", "lookup (us)", "cache rows/tbl"
+    );
     for max_list_len in [2usize, 3, 4, 5] {
         let mut config = UpdlrmConfig::with_dpus(64, PartitionStrategy::CacheAware);
-        config.miner = MinerConfig { max_list_len, ..MinerConfig::default() };
+        config.miner = MinerConfig {
+            max_list_len,
+            ..MinerConfig::default()
+        };
         let backend = UpdlrmBackend::from_workload(
             config.clone(),
             model.clone(),
             &workload,
             CpuMemoryModel::default(),
         )?;
-        let rows: u32 = backend.engine().table_report(0).cache_rows_per_part.iter().sum();
+        let rows: u32 = backend
+            .engine()
+            .table_report(0)
+            .cache_rows_per_part
+            .iter()
+            .sum();
         let (ns, _) = measure(config)?;
         println!("{:>10}  {:>12.1}  {:>14}", max_list_len, ns / 1e3, rows);
     }

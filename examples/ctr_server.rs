@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = DatasetSpec::meta_fbgemm2().scaled_down(400);
     let workload = Workload::generate(
         &spec,
-        TraceConfig { num_batches: 30, ..TraceConfig::default() },
+        TraceConfig {
+            num_batches: 30,
+            ..TraceConfig::default()
+        },
     );
     let model = Arc::new(Dlrm::new(DlrmConfig {
         num_dense: 13,
@@ -50,11 +53,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Scale the capacity-sensitive hardware parameters like the tables
     // (see EXPERIMENTS.md "Scaling"), otherwise the scaled-down tables
     // fit entirely in the modeled LLC / GPU memory.
-    let mem = CpuMemoryModel { llc_bytes: (11 << 20) / 400, ..CpuMemoryModel::default() };
-    let gpu = GpuModel { mem_bytes: (11usize << 30) / 400, ..GpuModel::default() };
+    let mem = CpuMemoryModel {
+        llc_bytes: (11 << 20) / 400,
+        ..CpuMemoryModel::default()
+    };
+    let gpu = GpuModel {
+        mem_bytes: (11usize << 30) / 400,
+        ..GpuModel::default()
+    };
     let mut backends: Vec<Box<dyn InferenceBackend>> = vec![
         Box::new(DlrmCpu::new(model.clone(), &profiles, mem.clone())?),
-        Box::new(DlrmHybrid::new(model.clone(), &profiles, mem.clone(), gpu.clone())?),
+        Box::new(DlrmHybrid::new(
+            model.clone(),
+            &profiles,
+            mem.clone(),
+            gpu.clone(),
+        )?),
         Box::new(Fae::new(model.clone(), &profiles, mem.clone(), gpu, 0.85)?),
         Box::new(UpdlrmBackend::from_workload(
             UpdlrmConfig::with_dpus(256, PartitionStrategy::CacheAware),

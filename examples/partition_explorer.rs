@@ -9,9 +9,9 @@
 //! Prints the Eq. 1–3 tiling search, per-partition loads and the
 //! resulting workload-balance statistics for U, NU and CA.
 
+use updlrm::cooccur_cache::{CacheListSet, CooccurGraph};
 use updlrm::prelude::*;
 use updlrm::updlrm_core::{cache_aware, non_uniform, uniform, TilingProblem};
-use updlrm::cooccur_cache::{CacheListSet, CooccurGraph};
 
 fn spec_by_name(name: &str) -> Option<DatasetSpec> {
     let spec = match name {
@@ -29,7 +29,9 @@ fn spec_by_name(name: &str) -> Option<DatasetSpec> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "read".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "read".to_string());
     let Some(full_spec) = spec_by_name(&name) else {
         eprintln!("unknown dataset '{name}'; try clo|home|meta1|meta2|read|read2|movie|twitch");
         std::process::exit(2);
@@ -43,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Profile a trace.
     let workload = Workload::generate(
         &spec,
-        TraceConfig { num_tables: 1, num_batches: 16, ..TraceConfig::default() },
+        TraceConfig {
+            num_tables: 1,
+            num_batches: 16,
+            ..TraceConfig::default()
+        },
     );
     let profile = FreqProfile::from_inputs(spec.num_items, workload.table_inputs(0));
     println!(

@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = DatasetSpec::goodreads().scaled_down(200);
     let workload = Workload::generate(
         &spec,
-        TraceConfig { num_batches: 10, ..TraceConfig::default() },
+        TraceConfig {
+            num_batches: 10,
+            ..TraceConfig::default()
+        },
     );
     println!(
         "workload: {} ({} items, avg reduction {:.1}, {} batches of {})",
@@ -72,12 +75,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("verified {checked} CTR predictions against the CPU reference");
 
     let total = acc.total_ns();
-    println!("\nembedding-layer breakdown over {} batches:", workload.batches.len());
-    println!("  stage 1 (CPU->DPU): {:9.1} us ({:4.1}%)", acc.stage1_ns / 1e3, 100.0 * acc.stage1_ns / total);
-    println!("  stage 2 (lookup):   {:9.1} us ({:4.1}%)", acc.stage2_ns / 1e3, 100.0 * acc.stage2_ns / total);
-    println!("  stage 3 (DPU->CPU): {:9.1} us ({:4.1}%)", acc.stage3_ns / 1e3, 100.0 * acc.stage3_ns / total);
+    println!(
+        "\nembedding-layer breakdown over {} batches:",
+        workload.batches.len()
+    );
+    println!(
+        "  stage 1 (CPU->DPU): {:9.1} us ({:4.1}%)",
+        acc.stage1_ns / 1e3,
+        100.0 * acc.stage1_ns / total
+    );
+    println!(
+        "  stage 2 (lookup):   {:9.1} us ({:4.1}%)",
+        acc.stage2_ns / 1e3,
+        100.0 * acc.stage2_ns / total
+    );
+    println!(
+        "  stage 3 (DPU->CPU): {:9.1} us ({:4.1}%)",
+        acc.stage3_ns / 1e3,
+        100.0 * acc.stage3_ns / total
+    );
     println!("  total:              {:9.1} us", total / 1e3);
     println!("  MRAM DMA transfers: {}", acc.dma_transfers);
-    println!("  lookup imbalance:   {:.2} (max DPU / mean DPU)", acc.lookup_imbalance);
+    println!(
+        "  lookup imbalance:   {:.2} (max DPU / mean DPU)",
+        acc.lookup_imbalance
+    );
     Ok(())
 }

@@ -24,13 +24,17 @@ const DIM: usize = 32;
 /// from the first half of the item space.
 fn task_batch(b: usize, rng: &mut StdRng) -> (QueryBatch, Vec<f32>) {
     let mut labels = Vec::with_capacity(b);
-    let mut per_table: Vec<Vec<Vec<u64>>> = vec![Vec::with_capacity(b); TABLES];
+    let mut per_table: Vec<Vec<Vec<u64>>> = (0..TABLES).map(|_| Vec::with_capacity(b)).collect();
     let mut dense = Vec::with_capacity(b * 13);
     for _ in 0..b {
         let positive = rng.random_bool(0.5);
         labels.push(if positive { 1.0 } else { 0.0 });
         let lo = if positive { 0 } else { ITEMS as u64 / 2 };
-        let hi = if positive { ITEMS as u64 / 2 } else { ITEMS as u64 };
+        let hi = if positive {
+            ITEMS as u64 / 2
+        } else {
+            ITEMS as u64
+        };
         for t in per_table.iter_mut() {
             let k = rng.random_range(2..8);
             t.push((0..k).map(|_| rng.random_range(lo..hi)).collect());
@@ -39,8 +43,14 @@ fn task_batch(b: usize, rng: &mut StdRng) -> (QueryBatch, Vec<f32>) {
             dense.push(rng.random_range(-0.5..0.5));
         }
     }
-    let sparse = per_table.into_iter().map(SparseInput::from_samples).collect();
-    (QueryBatch::new(dense, 13, sparse).expect("valid batch"), labels)
+    let sparse = per_table
+        .into_iter()
+        .map(SparseInput::from_samples)
+        .collect();
+    (
+        QueryBatch::new(dense, 13, sparse).expect("valid batch"),
+        labels,
+    )
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -54,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
 
     // ---- train on the CPU ----
-    let sgd = SgdConfig { lr_dense: 0.1, lr_embedding: 0.4 };
+    let sgd = SgdConfig {
+        lr_dense: 0.1,
+        lr_embedding: 0.4,
+    };
     let mut rng = StdRng::seed_from_u64(7);
     let mut first_loss = None;
     let mut last = None;
@@ -63,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let stats = model.train_batch(&batch, &labels, &sgd)?;
         first_loss.get_or_insert(stats.loss);
         if step % 100 == 0 {
-            println!("step {step:4}: loss {:.4}, accuracy {:.2}", stats.loss, stats.accuracy);
+            println!(
+                "step {step:4}: loss {:.4}, accuracy {:.2}",
+                stats.loss, stats.accuracy
+            );
         }
         last = Some(stats);
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! updlrm run   [--dataset read] [--backend updlrm|cpu|hybrid|fae|hetero]
 //!              [--strategy u|nu|ca|nur] [--dpus 256] [--nc auto|2|4|8]
-//!              [--scale 200] [--batches 10] [--seed 7]
+//!              [--scale 200] [--batches 10] [--seed 7] [--host-threads N]
 //! updlrm trace [--dataset movie] [--scale 200] [--batches 10] --out trace.upwl
 //! updlrm info  [--dataset read]
 //! ```
@@ -16,7 +16,8 @@ use updlrm::prelude::*;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  updlrm run   [--dataset TAG] [--backend updlrm|cpu|hybrid|fae|hetero] \
-         [--strategy u|nu|ca|nur] [--dpus N] [--nc auto|2|4|8] [--scale N] [--batches N] [--seed N]\n  \
+         [--strategy u|nu|ca|nur] [--dpus N] [--nc auto|2|4|8] [--scale N] [--batches N] [--seed N] \
+         [--host-threads N]\n  \
          updlrm trace [--dataset TAG] [--scale N] [--batches N] [--seed N] --out FILE\n  \
          updlrm info  [--dataset TAG]\n\nTAG: clo home meta1 meta2 read read2 movie twitch"
     );
@@ -47,7 +48,10 @@ impl Args {
     }
 
     fn str(&self, name: &str, default: &str) -> String {
-        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     fn num(&self, name: &str, default: usize) -> usize {
@@ -72,7 +76,9 @@ fn spec_or_exit(args: &Args) -> DatasetSpec {
     }
 }
 
-fn build_setting(args: &Args) -> Result<(DatasetSpec, Workload, Arc<Dlrm>), Box<dyn std::error::Error>> {
+fn build_setting(
+    args: &Args,
+) -> Result<(DatasetSpec, Workload, Arc<Dlrm>), Box<dyn std::error::Error>> {
     let spec = spec_or_exit(args).scaled_down(args.num("scale", 200));
     let workload = Workload::generate(
         &spec,
@@ -113,6 +119,7 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "auto" => {}
         v => config.n_c = Some(v.parse()?),
     }
+    config.host_threads = args.num("host-threads", config.host_threads);
     let mem = CpuMemoryModel::default();
     let mut backend: Box<dyn InferenceBackend> = match args.str("backend", "updlrm").as_str() {
         "updlrm" => Box::new(UpdlrmBackend::from_workload(
@@ -122,8 +129,19 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             mem,
         )?),
         "cpu" => Box::new(DlrmCpu::new(model.clone(), &profiles, mem)?),
-        "hybrid" => Box::new(DlrmHybrid::new(model.clone(), &profiles, mem, GpuModel::default())?),
-        "fae" => Box::new(Fae::new(model.clone(), &profiles, mem, GpuModel::default(), 0.85)?),
+        "hybrid" => Box::new(DlrmHybrid::new(
+            model.clone(),
+            &profiles,
+            mem,
+            GpuModel::default(),
+        )?),
+        "fae" => Box::new(Fae::new(
+            model.clone(),
+            &profiles,
+            mem,
+            GpuModel::default(),
+            0.85,
+        )?),
         "hetero" => Box::new(DpuGpuHetero::from_workload(
             config,
             model.clone(),
@@ -170,7 +188,10 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             pim.lookup_imbalance,
         );
         let pr = PipelineReport::from_batches(&breakdowns);
-        println!("  inter-batch pipelining would save {:.1}%", (1.0 - 1.0 / pr.speedup()) * 100.0);
+        println!(
+            "  inter-batch pipelining would save {:.1}%",
+            (1.0 - 1.0 / pr.speedup()) * 100.0
+        );
     }
     Ok(())
 }
@@ -197,7 +218,10 @@ fn cmd_info(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     println!("  avg reduction:  {}", spec.avg_reduction);
     println!("  items:          {}", spec.num_items);
     println!("  zipf theta:     {}", spec.zipf_theta);
-    println!("  table size:     {:.1} MB at 32 dims", spec.table_bytes(32) as f64 / 1e6);
+    println!(
+        "  table size:     {:.1} MB at 32 dims",
+        spec.table_bytes(32) as f64 / 1e6
+    );
     println!(
         "  co-occurrence:  clusters of {}, rate {}, fraction {}",
         spec.cooccur.cluster_size, spec.cooccur.cluster_rate, spec.cooccur.clustered_fraction

@@ -8,7 +8,10 @@ fn updlrm() -> Command {
 
 #[test]
 fn info_prints_dataset_facts() {
-    let out = updlrm().args(["info", "--dataset", "read2"]).output().expect("run");
+    let out = updlrm()
+        .args(["info", "--dataset", "read2"])
+        .output()
+        .expect("run");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("GoodReads2"));
@@ -20,12 +23,25 @@ fn info_prints_dataset_facts() {
 fn run_reports_latency_breakdown() {
     let out = updlrm()
         .args([
-            "run", "--dataset", "movie", "--strategy", "nu", "--dpus", "32", "--scale",
-            "1000", "--batches", "2",
+            "run",
+            "--dataset",
+            "movie",
+            "--strategy",
+            "nu",
+            "--dpus",
+            "32",
+            "--scale",
+            "1000",
+            "--batches",
+            "2",
         ])
         .output()
         .expect("run");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("UpDLRM on Movie"));
     assert!(text.contains("embedding:"));
@@ -37,8 +53,15 @@ fn run_supports_every_backend() {
     for backend in ["cpu", "hybrid", "fae"] {
         let out = updlrm()
             .args([
-                "run", "--dataset", "clo", "--backend", backend, "--scale", "2000",
-                "--batches", "1",
+                "run",
+                "--dataset",
+                "clo",
+                "--backend",
+                backend,
+                "--scale",
+                "2000",
+                "--batches",
+                "1",
             ])
             .output()
             .expect("run");
@@ -57,12 +80,23 @@ fn trace_round_trips_through_a_file() {
     let path = dir.join("cli-trace.upwl");
     let out = updlrm()
         .args([
-            "trace", "--dataset", "twitch", "--scale", "2000", "--batches", "2", "--out",
+            "trace",
+            "--dataset",
+            "twitch",
+            "--scale",
+            "2000",
+            "--batches",
+            "2",
+            "--out",
         ])
         .arg(&path)
         .output()
         .expect("run");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let mut f = std::fs::File::open(&path).expect("trace file written");
     let loaded = updlrm::workloads::Workload::load(&mut f).expect("valid UPWL file");
     assert_eq!(loaded.batches.len(), 2);
@@ -72,7 +106,10 @@ fn trace_round_trips_through_a_file() {
 
 #[test]
 fn unknown_arguments_exit_nonzero() {
-    let out = updlrm().args(["run", "--dataset", "nope"]).output().expect("run");
+    let out = updlrm()
+        .args(["run", "--dataset", "nope"])
+        .output()
+        .expect("run");
     assert!(!out.status.success());
     let out = updlrm().args(["frobnicate"]).output().expect("run");
     assert!(!out.status.success());

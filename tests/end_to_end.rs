@@ -9,7 +9,11 @@ fn setting() -> (DatasetSpec, Workload, Arc<Dlrm>) {
     let spec = DatasetSpec::meta_fbgemm1().scaled_down(2000); // ~2.9k items
     let workload = Workload::generate(
         &spec,
-        TraceConfig { num_tables: 4, num_batches: 3, ..TraceConfig::default() },
+        TraceConfig {
+            num_tables: 4,
+            num_batches: 3,
+            ..TraceConfig::default()
+        },
     );
     let model = Arc::new(
         Dlrm::new_integer_tables(DlrmConfig {
@@ -131,7 +135,12 @@ fn tiny_tables_and_degenerate_batches_work() {
     let spec = DatasetSpec::balanced_synthetic(3, 2.0);
     let workload = Workload::generate(
         &spec,
-        TraceConfig { num_tables: 2, batch_size: 1, num_batches: 1, ..TraceConfig::default() },
+        TraceConfig {
+            num_tables: 2,
+            batch_size: 1,
+            num_batches: 1,
+            ..TraceConfig::default()
+        },
     );
     let mut engine = UpdlrmEngine::from_workload(
         UpdlrmConfig::with_dpus(16, PartitionStrategy::NonUniform),
@@ -149,6 +158,9 @@ fn tiny_tables_and_degenerate_batches_work() {
     )
     .expect("batch");
     let (pooled, _) = engine.run_batch(&batch).expect("tiny batch");
-    assert_eq!(pooled[0].row(0), tables[0].partial_sum(&[0, 2]).expect("sum"));
+    assert_eq!(
+        pooled[0].row(0),
+        tables[0].partial_sum(&[0, 2]).expect("sum")
+    );
     assert_eq!(pooled[1].row(0), vec![0.0f32; 32]);
 }

@@ -1,0 +1,277 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! The build container has no crates.io access, so this crate provides
+//! the subset of the rand 0.9 API the workspace uses — [`Rng`] with
+//! `random_range` / `random_bool`, [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`] — behind the same paths. `StdRng` here is
+//! xoshiro256++ (seeded through SplitMix64), a small generator with
+//! solid statistical quality; streams differ from the real crate's
+//! ChaCha12, which is fine because nothing in the workspace pins exact
+//! draw sequences across rand versions.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing random-value methods, available on any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+impl<T: RngCore + ?Sized> RngCore for &mut T {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generators constructible from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types uniform ranges can produce.
+///
+/// Mirrors the real crate's structure: the *single* blanket impl
+/// `Range<T>: SampleRange<T>` below is what lets type inference unify a
+/// range literal's element type with the call site's expected sample
+/// type (e.g. `f64 * rng.random_range(0.5..1.5)` resolving to `f64`).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from the half-open `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from the closed `[lo, hi]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Ranges a uniform value can be drawn from.
+///
+/// Parameterized by the output type (not an associated type) so that
+/// float literals in `rng.random_range(-1.0..1.0)` infer their width
+/// from the call site's expected type, as with the real crate.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample. Consumes the range (they are `Copy`-ish
+    /// bounds anyway), matching rand 0.9.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range_inclusive(rng, lo, hi)
+    }
+}
+
+/// Maps 64 random bits onto `[0, 1)` with 53-bit resolution.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform draw from `[0, span)`.
+///
+/// Uses Lemire's multiply-shift with a single rejection pass — bias-free
+/// and branch-light.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let wide = u128::from(rng.next_u64()) * u128::from(span);
+        let low = wide as u64;
+        // Accept unless `low` falls in the biased residue zone.
+        if low >= span || low >= span.wrapping_neg() % span {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u64;
+                let off = uniform_below(rng, span);
+                (lo as i128 + off as i128) as $t
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u128::from(u64::MAX) {
+                    // Only reachable for the full u64/i64 domain.
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_below(rng, span as u64);
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "empty range in random_range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                let v = lo + (hi - lo) * u;
+                // Guard the open upper bound against rounding.
+                if v < hi {
+                    v
+                } else {
+                    let below = <$t>::from_bits(hi.to_bits() - 1);
+                    if below >= lo { below } else { lo }
+                }
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "empty range in random_range");
+                lo + (hi - lo) * unit_f64(rng.next_u64()) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed with SplitMix64 — the initialization the
+            // xoshiro authors recommend; never yields the all-zero state.
+            let mut x = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-3i32..=3);
+            assert!((-3..=3).contains(&v));
+            let f: f32 = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = rng.random_range(5usize..6);
+            assert_eq!(u, 5);
+        }
+    }
+
+    #[test]
+    fn unsized_rng_receiver_works() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.random_range(0..10u64)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(draw(&mut rng) < 10);
+    }
+
+    #[test]
+    fn uniformity_is_reasonable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bins = [0u32; 16];
+        let draws = 64_000;
+        for _ in 0..draws {
+            bins[rng.random_range(0usize..16)] += 1;
+        }
+        let expect = draws as f64 / 16.0;
+        for &b in &bins {
+            assert!(
+                (f64::from(b) - expect).abs() < expect * 0.10,
+                "bins {bins:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01, "{hits}");
+    }
+}

@@ -1,0 +1,740 @@
+//! Offline stand-in for `serde` + `serde_json`.
+//!
+//! The build container has no crates.io access, so this crate provides
+//! the small serialization surface the workspace needs behind the same
+//! `serde::Serialize` / `serde::Deserialize` names:
+//!
+//! * a self-describing [`Value`] tree (null / bool / integers / floats
+//!   / strings / arrays / objects);
+//! * [`Serialize`] / [`Deserialize`] traits converting to and from
+//!   [`Value`], derivable via the vendored `serde_derive`;
+//! * a [`json`] module rendering a [`Value`] to JSON text and parsing
+//!   it back (`to_string` / `to_string_pretty` / `from_str`), with
+//!   float formatting that round-trips bit-exactly.
+//!
+//! Deserialization of objects looks fields up by name, so field order
+//! is not significant — like the real serde.
+
+#![warn(missing_docs)]
+
+// The derive macros emit `::serde::...` paths; register this crate
+// under its own name so those paths also resolve inside this crate's
+// unit tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed or to-be-serialized document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A negative integer (non-negative integers parse as [`Value::UInt`]).
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object: key/value pairs in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a document tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a document tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserializes field `key` of an object value (derive-macro helper).
+///
+/// # Errors
+///
+/// Fails when `v` is not an object, the key is missing, or the field
+/// itself fails to deserialize.
+pub fn field<T: Deserialize>(v: &Value, key: &str) -> Result<T, Error> {
+    match v.get(key) {
+        Some(f) => T::from_value(f),
+        None => match v {
+            Value::Object(_) => Err(Error::custom(format!("missing field `{key}`"))),
+            other => Err(Error::custom(format!(
+                "expected object with `{key}`, got {other:?}"
+            ))),
+        },
+    }
+}
+
+/// Extracts an array of exactly `arity` elements (derive-macro helper).
+///
+/// # Errors
+///
+/// Fails when `v` is not an array of that length.
+pub fn expect_array(v: &Value, arity: usize) -> Result<&[Value], Error> {
+    match v {
+        Value::Array(a) if a.len() == arity => Ok(a),
+        Value::Array(a) => Err(Error::custom(format!(
+            "expected {arity} elements, got {}",
+            a.len()
+        ))),
+        other => Err(Error::custom(format!("expected array, got {other:?}"))),
+    }
+}
+
+/// Extracts a string slice (derive-macro helper for unit enums).
+///
+/// # Errors
+///
+/// Fails when `v` is not a string.
+pub fn expect_str(v: &Value) -> Result<&str, Error> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(Error::custom(format!("expected string, got {other:?}"))),
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = match v {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(u).map_err(|_| {
+                    Error::custom(format!("{u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u).map_err(|_| {
+                        Error::custom(format!("{u} out of range for i64"))
+                    })?,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(i).map_err(|_| {
+                    Error::custom(format!("{i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 -> f64 is exact, so text round-trips recover the f32 bits.
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        expect_str(v).map(str::to_string)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// JSON text rendering and parsing for [`Value`] trees.
+pub mod json {
+    use super::{Deserialize, Error, Serialize, Value};
+    use std::fmt::Write as _;
+
+    /// Serializes `value` to compact JSON text.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        render(&value.to_value(), None, 0, &mut out);
+        out
+    }
+
+    /// Serializes `value` to indented JSON text.
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        render(&value.to_value(), Some(2), 0, &mut out);
+        out
+    }
+
+    /// Parses JSON text into a `T`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a tree whose shape does not match `T`.
+    pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+        T::from_value(&parse(s)?)
+    }
+
+    /// Parses JSON text into a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON.
+    pub fn parse(s: &str) -> Result<Value, Error> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::custom(format!("trailing input at byte {pos}")));
+        }
+        Ok(v)
+    }
+
+    fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::Float(f) => render_float(*f, out),
+            Value::Str(s) => render_string(s, out),
+            Value::Array(items) => {
+                render_seq(
+                    items.iter(),
+                    items.len(),
+                    indent,
+                    depth,
+                    out,
+                    '[',
+                    ']',
+                    |v, out| render(v, indent, depth + 1, out),
+                );
+            }
+            Value::Object(pairs) => {
+                render_seq(
+                    pairs.iter(),
+                    pairs.len(),
+                    indent,
+                    depth,
+                    out,
+                    '{',
+                    '}',
+                    |(k, v), out| {
+                        render_string(k, out);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        render(v, indent, depth + 1, out);
+                    },
+                );
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn render_seq<I: Iterator>(
+        items: I,
+        len: usize,
+        indent: Option<usize>,
+        depth: usize,
+        out: &mut String,
+        open: char,
+        close: char,
+        mut each: impl FnMut(I::Item, &mut String),
+    ) {
+        out.push(open);
+        if len == 0 {
+            out.push(close);
+            return;
+        }
+        for (i, item) in items.enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+            }
+            each(item, out);
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * depth));
+        }
+        out.push(close);
+    }
+
+    /// Rust's float `Display` is the shortest representation that
+    /// round-trips, so emitting it (plus a `.0` marker for integral
+    /// values) preserves bits across serialize → parse.
+    fn render_float(f: f64, out: &mut String) {
+        if f.is_finite() {
+            let _ = write!(out, "{f}");
+            if !out.ends_with(|c: char| !c.is_ascii_digit() && c != '-')
+                && !out.contains(['.', 'e', 'E'])
+            {
+                // best effort; unreachable in practice
+            }
+            if f.fract() == 0.0 && !format!("{f}").contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        } else if f.is_nan() {
+            out.push_str("\"NaN\"");
+        } else if f > 0.0 {
+            out.push_str("\"inf\"");
+        } else {
+            out.push_str("\"-inf\"");
+        }
+    }
+
+    fn render_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::custom(format!("expected `{lit}` at byte {pos}")))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err(Error::custom("unexpected end of input")),
+            Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+            Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+            Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+            Some(b'"') => parse_string(b, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::custom(format!("expected `,`/`]` at byte {pos}"))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut pairs = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    expect(b, pos, ":")?;
+                    let value = parse_value(b, pos)?;
+                    pairs.push((key, value));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(Error::custom(format!("expected `,`/`}}` at byte {pos}"))),
+                    }
+                }
+            }
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(Error::custom(format!("expected string at byte {pos}")));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::custom("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::custom("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                            );
+                            *pos += 4;
+                        }
+                        other => return Err(Error::custom(format!("bad escape {other:?}"))),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character verbatim.
+                    let rest = std::str::from_utf8(&b[*pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("nonempty");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&b[start..*pos]).map_err(|_| Error::custom("invalid number"))?;
+        if text.is_empty() {
+            return Err(Error::custom(format!("expected value at byte {start}")));
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::custom(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for f in [
+            0.0f64,
+            -1.5,
+            0.156,
+            1e-12,
+            123_456_789.123_456_78,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = json::to_string(&f);
+            let back: f64 = json::from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "float {f} via {s}");
+        }
+        let s = json::to_string(&u64::MAX);
+        assert_eq!(json::from_str::<u64>(&s).unwrap(), u64::MAX);
+        let s = json::to_string(&-42i32);
+        assert_eq!(json::from_str::<i32>(&s).unwrap(), -42);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        let rendered = json::to_string(&s.to_string());
+        let back: String = json::from_str(&rendered).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![vec![1u32, 2], vec![], vec![3]];
+        let back: Vec<Vec<u32>> = json::from_str(&json::to_string(&v)).unwrap();
+        assert_eq!(back, v);
+        let o: Option<u8> = None;
+        assert_eq!(json::to_string(&o), "null");
+        assert_eq!(json::from_str::<Option<u8>>("null").unwrap(), None);
+        assert_eq!(json::from_str::<Option<u8>>("7").unwrap(), Some(7));
+    }
+
+    #[test]
+    fn object_fields_parse_in_any_order() {
+        #[derive(Debug, PartialEq, serde_derive::Serialize, serde_derive::Deserialize)]
+        struct P {
+            x: u32,
+            y: f64,
+        }
+        let p: P = json::from_str(r#"{"y": 2.5, "x": 3}"#).unwrap();
+        assert_eq!(p, P { x: 3, y: 2.5 });
+        let back: P = json::from_str(&json::to_string(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn derive_covers_tuples_and_enums() {
+        #[derive(Debug, PartialEq, serde_derive::Serialize, serde_derive::Deserialize)]
+        struct Id(u32);
+        #[derive(Debug, PartialEq, serde_derive::Serialize, serde_derive::Deserialize)]
+        enum Kind {
+            A,
+            B,
+        }
+        let id: Id = json::from_str(&json::to_string(&Id(9))).unwrap();
+        assert_eq!(id, Id(9));
+        assert_eq!(json::to_string(&Kind::B), "\"B\"");
+        let k: Kind = json::from_str("\"A\"").unwrap();
+        assert_eq!(k, Kind::A);
+        assert!(json::from_str::<Kind>("\"C\"").is_err());
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("1 2").is_err());
+        assert!(json::from_str::<u32>("\"x\"").is_err());
+        assert!(json::from_str::<bool>("3").is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![1u32, 2, 3];
+        let pretty = json::to_string_pretty(&v);
+        assert!(pretty.contains('\n'));
+        assert_eq!(json::from_str::<Vec<u32>>(&pretty).unwrap(), v);
+    }
+}

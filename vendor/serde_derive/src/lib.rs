@@ -1,0 +1,351 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! mini-serde (`vendor/serde`).
+//!
+//! The container this repository builds in has no crates.io access, so
+//! the real `serde_derive` (and its `syn`/`quote` dependency tree) is
+//! unavailable. This crate re-implements the subset of the derive the
+//! workspace actually uses, parsing the item with the bare `proc_macro`
+//! API:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype and multi-field),
+//! * enums whose variants carry no payload.
+//!
+//! Generics, `#[serde(...)]` attributes and payload-carrying enum
+//! variants are rejected with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item the derive was applied to.
+enum Item {
+    /// `struct Name { field: Ty, ... }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(Ty, ...);`
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { A, B, ... }` (unit variants only)
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Skips `#[...]` attribute pairs starting at `i`; returns the index of
+/// the first non-attribute token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses the derive input into an [`Item`].
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("expected `struct` or `enum`, got `{kind}`"));
+    }
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::UnitEnum {
+                name: name.clone(),
+                variants: parse_unit_variants(&name, g.stream())?,
+            })
+        }
+        (_, other) => Err(format!("unsupported item body for `{name}`: {other:?}")),
+    }
+}
+
+/// Field names of `{ name: Ty, ... }`, skipping attributes and
+/// visibility, tracking `<...>` depth so commas inside generic argument
+/// lists do not split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Number of top-level comma-separated fields in `(Ty, ...)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for t in &tokens {
+        saw_trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    arity += 1;
+                    saw_trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if saw_trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+/// Variant names of `{ A, B, ... }`; payload-carrying variants error.
+fn parse_unit_variants(enum_name: &str, body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "vendored serde_derive supports only unit variants; \
+                     `{enum_name}::{name}` carries data"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "vendored serde_derive does not support discriminants \
+                     (`{enum_name}::{name}`)"
+                ));
+            }
+            None => {}
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+/// Derives `serde::Serialize` (see the crate docs for the supported
+/// item shapes).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__o.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__o)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let pushes: String = (0..arity)
+                .map(|i| format!("__a.push(::serde::Serialize::to_value(&self.{i}));\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __a: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Array(__a)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(::std::string::String::from(match self {{\n\
+                             {arms}\
+                         }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (see the crate docs for the supported
+/// item shapes).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__v, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: String = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __a = ::serde::expect_array(__v, {arity})?;\n\
+                         ::std::result::Result::Ok({name}({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match ::serde::expect_str(__v)? {{\n\
+                             {arms}\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
