@@ -39,6 +39,12 @@ impl UpdlrmBackend {
     pub fn engine(&self) -> &UpdlrmEngine {
         &self.engine
     }
+
+    /// Mutable engine access, e.g. to drive the pipelined serving path
+    /// ([`UpdlrmEngine::serve`]) directly.
+    pub fn engine_mut(&mut self) -> &mut UpdlrmEngine {
+        &mut self.engine
+    }
 }
 
 impl InferenceBackend for UpdlrmBackend {

@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use crate::partition::PartitionStrategy;
+use crate::serve::PipelineMode;
 use cooccur_cache::MinerConfig;
 use upmem_sim::CostModel;
 
@@ -55,6 +56,15 @@ pub struct UpdlrmConfig {
     /// simulator wall-clock throughput. Defaults to the machine's
     /// available parallelism.
     pub host_threads: usize,
+    /// Batch schedule used by [`UpdlrmEngine::serve`](crate::engine::UpdlrmEngine::serve):
+    /// back-to-back (the paper's measurement mode) or double-buffered
+    /// across the two MRAM staging slots (DESIGN.md §4.5).
+    pub pipeline_mode: PipelineMode,
+    /// Maximum batches in flight when serving. `1` degenerates to the
+    /// sequential schedule even under
+    /// [`PipelineMode::DoubleBuf`]; values above the number of MRAM
+    /// staging slots (2) are capped there. `0` is rejected by `serve`.
+    pub queue_depth: usize,
 }
 
 impl Default for UpdlrmConfig {
@@ -77,6 +87,8 @@ impl Default for UpdlrmConfig {
             route_ns_per_ref: 1.0,
             combine_ns_per_add: 0.1,
             host_threads: upmem_sim::default_host_threads(),
+            pipeline_mode: PipelineMode::Sequential,
+            queue_depth: 2,
         }
     }
 }
@@ -110,6 +122,18 @@ impl UpdlrmConfig {
         self.host_threads = host_threads;
         self
     }
+
+    /// Returns a copy with the given serving schedule.
+    pub fn with_pipeline_mode(mut self, mode: PipelineMode) -> Self {
+        self.pipeline_mode = mode;
+        self
+    }
+
+    /// Returns a copy with the given serve queue depth.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -125,16 +149,23 @@ mod tests {
         assert_eq!(c.strategy, PartitionStrategy::CacheAware);
         assert_eq!(c.cache_fraction, 1.0);
         assert!(c.n_c.is_none());
+        // Serving defaults to the paper's back-to-back measurement mode.
+        assert_eq!(c.pipeline_mode, PipelineMode::Sequential);
+        assert_eq!(c.queue_depth, 2);
     }
 
     #[test]
     fn builder_helpers_compose() {
         let c = UpdlrmConfig::with_dpus(32, PartitionStrategy::Uniform)
             .with_fixed_nc(4)
-            .with_cache_fraction(0.4);
+            .with_cache_fraction(0.4)
+            .with_pipeline_mode(PipelineMode::DoubleBuf)
+            .with_queue_depth(3);
         assert_eq!(c.nr_dpus, 32);
         assert_eq!(c.strategy, PartitionStrategy::Uniform);
         assert_eq!(c.n_c, Some(4));
         assert_eq!(c.cache_fraction, 0.4);
+        assert_eq!(c.pipeline_mode, PipelineMode::DoubleBuf);
+        assert_eq!(c.queue_depth, 3);
     }
 }

@@ -104,6 +104,12 @@ struct CacheState {
     placed_lists: usize,
 }
 
+/// Number of MRAM staging slots per DPU: slot 0 serves `run_batch` and
+/// sequential serving, slot 1 is the double-buffer partner that lets
+/// batch `i + 1`'s reference streams land while batch `i` still owns
+/// the other slot (see [`crate::serve`]).
+pub(crate) const STAGING_SLOTS: usize = 2;
+
 struct TableState {
     tiling: Tiling,
     assignment: RowAssignment,
@@ -111,14 +117,67 @@ struct TableState {
     /// Rows replicated into every partition, in replica-slot order.
     replicas: Vec<u32>,
     dpu_base: usize,
-    input_base: u32,
-    output_base: u32,
+    cache_base: u32,
+    /// Per staging slot: (reference-stream base, partial-sum base).
+    slots: [(u32, u32); STAGING_SLOTS],
     dim: usize,
 }
 
 impl TableState {
     fn dpu(&self, part: usize, slice: usize) -> DpuId {
         DpuId((self.dpu_base + part * self.tiling.col_slices + slice) as u32)
+    }
+
+    fn input_base(&self, slot: usize) -> u32 {
+        self.slots[slot].0
+    }
+
+    fn output_base(&self, slot: usize) -> u32 {
+        self.slots[slot].1
+    }
+}
+
+/// Output of stage-1 host routing for one batch: the per-partition
+/// reference streams plus the host-side counters that do not depend on
+/// which staging slot the batch is later scattered into.
+pub(crate) struct RoutedBatch {
+    pub(crate) batch_size: usize,
+    /// `(table, row_part, stream bytes)` per row partition.
+    pub(crate) streams: Vec<(usize, usize, Vec<u8>)>,
+    pub(crate) route_ns: f64,
+    pub(crate) cache_hits: u64,
+    pub(crate) emt_lookups: u64,
+}
+
+impl RoutedBatch {
+    /// Starts an `EmbeddingBreakdown` carrying the host-routing counters.
+    pub(crate) fn breakdown_seed(&self) -> EmbeddingBreakdown {
+        EmbeddingBreakdown {
+            route_ns: self.route_ns,
+            cache_hits: self.cache_hits,
+            emt_lookups: self.emt_lookups,
+            ..EmbeddingBreakdown::default()
+        }
+    }
+}
+
+/// Aggregated stage-2 launch result over all table groups.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct Stage2Report {
+    pub(crate) wall_ns: f64,
+    pub(crate) energy_pj: f64,
+    pub(crate) dma_transfers: u64,
+    pub(crate) instrs: u64,
+    pub(crate) lookup_imbalance: f64,
+}
+
+impl Stage2Report {
+    pub(crate) fn fold_into(&self, breakdown: &mut EmbeddingBreakdown) {
+        breakdown.stage2_ns = self.wall_ns;
+        breakdown.energy_pj += self.energy_pj;
+        breakdown.dma_transfers += self.dma_transfers;
+        breakdown.instrs += self.instrs;
+        breakdown.lookup_imbalance = self.lookup_imbalance;
     }
 }
 
@@ -392,23 +451,42 @@ impl UpdlrmEngine {
         replicas.sort_unstable();
         let replicas: Vec<u32> = replicas.into_iter().map(|(_, r)| r).collect();
 
-        // MRAM regions: [EMT | cache | input | output].
+        // MRAM regions: [EMT | cache | slot0 input | slot0 output |
+        // slot1 input | slot1 output]. Two staging slots double-buffer
+        // the per-batch regions so consecutive batches never share
+        // reference streams or partial sums (see crate::serve).
         let emt_rows_max =
             replicas.len() + assignment.rows_per_part.iter().copied().max().unwrap_or(0) as usize;
         let cache_rows_max = cache
             .as_ref()
             .map(|c| c.cache_rows_per_part.iter().copied().max().unwrap_or(0) as usize)
             .unwrap_or(0);
-        let cache_base = emt_rows_max * row_bytes;
-        let input_base = cache_base + cache_rows_max * row_bytes;
-        let output_base = input_base + config.input_reserve_bytes;
-        let end = output_base + config.batch_size * row_bytes * 2;
-        if end > upmem_sim::arch::MRAM_CAPACITY {
-            return Err(CoreError::CapacityExceeded {
+        let mut layout = upmem_sim::MramLayout::new();
+        let capacity = |e: upmem_sim::SimError| match e {
+            upmem_sim::SimError::MramOutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => CoreError::CapacityExceeded {
                 partition: 0,
-                required: end,
-                available: upmem_sim::arch::MRAM_CAPACITY,
-            });
+                required: addr as usize + len,
+                available: capacity,
+            },
+            other => CoreError::Sim(other),
+        };
+        layout.reserve(emt_rows_max * row_bytes).map_err(capacity)?;
+        let cache_base = layout
+            .reserve(cache_rows_max * row_bytes)
+            .map_err(capacity)?;
+        let mut slots = [(0u32, 0u32); STAGING_SLOTS];
+        for slot in &mut slots {
+            let input = layout
+                .reserve(config.input_reserve_bytes)
+                .map_err(capacity)?;
+            let output = layout
+                .reserve(config.batch_size * row_bytes * 2)
+                .map_err(capacity)?;
+            *slot = (input, output);
         }
         Ok(TableState {
             tiling,
@@ -416,8 +494,8 @@ impl UpdlrmEngine {
             cache,
             replicas,
             dpu_base,
-            input_base: input_base as u32,
-            output_base: output_base as u32,
+            cache_base,
+            slots,
             dim: table.dim(),
         })
     }
@@ -464,15 +542,7 @@ impl UpdlrmEngine {
             None => vec![Vec::new(); parts],
         };
 
-        let cache_base = (rc
-            + state
-                .assignment
-                .rows_per_part
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(0) as usize)
-            * row_bytes;
+        let cache_base = state.cache_base;
         for p in 0..parts {
             for c in 0..tiling.col_slices {
                 let dpu = state.dpu(p, c);
@@ -498,7 +568,7 @@ impl UpdlrmEngine {
                         }
                     }
                     if !cbuf.is_empty() {
-                        sys.load_mram(dpu, cache_base as u32, &cbuf)?;
+                        sys.load_mram(dpu, cache_base, &cbuf)?;
                     }
                 }
             }
@@ -539,11 +609,33 @@ impl UpdlrmEngine {
     /// Runs the embedding layer for one batch: returns the pooled
     /// `batch x dim` embeddings per table and the stage breakdown.
     ///
+    /// Uses staging slot 0; [`UpdlrmEngine::serve`](crate::serve)
+    /// alternates both slots to double-buffer consecutive batches.
+    ///
     /// # Errors
     ///
     /// Malformed batches, out-of-range indices, reference streams
     /// exceeding the input reserve, and simulator faults.
     pub fn run_batch(&mut self, batch: &QueryBatch) -> Result<(Vec<Matrix>, EmbeddingBreakdown)> {
+        let routed = self.route_batch(batch)?;
+        let mut breakdown = routed.breakdown_seed();
+        let scatter = self.scatter_streams(&routed, 0)?;
+        breakdown.stage1_ns = scatter.wall_ns;
+        breakdown.energy_pj += scatter.energy_pj;
+        let stage2 = self.launch_stage2(routed.batch_size, 0)?;
+        stage2.fold_into(&mut breakdown);
+        let (pooled, combine_ns, gather) = self.gather_combine(routed.batch_size, 0)?;
+        breakdown.stage3_ns = gather.wall_ns;
+        breakdown.energy_pj += gather.energy_pj;
+        breakdown.combine_ns = combine_ns;
+        Ok((pooled, breakdown))
+    }
+
+    /// Stage-1 host preprocessing: validates the batch and builds the
+    /// per-partition reference streams (padded when `pad_transfers`),
+    /// without touching the PIM array. The result can be scattered into
+    /// either staging slot.
+    pub(crate) fn route_batch(&self, batch: &QueryBatch) -> Result<RoutedBatch> {
         batch.validate()?;
         if batch.sparse.len() != self.tables.len() {
             return Err(CoreError::InvalidConfig(format!(
@@ -565,10 +657,14 @@ impl UpdlrmEngine {
                 )));
             }
         }
-        let mut breakdown = EmbeddingBreakdown::default();
 
-        // --- host routing: build per-partition reference streams ---
-        let mut streams: Vec<(usize, usize, Vec<u8>)> = Vec::new(); // (table, part, bytes)
+        let mut routed = RoutedBatch {
+            batch_size: b,
+            streams: Vec::new(),
+            route_ns: 0.0,
+            cache_hits: 0,
+            emt_lookups: 0,
+        };
         let mut route_refs = 0usize;
         for (t, state) in self.tables.iter().enumerate() {
             let sparse = &batch.sparse[t];
@@ -582,8 +678,8 @@ impl UpdlrmEngine {
                 match &state.cache {
                     Some(cs) => {
                         let hit = cs.store.lookup(sample);
-                        breakdown.cache_hits += hit.entries.len() as u64;
-                        breakdown.emt_lookups += hit.residual.len() as u64;
+                        routed.cache_hits += hit.entries.len() as u64;
+                        routed.emt_lookups += hit.residual.len() as u64;
                         for &e in &hit.entries {
                             let p = cs.entry_part[e] as usize;
                             refs_by_part[p][s].push(CACHE_REF_BIT | cs.entry_slot[e]);
@@ -594,7 +690,7 @@ impl UpdlrmEngine {
                         }
                     }
                     None => {
-                        breakdown.emt_lookups += sample.len() as u64;
+                        routed.emt_lookups += sample.len() as u64;
                         for &idx in sample {
                             let (p, slot) = self.route_row(state, idx, s)?;
                             refs_by_part[p][s].push(slot);
@@ -611,21 +707,34 @@ impl UpdlrmEngine {
                         available: self.config.input_reserve_bytes,
                     });
                 }
-                streams.push((t, p, stream));
+                routed.streams.push((t, p, stream));
             }
         }
-        breakdown.route_ns = route_refs as f64 * self.config.route_ns_per_ref;
-
-        // --- stage 1: scatter reference streams (replicated per slice) ---
+        routed.route_ns = route_refs as f64 * self.config.route_ns_per_ref;
         if self.config.pad_transfers {
-            let max_len = streams.iter().map(|(_, _, s)| s.len()).max().unwrap_or(0);
-            for (_, _, s) in &mut streams {
+            let max_len = routed
+                .streams
+                .iter()
+                .map(|(_, _, s)| s.len())
+                .max()
+                .unwrap_or(0);
+            for (_, _, s) in &mut routed.streams {
                 s.resize(max_len, 0);
             }
         }
-        // One row partition's stream is broadcast to all of its column
-        // slices in a single bus pass.
-        let groups_ids: Vec<Vec<DpuId>> = streams
+        Ok(routed)
+    }
+
+    /// Stage 1: scatters the routed reference streams into staging slot
+    /// `slot` (each row partition's stream is broadcast to all of its
+    /// column slices in a single bus pass).
+    pub(crate) fn scatter_streams(
+        &mut self,
+        routed: &RoutedBatch,
+        slot: usize,
+    ) -> Result<upmem_sim::TransferReport> {
+        let groups_ids: Vec<Vec<DpuId>> = routed
+            .streams
             .iter()
             .map(|(t, p, _)| {
                 let state = &self.tables[*t];
@@ -634,37 +743,30 @@ impl UpdlrmEngine {
                     .collect()
             })
             .collect();
-        let transfers: Vec<(&[DpuId], u32, &[u8])> = streams
+        let transfers: Vec<(&[DpuId], u32, &[u8])> = routed
+            .streams
             .iter()
             .zip(groups_ids.iter())
             .map(|((t, _, stream), ids)| {
                 (
                     ids.as_slice(),
-                    self.tables[*t].input_base,
+                    self.tables[*t].input_base(slot),
                     stream.as_slice(),
                 )
             })
             .collect();
-        let scatter_report = self.sys.scatter_broadcast(&transfers)?;
-        breakdown.stage1_ns = scatter_report.wall_ns;
-        breakdown.energy_pj += scatter_report.energy_pj;
+        Ok(self.sys.scatter_broadcast(&transfers)?)
+    }
 
-        // --- stage 2: launch the kernels (all groups run concurrently) ---
-        let mut stage2_ns = 0.0f64;
+    /// Stage 2: launches the embedding kernels reading slot `slot`'s
+    /// reference streams and writing its partial-sum region (all table
+    /// groups run concurrently; the wall is the slowest group).
+    pub(crate) fn launch_stage2(&mut self, n_samples: usize, slot: usize) -> Result<Stage2Report> {
+        let mut out = Stage2Report::default();
         let mut all_cycles: Vec<u64> = Vec::new();
-        for (t, state) in self.tables.iter().enumerate() {
-            let _ = t;
+        for state in self.tables.iter() {
             let mut kernel = EmbeddingKernel::new(state.tiling.row_bytes(), self.config.dedup);
             let mut ids = Vec::new();
-            let cache_base = state.input_base
-                - state
-                    .cache
-                    .as_ref()
-                    .map(|c| {
-                        c.cache_rows_per_part.iter().copied().max().unwrap_or(0)
-                            * state.tiling.row_bytes() as u32
-                    })
-                    .unwrap_or(0);
             for p in 0..state.tiling.row_parts {
                 for c in 0..state.tiling.col_slices {
                     let dpu = state.dpu(p, c);
@@ -673,52 +775,59 @@ impl UpdlrmEngine {
                         dpu,
                         DpuTask {
                             emt_base: 0,
-                            cache_base,
-                            input_base: state.input_base,
-                            output_base: state.output_base,
-                            n_samples: b as u32,
+                            cache_base: state.cache_base,
+                            input_base: state.input_base(slot),
+                            output_base: state.output_base(slot),
+                            n_samples: n_samples as u32,
                         },
                     );
                 }
             }
             let report = self.sys.launch(&ids, &kernel)?;
-            stage2_ns = stage2_ns.max(report.wall_ns);
-            breakdown.energy_pj += report.energy_pj;
-            breakdown.dma_transfers += report.total_dma_transfers();
-            breakdown.instrs += report.total_instrs();
+            out.wall_ns = out.wall_ns.max(report.wall_ns);
+            out.energy_pj += report.energy_pj;
+            out.dma_transfers += report.total_dma_transfers();
+            out.instrs += report.total_instrs();
             all_cycles.extend(report.per_dpu.iter().map(|(_, s)| s.cycles.0));
         }
-        breakdown.stage2_ns = stage2_ns;
         if !all_cycles.is_empty() {
             let max = *all_cycles.iter().max().expect("nonempty") as f64;
             let mean = all_cycles.iter().sum::<u64>() as f64 / all_cycles.len() as f64;
-            breakdown.lookup_imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+            out.lookup_imbalance = if mean > 0.0 { max / mean } else { 1.0 };
         }
+        Ok(out)
+    }
 
-        // --- stage 3: gather partial-sum rows ---
+    /// Stage 3 + host combine: gathers slot `slot`'s partial-sum rows
+    /// and assembles the pooled `batch x dim` matrices. Returns the
+    /// pooled embeddings, the modeled host combine time, and the bus
+    /// transfer report.
+    pub(crate) fn gather_combine(
+        &self,
+        n_samples: usize,
+        slot: usize,
+    ) -> Result<(Vec<Matrix>, f64, upmem_sim::TransferReport)> {
+        let b = n_samples;
         let mut requests: Vec<(DpuId, u32, usize)> = Vec::new();
-        let mut request_meta: Vec<(usize, usize, usize)> = Vec::new(); // (table, part, slice)
+        let mut request_meta: Vec<(usize, usize)> = Vec::new(); // (table, slice)
         for (t, state) in self.tables.iter().enumerate() {
             let row_bytes = state.tiling.row_bytes();
             for p in 0..state.tiling.row_parts {
                 for c in 0..state.tiling.col_slices {
-                    requests.push((state.dpu(p, c), state.output_base, b * row_bytes));
-                    request_meta.push((t, p, c));
+                    requests.push((state.dpu(p, c), state.output_base(slot), b * row_bytes));
+                    request_meta.push((t, c));
                 }
             }
         }
         let (buffers, gather_report) = self.sys.gather(&requests)?;
-        breakdown.stage3_ns = gather_report.wall_ns;
-        breakdown.energy_pj += gather_report.energy_pj;
 
-        // --- host combine: assemble pooled matrices ---
         let mut pooled: Vec<Matrix> = self
             .tables
             .iter()
             .map(|s| Matrix::zeros(b, s.dim))
             .collect();
         let mut combine_adds = 0u64;
-        for (buf, &(t, _p, c)) in buffers.iter().zip(request_meta.iter()) {
+        for (buf, &(t, c)) in buffers.iter().zip(request_meta.iter()) {
             let state = &self.tables[t];
             let n_c = state.tiling.n_c;
             let row_bytes = state.tiling.row_bytes();
@@ -732,8 +841,8 @@ impl UpdlrmEngine {
                 combine_adds += n_c as u64;
             }
         }
-        breakdown.combine_ns = combine_adds as f64 * self.config.combine_ns_per_add;
-        Ok((pooled, breakdown))
+        let combine_ns = combine_adds as f64 * self.config.combine_ns_per_add;
+        Ok((pooled, combine_ns, gather_report))
     }
 
     fn route_row(&self, state: &TableState, idx: u64, sample: usize) -> Result<(usize, u32)> {

@@ -27,6 +27,7 @@ pub mod error;
 pub mod kernel;
 pub mod partition;
 pub mod pipeline;
+pub mod serve;
 pub mod tiling;
 
 pub use config::UpdlrmConfig;
@@ -38,4 +39,5 @@ pub use partition::{
     CACHED_ROW_SLOT,
 };
 pub use pipeline::{pipelined_wall_ns, sequential_wall_ns, PipelineReport};
+pub use serve::{PipelineMode, ServeOutcome, ServeReport};
 pub use tiling::{Tiling, TilingProblem, CANDIDATE_NC, MAX_TILE_ELEMENTS};

@@ -1,0 +1,341 @@
+//! Executed pipelined serving — the double-buffered batch schedule that
+//! [`crate::pipeline`] only models analytically.
+//!
+//! [`UpdlrmEngine::serve`] drives a stream of [`QueryBatch`]es through
+//! the three-stage pipeline using the two MRAM staging slots reserved
+//! per DPU ([`crate::engine`]): batch `i` lands in slot `i % 2`, so
+//! batch `i + 1`'s stage-1 scatter can be issued while batch `i` still
+//! owns the other slot, exactly the depth-2 schedule that
+//! [`pipelined_wall_ns`](crate::pipeline::pipelined_wall_ns) assumes.
+//! The host bus serializes all stage-1/stage-3 phases in batch order
+//! (`s1_0, s1_1, s3_0, s1_2, s3_1, …`) while stage-2 kernels overlap
+//! them on the DPU array.
+//!
+//! The headline invariant (checked by `tests/serve_tests.rs`): the
+//! executed wall clock equals `pipelined_wall_ns` of the collected
+//! per-batch breakdowns *exactly* (same recurrence, same operation
+//! order — not approximately), and the pooled embeddings are
+//! bit-identical to back-to-back [`UpdlrmEngine::run_batch`] calls.
+
+use crate::engine::{EmbeddingBreakdown, UpdlrmEngine, STAGING_SLOTS};
+use crate::error::{CoreError, Result};
+use crate::pipeline::{pipelined_wall_ns, sequential_wall_ns};
+use dlrm_model::{Matrix, QueryBatch};
+
+/// Batch schedule used by [`UpdlrmEngine::serve`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Batches run back to back — stage 1 of batch `i + 1` waits for
+    /// stage 3 of batch `i` (the paper's measurement mode).
+    #[default]
+    Sequential,
+    /// Batch `i + 1`'s stage-1 scatter overlaps batch `i`'s stage-2
+    /// kernel via the two MRAM staging slots per DPU.
+    DoubleBuf,
+}
+
+impl PipelineMode {
+    /// CLI spelling of the mode.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PipelineMode::Sequential => "sequential",
+            PipelineMode::DoubleBuf => "doublebuf",
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for PipelineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "sequential" => Ok(PipelineMode::Sequential),
+            "doublebuf" => Ok(PipelineMode::DoubleBuf),
+            other => Err(format!(
+                "unknown pipeline mode '{other}' (expected 'sequential' or 'doublebuf')"
+            )),
+        }
+    }
+}
+
+/// Aggregate statistics of one [`UpdlrmEngine::serve`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeReport {
+    /// Schedule that was executed.
+    pub mode: PipelineMode,
+    /// Effective batches in flight (the configured depth capped at the
+    /// number of MRAM staging slots).
+    pub queue_depth: usize,
+    /// Number of batches served.
+    pub batches: usize,
+    /// Total samples across all batches.
+    pub samples: usize,
+    /// Modeled wall-clock of the whole schedule (ns).
+    pub wall_ns: f64,
+    /// Modeled throughput in samples per second.
+    pub throughput_qps: f64,
+    /// Median per-batch modeled latency (stage-1 issue → stage-3
+    /// drain), nearest-rank.
+    pub p50_latency_ns: f64,
+    /// 95th-percentile per-batch modeled latency, nearest-rank.
+    pub p95_latency_ns: f64,
+    /// 99th-percentile per-batch modeled latency, nearest-rank.
+    pub p99_latency_ns: f64,
+}
+
+/// Everything [`UpdlrmEngine::serve`] produces: per-batch pooled
+/// embeddings and breakdowns, plus the schedule-level report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Pooled `batch x dim` embeddings, per batch then per table.
+    pub pooled: Vec<Vec<Matrix>>,
+    /// Per-batch stage breakdowns (same data `run_batch` returns).
+    pub breakdowns: Vec<EmbeddingBreakdown>,
+    /// Aggregate wall/throughput/latency statistics.
+    pub report: ServeReport,
+}
+
+/// Nearest-rank percentile (`q` in `[0, 1]`) of an ascending-sorted
+/// nonempty slice; `0.0` for an empty one.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl UpdlrmEngine {
+    /// Serves a stream of batches under the configured
+    /// [`PipelineMode`] and queue depth, returning per-batch pooled
+    /// embeddings and breakdowns plus a [`ServeReport`].
+    ///
+    /// Under [`PipelineMode::DoubleBuf`] (with `queue_depth >= 2`) the
+    /// executed wall equals
+    /// [`pipelined_wall_ns`](crate::pipeline::pipelined_wall_ns) of the
+    /// returned breakdowns exactly; under [`PipelineMode::Sequential`]
+    /// (or `queue_depth == 1`) it equals
+    /// [`sequential_wall_ns`](crate::pipeline::sequential_wall_ns).
+    ///
+    /// # Errors
+    ///
+    /// `queue_depth == 0` is rejected with
+    /// [`CoreError::InvalidConfig`]; batch-level errors are as in
+    /// [`UpdlrmEngine::run_batch`].
+    pub fn serve(&mut self, batches: &[QueryBatch]) -> Result<ServeOutcome> {
+        let queue_depth = self.config().queue_depth;
+        let mode = self.config().pipeline_mode;
+        if queue_depth == 0 {
+            return Err(CoreError::InvalidConfig(
+                "queue_depth must be >= 1 (0 admits no batch in flight)".into(),
+            ));
+        }
+        let depth = queue_depth.min(STAGING_SLOTS);
+        match (mode, depth) {
+            (PipelineMode::DoubleBuf, d) if d >= 2 => self.serve_doublebuf(batches),
+            _ => self.serve_sequential(batches, mode),
+        }
+    }
+
+    /// Back-to-back schedule: each batch fully drains before the next
+    /// one's stage 1 is issued. Wall equals `sequential_wall_ns`.
+    fn serve_sequential(
+        &mut self,
+        batches: &[QueryBatch],
+        mode: PipelineMode,
+    ) -> Result<ServeOutcome> {
+        let mut pooled = Vec::with_capacity(batches.len());
+        let mut breakdowns = Vec::with_capacity(batches.len());
+        let mut latencies = Vec::with_capacity(batches.len());
+        let mut wall = 0.0f64;
+        for batch in batches {
+            let (p, bd) = self.run_batch(batch)?;
+            // Matches `sequential_wall_ns`'s `map(total_ns).sum()` fold.
+            wall += bd.total_ns();
+            latencies.push(bd.total_ns());
+            pooled.push(p);
+            breakdowns.push(bd);
+        }
+        debug_assert_eq!(wall, sequential_wall_ns(&breakdowns));
+        Ok(self.finish_outcome(mode, 1, batches, pooled, breakdowns, latencies, wall))
+    }
+
+    /// Depth-2 double-buffered schedule. The event bookkeeping below is
+    /// a line-for-line mirror of
+    /// [`pipelined_wall_ns`](crate::pipeline::pipelined_wall_ns) — the
+    /// same recurrence over the same measured stage times in the same
+    /// f64 operation order — which is what makes the executed wall
+    /// *exactly* equal to the analytic model.
+    fn serve_doublebuf(&mut self, batches: &[QueryBatch]) -> Result<ServeOutcome> {
+        let n = batches.len();
+        let mut pooled: Vec<Option<Vec<Matrix>>> = (0..n).map(|_| None).collect();
+        let mut breakdowns: Vec<EmbeddingBreakdown> = Vec::with_capacity(n);
+
+        let mut bus_free = 0.0f64; // when the host bus is next available
+        let mut dpu_free = 0.0f64; // when the DPU array is next available
+        let mut s1_start = vec![0.0f64; n];
+        let mut s1_done = vec![0.0f64; n];
+        let mut s2_done = vec![0.0f64; n];
+        let mut drain = vec![0.0f64; n]; // per-batch stage-3 completion
+        let mut finish = 0.0f64;
+
+        // Gathers batch j's partial sums out of its slot, fills in its
+        // breakdown, and returns when its stage 3 leaves the bus.
+        fn gather_one(
+            engine: &mut UpdlrmEngine,
+            batches: &[QueryBatch],
+            j: usize,
+            s2_done_j: f64,
+            bus_free: f64,
+            pooled: &mut [Option<Vec<Matrix>>],
+            breakdowns: &mut [EmbeddingBreakdown],
+        ) -> Result<f64> {
+            let b = batches[j].batch_size();
+            let (p, combine_ns, report) = engine.gather_combine(b, j % STAGING_SLOTS)?;
+            breakdowns[j].stage3_ns = report.wall_ns;
+            breakdowns[j].energy_pj += report.energy_pj;
+            breakdowns[j].combine_ns = combine_ns;
+            pooled[j] = Some(p);
+            let start = s2_done_j.max(bus_free);
+            Ok(start + breakdowns[j].stage3_ns)
+        }
+
+        // Bus phases run in batch order: s1_0, s1_1, s3_0, s1_2, s3_1,
+        // ... — batch i's scatter reuses slot i % 2, which batch i - 2
+        // released when its stage 3 drained one iteration ago.
+        for i in 0..n {
+            // stage 1 of batch i.
+            let routed = self.route_batch(&batches[i])?;
+            let mut bd = routed.breakdown_seed();
+            let scatter = self.scatter_streams(&routed, i % STAGING_SLOTS)?;
+            bd.stage1_ns = scatter.wall_ns;
+            bd.energy_pj += scatter.energy_pj;
+            let start = bus_free;
+            bus_free = start + bd.stage1_ns;
+            s1_start[i] = start;
+            s1_done[i] = bus_free;
+
+            // stage 2 of batch i can start once its stage 1 landed and
+            // the DPU array is free.
+            let stage2 = self.launch_stage2(routed.batch_size, i % STAGING_SLOTS)?;
+            stage2.fold_into(&mut bd);
+            let start = s1_done[i].max(dpu_free);
+            dpu_free = start + bd.stage2_ns;
+            s2_done[i] = dpu_free;
+            breakdowns.push(bd);
+
+            // stage 3 of batch i - 1 (its results are ready by now or
+            // we wait for them); one batch in flight bounds staging.
+            if i > 0 {
+                let j = i - 1;
+                bus_free = gather_one(
+                    self,
+                    batches,
+                    j,
+                    s2_done[j],
+                    bus_free,
+                    &mut pooled,
+                    &mut breakdowns,
+                )?;
+                finish = finish.max(bus_free);
+                drain[j] = bus_free;
+            }
+        }
+        // Drain the last batch's stage 3.
+        if let Some(last) = n.checked_sub(1) {
+            let end = gather_one(
+                self,
+                batches,
+                last,
+                s2_done[last],
+                bus_free,
+                &mut pooled,
+                &mut breakdowns,
+            )?;
+            finish = finish.max(end);
+            drain[last] = end;
+        }
+        debug_assert_eq!(finish, pipelined_wall_ns(&breakdowns));
+
+        let pooled: Vec<Vec<Matrix>> = pooled
+            .into_iter()
+            .map(|p| p.expect("every batch gathered"))
+            .collect();
+        let latencies: Vec<f64> = (0..n).map(|i| drain[i] - s1_start[i]).collect();
+        Ok(self.finish_outcome(
+            PipelineMode::DoubleBuf,
+            STAGING_SLOTS,
+            batches,
+            pooled,
+            breakdowns,
+            latencies,
+            finish,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)] // private assembly helper
+    fn finish_outcome(
+        &self,
+        mode: PipelineMode,
+        queue_depth: usize,
+        batches: &[QueryBatch],
+        pooled: Vec<Vec<Matrix>>,
+        breakdowns: Vec<EmbeddingBreakdown>,
+        mut latencies: Vec<f64>,
+        wall_ns: f64,
+    ) -> ServeOutcome {
+        let samples: usize = batches.iter().map(QueryBatch::batch_size).sum();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let report = ServeReport {
+            mode,
+            queue_depth,
+            batches: batches.len(),
+            samples,
+            wall_ns,
+            throughput_qps: if wall_ns > 0.0 {
+                samples as f64 / (wall_ns * 1e-9)
+            } else {
+                0.0
+            },
+            p50_latency_ns: percentile(&latencies, 0.50),
+            p95_latency_ns: percentile(&latencies, 0.95),
+            p99_latency_ns: percentile(&latencies, 0.99),
+        };
+        ServeOutcome {
+            pooled,
+            breakdowns,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_mode_round_trips_through_strings() {
+        for mode in [PipelineMode::Sequential, PipelineMode::DoubleBuf] {
+            let parsed: PipelineMode = mode.as_str().parse().expect("round trip");
+            assert_eq!(parsed, mode);
+            assert_eq!(format!("{mode}"), mode.as_str());
+        }
+        assert!("dbl".parse::<PipelineMode>().is_err());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.50), 2.0);
+        assert_eq!(percentile(&v, 0.95), 4.0);
+        assert_eq!(percentile(&v, 0.25), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the analytic pipeline model in `pipeline.rs`.
+//!
+//! The double-buffered schedule computed by `pipelined_wall_ns` is the
+//! contract the executed serving path (`serve.rs`) is checked against,
+//! so the model itself gets fuzzed here: for arbitrary non-negative
+//! stage times it must never lose to the sequential schedule, never
+//! beat the resource lower bounds (the DPU array must run every stage
+//! 2; the bus must carry every stage 1 and 3), degenerate to the
+//! sequential wall for a single batch, and respond monotonically to
+//! longer stages.
+
+use proptest::prelude::*;
+use updlrm_core::{pipelined_wall_ns, sequential_wall_ns, EmbeddingBreakdown, PipelineReport};
+
+/// Stage times in nanoseconds; generous enough to cover bus-bound,
+/// lookup-bound, and zero-length batches.
+const STAGE_NS: std::ops::Range<f64> = 0.0..5_000.0;
+
+fn bd((s1, s2, s3): (f64, f64, f64)) -> EmbeddingBreakdown {
+    EmbeddingBreakdown {
+        stage1_ns: s1,
+        stage2_ns: s2,
+        stage3_ns: s3,
+        ..Default::default()
+    }
+}
+
+fn batches() -> impl Strategy<Value = Vec<EmbeddingBreakdown>> {
+    prop::collection::vec((STAGE_NS, STAGE_NS, STAGE_NS).prop_map(bd), 0..24)
+}
+
+/// Absolute slack for f64 comparisons across differently-ordered sums.
+const EPS: f64 = 1e-6;
+
+proptest! {
+    /// Overlap can only help: the pipelined schedule never loses to
+    /// back-to-back execution.
+    #[test]
+    fn pipelined_never_exceeds_sequential(b in batches()) {
+        prop_assert!(
+            pipelined_wall_ns(&b) <= sequential_wall_ns(&b) + EPS,
+            "pipelined {} > sequential {}",
+            pipelined_wall_ns(&b),
+            sequential_wall_ns(&b)
+        );
+    }
+
+    /// Resource lower bounds: the DPU array must serially run every
+    /// stage 2, and the bus must serially carry every stage 1 and 3 —
+    /// whichever is larger bounds the schedule from below.
+    #[test]
+    fn pipelined_respects_resource_lower_bounds(b in batches()) {
+        let wall = pipelined_wall_ns(&b);
+        let dpu: f64 = b.iter().map(|x| x.stage2_ns).sum();
+        let bus: f64 = b.iter().map(|x| x.stage1_ns + x.stage3_ns).sum();
+        prop_assert!(wall >= dpu.max(bus) - EPS, "wall {} < max(dpu {}, bus {})", wall, dpu, bus);
+    }
+
+    /// The critical path of the first batch's lead-in and the last
+    /// batch's drain cannot be pipelined away.
+    #[test]
+    fn pipelined_respects_leadin_and_drain(b in batches()) {
+        if b.is_empty() {
+            return Ok(());
+        }
+        let wall = pipelined_wall_ns(&b);
+        let dpu: f64 = b.iter().map(|x| x.stage2_ns).sum();
+        let bound = b[0].stage1_ns + dpu + b[b.len() - 1].stage3_ns;
+        prop_assert!(wall >= bound - EPS, "wall {} < lead-in bound {}", wall, bound);
+    }
+
+    /// A single batch has nothing to overlap with: both schedules
+    /// degenerate to stage1 + stage2 + stage3 exactly.
+    #[test]
+    fn single_batch_equals_sequential(t in (STAGE_NS, STAGE_NS, STAGE_NS)) {
+        let b = [bd(t)];
+        prop_assert_eq!(pipelined_wall_ns(&b), sequential_wall_ns(&b));
+    }
+
+    /// The sequential wall is a sum, hence permutation-invariant (up to
+    /// f64 reassociation).
+    #[test]
+    fn sequential_is_permutation_invariant(b in batches(), rot in 0usize..24) {
+        let mut rotated = b.clone();
+        if !rotated.is_empty() {
+            let mid = rot % rotated.len();
+            rotated.rotate_left(mid);
+        }
+        let (a, c) = (sequential_wall_ns(&b), sequential_wall_ns(&rotated));
+        prop_assert!((a - c).abs() <= EPS, "{} != {}", a, c);
+    }
+
+    /// Growing any single stage of any batch never shrinks either wall.
+    #[test]
+    fn walls_are_monotone_in_stage_times(
+        b in batches(),
+        pick in (0usize..24, 0usize..3, STAGE_NS),
+    ) {
+        if b.is_empty() {
+            return Ok(());
+        }
+        let (i, stage, extra) = pick;
+        let mut grown = b.clone();
+        let slot = &mut grown[i % b.len()];
+        match stage {
+            0 => slot.stage1_ns += extra,
+            1 => slot.stage2_ns += extra,
+            _ => slot.stage3_ns += extra,
+        }
+        prop_assert!(pipelined_wall_ns(&grown) >= pipelined_wall_ns(&b) - EPS);
+        prop_assert!(sequential_wall_ns(&grown) >= sequential_wall_ns(&b) - EPS);
+    }
+
+    /// The report wraps the same two numbers and never reports a
+    /// speedup below 1 (up to rounding).
+    #[test]
+    fn report_is_consistent_with_walls(b in batches()) {
+        let r = PipelineReport::from_batches(&b);
+        prop_assert_eq!(r.sequential_ns, sequential_wall_ns(&b));
+        prop_assert_eq!(r.pipelined_ns, pipelined_wall_ns(&b));
+        prop_assert!(r.speedup() >= 1.0 - EPS, "speedup {}", r.speedup());
+    }
+}

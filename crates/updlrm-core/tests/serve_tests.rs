@@ -1,0 +1,189 @@
+//! Differential tests for the executed double-buffered serving path:
+//! serving a stream of batches must be *functionally* indistinguishable
+//! from back-to-back `run_batch` calls (bit-identical pooled
+//! embeddings on integer tables, identical stage-2 kernel timing), and
+//! its executed wall clock must equal the analytic schedule of
+//! `pipeline.rs` exactly — not approximately.
+
+use dlrm_model::EmbeddingTable;
+use updlrm_core::{
+    pipelined_wall_ns, sequential_wall_ns, PartitionStrategy, PipelineMode, UpdlrmConfig,
+    UpdlrmEngine,
+};
+use workloads::{DatasetSpec, TraceConfig, Workload};
+
+const DIM: usize = 32;
+
+fn fig10_setup(num_tables: usize, batches: usize) -> (Vec<EmbeddingTable>, Workload) {
+    // Fig. 10-style workload: the goodreads trace (scaled so tests stay
+    // fast) over integer-valued tables, so pooled embeddings are exact.
+    let spec = DatasetSpec::goodreads().scaled_down(5000);
+    let workload = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_tables,
+            num_batches: batches,
+            ..TraceConfig::default()
+        },
+    );
+    let tables = (0..num_tables)
+        .map(|t| EmbeddingTable::random_integer_valued(spec.num_items, DIM, 3, t as u64).unwrap())
+        .collect();
+    (tables, workload)
+}
+
+fn engine(config: UpdlrmConfig, tables: &[EmbeddingTable], workload: &Workload) -> UpdlrmEngine {
+    UpdlrmEngine::from_workload(config, tables, workload).unwrap()
+}
+
+#[test]
+fn doublebuf_serve_matches_sequential_run_batch_bitwise() {
+    let (tables, workload) = fig10_setup(2, 4);
+    for strategy in [
+        PartitionStrategy::Uniform,
+        PartitionStrategy::NonUniform,
+        PartitionStrategy::CacheAware,
+    ] {
+        let config = UpdlrmConfig::with_dpus(16, strategy);
+        let mut seq = engine(config.clone(), &tables, &workload);
+        let mut reference = Vec::new();
+        for batch in &workload.batches {
+            reference.push(seq.run_batch(batch).unwrap());
+        }
+
+        let mut piped = engine(
+            config.with_pipeline_mode(PipelineMode::DoubleBuf),
+            &tables,
+            &workload,
+        );
+        let outcome = piped.serve(&workload.batches).unwrap();
+
+        assert_eq!(outcome.pooled.len(), workload.batches.len());
+        for (i, (ref_pooled, ref_bd)) in reference.iter().enumerate() {
+            for (t, m) in outcome.pooled[i].iter().enumerate() {
+                assert_eq!(
+                    m.as_slice(),
+                    ref_pooled[t].as_slice(),
+                    "strategy {strategy}, batch {i}, table {t}"
+                );
+            }
+            // Stage times are slot-independent: the same streams land at
+            // a different (equally aligned) base, so every per-stage
+            // number the breakdown carries is bit-equal to run_batch's.
+            assert_eq!(
+                &outcome.breakdowns[i], ref_bd,
+                "strategy {strategy}, batch {i} breakdown"
+            );
+        }
+    }
+}
+
+#[test]
+fn doublebuf_wall_equals_analytic_schedule_exactly() {
+    let (tables, workload) = fig10_setup(2, 6);
+    let config = UpdlrmConfig::with_dpus(16, PartitionStrategy::CacheAware)
+        .with_pipeline_mode(PipelineMode::DoubleBuf);
+    let mut eng = engine(config, &tables, &workload);
+    let outcome = eng.serve(&workload.batches).unwrap();
+
+    let model = pipelined_wall_ns(&outcome.breakdowns);
+    assert_eq!(
+        outcome.report.wall_ns.to_bits(),
+        model.to_bits(),
+        "executed wall {} != analytic {}",
+        outcome.report.wall_ns,
+        model
+    );
+    // Pipelining must actually pay off relative to back-to-back.
+    assert!(outcome.report.wall_ns <= sequential_wall_ns(&outcome.breakdowns));
+    assert_eq!(outcome.report.mode, PipelineMode::DoubleBuf);
+    assert_eq!(outcome.report.queue_depth, 2);
+    assert_eq!(outcome.report.batches, workload.batches.len());
+    assert!(outcome.report.throughput_qps > 0.0);
+    assert!(outcome.report.p50_latency_ns > 0.0);
+    assert!(outcome.report.p50_latency_ns <= outcome.report.p95_latency_ns);
+    assert!(outcome.report.p95_latency_ns <= outcome.report.p99_latency_ns);
+    assert!(outcome.report.p99_latency_ns <= outcome.report.wall_ns);
+}
+
+#[test]
+fn sequential_serve_wall_equals_sequential_model_exactly() {
+    let (tables, workload) = fig10_setup(2, 3);
+    let config = UpdlrmConfig::with_dpus(16, PartitionStrategy::NonUniform);
+    let mut eng = engine(config, &tables, &workload);
+    let outcome = eng.serve(&workload.batches).unwrap();
+    assert_eq!(outcome.report.mode, PipelineMode::Sequential);
+    assert_eq!(outcome.report.queue_depth, 1);
+    assert_eq!(
+        outcome.report.wall_ns.to_bits(),
+        sequential_wall_ns(&outcome.breakdowns).to_bits()
+    );
+}
+
+#[test]
+fn queue_depth_one_degenerates_to_sequential() {
+    let (tables, workload) = fig10_setup(2, 3);
+    let config = UpdlrmConfig::with_dpus(16, PartitionStrategy::Uniform)
+        .with_pipeline_mode(PipelineMode::DoubleBuf)
+        .with_queue_depth(1);
+    let mut eng = engine(config, &tables, &workload);
+    let outcome = eng.serve(&workload.batches).unwrap();
+    // Mode echoes the configuration, but the schedule is back-to-back.
+    assert_eq!(outcome.report.mode, PipelineMode::DoubleBuf);
+    assert_eq!(outcome.report.queue_depth, 1);
+    assert_eq!(
+        outcome.report.wall_ns.to_bits(),
+        sequential_wall_ns(&outcome.breakdowns).to_bits()
+    );
+}
+
+#[test]
+fn queue_depth_zero_is_rejected() {
+    let (tables, workload) = fig10_setup(2, 1);
+    let config = UpdlrmConfig::with_dpus(16, PartitionStrategy::Uniform).with_queue_depth(0);
+    let mut eng = engine(config, &tables, &workload);
+    let err = eng.serve(&workload.batches).unwrap_err();
+    assert!(
+        matches!(err, updlrm_core::CoreError::InvalidConfig(_)),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn serve_handles_empty_and_single_batch_streams() {
+    let (tables, workload) = fig10_setup(2, 1);
+    let config = UpdlrmConfig::with_dpus(16, PartitionStrategy::CacheAware)
+        .with_pipeline_mode(PipelineMode::DoubleBuf);
+    let mut eng = engine(config, &tables, &workload);
+
+    let empty = eng.serve(&[]).unwrap();
+    assert_eq!(empty.report.batches, 0);
+    assert_eq!(empty.report.wall_ns, 0.0);
+    assert_eq!(empty.report.throughput_qps, 0.0);
+
+    let one = eng.serve(&workload.batches[..1]).unwrap();
+    // A single batch cannot overlap with anything: its pipelined wall
+    // is its sequential wall, and the latency is the whole schedule.
+    assert_eq!(
+        one.report.wall_ns.to_bits(),
+        sequential_wall_ns(&one.breakdowns).to_bits()
+    );
+    assert_eq!(
+        one.report.p50_latency_ns.to_bits(),
+        one.report.wall_ns.to_bits()
+    );
+}
+
+#[test]
+fn repeated_serves_are_deterministic() {
+    // Slot state from a previous serve must not leak into the next one.
+    let (tables, workload) = fig10_setup(2, 3);
+    let config = UpdlrmConfig::with_dpus(16, PartitionStrategy::CacheAware)
+        .with_pipeline_mode(PipelineMode::DoubleBuf);
+    let mut eng = engine(config, &tables, &workload);
+    let first = eng.serve(&workload.batches).unwrap();
+    let second = eng.serve(&workload.batches).unwrap();
+    assert_eq!(first.pooled, second.pooled);
+    assert_eq!(first.breakdowns, second.breakdowns);
+    assert_eq!(first.report, second.report);
+}

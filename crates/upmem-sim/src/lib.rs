@@ -68,5 +68,5 @@ pub use cost::CostModel;
 pub use dpu::{Dpu, Kernel, TaskletCtx};
 pub use error::{Result, SimError};
 pub use host::{default_host_threads, PimConfig, PimSystem};
-pub use mem::{Mram, Wram};
+pub use mem::{Mram, MramLayout, Wram};
 pub use stats::{DpuRunStats, LaunchReport, TaskletStats, TransferReport};

@@ -157,6 +157,74 @@ impl Mram {
     }
 }
 
+/// Sequential MRAM region planner: hands out 8-byte-aligned,
+/// non-overlapping base addresses inside one DPU's 64 MB bank.
+///
+/// Hosts lay their MRAM image out as a sequence of named regions (EMT
+/// tile, cache rows, per-batch staging slots). This helper centralizes
+/// the two rules every such layout must obey — DMA alignment
+/// ([`DMA_ALIGN`]) and the capacity ceiling ([`MRAM_CAPACITY`]) — so a
+/// region that does not fit surfaces as an error at *planning* time
+/// instead of as a mid-batch DMA fault. Reserving a region commits
+/// nothing; the bank still grows lazily on first write.
+///
+/// ```rust
+/// use upmem_sim::MramLayout;
+/// let mut layout = MramLayout::new();
+/// let emt = layout.reserve(1 << 20).unwrap();
+/// let slot0 = layout.reserve(4096).unwrap();
+/// let slot1 = layout.reserve(4096).unwrap();
+/// assert_eq!(emt, 0);
+/// assert!(slot0 < slot1 && (slot1 as usize).is_multiple_of(8));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MramLayout {
+    next: usize,
+}
+
+impl MramLayout {
+    /// An empty layout starting at address 0.
+    pub fn new() -> Self {
+        MramLayout { next: 0 }
+    }
+
+    /// Reserves `bytes` (rounded up to [`DMA_ALIGN`]) and returns the
+    /// region's base address. Zero-byte regions are legal and return
+    /// the current cursor without advancing it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MramOutOfBounds`] if the region would extend past
+    /// [`MRAM_CAPACITY`]; the layout is left unchanged.
+    pub fn reserve(&mut self, bytes: usize) -> Result<u32> {
+        let base = self.next;
+        let padded = bytes
+            .checked_add(DMA_ALIGN - 1)
+            .map(|b| b & !(DMA_ALIGN - 1))
+            .unwrap_or(usize::MAX);
+        let end = base.saturating_add(padded);
+        if end > MRAM_CAPACITY {
+            return Err(SimError::MramOutOfBounds {
+                addr: base as u32,
+                len: bytes,
+                capacity: MRAM_CAPACITY,
+            });
+        }
+        self.next = end;
+        Ok(base as u32)
+    }
+
+    /// Bytes reserved so far.
+    pub fn used(&self) -> usize {
+        self.next
+    }
+
+    /// Bytes still available below the capacity ceiling.
+    pub fn remaining(&self) -> usize {
+        MRAM_CAPACITY - self.next
+    }
+}
+
 /// One DPU's 64 KB scratchpad.
 ///
 /// Kernels receive disjoint per-tasklet views of this memory; the
@@ -357,5 +425,33 @@ mod tests {
         let w = Wram::new();
         let mut buf = [0u8; 8];
         assert!(w.read(usize::MAX - 2, &mut buf).is_err());
+    }
+
+    #[test]
+    fn layout_reserves_aligned_disjoint_regions() {
+        let mut l = MramLayout::new();
+        let a = l.reserve(10).unwrap(); // rounds to 16
+        let b = l.reserve(8).unwrap();
+        let c = l.reserve(0).unwrap();
+        assert_eq!((a, b, c), (0, 16, 24));
+        assert_eq!(l.used(), 24);
+        assert_eq!(l.remaining(), MRAM_CAPACITY - 24);
+    }
+
+    #[test]
+    fn layout_rejects_overflow_and_stays_usable() {
+        let mut l = MramLayout::new();
+        l.reserve(MRAM_CAPACITY - 8).unwrap();
+        assert!(matches!(
+            l.reserve(16),
+            Err(SimError::MramOutOfBounds { .. })
+        ));
+        // The failed reservation must not consume space.
+        assert_eq!(l.reserve(8).unwrap() as usize, MRAM_CAPACITY - 8);
+        assert_eq!(l.remaining(), 0);
+        assert!(matches!(
+            MramLayout::new().reserve(usize::MAX),
+            Err(SimError::MramOutOfBounds { .. })
+        ));
     }
 }

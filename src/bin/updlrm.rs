@@ -4,6 +4,7 @@
 //! updlrm run   [--dataset read] [--backend updlrm|cpu|hybrid|fae|hetero]
 //!              [--strategy u|nu|ca|nur] [--dpus 256] [--nc auto|2|4|8]
 //!              [--scale 200] [--batches 10] [--seed 7] [--host-threads N]
+//!              [--pipeline sequential|doublebuf] [--queue-depth N] [--json FILE]
 //! updlrm trace [--dataset movie] [--scale 200] [--batches 10] --out trace.upwl
 //! updlrm info  [--dataset read]
 //! ```
@@ -17,7 +18,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  updlrm run   [--dataset TAG] [--backend updlrm|cpu|hybrid|fae|hetero] \
          [--strategy u|nu|ca|nur] [--dpus N] [--nc auto|2|4|8] [--scale N] [--batches N] [--seed N] \
-         [--host-threads N]\n  \
+         [--host-threads N] [--pipeline sequential|doublebuf] [--queue-depth N] [--json FILE]\n  \
          updlrm trace [--dataset TAG] [--scale N] [--batches N] [--seed N] --out FILE\n  \
          updlrm info  [--dataset TAG]\n\nTAG: clo home meta1 meta2 read read2 movie twitch"
     );
@@ -99,6 +100,44 @@ fn build_setting(
     Ok((spec, workload, model))
 }
 
+/// Serve-schedule section of the `--json` report.
+#[derive(serde::Serialize)]
+struct ServeJson {
+    mode: String,
+    queue_depth: usize,
+    wall_ns: f64,
+    throughput_qps: f64,
+    p50_latency_ns: f64,
+    p95_latency_ns: f64,
+    p99_latency_ns: f64,
+    speedup_vs_sequential: f64,
+}
+
+/// Machine-readable mirror of a `run` invocation (`--json FILE`).
+#[derive(serde::Serialize)]
+struct RunJson {
+    backend: String,
+    dataset: String,
+    strategy: String,
+    dpus: usize,
+    batches: usize,
+    host_threads: usize,
+    pipeline: String,
+    queue_depth: usize,
+    mean_embedding_us: f64,
+    mean_dense_us: f64,
+    mean_total_us: f64,
+    serve: Option<ServeJson>,
+}
+
+fn write_json(args: &Args, report: &RunJson) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = args.flags.get("json") {
+        std::fs::write(path, serde::json::to_string_pretty(report))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let (spec, workload, model) = build_setting(args)?;
     let profiles: Vec<FreqProfile> = (0..8)
@@ -120,7 +159,84 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         v => config.n_c = Some(v.parse()?),
     }
     config.host_threads = args.num("host-threads", config.host_threads);
+    let pipeline: PipelineMode = match args.str("pipeline", "sequential").parse() {
+        Ok(mode) => mode,
+        Err(e) => {
+            eprintln!("{e}");
+            usage()
+        }
+    };
+    let queue_depth = args.num("queue-depth", config.queue_depth);
+    if queue_depth == 0 {
+        eprintln!("--queue-depth must be >= 1 (0 admits no batch in flight)");
+        std::process::exit(2)
+    }
+    config.pipeline_mode = pipeline;
+    config.queue_depth = queue_depth;
+    let mut report_json = RunJson {
+        backend: args.str("backend", "updlrm"),
+        dataset: spec.short.to_string(),
+        strategy: args.str("strategy", "ca"),
+        dpus: config.nr_dpus,
+        batches: workload.batches.len(),
+        host_threads: config.host_threads,
+        pipeline: pipeline.to_string(),
+        queue_depth,
+        mean_embedding_us: 0.0,
+        mean_dense_us: 0.0,
+        mean_total_us: 0.0,
+        serve: None,
+    };
     let mem = CpuMemoryModel::default();
+
+    if pipeline == PipelineMode::DoubleBuf {
+        // The double-buffered schedule lives in the PIM embedding
+        // engine; it has no meaning for the CPU/GPU baselines.
+        if report_json.backend != "updlrm" {
+            eprintln!(
+                "--pipeline doublebuf requires --backend updlrm (got '{}')",
+                report_json.backend
+            );
+            std::process::exit(2)
+        }
+        let mut backend = UpdlrmBackend::from_workload(config, model.clone(), &workload, mem)?;
+        let outcome = backend.engine_mut().serve(&workload.batches)?;
+        let n = outcome.report.batches.max(1) as f64;
+        let mean_embedding_ns = outcome.breakdowns.iter().map(|b| b.total_ns()).sum::<f64>() / n;
+        let pr = PipelineReport::from_batches(&outcome.breakdowns);
+        println!(
+            "{} serving {} batches double-buffered (queue depth {})",
+            backend.name(),
+            outcome.report.batches,
+            outcome.report.queue_depth,
+        );
+        println!(
+            "  wall {:.1} us  throughput {:.0} samples/s",
+            outcome.report.wall_ns / 1e3,
+            outcome.report.throughput_qps,
+        );
+        println!(
+            "  latency p50 {:.1} us  p95 {:.1} us  p99 {:.1} us",
+            outcome.report.p50_latency_ns / 1e3,
+            outcome.report.p95_latency_ns / 1e3,
+            outcome.report.p99_latency_ns / 1e3,
+        );
+        println!("  speedup over back-to-back: {:.2}x", pr.speedup());
+        report_json.mean_embedding_us = mean_embedding_ns / 1e3;
+        report_json.mean_total_us = mean_embedding_ns / 1e3;
+        report_json.serve = Some(ServeJson {
+            mode: outcome.report.mode.to_string(),
+            queue_depth: outcome.report.queue_depth,
+            wall_ns: outcome.report.wall_ns,
+            throughput_qps: outcome.report.throughput_qps,
+            p50_latency_ns: outcome.report.p50_latency_ns,
+            p95_latency_ns: outcome.report.p95_latency_ns,
+            p99_latency_ns: outcome.report.p99_latency_ns,
+            speedup_vs_sequential: pr.speedup(),
+        });
+        write_json(args, &report_json)?;
+        return Ok(());
+    }
     let mut backend: Box<dyn InferenceBackend> = match args.str("backend", "updlrm").as_str() {
         "updlrm" => Box::new(UpdlrmBackend::from_workload(
             config,
@@ -178,6 +294,9 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     println!("  dense:     {:10.1} us", total.dense_ns / n / 1e3);
     println!("  transfer:  {:10.1} us", total.transfer_ns / n / 1e3);
     println!("  total:     {:10.1} us", total.total_ns() / n / 1e3);
+    report_json.mean_embedding_us = total.embedding_ns / n / 1e3;
+    report_json.mean_dense_us = total.dense_ns / n / 1e3;
+    report_json.mean_total_us = total.total_ns() / n / 1e3;
     if let Some(pim) = &total.pim {
         let t = pim.total_ns();
         println!(
@@ -193,6 +312,7 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             (1.0 - 1.0 / pr.speedup()) * 100.0
         );
     }
+    write_json(args, &report_json)?;
     Ok(())
 }
 

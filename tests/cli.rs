@@ -104,6 +104,160 @@ fn trace_round_trips_through_a_file() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Small, fast `run` argument prefix shared by the flag tests.
+const QUICK_RUN: [&str; 9] = [
+    "run",
+    "--dataset",
+    "read",
+    "--dpus",
+    "32",
+    "--scale",
+    "1000",
+    "--batches",
+    "2",
+];
+
+#[test]
+fn run_accepts_host_threads_values() {
+    for threads in ["1", "2", "8"] {
+        let out = updlrm()
+            .args(QUICK_RUN)
+            .args(["--host-threads", threads])
+            .output()
+            .expect("run");
+        assert!(
+            out.status.success(),
+            "--host-threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn run_rejects_garbage_host_threads() {
+    let out = updlrm()
+        .args(QUICK_RUN)
+        .args(["--host-threads", "lots"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("host-threads"), "stderr: {err}");
+}
+
+#[test]
+fn run_pipeline_doublebuf_reports_serving_stats() {
+    let out = updlrm()
+        .args(QUICK_RUN)
+        .args(["--pipeline", "doublebuf"])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("double-buffered"), "stdout: {text}");
+    assert!(text.contains("throughput"), "stdout: {text}");
+    assert!(text.contains("p95"), "stdout: {text}");
+}
+
+#[test]
+fn run_pipeline_sequential_is_the_default_and_accepted() {
+    let out = updlrm()
+        .args(QUICK_RUN)
+        .args(["--pipeline", "sequential"])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("per-batch mean"), "stdout: {text}");
+}
+
+#[test]
+fn run_rejects_bad_pipeline_and_queue_depth() {
+    let out = updlrm()
+        .args(QUICK_RUN)
+        .args(["--pipeline", "turbo"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("pipeline mode"));
+
+    let out = updlrm()
+        .args(QUICK_RUN)
+        .args(["--queue-depth", "0"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("queue-depth"));
+
+    let out = updlrm()
+        .args(QUICK_RUN)
+        .args(["--queue-depth", "many"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn run_doublebuf_requires_updlrm_backend() {
+    let out = updlrm()
+        .args(QUICK_RUN)
+        .args(["--backend", "cpu", "--pipeline", "doublebuf"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --backend updlrm"));
+}
+
+#[test]
+fn json_report_reflects_flags() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("run-report.json");
+    let out = updlrm()
+        .args(QUICK_RUN)
+        .args([
+            "--host-threads",
+            "2",
+            "--pipeline",
+            "doublebuf",
+            "--queue-depth",
+            "3",
+            "--json",
+        ])
+        .arg(&path)
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&path).expect("json written");
+    assert!(json.contains("\"pipeline\": \"doublebuf\""), "{json}");
+    assert!(json.contains("\"queue_depth\": 3"), "{json}");
+    assert!(json.contains("\"host_threads\": 2"), "{json}");
+    assert!(json.contains("\"throughput_qps\""), "{json}");
+    // The effective in-flight depth is capped at the two MRAM slots.
+    assert!(
+        json.contains("\"serve\": {\n    \"mode\": \"doublebuf\",\n    \"queue_depth\": 2"),
+        "{json}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn unknown_arguments_exit_nonzero() {
     let out = updlrm()

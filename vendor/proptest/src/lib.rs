@@ -241,14 +241,35 @@ pub struct ProptestConfig {
 
 impl ProptestConfig {
     /// A configuration running `cases` cases per test.
+    ///
+    /// The `PROPTEST_CASES` environment variable, when set to a
+    /// positive integer, overrides `cases` — a deliberate deviation
+    /// from the real crate (where the env var only overrides the
+    /// default) so a CI job can deepen *every* property test, including
+    /// ones that pin a case count, without touching the sources.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
+}
+
+/// Parses `PROPTEST_CASES`; `None` when unset, empty, zero, or
+/// unparsable.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()?
+        .trim()
+        .parse::<u32>()
+        .ok()
+        .filter(|&n| n > 0)
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(64),
+        }
     }
 }
 
@@ -410,6 +431,22 @@ mod tests {
             v.reverse();
             prop_assert!(!v.is_empty());
         }
+    }
+
+    #[test]
+    fn proptest_cases_env_overrides_counts() {
+        // Other tests in this binary read the variable too; any value we
+        // leave visible mid-test only changes how many (deterministic)
+        // cases they run, never whether they pass.
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(ProptestConfig::default().cases, 7);
+        assert_eq!(ProptestConfig::with_cases(99).cases, 7);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(ProptestConfig::with_cases(99).cases, 99);
+        std::env::set_var("PROPTEST_CASES", "junk");
+        assert_eq!(ProptestConfig::default().cases, 64);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::with_cases(12).cases, 12);
     }
 
     #[test]
