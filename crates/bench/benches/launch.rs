@@ -4,7 +4,7 @@
 //! 256-DPU system running an embedding-style bag-sum kernel, sweeping
 //! `host_threads`, and verifies that every parallel `LaunchReport` is
 //! bit-identical to the serial one. Results land in
-//! `target/experiments/BENCH_launch.json`.
+//! repo-root `BENCH_launch.json`.
 //!
 //! Note: the speedup column only reflects real concurrency when the
 //! machine has multiple CPUs; on a single-CPU host the sweep measures
@@ -124,14 +124,8 @@ fn main() {
     };
     let json = serde::json::to_string_pretty(&out);
     // cargo runs benches with cwd = the package dir; anchor at the
-    // workspace root so the JSON lands next to the CSV mirrors.
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
-    let dir = dir.as_path();
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
-    }
-    let path = dir.join("BENCH_launch.json");
+    // repo root, where all BENCH_*.json trajectory files live.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_launch.json");
     match std::fs::write(&path, json) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),

@@ -7,7 +7,7 @@
 //! double-buffered wall equals the analytic `pipelined_wall_ns` of the
 //! collected breakdowns bit-for-bit, and pipelining never loses to the
 //! sequential schedule for two or more batches. Results land in
-//! `target/experiments/BENCH_pipeline.json`.
+//! repo-root `BENCH_pipeline.json`.
 
 use dlrm_model::EmbeddingTable;
 use updlrm_core::{
@@ -125,14 +125,8 @@ fn main() {
     };
     let json = serde::json::to_string_pretty(&out);
     // cargo runs benches with cwd = the package dir; anchor at the
-    // workspace root so the JSON lands next to the other experiments.
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
-    let dir = dir.as_path();
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
-    }
-    let path = dir.join("BENCH_pipeline.json");
+    // repo root, where all BENCH_*.json trajectory files live.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
     match std::fs::write(&path, json) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),

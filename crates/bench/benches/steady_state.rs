@@ -1,0 +1,353 @@
+//! Steady-state serving throughput: simulator ns/sample across batch
+//! size × pipeline mode.
+//!
+//! Unlike `pipeline_serve` (which reports the *modeled* walls), this
+//! bench measures the *simulator's own* wall clock around repeated
+//! `UpdlrmEngine::serve` calls on one engine — the number that the
+//! zero-allocation scratch-arena work moves. Three identities are
+//! asserted on every configuration before anything is timed:
+//!
+//! 1. every pooled row equals the ground-truth
+//!    `EmbeddingTable::partial_sum` bit-for-bit (integer tables);
+//! 2. serve output is bit-identical to back-to-back `run_batch` calls
+//!    on a fresh engine;
+//! 3. the executed wall equals the analytic model
+//!    (`pipelined_wall_ns` / `sequential_wall_ns`) bit-for-bit.
+//!
+//! Results land in `BENCH_steady_state.json` at the repo root. A
+//! previously committed file's rows are carried forward as
+//! `baseline_rows` (label via `--baseline-label`), so the perf
+//! trajectory accumulates across PRs. Flags:
+//!
+//! * `--smoke` — tiny sweep (batch 16, 3 batches, short window)
+//! * `--check FILE` — compare against FILE's rows; exit nonzero on a
+//!   >20% ns/sample regression; do not write output
+//! * `--baseline-label S` — label adopted rows when FILE had no baseline
+//! * `--out FILE` — output path (default: repo-root JSON)
+
+use std::hint::black_box;
+
+use bench::timing;
+use dlrm_model::EmbeddingTable;
+use serde::Value;
+use updlrm_core::{
+    pipelined_wall_ns, sequential_wall_ns, PartitionStrategy, PipelineMode, UpdlrmConfig,
+    UpdlrmEngine,
+};
+use workloads::{DatasetSpec, TraceConfig, Workload};
+
+const NUM_TABLES: usize = 4;
+const NR_DPUS: usize = 64;
+const DIM: usize = 32;
+
+struct Sweep {
+    batch_sizes: &'static [usize],
+    num_batches: usize,
+    window_ms: u64,
+}
+
+const FULL: Sweep = Sweep {
+    batch_sizes: &[16, 64, 256],
+    num_batches: 8,
+    window_ms: 300,
+};
+const SMOKE: Sweep = Sweep {
+    batch_sizes: &[16],
+    num_batches: 3,
+    window_ms: 30,
+};
+
+#[derive(serde::Serialize)]
+struct Row {
+    batch_size: usize,
+    mode: String,
+    batches: usize,
+    samples_per_serve: usize,
+    /// Simulator wall clock per sample (the software cost this bench
+    /// tracks across PRs).
+    measured_ns_per_sample: f64,
+    /// Modeled hardware time per sample (`ServeReport::wall_ns`).
+    modeled_ns_per_sample: f64,
+    /// Modeled host share: (route + combine) / total_with_host.
+    host_overhead_share: f64,
+    bit_identical: bool,
+    /// ns/sample of the carried baseline row, 0.0 when none matched.
+    baseline_ns_per_sample: f64,
+    /// baseline / measured; 0.0 when no baseline row matched.
+    speedup_vs_baseline: f64,
+}
+
+fn build(batch_size: usize, num_batches: usize) -> (Vec<EmbeddingTable>, Workload) {
+    let spec = DatasetSpec::goodreads().scaled_down(2000);
+    let workload = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_tables: NUM_TABLES,
+            batch_size,
+            num_batches,
+            ..TraceConfig::default()
+        },
+    );
+    let tables = (0..NUM_TABLES)
+        .map(|t| EmbeddingTable::random_integer_valued(spec.num_items, DIM, 3, t as u64).unwrap())
+        .collect();
+    (tables, workload)
+}
+
+fn engine(mode: PipelineMode, tables: &[EmbeddingTable], workload: &Workload) -> UpdlrmEngine {
+    let batch_size = workload.config.batch_size;
+    let mut config = UpdlrmConfig::with_dpus(NR_DPUS, PartitionStrategy::CacheAware)
+        .with_pipeline_mode(mode)
+        .with_queue_depth(2);
+    // MRAM staging slots are sized for `config.batch_size` samples.
+    config.batch_size = batch_size;
+    UpdlrmEngine::from_workload(config, tables, workload).expect("engine builds")
+}
+
+/// Asserts the three bit-identities documented in the module docs.
+fn assert_bit_identity(
+    mode: PipelineMode,
+    tables: &[EmbeddingTable],
+    workload: &Workload,
+    outcome: &updlrm_core::ServeOutcome,
+) {
+    // 1. ground truth: pooled rows are exact partial sums.
+    for (i, batch) in workload.batches.iter().enumerate() {
+        for (t, table) in tables.iter().enumerate() {
+            let pooled = &outcome.pooled[i][t];
+            for s in 0..batch.batch_size() {
+                let expect = table.partial_sum(batch.sparse[t].sample(s)).expect("sum");
+                let got = pooled.row(s);
+                assert_eq!(got.len(), expect.len());
+                for (g, e) in got.iter().zip(expect.iter()) {
+                    assert_eq!(
+                        g.to_bits(),
+                        e.to_bits(),
+                        "pooled departs from ground truth (batch {i}, table {t}, sample {s})"
+                    );
+                }
+            }
+        }
+    }
+    // 2. differential vs back-to-back run_batch on a fresh engine.
+    let mut fresh = engine(mode, tables, workload);
+    for (i, batch) in workload.batches.iter().enumerate() {
+        let (pooled, bd) = fresh.run_batch(batch).expect("run_batch");
+        assert_eq!(pooled, outcome.pooled[i], "pooled departs from run_batch");
+        let sbd = &outcome.breakdowns[i];
+        assert_eq!(bd.stage2_ns.to_bits(), sbd.stage2_ns.to_bits());
+        assert_eq!(bd.route_ns.to_bits(), sbd.route_ns.to_bits());
+        assert_eq!(bd.combine_ns.to_bits(), sbd.combine_ns.to_bits());
+    }
+    // 3. executed wall equals the analytic model.
+    let model = match mode {
+        PipelineMode::DoubleBuf => pipelined_wall_ns(&outcome.breakdowns),
+        PipelineMode::Sequential => sequential_wall_ns(&outcome.breakdowns),
+    };
+    assert_eq!(
+        outcome.report.wall_ns.to_bits(),
+        model.to_bits(),
+        "executed wall departed from the model"
+    );
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// (batch_size, mode) -> measured ns/sample, hand-parsed so schema
+/// drift across PRs never breaks reading old files.
+fn parse_rows(rows: &Value) -> Vec<(usize, String, f64)> {
+    let Value::Array(rows) = rows else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|r| {
+            let b = num(r.get("batch_size")?)? as usize;
+            let mode = match r.get("mode")? {
+                Value::Str(s) => s.clone(),
+                _ => return None,
+            };
+            let ns = num(r.get("measured_ns_per_sample")?)?;
+            Some((b, mode, ns))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut smoke = false;
+    let mut check: Option<String> = None;
+    let mut baseline_label = "previous run".to_string();
+    let default_out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_steady_state.json")
+        .to_string_lossy()
+        .into_owned();
+    let mut out_path = default_out;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = Some(args.next().expect("--check needs a file")),
+            "--baseline-label" => {
+                baseline_label = args.next().expect("--baseline-label needs a value")
+            }
+            "--out" => out_path = args.next().expect("--out needs a file"),
+            "--bench" => {} // passed by `cargo bench`
+            other => eprintln!("ignoring unknown arg {other}"),
+        }
+    }
+    let sweep = if smoke { SMOKE } else { FULL };
+
+    // Cargo runs bench binaries from the package directory, so resolve
+    // relative paths against the repo root — CI passes plain
+    // `BENCH_steady_state.json` and means the committed file.
+    let rooted = |p: String| {
+        if std::path::Path::new(&p).is_relative() {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(&p)
+                .to_string_lossy()
+                .into_owned()
+        } else {
+            p
+        }
+    };
+    let check = check.map(rooted);
+    let out_path = rooted(out_path);
+
+    // Baseline: from --check FILE, else from the existing output file.
+    let baseline_src = check.clone().unwrap_or_else(|| out_path.clone());
+    let old: Option<Value> = std::fs::read_to_string(&baseline_src)
+        .ok()
+        .and_then(|s| serde::json::from_str(&s).ok());
+    // In check mode a missing or malformed baseline is a failure, not a
+    // free pass — CI relies on this to keep the committed trajectory
+    // file honest.
+    if check.is_some() {
+        let usable = old
+            .as_ref()
+            .and_then(|v| v.get("rows"))
+            .map(parse_rows)
+            .is_some_and(|rows| !rows.is_empty());
+        if !usable {
+            eprintln!("check: baseline {baseline_src} is missing, malformed, or has no rows");
+            std::process::exit(1);
+        }
+    }
+    // Prefer the file's own measured rows (they describe the committed
+    // code); fall back to its carried baseline only if rows are absent.
+    let (baseline_rows, baseline_value, label) = match &old {
+        Some(v) => {
+            let rows = v.get("rows").map(parse_rows).unwrap_or_default();
+            if rows.is_empty() {
+                (Vec::new(), None, baseline_label.clone())
+            } else {
+                (rows, v.get("rows").cloned(), baseline_label.clone())
+            }
+        }
+        None => (Vec::new(), None, baseline_label.clone()),
+    };
+
+    println!(
+        "steady-state sweep: {NUM_TABLES} tables x {NR_DPUS} DPUs, goodreads/2000, \
+         {} batches/serve{}",
+        sweep.num_batches,
+        if smoke { " (smoke)" } else { "" }
+    );
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    for &batch_size in sweep.batch_sizes {
+        let (tables, workload) = build(batch_size, sweep.num_batches);
+        let samples = batch_size * sweep.num_batches;
+        for mode in [PipelineMode::Sequential, PipelineMode::DoubleBuf] {
+            let mut eng = engine(mode, &tables, &workload);
+            let outcome = eng.serve(&workload.batches).expect("serves");
+            assert_bit_identity(mode, &tables, &workload, &outcome);
+
+            let label_name = format!("serve/b{batch_size}/{mode}");
+            let m = timing::run_with_window(&label_name, sweep.window_ms, || {
+                black_box(eng.serve(black_box(&workload.batches)).expect("serves"));
+            });
+            let measured = m.mean_ns / samples as f64;
+            let modeled = outcome.report.wall_ns / samples as f64;
+            let (host, total_with_host) =
+                outcome.breakdowns.iter().fold((0.0, 0.0), |(h, t), b| {
+                    (h + b.route_ns + b.combine_ns, t + b.total_with_host_ns())
+                });
+            let base = baseline_rows
+                .iter()
+                .find(|(b, m, _)| *b == batch_size && *m == mode.as_str())
+                .map(|(_, _, ns)| *ns)
+                .unwrap_or(0.0);
+            let speedup = if base > 0.0 { base / measured } else { 0.0 };
+            println!(
+                "  b={batch_size:<4} {mode:<10} {measured:>9.1} ns/sample (model {modeled:>9.1}, \
+                 host share {:.2}){}",
+                host / total_with_host,
+                if base > 0.0 {
+                    format!("  {speedup:.2}x vs baseline")
+                } else {
+                    String::new()
+                }
+            );
+            if base > 0.0 && measured > base * 1.20 {
+                regressions.push(format!(
+                    "b={batch_size} {mode}: {measured:.1} ns/sample vs baseline {base:.1} \
+                     (+{:.0}%)",
+                    (measured / base - 1.0) * 100.0
+                ));
+            }
+            rows.push(Row {
+                batch_size,
+                mode: mode.as_str().to_string(),
+                batches: sweep.num_batches,
+                samples_per_serve: samples,
+                measured_ns_per_sample: measured,
+                modeled_ns_per_sample: modeled,
+                host_overhead_share: host / total_with_host,
+                bit_identical: true,
+                baseline_ns_per_sample: base,
+                speedup_vs_baseline: speedup,
+            });
+        }
+    }
+
+    if let Some(path) = check {
+        if regressions.is_empty() {
+            println!("check vs {path}: OK (no >20% ns/sample regression)");
+            return;
+        }
+        eprintln!("check vs {path}: REGRESSION");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+
+    let mut doc: Vec<(String, Value)> = vec![
+        ("bench".into(), Value::Str("steady_state".into())),
+        ("dataset".into(), Value::Str("goodreads/2000".into())),
+        ("nr_dpus".into(), Value::UInt(NR_DPUS as u64)),
+        ("num_tables".into(), Value::UInt(NUM_TABLES as u64)),
+        ("dim".into(), Value::UInt(DIM as u64)),
+        ("smoke".into(), Value::Bool(smoke)),
+        (
+            "rows".into(),
+            Value::Array(rows.iter().map(serde::Serialize::to_value).collect()),
+        ),
+    ];
+    if let Some(b) = baseline_value {
+        doc.push(("baseline_label".into(), Value::Str(label)));
+        doc.push(("baseline_rows".into(), b));
+    }
+    let json = serde::json::to_string_pretty(&Value::Object(doc));
+    match std::fs::write(&out_path, json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("warning: cannot write {out_path}: {e}"),
+    }
+}

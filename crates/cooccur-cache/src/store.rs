@@ -8,8 +8,7 @@
 //! property tests of this crate pin down.
 
 use crate::mine::CacheListSet;
-use dlrm_model::{EmbeddingTable, ModelError, Result};
-use std::collections::HashMap;
+use dlrm_model::{EmbeddingTable, FxHashMap, ModelError, Result};
 
 /// One cached combination: a subset of a cache list and its partial sum.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,16 +40,34 @@ impl CacheHit {
     }
 }
 
+/// Reusable working state for [`PartialSumCache::lookup_into`].
+#[derive(Debug, Default)]
+pub struct LookupScratch {
+    /// Mask accumulated per cache list for the current sample,
+    /// direct-mapped by list index (grow-only; entries for lists not in
+    /// `touched` are zero).
+    mask_of_list: Vec<u32>,
+    /// Cache lists touched by the current sample, in first-touch order.
+    touched: Vec<u32>,
+}
+
 /// Materialized partial-sum cache for one embedding table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartialSumCache {
     entries: Vec<CacheEntry>,
-    /// item -> (list, bit position)
-    item_pos: HashMap<u64, (usize, u32)>,
+    /// item -> packed `(list << 5 | bit) + 1` (0 = not cached),
+    /// direct-mapped over the table's rows. Read once per sample index
+    /// on the serving path, so this trades one word per table row
+    /// (under 1% of the row data itself) for a branch-free probe.
+    item_pos: Vec<u32>,
     /// (list, mask) -> entry index
-    combo_index: HashMap<(usize, u32), usize>,
+    combo_index: FxHashMap<(usize, u32), usize>,
     dim: usize,
 }
+
+/// A cache list holds at most 20 items, so the bit position fits in the
+/// low 5 bits of the packed `item_pos` word.
+const POS_BIT_WIDTH: u32 = 5;
 
 impl PartialSumCache {
     /// Computes all `2^k - 1` combination rows for every list.
@@ -60,8 +77,8 @@ impl PartialSumCache {
     /// Fails if any listed item is out of range for `table`.
     pub fn materialize(lists: &CacheListSet, table: &EmbeddingTable) -> Result<Self> {
         let mut entries = Vec::new();
-        let mut item_pos = HashMap::new();
-        let mut combo_index = HashMap::new();
+        let mut item_pos = vec![0u32; table.rows()];
+        let mut combo_index = FxHashMap::default();
         for (l, list) in lists.lists.iter().enumerate() {
             if list.items.len() > 20 {
                 return Err(ModelError::InvalidConfig(format!(
@@ -71,7 +88,13 @@ impl PartialSumCache {
                 )));
             }
             for (bit, &item) in list.items.iter().enumerate() {
-                item_pos.insert(item, (l, bit as u32));
+                let slot = item_pos.get_mut(item as usize).ok_or_else(|| {
+                    ModelError::InvalidConfig(format!(
+                        "cache list item {item} out of range for {} table rows",
+                        table.rows()
+                    ))
+                })?;
+                *slot = ((l as u32) << POS_BIT_WIDTH | bit as u32) + 1;
             }
             let k = list.items.len() as u32;
             for mask in 1u32..(1 << k) {
@@ -120,21 +143,47 @@ impl PartialSumCache {
     /// one are served from the cache too (the single-item combination is
     /// cached), everything else becomes residual EMT lookups.
     pub fn lookup(&self, sample: &[u64]) -> CacheHit {
-        let mut masks: HashMap<usize, u32> = HashMap::new();
-        let mut residual = Vec::new();
+        let mut out = CacheHit::default();
+        self.lookup_into(sample, &mut LookupScratch::default(), &mut out);
+        out
+    }
+
+    /// [`PartialSumCache::lookup`] writing into a caller-owned
+    /// [`CacheHit`] (cleared first, capacity reused) via reusable
+    /// working state — the zero-allocation form used by the serving
+    /// path. Results are identical to [`PartialSumCache::lookup`]:
+    /// entries sorted by (list, mask), residuals in sample order.
+    pub fn lookup_into(&self, sample: &[u64], scratch: &mut LookupScratch, out: &mut CacheHit) {
+        out.entries.clear();
+        out.residual.clear();
         for &i in sample {
-            match self.item_pos.get(&i) {
-                Some(&(l, bit)) => *masks.entry(l).or_insert(0) |= 1 << bit,
-                None => residual.push(i),
+            // One array read per index; uncached items (and indices past
+            // the direct map, which only happens for corrupt samples the
+            // downstream lookup rejects anyway) go to the residual list.
+            match self.item_pos.get(i as usize).copied().unwrap_or(0) {
+                0 => out.residual.push(i),
+                packed => {
+                    let l = (packed - 1) >> POS_BIT_WIDTH;
+                    let bit = (packed - 1) & ((1 << POS_BIT_WIDTH) - 1);
+                    if scratch.mask_of_list.len() <= l as usize {
+                        scratch.mask_of_list.resize(l as usize + 1, 0);
+                    }
+                    let m = &mut scratch.mask_of_list[l as usize];
+                    if *m == 0 {
+                        scratch.touched.push(l);
+                    }
+                    *m |= 1 << bit;
+                }
             }
         }
-        let mut lists: Vec<(usize, u32)> = masks.into_iter().collect();
-        lists.sort_unstable();
-        let entries = lists
-            .into_iter()
-            .map(|(l, m)| self.combo_index[&(l, m)])
-            .collect();
-        CacheHit { entries, residual }
+        // Each touched list maps to exactly one combination row, so
+        // sorting the list ids alone reproduces the (list, mask) order.
+        scratch.touched.sort_unstable();
+        out.entries.extend(scratch.touched.iter().map(|&l| {
+            let mask = std::mem::take(&mut scratch.mask_of_list[l as usize]);
+            self.combo_index[&(l as usize, mask)]
+        }));
+        scratch.touched.clear();
     }
 
     /// Reconstructs a sample's full reduction from a lookup — reference

@@ -1,0 +1,137 @@
+//! A fast, non-cryptographic hasher for hot-path maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is DoS-resistant but
+//! costs tens of nanoseconds per small key — far too much for the
+//! serving path, which performs one map lookup per embedding reference
+//! (cache-list membership, stream deduplication). This module provides
+//! a multiply-rotate hasher in the style of rustc's FxHash: a single
+//! rotate-xor-multiply per 8-byte word. All uses key on small integers
+//! derived from internal state (row slots, item ids), never on
+//! attacker-controlled data, so losing DoS resistance is fine.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier with a good bit-dispersion profile (the 64-bit FxHash
+/// constant: truncated golden-ratio expansion, odd).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher; one multiply per written word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            // Zero-pad the tail; the top byte is always free (remainder
+            // < 8 bytes) and carries the length so "" != "\0".
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            tail[7] = 0x80 | rest.len() as u8;
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (stateless, so maps stay `Clone` +
+/// `Default` like their SipHash counterparts).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        m.insert(7, 1);
+        m.insert(1 << 40, 2);
+        assert_eq!(m.get(&7), Some(&1));
+        assert_eq!(m.get(&(1 << 40)), Some(&2));
+        let h = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn byte_writes_match_padded_words() {
+        // write() must consume trailing partial words (tuple keys hash
+        // through it); just check it is deterministic and spreads bits.
+        let h = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(h(b"abcdefghi"), h(b"abcdefghi"));
+        assert_ne!(h(b"abcdefghi"), h(b"abcdefghj"));
+        assert_ne!(h(b""), h(b"\0"));
+    }
+
+    #[test]
+    fn small_integer_keys_disperse() {
+        // Consecutive small keys must not collide in the low bits the
+        // table index uses.
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for k in 0u64..64 {
+            let mut h = FxHasher::default();
+            h.write_u64(k);
+            low_bits.insert(h.finish() >> 57);
+        }
+        assert!(low_bits.len() > 32, "only {} distinct", low_bits.len());
+    }
+}

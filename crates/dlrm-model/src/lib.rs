@@ -44,6 +44,7 @@
 
 pub mod embedding;
 pub mod error;
+pub mod hash;
 pub mod mlp;
 pub mod model;
 pub mod query;
@@ -52,6 +53,7 @@ pub mod train;
 
 pub use embedding::EmbeddingTable;
 pub use error::{ModelError, Result};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use mlp::{Activation, Linear, LinearGrads, Mlp};
 pub use model::{Dlrm, DlrmConfig};
 pub use query::{QueryBatch, SparseInput};

@@ -70,14 +70,27 @@ impl Linear {
     ///
     /// Fails on a shape mismatch.
     pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
-        let mut y = x.matmul(&self.weight)?;
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// [`Linear::forward`] writing into a caller-provided output matrix
+    /// (reshaped in place, allocation reused) — bit-identical results;
+    /// the row-slice [`Matrix::matmul_into`] does the heavy lifting.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a shape mismatch.
+    pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) -> Result<()> {
+        x.matmul_into(&self.weight, y)?;
         y.add_bias(&self.bias)?;
         match self.activation {
             Activation::Relu => y.relu_in_place(),
             Activation::Sigmoid => y.sigmoid_in_place(),
             Activation::None => {}
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Multiply-accumulate count for one sample (used by hardware cost
@@ -400,5 +413,25 @@ mod tests {
         let mlp = Mlp::new(&[4, 4], Activation::None, 0).unwrap();
         let x = Matrix::zeros(2, 5);
         assert!(mlp.forward(&x).is_err());
+    }
+
+    #[test]
+    fn forward_into_matches_forward_bit_for_bit() {
+        let layer = Linear::xavier(6, 5, Activation::Relu, 21).unwrap();
+        let x = Matrix::from_vec(
+            3,
+            6,
+            (0..18).map(|i| (i as f32 - 9.0) / 3.0).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let fresh = layer.forward(&x).unwrap();
+        // A reused (previously differently-shaped) buffer must converge
+        // to the same bits.
+        let mut reused = Matrix::zeros(7, 2);
+        layer.forward_into(&x, &mut reused).unwrap();
+        assert_eq!(fresh, reused);
+        for (a, b) in fresh.as_slice().iter().zip(reused.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

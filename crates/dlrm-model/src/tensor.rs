@@ -111,6 +111,26 @@ impl Matrix {
     ///
     /// Fails if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// `self @ other` written into the caller-provided `out`, which is
+    /// reshaped and zeroed in place (its allocation is reused when the
+    /// capacity suffices) — the allocation-free form of
+    /// [`Matrix::matmul`], bit-identical to it.
+    ///
+    /// The i-k-j loop order streams whole rows of `other` against one
+    /// output row slice (cache friendly, auto-vectorizable) and skips
+    /// zero left-hand entries; each output element still accumulates its
+    /// products in ascending-`k` order, so the result matches the naive
+    /// i-j-k ordering bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `self.cols != other.rows`; `out` is untouched then.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != other.rows {
             return Err(ModelError::ShapeMismatch {
                 op: "matmul",
@@ -118,22 +138,24 @@ impl Matrix {
                 rhs: (other.rows, other.cols),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: streams `other` rows, cache friendly.
+        out.rows = self.rows;
+        out.cols = other.cols;
+        out.data.clear();
+        out.data.resize(self.rows * other.cols, 0.0);
         for i in 0..self.rows {
-            let a_row = self.row(i);
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let b_row = other.row(k);
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Adds a bias row vector to every row in place.
@@ -291,6 +313,72 @@ mod tests {
             a.matmul(&b),
             Err(ModelError::ShapeMismatch { .. })
         ));
+        let mut out = Matrix::from_vec(1, 1, vec![42.0]).unwrap();
+        assert!(a.matmul_into(&b, &mut out).is_err());
+        // `out` untouched on error.
+        assert_eq!(out.as_slice(), &[42.0]);
+    }
+
+    /// Naive i-j-k matmul with the same zero-skip — the "old ordering"
+    /// reference. Every output element accumulates its products in
+    /// ascending-k order in both versions, so they must agree bit for
+    /// bit, not just approximately.
+    fn matmul_ijk(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut sum = 0.0f32;
+                for k in 0..a.cols() {
+                    let av = a.get(i, k);
+                    if av == 0.0 {
+                        continue;
+                    }
+                    sum += av * b.get(k, j);
+                }
+                out.set(i, j, sum);
+            }
+        }
+        out
+    }
+
+    /// Deterministic ill-conditioned-ish fill with sprinkled zeros so
+    /// the zero-skip path is exercised.
+    fn fill(rows: usize, cols: usize, seed: u32) -> Matrix {
+        let data = (0..rows * cols)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                if x.is_multiple_of(7) {
+                    0.0
+                } else {
+                    (x % 1000) as f32 / 99.0 - 5.0
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn matmul_ikj_bit_identical_to_ijk_reference() {
+        for (m, k, n, seed) in [(4, 7, 5, 1), (1, 16, 1, 2), (9, 3, 8, 3), (6, 6, 6, 4)] {
+            let a = fill(m, k, seed);
+            let b = fill(k, n, seed.wrapping_add(100));
+            let fast = a.matmul(&b).unwrap();
+            let reference = matmul_ijk(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "ikj diverged from ijk");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches_matmul() {
+        let mut out = Matrix::zeros(0, 0);
+        for seed in 0..4u32 {
+            let a = fill(5, 6, seed);
+            let b = fill(6, 4, seed + 50);
+            a.matmul_into(&b, &mut out).unwrap();
+            assert_eq!(out, a.matmul(&b).unwrap());
+        }
     }
 
     #[test]

@@ -18,12 +18,12 @@
 
 use crate::config::UpdlrmConfig;
 use crate::error::{CoreError, Result};
-use crate::kernel::{build_stream, DpuTask, EmbeddingKernel, CACHE_REF_BIT};
+use crate::kernel::{build_stream_into, DpuTask, EmbeddingKernel, StreamBuilder, CACHE_REF_BIT};
 use crate::partition::{self, PartitionStrategy, RowAssignment};
 use crate::tiling::{Tiling, TilingProblem};
-use cooccur_cache::{CacheListSet, CooccurGraph, PartialSumCache};
+use cooccur_cache::{CacheHit, CacheListSet, CooccurGraph, LookupScratch, PartialSumCache};
 use dlrm_model::{Dlrm, EmbeddingTable, Matrix, QueryBatch};
-use upmem_sim::{DpuId, PimConfig, PimSystem};
+use upmem_sim::{DpuId, LaunchReport, PimConfig, PimSystem};
 use workloads::{FreqProfile, Workload};
 
 /// Per-batch latency breakdown of the embedding layer (Fig. 10).
@@ -137,13 +137,13 @@ impl TableState {
     }
 }
 
-/// Output of stage-1 host routing for one batch: the per-partition
-/// reference streams plus the host-side counters that do not depend on
-/// which staging slot the batch is later scattered into.
+/// Host-side counters from stage-1 routing of one batch. The routed
+/// reference streams themselves live in the engine's [`BatchScratch`]
+/// (they can be scattered into either staging slot), so this is a small
+/// `Copy` value and routing a batch moves no buffers.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct RoutedBatch {
     pub(crate) batch_size: usize,
-    /// `(table, row_part, stream bytes)` per row partition.
-    pub(crate) streams: Vec<(usize, usize, Vec<u8>)>,
     pub(crate) route_ns: f64,
     pub(crate) cache_hits: u64,
     pub(crate) emt_lookups: u64,
@@ -181,6 +181,48 @@ impl Stage2Report {
     }
 }
 
+/// One routed reference stream: the `(table, part)` it belongs to plus
+/// its serialized bytes. The `(table, part)` labels are fixed at engine
+/// construction (every row partition emits exactly one stream per
+/// batch, in table-major order); only `bytes` changes per batch.
+#[derive(Debug)]
+struct StreamSlot {
+    table: usize,
+    part: usize,
+    bytes: Vec<u8>,
+}
+
+/// Reusable per-engine working memory for the per-batch pipeline. Every
+/// stage clears and refills its arena instead of allocating, so after
+/// the first (warm-up) batch the steady-state serving path performs no
+/// heap allocation — see `DESIGN.md` §4.5 for the ownership model.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Per-(partition, sample) routed references for the table being
+    /// routed, indexed `p * batch_size + s`. Grows to the largest
+    /// `row_parts x batch_size` seen and is never shrunk, so the inner
+    /// `Vec`s keep their capacity across tables and batches.
+    refs: Vec<Vec<u32>>,
+    /// One serialized stream per (table, row partition), fixed order.
+    streams: Vec<StreamSlot>,
+    /// Dedup-format stream serializer state.
+    builder: StreamBuilder,
+    /// Cache lookup working set (cache-aware partitioning only).
+    lookup: LookupScratch,
+    hit: CacheHit,
+    /// Stage-3 gather request list (lengths depend on the batch size).
+    requests: Vec<(DpuId, u32, usize)>,
+    /// Staging buffer for all gathered partial-sum rows.
+    gather_buf: Vec<u8>,
+    /// Recycled per-launch report (per-DPU stats vectors reused).
+    launch: LaunchReport,
+    /// Per-DPU cycle counts across all table groups of one batch.
+    all_cycles: Vec<u64>,
+    /// Returned pooled-output sets available for reuse (see
+    /// [`UpdlrmEngine::recycle_pooled`]).
+    matrix_pool: Vec<Vec<Matrix>>,
+}
+
 /// The UpDLRM system: a PIM array loaded with partitioned embedding
 /// tables, executing the three-stage embedding pipeline per batch.
 ///
@@ -213,6 +255,19 @@ pub struct UpdlrmEngine {
     sys: PimSystem,
     config: UpdlrmConfig,
     tables: Vec<TableState>,
+    /// One prebuilt kernel per (table, staging slot): tasks are
+    /// registered once at construction; only each task's `n_samples` is
+    /// updated per launch, so stage 2 builds nothing per batch.
+    kernels: Vec<[EmbeddingKernel; STAGING_SLOTS]>,
+    /// Launch-order DPU ids per table (row-part major, col-slice minor).
+    table_ids: Vec<Vec<DpuId>>,
+    /// Broadcast target group per reference stream, aligned with
+    /// `BatchScratch::streams`.
+    stream_groups: Vec<Vec<DpuId>>,
+    /// `(table, col slice)` per stage-3 gather request, in request order.
+    gather_meta: Vec<(usize, usize)>,
+    scratch: BatchScratch,
+    pub(crate) serve_scratch: crate::serve::ServeScratch,
 }
 
 impl std::fmt::Debug for UpdlrmEngine {
@@ -290,10 +345,67 @@ impl UpdlrmEngine {
             Self::load_table(&mut sys, table, &state)?;
             states.push(state);
         }
+
+        // Batch-independent launch/scatter/gather structure, fixed for
+        // the engine's lifetime so no per-batch call rebuilds it.
+        let mut kernels = Vec::with_capacity(states.len());
+        let mut table_ids = Vec::with_capacity(states.len());
+        let mut stream_groups = Vec::new();
+        let mut gather_meta = Vec::new();
+        let mut streams = Vec::new();
+        for (t, state) in states.iter().enumerate() {
+            let kset: [EmbeddingKernel; STAGING_SLOTS] = std::array::from_fn(|slot| {
+                let mut kernel = EmbeddingKernel::new(state.tiling.row_bytes(), config.dedup);
+                for p in 0..state.tiling.row_parts {
+                    for c in 0..state.tiling.col_slices {
+                        kernel.set_task(
+                            state.dpu(p, c),
+                            DpuTask {
+                                emt_base: 0,
+                                cache_base: state.cache_base,
+                                input_base: state.input_base(slot),
+                                output_base: state.output_base(slot),
+                                n_samples: 0,
+                            },
+                        );
+                    }
+                }
+                kernel
+            });
+            let mut ids = Vec::new();
+            for p in 0..state.tiling.row_parts {
+                for c in 0..state.tiling.col_slices {
+                    ids.push(state.dpu(p, c));
+                    gather_meta.push((t, c));
+                }
+                stream_groups.push(
+                    (0..state.tiling.col_slices)
+                        .map(|c| state.dpu(p, c))
+                        .collect(),
+                );
+                streams.push(StreamSlot {
+                    table: t,
+                    part: p,
+                    bytes: Vec::new(),
+                });
+            }
+            kernels.push(kset);
+            table_ids.push(ids);
+        }
+
         Ok(UpdlrmEngine {
             sys,
             config,
             tables: states,
+            kernels,
+            table_ids,
+            stream_groups,
+            gather_meta,
+            scratch: BatchScratch {
+                streams,
+                ..BatchScratch::default()
+            },
+            serve_scratch: crate::serve::ServeScratch::default(),
         })
     }
 
@@ -619,7 +731,7 @@ impl UpdlrmEngine {
     pub fn run_batch(&mut self, batch: &QueryBatch) -> Result<(Vec<Matrix>, EmbeddingBreakdown)> {
         let routed = self.route_batch(batch)?;
         let mut breakdown = routed.breakdown_seed();
-        let scatter = self.scatter_streams(&routed, 0)?;
+        let scatter = self.scatter_streams(0)?;
         breakdown.stage1_ns = scatter.wall_ns;
         breakdown.energy_pj += scatter.energy_pj;
         let stage2 = self.launch_stage2(routed.batch_size, 0)?;
@@ -632,10 +744,11 @@ impl UpdlrmEngine {
     }
 
     /// Stage-1 host preprocessing: validates the batch and builds the
-    /// per-partition reference streams (padded when `pad_transfers`),
-    /// without touching the PIM array. The result can be scattered into
-    /// either staging slot.
-    pub(crate) fn route_batch(&self, batch: &QueryBatch) -> Result<RoutedBatch> {
+    /// per-partition reference streams (padded when `pad_transfers`)
+    /// into the engine's [`BatchScratch`], without touching the PIM
+    /// array. The routed streams can be scattered into either staging
+    /// slot; only the returned counters are batch-specific.
+    pub(crate) fn route_batch(&mut self, batch: &QueryBatch) -> Result<RoutedBatch> {
         batch.validate()?;
         if batch.sparse.len() != self.tables.len() {
             return Err(CoreError::InvalidConfig(format!(
@@ -649,147 +762,175 @@ impl UpdlrmEngine {
         for state in &self.tables {
             // The kernel's shared WRAM accumulator block must leave room
             // for per-tasklet locals.
-            let acc = b * state.tiling.row_bytes();
+            let row_bytes = state.tiling.row_bytes();
+            let acc = b * row_bytes;
             if acc + tasklets * 64 > upmem_sim::arch::WRAM_CAPACITY {
                 return Err(CoreError::InvalidConfig(format!(
-                    "batch {b} x {} B rows needs {acc} B of WRAM accumulators (64 KB available)",
-                    state.tiling.row_bytes()
+                    "batch {b} x {row_bytes} B rows needs {acc} B of WRAM accumulators (64 KB available)"
+                )));
+            }
+            // Each MRAM staging slot's partial-sum region was sized for
+            // `config.batch_size` samples (x2 slack) at construction; a
+            // larger batch would silently overflow into the next region.
+            let out_cap = self.config.batch_size * 2;
+            if b > out_cap {
+                return Err(CoreError::InvalidConfig(format!(
+                    "batch of {b} samples exceeds the {out_cap} staged output rows per DPU \
+                     (engine was built with config.batch_size = {}; raise it)",
+                    self.config.batch_size
                 )));
             }
         }
 
         let mut routed = RoutedBatch {
             batch_size: b,
-            streams: Vec::new(),
             route_ns: 0.0,
             cache_hits: 0,
             emt_lookups: 0,
         };
         let mut route_refs = 0usize;
-        for (t, state) in self.tables.iter().enumerate() {
+        let UpdlrmEngine {
+            tables,
+            config,
+            scratch,
+            ..
+        } = self;
+        let mut k = 0usize; // stream slot index, table-major then part
+        for (t, state) in tables.iter().enumerate() {
             let sparse = &batch.sparse[t];
             let parts = state.tiling.row_parts;
-            let mut refs_by_part: Vec<Vec<Vec<u32>>> =
-                (0..parts).map(|_| vec![Vec::new(); b]).collect();
+            // The refs arena only ever grows: indexed `p * b + s` for
+            // this table, each inner Vec keeps its capacity.
+            let need = parts * b;
+            if scratch.refs.len() < need {
+                scratch.refs.resize_with(need, Vec::new);
+            }
+            let refs = &mut scratch.refs[..need];
+            for v in refs.iter_mut() {
+                v.clear();
+            }
             #[allow(clippy::needless_range_loop)] // s indexes two structures
             for s in 0..b {
                 let sample = sparse.sample(s);
                 route_refs += sample.len();
                 match &state.cache {
                     Some(cs) => {
-                        let hit = cs.store.lookup(sample);
-                        routed.cache_hits += hit.entries.len() as u64;
-                        routed.emt_lookups += hit.residual.len() as u64;
-                        for &e in &hit.entries {
+                        cs.store
+                            .lookup_into(sample, &mut scratch.lookup, &mut scratch.hit);
+                        routed.cache_hits += scratch.hit.entries.len() as u64;
+                        routed.emt_lookups += scratch.hit.residual.len() as u64;
+                        for &e in &scratch.hit.entries {
                             let p = cs.entry_part[e] as usize;
-                            refs_by_part[p][s].push(CACHE_REF_BIT | cs.entry_slot[e]);
+                            refs[p * b + s].push(CACHE_REF_BIT | cs.entry_slot[e]);
                         }
-                        for &idx in &hit.residual {
-                            let (p, slot) = self.route_row(state, idx, s)?;
-                            refs_by_part[p][s].push(slot);
+                        for &idx in &scratch.hit.residual {
+                            let (p, slot) = Self::route_row(state, idx, s)?;
+                            refs[p * b + s].push(slot);
                         }
                     }
                     None => {
                         routed.emt_lookups += sample.len() as u64;
                         for &idx in sample {
-                            let (p, slot) = self.route_row(state, idx, s)?;
-                            refs_by_part[p][s].push(slot);
+                            let (p, slot) = Self::route_row(state, idx, s)?;
+                            refs[p * b + s].push(slot);
                         }
                     }
                 }
             }
-            for (p, refs) in refs_by_part.into_iter().enumerate() {
-                let stream = build_stream(&refs, tasklets, self.config.dedup);
-                if stream.len() > self.config.input_reserve_bytes {
+            for p in 0..parts {
+                let slot = &mut scratch.streams[k];
+                debug_assert_eq!((slot.table, slot.part), (t, p));
+                build_stream_into(
+                    &refs[p * b..(p + 1) * b],
+                    tasklets,
+                    config.dedup,
+                    &mut scratch.builder,
+                    &mut slot.bytes,
+                );
+                if slot.bytes.len() > config.input_reserve_bytes {
                     return Err(CoreError::CapacityExceeded {
                         partition: p,
-                        required: stream.len(),
-                        available: self.config.input_reserve_bytes,
+                        required: slot.bytes.len(),
+                        available: config.input_reserve_bytes,
                     });
                 }
-                routed.streams.push((t, p, stream));
+                k += 1;
             }
         }
-        routed.route_ns = route_refs as f64 * self.config.route_ns_per_ref;
-        if self.config.pad_transfers {
-            let max_len = routed
+        routed.route_ns = route_refs as f64 * config.route_ns_per_ref;
+        if config.pad_transfers {
+            let max_len = scratch
                 .streams
                 .iter()
-                .map(|(_, _, s)| s.len())
+                .map(|s| s.bytes.len())
                 .max()
                 .unwrap_or(0);
-            for (_, _, s) in &mut routed.streams {
-                s.resize(max_len, 0);
+            for s in &mut scratch.streams {
+                s.bytes.resize(max_len, 0);
             }
         }
         Ok(routed)
     }
 
-    /// Stage 1: scatters the routed reference streams into staging slot
-    /// `slot` (each row partition's stream is broadcast to all of its
-    /// column slices in a single bus pass).
-    pub(crate) fn scatter_streams(
-        &mut self,
-        routed: &RoutedBatch,
-        slot: usize,
-    ) -> Result<upmem_sim::TransferReport> {
-        let groups_ids: Vec<Vec<DpuId>> = routed
-            .streams
-            .iter()
-            .map(|(t, p, _)| {
-                let state = &self.tables[*t];
-                (0..state.tiling.col_slices)
-                    .map(|c| state.dpu(*p, c))
-                    .collect()
-            })
-            .collect();
-        let transfers: Vec<(&[DpuId], u32, &[u8])> = routed
-            .streams
-            .iter()
-            .zip(groups_ids.iter())
-            .map(|((t, _, stream), ids)| {
-                (
-                    ids.as_slice(),
-                    self.tables[*t].input_base(slot),
-                    stream.as_slice(),
-                )
-            })
-            .collect();
-        Ok(self.sys.scatter_broadcast(&transfers)?)
+    /// Stage 1: scatters the routed reference streams (left in
+    /// [`BatchScratch`] by [`UpdlrmEngine::route_batch`]) into staging
+    /// slot `slot` (each row partition's stream is broadcast to all of
+    /// its column slices in a single bus pass). Allocation-free: the
+    /// broadcast groups were precomputed at construction.
+    pub(crate) fn scatter_streams(&mut self, slot: usize) -> Result<upmem_sim::TransferReport> {
+        let UpdlrmEngine {
+            sys,
+            tables,
+            stream_groups,
+            scratch,
+            ..
+        } = self;
+        Ok(
+            sys.scatter_broadcast_with(scratch.streams.iter().zip(stream_groups.iter()).map(
+                |(s, ids)| {
+                    (
+                        ids.as_slice(),
+                        tables[s.table].input_base(slot),
+                        s.bytes.as_slice(),
+                    )
+                },
+            ))?,
+        )
     }
 
     /// Stage 2: launches the embedding kernels reading slot `slot`'s
     /// reference streams and writing its partial-sum region (all table
     /// groups run concurrently; the wall is the slowest group).
+    ///
+    /// The kernels are the prebuilt per-(table, slot) instances: only
+    /// `n_samples` changes per batch, and the launch report plus cycle
+    /// list are recycled through [`BatchScratch`].
     pub(crate) fn launch_stage2(&mut self, n_samples: usize, slot: usize) -> Result<Stage2Report> {
+        let UpdlrmEngine {
+            sys,
+            kernels,
+            table_ids,
+            scratch,
+            ..
+        } = self;
         let mut out = Stage2Report::default();
-        let mut all_cycles: Vec<u64> = Vec::new();
-        for state in self.tables.iter() {
-            let mut kernel = EmbeddingKernel::new(state.tiling.row_bytes(), self.config.dedup);
-            let mut ids = Vec::new();
-            for p in 0..state.tiling.row_parts {
-                for c in 0..state.tiling.col_slices {
-                    let dpu = state.dpu(p, c);
-                    ids.push(dpu);
-                    kernel.set_task(
-                        dpu,
-                        DpuTask {
-                            emt_base: 0,
-                            cache_base: state.cache_base,
-                            input_base: state.input_base(slot),
-                            output_base: state.output_base(slot),
-                            n_samples: n_samples as u32,
-                        },
-                    );
-                }
+        scratch.all_cycles.clear();
+        for (kset, ids) in kernels.iter_mut().zip(table_ids.iter()) {
+            let kernel = &mut kset[slot];
+            for task in kernel.tasks.values_mut() {
+                task.n_samples = n_samples as u32;
             }
-            let report = self.sys.launch(&ids, &kernel)?;
+            sys.launch_into(ids, &*kernel, &mut scratch.launch)?;
+            let report = &scratch.launch;
             out.wall_ns = out.wall_ns.max(report.wall_ns);
             out.energy_pj += report.energy_pj;
             out.dma_transfers += report.total_dma_transfers();
             out.instrs += report.total_instrs();
-            all_cycles.extend(report.per_dpu.iter().map(|(_, s)| s.cycles.0));
+            scratch
+                .all_cycles
+                .extend(report.per_dpu.iter().map(|(_, s)| s.cycles.0));
         }
+        let all_cycles = &scratch.all_cycles;
         if !all_cycles.is_empty() {
             let max = *all_cycles.iter().max().expect("nonempty") as f64;
             let mean = all_cycles.iter().sum::<u64>() as f64 / all_cycles.len() as f64;
@@ -803,32 +944,57 @@ impl UpdlrmEngine {
     /// pooled embeddings, the modeled host combine time, and the bus
     /// transfer report.
     pub(crate) fn gather_combine(
-        &self,
+        &mut self,
         n_samples: usize,
         slot: usize,
     ) -> Result<(Vec<Matrix>, f64, upmem_sim::TransferReport)> {
         let b = n_samples;
-        let mut requests: Vec<(DpuId, u32, usize)> = Vec::new();
-        let mut request_meta: Vec<(usize, usize)> = Vec::new(); // (table, slice)
-        for (t, state) in self.tables.iter().enumerate() {
+        let UpdlrmEngine {
+            sys,
+            tables,
+            gather_meta,
+            scratch,
+            config,
+            ..
+        } = self;
+        scratch.requests.clear();
+        for state in tables.iter() {
             let row_bytes = state.tiling.row_bytes();
             for p in 0..state.tiling.row_parts {
                 for c in 0..state.tiling.col_slices {
-                    requests.push((state.dpu(p, c), state.output_base(slot), b * row_bytes));
-                    request_meta.push((t, c));
+                    scratch.requests.push((
+                        state.dpu(p, c),
+                        state.output_base(slot),
+                        b * row_bytes,
+                    ));
                 }
             }
         }
-        let (buffers, gather_report) = self.sys.gather(&requests)?;
+        let gather_report = sys.gather_into(&scratch.requests, &mut scratch.gather_buf)?;
 
-        let mut pooled: Vec<Matrix> = self
-            .tables
-            .iter()
-            .map(|s| Matrix::zeros(b, s.dim))
-            .collect();
+        // Pooled outputs come from the recycle pool when a returned set
+        // matches this batch's shape; zeroing reuses the allocation.
+        let mut pooled: Vec<Matrix> = match scratch.matrix_pool.pop() {
+            Some(mut set)
+                if set.len() == tables.len()
+                    && set
+                        .iter()
+                        .zip(tables.iter())
+                        .all(|(m, s)| m.rows() == b && m.cols() == s.dim) =>
+            {
+                for m in &mut set {
+                    m.as_mut_slice().fill(0.0);
+                }
+                set
+            }
+            _ => tables.iter().map(|s| Matrix::zeros(b, s.dim)).collect(),
+        };
         let mut combine_adds = 0u64;
-        for (buf, &(t, c)) in buffers.iter().zip(request_meta.iter()) {
-            let state = &self.tables[t];
+        let mut off = 0usize;
+        for (&(_, _, len), &(t, c)) in scratch.requests.iter().zip(gather_meta.iter()) {
+            let buf = &scratch.gather_buf[off..off + len];
+            off += len;
+            let state = &tables[t];
             let n_c = state.tiling.n_c;
             let row_bytes = state.tiling.row_bytes();
             for s in 0..b {
@@ -841,11 +1007,21 @@ impl UpdlrmEngine {
                 combine_adds += n_c as u64;
             }
         }
-        let combine_ns = combine_adds as f64 * self.config.combine_ns_per_add;
+        let combine_ns = combine_adds as f64 * config.combine_ns_per_add;
         Ok((pooled, combine_ns, gather_report))
     }
 
-    fn route_row(&self, state: &TableState, idx: u64, sample: usize) -> Result<(usize, u32)> {
+    /// Returns a pooled-output set for reuse by a later
+    /// [`UpdlrmEngine::gather_combine`]. The serving path recycles every
+    /// set after handing it to the sink, which is what makes steady-state
+    /// serving allocation-free; `run_batch` callers keep theirs.
+    pub(crate) fn recycle_pooled(&mut self, set: Vec<Matrix>) {
+        if self.scratch.matrix_pool.len() <= STAGING_SLOTS {
+            self.scratch.matrix_pool.push(set);
+        }
+    }
+
+    fn route_row(state: &TableState, idx: u64, sample: usize) -> Result<(usize, u32)> {
         let r = idx as usize;
         if r >= state.assignment.part_of_row.len() {
             return Err(CoreError::Model(dlrm_model::ModelError::IndexOutOfRange {

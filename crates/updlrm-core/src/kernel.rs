@@ -28,7 +28,9 @@
 //! (slot within this partition's cached combination rows), otherwise
 //! the EMT region.
 
+use dlrm_model::FxHashMap;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use upmem_sim::{DpuId, Kernel, SimError, TaskletCtx};
 
 /// High bit of a reference word: set = cache region, clear = EMT region.
@@ -60,7 +62,7 @@ pub struct DpuTask {
 /// * **Dedup** (`dedup = true`, an extension): unique rows are dealt
 ///   round-robin to tasklets, accumulated into shared WRAM and written
 ///   back after a barrier ([`Kernel::finalize`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct EmbeddingKernel {
     /// Bytes per row (`N_c * 4`), a multiple of 8.
     pub row_bytes: usize,
@@ -68,6 +70,27 @@ pub struct EmbeddingKernel {
     pub dedup: bool,
     /// Per-DPU parameters; DPUs not present return immediately.
     pub tasks: HashMap<DpuId, DpuTask>,
+    /// Reusable per-DPU tasklet scratch (row/accumulator/stream
+    /// buffers). Behind a `Mutex` only to satisfy `Kernel: Sync`: all
+    /// tasklets of one DPU run sequentially on one host thread, and
+    /// parallel launch workers own disjoint DPU sets, so every lock is
+    /// uncontended. Warmed buffers make steady-state runs allocation
+    /// free.
+    scratch: HashMap<DpuId, Mutex<TaskletScratch>>,
+}
+
+/// Reusable buffers for one DPU's tasklets (see
+/// [`EmbeddingKernel::scratch`](EmbeddingKernel)).
+#[derive(Debug, Default)]
+struct TaskletScratch {
+    /// One embedding row fetched from MRAM.
+    row: Vec<u8>,
+    /// Serialized output row staged for the MRAM write-back.
+    out_row: Vec<u8>,
+    /// f32 accumulator (CSR mode).
+    acc: Vec<f32>,
+    /// Padded-DMA staging window (reference array / tasklet stream).
+    io: Vec<u8>,
 }
 
 impl EmbeddingKernel {
@@ -78,33 +101,71 @@ impl EmbeddingKernel {
             row_bytes,
             dedup,
             tasks: HashMap::new(),
+            scratch: HashMap::new(),
         }
     }
 
-    /// Registers one DPU's launch parameters.
+    /// Registers one DPU's launch parameters (and allocates its
+    /// reusable scratch entry).
     pub fn set_task(&mut self, dpu: DpuId, task: DpuTask) {
         self.tasks.insert(dpu, task);
+        self.scratch.entry(dpu).or_default();
+    }
+
+    /// Locks `dpu`'s scratch and runs `f` with it; DPUs registered
+    /// through [`EmbeddingKernel::set_task`] always have one, but a
+    /// task inserted directly into [`EmbeddingKernel::tasks`] falls
+    /// back to a temporary.
+    fn with_scratch<R>(&self, dpu: DpuId, f: impl FnOnce(&mut TaskletScratch) -> R) -> R {
+        match self.scratch.get(&dpu) {
+            Some(m) => f(&mut m.lock().unwrap_or_else(|e| e.into_inner())),
+            None => f(&mut TaskletScratch::default()),
+        }
     }
 }
 
-/// Reads `len` bytes at (possibly unaligned) `addr` via aligned DMA.
-fn read_padded(ctx: &mut TaskletCtx<'_>, addr: u32, len: usize) -> Result<Vec<u8>, SimError> {
+/// Reads `len` bytes at (possibly unaligned) `addr` via aligned DMA
+/// into the staging buffer `out` (reusing its capacity), returning the
+/// offset of the first requested byte: the data is
+/// `&out[lead..lead + len]`. DMA chunking and charges are identical to
+/// reading through an owned buffer.
+fn read_padded_into(
+    ctx: &mut TaskletCtx<'_>,
+    addr: u32,
+    len: usize,
+    out: &mut Vec<u8>,
+) -> Result<usize, SimError> {
+    out.clear();
     if len == 0 {
-        return Ok(Vec::new());
+        return Ok(0);
     }
     let start = addr & !7;
     let end = (addr as usize + len + 7) & !7;
-    let mut out = vec![0u8; end - start as usize];
+    let window = end - start as usize;
+    out.resize(window, 0);
     let mut off = 0usize;
-    while off < out.len() {
-        let chunk = (out.len() - off).min(2048);
+    while off < window {
+        let chunk = (window - off).min(2048);
         ctx.mram_read(start + off as u32, &mut out[off..off + chunk])?;
         off += chunk;
     }
+    Ok((addr - start) as usize)
+}
+
+/// Reads two consecutive `u32` offsets at (possibly unaligned) `addr`
+/// through a stack window — the 8-byte request spans at most 16 aligned
+/// bytes, so this is always a single DMA, charged exactly like the
+/// general path.
+fn read_offset_pair(ctx: &mut TaskletCtx<'_>, addr: u32) -> Result<(u32, u32), SimError> {
+    let start = addr & !7;
+    let end = (addr as usize + 8 + 7) & !7;
+    let mut buf = [0u8; 16];
+    ctx.mram_read(start, &mut buf[..end - start as usize])?;
     let lead = (addr - start) as usize;
-    out.drain(..lead);
-    out.truncate(len);
-    Ok(out)
+    Ok((
+        u32::from_le_bytes(buf[lead..lead + 4].try_into().expect("4-byte window")),
+        u32::from_le_bytes(buf[lead + 4..lead + 8].try_into().expect("4-byte window")),
+    ))
 }
 
 fn u32_at(buf: &[u8], idx: usize) -> u32 {
@@ -118,48 +179,55 @@ fn u32_at(buf: &[u8], idx: usize) -> u32 {
 
 impl EmbeddingKernel {
     /// CSR mode: each tasklet serves its own samples end to end.
-    fn run_csr(&self, ctx: &mut TaskletCtx<'_>, task: DpuTask) -> Result<(), SimError> {
+    fn run_csr(
+        &self,
+        ctx: &mut TaskletCtx<'_>,
+        task: DpuTask,
+        scr: &mut TaskletScratch,
+    ) -> Result<(), SimError> {
         let t = ctx.tasklet_id();
         let n_tasklets = ctx.n_tasklets();
         let n_c = self.row_bytes / 4;
         let n_samples = task.n_samples as usize;
         let refs_base = task.input_base + (((n_samples + 1) * 4 + 7) & !7) as u32;
-        let mut row = vec![0u8; self.row_bytes];
-        let mut out_row = vec![0u8; self.row_bytes];
+        scr.row.resize(self.row_bytes, 0);
+        scr.out_row.resize(self.row_bytes, 0);
         let mut s = t;
         while s < n_samples {
             // offsets[s], offsets[s+1]
-            let off = read_padded(ctx, task.input_base + (4 * s) as u32, 8)?;
+            let (start, end) = read_offset_pair(ctx, task.input_base + (4 * s) as u32)?;
             ctx.charge_int_ops(4);
-            let start = u32_at(&off, 0) as usize;
-            let end = u32_at(&off, 1) as usize;
+            let (start, end) = (start as usize, end as usize);
             if end < start {
                 return Err(SimError::KernelFault(format!(
                     "sample {s}: offsets decrease ({start}..{end})"
                 )));
             }
-            let refs = read_padded(ctx, refs_base + (4 * start) as u32, 4 * (end - start))?;
-            let mut acc = vec![0.0f32; n_c];
+            let n_refs = end - start;
+            let lead =
+                read_padded_into(ctx, refs_base + (4 * start) as u32, 4 * n_refs, &mut scr.io)?;
+            scr.acc.clear();
+            scr.acc.resize(n_c, 0.0);
             ctx.charge_int_ops((n_c / 2) as u64);
-            for i in 0..(end - start) {
-                let r = u32_at(&refs, i);
+            for i in 0..n_refs {
+                let r = u32_at(&scr.io[lead..], i);
                 let slot = (r & !CACHE_REF_BIT) as usize;
                 let base = if r & CACHE_REF_BIT != 0 {
                     task.cache_base
                 } else {
                     task.emt_base
                 };
-                ctx.mram_read(base + (slot * self.row_bytes) as u32, &mut row)?;
+                ctx.mram_read(base + (slot * self.row_bytes) as u32, &mut scr.row)?;
                 ctx.charge_loop(1);
-                for (c, chunk) in row.chunks_exact(4).enumerate() {
-                    acc[c] += f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                for (a, chunk) in scr.acc.iter_mut().zip(scr.row.chunks_exact(4)) {
+                    *a += f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
                 }
                 ctx.charge_accumulate(n_c as u64);
             }
-            for (c, b) in out_row.chunks_exact_mut(4).enumerate() {
-                b.copy_from_slice(&acc[c].to_le_bytes());
+            for (b, a) in scr.out_row.chunks_exact_mut(4).zip(scr.acc.iter()) {
+                b.copy_from_slice(&a.to_le_bytes());
             }
-            ctx.mram_write(task.output_base + (s * self.row_bytes) as u32, &out_row)?;
+            ctx.mram_write(task.output_base + (s * self.row_bytes) as u32, &scr.out_row)?;
             ctx.charge_loop(1);
             s += n_tasklets;
         }
@@ -186,8 +254,52 @@ impl Kernel for EmbeddingKernel {
             return Ok(());
         };
         if !self.dedup {
-            return self.run_csr(ctx, task);
+            return self.with_scratch(ctx.dpu_id(), |scr| self.run_csr(ctx, task, scr));
         }
+        self.with_scratch(ctx.dpu_id(), |scr| self.run_dedup(ctx, task, scr))
+    }
+
+    fn finalize(&self, ctx: &mut TaskletCtx<'_>) -> Result<(), SimError> {
+        // Post-barrier phase (dedup mode only): each tasklet writes its
+        // share of the per-sample output rows from the shared
+        // accumulators to MRAM.
+        if !self.dedup {
+            return Ok(());
+        }
+        let Some(task) = self.tasks.get(&ctx.dpu_id()).copied() else {
+            return Ok(());
+        };
+        self.with_scratch(ctx.dpu_id(), |scr| {
+            let t = ctx.tasklet_id();
+            let n_tasklets = ctx.n_tasklets();
+            let n_samples = task.n_samples as usize;
+            scr.out_row.resize(self.row_bytes, 0);
+            let mut s = t;
+            while s < n_samples {
+                let off = s * self.row_bytes;
+                {
+                    let shared = ctx.shared_wram();
+                    scr.out_row
+                        .copy_from_slice(&shared[off..off + self.row_bytes]);
+                }
+                ctx.mram_write(task.output_base + off as u32, &scr.out_row)?;
+                ctx.charge_loop(1);
+                s += n_tasklets;
+            }
+            Ok(())
+        })
+    }
+}
+
+impl EmbeddingKernel {
+    /// Dedup mode: unique rows dealt round-robin, accumulated into the
+    /// shared WRAM block.
+    fn run_dedup(
+        &self,
+        ctx: &mut TaskletCtx<'_>,
+        task: DpuTask,
+        scr: &mut TaskletScratch,
+    ) -> Result<(), SimError> {
         let t = ctx.tasklet_id();
         let n_tasklets = ctx.n_tasklets();
         let n_c = self.row_bytes / 4;
@@ -202,11 +314,11 @@ impl Kernel for EmbeddingKernel {
         }
 
         // Header: stream end-offsets for every tasklet.
-        let header = read_padded(ctx, task.input_base, (n_tasklets + 2) * 4)?;
+        let hlead = read_padded_into(ctx, task.input_base, (n_tasklets + 2) * 4, &mut scr.io)?;
         ctx.charge_int_ops(4);
         let streams_base = task.input_base + (((n_tasklets + 2) * 4 + 7) & !7) as u32;
-        let start = u32_at(&header, t);
-        let end = u32_at(&header, t + 1);
+        let start = u32_at(&scr.io[hlead..], t);
+        let end = u32_at(&scr.io[hlead..], t + 1);
         if end < start {
             return Err(SimError::KernelFault(format!(
                 "tasklet {t}: stream ends before it starts ({start}..{end})"
@@ -214,20 +326,22 @@ impl Kernel for EmbeddingKernel {
         }
 
         // Stream this tasklet's unique-row entries (chunked MRAM reads).
-        let stream = read_padded(ctx, streams_base + start, (end - start) as usize)?;
-        if !stream.is_empty() {
-            let n_entries = u32_at(&stream, 0) as usize;
+        // The header has been consumed, so the staging buffer is reused.
+        let slen = (end - start) as usize;
+        let slead = read_padded_into(ctx, streams_base + start, slen, &mut scr.io)?;
+        if slen > 0 {
+            scr.row.resize(self.row_bytes, 0);
+            let n_entries = u32_at(&scr.io[slead..], 0) as usize;
             ctx.charge_int_ops(2);
             let mut pos = 1usize; // u32 cursor
-            let mut row = vec![0u8; self.row_bytes];
             for _ in 0..n_entries {
-                if (pos + 2) * 4 > stream.len() {
+                if (pos + 2) * 4 > slen {
                     return Err(SimError::KernelFault("truncated stream entry".into()));
                 }
-                let r = u32_at(&stream, pos);
-                let k = u32_at(&stream, pos + 1) as usize;
+                let r = u32_at(&scr.io[slead..], pos);
+                let k = u32_at(&scr.io[slead..], pos + 1) as usize;
                 pos += 2;
-                if (pos + k) * 4 > stream.len() {
+                if (pos + k) * 4 > slen {
                     return Err(SimError::KernelFault("truncated sample id list".into()));
                 }
                 // Resolve the row address and fetch it once.
@@ -238,12 +352,20 @@ impl Kernel for EmbeddingKernel {
                     task.emt_base
                 };
                 let addr = base + (slot * self.row_bytes) as u32;
-                ctx.mram_read(addr, &mut row)?;
+                ctx.mram_read(addr, &mut scr.row)?;
                 ctx.charge_loop(1);
+                // Decode the row to f32 once; it is added into every
+                // referencing sample below.
+                scr.acc.clear();
+                scr.acc.extend(
+                    scr.row
+                        .chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk"))),
+                );
                 // Accumulate into each referencing sample's shared row
                 // (mutex-guarded on hardware; cost inside the charge).
                 for j in 0..k {
-                    let sample = u32_at(&stream, pos + j) as usize;
+                    let sample = u32_at(&scr.io[slead..], pos + j) as usize;
                     if sample >= n_samples {
                         return Err(SimError::KernelFault(format!(
                             "sample id {sample} out of range {n_samples}"
@@ -251,16 +373,11 @@ impl Kernel for EmbeddingKernel {
                     }
                     let off = sample * self.row_bytes;
                     let shared = ctx.shared_wram();
-                    for (c, chunk) in row.chunks_exact(4).enumerate() {
-                        let cur = f32::from_le_bytes([
-                            shared[off + 4 * c],
-                            shared[off + 4 * c + 1],
-                            shared[off + 4 * c + 2],
-                            shared[off + 4 * c + 3],
-                        ]);
-                        let v = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-                        shared[off + 4 * c..off + 4 * c + 4]
-                            .copy_from_slice(&(cur + v).to_le_bytes());
+                    let dst = &mut shared[off..off + self.row_bytes];
+                    for (d, &v) in dst.chunks_exact_mut(4).zip(scr.acc.iter()) {
+                        let cur =
+                            f32::from_le_bytes(<[u8; 4]>::try_from(&d[..]).expect("4-byte chunk"));
+                        d.copy_from_slice(&(cur + v).to_le_bytes());
                     }
                     ctx.charge_accumulate(n_c as u64);
                 }
@@ -268,34 +385,6 @@ impl Kernel for EmbeddingKernel {
             }
         }
 
-        Ok(())
-    }
-
-    fn finalize(&self, ctx: &mut TaskletCtx<'_>) -> Result<(), SimError> {
-        // Post-barrier phase (dedup mode only): each tasklet writes its
-        // share of the per-sample output rows from the shared
-        // accumulators to MRAM.
-        if !self.dedup {
-            return Ok(());
-        }
-        let Some(task) = self.tasks.get(&ctx.dpu_id()).copied() else {
-            return Ok(());
-        };
-        let t = ctx.tasklet_id();
-        let n_tasklets = ctx.n_tasklets();
-        let n_samples = task.n_samples as usize;
-        let mut out_row = vec![0u8; self.row_bytes];
-        let mut s = t;
-        while s < n_samples {
-            let off = s * self.row_bytes;
-            {
-                let shared = ctx.shared_wram();
-                out_row.copy_from_slice(&shared[off..off + self.row_bytes]);
-            }
-            ctx.mram_write(task.output_base + off as u32, &out_row)?;
-            ctx.charge_loop(1);
-            s += n_tasklets;
-        }
         Ok(())
     }
 }
@@ -316,85 +405,136 @@ impl Kernel for EmbeddingKernel {
 ///
 /// Returns the bytes to write at `input_base` (8-byte padded).
 pub fn build_stream(refs_per_sample: &[Vec<u32>], n_tasklets: usize, dedup: bool) -> Vec<u8> {
+    let mut builder = StreamBuilder::default();
+    let mut out = Vec::new();
+    build_stream_into(refs_per_sample, n_tasklets, dedup, &mut builder, &mut out);
+    out
+}
+
+/// Reusable working state for [`build_stream_into`]: the dedup format's
+/// first-seen-order index and per-tasklet streams. One builder serves
+/// any number of streams; a warm builder makes stream construction
+/// allocation free.
+#[derive(Debug, Default)]
+pub struct StreamBuilder {
+    /// ref -> slot in `order`/`users`. Probed once per reference on the
+    /// serving path, hence the fast hasher.
+    index: FxHashMap<u32, usize>,
+    /// Unique refs in first-seen order.
+    order: Vec<u32>,
+    /// Sample ids per unique ref, parallel to `order` (recycled
+    /// lazily: only the first `order.len()` entries are live).
+    users: Vec<Vec<u32>>,
+    /// Per-tasklet u32 streams.
+    streams: Vec<Vec<u32>>,
+}
+
+/// [`build_stream`] serializing into the caller-owned `out` (cleared
+/// first, capacity reused, pre-sized from the known sample/ref counts).
+/// `builder` holds the dedup working state; it is untouched for CSR
+/// streams. Output bytes are identical to [`build_stream`].
+pub fn build_stream_into(
+    refs_per_sample: &[Vec<u32>],
+    n_tasklets: usize,
+    dedup: bool,
+    builder: &mut StreamBuilder,
+    out: &mut Vec<u8>,
+) {
     assert!(n_tasklets > 0, "need at least one tasklet");
+    out.clear();
     if !dedup {
-        // CSR: offsets (n_samples + 1, 8-byte padded), then refs.
+        // CSR: offsets (n_samples + 1, 8-byte padded), then refs — both
+        // region sizes are known up front.
         let n = refs_per_sample.len();
         let total_refs: usize = refs_per_sample.iter().map(Vec::len).sum();
-        let mut bytes = Vec::with_capacity((n + 2 + total_refs) * 4 + 16);
+        let off_bytes = ((n + 1) * 4 + 7) & !7;
+        let ref_bytes = (total_refs * 4 + 7) & !7;
+        out.reserve(off_bytes + ref_bytes);
         let mut acc = 0u32;
-        bytes.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
         for refs in refs_per_sample {
             acc += refs.len() as u32;
-            bytes.extend_from_slice(&acc.to_le_bytes());
+            out.extend_from_slice(&acc.to_le_bytes());
         }
-        while bytes.len() % 8 != 0 {
-            bytes.push(0);
-        }
+        out.resize(off_bytes, 0);
         for refs in refs_per_sample {
             for r in refs {
-                bytes.extend_from_slice(&r.to_le_bytes());
+                out.extend_from_slice(&r.to_le_bytes());
             }
         }
-        while bytes.len() % 8 != 0 {
-            bytes.push(0);
-        }
-        return bytes;
+        out.resize(off_bytes + ref_bytes, 0);
+        return;
     }
+    let StreamBuilder {
+        index,
+        order,
+        users,
+        streams,
+    } = builder;
     // Collect (ref -> sample ids), preserving first-seen order.
-    let mut order: Vec<u32> = Vec::new();
-    let mut users: HashMap<u32, Vec<u32>> = HashMap::new();
+    index.clear();
+    order.clear();
     for (s, refs) in refs_per_sample.iter().enumerate() {
         for &r in refs {
-            let e = users.entry(r).or_default();
-            if e.is_empty() {
-                order.push(r);
-            }
-            e.push(s as u32);
+            let slot = match index.entry(r) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let slot = order.len();
+                    order.push(r);
+                    if users.len() <= slot {
+                        users.push(Vec::new());
+                    }
+                    users[slot].clear();
+                    e.insert(slot);
+                    slot
+                }
+            };
+            users[slot].push(s as u32);
         }
     }
-    // Deal entries round-robin to tasklet streams.
-    let mut streams: Vec<Vec<u32>> = vec![Vec::new(); n_tasklets];
-    let mut counts = vec![0u32; n_tasklets];
+    // Deal entries round-robin to tasklet streams. Each stream leads
+    // with its entry count, which round-robin dealing fixes up front:
+    // tasklet t gets entries t, t + n_tasklets, ...
+    if streams.len() < n_tasklets {
+        streams.resize_with(n_tasklets, Vec::new);
+    }
+    for (t, st) in streams.iter_mut().enumerate().take(n_tasklets) {
+        st.clear();
+        let count = if order.len() > t {
+            (order.len() - t).div_ceil(n_tasklets)
+        } else {
+            0
+        };
+        st.push(count as u32);
+    }
     for (i, r) in order.iter().enumerate() {
         let t = i % n_tasklets;
-        let ids = &users[r];
+        let ids = &users[i];
         streams[t].push(*r);
         streams[t].push(ids.len() as u32);
         streams[t].extend_from_slice(ids);
-        counts[t] += 1;
     }
-    for (st, c) in streams.iter_mut().zip(counts.iter()) {
-        st.insert(0, *c);
-    }
-    // Header: end offset of each tasklet's stream in bytes, plus a
-    // leading zero, padded to 8 bytes.
-    let mut offsets = Vec::with_capacity(n_tasklets + 2);
-    offsets.push(0u32);
+    // Header: a leading zero plus the end offset of each tasklet's
+    // stream in bytes, zero-padded to n_tasklets + 2 words and then to
+    // 8 bytes — both paddings are plain zero bytes, written by the
+    // final resize.
+    let header_bytes = ((n_tasklets + 2) * 4 + 7) & !7;
+    let body_words: usize = streams[..n_tasklets].iter().map(Vec::len).sum();
+    let body_bytes = (body_words * 4 + 7) & !7;
+    out.reserve(header_bytes + body_bytes);
+    out.extend_from_slice(&0u32.to_le_bytes());
     let mut acc = 0u32;
-    for s in &streams {
+    for s in &streams[..n_tasklets] {
         acc += (s.len() * 4) as u32;
-        offsets.push(acc);
+        out.extend_from_slice(&acc.to_le_bytes());
     }
-    offsets.push(0); // pad word so the header stays 8-byte aligned
-    let header_words = n_tasklets + 2;
-    let mut bytes =
-        Vec::with_capacity((header_words + streams.iter().map(Vec::len).sum::<usize>()) * 4 + 8);
-    for w in offsets.iter().take(header_words) {
-        bytes.extend_from_slice(&w.to_le_bytes());
-    }
-    while bytes.len() % 8 != 0 {
-        bytes.push(0);
-    }
-    for s in &streams {
+    out.resize(header_bytes, 0);
+    for s in &streams[..n_tasklets] {
         for w in s {
-            bytes.extend_from_slice(&w.to_le_bytes());
+            out.extend_from_slice(&w.to_le_bytes());
         }
     }
-    while bytes.len() % 8 != 0 {
-        bytes.push(0);
-    }
-    bytes
+    out.resize(header_bytes + body_bytes, 0);
 }
 
 #[cfg(test)]

@@ -29,8 +29,12 @@ pub fn sequential_wall_ns(batches: &[EmbeddingBreakdown]) -> f64 {
 pub fn pipelined_wall_ns(batches: &[EmbeddingBreakdown]) -> f64 {
     let mut bus_free = 0.0f64; // when the host bus is next available
     let mut dpu_free = 0.0f64; // when the DPU array is next available
-    let mut s1_done = vec![0.0f64; batches.len()];
-    let mut s2_done = vec![0.0f64; batches.len()];
+                               // Only two stage-2 completion times are ever live at once (batch
+                               // i's and batch i - 1's), so the event recurrence needs no arrays —
+                               // this keeps the function heap-free, which the steady-state serve
+                               // path relies on when it re-checks itself against this model.
+    let mut s2_done_prev; // s2_done of batch i - 1
+    let mut s2_done_cur = 0.0f64; // s2_done of batch i
     let mut finish = 0.0f64;
 
     // Interleave bus phases in batch order: s1_0, s1_1, s3_0, s1_2,
@@ -40,25 +44,26 @@ pub fn pipelined_wall_ns(batches: &[EmbeddingBreakdown]) -> f64 {
         // stage 1 of batch i.
         let start = bus_free;
         bus_free = start + batches[i].stage1_ns;
-        s1_done[i] = bus_free;
+        let s1_done = bus_free;
 
         // stage 2 of batch i can start once its stage 1 landed and the
         // DPU array is free.
-        let start = s1_done[i].max(dpu_free);
+        let start = s1_done.max(dpu_free);
         dpu_free = start + batches[i].stage2_ns;
-        s2_done[i] = dpu_free;
+        s2_done_prev = s2_done_cur;
+        s2_done_cur = dpu_free;
 
         // stage 3 of batch i - 1 (its results are ready by now or we
         // wait for them); keeping one batch in flight bounds staging.
         if i > 0 {
             let j = i - 1;
-            let start = s2_done[j].max(bus_free);
+            let start = s2_done_prev.max(bus_free);
             bus_free = start + batches[j].stage3_ns;
             finish = finish.max(bus_free);
         }
     }
     if let Some(last) = batches.len().checked_sub(1) {
-        let start = s2_done[last].max(bus_free);
+        let start = s2_done_cur.max(bus_free);
         finish = finish.max(start + batches[last].stage3_ns);
     }
     finish

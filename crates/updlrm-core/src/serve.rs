@@ -111,6 +111,20 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Reusable per-engine working memory for [`UpdlrmEngine::serve_stream`]
+/// — event-time vectors and the per-batch breakdown list. Cleared and
+/// refilled each call, so steady-state serving allocates nothing here
+/// after warm-up.
+#[derive(Debug, Default)]
+pub(crate) struct ServeScratch {
+    s1_start: Vec<f64>,
+    s1_done: Vec<f64>,
+    s2_done: Vec<f64>,
+    drain: Vec<f64>,
+    latencies: Vec<f64>,
+    pub(crate) breakdowns: Vec<EmbeddingBreakdown>,
+}
+
 impl UpdlrmEngine {
     /// Serves a stream of batches under the configured
     /// [`PipelineMode`] and queue depth, returning per-batch pooled
@@ -123,12 +137,53 @@ impl UpdlrmEngine {
     /// (or `queue_depth == 1`) it equals
     /// [`sequential_wall_ns`](crate::pipeline::sequential_wall_ns).
     ///
+    /// This is a convenience wrapper over
+    /// [`UpdlrmEngine::serve_stream`] that clones every batch's pooled
+    /// embeddings into the returned [`ServeOutcome`]; latency-sensitive
+    /// callers that can consume results in place should use
+    /// `serve_stream` directly.
+    ///
     /// # Errors
     ///
     /// `queue_depth == 0` is rejected with
     /// [`CoreError::InvalidConfig`]; batch-level errors are as in
     /// [`UpdlrmEngine::run_batch`].
     pub fn serve(&mut self, batches: &[QueryBatch]) -> Result<ServeOutcome> {
+        let mut pooled: Vec<Vec<Matrix>> = Vec::with_capacity(batches.len());
+        let report = self.serve_stream(batches, |i, p, _| {
+            debug_assert_eq!(i, pooled.len(), "sink fires in batch order");
+            pooled.push(p.to_vec());
+        })?;
+        Ok(ServeOutcome {
+            pooled,
+            breakdowns: self.serve_scratch.breakdowns.clone(),
+            report,
+        })
+    }
+
+    /// The zero-allocation serving path: identical schedule, timing and
+    /// numerics to [`UpdlrmEngine::serve`], but each batch's pooled
+    /// embeddings are *lent* to `sink(batch_index, pooled, breakdown)`
+    /// and recycled afterwards instead of being accumulated into a
+    /// [`ServeOutcome`]. The sink fires once per batch in batch order
+    /// (for the double-buffered schedule that is one batch behind the
+    /// scatter of the following batch, exactly when its stage 3 drains).
+    ///
+    /// After warm-up (one serve over each staging slot, i.e. two
+    /// batches) a steady-state call performs no heap allocation — the
+    /// property pinned down by `tests/alloc_tests.rs`.
+    ///
+    /// The collected breakdowns remain available to the caller through
+    /// the engine until the next serve; `serve` uses that to assemble
+    /// its outcome.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`UpdlrmEngine::serve`].
+    pub fn serve_stream<F>(&mut self, batches: &[QueryBatch], sink: F) -> Result<ServeReport>
+    where
+        F: FnMut(usize, &[Matrix], &EmbeddingBreakdown),
+    {
         let queue_depth = self.config().queue_depth;
         let mode = self.config().pipeline_mode;
         if queue_depth == 0 {
@@ -137,33 +192,56 @@ impl UpdlrmEngine {
             ));
         }
         let depth = queue_depth.min(STAGING_SLOTS);
-        match (mode, depth) {
-            (PipelineMode::DoubleBuf, d) if d >= 2 => self.serve_doublebuf(batches),
-            _ => self.serve_sequential(batches, mode),
-        }
+        // Take the scratch out of the engine so stage methods can borrow
+        // `self` mutably; restore it afterwards (on error it is simply
+        // rebuilt — and re-warmed — by the next call).
+        let mut scr = std::mem::take(&mut self.serve_scratch);
+        let result = match (mode, depth) {
+            (PipelineMode::DoubleBuf, d) if d >= 2 => self.serve_doublebuf(batches, &mut scr, sink),
+            _ => self.serve_sequential(batches, mode, &mut scr, sink),
+        };
+        self.serve_scratch = scr;
+        result
     }
 
     /// Back-to-back schedule: each batch fully drains before the next
     /// one's stage 1 is issued. Wall equals `sequential_wall_ns`.
-    fn serve_sequential(
+    fn serve_sequential<F>(
         &mut self,
         batches: &[QueryBatch],
         mode: PipelineMode,
-    ) -> Result<ServeOutcome> {
-        let mut pooled = Vec::with_capacity(batches.len());
-        let mut breakdowns = Vec::with_capacity(batches.len());
-        let mut latencies = Vec::with_capacity(batches.len());
+        scr: &mut ServeScratch,
+        mut sink: F,
+    ) -> Result<ServeReport>
+    where
+        F: FnMut(usize, &[Matrix], &EmbeddingBreakdown),
+    {
+        scr.breakdowns.clear();
+        scr.latencies.clear();
         let mut wall = 0.0f64;
-        for batch in batches {
-            let (p, bd) = self.run_batch(batch)?;
+        for (i, batch) in batches.iter().enumerate() {
+            // Same stage sequence (and f64 operation order) as
+            // `run_batch`, with the pooled set recycled after the sink.
+            let routed = self.route_batch(batch)?;
+            let mut bd = routed.breakdown_seed();
+            let scatter = self.scatter_streams(0)?;
+            bd.stage1_ns = scatter.wall_ns;
+            bd.energy_pj += scatter.energy_pj;
+            let stage2 = self.launch_stage2(routed.batch_size, 0)?;
+            stage2.fold_into(&mut bd);
+            let (pooled, combine_ns, gather) = self.gather_combine(routed.batch_size, 0)?;
+            bd.stage3_ns = gather.wall_ns;
+            bd.energy_pj += gather.energy_pj;
+            bd.combine_ns = combine_ns;
             // Matches `sequential_wall_ns`'s `map(total_ns).sum()` fold.
             wall += bd.total_ns();
-            latencies.push(bd.total_ns());
-            pooled.push(p);
-            breakdowns.push(bd);
+            scr.latencies.push(bd.total_ns());
+            scr.breakdowns.push(bd);
+            sink(i, &pooled, scr.breakdowns.last().expect("just pushed"));
+            self.recycle_pooled(pooled);
         }
-        debug_assert_eq!(wall, sequential_wall_ns(&breakdowns));
-        Ok(self.finish_outcome(mode, 1, batches, pooled, breakdowns, latencies, wall))
+        debug_assert_eq!(wall, sequential_wall_ns(&scr.breakdowns));
+        Ok(Self::finish_report(mode, 1, batches, scr, wall))
     }
 
     /// Depth-2 double-buffered schedule. The event bookkeeping below is
@@ -172,39 +250,29 @@ impl UpdlrmEngine {
     /// same recurrence over the same measured stage times in the same
     /// f64 operation order — which is what makes the executed wall
     /// *exactly* equal to the analytic model.
-    fn serve_doublebuf(&mut self, batches: &[QueryBatch]) -> Result<ServeOutcome> {
+    fn serve_doublebuf<F>(
+        &mut self,
+        batches: &[QueryBatch],
+        scr: &mut ServeScratch,
+        mut sink: F,
+    ) -> Result<ServeReport>
+    where
+        F: FnMut(usize, &[Matrix], &EmbeddingBreakdown),
+    {
         let n = batches.len();
-        let mut pooled: Vec<Option<Vec<Matrix>>> = (0..n).map(|_| None).collect();
-        let mut breakdowns: Vec<EmbeddingBreakdown> = Vec::with_capacity(n);
+        scr.breakdowns.clear();
+        scr.s1_start.clear();
+        scr.s1_start.resize(n, 0.0);
+        scr.s1_done.clear();
+        scr.s1_done.resize(n, 0.0);
+        scr.s2_done.clear();
+        scr.s2_done.resize(n, 0.0);
+        scr.drain.clear();
+        scr.drain.resize(n, 0.0);
 
         let mut bus_free = 0.0f64; // when the host bus is next available
         let mut dpu_free = 0.0f64; // when the DPU array is next available
-        let mut s1_start = vec![0.0f64; n];
-        let mut s1_done = vec![0.0f64; n];
-        let mut s2_done = vec![0.0f64; n];
-        let mut drain = vec![0.0f64; n]; // per-batch stage-3 completion
         let mut finish = 0.0f64;
-
-        // Gathers batch j's partial sums out of its slot, fills in its
-        // breakdown, and returns when its stage 3 leaves the bus.
-        fn gather_one(
-            engine: &mut UpdlrmEngine,
-            batches: &[QueryBatch],
-            j: usize,
-            s2_done_j: f64,
-            bus_free: f64,
-            pooled: &mut [Option<Vec<Matrix>>],
-            breakdowns: &mut [EmbeddingBreakdown],
-        ) -> Result<f64> {
-            let b = batches[j].batch_size();
-            let (p, combine_ns, report) = engine.gather_combine(b, j % STAGING_SLOTS)?;
-            breakdowns[j].stage3_ns = report.wall_ns;
-            breakdowns[j].energy_pj += report.energy_pj;
-            breakdowns[j].combine_ns = combine_ns;
-            pooled[j] = Some(p);
-            let start = s2_done_j.max(bus_free);
-            Ok(start + breakdowns[j].stage3_ns)
-        }
 
         // Bus phases run in batch order: s1_0, s1_1, s3_0, s1_2, s3_1,
         // ... — batch i's scatter reuses slot i % 2, which batch i - 2
@@ -213,86 +281,90 @@ impl UpdlrmEngine {
             // stage 1 of batch i.
             let routed = self.route_batch(&batches[i])?;
             let mut bd = routed.breakdown_seed();
-            let scatter = self.scatter_streams(&routed, i % STAGING_SLOTS)?;
+            let scatter = self.scatter_streams(i % STAGING_SLOTS)?;
             bd.stage1_ns = scatter.wall_ns;
             bd.energy_pj += scatter.energy_pj;
             let start = bus_free;
             bus_free = start + bd.stage1_ns;
-            s1_start[i] = start;
-            s1_done[i] = bus_free;
+            scr.s1_start[i] = start;
+            scr.s1_done[i] = bus_free;
 
             // stage 2 of batch i can start once its stage 1 landed and
             // the DPU array is free.
             let stage2 = self.launch_stage2(routed.batch_size, i % STAGING_SLOTS)?;
             stage2.fold_into(&mut bd);
-            let start = s1_done[i].max(dpu_free);
+            let start = scr.s1_done[i].max(dpu_free);
             dpu_free = start + bd.stage2_ns;
-            s2_done[i] = dpu_free;
-            breakdowns.push(bd);
+            scr.s2_done[i] = dpu_free;
+            scr.breakdowns.push(bd);
 
             // stage 3 of batch i - 1 (its results are ready by now or
             // we wait for them); one batch in flight bounds staging.
             if i > 0 {
                 let j = i - 1;
-                bus_free = gather_one(
-                    self,
-                    batches,
-                    j,
-                    s2_done[j],
-                    bus_free,
-                    &mut pooled,
-                    &mut breakdowns,
-                )?;
+                bus_free = self.gather_one(batches, j, scr, bus_free, &mut sink)?;
                 finish = finish.max(bus_free);
-                drain[j] = bus_free;
+                scr.drain[j] = bus_free;
             }
         }
         // Drain the last batch's stage 3.
         if let Some(last) = n.checked_sub(1) {
-            let end = gather_one(
-                self,
-                batches,
-                last,
-                s2_done[last],
-                bus_free,
-                &mut pooled,
-                &mut breakdowns,
-            )?;
+            let end = self.gather_one(batches, last, scr, bus_free, &mut sink)?;
             finish = finish.max(end);
-            drain[last] = end;
+            scr.drain[last] = end;
         }
-        debug_assert_eq!(finish, pipelined_wall_ns(&breakdowns));
+        debug_assert_eq!(finish, pipelined_wall_ns(&scr.breakdowns));
 
-        let pooled: Vec<Vec<Matrix>> = pooled
-            .into_iter()
-            .map(|p| p.expect("every batch gathered"))
-            .collect();
-        let latencies: Vec<f64> = (0..n).map(|i| drain[i] - s1_start[i]).collect();
-        Ok(self.finish_outcome(
+        scr.latencies.clear();
+        for i in 0..n {
+            scr.latencies.push(scr.drain[i] - scr.s1_start[i]);
+        }
+        Ok(Self::finish_report(
             PipelineMode::DoubleBuf,
             STAGING_SLOTS,
             batches,
-            pooled,
-            breakdowns,
-            latencies,
+            scr,
             finish,
         ))
     }
 
-    #[allow(clippy::too_many_arguments)] // private assembly helper
-    fn finish_outcome(
-        &self,
+    /// Gathers batch `j`'s partial sums out of its slot, fills in its
+    /// breakdown, lends the pooled set to the sink, and returns when its
+    /// stage 3 leaves the bus.
+    fn gather_one<F>(
+        &mut self,
+        batches: &[QueryBatch],
+        j: usize,
+        scr: &mut ServeScratch,
+        bus_free: f64,
+        sink: &mut F,
+    ) -> Result<f64>
+    where
+        F: FnMut(usize, &[Matrix], &EmbeddingBreakdown),
+    {
+        let b = batches[j].batch_size();
+        let (pooled, combine_ns, report) = self.gather_combine(b, j % STAGING_SLOTS)?;
+        scr.breakdowns[j].stage3_ns = report.wall_ns;
+        scr.breakdowns[j].energy_pj += report.energy_pj;
+        scr.breakdowns[j].combine_ns = combine_ns;
+        let start = scr.s2_done[j].max(bus_free);
+        let end = start + scr.breakdowns[j].stage3_ns;
+        sink(j, &pooled, &scr.breakdowns[j]);
+        self.recycle_pooled(pooled);
+        Ok(end)
+    }
+
+    fn finish_report(
         mode: PipelineMode,
         queue_depth: usize,
         batches: &[QueryBatch],
-        pooled: Vec<Vec<Matrix>>,
-        breakdowns: Vec<EmbeddingBreakdown>,
-        mut latencies: Vec<f64>,
+        scr: &mut ServeScratch,
         wall_ns: f64,
-    ) -> ServeOutcome {
+    ) -> ServeReport {
         let samples: usize = batches.iter().map(QueryBatch::batch_size).sum();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let report = ServeReport {
+        scr.latencies
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        ServeReport {
             mode,
             queue_depth,
             batches: batches.len(),
@@ -303,14 +375,9 @@ impl UpdlrmEngine {
             } else {
                 0.0
             },
-            p50_latency_ns: percentile(&latencies, 0.50),
-            p95_latency_ns: percentile(&latencies, 0.95),
-            p99_latency_ns: percentile(&latencies, 0.99),
-        };
-        ServeOutcome {
-            pooled,
-            breakdowns,
-            report,
+            p50_latency_ns: percentile(&scr.latencies, 0.50),
+            p95_latency_ns: percentile(&scr.latencies, 0.95),
+            p99_latency_ns: percentile(&scr.latencies, 0.99),
         }
     }
 }

@@ -29,8 +29,11 @@ use crate::stats::{DpuRunStats, TaskletStats};
 /// host threads (see `PimConfig::host_threads`), with every worker
 /// reading the same kernel value concurrently. Kernels are plain data in
 /// practice (per-DPU task tables built before the launch), so the bound
-/// is free; a kernel needing interior mutability must use thread-safe
-/// primitives — but per-DPU state belongs in MRAM/WRAM, not the kernel.
+/// is free. Kernel *results* belong in MRAM/WRAM, but a kernel may own
+/// reusable per-DPU scratch buffers behind thread-safe interior
+/// mutability (e.g. a per-`DpuId` `Mutex`): all tasklets of one DPU run
+/// on one host thread, and concurrent workers only ever touch different
+/// DPUs' entries, so such locks are uncontended by construction.
 pub trait Kernel: Sync {
     /// Bytes of WRAM reserved as a region shared by all tasklets of a
     /// DPU (e.g. a software row cache). The remainder of WRAM is split
@@ -77,6 +80,15 @@ pub struct TaskletCtx<'a> {
     local: &'a mut [u8],
     cost: &'a CostModel,
     stats: TaskletStats,
+    /// One-entry memo `(len, dma_cycles, dma_engine_cycles)` for the
+    /// dominant same-size DMA charge: embedding kernels issue thousands
+    /// of row-sized transfers per launch, and the f64 cost-curve
+    /// evaluation would otherwise dwarf the counter update. `len = 0`
+    /// is never charged (empty DMAs fault first), so it marks "empty".
+    dma_memo: (usize, u64, u64),
+    /// Same for vector accumulates of a fixed element count
+    /// (`u64::MAX` marks "empty").
+    acc_memo: (u64, u64),
 }
 
 impl<'a> TaskletCtx<'a> {
@@ -127,8 +139,15 @@ impl<'a> TaskletCtx<'a> {
     }
 
     fn charge_dma(&mut self, len: usize) {
-        self.stats.dma_cycles += self.cost.dma_cycles(len).0;
-        self.stats.dma_engine_cycles += self.cost.dma_engine_cycles(len).0;
+        if self.dma_memo.0 != len {
+            self.dma_memo = (
+                len,
+                self.cost.dma_cycles(len).0,
+                self.cost.dma_engine_cycles(len).0,
+            );
+        }
+        self.stats.dma_cycles += self.dma_memo.1;
+        self.stats.dma_engine_cycles += self.dma_memo.2;
         self.stats.dma_transfers += 1;
         self.stats.dma_bytes += len as u64;
         // Issuing a DMA costs a few pipeline instructions (address setup).
@@ -159,8 +178,14 @@ impl<'a> TaskletCtx<'a> {
     /// 64-bit integer path on fixed-point lanes).
     #[inline]
     pub fn charge_accumulate(&mut self, n_elems: u64) {
-        self.stats.instrs += self.cost.accumulate_base_instrs
-            + (self.cost.accumulate_per_elem_instrs * n_elems as f64).round() as u64;
+        if self.acc_memo.0 != n_elems {
+            self.acc_memo = (
+                n_elems,
+                self.cost.accumulate_base_instrs
+                    + (self.cost.accumulate_per_elem_instrs * n_elems as f64).round() as u64,
+            );
+        }
+        self.stats.instrs += self.acc_memo.1;
     }
 
     /// Charges loop bookkeeping for `iters` iterations of an
@@ -238,6 +263,29 @@ impl Dpu {
         n_tasklets: usize,
         cost: &CostModel,
     ) -> Result<DpuRunStats> {
+        let mut out = DpuRunStats::default();
+        self.launch_into(kernel, n_tasklets, cost, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Dpu::launch`], but writes the statistics into a
+    /// caller-owned `out`, reusing its `per_tasklet` capacity. The
+    /// steady-state serving path calls this once per DPU per batch; with
+    /// a warm `out` it performs no heap allocation (per-tasklet phase
+    /// counters live on the stack, sized by [`MAX_TASKLETS`]).
+    ///
+    /// On error `out` is left in an unspecified (but valid) state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Dpu::launch`].
+    pub fn launch_into<K: Kernel + ?Sized>(
+        &mut self,
+        kernel: &K,
+        n_tasklets: usize,
+        cost: &CostModel,
+        out: &mut DpuRunStats,
+    ) -> Result<()> {
         if n_tasklets == 0 || n_tasklets > MAX_TASKLETS {
             return Err(SimError::InvalidConfig(format!(
                 "tasklets must be in 1..={MAX_TASKLETS}, got {n_tasklets}"
@@ -263,10 +311,10 @@ impl Dpu {
         // shared region's contents visible across tasklets. Phase 2
         // (`finalize`) starts only after every tasklet completed phase 1
         // — the hardware barrier.
-        let mut phase1 = Vec::with_capacity(n_tasklets);
-        let mut phase2 = Vec::with_capacity(n_tasklets);
+        let mut phase1 = [TaskletStats::default(); MAX_TASKLETS];
+        let mut phase2 = [TaskletStats::default(); MAX_TASKLETS];
         for (phase, stats) in [(0usize, &mut phase1), (1, &mut phase2)] {
-            for t in 0..n_tasklets {
+            for (t, slot) in stats.iter_mut().enumerate().take(n_tasklets) {
                 let (shared, rest) = self
                     .wram
                     .slice_mut(0, WRAM_CAPACITY)?
@@ -281,13 +329,15 @@ impl Dpu {
                     local,
                     cost,
                     stats: TaskletStats::default(),
+                    dma_memo: (0, 0, 0),
+                    acc_memo: (u64::MAX, 0),
                 };
                 if phase == 0 {
                     kernel.run(&mut ctx)?;
                 } else {
                     kernel.finalize(&mut ctx)?;
                 }
-                stats.push(ctx.stats);
+                *slot = ctx.stats;
             }
         }
 
@@ -297,26 +347,24 @@ impl Dpu {
             launch_overhead_cycles: 0,
             ..cost.clone()
         };
-        let p1 = Self::account(phase1, cost);
-        let p2 = Self::account(phase2, &no_overhead);
-        let mut per_tasklet = p1.per_tasklet;
-        for (a, b) in per_tasklet.iter_mut().zip(p2.per_tasklet.iter()) {
+        let p1 = Self::account(&phase1[..n_tasklets], cost);
+        let p2 = Self::account(&phase2[..n_tasklets], &no_overhead);
+        out.cycles = p1.cycles + p2.cycles;
+        out.totals = p1.totals;
+        out.totals.merge(&p2.totals);
+        out.per_tasklet.clear();
+        out.per_tasklet.extend_from_slice(&phase1[..n_tasklets]);
+        for (a, b) in out.per_tasklet.iter_mut().zip(&phase2[..n_tasklets]) {
             a.merge(b);
         }
-        let mut totals = p1.totals;
-        totals.merge(&p2.totals);
-        Ok(DpuRunStats {
-            cycles: p1.cycles + p2.cycles,
-            totals,
-            per_tasklet,
-            energy_pj: p1.energy_pj + p2.energy_pj,
-        })
+        out.energy_pj = p1.energy_pj + p2.energy_pj;
+        Ok(())
     }
 
     /// Aggregates per-tasklet counters into a modeled launch time.
-    fn account(per_tasklet: Vec<TaskletStats>, cost: &CostModel) -> DpuRunStats {
+    fn account(per_tasklet: &[TaskletStats], cost: &CostModel) -> PhaseAccount {
         let mut totals = TaskletStats::default();
-        for t in &per_tasklet {
+        for t in per_tasklet {
             totals.merge(t);
         }
         // Bound 1: pipeline throughput — one instruction per cycle total.
@@ -340,13 +388,19 @@ impl Dpu {
         );
         let energy_pj =
             totals.instrs as f64 * cost.instr_pj + totals.dma_bytes as f64 * cost.dma_pj_per_byte;
-        DpuRunStats {
+        PhaseAccount {
             cycles,
             totals,
-            per_tasklet,
             energy_pj,
         }
     }
+}
+
+/// Aggregated counters for one barrier phase of a launch.
+struct PhaseAccount {
+    cycles: Cycles,
+    totals: TaskletStats,
+    energy_pj: f64,
 }
 
 #[cfg(test)]
@@ -425,7 +479,7 @@ mod tests {
             };
             14
         ];
-        let s = Dpu::account(heavy, &cost);
+        let s = Dpu::account(&heavy, &cost);
         assert_eq!(s.cycles.0, 14 * 10_000);
         // DMA-heavy kernel: DMA engine occupancy bound dominates.
         let dma = vec![
@@ -437,7 +491,7 @@ mod tests {
             };
             14
         ];
-        let s = Dpu::account(dma, &cost);
+        let s = Dpu::account(&dma, &cost);
         assert_eq!(s.cycles.0, 14 * 10_000);
         // Single tasklet: serial bound dominates.
         let single = vec![TaskletStats {
@@ -445,7 +499,7 @@ mod tests {
             dma_cycles: 5_000,
             ..Default::default()
         }];
-        let s = Dpu::account(single, &cost);
+        let s = Dpu::account(&single, &cost);
         assert_eq!(s.cycles.0, 1_000 * PIPELINE_DEPTH + 5_000);
     }
 

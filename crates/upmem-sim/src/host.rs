@@ -197,12 +197,27 @@ impl PimSystem {
         &mut self,
         groups: &[(&[DpuId], u32, &[u8])],
     ) -> Result<TransferReport> {
-        for (ids, addr, data) in groups {
-            for id in ids.iter() {
-                self.dpu_mut(*id)?.mram_mut().host_write(*addr, data)?;
+        self.scatter_broadcast_with(groups.iter().map(|(ids, addr, data)| (*ids, *addr, *data)))
+    }
+
+    /// Iterator form of [`PimSystem::scatter_broadcast`]: the caller
+    /// streams `(targets, addr, data)` groups without materializing a
+    /// transfer list, so a warm serving path can scatter with zero heap
+    /// allocation. Timing is identical to the slice form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bounds/alignment errors and unknown DPU ids.
+    pub fn scatter_broadcast_with<'a, I>(&mut self, groups: I) -> Result<TransferReport>
+    where
+        I: Iterator<Item = (&'a [DpuId], u32, &'a [u8])> + Clone,
+    {
+        for (ids, addr, data) in groups.clone() {
+            for id in ids {
+                self.dpu_mut(*id)?.mram_mut().host_write(addr, data)?;
             }
         }
-        Ok(self.time_transfer(groups.iter().map(|(_, _, d)| d.len()), true))
+        Ok(self.time_transfer(groups.map(|(_, _, d)| d.len()), true))
     }
 
     /// Timed MRAM→CPU gather: reads `len` bytes at `addr` from each DPU
@@ -225,6 +240,33 @@ impl PimSystem {
         }
         let report = self.time_transfer(requests.iter().map(|(_, _, l)| *l), false);
         Ok((out, report))
+    }
+
+    /// Like [`PimSystem::gather`], but concatenates every request's
+    /// bytes into the caller-owned `out` (request `i`'s data starts at
+    /// the sum of the preceding lengths). Reuses `out`'s capacity, so a
+    /// warm serving path gathers with zero heap allocation. Timing is
+    /// identical to [`PimSystem::gather`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bounds/alignment errors and unknown DPU ids; on error
+    /// `out`'s contents are unspecified.
+    pub fn gather_into(
+        &self,
+        requests: &[(DpuId, u32, usize)],
+        out: &mut Vec<u8>,
+    ) -> Result<TransferReport> {
+        let total: usize = requests.iter().map(|(_, _, l)| *l).sum();
+        out.clear();
+        out.resize(total, 0);
+        let mut off = 0usize;
+        for (id, addr, len) in requests {
+            let dpu = self.dpu(*id)?;
+            dpu.mram().host_read(*addr, &mut out[off..off + len])?;
+            off += len;
+        }
+        Ok(self.time_transfer(requests.iter().map(|(_, _, l)| *l), false))
     }
 
     fn time_transfer(
@@ -302,53 +344,87 @@ impl PimSystem {
         ids: &[DpuId],
         kernel: &K,
     ) -> Result<LaunchReport> {
+        let mut out = LaunchReport::default();
+        self.launch_into(ids, kernel, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`PimSystem::launch`], but writes the report into a
+    /// caller-owned `out`, reusing its `per_dpu` buffers (including each
+    /// entry's per-tasklet vector). With a warm `out` the serial path
+    /// (`host_threads = 1`) performs no heap allocation; the report is
+    /// bit-identical to [`PimSystem::launch`] either way.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PimSystem::launch`]; on error `out` is left
+    /// in an unspecified (but valid) state.
+    pub fn launch_into<K: Kernel + ?Sized>(
+        &mut self,
+        ids: &[DpuId],
+        kernel: &K,
+        out: &mut LaunchReport,
+    ) -> Result<()> {
         let tasklets = self.config.tasklets;
         let cost = self.config.cost.clone();
         let workers = self.config.host_threads.min(ids.len());
-        let results: Vec<(DpuId, DpuRunStats)> = if workers <= 1 {
-            self.run_fleet_serial(ids, kernel, tasklets, &cost)?
+        if workers <= 1 {
+            self.run_fleet_serial_into(ids, kernel, tasklets, &cost, &mut out.per_dpu)?;
         } else {
             match self.disjoint_dpu_refs(ids)? {
                 // Duplicate ids cannot be split into disjoint `&mut`
                 // chunks; re-launching the same DPU is deterministic
                 // either way, so fall back to the serial path.
-                None => self.run_fleet_serial(ids, kernel, tasklets, &cost)?,
-                Some(fleet) => Self::run_fleet_parallel(fleet, kernel, tasklets, &cost, workers)?,
+                None => {
+                    self.run_fleet_serial_into(ids, kernel, tasklets, &cost, &mut out.per_dpu)?;
+                }
+                Some(fleet) => {
+                    let results =
+                        Self::run_fleet_parallel(fleet, kernel, tasklets, &cost, workers)?;
+                    out.per_dpu.clear();
+                    out.per_dpu.extend(results);
+                }
             }
-        };
+        }
         // Deterministic merge in `ids` order. The max over u64 cycles is
         // order-independent, but the f64 energy sum is not — summing in
         // launch order is what keeps the report bit-identical across
         // `host_threads` settings.
         let mut wall = Cycles::ZERO;
         let mut energy = 0.0;
-        for (_, stats) in &results {
+        for (_, stats) in &out.per_dpu {
             wall = wall.max(stats.cycles);
             energy += stats.energy_pj;
         }
-        Ok(LaunchReport {
-            wall_cycles: wall,
-            wall_ns: cost.cycles_to_ns(wall),
-            per_dpu: results,
-            energy_pj: energy,
-        })
+        out.wall_cycles = wall;
+        out.wall_ns = cost.cycles_to_ns(wall);
+        out.energy_pj = energy;
+        Ok(())
     }
 
     /// Serial fleet execution on the calling thread (`host_threads = 1`
-    /// and the duplicate-id fallback).
-    fn run_fleet_serial<K: Kernel + ?Sized>(
+    /// and the duplicate-id fallback), writing each DPU's stats in place
+    /// over `out`'s recycled entries.
+    fn run_fleet_serial_into<K: Kernel + ?Sized>(
         &mut self,
         ids: &[DpuId],
         kernel: &K,
         tasklets: usize,
         cost: &CostModel,
-    ) -> Result<Vec<(DpuId, DpuRunStats)>> {
-        let mut out = Vec::with_capacity(ids.len());
-        for &id in ids {
-            let dpu = self.dpu_mut(id)?;
-            out.push((id, dpu.launch(kernel, tasklets, cost)?));
+        out: &mut Vec<(DpuId, DpuRunStats)>,
+    ) -> Result<()> {
+        out.truncate(ids.len());
+        out.resize_with(ids.len(), || (DpuId(0), DpuRunStats::default()));
+        for (&id, slot) in ids.iter().zip(out.iter_mut()) {
+            slot.0 = id;
+            let n = self.dpus.len();
+            let dpu = self
+                .dpus
+                .get_mut(id.index())
+                .ok_or(SimError::UnknownDpu { id, nr_dpus: n })?;
+            dpu.launch_into(kernel, tasklets, cost, &mut slot.1)?;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Splits the DPU pool into one disjoint `&mut Dpu` per launched id,

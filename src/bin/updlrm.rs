@@ -4,7 +4,8 @@
 //! updlrm run   [--dataset read] [--backend updlrm|cpu|hybrid|fae|hetero]
 //!              [--strategy u|nu|ca|nur] [--dpus 256] [--nc auto|2|4|8]
 //!              [--scale 200] [--batches 10] [--seed 7] [--host-threads N]
-//!              [--pipeline sequential|doublebuf] [--queue-depth N] [--json FILE]
+//!              [--pipeline sequential|doublebuf] [--queue-depth N]
+//!              [--iters 1] [--warmup 0] [--json FILE]
 //! updlrm trace [--dataset movie] [--scale 200] [--batches 10] --out trace.upwl
 //! updlrm info  [--dataset read]
 //! ```
@@ -18,7 +19,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  updlrm run   [--dataset TAG] [--backend updlrm|cpu|hybrid|fae|hetero] \
          [--strategy u|nu|ca|nur] [--dpus N] [--nc auto|2|4|8] [--scale N] [--batches N] [--seed N] \
-         [--host-threads N] [--pipeline sequential|doublebuf] [--queue-depth N] [--json FILE]\n  \
+         [--host-threads N] [--pipeline sequential|doublebuf] [--queue-depth N] \
+         [--iters N] [--warmup N] [--json FILE]\n  \
          updlrm trace [--dataset TAG] [--scale N] [--batches N] [--seed N] --out FILE\n  \
          updlrm info  [--dataset TAG]\n\nTAG: clo home meta1 meta2 read read2 movie twitch"
     );
@@ -100,6 +102,22 @@ fn build_setting(
     Ok((spec, workload, model))
 }
 
+/// Measured (host wall-clock, not modeled) timing section of the
+/// `--json` report — filled in when `--iters`/`--warmup` request a
+/// steady-state measurement.
+#[derive(serde::Serialize)]
+struct MeasuredJson {
+    /// Timed passes over the batch stream.
+    iters: usize,
+    /// Untimed warm-up passes before measurement (the arenas and
+    /// staging-slot kernels reach their high-water marks here).
+    warmup: usize,
+    /// Mean host wall-clock per pass (ns).
+    host_wall_ns_mean: f64,
+    /// Mean host wall-clock per served sample (ns).
+    host_ns_per_sample: f64,
+}
+
 /// Serve-schedule section of the `--json` report.
 #[derive(serde::Serialize)]
 struct ServeJson {
@@ -128,6 +146,7 @@ struct RunJson {
     mean_dense_us: f64,
     mean_total_us: f64,
     serve: Option<ServeJson>,
+    measured: Option<MeasuredJson>,
 }
 
 fn write_json(args: &Args, report: &RunJson) -> Result<(), Box<dyn std::error::Error>> {
@@ -173,6 +192,17 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     config.pipeline_mode = pipeline;
     config.queue_depth = queue_depth;
+    let iters = args.num("iters", 1);
+    let warmup = args.num("warmup", 0);
+    // Measured wall-clock is nondeterministic; keep default stdout
+    // byte-stable (the host-threads determinism diff depends on it) and
+    // only print the measured line when measurement was asked for. The
+    // --json report always carries it.
+    let print_measured = args.flags.contains_key("iters") || args.flags.contains_key("warmup");
+    if iters == 0 {
+        eprintln!("--iters must be >= 1 (0 measures nothing)");
+        std::process::exit(2)
+    }
     let mut report_json = RunJson {
         backend: args.str("backend", "updlrm"),
         dataset: spec.short.to_string(),
@@ -186,6 +216,7 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         mean_dense_us: 0.0,
         mean_total_us: 0.0,
         serve: None,
+        measured: None,
     };
     let mem = CpuMemoryModel::default();
 
@@ -200,7 +231,30 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             std::process::exit(2)
         }
         let mut backend = UpdlrmBackend::from_workload(config, model.clone(), &workload, mem)?;
+        // Warm-up passes fill the scratch arenas and both staging
+        // slots' kernels; the timed passes then run the zero-allocation
+        // `serve_stream` path, so `host_ns_per_sample` reflects the
+        // steady state rather than first-batch growth.
+        for _ in 0..warmup {
+            backend
+                .engine_mut()
+                .serve_stream(&workload.batches, |_, _, _| {})?;
+        }
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            backend
+                .engine_mut()
+                .serve_stream(&workload.batches, |_, _, _| {})?;
+        }
+        let host_wall_ns_mean = t0.elapsed().as_nanos() as f64 / iters as f64;
         let outcome = backend.engine_mut().serve(&workload.batches)?;
+        let samples = outcome.report.samples.max(1) as f64;
+        report_json.measured = Some(MeasuredJson {
+            iters,
+            warmup,
+            host_wall_ns_mean,
+            host_ns_per_sample: host_wall_ns_mean / samples,
+        });
         let n = outcome.report.batches.max(1) as f64;
         let mean_embedding_ns = outcome.breakdowns.iter().map(|b| b.total_ns()).sum::<f64>() / n;
         let pr = PipelineReport::from_batches(&outcome.breakdowns);
@@ -222,6 +276,14 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             outcome.report.p99_latency_ns / 1e3,
         );
         println!("  speedup over back-to-back: {:.2}x", pr.speedup());
+        if print_measured {
+            println!(
+                "  host wall (measured): {:.1} us/pass  {:.1} ns/sample  \
+                 ({iters} timed passes, {warmup} warm-up)",
+                host_wall_ns_mean / 1e3,
+                host_wall_ns_mean / samples,
+            );
+        }
         report_json.mean_embedding_us = mean_embedding_ns / 1e3;
         report_json.mean_total_us = mean_embedding_ns / 1e3;
         report_json.serve = Some(ServeJson {
@@ -279,21 +341,49 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         workload.batches.len(),
         workload.config.batch_size,
     );
+    for _ in 0..warmup {
+        for batch in &workload.batches {
+            backend.run_batch(batch)?;
+        }
+    }
     let mut total = LatencyReport::default();
     let mut breakdowns = Vec::new();
-    for batch in &workload.batches {
-        let (_, report) = backend.run_batch(batch)?;
-        if let Some(pim) = report.pim {
-            breakdowns.push(pim);
+    let t0 = std::time::Instant::now();
+    for pass in 0..iters {
+        for batch in &workload.batches {
+            let (_, report) = backend.run_batch(batch)?;
+            // Modeled breakdowns repeat identically per pass; keep one
+            // pass's worth so the pipelining estimate stays per-stream.
+            if pass == 0 {
+                if let Some(pim) = report.pim {
+                    breakdowns.push(pim);
+                }
+            }
+            total.accumulate(&report);
         }
-        total.accumulate(&report);
     }
-    let n = workload.batches.len() as f64;
+    let host_wall_ns_mean = t0.elapsed().as_nanos() as f64 / iters as f64;
+    let samples: usize = workload.batches.iter().map(|b| b.batch_size()).sum();
+    report_json.measured = Some(MeasuredJson {
+        iters,
+        warmup,
+        host_wall_ns_mean,
+        host_ns_per_sample: host_wall_ns_mean / samples.max(1) as f64,
+    });
+    let n = (workload.batches.len() * iters) as f64;
     println!("per-batch mean:");
     println!("  embedding: {:10.1} us", total.embedding_ns / n / 1e3);
     println!("  dense:     {:10.1} us", total.dense_ns / n / 1e3);
     println!("  transfer:  {:10.1} us", total.transfer_ns / n / 1e3);
     println!("  total:     {:10.1} us", total.total_ns() / n / 1e3);
+    if print_measured {
+        println!(
+            "  host wall (measured): {:.1} us/pass  {:.1} ns/sample  \
+             ({iters} timed passes, {warmup} warm-up)",
+            host_wall_ns_mean / 1e3,
+            host_wall_ns_mean / samples.max(1) as f64,
+        );
+    }
     report_json.mean_embedding_us = total.embedding_ns / n / 1e3;
     report_json.mean_dense_us = total.dense_ns / n / 1e3;
     report_json.mean_total_us = total.total_ns() / n / 1e3;
