@@ -54,6 +54,13 @@ pub trait InferenceBackend {
     ///
     /// Malformed batches, out-of-range indices, or simulator faults.
     fn run_batch(&mut self, batch: &QueryBatch) -> Result<(Vec<f32>, LatencyReport), CoreError>;
+
+    /// A telemetry snapshot, when this backend records fleet metrics.
+    /// Only the PIM-backed UpDLRM backend does; the CPU/GPU baselines
+    /// return `None`.
+    fn metrics_snapshot(&self) -> Option<updlrm_core::Snapshot> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,10 @@ impl InferenceBackend for UpdlrmBackend {
         };
         Ok((out, report))
     }
+
+    fn metrics_snapshot(&self) -> Option<updlrm_core::Snapshot> {
+        Some(self.engine.metrics_snapshot())
+    }
 }
 
 #[cfg(test)]

@@ -51,4 +51,4 @@ pub mod store;
 
 pub use graph::CooccurGraph;
 pub use mine::{CacheList, CacheListSet, MinerConfig};
-pub use store::{CacheEntry, CacheHit, LookupScratch, PartialSumCache};
+pub use store::{CacheEntry, CacheHit, CacheTraffic, LookupScratch, PartialSumCache};

@@ -40,6 +40,55 @@ impl CacheHit {
     }
 }
 
+/// Running hit/miss and traffic counters for partial-sum cache lookups
+/// — a fixed-size `Copy` cell a serving loop folds every sample's
+/// [`CacheHit`] into, so cache telemetry needs no heap allocation.
+///
+/// The counters speak in *row fetches*: one matched cache entry is one
+/// cached-combination row read, one residual index is one EMT row read.
+/// Multiplying by the row size gives the two traffic streams the
+/// cache-aware partitioner balances (UpDLRM Algorithm 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheTraffic {
+    /// Samples probed against the cache.
+    pub lookups: u64,
+    /// Raw embedding-row references across those samples.
+    pub refs: u64,
+    /// Cached combination rows fetched (partial-sum traffic).
+    pub hit_entries: u64,
+    /// References covered by those cached combinations.
+    pub covered_refs: u64,
+    /// References falling through to EMT row fetches.
+    pub residual_refs: u64,
+}
+
+impl CacheTraffic {
+    /// Folds one sample's lookup result into the running counters.
+    pub fn record(&mut self, sample_len: usize, hit: &CacheHit) {
+        self.lookups += 1;
+        self.refs += sample_len as u64;
+        self.hit_entries += hit.entries.len() as u64;
+        self.residual_refs += hit.residual.len() as u64;
+        self.covered_refs += (sample_len - hit.residual.len()) as u64;
+    }
+
+    /// Fraction of references served from cached combinations
+    /// (`0.0` before the first reference).
+    pub fn hit_rate(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.covered_refs as f64 / self.refs as f64
+        }
+    }
+
+    /// Row fetches avoided versus looking up every reference: covered
+    /// references minus the cache rows read in their place.
+    pub fn fetches_saved(&self) -> u64 {
+        self.covered_refs - self.hit_entries
+    }
+}
+
 /// Reusable working state for [`PartialSumCache::lookup_into`].
 #[derive(Debug, Default)]
 pub struct LookupScratch {
@@ -283,6 +332,28 @@ mod tests {
         assert!(hit.entries.is_empty());
         assert!(hit.residual.is_empty());
         assert_eq!(hit.accesses_saved(0), 0);
+    }
+
+    #[test]
+    fn cache_traffic_counts_rows_and_rates() {
+        let c = PartialSumCache::materialize(&lists(), &table()).unwrap();
+        let mut traffic = CacheTraffic::default();
+        assert_eq!(traffic.hit_rate(), 0.0);
+
+        // [1, 2, 20]: one cached combination covering 2 refs, 1 residual.
+        let hit = c.lookup(&[1, 2, 20]);
+        traffic.record(3, &hit);
+        // [1, 3, 7, 8, 30]: two combinations covering 4 refs, 1 residual.
+        let hit = c.lookup(&[1, 3, 7, 8, 30]);
+        traffic.record(5, &hit);
+
+        assert_eq!(traffic.lookups, 2);
+        assert_eq!(traffic.refs, 8);
+        assert_eq!(traffic.hit_entries, 3);
+        assert_eq!(traffic.covered_refs, 6);
+        assert_eq!(traffic.residual_refs, 2);
+        assert_eq!(traffic.fetches_saved(), 3);
+        assert!((traffic.hit_rate() - 6.0 / 8.0).abs() < 1e-12);
     }
 
     #[test]

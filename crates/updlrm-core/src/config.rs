@@ -65,6 +65,12 @@ pub struct UpdlrmConfig {
     /// [`PipelineMode::DoubleBuf`]; values above the number of MRAM
     /// staging slots (2) are capped there. `0` is rejected by `serve`.
     pub queue_depth: usize,
+    /// Record fleet telemetry (per-stage spans, per-DPU counters, cache
+    /// traffic) into the engine's
+    /// [`MetricsRegistry`](crate::telemetry::MetricsRegistry). Off by
+    /// default; enabling costs ≤2% serving throughput and no
+    /// steady-state heap allocation (DESIGN.md §4.6).
+    pub telemetry: bool,
 }
 
 impl Default for UpdlrmConfig {
@@ -89,6 +95,7 @@ impl Default for UpdlrmConfig {
             host_threads: upmem_sim::default_host_threads(),
             pipeline_mode: PipelineMode::Sequential,
             queue_depth: 2,
+            telemetry: false,
         }
     }
 }
@@ -134,6 +141,12 @@ impl UpdlrmConfig {
         self.queue_depth = queue_depth;
         self
     }
+
+    /// Returns a copy with telemetry recording enabled.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +165,8 @@ mod tests {
         // Serving defaults to the paper's back-to-back measurement mode.
         assert_eq!(c.pipeline_mode, PipelineMode::Sequential);
         assert_eq!(c.queue_depth, 2);
+        // Telemetry is opt-in.
+        assert!(!c.telemetry);
     }
 
     #[test]

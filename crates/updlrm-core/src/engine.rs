@@ -20,6 +20,7 @@ use crate::config::UpdlrmConfig;
 use crate::error::{CoreError, Result};
 use crate::kernel::{build_stream_into, DpuTask, EmbeddingKernel, StreamBuilder, CACHE_REF_BIT};
 use crate::partition::{self, PartitionStrategy, RowAssignment};
+use crate::telemetry::{MetricsRegistry, Snapshot};
 use crate::tiling::{Tiling, TilingProblem};
 use cooccur_cache::{CacheHit, CacheListSet, CooccurGraph, LookupScratch, PartialSumCache};
 use dlrm_model::{Dlrm, EmbeddingTable, Matrix, QueryBatch};
@@ -268,6 +269,10 @@ pub struct UpdlrmEngine {
     gather_meta: Vec<(usize, usize)>,
     scratch: BatchScratch,
     pub(crate) serve_scratch: crate::serve::ServeScratch,
+    /// Telemetry recorder; a disabled registry (the default) makes every
+    /// record call a single branch. Arenas are preallocated here so the
+    /// hooks stay allocation-free in steady state.
+    pub(crate) metrics: MetricsRegistry,
 }
 
 impl std::fmt::Debug for UpdlrmEngine {
@@ -393,6 +398,7 @@ impl UpdlrmEngine {
             table_ids.push(ids);
         }
 
+        let metrics = MetricsRegistry::new(config.telemetry, config.nr_dpus);
         Ok(UpdlrmEngine {
             sys,
             config,
@@ -406,6 +412,7 @@ impl UpdlrmEngine {
                 ..BatchScratch::default()
             },
             serve_scratch: crate::serve::ServeScratch::default(),
+            metrics,
         })
     }
 
@@ -693,6 +700,23 @@ impl UpdlrmEngine {
         &self.config
     }
 
+    /// The live telemetry recorder (disabled unless the engine was built
+    /// with [`UpdlrmConfig::telemetry`](crate::config::UpdlrmConfig) set).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Takes a deterministic, serializable [`Snapshot`] of everything
+    /// recorded so far. Allocates; call it outside the serving loop.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Resets all telemetry counters to zero (arenas stay allocated).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
     /// Number of embedding tables loaded.
     pub fn num_tables(&self) -> usize {
         self.tables.len()
@@ -740,6 +764,7 @@ impl UpdlrmEngine {
         breakdown.stage3_ns = gather.wall_ns;
         breakdown.energy_pj += gather.energy_pj;
         breakdown.combine_ns = combine_ns;
+        self.metrics.record_batch(routed.batch_size, &breakdown);
         Ok((pooled, breakdown))
     }
 
@@ -793,6 +818,7 @@ impl UpdlrmEngine {
             tables,
             config,
             scratch,
+            metrics,
             ..
         } = self;
         let mut k = 0usize; // stream slot index, table-major then part
@@ -817,6 +843,7 @@ impl UpdlrmEngine {
                     Some(cs) => {
                         cs.store
                             .lookup_into(sample, &mut scratch.lookup, &mut scratch.hit);
+                        metrics.record_cache_lookup(sample.len(), &scratch.hit);
                         routed.cache_hits += scratch.hit.entries.len() as u64;
                         routed.emt_lookups += scratch.hit.residual.len() as u64;
                         for &e in &scratch.hit.entries {
@@ -883,9 +910,10 @@ impl UpdlrmEngine {
             tables,
             stream_groups,
             scratch,
+            metrics,
             ..
         } = self;
-        Ok(
+        let report =
             sys.scatter_broadcast_with(scratch.streams.iter().zip(stream_groups.iter()).map(
                 |(s, ids)| {
                     (
@@ -894,8 +922,9 @@ impl UpdlrmEngine {
                         s.bytes.as_slice(),
                     )
                 },
-            ))?,
-        )
+            ))?;
+        metrics.record_transfer(true, &report);
+        Ok(report)
     }
 
     /// Stage 2: launches the embedding kernels reading slot `slot`'s
@@ -911,6 +940,7 @@ impl UpdlrmEngine {
             kernels,
             table_ids,
             scratch,
+            metrics,
             ..
         } = self;
         let mut out = Stage2Report::default();
@@ -926,6 +956,9 @@ impl UpdlrmEngine {
             out.energy_pj += report.energy_pj;
             out.dma_transfers += report.total_dma_transfers();
             out.instrs += report.total_instrs();
+            for (id, stats) in &report.per_dpu {
+                metrics.record_dpu(id.0 as usize, stats);
+            }
             scratch
                 .all_cycles
                 .extend(report.per_dpu.iter().map(|(_, s)| s.cycles.0));
@@ -935,6 +968,7 @@ impl UpdlrmEngine {
             let max = *all_cycles.iter().max().expect("nonempty") as f64;
             let mean = all_cycles.iter().sum::<u64>() as f64 / all_cycles.len() as f64;
             out.lookup_imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+            metrics.record_launch(out.lookup_imbalance);
         }
         Ok(out)
     }
@@ -955,6 +989,7 @@ impl UpdlrmEngine {
             gather_meta,
             scratch,
             config,
+            metrics,
             ..
         } = self;
         scratch.requests.clear();
@@ -971,6 +1006,7 @@ impl UpdlrmEngine {
             }
         }
         let gather_report = sys.gather_into(&scratch.requests, &mut scratch.gather_buf)?;
+        metrics.record_transfer(false, &gather_report);
 
         // Pooled outputs come from the recycle pool when a returned set
         // matches this batch's shape; zeroing reuses the allocation.

@@ -201,6 +201,13 @@ impl UpdlrmEngine {
             _ => self.serve_sequential(batches, mode, &mut scr, sink),
         };
         self.serve_scratch = scr;
+        if let Ok(report) = &result {
+            // Serve-level telemetry: the executed wall plus what the same
+            // batches would cost back-to-back — the difference is the
+            // wall the pipeline overlap saved.
+            let sequential = sequential_wall_ns(&self.serve_scratch.breakdowns);
+            self.metrics.record_serve(report, sequential);
+        }
         result
     }
 
@@ -236,6 +243,7 @@ impl UpdlrmEngine {
             // Matches `sequential_wall_ns`'s `map(total_ns).sum()` fold.
             wall += bd.total_ns();
             scr.latencies.push(bd.total_ns());
+            self.metrics.record_batch(routed.batch_size, &bd);
             scr.breakdowns.push(bd);
             sink(i, &pooled, scr.breakdowns.last().expect("just pushed"));
             self.recycle_pooled(pooled);
@@ -347,6 +355,7 @@ impl UpdlrmEngine {
         scr.breakdowns[j].stage3_ns = report.wall_ns;
         scr.breakdowns[j].energy_pj += report.energy_pj;
         scr.breakdowns[j].combine_ns = combine_ns;
+        self.metrics.record_batch(b, &scr.breakdowns[j]);
         let start = scr.s2_done[j].max(bus_free);
         let end = start + scr.breakdowns[j].stage3_ns;
         sink(j, &pooled, &scr.breakdowns[j]);

@@ -1,0 +1,440 @@
+//! Fleet-wide telemetry: per-stage spans, per-DPU utilization counters
+//! and cache-traffic statistics for the three-stage serving pipeline.
+//!
+//! The paper's argument is about *where* cycles and bytes go — EMT
+//! lookup traffic vs partial-sum-cache traffic, per-DPU load balance
+//! under the three partitioning strategies — so the engine can record,
+//! per batch and per launch, everything needed to attribute a latency
+//! change to a stage, a DPU, or a traffic stream.
+//!
+//! Two types split the job:
+//!
+//! * [`MetricsRegistry`] — the live recorder owned by the engine. All
+//!   counter arenas (one [`upmem_sim::DpuCounters`] cell per DPU, the
+//!   per-stage [`Accum`]s, the [`cooccur_cache::CacheTraffic`] cell)
+//!   are preallocated at engine construction, so steady-state recording
+//!   performs **zero heap allocation** — the same invariant the serving
+//!   path itself upholds (DESIGN.md §4.5, proven together with it by
+//!   `tests/alloc_tests.rs`). Telemetry is off by default; when
+//!   disabled every record call is a single branch.
+//! * [`Snapshot`] — a serde-serializable, order-stable copy of the
+//!   registry taken *outside* the hot path. Every value in a snapshot
+//!   is a count or a *modeled* time (never a measured wall clock), so
+//!   two runs with the same seed and flags produce byte-identical
+//!   snapshots — which is what lets CI diff them against a committed
+//!   golden (`tests/golden/metrics_snapshot.json`).
+
+use cooccur_cache::CacheTraffic;
+use upmem_sim::DpuCounters;
+
+use crate::engine::EmbeddingBreakdown;
+use crate::serve::ServeReport;
+
+/// Version stamp of the [`Snapshot`] schema; bump on any field change
+/// so the CI golden diff fails loudly instead of silently reshaping.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// Running distribution summary of one recurring quantity (a stage's
+/// nanoseconds, a launch's imbalance index): count, sum and extrema.
+/// Fixed-size so recording never allocates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Accum {
+    /// Observations folded in.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (`0.0` before the first).
+    pub min: f64,
+    /// Largest observation (`0.0` before the first).
+    pub max: f64,
+}
+
+impl Accum {
+    /// Folds one observation into the summary.
+    pub fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean observation (`0.0` before the first).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One DPU's accumulated utilization in a [`Snapshot`], in DPU-id order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DpuSnapshot {
+    /// DPU id (index into the fleet).
+    pub dpu: u32,
+    /// Kernel launches this DPU participated in.
+    pub launches: u64,
+    /// Total modeled cycles across those launches.
+    pub cycles: u64,
+    /// Total pipeline instructions issued.
+    pub instrs: u64,
+    /// Total MRAM DMA transfers issued.
+    pub dma_transfers: u64,
+    /// Total bytes moved over the MRAM DMA engine.
+    pub mram_bytes: u64,
+    /// Mean tasklet occupancy over all launches (busy / provisioned).
+    pub tasklet_occupancy: f64,
+}
+
+/// Cache hit/miss and traffic counters in a [`Snapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheSnapshot {
+    /// Samples probed against the partial-sum cache.
+    pub lookups: u64,
+    /// Raw embedding-row references across those samples.
+    pub refs: u64,
+    /// Cached combination rows fetched (partial-sum traffic).
+    pub hit_entries: u64,
+    /// References covered by those cached combinations.
+    pub covered_refs: u64,
+    /// References falling through to EMT row fetches.
+    pub residual_refs: u64,
+    /// Fraction of references served from cached combinations.
+    pub hit_rate: f64,
+    /// Row fetches avoided versus looking up every reference.
+    pub fetches_saved: u64,
+}
+
+/// A deterministic, serializable copy of everything a
+/// [`MetricsRegistry`] has recorded.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// Schema version ([`SNAPSHOT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Whether telemetry was enabled (a disabled registry snapshots as
+    /// all zeros).
+    pub enabled: bool,
+    /// `serve`/`serve_stream` calls recorded.
+    pub serves: u64,
+    /// Batches recorded (serve batches plus direct `run_batch` calls).
+    pub batches: u64,
+    /// Samples across those batches.
+    pub samples: u64,
+    /// Host-side routing span per batch (ns).
+    pub route_ns: Accum,
+    /// Stage-1 CPU→MRAM scatter span per batch (ns).
+    pub stage1_ns: Accum,
+    /// Stage-2 kernel span per batch (ns).
+    pub stage2_ns: Accum,
+    /// Stage-3 MRAM→CPU gather span per batch (ns).
+    pub stage3_ns: Accum,
+    /// Host-side combine span per batch (ns).
+    pub combine_ns: Accum,
+    /// Modeled energy across all recorded batches (pJ).
+    pub energy_pj: f64,
+    /// Executed wall across all recorded serves (ns).
+    pub serve_wall_ns: f64,
+    /// Back-to-back wall of the same batches (ns): what the serves
+    /// would have cost without inter-batch overlap.
+    pub sequential_wall_ns: f64,
+    /// Wall saved by pipeline overlap across all serves
+    /// (`sequential_wall_ns - serve_wall_ns`).
+    pub overlap_saved_ns: f64,
+    /// Bytes scattered CPU→MRAM in stage 1.
+    pub stage1_bytes: u64,
+    /// Bytes gathered MRAM→CPU in stage 3.
+    pub stage3_bytes: u64,
+    /// Stage-2 fleet launches recorded (one per batch).
+    pub launches: u64,
+    /// Per-launch load-imbalance index (slowest DPU cycles over mean;
+    /// `1.0` = perfectly balanced).
+    pub load_imbalance: Accum,
+    /// Partial-sum cache hit/miss and traffic counters.
+    pub cache: CacheSnapshot,
+    /// Per-DPU utilization, ascending by DPU id. Empty when telemetry
+    /// was disabled.
+    pub per_dpu: Vec<DpuSnapshot>,
+}
+
+impl Snapshot {
+    /// Sum of the three pipeline stages' mean spans (ns) — the paper's
+    /// per-batch embedding-layer time.
+    pub fn mean_stage_total_ns(&self) -> f64 {
+        self.stage1_ns.mean() + self.stage2_ns.mean() + self.stage3_ns.mean()
+    }
+}
+
+/// The engine's live telemetry recorder. See the module docs for the
+/// allocation and determinism contracts.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    serves: u64,
+    batches: u64,
+    samples: u64,
+    route_ns: Accum,
+    stage1_ns: Accum,
+    stage2_ns: Accum,
+    stage3_ns: Accum,
+    combine_ns: Accum,
+    energy_pj: f64,
+    serve_wall_ns: f64,
+    sequential_wall_ns: f64,
+    overlap_saved_ns: f64,
+    stage1_bytes: u64,
+    stage3_bytes: u64,
+    launches: u64,
+    load_imbalance: Accum,
+    cache: CacheTraffic,
+    /// One preallocated cell per DPU, indexed by DPU id.
+    per_dpu: Vec<DpuCounters>,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry for a fleet of `nr_dpus` DPUs. When
+    /// `enabled` is false no arena is allocated and every record call
+    /// is a single branch.
+    pub fn new(enabled: bool, nr_dpus: usize) -> Self {
+        MetricsRegistry {
+            enabled,
+            per_dpu: if enabled {
+                vec![DpuCounters::default(); nr_dpus]
+            } else {
+                Vec::new()
+            },
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// Whether this registry records anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Resets every counter to zero (the arenas stay allocated).
+    pub fn reset(&mut self) {
+        let enabled = self.enabled;
+        let mut per_dpu = std::mem::take(&mut self.per_dpu);
+        per_dpu.fill(DpuCounters::default());
+        *self = MetricsRegistry {
+            enabled,
+            per_dpu,
+            ..MetricsRegistry::default()
+        };
+    }
+
+    /// Records one completed batch's stage breakdown.
+    #[inline]
+    pub(crate) fn record_batch(&mut self, batch_size: usize, bd: &EmbeddingBreakdown) {
+        if !self.enabled {
+            return;
+        }
+        self.batches += 1;
+        self.samples += batch_size as u64;
+        self.route_ns.record(bd.route_ns);
+        self.stage1_ns.record(bd.stage1_ns);
+        self.stage2_ns.record(bd.stage2_ns);
+        self.stage3_ns.record(bd.stage3_ns);
+        self.combine_ns.record(bd.combine_ns);
+        self.energy_pj += bd.energy_pj;
+    }
+
+    /// Records one stage-2 fleet launch: its load-imbalance index and
+    /// every participating DPU's run statistics.
+    #[inline]
+    pub(crate) fn record_launch(&mut self, imbalance: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.launches += 1;
+        self.load_imbalance.record(imbalance);
+    }
+
+    /// Folds one DPU's launch statistics into its preallocated cell.
+    #[inline]
+    pub(crate) fn record_dpu(&mut self, dpu: usize, stats: &upmem_sim::DpuRunStats) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(cell) = self.per_dpu.get_mut(dpu) {
+            cell.record(stats);
+        }
+    }
+
+    /// Records one host⇄MRAM transfer phase (`to_mram` distinguishes
+    /// stage 1 from stage 3).
+    #[inline]
+    pub(crate) fn record_transfer(&mut self, to_mram: bool, report: &upmem_sim::TransferReport) {
+        if !self.enabled {
+            return;
+        }
+        if to_mram {
+            self.stage1_bytes += report.bytes;
+        } else {
+            self.stage3_bytes += report.bytes;
+        }
+    }
+
+    /// Records one sample's partial-sum cache lookup outcome.
+    #[inline]
+    pub(crate) fn record_cache_lookup(&mut self, sample_len: usize, hit: &cooccur_cache::CacheHit) {
+        if !self.enabled {
+            return;
+        }
+        self.cache.record(sample_len, hit);
+    }
+
+    /// Records one completed serve: its executed wall and the
+    /// back-to-back wall of the same batches.
+    #[inline]
+    pub(crate) fn record_serve(&mut self, report: &ServeReport, sequential_ns: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.serves += 1;
+        self.serve_wall_ns += report.wall_ns;
+        self.sequential_wall_ns += sequential_ns;
+        self.overlap_saved_ns += sequential_ns - report.wall_ns;
+    }
+
+    /// Copies the registry into a deterministic, serializable
+    /// [`Snapshot`]. Allocates (the per-DPU vector) — call it outside
+    /// the serving loop.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            schema_version: SNAPSHOT_SCHEMA_VERSION,
+            enabled: self.enabled,
+            serves: self.serves,
+            batches: self.batches,
+            samples: self.samples,
+            route_ns: self.route_ns,
+            stage1_ns: self.stage1_ns,
+            stage2_ns: self.stage2_ns,
+            stage3_ns: self.stage3_ns,
+            combine_ns: self.combine_ns,
+            energy_pj: self.energy_pj,
+            serve_wall_ns: self.serve_wall_ns,
+            sequential_wall_ns: self.sequential_wall_ns,
+            overlap_saved_ns: self.overlap_saved_ns,
+            stage1_bytes: self.stage1_bytes,
+            stage3_bytes: self.stage3_bytes,
+            launches: self.launches,
+            load_imbalance: self.load_imbalance,
+            cache: CacheSnapshot {
+                lookups: self.cache.lookups,
+                refs: self.cache.refs,
+                hit_entries: self.cache.hit_entries,
+                covered_refs: self.cache.covered_refs,
+                residual_refs: self.cache.residual_refs,
+                hit_rate: self.cache.hit_rate(),
+                fetches_saved: self.cache.fetches_saved(),
+            },
+            per_dpu: self
+                .per_dpu
+                .iter()
+                .enumerate()
+                .map(|(i, c)| DpuSnapshot {
+                    dpu: i as u32,
+                    launches: c.launches,
+                    cycles: c.cycles,
+                    instrs: c.instrs,
+                    dma_transfers: c.dma_transfers,
+                    mram_bytes: c.dma_bytes,
+                    tasklet_occupancy: c.occupancy(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accum_tracks_extrema_and_mean() {
+        let mut a = Accum::default();
+        assert_eq!(a.mean(), 0.0);
+        a.record(3.0);
+        a.record(1.0);
+        a.record(5.0);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 5.0);
+        assert_eq!(a.sum, 9.0);
+        assert_eq!(a.mean(), 3.0);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut m = MetricsRegistry::new(false, 8);
+        m.record_batch(64, &EmbeddingBreakdown::default());
+        m.record_launch(1.5);
+        m.record_transfer(true, &upmem_sim::TransferReport::default());
+        let s = m.snapshot();
+        assert!(!s.enabled);
+        assert_eq!(s.batches, 0);
+        assert_eq!(s.launches, 0);
+        assert!(s.per_dpu.is_empty());
+    }
+
+    #[test]
+    fn enabled_registry_accumulates_and_resets() {
+        let mut m = MetricsRegistry::new(true, 2);
+        let bd = EmbeddingBreakdown {
+            stage1_ns: 10.0,
+            stage2_ns: 20.0,
+            stage3_ns: 30.0,
+            route_ns: 1.0,
+            combine_ns: 2.0,
+            energy_pj: 100.0,
+            ..EmbeddingBreakdown::default()
+        };
+        m.record_batch(4, &bd);
+        m.record_batch(4, &bd);
+        m.record_launch(1.25);
+        let s = m.snapshot();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.samples, 8);
+        assert_eq!(s.stage1_ns.sum, 20.0);
+        assert_eq!(s.stage2_ns.mean(), 20.0);
+        assert_eq!(s.energy_pj, 200.0);
+        assert_eq!(s.load_imbalance.max, 1.25);
+        assert_eq!(s.per_dpu.len(), 2);
+        assert_eq!(s.mean_stage_total_ns(), 60.0);
+
+        m.reset();
+        let s = m.snapshot();
+        assert!(s.enabled);
+        assert_eq!(s.batches, 0);
+        assert_eq!(s.per_dpu.len(), 2, "arena survives reset");
+        assert_eq!(s.per_dpu[0].launches, 0);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut m = MetricsRegistry::new(true, 3);
+        m.record_batch(
+            16,
+            &EmbeddingBreakdown {
+                stage1_ns: 1.5,
+                stage2_ns: 2.5,
+                stage3_ns: 3.5,
+                ..EmbeddingBreakdown::default()
+            },
+        );
+        m.record_launch(1.1);
+        let snap = m.snapshot();
+        let text = serde::json::to_string_pretty(&snap);
+        let back: Snapshot = serde::json::from_str(&text).expect("parses");
+        assert_eq!(back, snap);
+        // Serialization is deterministic: same snapshot, same bytes.
+        assert_eq!(serde::json::to_string_pretty(&snap), text);
+    }
+}

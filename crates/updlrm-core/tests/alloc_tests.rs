@@ -46,7 +46,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-fn setup(strategy: PartitionStrategy) -> (UpdlrmEngine, Workload) {
+fn setup(strategy: PartitionStrategy, telemetry: bool) -> (UpdlrmEngine, Workload) {
     let spec = DatasetSpec::goodreads().scaled_down(5000);
     let num_tables = 2;
     let workload = Workload::generate(
@@ -66,6 +66,7 @@ fn setup(strategy: PartitionStrategy) -> (UpdlrmEngine, Workload) {
         // Serial fleet execution: the parallel path spawns threads
         // (which allocate); steady-state serving is the 1-thread path.
         .with_host_threads(1);
+    config.telemetry = telemetry;
     config.batch_size = workload.config.batch_size;
     let engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
     (engine, workload)
@@ -74,9 +75,17 @@ fn setup(strategy: PartitionStrategy) -> (UpdlrmEngine, Workload) {
 #[test]
 fn steady_state_serve_stream_is_allocation_free() {
     // Cache-aware is the worst case: routing exercises the partial-sum
-    // cache lookup scratch on top of everything else.
-    for strategy in [PartitionStrategy::Uniform, PartitionStrategy::CacheAware] {
-        let (mut engine, workload) = setup(strategy);
+    // cache lookup scratch on top of everything else. Telemetry must
+    // hold the same invariant: its counter arenas (per-DPU cells, span
+    // accumulators, cache traffic) are preallocated at construction, so
+    // recording adds zero heap operations to the hot path.
+    for (strategy, telemetry) in [
+        (PartitionStrategy::Uniform, false),
+        (PartitionStrategy::CacheAware, false),
+        (PartitionStrategy::Uniform, true),
+        (PartitionStrategy::CacheAware, true),
+    ] {
+        let (mut engine, workload) = setup(strategy, telemetry);
 
         // Warm-up: two serves populate every arena (both MRAM staging
         // slots' kernels, stream buffers at their high-water marks, the
@@ -98,10 +107,17 @@ fn steady_state_serve_stream_is_allocation_free() {
         assert_eq!(
             after - before,
             0,
-            "steady-state serve_stream allocated under {strategy} \
+            "steady-state serve_stream allocated under {strategy} (telemetry {telemetry}) \
              ({} heap ops for {} batches)",
             after - before,
             report.batches
         );
+        if telemetry {
+            // The metrics actually recorded through the zero-alloc pass.
+            let snap = engine.metrics_snapshot();
+            assert_eq!(snap.batches as usize, 3 * workload.batches.len());
+            assert!(snap.launches > 0);
+            assert!(snap.load_imbalance.min >= 1.0 - 1e-9);
+        }
     }
 }

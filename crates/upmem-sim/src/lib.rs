@@ -69,4 +69,4 @@ pub use dpu::{Dpu, Kernel, TaskletCtx};
 pub use error::{Result, SimError};
 pub use host::{default_host_threads, PimConfig, PimSystem};
 pub use mem::{Mram, MramLayout, Wram};
-pub use stats::{DpuRunStats, LaunchReport, TaskletStats, TransferReport};
+pub use stats::{DpuCounters, DpuRunStats, LaunchReport, TaskletStats, TransferReport};

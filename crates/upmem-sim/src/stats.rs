@@ -42,6 +42,71 @@ pub struct DpuRunStats {
     pub energy_pj: f64,
 }
 
+impl DpuRunStats {
+    /// Number of tasklets that issued at least one instruction in this
+    /// launch (a tasklet whose stream slice was empty still runs the
+    /// dispatch prologue, so "busy" means it did real work).
+    pub fn busy_tasklets(&self) -> usize {
+        self.per_tasklet.iter().filter(|t| t.instrs > 0).count()
+    }
+
+    /// Fraction of provisioned tasklets that did real work in this
+    /// launch; `0.0` when no tasklets ran.
+    pub fn tasklet_occupancy(&self) -> f64 {
+        if self.per_tasklet.is_empty() {
+            0.0
+        } else {
+            self.busy_tasklets() as f64 / self.per_tasklet.len() as f64
+        }
+    }
+}
+
+/// Running per-DPU counter cell for fleet telemetry: a fixed-size,
+/// `Copy` accumulator that a caller-owned arena (one cell per DPU,
+/// preallocated) folds [`DpuRunStats`] into after each launch, so a
+/// steady-state serving loop can collect fleet statistics without any
+/// heap allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpuCounters {
+    /// Kernel launches folded into this cell.
+    pub launches: u64,
+    /// Total modeled wall-clock cycles across those launches.
+    pub cycles: u64,
+    /// Total pipeline instructions issued.
+    pub instrs: u64,
+    /// Total MRAM DMA transfers issued.
+    pub dma_transfers: u64,
+    /// Total bytes moved over the MRAM DMA engine.
+    pub dma_bytes: u64,
+    /// Sum over launches of tasklets that did real work.
+    pub busy_tasklets: u64,
+    /// Sum over launches of tasklets provisioned.
+    pub tasklet_slots: u64,
+}
+
+impl DpuCounters {
+    /// Folds one launch's statistics into the running counters.
+    pub fn record(&mut self, stats: &DpuRunStats) {
+        self.launches += 1;
+        self.cycles += stats.cycles.0;
+        self.instrs += stats.totals.instrs;
+        self.dma_transfers += stats.totals.dma_transfers;
+        self.dma_bytes += stats.totals.dma_bytes;
+        self.busy_tasklets += stats.busy_tasklets() as u64;
+        self.tasklet_slots += stats.per_tasklet.len() as u64;
+    }
+
+    /// Mean tasklet occupancy over all recorded launches (`0.0` before
+    /// the first launch).
+    pub fn occupancy(&self) -> f64 {
+        if self.tasklet_slots == 0 {
+            0.0
+        } else {
+            self.busy_tasklets as f64 / self.tasklet_slots as f64
+        }
+    }
+}
+
 /// Result of a kernel launch across a set of DPUs (they execute in
 /// parallel, so the wall time is the slowest DPU).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -150,6 +215,47 @@ mod tests {
     #[test]
     fn imbalance_of_empty_launch_is_one() {
         assert_eq!(LaunchReport::default().imbalance(), 1.0);
+    }
+
+    #[test]
+    fn dpu_counters_fold_launches_and_occupancy() {
+        let stats = DpuRunStats {
+            cycles: Cycles(100),
+            totals: TaskletStats {
+                instrs: 30,
+                dma_cycles: 0,
+                dma_engine_cycles: 0,
+                dma_transfers: 4,
+                dma_bytes: 256,
+            },
+            per_tasklet: vec![
+                TaskletStats {
+                    instrs: 20,
+                    ..TaskletStats::default()
+                },
+                TaskletStats {
+                    instrs: 10,
+                    ..TaskletStats::default()
+                },
+                TaskletStats::default(), // idle tasklet
+            ],
+            energy_pj: 0.0,
+        };
+        assert_eq!(stats.busy_tasklets(), 2);
+        assert!((stats.tasklet_occupancy() - 2.0 / 3.0).abs() < 1e-12);
+
+        let mut cell = DpuCounters::default();
+        assert_eq!(cell.occupancy(), 0.0);
+        cell.record(&stats);
+        cell.record(&stats);
+        assert_eq!(cell.launches, 2);
+        assert_eq!(cell.cycles, 200);
+        assert_eq!(cell.instrs, 60);
+        assert_eq!(cell.dma_transfers, 8);
+        assert_eq!(cell.dma_bytes, 512);
+        assert_eq!(cell.busy_tasklets, 4);
+        assert_eq!(cell.tasklet_slots, 6);
+        assert!((cell.occupancy() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,8 +1,31 @@
 //! Property-based tests for the UPMEM simulator's architectural laws.
 
 use proptest::prelude::*;
-use upmem_sim::arch::{DMA_MAX_TRANSFER, MRAM_CAPACITY};
+use upmem_sim::arch::{Cycles, DpuId, DMA_MAX_TRANSFER, MRAM_CAPACITY};
+use upmem_sim::stats::{DpuRunStats, LaunchReport};
 use upmem_sim::{CostModel, Mram, Wram};
+
+/// A launch report over the given per-DPU cycle counts.
+fn launch_with_cycles(cycles: &[u64]) -> LaunchReport {
+    LaunchReport {
+        wall_cycles: Cycles(cycles.iter().copied().max().unwrap_or(0)),
+        wall_ns: 0.0,
+        per_dpu: cycles
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                (
+                    DpuId(i as u32),
+                    DpuRunStats {
+                        cycles: Cycles(c),
+                        ..DpuRunStats::default()
+                    },
+                )
+            })
+            .collect(),
+        energy_pj: 0.0,
+    }
+}
 
 proptest! {
     /// Any aligned, sized, in-bounds DMA write is readable back verbatim.
@@ -56,6 +79,50 @@ proptest! {
         let m = CostModel::default();
         let (small, large) = (a.min(b) * 8, a.max(b) * 8);
         prop_assert!(m.dma_nanos(small) <= m.dma_nanos(large));
+    }
+
+    /// The load-imbalance index (slowest DPU over mean) is at least 1:
+    /// no fleet can finish before its own average. Exactly 1 only when
+    /// every DPU took the same time (up to f64 division rounding).
+    #[test]
+    fn load_imbalance_is_at_least_one(cycles in prop::collection::vec(0u64..1_000_000, 1..64)) {
+        let imb = launch_with_cycles(&cycles).imbalance();
+        prop_assert!(imb >= 1.0 - 1e-9, "imbalance {imb} < 1 for {cycles:?}");
+        let all_equal = cycles.iter().all(|&c| c == cycles[0]);
+        if all_equal {
+            prop_assert!((imb - 1.0).abs() < 1e-9, "balanced fleet reported {imb}");
+        }
+    }
+
+    /// The imbalance index is a fleet property, not an ordering
+    /// property: relabeling the DPUs (any rotation of the cycle list)
+    /// yields the bit-identical index, because max and the u64 cycle
+    /// sum are both order-independent.
+    #[test]
+    fn load_imbalance_is_invariant_under_dpu_permutation(
+        cycles in prop::collection::vec(0u64..1_000_000, 1..64),
+        rot in 0usize..64,
+    ) {
+        let base = launch_with_cycles(&cycles).imbalance();
+        let mut permuted = cycles.clone();
+        permuted.rotate_left(rot % cycles.len());
+        let rotated = launch_with_cycles(&permuted).imbalance();
+        prop_assert_eq!(
+            base.to_bits(),
+            rotated.to_bits(),
+            "imbalance changed under rotation: {} vs {}",
+            base,
+            rotated
+        );
+        permuted.reverse();
+        let reversed = launch_with_cycles(&permuted).imbalance();
+        prop_assert_eq!(
+            base.to_bits(),
+            reversed.to_bits(),
+            "imbalance changed under reversal: {} vs {}",
+            base,
+            reversed
+        );
     }
 
     /// WRAM round trip for arbitrary in-bounds ranges.

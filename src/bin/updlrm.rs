@@ -5,7 +5,8 @@
 //!              [--strategy u|nu|ca|nur] [--dpus 256] [--nc auto|2|4|8]
 //!              [--scale 200] [--batches 10] [--seed 7] [--host-threads N]
 //!              [--pipeline sequential|doublebuf] [--queue-depth N]
-//!              [--iters 1] [--warmup 0] [--json FILE]
+//!              [--iters 1] [--warmup 0] [--json FILE] [--metrics FILE]
+//! updlrm stats --metrics FILE
 //! updlrm trace [--dataset movie] [--scale 200] [--batches 10] --out trace.upwl
 //! updlrm info  [--dataset read]
 //! ```
@@ -20,7 +21,8 @@ fn usage() -> ! {
         "usage:\n  updlrm run   [--dataset TAG] [--backend updlrm|cpu|hybrid|fae|hetero] \
          [--strategy u|nu|ca|nur] [--dpus N] [--nc auto|2|4|8] [--scale N] [--batches N] [--seed N] \
          [--host-threads N] [--pipeline sequential|doublebuf] [--queue-depth N] \
-         [--iters N] [--warmup N] [--json FILE]\n  \
+         [--iters N] [--warmup N] [--json FILE] [--metrics FILE]\n  \
+         updlrm stats --metrics FILE\n  \
          updlrm trace [--dataset TAG] [--scale N] [--batches N] [--seed N] --out FILE\n  \
          updlrm info  [--dataset TAG]\n\nTAG: clo home meta1 meta2 read read2 movie twitch"
     );
@@ -118,6 +120,66 @@ struct MeasuredJson {
     host_ns_per_sample: f64,
 }
 
+/// Per-stage breakdown section of the `--json` report — the JSON mirror
+/// of the text output's "PIM stages" line, so the JSON report is a
+/// superset of what the terminal prints (present for every PIM-backed
+/// run, with or without `--iters`).
+#[derive(serde::Serialize)]
+struct StagesJson {
+    /// Mean stage-1 (CPU→MRAM scatter) time per batch, microseconds.
+    stage1_us: f64,
+    /// Mean stage-2 (DPU kernel) time per batch, microseconds.
+    stage2_us: f64,
+    /// Mean stage-3 (MRAM→CPU gather) time per batch, microseconds.
+    stage3_us: f64,
+    /// Mean host routing time per batch, microseconds.
+    route_us: f64,
+    /// Mean host combine time per batch, microseconds.
+    combine_us: f64,
+    /// Stage 1's share of the embedding wall, percent.
+    stage1_pct: f64,
+    /// Stage 2's share of the embedding wall, percent.
+    stage2_pct: f64,
+    /// Stage 3's share of the embedding wall, percent.
+    stage3_pct: f64,
+    /// Slowest-over-mean DPU lookup cycles (1.0 = balanced).
+    lookup_imbalance: f64,
+    /// Wall that inter-batch pipelining saves (or would save), percent.
+    pipelining_savings_pct: f64,
+}
+
+impl StagesJson {
+    /// Builds the section from an accumulated breakdown over `n`
+    /// batches and the stream's pipelining estimate.
+    fn from_totals(pim: &EmbeddingBreakdown, n: f64, pr: &PipelineReport) -> StagesJson {
+        let t = pim.total_ns();
+        StagesJson {
+            stage1_us: pim.stage1_ns / n / 1e3,
+            stage2_us: pim.stage2_ns / n / 1e3,
+            stage3_us: pim.stage3_ns / n / 1e3,
+            route_us: pim.route_ns / n / 1e3,
+            combine_us: pim.combine_ns / n / 1e3,
+            stage1_pct: if t > 0.0 {
+                100.0 * pim.stage1_ns / t
+            } else {
+                0.0
+            },
+            stage2_pct: if t > 0.0 {
+                100.0 * pim.stage2_ns / t
+            } else {
+                0.0
+            },
+            stage3_pct: if t > 0.0 {
+                100.0 * pim.stage3_ns / t
+            } else {
+                0.0
+            },
+            lookup_imbalance: pim.lookup_imbalance,
+            pipelining_savings_pct: (1.0 - 1.0 / pr.speedup()) * 100.0,
+        }
+    }
+}
+
 /// Serve-schedule section of the `--json` report.
 #[derive(serde::Serialize)]
 struct ServeJson {
@@ -145,6 +207,7 @@ struct RunJson {
     mean_embedding_us: f64,
     mean_dense_us: f64,
     mean_total_us: f64,
+    stages: Option<StagesJson>,
     serve: Option<ServeJson>,
     measured: Option<MeasuredJson>,
 }
@@ -154,6 +217,14 @@ fn write_json(args: &Args, report: &RunJson) -> Result<(), Box<dyn std::error::E
         std::fs::write(path, serde::json::to_string_pretty(report))?;
         println!("wrote {path}");
     }
+    Ok(())
+}
+
+fn write_metrics(path: &str, snapshot: &Snapshot) -> Result<(), Box<dyn std::error::Error>> {
+    let mut text = serde::json::to_string_pretty(snapshot);
+    text.push('\n');
+    std::fs::write(path, text)?;
+    println!("wrote {path}");
     Ok(())
 }
 
@@ -192,6 +263,17 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     config.pipeline_mode = pipeline;
     config.queue_depth = queue_depth;
+    let metrics_path = args.flags.get("metrics").cloned();
+    if metrics_path.is_some() {
+        // Fleet telemetry lives in the PIM engine; the CPU/GPU
+        // baselines have no DPUs to report on.
+        let backend_name = args.str("backend", "updlrm");
+        if backend_name != "updlrm" {
+            eprintln!("--metrics requires --backend updlrm (got '{backend_name}')");
+            std::process::exit(2)
+        }
+        config.telemetry = true;
+    }
     let iters = args.num("iters", 1);
     let warmup = args.num("warmup", 0);
     // Measured wall-clock is nondeterministic; keep default stdout
@@ -215,6 +297,7 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         mean_embedding_us: 0.0,
         mean_dense_us: 0.0,
         mean_total_us: 0.0,
+        stages: None,
         serve: None,
         measured: None,
     };
@@ -286,6 +369,11 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         report_json.mean_embedding_us = mean_embedding_ns / 1e3;
         report_json.mean_total_us = mean_embedding_ns / 1e3;
+        let mut pim_total = EmbeddingBreakdown::default();
+        for bd in &outcome.breakdowns {
+            pim_total.accumulate(bd);
+        }
+        report_json.stages = Some(StagesJson::from_totals(&pim_total, n, &pr));
         report_json.serve = Some(ServeJson {
             mode: outcome.report.mode.to_string(),
             queue_depth: outcome.report.queue_depth,
@@ -297,6 +385,9 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             speedup_vs_sequential: pr.speedup(),
         });
         write_json(args, &report_json)?;
+        if let Some(path) = &metrics_path {
+            write_metrics(path, &backend.engine().metrics_snapshot())?;
+        }
         return Ok(());
     }
     let mut backend: Box<dyn InferenceBackend> = match args.str("backend", "updlrm").as_str() {
@@ -401,8 +492,99 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             "  inter-batch pipelining would save {:.1}%",
             (1.0 - 1.0 / pr.speedup()) * 100.0
         );
+        report_json.stages = Some(StagesJson::from_totals(pim, n, &pr));
     }
     write_json(args, &report_json)?;
+    if let Some(path) = &metrics_path {
+        let snapshot = backend
+            .metrics_snapshot()
+            .expect("--metrics was validated to require the updlrm backend");
+        write_metrics(path, &snapshot)?;
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = args.flags.get("metrics") else {
+        eprintln!("stats needs --metrics FILE (a snapshot written by `updlrm run --metrics`)");
+        usage()
+    };
+    let text = std::fs::read_to_string(path)?;
+    let snap: Snapshot = serde::json::from_str(&text)?;
+    println!(
+        "metrics snapshot {path} (schema v{}, telemetry {})",
+        snap.schema_version,
+        if snap.enabled { "on" } else { "off" },
+    );
+    println!(
+        "  recorded: {} serves, {} batches, {} samples",
+        snap.serves, snap.batches, snap.samples,
+    );
+    println!(
+        "  stage means/batch: route {:8.1} us | s1 {:8.1} us | s2 {:8.1} us | s3 {:8.1} us | combine {:8.1} us",
+        snap.route_ns.mean() / 1e3,
+        snap.stage1_ns.mean() / 1e3,
+        snap.stage2_ns.mean() / 1e3,
+        snap.stage3_ns.mean() / 1e3,
+        snap.combine_ns.mean() / 1e3,
+    );
+    let t = snap.mean_stage_total_ns();
+    if t > 0.0 {
+        println!(
+            "  stage shares: s1 {:.0}% / s2 {:.0}% / s3 {:.0}%",
+            100.0 * snap.stage1_ns.mean() / t,
+            100.0 * snap.stage2_ns.mean() / t,
+            100.0 * snap.stage3_ns.mean() / t,
+        );
+    }
+    if snap.serves > 0 && snap.sequential_wall_ns > 0.0 {
+        println!(
+            "  pipeline: executed wall {:.1} us vs {:.1} us back-to-back ({:.1}% saved by overlap)",
+            snap.serve_wall_ns / 1e3,
+            snap.sequential_wall_ns / 1e3,
+            100.0 * snap.overlap_saved_ns / snap.sequential_wall_ns,
+        );
+    }
+    println!(
+        "  load imbalance: mean {:.3}  max {:.3}  over {} launches",
+        snap.load_imbalance.mean(),
+        snap.load_imbalance.max,
+        snap.launches,
+    );
+    if snap.cache.refs > 0 {
+        println!(
+            "  cache: {} lookups, {:.1}% of {} refs covered, {} partial-sum rows fetched, {} row fetches saved",
+            snap.cache.lookups,
+            100.0 * snap.cache.hit_rate,
+            snap.cache.refs,
+            snap.cache.hit_entries,
+            snap.cache.fetches_saved,
+        );
+    }
+    println!(
+        "  traffic: {:.2} MB scattered CPU→MRAM (stage 1), {:.2} MB gathered MRAM→CPU (stage 3)",
+        snap.stage1_bytes as f64 / 1e6,
+        snap.stage3_bytes as f64 / 1e6,
+    );
+    if !snap.per_dpu.is_empty() {
+        let cycles: Vec<u64> = snap.per_dpu.iter().map(|d| d.cycles).collect();
+        let total: u64 = cycles.iter().sum();
+        let occ = snap
+            .per_dpu
+            .iter()
+            .map(|d| d.tasklet_occupancy)
+            .sum::<f64>()
+            / snap.per_dpu.len() as f64;
+        println!(
+            "  fleet: {} DPUs, {:.2} Mcycles total, mean tasklet occupancy {:.2}, \
+             busiest/idlest DPU {} / {} cycles",
+            snap.per_dpu.len(),
+            total as f64 / 1e6,
+            occ,
+            cycles.iter().max().unwrap_or(&0),
+            cycles.iter().min().unwrap_or(&0),
+        );
+    }
     Ok(())
 }
 
@@ -447,6 +629,7 @@ fn main() -> ExitCode {
     let args = Args::parse(rest);
     let result = match cmd.as_str() {
         "run" => cmd_run(&args),
+        "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),
         "info" => cmd_info(&args),
         _ => usage(),

@@ -73,8 +73,8 @@ pub mod prelude {
     pub use cooccur_cache::{CacheList, CacheListSet, CooccurGraph, MinerConfig, PartialSumCache};
     pub use dlrm_model::{Dlrm, DlrmConfig, EmbeddingTable, Matrix, QueryBatch, SparseInput};
     pub use updlrm_core::{
-        EmbeddingBreakdown, PartitionStrategy, PipelineMode, PipelineReport, ServeOutcome,
-        ServeReport, Tiling, TilingProblem, UpdlrmConfig, UpdlrmEngine,
+        EmbeddingBreakdown, MetricsRegistry, PartitionStrategy, PipelineMode, PipelineReport,
+        ServeOutcome, ServeReport, Snapshot, Tiling, TilingProblem, UpdlrmConfig, UpdlrmEngine,
     };
     pub use upmem_sim::{CostModel, DpuId, PimConfig, PimSystem};
     pub use workloads::{DatasetSpec, FreqProfile, Hotness, TraceConfig, Workload, ZipfSampler};

@@ -259,6 +259,137 @@ fn json_report_reflects_flags() {
 }
 
 #[test]
+fn metrics_snapshot_is_deterministic_across_runs() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let a = dir.join("metrics-a.json");
+    let b = dir.join("metrics-b.json");
+    for path in [&a, &b] {
+        let out = updlrm()
+            .args(QUICK_RUN)
+            .args(["--seed", "7", "--host-threads", "1", "--metrics"])
+            .arg(path)
+            .output()
+            .expect("run");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let first = std::fs::read(&a).expect("snapshot a");
+    let second = std::fs::read(&b).expect("snapshot b");
+    assert!(
+        first == second,
+        "same-seed metrics snapshots must be byte-identical"
+    );
+    // The snapshot carries only modeled values and counts.
+    let text = String::from_utf8(first).expect("utf8 json");
+    assert!(text.contains("\"schema_version\": 1"), "{text}");
+    assert!(text.contains("\"per_dpu\""), "{text}");
+    assert!(text.contains("\"load_imbalance\""), "{text}");
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn stats_pretty_prints_a_snapshot() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics-stats.json");
+    let out = updlrm()
+        .args(QUICK_RUN)
+        .args(["--pipeline", "doublebuf", "--metrics"])
+        .arg(&path)
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = updlrm()
+        .arg("stats")
+        .arg("--metrics")
+        .arg(&path)
+        .output()
+        .expect("stats");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("schema v1"), "stdout: {text}");
+    assert!(text.contains("stage shares"), "stdout: {text}");
+    assert!(text.contains("load imbalance"), "stdout: {text}");
+    assert!(text.contains("fleet: 32 DPUs"), "stdout: {text}");
+    // The doublebuf run recorded serve-level overlap statistics.
+    assert!(text.contains("saved by overlap"), "stdout: {text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn metrics_requires_the_updlrm_backend() {
+    let out = updlrm()
+        .args(QUICK_RUN)
+        .args(["--backend", "cpu", "--metrics", "/tmp/never-written.json"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --backend updlrm"));
+}
+
+#[test]
+fn stats_without_metrics_flag_exits_with_usage() {
+    let out = updlrm().arg("stats").output().expect("stats");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--metrics"));
+}
+
+#[test]
+fn json_report_is_a_superset_of_the_text_breakdown() {
+    // Regression: with --iters the text output printed the "PIM stages"
+    // line but the --json report dropped the per-stage breakdown.
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for (name, extra) in [
+        ("stages-iters.json", &["--iters", "2", "--json"][..]),
+        ("stages-plain.json", &["--json"][..]),
+        (
+            "stages-dbl.json",
+            &["--pipeline", "doublebuf", "--json"][..],
+        ),
+    ] {
+        let path = dir.join(name);
+        let out = updlrm()
+            .args(QUICK_RUN)
+            .args(extra)
+            .arg(&path)
+            .output()
+            .expect("run");
+        assert!(
+            out.status.success(),
+            "{name}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read_to_string(&path).expect("json written");
+        for field in [
+            "\"stages\": {",
+            "\"stage1_us\"",
+            "\"stage2_pct\"",
+            "\"lookup_imbalance\"",
+            "\"pipelining_savings_pct\"",
+        ] {
+            assert!(json.contains(field), "{name} missing {field}: {json}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
 fn unknown_arguments_exit_nonzero() {
     let out = updlrm()
         .args(["run", "--dataset", "nope"])
