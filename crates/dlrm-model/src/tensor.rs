@@ -25,6 +25,18 @@ impl Matrix {
         }
     }
 
+    /// Reshapes the matrix in place to `rows x cols` with every element
+    /// zeroed, reusing the existing allocation. Capacity only grows, so
+    /// once a matrix has seen its largest shape, later `reset_zeroed`
+    /// calls are allocation-free — this is what lets pooled-output
+    /// recycling survive varying batch sizes.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Creates a matrix from row-major data.
     ///
     /// # Errors

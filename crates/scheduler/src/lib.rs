@@ -1,0 +1,714 @@
+//! # scheduler — open-loop serving front-end on modeled time
+//!
+//! The engine (`updlrm_core`) is closed-loop: callers hand it
+//! pre-formed batches and it reports how long the pipeline took. This
+//! crate adds the missing front half of a serving system — *arrivals*,
+//! *queueing* and *batch formation* — as a deterministic discrete-event
+//! simulation that runs entirely on modeled time:
+//!
+//! * queries arrive according to the workload's
+//!   [`ArrivalTrace`](workloads::ArrivalTrace) (UPWL v2);
+//! * a bounded admission queue absorbs them, applying an
+//!   [`OverloadPolicy`] when full;
+//! * a deadline-aware dynamic batcher closes a batch when it reaches
+//!   `max_batch_size` **or** when the oldest queued query has waited
+//!   `max_wait_ns` (plus a final drain flush at end of trace);
+//! * each formed batch runs through
+//!   [`UpdlrmEngine::serve_stream`](updlrm_core::UpdlrmEngine::serve_stream),
+//!   whose modeled wall becomes the engine-busy interval of the event
+//!   loop;
+//! * per-request latency = queue wait + batch wait + modeled pipeline
+//!   time, i.e. `batch completion − arrival`.
+//!
+//! No wall clock enters any computation, so a fixed seed and
+//! configuration produce bit-identical [`SchedReport`]s, pooled
+//! embeddings and telemetry snapshots across runs and machines — the
+//! same determinism contract the rest of the repo upholds (DESIGN.md
+//! §4.7). Steady-state runs are also allocation-free after warm-up:
+//! the queue, the assembly scratch and the latency buffer are
+//! preallocated and recycled (`tests/alloc_tests.rs`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+
+use dlrm_model::{Matrix, QueryBatch};
+use updlrm_core::engine::EmbeddingBreakdown;
+use updlrm_core::{percentile, CoreError, Result, SchedTrigger, UpdlrmEngine};
+use workloads::{Workload, NS_PER_SEC};
+
+/// What to do with a new arrival when the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Hold the arrival at the door until a slot frees (its latency
+    /// keeps accruing from the original arrival time). Nothing is
+    /// dropped: every request eventually completes.
+    Block,
+    /// Evict the oldest queued request to make room (the evicted
+    /// request is counted shed and never completes). Keeps the queue
+    /// full of the freshest traffic — the classic tail-latency play.
+    #[default]
+    ShedOldest,
+    /// Drop the new arrival on the floor (counted rejected).
+    RejectNew,
+}
+
+impl OverloadPolicy {
+    /// CLI spelling of the policy.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OverloadPolicy::Block => "block",
+            OverloadPolicy::ShedOldest => "shed-oldest",
+            OverloadPolicy::RejectNew => "reject-new",
+        }
+    }
+}
+
+impl std::str::FromStr for OverloadPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "block" => Ok(OverloadPolicy::Block),
+            "shed-oldest" => Ok(OverloadPolicy::ShedOldest),
+            "reject-new" => Ok(OverloadPolicy::RejectNew),
+            other => Err(format!(
+                "unknown overload policy '{other}' (expected 'block', 'shed-oldest' or 'reject-new')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for OverloadPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Batcher and admission-queue parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedConfig {
+    /// Close a batch as soon as this many queries are queued. Must not
+    /// exceed twice the engine's configured `batch_size` (the staged
+    /// MRAM capacity `route_batch` enforces).
+    pub max_batch_size: usize,
+    /// Close a batch once its oldest query has waited this long (ns of
+    /// modeled time).
+    pub max_wait_ns: u64,
+    /// Admission-queue capacity; arrivals beyond it hit the
+    /// [`OverloadPolicy`].
+    pub queue_cap: usize,
+    /// What happens to arrivals when the queue is full.
+    pub policy: OverloadPolicy,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            max_batch_size: 64,
+            max_wait_ns: 200_000, // 200 us
+            queue_cap: 256,
+            policy: OverloadPolicy::default(),
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Checks the parameters for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] on a zero batch size, zero wait or
+    /// zero queue capacity.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch_size == 0 {
+            return Err(CoreError::InvalidConfig(
+                "max_batch_size must be >= 1".into(),
+            ));
+        }
+        if self.max_wait_ns == 0 {
+            return Err(CoreError::InvalidConfig(
+                "max_wait_ns must be >= 1 (0 would close every batch instantly)".into(),
+            ));
+        }
+        if self.queue_cap == 0 {
+            return Err(CoreError::InvalidConfig(
+                "queue_cap must be >= 1 (0 admits nothing)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate statistics of one [`Scheduler::run`].
+///
+/// Every field is a count or a modeled time — two runs with the same
+/// workload and configuration produce bit-identical reports.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SchedReport {
+    /// Queries in the arrival trace.
+    pub requests: u64,
+    /// Queries admitted into the queue (includes later-shed ones).
+    pub admitted: u64,
+    /// Queries that ran through the engine and completed.
+    pub completed: u64,
+    /// Queries evicted by [`OverloadPolicy::ShedOldest`].
+    pub shed: u64,
+    /// Queries dropped by [`OverloadPolicy::RejectNew`].
+    pub rejected: u64,
+    /// Queries that found the queue full under
+    /// [`OverloadPolicy::Block`] and waited at the door.
+    pub blocked: u64,
+    /// Batches formed.
+    pub batches: u64,
+    /// Batches closed because the queue reached `max_batch_size`.
+    pub trigger_size: u64,
+    /// Batches closed by the oldest query's wait deadline.
+    pub trigger_deadline: u64,
+    /// Batches closed by the end-of-trace flush.
+    pub trigger_drain: u64,
+    /// Deepest the queue ever got.
+    pub queue_high_water: u64,
+    /// Mean formed-batch size.
+    pub mean_batch_size: f64,
+    /// Offered load: requests per second of modeled time over the
+    /// arrival span.
+    pub offered_qps: f64,
+    /// Achieved goodput: completed requests per second of modeled time
+    /// over the makespan.
+    pub achieved_qps: f64,
+    /// Modeled time from the first arrival to the last batch's drain
+    /// (ns).
+    pub makespan_ns: f64,
+    /// Mean completed-request latency (arrival → batch drain), ns.
+    pub mean_latency_ns: f64,
+    /// Median completed-request latency, nearest-rank, ns.
+    pub p50_latency_ns: f64,
+    /// 95th-percentile completed-request latency, ns.
+    pub p95_latency_ns: f64,
+    /// 99th-percentile completed-request latency, ns.
+    pub p99_latency_ns: f64,
+    /// Worst completed-request latency, ns.
+    pub max_latency_ns: f64,
+}
+
+/// Copies query `ids` (global batch-major indices into `workload`'s
+/// pre-formed batches) into `out` as one CSR batch, reusing `out`'s
+/// buffers. Allocation-free once `out`'s buffers have warmed to the
+/// largest assembled shape. Shared by the scheduler's hot loop and the
+/// differential tests so both sides form bit-identical batches.
+///
+/// # Panics
+///
+/// Panics if an id is out of range or `out.sparse` was not sized to
+/// the workload's table count (callers size it via
+/// [`Scheduler::new`]'s scratch or their own `QueryBatch`).
+pub fn assemble_into(workload: &Workload, ids: &[u32], out: &mut QueryBatch) {
+    let bs = workload.config.batch_size;
+    let nd = workload.config.num_dense;
+    out.num_dense = nd;
+    out.dense.clear();
+    for &id in ids {
+        let (bi, si) = (id as usize / bs, id as usize % bs);
+        out.dense
+            .extend_from_slice(&workload.batches[bi].dense[si * nd..(si + 1) * nd]);
+    }
+    assert_eq!(out.sparse.len(), workload.config.num_tables);
+    for (t, sp) in out.sparse.iter_mut().enumerate() {
+        sp.indices.clear();
+        sp.offsets.clear();
+        sp.offsets.push(0);
+        for &id in ids {
+            let (bi, si) = (id as usize / bs, id as usize % bs);
+            sp.indices
+                .extend_from_slice(workload.batches[bi].sparse[t].sample(si));
+            sp.offsets.push(sp.indices.len());
+        }
+    }
+}
+
+/// The discrete-event scheduler. Owns all steady-state scratch (queue,
+/// assembly batch, latency buffer, histogram), so one `Scheduler` can
+/// drive many runs without allocating after the first.
+#[derive(Debug)]
+pub struct Scheduler {
+    cfg: SchedConfig,
+    /// Admitted queries: (global query id, arrival ns).
+    queue: VecDeque<(u32, u64)>,
+    /// Ids popped for the batch being formed.
+    formed_ids: Vec<u32>,
+    /// The assembled CSR batch handed to the engine.
+    batch: QueryBatch,
+    /// Completed-request latencies (ns), sorted at report time.
+    latencies: Vec<f64>,
+    /// `hist[k]` = batches formed with exactly `k` queries.
+    hist: Vec<u64>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler, preallocating the admission queue and the
+    /// batch-size histogram.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if `cfg` fails
+    /// [`SchedConfig::validate`].
+    pub fn new(cfg: SchedConfig) -> Result<Scheduler> {
+        cfg.validate()?;
+        Ok(Scheduler {
+            cfg,
+            queue: VecDeque::with_capacity(cfg.queue_cap),
+            formed_ids: Vec::with_capacity(cfg.max_batch_size),
+            batch: QueryBatch::default(),
+            latencies: Vec::new(),
+            hist: vec![0; cfg.max_batch_size + 1],
+        })
+    }
+
+    /// The configuration this scheduler runs.
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Batch-size histogram of the last run: `histogram()[k]` is the
+    /// number of batches formed with exactly `k` queries
+    /// (`0 <= k <= max_batch_size`).
+    pub fn batch_histogram(&self) -> &[u64] {
+        &self.hist
+    }
+
+    /// Replays `workload`'s arrival trace through the event loop,
+    /// forming batches and running each through `engine.serve_stream`.
+    /// `sink(batch_seq, query_ids, pooled, breakdown)` fires once per
+    /// formed batch in launch order, lending the pooled embeddings
+    /// exactly as `serve_stream` does.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if the workload has no arrival
+    /// trace (closed-loop) or the engine cannot take batches of
+    /// `max_batch_size`; engine errors propagate.
+    pub fn run<F>(
+        &mut self,
+        engine: &mut UpdlrmEngine,
+        workload: &Workload,
+        mut sink: F,
+    ) -> Result<SchedReport>
+    where
+        F: FnMut(usize, &[u32], &[Matrix], &EmbeddingBreakdown),
+    {
+        let times = &workload.arrivals.times_ns;
+        let n = times.len();
+        if n == 0 {
+            return Err(CoreError::InvalidConfig(
+                "workload has no arrival trace (closed-loop); stamp arrivals first".into(),
+            ));
+        }
+        if self.cfg.max_batch_size > engine.config().batch_size * 2 {
+            return Err(CoreError::InvalidConfig(format!(
+                "max_batch_size {} exceeds the engine's staged capacity {} (2x its batch_size)",
+                self.cfg.max_batch_size,
+                engine.config().batch_size * 2
+            )));
+        }
+        // Size the assembly scratch to the workload's table count once;
+        // reuse thereafter.
+        if self.batch.sparse.len() != workload.config.num_tables {
+            self.batch.sparse = vec![Default::default(); workload.config.num_tables];
+        }
+        self.queue.clear();
+        self.latencies.clear();
+        self.latencies.reserve(n);
+        self.hist.fill(0);
+
+        let max_wait = self.cfg.max_wait_ns as f64;
+        let mut report = SchedReport {
+            requests: n as u64,
+            admitted: 0,
+            completed: 0,
+            shed: 0,
+            rejected: 0,
+            blocked: 0,
+            batches: 0,
+            trigger_size: 0,
+            trigger_deadline: 0,
+            trigger_drain: 0,
+            queue_high_water: 0,
+            mean_batch_size: 0.0,
+            offered_qps: workload.arrivals.measured_offered_qps(),
+            achieved_qps: 0.0,
+            makespan_ns: 0.0,
+            mean_latency_ns: 0.0,
+            p50_latency_ns: 0.0,
+            p95_latency_ns: 0.0,
+            p99_latency_ns: 0.0,
+            max_latency_ns: 0.0,
+        };
+
+        let mut next = 0usize; // next arrival not yet admitted or dropped
+        let mut now = 0.0f64;
+        let mut engine_free = 0.0f64;
+        let mut seq = 0usize; // formed-batch sequence number
+                              // Under Block, a full queue latches the door shut until the next
+                              // launch frees slots (re-attempting immediately would spin).
+        let mut door_blocked = false;
+        // First arrival index already counted as blocked, so a query
+        // waiting at the door across several loop turns counts once.
+        let mut blocked_counted = 0usize;
+
+        loop {
+            if self.queue.is_empty() {
+                if next >= n {
+                    break;
+                }
+                // Jump the clock to the next arrival; an empty queue
+                // always has room (queue_cap >= 1) so the door reopens.
+                now = now.max(times[next] as f64);
+                door_blocked = false;
+                self.admit(engine, times, &mut next, &mut report);
+                continue;
+            }
+
+            // Candidate launch instants given the current queue. A
+            // launch can never precede `now` (events already applied)
+            // or `engine_free` (single modeled server).
+            let head_arrival = self.queue.front().expect("nonempty").1 as f64;
+            let t_deadline = (head_arrival + max_wait).max(engine_free).max(now);
+            let t_size = if self.queue.len() >= self.cfg.max_batch_size {
+                engine_free.max(now)
+            } else {
+                f64::INFINITY
+            };
+            let t_drain = if next >= n {
+                engine_free.max(now)
+            } else {
+                f64::INFINITY
+            };
+            let t_launch = t_size.min(t_deadline).min(t_drain);
+
+            // Arrivals at or before the launch instant are admitted
+            // first — they may join this batch or change the trigger.
+            if !door_blocked && next < n && (times[next] as f64) <= t_launch {
+                now = now.max(times[next] as f64);
+                let full_before = self.queue.len() == self.cfg.queue_cap;
+                self.admit(engine, times, &mut next, &mut report);
+                if full_before && self.cfg.policy == OverloadPolicy::Block {
+                    door_blocked = true;
+                    if next >= blocked_counted {
+                        report.blocked += 1;
+                        blocked_counted = next + 1;
+                        engine.metrics_mut().record_sched_block();
+                    }
+                }
+                continue;
+            }
+
+            // Launch. Priority on ties: size beats deadline beats drain.
+            now = t_launch;
+            let trigger = if t_size == t_launch {
+                SchedTrigger::Size
+            } else if t_deadline == t_launch {
+                SchedTrigger::Deadline
+            } else {
+                SchedTrigger::Drain
+            };
+            let k = self.queue.len().min(self.cfg.max_batch_size);
+            self.formed_ids.clear();
+            let mut oldest = 0u64;
+            for _ in 0..k {
+                let (id, at) = self.queue.pop_front().expect("len checked");
+                self.formed_ids.push(id);
+                oldest = oldest.max(at); // ids are FIFO; track for debug
+            }
+            debug_assert!(oldest as f64 <= now + 1.0, "launch precedes an arrival");
+            let Scheduler {
+                batch, formed_ids, ..
+            } = &mut *self;
+            assemble_into(workload, formed_ids, batch);
+            let mut service_ns = 0.0f64;
+            engine.serve_stream(std::slice::from_ref(&*batch), |_, pooled, bd| {
+                service_ns = bd.total_ns();
+                sink(seq, formed_ids, pooled, bd);
+            })?;
+            engine_free = now + service_ns;
+            report.batches += 1;
+            match trigger {
+                SchedTrigger::Size => report.trigger_size += 1,
+                SchedTrigger::Deadline => report.trigger_deadline += 1,
+                SchedTrigger::Drain => report.trigger_drain += 1,
+            }
+            self.hist[k] += 1;
+            engine.metrics_mut().record_sched_batch(k, trigger);
+            for i in 0..k {
+                // Latency from the original arrival to the batch drain.
+                let at = times[self.formed_ids[i] as usize] as f64;
+                self.latencies.push(engine_free - at);
+            }
+            report.completed += k as u64;
+            seq += 1;
+            door_blocked = false;
+        }
+
+        report.makespan_ns = engine_free;
+        report.achieved_qps = if engine_free > 0.0 {
+            report.completed as f64 * NS_PER_SEC / engine_free
+        } else {
+            0.0
+        };
+        report.mean_batch_size = if report.batches > 0 {
+            report.completed as f64 / report.batches as f64
+        } else {
+            0.0
+        };
+        self.latencies
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        if let Some(&max) = self.latencies.last() {
+            report.max_latency_ns = max;
+            report.mean_latency_ns =
+                self.latencies.iter().sum::<f64>() / self.latencies.len() as f64;
+        }
+        report.p50_latency_ns = percentile(&self.latencies, 0.50);
+        report.p95_latency_ns = percentile(&self.latencies, 0.95);
+        report.p99_latency_ns = percentile(&self.latencies, 0.99);
+        Ok(report)
+    }
+
+    /// Admits arrival `*next` under the overload policy, advancing
+    /// `*next` unless the policy is Block and the queue is full.
+    fn admit(
+        &mut self,
+        engine: &mut UpdlrmEngine,
+        times: &[u64],
+        next: &mut usize,
+        report: &mut SchedReport,
+    ) {
+        let id = *next as u32;
+        let at = times[*next];
+        if self.queue.len() == self.cfg.queue_cap {
+            match self.cfg.policy {
+                OverloadPolicy::Block => {
+                    // The caller latches the door; `next` stays put and
+                    // is re-attempted after the next launch.
+                    return;
+                }
+                OverloadPolicy::ShedOldest => {
+                    self.queue.pop_front();
+                    report.shed += 1;
+                    engine.metrics_mut().record_sched_shed();
+                }
+                OverloadPolicy::RejectNew => {
+                    report.rejected += 1;
+                    engine.metrics_mut().record_sched_reject();
+                    *next += 1;
+                    return;
+                }
+            }
+        }
+        self.queue.push_back((id, at));
+        report.admitted += 1;
+        report.queue_high_water = report.queue_high_water.max(self.queue.len() as u64);
+        engine.metrics_mut().record_sched_admit(self.queue.len());
+        *next += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_model::EmbeddingTable;
+    use updlrm_core::{PartitionStrategy, UpdlrmConfig};
+    use workloads::{ArrivalProcess, DatasetSpec, TraceConfig};
+
+    const DIM: usize = 32;
+
+    fn setup(num_batches: usize, process: ArrivalProcess) -> (Vec<EmbeddingTable>, Workload) {
+        let spec = DatasetSpec::goodreads().scaled_down(5000);
+        let mut workload = Workload::generate(
+            &spec,
+            TraceConfig {
+                num_tables: 2,
+                num_batches,
+                ..TraceConfig::default()
+            },
+        );
+        workload.stamp_arrivals(process);
+        let tables = (0..2)
+            .map(|t| {
+                EmbeddingTable::random_integer_valued(spec.num_items, DIM, 3, t as u64).unwrap()
+            })
+            .collect();
+        (tables, workload)
+    }
+
+    fn engine(tables: &[EmbeddingTable], workload: &Workload, max_batch: usize) -> UpdlrmEngine {
+        let config = UpdlrmConfig::with_dpus(16, PartitionStrategy::NonUniform);
+        let config = UpdlrmConfig {
+            batch_size: max_batch,
+            ..config
+        };
+        UpdlrmEngine::from_workload(config, tables, workload).unwrap()
+    }
+
+    /// A QPS high enough to saturate the modeled engine for this setup.
+    const HOT_QPS: f64 = 50_000_000.0;
+    /// A QPS low enough that every batch is deadline-triggered.
+    const COLD_QPS: f64 = 1_000.0;
+
+    #[test]
+    fn rejects_bad_configs_and_closed_loop_workloads() {
+        assert!(Scheduler::new(SchedConfig {
+            max_batch_size: 0,
+            ..SchedConfig::default()
+        })
+        .is_err());
+        assert!(Scheduler::new(SchedConfig {
+            max_wait_ns: 0,
+            ..SchedConfig::default()
+        })
+        .is_err());
+        assert!(Scheduler::new(SchedConfig {
+            queue_cap: 0,
+            ..SchedConfig::default()
+        })
+        .is_err());
+
+        let (tables, mut workload) = setup(1, ArrivalProcess::poisson(COLD_QPS, 1));
+        workload.arrivals = workloads::ArrivalTrace::closed_loop();
+        let mut eng = engine(&tables, &workload, 64);
+        let mut s = Scheduler::new(SchedConfig::default()).unwrap();
+        let err = s.run(&mut eng, &workload, |_, _, _, _| {}).unwrap_err();
+        assert!(err.to_string().contains("arrival"), "{err}");
+    }
+
+    #[test]
+    fn two_runs_are_bit_identical() {
+        let (tables, workload) = setup(3, ArrivalProcess::bursty(200_000.0, 5));
+        let cfg = SchedConfig {
+            max_batch_size: 32,
+            max_wait_ns: 50_000,
+            queue_cap: 64,
+            policy: OverloadPolicy::ShedOldest,
+        };
+        let mut reports = Vec::new();
+        let mut pooled_sums = Vec::new();
+        for _ in 0..2 {
+            let mut eng = engine(&tables, &workload, 32);
+            let mut s = Scheduler::new(cfg).unwrap();
+            let mut sum = 0.0f64;
+            let r = s
+                .run(&mut eng, &workload, |_, _, pooled, _| {
+                    for m in pooled {
+                        sum += m.as_slice().iter().map(|&v| v as f64).sum::<f64>();
+                    }
+                })
+                .unwrap();
+            reports.push(r);
+            pooled_sums.push(sum);
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(pooled_sums[0].to_bits(), pooled_sums[1].to_bits());
+    }
+
+    #[test]
+    fn low_load_forms_deadline_batches_and_completes_everything() {
+        let (tables, workload) = setup(1, ArrivalProcess::poisson(COLD_QPS, 2));
+        let mut eng = engine(&tables, &workload, 64);
+        let mut s = Scheduler::new(SchedConfig::default()).unwrap();
+        let r = s.run(&mut eng, &workload, |_, _, _, _| {}).unwrap();
+        assert_eq!(r.completed, r.requests);
+        assert_eq!(r.shed + r.rejected, 0);
+        assert_eq!(r.trigger_size, 0, "1k qps never fills a 64-batch");
+        assert!(r.trigger_deadline > 0);
+        assert!(r.mean_batch_size < 8.0, "got {}", r.mean_batch_size);
+        // Latency is bounded by wait deadline + service.
+        assert!(r.p50_latency_ns < 1_000_000.0, "{}", r.p50_latency_ns);
+        // Histogram mass equals batch count.
+        let hist_total: u64 = s.batch_histogram().iter().sum();
+        assert_eq!(hist_total, r.batches);
+    }
+
+    #[test]
+    fn overload_sheds_rejects_or_blocks_per_policy() {
+        let (tables, workload) = setup(3, ArrivalProcess::poisson(HOT_QPS, 3));
+        let base = SchedConfig {
+            max_batch_size: 32,
+            max_wait_ns: 100_000,
+            queue_cap: 48,
+            policy: OverloadPolicy::ShedOldest,
+        };
+
+        let mut eng = engine(&tables, &workload, 32);
+        let mut s = Scheduler::new(base).unwrap();
+        let shed = s.run(&mut eng, &workload, |_, _, _, _| {}).unwrap();
+        assert!(shed.shed > 0, "saturation must shed: {shed:?}");
+        assert_eq!(shed.completed + shed.shed, shed.requests);
+        assert_eq!(shed.rejected, 0);
+        assert!(shed.trigger_size > 0);
+
+        let mut eng = engine(&tables, &workload, 32);
+        let mut s = Scheduler::new(SchedConfig {
+            policy: OverloadPolicy::RejectNew,
+            ..base
+        })
+        .unwrap();
+        let rej = s.run(&mut eng, &workload, |_, _, _, _| {}).unwrap();
+        assert!(rej.rejected > 0);
+        assert_eq!(rej.completed + rej.rejected, rej.requests);
+        assert_eq!(rej.shed, 0);
+
+        let mut eng = engine(&tables, &workload, 32);
+        let mut s = Scheduler::new(SchedConfig {
+            policy: OverloadPolicy::Block,
+            ..base
+        })
+        .unwrap();
+        let blk = s.run(&mut eng, &workload, |_, _, _, _| {}).unwrap();
+        assert_eq!(blk.completed, blk.requests, "block drops nothing");
+        assert!(blk.blocked > 0, "saturation must block: {blk:?}");
+        assert!(
+            blk.max_latency_ns > shed.max_latency_ns,
+            "blocking trades latency for completeness: {} vs {}",
+            blk.max_latency_ns,
+            shed.max_latency_ns
+        );
+    }
+
+    #[test]
+    fn queue_never_exceeds_cap_and_batches_never_exceed_max() {
+        let (tables, workload) = setup(2, ArrivalProcess::bursty(HOT_QPS / 4.0, 9));
+        let cfg = SchedConfig {
+            max_batch_size: 16,
+            max_wait_ns: 30_000,
+            queue_cap: 24,
+            policy: OverloadPolicy::ShedOldest,
+        };
+        let mut eng = engine(&tables, &workload, 16);
+        let mut s = Scheduler::new(cfg).unwrap();
+        let r = s
+            .run(&mut eng, &workload, |_, ids, pooled, _| {
+                assert!(!ids.is_empty() && ids.len() <= 16);
+                assert_eq!(pooled[0].rows(), ids.len());
+            })
+            .unwrap();
+        assert!(r.queue_high_water <= 24, "{}", r.queue_high_water);
+        assert!(
+            s.batch_histogram()[17..].iter().all(|&c| c == 0),
+            "no batch above max_batch_size"
+        );
+    }
+
+    #[test]
+    fn policy_strings_round_trip() {
+        for p in [
+            OverloadPolicy::Block,
+            OverloadPolicy::ShedOldest,
+            OverloadPolicy::RejectNew,
+        ] {
+            let parsed: OverloadPolicy = p.as_str().parse().unwrap();
+            assert_eq!(parsed, p);
+            assert_eq!(format!("{p}"), p.as_str());
+        }
+        assert!("drop-all".parse::<OverloadPolicy>().is_err());
+    }
+}

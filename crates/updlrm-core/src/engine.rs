@@ -706,6 +706,13 @@ impl UpdlrmEngine {
         &self.metrics
     }
 
+    /// Mutable access to the telemetry recorder, for front-ends (the
+    /// open-loop scheduler) that record their own counters alongside
+    /// the engine's.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
     /// Takes a deterministic, serializable [`Snapshot`] of everything
     /// recorded so far. Allocates; call it outside the serving loop.
     pub fn metrics_snapshot(&self) -> Snapshot {
@@ -1009,17 +1016,14 @@ impl UpdlrmEngine {
         metrics.record_transfer(false, &gather_report);
 
         // Pooled outputs come from the recycle pool when a returned set
-        // matches this batch's shape; zeroing reuses the allocation.
+        // has one matrix per table; each matrix is reshaped in place to
+        // this batch's size (capacity only grows, so after a set has
+        // seen the largest batch the reuse is allocation-free even when
+        // batch sizes vary, as the scheduler's partial batches do).
         let mut pooled: Vec<Matrix> = match scratch.matrix_pool.pop() {
-            Some(mut set)
-                if set.len() == tables.len()
-                    && set
-                        .iter()
-                        .zip(tables.iter())
-                        .all(|(m, s)| m.rows() == b && m.cols() == s.dim) =>
-            {
-                for m in &mut set {
-                    m.as_mut_slice().fill(0.0);
+            Some(mut set) if set.len() == tables.len() => {
+                for (m, s) in set.iter_mut().zip(tables.iter()) {
+                    m.reset_zeroed(b, s.dim);
                 }
                 set
             }

@@ -28,6 +28,7 @@ pub mod kernel;
 pub mod partition;
 pub mod pipeline;
 pub mod serve;
+pub mod stats;
 pub mod telemetry;
 pub mod tiling;
 
@@ -41,5 +42,8 @@ pub use partition::{
 };
 pub use pipeline::{pipelined_wall_ns, sequential_wall_ns, PipelineReport};
 pub use serve::{PipelineMode, ServeOutcome, ServeReport};
-pub use telemetry::{MetricsRegistry, Snapshot};
+pub use stats::percentile;
+pub use telemetry::{
+    MetricsRegistry, SchedSnapshot, SchedTrigger, Snapshot, SNAPSHOT_SCHEMA_VERSION,
+};
 pub use tiling::{Tiling, TilingProblem, CANDIDATE_NC, MAX_TILE_ELEMENTS};

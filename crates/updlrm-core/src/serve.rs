@@ -20,6 +20,7 @@
 use crate::engine::{EmbeddingBreakdown, UpdlrmEngine, STAGING_SLOTS};
 use crate::error::{CoreError, Result};
 use crate::pipeline::{pipelined_wall_ns, sequential_wall_ns};
+use crate::stats::percentile;
 use dlrm_model::{Matrix, QueryBatch};
 
 /// Batch schedule used by [`UpdlrmEngine::serve`].
@@ -99,16 +100,6 @@ pub struct ServeOutcome {
     pub breakdowns: Vec<EmbeddingBreakdown>,
     /// Aggregate wall/throughput/latency statistics.
     pub report: ServeReport,
-}
-
-/// Nearest-rank percentile (`q` in `[0, 1]`) of an ascending-sorted
-/// nonempty slice; `0.0` for an empty one.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Reusable per-engine working memory for [`UpdlrmEngine::serve_stream`]
@@ -403,15 +394,5 @@ mod tests {
             assert_eq!(format!("{mode}"), mode.as_str());
         }
         assert!("dbl".parse::<PipelineMode>().is_err());
-    }
-
-    #[test]
-    fn percentile_is_nearest_rank() {
-        let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&v, 0.50), 2.0);
-        assert_eq!(percentile(&v, 0.95), 4.0);
-        assert_eq!(percentile(&v, 0.25), 1.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        assert_eq!(percentile(&[7.0], 0.99), 7.0);
     }
 }

@@ -32,7 +32,20 @@ use crate::serve::ServeReport;
 
 /// Version stamp of the [`Snapshot`] schema; bump on any field change
 /// so the CI golden diff fails loudly instead of silently reshaping.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the [`SchedSnapshot`] block (open-loop scheduler counters).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
+
+/// Why the open-loop batcher closed a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedTrigger {
+    /// The queue reached `max_batch_size`.
+    Size,
+    /// The oldest queued request hit its `max_wait_ns` deadline.
+    Deadline,
+    /// The arrival stream ended and the queue was flushed.
+    Drain,
+}
 
 /// Running distribution summary of one recurring quantity (a stage's
 /// nanoseconds, a launch's imbalance index): count, sum and extrema.
@@ -111,6 +124,35 @@ pub struct CacheSnapshot {
     pub fetches_saved: u64,
 }
 
+/// Open-loop scheduler counters in a [`Snapshot`]: admission, overload
+/// and batch-formation statistics recorded by the `scheduler` crate
+/// through the engine's registry. Fixed-size, so recording never
+/// allocates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SchedSnapshot {
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests evicted by the shed-oldest overload policy.
+    pub shed_oldest: u64,
+    /// Requests dropped at the door by the reject-new policy.
+    pub rejected_new: u64,
+    /// Requests that found the queue full under the block policy and
+    /// had to wait at the door.
+    pub blocked: u64,
+    /// Batches formed.
+    pub batches: u64,
+    /// Batches closed because the queue reached `max_batch_size`.
+    pub trigger_size: u64,
+    /// Batches closed by the oldest request's wait deadline.
+    pub trigger_deadline: u64,
+    /// Batches closed by the end-of-trace flush.
+    pub trigger_drain: u64,
+    /// Deepest the admission queue ever got.
+    pub queue_depth_high_water: u64,
+    /// Formed batch sizes (count, sum, extrema).
+    pub batch_fill: Accum,
+}
+
 /// A deterministic, serializable copy of everything a
 /// [`MetricsRegistry`] has recorded.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -157,6 +199,8 @@ pub struct Snapshot {
     pub load_imbalance: Accum,
     /// Partial-sum cache hit/miss and traffic counters.
     pub cache: CacheSnapshot,
+    /// Open-loop scheduler counters (all zero outside `updlrm serve`).
+    pub sched: SchedSnapshot,
     /// Per-DPU utilization, ascending by DPU id. Empty when telemetry
     /// was disabled.
     pub per_dpu: Vec<DpuSnapshot>,
@@ -192,6 +236,7 @@ pub struct MetricsRegistry {
     launches: u64,
     load_imbalance: Accum,
     cache: CacheTraffic,
+    sched: SchedSnapshot,
     /// One preallocated cell per DPU, indexed by DPU id.
     per_dpu: Vec<DpuCounters>,
 }
@@ -303,6 +348,60 @@ impl MetricsRegistry {
         self.overlap_saved_ns += sequential_ns - report.wall_ns;
     }
 
+    /// Records one request admitted into the scheduler queue and the
+    /// queue depth right after admission.
+    #[inline]
+    pub fn record_sched_admit(&mut self, depth_after: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.sched.admitted += 1;
+        self.sched.queue_depth_high_water =
+            self.sched.queue_depth_high_water.max(depth_after as u64);
+    }
+
+    /// Records one request evicted by the shed-oldest policy.
+    #[inline]
+    pub fn record_sched_shed(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        self.sched.shed_oldest += 1;
+    }
+
+    /// Records one request dropped at the door by reject-new.
+    #[inline]
+    pub fn record_sched_reject(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        self.sched.rejected_new += 1;
+    }
+
+    /// Records one request held at the door by the block policy.
+    #[inline]
+    pub fn record_sched_block(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        self.sched.blocked += 1;
+    }
+
+    /// Records one formed batch: its size and why it was closed.
+    #[inline]
+    pub fn record_sched_batch(&mut self, size: usize, trigger: SchedTrigger) {
+        if !self.enabled {
+            return;
+        }
+        self.sched.batches += 1;
+        self.sched.batch_fill.record(size as f64);
+        match trigger {
+            SchedTrigger::Size => self.sched.trigger_size += 1,
+            SchedTrigger::Deadline => self.sched.trigger_deadline += 1,
+            SchedTrigger::Drain => self.sched.trigger_drain += 1,
+        }
+    }
+
     /// Copies the registry into a deterministic, serializable
     /// [`Snapshot`]. Allocates (the per-DPU vector) — call it outside
     /// the serving loop.
@@ -335,6 +434,7 @@ impl MetricsRegistry {
                 hit_rate: self.cache.hit_rate(),
                 fetches_saved: self.cache.fetches_saved(),
             },
+            sched: self.sched,
             per_dpu: self
                 .per_dpu
                 .iter()
@@ -415,6 +515,40 @@ mod tests {
         assert_eq!(s.batches, 0);
         assert_eq!(s.per_dpu.len(), 2, "arena survives reset");
         assert_eq!(s.per_dpu[0].launches, 0);
+    }
+
+    #[test]
+    fn sched_counters_accumulate_and_reset() {
+        let mut m = MetricsRegistry::new(true, 1);
+        m.record_sched_admit(3);
+        m.record_sched_admit(7);
+        m.record_sched_admit(5);
+        m.record_sched_shed();
+        m.record_sched_reject();
+        m.record_sched_block();
+        m.record_sched_batch(64, SchedTrigger::Size);
+        m.record_sched_batch(12, SchedTrigger::Deadline);
+        m.record_sched_batch(3, SchedTrigger::Drain);
+        let s = m.snapshot();
+        assert_eq!(s.sched.admitted, 3);
+        assert_eq!(s.sched.queue_depth_high_water, 7);
+        assert_eq!(s.sched.shed_oldest, 1);
+        assert_eq!(s.sched.rejected_new, 1);
+        assert_eq!(s.sched.blocked, 1);
+        assert_eq!(s.sched.batches, 3);
+        assert_eq!(s.sched.trigger_size, 1);
+        assert_eq!(s.sched.trigger_deadline, 1);
+        assert_eq!(s.sched.trigger_drain, 1);
+        assert_eq!(s.sched.batch_fill.max, 64.0);
+        assert_eq!(s.sched.batch_fill.min, 3.0);
+        m.reset();
+        assert_eq!(m.snapshot().sched, SchedSnapshot::default());
+
+        // Disabled registries ignore sched records too.
+        let mut off = MetricsRegistry::new(false, 1);
+        off.record_sched_admit(9);
+        off.record_sched_batch(4, SchedTrigger::Size);
+        assert_eq!(off.snapshot().sched, SchedSnapshot::default());
     }
 
     #[test]

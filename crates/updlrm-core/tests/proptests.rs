@@ -147,3 +147,26 @@ proptest! {
         prop_assert_eq!(ca.placed_lists.lists.len(), ca.list_part.len());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Nearest-rank percentile is bounded by the input extrema and
+    /// monotone in `q` (DESIGN.md §4.7: both serve and scheduler
+    /// reports rely on this shared helper).
+    #[test]
+    fn percentile_is_bounded_and_monotone(
+        mut values in prop::collection::vec(-1e9f64..1e9, 1..200),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (values[0], values[values.len() - 1]);
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let pa = updlrm_core::percentile(&values, qa);
+        let pb = updlrm_core::percentile(&values, qb);
+        prop_assert!(pa >= lo && pa <= hi, "p({qa}) = {pa} outside [{lo}, {hi}]");
+        prop_assert!(pb >= lo && pb <= hi, "p({qb}) = {pb} outside [{lo}, {hi}]");
+        prop_assert!(pa <= pb, "percentile not monotone: p({qa}) = {pa} > p({qb}) = {pb}");
+    }
+}

@@ -142,6 +142,7 @@ pub fn import_text_trace<R: Read>(reader: R, config: &ImportConfig) -> io::Resul
             seed: 0,
         },
         batches,
+        arrivals: crate::arrival::ArrivalTrace::closed_loop(),
     })
 }
 

@@ -2,18 +2,30 @@
 //!
 //! Regenerating multi-hundred-megabyte traces for every experiment run
 //! is wasteful; this module serializes a [`Workload`] into a compact
-//! little-endian binary format (magic `UPWL`, version 1) and reads it
-//! back. The format is self-contained — spec and trace configuration
-//! travel with the batches — so a saved trace reproduces an experiment
-//! exactly.
+//! little-endian binary format (magic `UPWL`) and reads it back. The
+//! format is self-contained — spec, trace configuration and arrival
+//! schedule travel with the batches — so a saved trace reproduces an
+//! experiment exactly.
+//!
+//! ## Versions
+//!
+//! * **v1** — spec + config + batches. Still loads: the arrival trace
+//!   defaults to the closed-loop sentinel.
+//! * **v2** (current) — v1 plus an arrival block between the config and
+//!   the batches: a process tag (`0` closed-loop, `1` Poisson, `2`
+//!   bursty), the process parameters, and the per-query timestamps.
+//!   [`Workload::save`] always writes v2; [`Workload::save_v1`] emits
+//!   the legacy layout (dropping arrivals) for old readers.
 
+use crate::arrival::{ArrivalProcess, ArrivalTrace};
 use crate::spec::{CooccurConfig, DatasetSpec, Hotness};
 use crate::trace::{TraceConfig, Workload};
 use dlrm_model::{QueryBatch, SparseInput};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"UPWL";
-const VERSION: u32 = 1;
+const V1: u32 = 1;
+const VERSION: u32 = 2;
 
 fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -67,16 +79,90 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
+fn w_arrivals<W: Write>(writer: &mut W, arrivals: &ArrivalTrace) -> io::Result<()> {
+    match arrivals.process {
+        ArrivalProcess::ClosedLoop => w_u32(writer, 0)?,
+        ArrivalProcess::Poisson { qps, seed } => {
+            w_u32(writer, 1)?;
+            w_f64(writer, qps)?;
+            w_u64(writer, seed)?;
+        }
+        ArrivalProcess::Bursty {
+            qps,
+            burst_factor,
+            burst_fraction,
+            seed,
+        } => {
+            w_u32(writer, 2)?;
+            w_f64(writer, qps)?;
+            w_f64(writer, burst_factor)?;
+            w_f64(writer, burst_fraction)?;
+            w_u64(writer, seed)?;
+        }
+    }
+    w_u64(writer, arrivals.times_ns.len() as u64)?;
+    for &t in &arrivals.times_ns {
+        w_u64(writer, t)?;
+    }
+    Ok(())
+}
+
+fn r_arrivals<R: Read>(reader: &mut R) -> io::Result<ArrivalTrace> {
+    let process = match r_u32(reader)? {
+        0 => ArrivalProcess::ClosedLoop,
+        1 => ArrivalProcess::Poisson {
+            qps: r_f64(reader)?,
+            seed: r_u64(reader)?,
+        },
+        2 => ArrivalProcess::Bursty {
+            qps: r_f64(reader)?,
+            burst_factor: r_f64(reader)?,
+            burst_fraction: r_f64(reader)?,
+            seed: r_u64(reader)?,
+        },
+        _ => return Err(bad("unknown arrival process tag")),
+    };
+    let n = r_u64(reader)? as usize;
+    if n > 1 << 28 {
+        return Err(bad("arrival count implausible"));
+    }
+    let mut times_ns = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let t = r_u64(reader)?;
+        if t < prev {
+            return Err(bad("arrival times must be non-decreasing"));
+        }
+        prev = t;
+        times_ns.push(t);
+    }
+    Ok(ArrivalTrace { process, times_ns })
+}
+
 impl Workload {
-    /// Serializes the workload to `writer` (format `UPWL` v1).
+    /// Serializes the workload to `writer` (format `UPWL` v2).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from `writer`. A mut reference to any
     /// `Write` works (`workload.save(&mut file)?`).
     pub fn save<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        self.save_version(writer, VERSION)
+    }
+
+    /// Serializes in the legacy `UPWL` v1 layout for old readers,
+    /// dropping the arrival trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn save_v1<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        self.save_version(writer, V1)
+    }
+
+    fn save_version<W: Write>(&self, writer: &mut W, version: u32) -> io::Result<()> {
         writer.write_all(MAGIC)?;
-        w_u32(writer, VERSION)?;
+        w_u32(writer, version)?;
         // Spec.
         w_str(writer, &self.spec.name)?;
         w_str(writer, &self.spec.short)?;
@@ -100,6 +186,10 @@ impl Workload {
         w_u64(writer, self.config.num_batches as u64)?;
         w_u64(writer, self.config.num_dense as u64)?;
         w_u64(writer, self.config.seed)?;
+        // Arrival schedule (v2 only).
+        if version >= 2 {
+            w_arrivals(writer, &self.arrivals)?;
+        }
         // Batches.
         w_u64(writer, self.batches.len() as u64)?;
         for batch in &self.batches {
@@ -135,7 +225,7 @@ impl Workload {
             return Err(bad("not a UPWL workload file"));
         }
         let version = r_u32(reader)?;
-        if version != VERSION {
+        if version != V1 && version != VERSION {
             return Err(bad("unsupported UPWL version"));
         }
         let name = r_str(reader)?;
@@ -171,6 +261,12 @@ impl Workload {
             num_batches: r_u64(reader)? as usize,
             num_dense: r_u64(reader)? as usize,
             seed: r_u64(reader)?,
+        };
+        // v1 has no arrival block: default to the closed-loop sentinel.
+        let arrivals = if version >= 2 {
+            r_arrivals(reader)?
+        } else {
+            ArrivalTrace::closed_loop()
         };
         let n_batches = r_u64(reader)? as usize;
         if n_batches > 1 << 24 {
@@ -208,11 +304,17 @@ impl Workload {
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
             );
         }
-        Ok(Workload {
+        let workload = Workload {
             spec,
             config,
             batches,
-        })
+            arrivals,
+        };
+        if !workload.arrivals.is_closed_loop() && workload.arrivals.len() != workload.num_queries()
+        {
+            return Err(bad("arrival count does not match query count"));
+        }
+        Ok(workload)
     }
 }
 
@@ -244,6 +346,74 @@ mod tests {
         assert_eq!(loaded.spec, w.spec);
         assert_eq!(loaded.config, w.config);
         assert_eq!(loaded.batches, w.batches);
+    }
+
+    #[test]
+    fn v2_round_trip_is_bit_exact() {
+        let mut w = sample_workload();
+        w.stamp_arrivals(ArrivalProcess::poisson(20_000.0, 42));
+        let mut buf = Vec::new();
+        w.save(&mut buf).unwrap();
+        let loaded = Workload::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded, w);
+        // save -> load -> save is byte-identical.
+        let mut buf2 = Vec::new();
+        loaded.save(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn v2_round_trips_bursty_parameters() {
+        let mut w = sample_workload();
+        w.stamp_arrivals(ArrivalProcess::bursty(5_000.0, 11));
+        let mut buf = Vec::new();
+        w.save(&mut buf).unwrap();
+        let loaded = Workload::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.arrivals.process, w.arrivals.process);
+        assert_eq!(loaded.arrivals.times_ns, w.arrivals.times_ns);
+    }
+
+    #[test]
+    fn v1_files_load_with_closed_loop_sentinel() {
+        let mut w = sample_workload();
+        w.stamp_arrivals(ArrivalProcess::poisson(20_000.0, 42));
+        let mut buf = Vec::new();
+        w.save_v1(&mut buf).unwrap();
+        assert_eq!(&buf[4..8], &1u32.to_le_bytes(), "save_v1 stamps version 1");
+        let loaded = Workload::load(&mut buf.as_slice()).unwrap();
+        assert!(loaded.arrivals.is_closed_loop());
+        assert_eq!(loaded.batches, w.batches);
+        assert_eq!(loaded.spec, w.spec);
+        assert_eq!(loaded.config, w.config);
+    }
+
+    #[test]
+    fn rejects_arrival_count_mismatch() {
+        let mut w = sample_workload();
+        w.arrivals = ArrivalTrace {
+            process: ArrivalProcess::poisson(1000.0, 1),
+            times_ns: vec![1, 2, 3], // != num_queries
+        };
+        let mut buf = Vec::new();
+        w.save(&mut buf).unwrap();
+        let err = Workload::load(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("arrival count"), "{err}");
+    }
+
+    #[test]
+    fn rejects_decreasing_arrival_times() {
+        let mut w = sample_workload();
+        let n = w.num_queries();
+        let mut times: Vec<u64> = (0..n as u64).collect();
+        times.swap(0, 1); // 1, 0, 2, ...
+        w.arrivals = ArrivalTrace {
+            process: ArrivalProcess::poisson(1000.0, 1),
+            times_ns: times,
+        };
+        let mut buf = Vec::new();
+        w.save(&mut buf).unwrap();
+        let err = Workload::load(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("non-decreasing"), "{err}");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arrival;
 pub mod import;
 pub mod io;
 pub mod profile;
@@ -33,6 +34,7 @@ pub mod spec;
 pub mod trace;
 pub mod zipf;
 
+pub use arrival::{ArrivalProcess, ArrivalTrace, NS_PER_SEC};
 pub use import::{import_text_trace, ImportConfig};
 pub use profile::FreqProfile;
 pub use spec::{CooccurConfig, DatasetSpec, Hotness};

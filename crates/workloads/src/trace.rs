@@ -7,6 +7,7 @@
 //! cache mining has real structure to discover), and per-sample list
 //! lengths average to the spec's `Avg.Reduction`.
 
+use crate::arrival::{ArrivalProcess, ArrivalTrace};
 use crate::spec::DatasetSpec;
 use crate::zipf::ZipfSampler;
 use dlrm_model::{QueryBatch, SparseInput};
@@ -66,6 +67,8 @@ pub struct Workload {
     pub config: TraceConfig,
     /// The request stream.
     pub batches: Vec<QueryBatch>,
+    /// Per-query arrival timestamps (empty = closed-loop).
+    pub arrivals: ArrivalTrace,
 }
 
 impl Workload {
@@ -101,7 +104,21 @@ impl Workload {
             spec: spec.clone(),
             config,
             batches,
+            arrivals: ArrivalTrace::closed_loop(),
         }
+    }
+
+    /// Total queries (samples) across all batches.
+    pub fn num_queries(&self) -> usize {
+        self.batches.iter().map(QueryBatch::batch_size).sum()
+    }
+
+    /// Stamps every query with an arrival time drawn from `process`,
+    /// replacing any existing arrival trace. Timestamps are in
+    /// batch-major query order (query `k` lives in batch
+    /// `k / batch_size`, sample `k % batch_size`).
+    pub fn stamp_arrivals(&mut self, process: ArrivalProcess) {
+        self.arrivals = ArrivalTrace::generate(process, self.num_queries());
     }
 
     /// Total lookups across all batches and tables.

@@ -110,6 +110,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 31,
         },
         batches,
+        arrivals: updlrm::workloads::ArrivalTrace::closed_loop(),
     };
     let mut engine = UpdlrmEngine::from_workload(
         UpdlrmConfig::with_dpus(32, PartitionStrategy::CacheAware),

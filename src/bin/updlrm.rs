@@ -6,8 +6,14 @@
 //!              [--scale 200] [--batches 10] [--seed 7] [--host-threads N]
 //!              [--pipeline sequential|doublebuf] [--queue-depth N]
 //!              [--iters 1] [--warmup 0] [--json FILE] [--metrics FILE]
+//! updlrm serve --qps N [--arrival poisson|bursty] [--max-batch 64]
+//!              [--max-wait-us 200] [--policy block|shed-oldest|reject-new]
+//!              [--queue-cap N] [--dataset read] [--strategy u|nu|ca|nur]
+//!              [--dpus 256] [--scale 200] [--batches 10] [--seed 7]
+//!              [--host-threads N] [--json FILE] [--metrics FILE]
 //! updlrm stats --metrics FILE
-//! updlrm trace [--dataset movie] [--scale 200] [--batches 10] --out trace.upwl
+//! updlrm trace [--dataset movie] [--scale 200] [--batches 10]
+//!              [--arrival poisson|bursty --qps N] --out trace.upwl
 //! updlrm info  [--dataset read]
 //! ```
 
@@ -22,8 +28,13 @@ fn usage() -> ! {
          [--strategy u|nu|ca|nur] [--dpus N] [--nc auto|2|4|8] [--scale N] [--batches N] [--seed N] \
          [--host-threads N] [--pipeline sequential|doublebuf] [--queue-depth N] \
          [--iters N] [--warmup N] [--json FILE] [--metrics FILE]\n  \
+         updlrm serve --qps N [--arrival poisson|bursty] [--max-batch N] [--max-wait-us N] \
+         [--policy block|shed-oldest|reject-new] [--queue-cap N] [--dataset TAG] \
+         [--strategy u|nu|ca|nur] [--dpus N] [--scale N] [--batches N] [--seed N] \
+         [--host-threads N] [--json FILE] [--metrics FILE]\n  \
          updlrm stats --metrics FILE\n  \
-         updlrm trace [--dataset TAG] [--scale N] [--batches N] [--seed N] --out FILE\n  \
+         updlrm trace [--dataset TAG] [--scale N] [--batches N] [--seed N] \
+         [--arrival poisson|bursty --qps N] --out FILE\n  \
          updlrm info  [--dataset TAG]\n\nTAG: clo home meta1 meta2 read read2 movie twitch"
     );
     std::process::exit(2)
@@ -66,6 +77,36 @@ impl Args {
                 eprintln!("--{name} expects a number, got '{v}'");
                 std::process::exit(2)
             }),
+        }
+    }
+
+    /// A required flag that must parse as a finite, strictly positive
+    /// float (rates, i.e. `--qps`).
+    fn positive_float(&self, name: &str) -> f64 {
+        let Some(v) = self.flags.get(name) else {
+            eprintln!("--{name} is required");
+            usage()
+        };
+        match v.parse::<f64>() {
+            Ok(x) if x.is_finite() && x > 0.0 => x,
+            _ => {
+                eprintln!("--{name} expects a positive number, got '{v}'");
+                std::process::exit(2)
+            }
+        }
+    }
+}
+
+/// Builds the arrival process for `serve` / `trace --arrival` from
+/// `--arrival` (default poisson) and the already-parsed `--qps`.
+fn arrival_or_exit(args: &Args, qps: f64) -> ArrivalProcess {
+    let seed = args.num("seed", 7) as u64;
+    match args.str("arrival", "poisson").as_str() {
+        "poisson" => ArrivalProcess::poisson(qps, seed),
+        "bursty" => ArrivalProcess::bursty(qps, seed),
+        other => {
+            eprintln!("unknown arrival process '{other}' (want poisson or bursty)");
+            usage()
         }
     }
 }
@@ -228,12 +269,8 @@ fn write_metrics(path: &str, snapshot: &Snapshot) -> Result<(), Box<dyn std::err
     Ok(())
 }
 
-fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let (spec, workload, model) = build_setting(args)?;
-    let profiles: Vec<FreqProfile> = (0..8)
-        .map(|t| FreqProfile::from_inputs(spec.num_items, workload.table_inputs(t)))
-        .collect();
-    let strategy = match args.str("strategy", "ca").as_str() {
+fn strategy_or_exit(args: &Args) -> PartitionStrategy {
+    match args.str("strategy", "ca").as_str() {
         "u" => PartitionStrategy::Uniform,
         "nu" => PartitionStrategy::NonUniform,
         "ca" => PartitionStrategy::CacheAware,
@@ -242,7 +279,15 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("unknown strategy '{other}'");
             usage()
         }
-    };
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (spec, workload, model) = build_setting(args)?;
+    let profiles: Vec<FreqProfile> = (0..8)
+        .map(|t| FreqProfile::from_inputs(spec.num_items, workload.table_inputs(t)))
+        .collect();
+    let strategy = strategy_or_exit(args);
     let mut config = UpdlrmConfig::with_dpus(args.num("dpus", 256), strategy);
     match args.str("nc", "auto").as_str() {
         "auto" => {}
@@ -504,6 +549,133 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Machine-readable mirror of a `serve` invocation (`--json FILE`).
+/// Everything inside is modeled-time derived, so the file is
+/// byte-identical across runs with the same flags.
+#[derive(serde::Serialize)]
+struct SchedJson {
+    dataset: String,
+    strategy: String,
+    dpus: usize,
+    arrival: String,
+    offered_qps: f64,
+    max_batch: usize,
+    max_wait_us: usize,
+    queue_cap: usize,
+    policy: String,
+    report: SchedReport,
+    /// `batch_hist[k]` = batches launched with exactly `k` queries.
+    batch_hist: Vec<u64>,
+}
+
+fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let qps = args.positive_float("qps");
+    let process = arrival_or_exit(args, qps);
+    let max_batch = args.num("max-batch", 64);
+    if max_batch == 0 {
+        eprintln!("--max-batch must be >= 1 (a batcher that forms empty batches serves nothing)");
+        std::process::exit(2)
+    }
+    let max_wait_us = args.num("max-wait-us", 200);
+    if max_wait_us == 0 {
+        eprintln!("--max-wait-us must be >= 1 (a zero deadline degenerates to batch-of-one)");
+        std::process::exit(2)
+    }
+    let queue_cap = args.num("queue-cap", 4 * max_batch);
+    if queue_cap == 0 {
+        eprintln!("--queue-cap must be >= 1 (a zero-length queue admits nothing)");
+        std::process::exit(2)
+    }
+    let policy: OverloadPolicy = match args.str("policy", "shed-oldest").parse() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            usage()
+        }
+    };
+
+    let (spec, mut workload, model) = build_setting(args)?;
+    workload.stamp_arrivals(process);
+
+    let mut config = UpdlrmConfig::with_dpus(args.num("dpus", 256), strategy_or_exit(args));
+    // The batcher never forms more than `max_batch` queries, so size the
+    // engine's staging slots to exactly that.
+    config.batch_size = max_batch;
+    config.host_threads = args.num("host-threads", config.host_threads);
+    let metrics_path = args.flags.get("metrics").cloned();
+    config.telemetry = metrics_path.is_some();
+    let mut engine = UpdlrmEngine::from_workload(config, model.tables(), &workload)?;
+
+    let mut sched = Scheduler::new(SchedConfig {
+        max_batch_size: max_batch,
+        max_wait_ns: max_wait_us as u64 * 1_000,
+        queue_cap,
+        policy,
+    })?;
+    let report = sched.run(&mut engine, &workload, |_, _, _, _| {})?;
+
+    println!(
+        "open-loop serve on {} ({} arrivals, {} over {:.1} ms of modeled time)",
+        spec.name,
+        report.requests,
+        process.tag(),
+        report.makespan_ns / 1e6,
+    );
+    println!(
+        "  load: offered {:.0} qps  achieved {:.0} qps",
+        report.offered_qps, report.achieved_qps,
+    );
+    println!(
+        "  latency: mean {:.1} us  p50 {:.1} us  p95 {:.1} us  p99 {:.1} us  max {:.1} us",
+        report.mean_latency_ns / 1e3,
+        report.p50_latency_ns / 1e3,
+        report.p95_latency_ns / 1e3,
+        report.p99_latency_ns / 1e3,
+        report.max_latency_ns / 1e3,
+    );
+    println!(
+        "  batching: {} batches, mean fill {:.1}/{}  (size {} / deadline {} / drain {})",
+        report.batches,
+        report.mean_batch_size,
+        max_batch,
+        report.trigger_size,
+        report.trigger_deadline,
+        report.trigger_drain,
+    );
+    println!(
+        "  admission [{}]: {} admitted, {} shed, {} rejected, {} blocked, queue high-water {}/{}",
+        policy,
+        report.admitted,
+        report.shed,
+        report.rejected,
+        report.blocked,
+        report.queue_high_water,
+        queue_cap,
+    );
+
+    if let Some(path) = args.flags.get("json") {
+        let json = SchedJson {
+            dataset: spec.short.to_string(),
+            strategy: args.str("strategy", "ca"),
+            dpus: args.num("dpus", 256),
+            arrival: process.tag().to_string(),
+            offered_qps: qps,
+            max_batch,
+            max_wait_us,
+            queue_cap,
+            policy: policy.to_string(),
+            report,
+            batch_hist: sched.batch_histogram().to_vec(),
+        };
+        std::fs::write(path, serde::json::to_string_pretty(&json))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &metrics_path {
+        write_metrics(path, &engine.metrics_snapshot())?;
+    }
+    Ok(())
+}
+
 fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let Some(path) = args.flags.get("metrics") else {
         eprintln!("stats needs --metrics FILE (a snapshot written by `updlrm run --metrics`)");
@@ -511,6 +683,14 @@ fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     };
     let text = std::fs::read_to_string(path)?;
     let snap: Snapshot = serde::json::from_str(&text)?;
+    if snap.schema_version != SNAPSHOT_SCHEMA_VERSION {
+        eprintln!(
+            "metrics snapshot {path} has schema v{}, but this binary reads v{}; \
+             regenerate it with `updlrm run --metrics {path}`",
+            snap.schema_version, SNAPSHOT_SCHEMA_VERSION,
+        );
+        std::process::exit(2)
+    }
     println!(
         "metrics snapshot {path} (schema v{}, telemetry {})",
         snap.schema_version,
@@ -566,6 +746,24 @@ fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         snap.stage1_bytes as f64 / 1e6,
         snap.stage3_bytes as f64 / 1e6,
     );
+    if snap.sched.batches > 0 {
+        println!(
+            "  scheduler: {} admitted, {} shed, {} rejected, {} blocked, queue high-water {}",
+            snap.sched.admitted,
+            snap.sched.shed_oldest,
+            snap.sched.rejected_new,
+            snap.sched.blocked,
+            snap.sched.queue_depth_high_water,
+        );
+        println!(
+            "  batching: {} batches, mean fill {:.1} (size {} / deadline {} / drain {})",
+            snap.sched.batches,
+            snap.sched.batch_fill.mean(),
+            snap.sched.trigger_size,
+            snap.sched.trigger_deadline,
+            snap.sched.trigger_drain,
+        );
+    }
     if !snap.per_dpu.is_empty() {
         let cycles: Vec<u64> = snap.per_dpu.iter().map(|d| d.cycles).collect();
         let total: u64 = cycles.iter().sum();
@@ -589,12 +787,26 @@ fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let (spec, workload, _) = build_setting(args)?;
+    let (spec, mut workload, _) = build_setting(args)?;
+    if args.flags.contains_key("arrival") || args.flags.contains_key("qps") {
+        // `--arrival` defaults to poisson, but a rate is always needed.
+        let qps = args.positive_float("qps");
+        workload.stamp_arrivals(arrival_or_exit(args, qps));
+    }
     let out = args.flags.get("out").cloned().unwrap_or_else(|| usage());
     let mut file = std::fs::File::create(&out)?;
     workload.save(&mut file)?;
+    let arrivals = if workload.arrivals.process.is_closed_loop() {
+        "closed-loop".to_string()
+    } else {
+        format!(
+            "{} arrivals at {:.0} qps offered",
+            workload.arrivals.process.tag(),
+            workload.arrivals.process.offered_qps().unwrap_or(0.0),
+        )
+    };
     println!(
-        "wrote {} ({} batches, {} lookups, {} items/table) to {out}",
+        "wrote {} ({} batches, {} lookups, {} items/table, {arrivals}) to {out}",
         spec.name,
         workload.batches.len(),
         workload.total_lookups(),
@@ -629,6 +841,7 @@ fn main() -> ExitCode {
     let args = Args::parse(rest);
     let result = match cmd.as_str() {
         "run" => cmd_run(&args),
+        "serve" => cmd_serve(&args),
         "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),
         "info" => cmd_info(&args),

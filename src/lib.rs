@@ -60,6 +60,7 @@
 pub use baselines;
 pub use cooccur_cache;
 pub use dlrm_model;
+pub use scheduler;
 pub use updlrm_core;
 pub use upmem_sim;
 pub use workloads;
@@ -72,10 +73,15 @@ pub mod prelude {
     };
     pub use cooccur_cache::{CacheList, CacheListSet, CooccurGraph, MinerConfig, PartialSumCache};
     pub use dlrm_model::{Dlrm, DlrmConfig, EmbeddingTable, Matrix, QueryBatch, SparseInput};
+    pub use scheduler::{OverloadPolicy, SchedConfig, SchedReport, Scheduler};
     pub use updlrm_core::{
         EmbeddingBreakdown, MetricsRegistry, PartitionStrategy, PipelineMode, PipelineReport,
         ServeOutcome, ServeReport, Snapshot, Tiling, TilingProblem, UpdlrmConfig, UpdlrmEngine,
+        SNAPSHOT_SCHEMA_VERSION,
     };
     pub use upmem_sim::{CostModel, DpuId, PimConfig, PimSystem};
-    pub use workloads::{DatasetSpec, FreqProfile, Hotness, TraceConfig, Workload, ZipfSampler};
+    pub use workloads::{
+        ArrivalProcess, ArrivalTrace, DatasetSpec, FreqProfile, Hotness, TraceConfig, Workload,
+        ZipfSampler, NS_PER_SEC,
+    };
 }

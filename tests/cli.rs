@@ -285,7 +285,7 @@ fn metrics_snapshot_is_deterministic_across_runs() {
     );
     // The snapshot carries only modeled values and counts.
     let text = String::from_utf8(first).expect("utf8 json");
-    assert!(text.contains("\"schema_version\": 1"), "{text}");
+    assert!(text.contains("\"schema_version\": 2"), "{text}");
     assert!(text.contains("\"per_dpu\""), "{text}");
     assert!(text.contains("\"load_imbalance\""), "{text}");
     std::fs::remove_file(&a).ok();
@@ -320,7 +320,7 @@ fn stats_pretty_prints_a_snapshot() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("schema v1"), "stdout: {text}");
+    assert!(text.contains("schema v2"), "stdout: {text}");
     assert!(text.contains("stage shares"), "stdout: {text}");
     assert!(text.contains("load imbalance"), "stdout: {text}");
     assert!(text.contains("fleet: 32 DPUs"), "stdout: {text}");
@@ -387,6 +387,193 @@ fn json_report_is_a_superset_of_the_text_breakdown() {
         }
         std::fs::remove_file(&path).ok();
     }
+}
+
+/// Small, fast `serve` argument prefix shared by the open-loop tests.
+const QUICK_SERVE: [&str; 11] = [
+    "serve",
+    "--dataset",
+    "read",
+    "--dpus",
+    "32",
+    "--scale",
+    "1000",
+    "--batches",
+    "3",
+    "--qps",
+    "300000",
+];
+
+#[test]
+fn serve_reports_load_latency_and_admission() {
+    let out = updlrm()
+        .args(QUICK_SERVE)
+        .args(["--arrival", "bursty", "--policy", "shed-oldest"])
+        .output()
+        .expect("serve");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("open-loop serve"), "stdout: {text}");
+    assert!(text.contains("offered"), "stdout: {text}");
+    assert!(text.contains("achieved"), "stdout: {text}");
+    assert!(text.contains("p99"), "stdout: {text}");
+    assert!(text.contains("admission [shed-oldest]"), "stdout: {text}");
+}
+
+#[test]
+fn serve_rejects_bad_flags_with_usage() {
+    // Missing --qps entirely.
+    let out = updlrm().args(["serve"]).output().expect("serve");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--qps"));
+
+    for (bad, needle) in [
+        (&["--qps", "0"][..], "--qps"),
+        (&["--qps", "-3"][..], "--qps"),
+        (&["--qps", "fast"][..], "--qps"),
+        (&["--qps", "1000", "--arrival", "uniform"][..], "arrival"),
+        (&["--qps", "1000", "--max-batch", "0"][..], "max-batch"),
+        (&["--qps", "1000", "--max-wait-us", "0"][..], "max-wait-us"),
+        (&["--qps", "1000", "--queue-cap", "0"][..], "queue-cap"),
+        (&["--qps", "1000", "--policy", "drop-all"][..], "policy"),
+    ] {
+        let out = updlrm().arg("serve").args(bad).output().expect("serve");
+        assert_eq!(out.status.code(), Some(2), "args: {bad:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "args {bad:?}: stderr {err}");
+    }
+}
+
+#[test]
+fn serve_json_and_metrics_are_deterministic_across_runs() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let paths = [
+        (dir.join("serve-a.json"), dir.join("serve-a-metrics.json")),
+        (dir.join("serve-b.json"), dir.join("serve-b-metrics.json")),
+    ];
+    for (json, metrics) in &paths {
+        let out = updlrm()
+            .args(QUICK_SERVE)
+            .args(["--seed", "7", "--host-threads", "1", "--json"])
+            .arg(json)
+            .arg("--metrics")
+            .arg(metrics)
+            .output()
+            .expect("serve");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let a = std::fs::read(&paths[0].0).expect("json a");
+    let b = std::fs::read(&paths[1].0).expect("json b");
+    assert!(a == b, "same-seed serve --json must be byte-identical");
+    let text = String::from_utf8(a).expect("utf8 json");
+    for field in [
+        "\"offered_qps\"",
+        "\"achieved_qps\"",
+        "\"p99_latency_ns\"",
+        "\"batch_hist\"",
+        "\"policy\": \"shed-oldest\"",
+    ] {
+        assert!(text.contains(field), "missing {field}: {text}");
+    }
+    let a = std::fs::read(&paths[0].1).expect("metrics a");
+    let b = std::fs::read(&paths[1].1).expect("metrics b");
+    assert!(a == b, "same-seed serve --metrics must be byte-identical");
+    // The scheduler counters made it into the engine snapshot.
+    let text = String::from_utf8(a).expect("utf8 json");
+    assert!(text.contains("\"sched\""), "{text}");
+    assert!(text.contains("\"trigger_size\""), "{text}");
+    for (json, metrics) in &paths {
+        std::fs::remove_file(json).ok();
+        std::fs::remove_file(metrics).ok();
+    }
+}
+
+#[test]
+fn stats_rejects_snapshots_from_other_schema_versions() {
+    // Regression: `stats` used to print whatever parsed, silently
+    // misreading snapshots written by older/newer binaries.
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics-doctored.json");
+    let out = updlrm()
+        .args(QUICK_RUN)
+        .args(["--metrics"])
+        .arg(&path)
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("snapshot");
+    assert!(text.contains("\"schema_version\": 2"), "{text}");
+    let doctored = text.replace("\"schema_version\": 2", "\"schema_version\": 1");
+    std::fs::write(&path, doctored).expect("doctor snapshot");
+    let out = updlrm()
+        .arg("stats")
+        .arg("--metrics")
+        .arg(&path)
+        .output()
+        .expect("stats");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("schema v1"), "stderr: {err}");
+    assert!(err.contains("reads v2"), "stderr: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_with_arrivals_emits_a_v2_file_that_round_trips() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("cli-trace-arrivals.upwl");
+    let out = updlrm()
+        .args([
+            "trace",
+            "--dataset",
+            "movie",
+            "--scale",
+            "2000",
+            "--batches",
+            "2",
+            "--arrival",
+            "bursty",
+            "--qps",
+            "250000",
+            "--out",
+        ])
+        .arg(&path)
+        .output()
+        .expect("trace");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bursty arrivals at 250000 qps"));
+    let mut f = std::fs::File::open(&path).expect("trace file written");
+    let loaded = updlrm::workloads::Workload::load(&mut f).expect("valid UPWL v2 file");
+    assert_eq!(loaded.arrivals.len(), loaded.num_queries());
+    assert_eq!(loaded.arrivals.process.tag(), "bursty");
+
+    // --arrival without --qps is an error, not a silent default rate.
+    let out = updlrm()
+        .args(["trace", "--arrival", "poisson", "--out", "/tmp/never.upwl"])
+        .output()
+        .expect("trace");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--qps"));
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
