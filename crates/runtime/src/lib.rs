@@ -1,0 +1,894 @@
+//! # runtime — wall-clock concurrent serving, locked to the modeled oracle
+//!
+//! The `scheduler` crate answers *"what should an open-loop serving
+//! front-end do"* on modeled time; this crate actually **does it on a
+//! real clock**, with real threads:
+//!
+//! ```text
+//!   ingest thread          batcher (caller's thread)       shard workers
+//!  ───────────────        ──────────────────────────      ───────────────
+//!   replay UPWL      ──▶   BatchPolicy admission      ──▶  engine 0
+//!   arrivals in       SPSC  + launch triggers          SPSC engine 1
+//!   (scaled) wall ns  ring  (same core as the          ring   ...
+//!                           modeled event loop)        ◀──  completions
+//! ```
+//!
+//! * the **ingest** thread replays the workload's arrival trace in real
+//!   nanoseconds (optionally stretched by `time_scale`) and pushes
+//!   `(id, arrival_ns)` into a bounded SPSC ring;
+//! * the **batcher** drives the exact same clock-agnostic
+//!   [`BatchPolicy`] the discrete-event scheduler uses — admission,
+//!   overload policy and size/deadline/drain launch triggers are one
+//!   implementation, not a reimplementation — and dispatches formed
+//!   batches round-robin to the shard rings;
+//! * each **worker** owns one [`UpdlrmEngine`] shard, runs every batch
+//!   through `serve_stream`, and reports the pooled embeddings plus the
+//!   modeled breakdown and its *measured* wall time back on a
+//!   completion ring.
+//!
+//! All rings are the hand-rolled lock-free SPSC of [`ring`] — bounded,
+//! so a slow stage exerts backpressure instead of growing a queue.
+//!
+//! ## The oracle lock
+//!
+//! In **deterministic mode** ([`RuntimeConfig::deterministic`]) no wall
+//! clock enters any decision: the batcher replays modeled time in
+//! lockstep — it holds a one-arrival lookahead (the next arrival, or
+//! end-of-stream, must be known before a launch commits, exactly like
+//! the event loop's `times[next]` peek) and waits for each batch's
+//! modeled service time before advancing `engine_free`. The result is
+//! **byte-identical batches, pooled embeddings and `SchedReport`** to
+//! [`Scheduler::run`](scheduler::Scheduler::run) on the same trace —
+//! `tests/differential.rs` enforces it. That lock is what makes the
+//! wall-clock mode trustworthy: the concurrency is proven not to change
+//! the semantics, only the clock.
+//!
+//! In **wall mode** the batcher reads a monotonic clock (mapped to
+//! modeled ns by `time_scale`), arrivals land when the ingest thread
+//! actually delivers them, and shards drain concurrently. Measured
+//! per-request latency is `completion_wall − ideal_arrival_wall` (the
+//! open-loop convention — queueing caused by a lagging ingest counts,
+//! so coordinated omission cannot hide overload). Where wall time may
+//! diverge from the model: OS scheduling jitter, sleep granularity,
+//! host CPU contention between shards, and ring backpressure — see
+//! DESIGN.md §4.8.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ring;
+
+use std::time::Instant;
+
+use dlrm_model::{Matrix, QueryBatch};
+use scheduler::{
+    assemble_into, report_is_finite, service_ns_to_u64, AdmitOutcome, BatchPolicy, SchedConfig,
+    SchedReport,
+};
+use updlrm_core::engine::EmbeddingBreakdown;
+use updlrm_core::{percentile, CoreError, Result, SchedTrigger, UpdlrmEngine};
+use workloads::{Workload, NS_PER_SEC};
+
+pub use ring::{ring, Consumer, Producer};
+
+/// How the wall-clock runtime is shaped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Batcher and admission-queue parameters — the same values drive
+    /// the modeled oracle, so the two are directly comparable.
+    pub sched: SchedConfig,
+    /// Engine shards (worker threads). Each shard needs its own
+    /// [`UpdlrmEngine`]; identical engines make dispatch-order
+    /// invisible in the pooled outputs.
+    pub shards: usize,
+    /// Wall nanoseconds per modeled nanosecond during trace replay.
+    /// `1.0` replays in real time; `10.0` stretches a 1 ms modeled
+    /// trace over 10 ms of wall time (useful when modeled service is
+    /// far cheaper than the simulator's host cost of computing it).
+    pub time_scale: f64,
+    /// Replay modeled time in lockstep instead of reading the wall
+    /// clock — the oracle-locked mode (see the module docs).
+    pub deterministic: bool,
+    /// Slots per SPSC ring (arrival ring and each shard's work /
+    /// completion rings). Bounds in-flight batches per shard.
+    pub ring_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            sched: SchedConfig::default(),
+            shards: 1,
+            time_scale: 1.0,
+            deterministic: false,
+            ring_capacity: 64,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Checks the parameters for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] on an invalid [`SchedConfig`], zero
+    /// shards, zero ring capacity, or a non-finite / non-positive
+    /// `time_scale`.
+    pub fn validate(&self) -> Result<()> {
+        self.sched.validate()?;
+        if self.shards == 0 {
+            return Err(CoreError::InvalidConfig("shards must be >= 1".into()));
+        }
+        if self.ring_capacity == 0 {
+            return Err(CoreError::InvalidConfig(
+                "ring_capacity must be >= 1".into(),
+            ));
+        }
+        if !self.time_scale.is_finite() || self.time_scale <= 0.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "time_scale must be finite and > 0, got {}",
+                self.time_scale
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock measurements of one [`Runtime::run`], alongside the
+/// modeled quantities they correspond to. All fields are finite.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WallStats {
+    /// Wall time from runtime start to the last completion (ns).
+    pub wall_elapsed_ns: f64,
+    /// Completed requests per second of wall time.
+    pub measured_qps: f64,
+    /// Sum of modeled pipeline walls across all batches (ns) — what the
+    /// oracle says the engine work took.
+    pub modeled_service_ns: f64,
+    /// Sum of measured `serve_stream` wall times across all batches
+    /// (ns) — what the host actually spent computing them.
+    pub measured_service_ns: f64,
+    /// The `time_scale` the trace was replayed under.
+    pub time_scale: f64,
+}
+
+/// Everything one [`Runtime::run`] produced.
+///
+/// In deterministic mode `sched` is byte-identical to the modeled
+/// oracle's report. In wall mode the counter fields (admitted, shed,
+/// triggers, …) are exact, while the time statistics (`makespan_ns`,
+/// `achieved_qps`, the latency quantiles) are **measured wall
+/// nanoseconds** — the modeled-vs-measured comparison lives in
+/// [`WallStats`] and the caller's oracle run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeReport {
+    /// Scheduling outcome (see the struct docs for which clock each
+    /// field is on).
+    pub sched: SchedReport,
+    /// Wall-clock measurements. In deterministic mode the latency-free
+    /// subset (elapsed, qps, service sums) is still measured; it
+    /// reflects host compute cost, not the modeled timeline.
+    pub wall: WallStats,
+    /// Shards the run used.
+    pub shards: usize,
+    /// Whether the run was oracle-locked.
+    pub deterministic: bool,
+    /// Batches each shard executed (`len() == shards`).
+    pub batches_per_shard: Vec<u64>,
+    /// `histogram[k]` = batches formed with exactly `k` queries.
+    pub batch_histogram: Vec<u64>,
+}
+
+/// A formed batch on its way to a shard worker.
+struct WorkItem {
+    seq: usize,
+    ids: Vec<u32>,
+    batch: QueryBatch,
+}
+
+/// What a shard worker sends back per batch.
+enum Completion {
+    Done {
+        seq: usize,
+        ids: Vec<u32>,
+        pooled: Vec<Matrix>,
+        breakdown: EmbeddingBreakdown,
+        /// Measured wall time of the `serve_stream` call (ns).
+        service_wall_ns: u64,
+        /// Wall instant (ns since runtime start) the batch finished.
+        done_wall_ns: u64,
+    },
+    Failed(CoreError),
+}
+
+/// The wall-clock concurrent serving runtime. Stateless between runs;
+/// holds only the validated configuration.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    cfg: RuntimeConfig,
+}
+
+impl Runtime {
+    /// Creates a runtime from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if `cfg` fails
+    /// [`RuntimeConfig::validate`].
+    pub fn new(cfg: RuntimeConfig) -> Result<Runtime> {
+        cfg.validate()?;
+        Ok(Runtime { cfg })
+    }
+
+    /// The configuration this runtime serves under.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Serves `workload`'s arrival trace through `engines` (one per
+    /// shard). `sink(batch_seq, query_ids, pooled, breakdown)` fires
+    /// once per executed batch on the calling thread — in launch order
+    /// when deterministic, in completion order otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if the workload has no arrival
+    /// trace, `engines.len() != shards`, or any engine cannot take
+    /// `max_batch_size` batches; [`CoreError::Invariant`] if a worker
+    /// dies or modeled time runs backwards; engine errors propagate.
+    pub fn run<F>(
+        &self,
+        engines: &mut [UpdlrmEngine],
+        workload: &Workload,
+        sink: F,
+    ) -> Result<RuntimeReport>
+    where
+        F: FnMut(usize, &[u32], &[Matrix], &EmbeddingBreakdown),
+    {
+        let cfg = self.cfg;
+        let times = &workload.arrivals.times_ns;
+        if times.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "workload has no arrival trace (closed-loop); stamp arrivals first".into(),
+            ));
+        }
+        if engines.len() != cfg.shards {
+            return Err(CoreError::InvalidConfig(format!(
+                "runtime configured for {} shards but {} engines supplied",
+                cfg.shards,
+                engines.len()
+            )));
+        }
+        for engine in engines.iter() {
+            if cfg.sched.max_batch_size > engine.config().batch_size * 2 {
+                return Err(CoreError::InvalidConfig(format!(
+                    "max_batch_size {} exceeds the engine's staged capacity {} (2x its batch_size)",
+                    cfg.sched.max_batch_size,
+                    engine.config().batch_size * 2
+                )));
+            }
+        }
+
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            let (arrival_tx, arrival_rx) = ring::<(u32, u64)>(cfg.ring_capacity);
+            let mut work_txs = Vec::with_capacity(cfg.shards);
+            let mut done_rxs = Vec::with_capacity(cfg.shards);
+            for engine in engines.iter_mut() {
+                let (work_tx, work_rx) = ring::<WorkItem>(cfg.ring_capacity);
+                let (done_tx, done_rx) = ring::<Completion>(cfg.ring_capacity);
+                work_txs.push(work_tx);
+                done_rxs.push(done_rx);
+                s.spawn(move || shard_worker(engine, work_rx, done_tx, start));
+            }
+            s.spawn(move || ingest(times, cfg, start, arrival_tx));
+            // The batcher runs right here on the caller's thread, so the
+            // sink needs no `Send` bound and fires where the caller
+            // expects it.
+            let mut b = Batcher {
+                cfg,
+                workload,
+                policy: BatchPolicy::new(cfg.sched)?,
+                arrival_rx,
+                work_txs,
+                done_rxs,
+                start,
+                sink,
+                report: blank_report(workload),
+                latencies: Vec::with_capacity(times.len()),
+                hist: vec![0; cfg.sched.max_batch_size + 1],
+                batches_per_shard: vec![0; cfg.shards],
+                modeled_service_ns: 0.0,
+                measured_service_ns: 0.0,
+                seq: 0,
+                in_flight: 0,
+                last_done_wall: 0,
+                pending_triggers: Vec::new(),
+            };
+            if cfg.deterministic {
+                b.run_deterministic()?;
+            } else {
+                b.run_wall()?;
+            }
+            Ok(b.finish())
+        })
+    }
+}
+
+/// Replays the arrival trace into the arrival ring: paced to the
+/// (scaled) wall clock, or as fast as backpressure allows when
+/// deterministic. Exits early if the batcher is gone.
+fn ingest(times: &[u64], cfg: RuntimeConfig, start: Instant, mut tx: Producer<(u32, u64)>) {
+    for (id, &at_ns) in times.iter().enumerate() {
+        if !cfg.deterministic {
+            sleep_until(start, modeled_to_wall(at_ns, cfg.time_scale));
+        }
+        if tx.push_blocking((id as u32, at_ns)).is_err() {
+            return;
+        }
+    }
+    // Dropping `tx` is the end-of-stream signal.
+}
+
+/// One shard: executes every batch the batcher dispatches, measuring
+/// the wall cost of each modeled pipeline. Exits on end-of-stream, on
+/// engine error (after reporting it), or when the batcher is gone.
+fn shard_worker(
+    engine: &mut UpdlrmEngine,
+    mut work_rx: Consumer<WorkItem>,
+    mut done_tx: Producer<Completion>,
+    start: Instant,
+) {
+    while let Some(item) = work_rx.pop_blocking() {
+        let t0 = Instant::now();
+        let mut pooled = Vec::new();
+        let mut breakdown = EmbeddingBreakdown::default();
+        let res = engine.serve_stream(std::slice::from_ref(&item.batch), |_, p, bd| {
+            pooled = p.to_vec();
+            breakdown = *bd;
+        });
+        let service_wall_ns = t0.elapsed().as_nanos() as u64;
+        let done_wall_ns = start.elapsed().as_nanos() as u64;
+        let msg = match res {
+            Ok(_) => Completion::Done {
+                seq: item.seq,
+                ids: item.ids,
+                pooled,
+                breakdown,
+                service_wall_ns,
+                done_wall_ns,
+            },
+            Err(e) => Completion::Failed(e),
+        };
+        let failed = matches!(msg, Completion::Failed(_));
+        if done_tx.push_blocking(msg).is_err() || failed {
+            return;
+        }
+    }
+}
+
+/// Modeled ns → wall ns under `time_scale`.
+fn modeled_to_wall(modeled_ns: u64, time_scale: f64) -> u64 {
+    (modeled_ns as f64 * time_scale) as u64
+}
+
+/// Sleeps until `target_ns` of wall time since `start`, using coarse
+/// sleeps far out and yields close in (the CI container has one CPU —
+/// a hard spin would starve the threads this one is waiting on).
+fn sleep_until(start: Instant, target_ns: u64) {
+    loop {
+        let elapsed = start.elapsed().as_nanos() as u64;
+        if elapsed >= target_ns {
+            return;
+        }
+        let remaining = target_ns - elapsed;
+        if remaining > 500_000 {
+            std::thread::sleep(std::time::Duration::from_nanos(remaining / 2));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn blank_report(workload: &Workload) -> SchedReport {
+    SchedReport {
+        requests: workload.arrivals.times_ns.len() as u64,
+        admitted: 0,
+        completed: 0,
+        shed: 0,
+        rejected: 0,
+        blocked: 0,
+        batches: 0,
+        trigger_size: 0,
+        trigger_deadline: 0,
+        trigger_drain: 0,
+        queue_high_water: 0,
+        mean_batch_size: 0.0,
+        offered_qps: workload.arrivals.measured_offered_qps(),
+        achieved_qps: 0.0,
+        makespan_ns: 0.0,
+        mean_latency_ns: 0.0,
+        p50_latency_ns: 0.0,
+        p95_latency_ns: 0.0,
+        p99_latency_ns: 0.0,
+        max_latency_ns: 0.0,
+    }
+}
+
+/// The batcher's whole world: rings on both sides, the clock-agnostic
+/// policy in the middle, and the accounting the report is built from.
+struct Batcher<'a, F> {
+    cfg: RuntimeConfig,
+    workload: &'a Workload,
+    policy: BatchPolicy,
+    arrival_rx: Consumer<(u32, u64)>,
+    work_txs: Vec<Producer<WorkItem>>,
+    done_rxs: Vec<Consumer<Completion>>,
+    start: Instant,
+    sink: F,
+    report: SchedReport,
+    /// Per-request latencies: modeled ns when deterministic, measured
+    /// wall ns otherwise.
+    latencies: Vec<u64>,
+    hist: Vec<u64>,
+    batches_per_shard: Vec<u64>,
+    modeled_service_ns: f64,
+    measured_service_ns: f64,
+    seq: usize,
+    // Wall-mode state (unused when deterministic: the lockstep loop
+    // never has more than one batch in flight).
+    in_flight: usize,
+    last_done_wall: u64,
+    /// Launch triggers of in-flight batches, keyed by seq because
+    /// completions arrive out of order across shards. Bounded by the
+    /// rings, so linear scans are fine.
+    pending_triggers: Vec<(usize, SchedTrigger)>,
+}
+
+impl<F> Batcher<'_, F>
+where
+    F: FnMut(usize, &[u32], &[Matrix], &EmbeddingBreakdown),
+{
+    /// Folds an admission outcome into the report. Returns `true` when
+    /// the arrival was consumed (`false` = held at a blocked door).
+    fn apply_admit(&mut self, outcome: AdmitOutcome) -> bool {
+        match outcome {
+            AdmitOutcome::Admitted { depth } => {
+                self.report.admitted += 1;
+                self.report.queue_high_water = self.report.queue_high_water.max(depth as u64);
+                true
+            }
+            AdmitOutcome::AdmittedAfterShed { depth, .. } => {
+                self.report.shed += 1;
+                self.report.admitted += 1;
+                self.report.queue_high_water = self.report.queue_high_water.max(depth as u64);
+                true
+            }
+            AdmitOutcome::Rejected => {
+                self.report.rejected += 1;
+                true
+            }
+            AdmitOutcome::Blocked => false,
+        }
+    }
+
+    /// Assembles the just-taken batch into a fresh [`WorkItem`] for the
+    /// round-robin shard of the current `seq`.
+    fn make_item(&self, ids: &[u32]) -> WorkItem {
+        let mut batch = QueryBatch {
+            sparse: vec![Default::default(); self.workload.config.num_tables],
+            ..Default::default()
+        };
+        assemble_into(self.workload, ids, &mut batch);
+        WorkItem {
+            seq: self.seq,
+            ids: ids.to_vec(),
+            batch,
+        }
+    }
+
+    /// Deterministic-mode dispatch: the lockstep loop immediately waits
+    /// for the completion, so a plain blocking push cannot deadlock.
+    /// Returns the shard the batch went to.
+    fn dispatch_lockstep(&mut self, ids: &[u32]) -> Result<usize> {
+        let shard = self.seq % self.cfg.shards;
+        let item = self.make_item(ids);
+        if self.work_txs[shard].push_blocking(item).is_err() {
+            return Err(CoreError::Invariant(format!(
+                "shard {shard} worker exited before batch {} was dispatched",
+                self.seq
+            )));
+        }
+        self.batches_per_shard[shard] += 1;
+        self.seq += 1;
+        Ok(shard)
+    }
+
+    /// Wall-mode dispatch. Must NOT block without draining completions:
+    /// with a full work ring *and* a full completion ring, the worker
+    /// blocks pushing its completion and a blocked batcher would never
+    /// drain it — a cycle. So this spins on `try_push`, draining
+    /// completions between attempts.
+    fn dispatch_wall(&mut self, ids: &[u32], trigger: SchedTrigger) -> Result<()> {
+        let shard = self.seq % self.cfg.shards;
+        self.pending_triggers.push((self.seq, trigger));
+        let mut item = self.make_item(ids);
+        loop {
+            match self.work_txs[shard].try_push(item) {
+                Ok(()) => break,
+                Err(back) => {
+                    if self.work_txs[shard].is_disconnected() {
+                        return Err(CoreError::Invariant(format!(
+                            "shard {shard} worker exited before batch {} was dispatched",
+                            self.seq
+                        )));
+                    }
+                    item = back;
+                    self.drain_completions()?;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.batches_per_shard[shard] += 1;
+        self.seq += 1;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Books every completion currently waiting on any shard's ring
+    /// (non-blocking): trigger attribution, measured latency, sink.
+    fn drain_completions(&mut self) -> Result<()> {
+        let times = &self.workload.arrivals.times_ns;
+        let scale = self.cfg.time_scale;
+        for shard in 0..self.cfg.shards {
+            while let Some(msg) = self.done_rxs[shard].try_pop() {
+                match msg {
+                    Completion::Done {
+                        seq,
+                        ids: done_ids,
+                        pooled,
+                        breakdown,
+                        service_wall_ns,
+                        done_wall_ns,
+                    } => {
+                        self.in_flight -= 1;
+                        self.last_done_wall = self.last_done_wall.max(done_wall_ns);
+                        let slot = self
+                            .pending_triggers
+                            .iter()
+                            .position(|&(s, _)| s == seq)
+                            .expect("every dispatched seq has a pending trigger");
+                        let (_, trigger) = self.pending_triggers.swap_remove(slot);
+                        self.book_completion(
+                            trigger,
+                            &done_ids,
+                            &pooled,
+                            &breakdown,
+                            seq,
+                            service_wall_ns,
+                        );
+                        for &id in &done_ids {
+                            // Open-loop latency: measured completion
+                            // minus *ideal* arrival, so ingest lag
+                            // counts against us (no coordinated
+                            // omission).
+                            let ideal = modeled_to_wall(times[id as usize], scale);
+                            self.latencies.push(done_wall_ns.saturating_sub(ideal));
+                        }
+                    }
+                    Completion::Failed(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Books a completed batch: trigger counts, histogram, service
+    /// sums, sink. Latencies are the caller's business (the two modes
+    /// measure them on different clocks).
+    fn book_completion(
+        &mut self,
+        trigger: SchedTrigger,
+        ids: &[u32],
+        pooled: &[Matrix],
+        breakdown: &EmbeddingBreakdown,
+        seq: usize,
+        service_wall_ns: u64,
+    ) {
+        self.report.batches += 1;
+        match trigger {
+            SchedTrigger::Size => self.report.trigger_size += 1,
+            SchedTrigger::Deadline => self.report.trigger_deadline += 1,
+            SchedTrigger::Drain => self.report.trigger_drain += 1,
+        }
+        self.hist[ids.len()] += 1;
+        self.report.completed += ids.len() as u64;
+        self.modeled_service_ns += breakdown.total_ns();
+        self.measured_service_ns += service_wall_ns as f64;
+        (self.sink)(seq, ids, pooled, breakdown);
+    }
+
+    /// The oracle-locked mode: modeled time in lockstep, mirroring the
+    /// discrete-event loop decision for decision (see the module docs
+    /// for why the one-arrival lookahead and the per-batch wait are
+    /// what make the replay exact).
+    fn run_deterministic(&mut self) -> Result<()> {
+        let times = &self.workload.arrivals.times_ns;
+        let mut peeked: Option<(u32, u64)> = None;
+        let mut eos = false;
+        let mut now = 0u64;
+        let mut engine_free = 0u64;
+        let mut door_blocked = false;
+        let mut blocked_counted = 0u32;
+        let mut ids = Vec::with_capacity(self.cfg.sched.max_batch_size);
+
+        loop {
+            // One-arrival lookahead: block until the next arrival (or
+            // end-of-stream) is known — every decision below needs it.
+            if peeked.is_none() && !eos {
+                match self.arrival_rx.pop_blocking() {
+                    Some(a) => peeked = Some(a),
+                    None => eos = true,
+                }
+            }
+
+            if self.policy.is_empty() {
+                let Some((id, at)) = peeked else { break };
+                // Jump the clock to the next arrival; an empty queue
+                // always has room so the door reopens.
+                now = now.max(at);
+                door_blocked = false;
+                let outcome = self.policy.admit(id, at);
+                let consumed = self.apply_admit(outcome);
+                debug_assert!(consumed, "empty queue cannot block");
+                peeked = None;
+                continue;
+            }
+
+            let plan = self
+                .policy
+                .launch_at(now, engine_free, peeked.is_none())
+                .expect("queue is nonempty");
+
+            if let Some((id, at)) = peeked {
+                if !door_blocked && at <= plan.at_ns {
+                    now = now.max(at);
+                    let outcome = self.policy.admit(id, at);
+                    if self.apply_admit(outcome) {
+                        peeked = None;
+                    } else {
+                        door_blocked = true;
+                        if id >= blocked_counted {
+                            self.report.blocked += 1;
+                            blocked_counted = id + 1;
+                        }
+                    }
+                    continue;
+                }
+            }
+
+            // Launch, in lockstep with the oracle: dispatch, then wait
+            // for this batch's completion before modeled time advances.
+            now = plan.at_ns;
+            let newest = self.policy.take_batch(&mut ids).expect("queue is nonempty");
+            if newest > now {
+                return Err(CoreError::Invariant(format!(
+                    "batch {} launches at {now} ns but contains an arrival \
+                     admitted at {newest} ns",
+                    self.seq
+                )));
+            }
+            let seq = self.seq;
+            let shard = self.dispatch_lockstep(&ids)?;
+            let (done_ids, pooled, breakdown, service_wall_ns) =
+                match self.done_rxs[shard].pop_blocking() {
+                    Some(Completion::Done {
+                        seq: done_seq,
+                        ids,
+                        pooled,
+                        breakdown,
+                        service_wall_ns,
+                        ..
+                    }) => {
+                        debug_assert_eq!(done_seq, seq, "lockstep completion order");
+                        (ids, pooled, breakdown, service_wall_ns)
+                    }
+                    Some(Completion::Failed(e)) => return Err(e),
+                    None => {
+                        return Err(CoreError::Invariant(format!(
+                            "shard {shard} worker exited before batch {seq} completed"
+                        )))
+                    }
+                };
+            engine_free = now.saturating_add(service_ns_to_u64(breakdown.total_ns()));
+            self.book_completion(
+                plan.trigger,
+                &done_ids,
+                &pooled,
+                &breakdown,
+                seq,
+                service_wall_ns,
+            );
+            for &id in &done_ids {
+                // arrival <= now <= engine_free, so this never wraps.
+                self.latencies.push(engine_free - times[id as usize]);
+            }
+            door_blocked = false;
+        }
+        self.report.makespan_ns = engine_free as f64;
+        Ok(())
+    }
+
+    /// The wall-clock mode: the batcher polls a monotonic clock (mapped
+    /// to modeled ns by `time_scale`), shards drain concurrently, and
+    /// latencies are measured, not modeled.
+    fn run_wall(&mut self) -> Result<()> {
+        let scale = self.cfg.time_scale;
+        let mut peeked: Option<(u32, u64)> = None;
+        let mut eos = false;
+        let mut door_blocked = false;
+        let mut blocked_counted = 0u32;
+        let mut ids = Vec::with_capacity(self.cfg.sched.max_batch_size);
+
+        loop {
+            // 1. Drain completions from every shard (non-blocking).
+            self.drain_completions()?;
+
+            // 2. Admit whatever the ingest thread has delivered.
+            if self.policy.is_empty() {
+                door_blocked = false;
+            }
+            while !door_blocked {
+                if peeked.is_none() {
+                    match self.arrival_rx.try_pop() {
+                        Some(a) => peeked = Some(a),
+                        None => {
+                            // Empty + producer gone = end of stream;
+                            // re-pop after the liveness load so a value
+                            // pushed between the two cannot be missed.
+                            if self.arrival_rx.is_disconnected() {
+                                match self.arrival_rx.try_pop() {
+                                    Some(a) => peeked = Some(a),
+                                    None => eos = true,
+                                }
+                            }
+                        }
+                    }
+                }
+                let Some((id, at)) = peeked else { break };
+                let outcome = self.policy.admit(id, at);
+                if self.apply_admit(outcome) {
+                    peeked = None;
+                } else {
+                    door_blocked = true;
+                    if id >= blocked_counted {
+                        self.report.blocked += 1;
+                        blocked_counted = id + 1;
+                    }
+                }
+            }
+
+            let drained = eos && peeked.is_none();
+            if self.policy.is_empty() {
+                if drained && self.in_flight == 0 {
+                    break;
+                }
+                // Nothing to batch; give ingest / workers real CPU
+                // time (on one core a yield loop would fight the very
+                // worker whose completion it waits for).
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                continue;
+            }
+
+            // 3. Launch when the policy says so, on the measured clock.
+            // `engine_free = 0`: shard availability is expressed by
+            // ring backpressure, not by a single modeled server.
+            let now = (self.start.elapsed().as_nanos() as f64 / scale) as u64;
+            let plan = self
+                .policy
+                .launch_at(now, 0, drained)
+                .expect("queue is nonempty");
+            if plan.at_ns <= now {
+                self.policy.take_batch(&mut ids).expect("queue is nonempty");
+                self.dispatch_wall(&ids, plan.trigger)?;
+                door_blocked = false;
+            } else {
+                // Sleep toward the planned launch, but wake early: a
+                // new arrival can pull the launch forward (size
+                // trigger) and completions free ring slots.
+                let target = modeled_to_wall(plan.at_ns, scale);
+                let elapsed = self.start.elapsed().as_nanos() as u64;
+                let slice = (target.saturating_sub(elapsed)).min(100_000);
+                sleep_until(self.start, elapsed + slice);
+            }
+        }
+        self.report.makespan_ns = self.last_done_wall as f64;
+        Ok(())
+    }
+
+    /// Derives the f64 statistics and packages the report — the same
+    /// math, in the same order, as the modeled scheduler, so the
+    /// deterministic mode's report is bit-identical to the oracle's.
+    fn finish(mut self) -> RuntimeReport {
+        let makespan = self.report.makespan_ns;
+        self.report.achieved_qps = if makespan > 0.0 {
+            self.report.completed as f64 * NS_PER_SEC / makespan
+        } else {
+            0.0
+        };
+        self.report.mean_batch_size = if self.report.batches > 0 {
+            self.report.completed as f64 / self.report.batches as f64
+        } else {
+            0.0
+        };
+        self.latencies.sort_unstable();
+        let lat_stats: Vec<f64> = self.latencies.iter().map(|&l| l as f64).collect();
+        if let Some(&max) = self.latencies.last() {
+            self.report.max_latency_ns = max as f64;
+            self.report.mean_latency_ns = self.latencies.iter().map(|&l| l as u128).sum::<u128>()
+                as f64
+                / self.latencies.len() as f64;
+        }
+        self.report.p50_latency_ns = percentile(&lat_stats, 0.50);
+        self.report.p95_latency_ns = percentile(&lat_stats, 0.95);
+        self.report.p99_latency_ns = percentile(&lat_stats, 0.99);
+        debug_assert!(report_is_finite(&self.report));
+
+        let wall_elapsed_ns = self.start.elapsed().as_nanos() as f64;
+        RuntimeReport {
+            wall: WallStats {
+                wall_elapsed_ns,
+                measured_qps: if wall_elapsed_ns > 0.0 {
+                    self.report.completed as f64 * NS_PER_SEC / wall_elapsed_ns
+                } else {
+                    0.0
+                },
+                modeled_service_ns: self.modeled_service_ns,
+                measured_service_ns: self.measured_service_ns,
+                time_scale: self.cfg.time_scale,
+            },
+            sched: self.report,
+            shards: self.cfg.shards,
+            deterministic: self.cfg.deterministic,
+            batches_per_shard: self.batches_per_shard,
+            batch_histogram: self.hist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(Runtime::new(RuntimeConfig::default()).is_ok());
+        assert!(Runtime::new(RuntimeConfig {
+            shards: 0,
+            ..RuntimeConfig::default()
+        })
+        .is_err());
+        assert!(Runtime::new(RuntimeConfig {
+            ring_capacity: 0,
+            ..RuntimeConfig::default()
+        })
+        .is_err());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                Runtime::new(RuntimeConfig {
+                    time_scale: bad,
+                    ..RuntimeConfig::default()
+                })
+                .is_err(),
+                "time_scale {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_to_wall_scales() {
+        assert_eq!(modeled_to_wall(1_000, 1.0), 1_000);
+        assert_eq!(modeled_to_wall(1_000, 2.5), 2_500);
+        assert_eq!(modeled_to_wall(0, 10.0), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The oracle lock (ISSUE 6 acceptance): `Runtime` in deterministic
+//! mode must reproduce `Scheduler::run` **byte for byte** on the same
+//! UPWL trace — identical batch composition in launch order, identical
+//! pooled embeddings (bit-compared), identical `SchedReport` — for
+//! every overload policy and for both 1 and 2 shards. Concurrency is
+//! allowed to change the clock, never the semantics.
+
+use dlrm_model::EmbeddingTable;
+use runtime::{Runtime, RuntimeConfig};
+use scheduler::{OverloadPolicy, SchedConfig, SchedReport, Scheduler};
+use updlrm_core::{PartitionStrategy, UpdlrmConfig, UpdlrmEngine};
+use workloads::{ArrivalProcess, DatasetSpec, TraceConfig, Workload};
+
+const DIM: usize = 32;
+
+fn setup(num_batches: usize, process: ArrivalProcess) -> (Vec<EmbeddingTable>, Workload) {
+    let spec = DatasetSpec::goodreads().scaled_down(5000);
+    let mut workload = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_tables: 2,
+            num_batches,
+            ..TraceConfig::default()
+        },
+    );
+    workload.stamp_arrivals(process);
+    let tables = (0..2)
+        .map(|t| EmbeddingTable::random_integer_valued(spec.num_items, DIM, 3, t as u64).unwrap())
+        .collect();
+    (tables, workload)
+}
+
+fn engine(tables: &[EmbeddingTable], workload: &Workload, max_batch: usize) -> UpdlrmEngine {
+    let config = UpdlrmConfig {
+        batch_size: max_batch,
+        ..UpdlrmConfig::with_dpus(16, PartitionStrategy::NonUniform)
+    };
+    UpdlrmEngine::from_workload(config, tables, workload).unwrap()
+}
+
+/// One batch as the sink saw it: ids in launch order plus the pooled
+/// embeddings reduced to raw bits (exact, not approximate, equality).
+type BatchTrace = Vec<(usize, Vec<u32>, Vec<Vec<u32>>)>;
+
+fn oracle(
+    tables: &[EmbeddingTable],
+    workload: &Workload,
+    cfg: SchedConfig,
+    max_batch: usize,
+) -> (SchedReport, BatchTrace, Vec<u64>) {
+    let mut eng = engine(tables, workload, max_batch);
+    let mut s = Scheduler::new(cfg).unwrap();
+    let mut trace = BatchTrace::new();
+    let report = s
+        .run(&mut eng, workload, |seq, ids, pooled, _| {
+            trace.push((seq, ids.to_vec(), pooled_bits(pooled)));
+        })
+        .unwrap();
+    (report, trace, s.batch_histogram().to_vec())
+}
+
+fn pooled_bits(pooled: &[dlrm_model::Matrix]) -> Vec<Vec<u32>> {
+    pooled
+        .iter()
+        .map(|m| m.as_slice().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn runtime_det(
+    tables: &[EmbeddingTable],
+    workload: &Workload,
+    cfg: SchedConfig,
+    max_batch: usize,
+    shards: usize,
+) -> (runtime::RuntimeReport, BatchTrace) {
+    let mut engines: Vec<UpdlrmEngine> = (0..shards)
+        .map(|_| engine(tables, workload, max_batch))
+        .collect();
+    let rt = Runtime::new(RuntimeConfig {
+        sched: cfg,
+        shards,
+        deterministic: true,
+        ring_capacity: 4,
+        ..RuntimeConfig::default()
+    })
+    .unwrap();
+    let mut trace = BatchTrace::new();
+    let report = rt
+        .run(&mut engines, workload, |seq, ids, pooled, _| {
+            trace.push((seq, ids.to_vec(), pooled_bits(pooled)));
+        })
+        .unwrap();
+    (report, trace)
+}
+
+fn assert_locked(process: ArrivalProcess, cfg: SchedConfig, max_batch: usize) {
+    let (tables, workload) = setup(3, process);
+    let (oracle_report, oracle_trace, oracle_hist) = oracle(&tables, &workload, cfg, max_batch);
+    assert!(!oracle_trace.is_empty(), "oracle must form batches");
+    for shards in [1usize, 2] {
+        let (rt_report, rt_trace) = runtime_det(&tables, &workload, cfg, max_batch, shards);
+        assert_eq!(
+            rt_report.sched, oracle_report,
+            "{} shards / {}: report must be byte-identical",
+            shards, cfg.policy
+        );
+        assert_eq!(
+            rt_trace, oracle_trace,
+            "{} shards / {}: batches and pooled embeddings must be byte-identical",
+            shards, cfg.policy
+        );
+        assert_eq!(rt_report.batch_histogram, oracle_hist);
+        assert_eq!(rt_report.batches_per_shard.len(), shards);
+        assert_eq!(
+            rt_report.batches_per_shard.iter().sum::<u64>(),
+            oracle_report.batches
+        );
+        assert!(
+            rt_report.wall.modeled_service_ns > 0.0 && rt_report.wall.measured_service_ns > 0.0,
+            "measured-vs-modeled service walls must be recorded"
+        );
+    }
+}
+
+#[test]
+fn deterministic_runtime_matches_oracle_under_light_load() {
+    assert_locked(
+        ArrivalProcess::poisson(1_000.0, 11),
+        SchedConfig {
+            max_batch_size: 32,
+            max_wait_ns: 50_000,
+            queue_cap: 64,
+            policy: OverloadPolicy::ShedOldest,
+        },
+        32,
+    );
+}
+
+#[test]
+fn deterministic_runtime_matches_oracle_under_shedding_saturation() {
+    assert_locked(
+        ArrivalProcess::poisson(50_000_000.0, 13),
+        SchedConfig {
+            max_batch_size: 32,
+            max_wait_ns: 100_000,
+            queue_cap: 48,
+            policy: OverloadPolicy::ShedOldest,
+        },
+        32,
+    );
+}
+
+#[test]
+fn deterministic_runtime_matches_oracle_when_rejecting() {
+    assert_locked(
+        ArrivalProcess::bursty(20_000_000.0, 17),
+        SchedConfig {
+            max_batch_size: 16,
+            max_wait_ns: 30_000,
+            queue_cap: 24,
+            policy: OverloadPolicy::RejectNew,
+        },
+        16,
+    );
+}
+
+#[test]
+fn deterministic_runtime_matches_oracle_when_blocking() {
+    assert_locked(
+        ArrivalProcess::poisson(50_000_000.0, 19),
+        SchedConfig {
+            max_batch_size: 32,
+            max_wait_ns: 100_000,
+            queue_cap: 48,
+            policy: OverloadPolicy::Block,
+        },
+        32,
+    );
+}
+
+#[test]
+fn deterministic_runtime_is_reproducible_across_runs() {
+    let (tables, workload) = setup(2, ArrivalProcess::bursty(200_000.0, 23));
+    let cfg = SchedConfig {
+        max_batch_size: 32,
+        max_wait_ns: 50_000,
+        queue_cap: 64,
+        policy: OverloadPolicy::ShedOldest,
+    };
+    let (a, ta) = runtime_det(&tables, &workload, cfg, 32, 2);
+    let (b, tb) = runtime_det(&tables, &workload, cfg, 32, 2);
+    assert_eq!(a.sched, b.sched);
+    assert_eq!(ta, tb);
+}

@@ -27,16 +27,42 @@
 //! §4.7). Steady-state runs are also allocation-free after warm-up:
 //! the queue, the assembly scratch and the latency buffer are
 //! preallocated and recycled (`tests/alloc_tests.rs`).
+//!
+//! All event times are **integer nanoseconds** (`u64`) end to end: the
+//! loop never does f64 arithmetic on arrival or launch instants, so ns
+//! precision survives arbitrarily long modeled traces (f64 starts
+//! dropping nanoseconds past 2^53 ns ≈ 104 days) and the
+//! size/deadline/drain trigger attribution is an exact integer
+//! comparison rather than an ulp-sensitive float equality. f64 appears
+//! only in [`SchedReport`]'s derived statistics. The batch-forming
+//! decisions themselves live in the clock-agnostic
+//! [`BatchPolicy`](policy::BatchPolicy), which the wall-clock `runtime`
+//! crate drives with real timestamps to form byte-identical batches.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::collections::VecDeque;
+pub mod policy;
 
 use dlrm_model::{Matrix, QueryBatch};
 use updlrm_core::engine::EmbeddingBreakdown;
 use updlrm_core::{percentile, CoreError, Result, SchedTrigger, UpdlrmEngine};
 use workloads::{Workload, NS_PER_SEC};
+
+pub use policy::{AdmitOutcome, BatchPolicy, LaunchPlan};
+
+/// Converts a modeled f64 service time (ns) to the integer-ns clock.
+///
+/// `ceil` keeps the single-server invariant conservative: the engine is
+/// never marked free before the modeled pipeline has fully drained, and
+/// a positive service time always advances the clock by at least 1 ns.
+pub fn service_ns_to_u64(service_ns: f64) -> u64 {
+    debug_assert!(
+        service_ns.is_finite() && service_ns >= 0.0,
+        "modeled service time must be finite and nonnegative, got {service_ns}"
+    );
+    service_ns.max(0.0).ceil() as u64
+}
 
 /// What to do with a new arrival when the admission queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -233,15 +259,17 @@ pub fn assemble_into(workload: &Workload, ids: &[u32], out: &mut QueryBatch) {
 /// drive many runs without allocating after the first.
 #[derive(Debug)]
 pub struct Scheduler {
-    cfg: SchedConfig,
-    /// Admitted queries: (global query id, arrival ns).
-    queue: VecDeque<(u32, u64)>,
+    /// The clock-agnostic batch-forming core (admission queue, launch
+    /// triggers) shared with the wall-clock runtime.
+    policy: BatchPolicy,
     /// Ids popped for the batch being formed.
     formed_ids: Vec<u32>,
     /// The assembled CSR batch handed to the engine.
     batch: QueryBatch,
-    /// Completed-request latencies (ns), sorted at report time.
-    latencies: Vec<f64>,
+    /// Completed-request latencies, integer ns, sorted at report time.
+    latencies: Vec<u64>,
+    /// f64 view of the sorted latencies for the quantile statistics.
+    lat_stats: Vec<f64>,
     /// `hist[k]` = batches formed with exactly `k` queries.
     hist: Vec<u64>,
 }
@@ -255,20 +283,19 @@ impl Scheduler {
     /// [`CoreError::InvalidConfig`] if `cfg` fails
     /// [`SchedConfig::validate`].
     pub fn new(cfg: SchedConfig) -> Result<Scheduler> {
-        cfg.validate()?;
         Ok(Scheduler {
-            cfg,
-            queue: VecDeque::with_capacity(cfg.queue_cap),
+            policy: BatchPolicy::new(cfg)?,
             formed_ids: Vec::with_capacity(cfg.max_batch_size),
             batch: QueryBatch::default(),
             latencies: Vec::new(),
+            lat_stats: Vec::new(),
             hist: vec![0; cfg.max_batch_size + 1],
         })
     }
 
     /// The configuration this scheduler runs.
     pub fn config(&self) -> &SchedConfig {
-        &self.cfg
+        self.policy.config()
     }
 
     /// Batch-size histogram of the last run: `histogram()[k]` is the
@@ -305,10 +332,11 @@ impl Scheduler {
                 "workload has no arrival trace (closed-loop); stamp arrivals first".into(),
             ));
         }
-        if self.cfg.max_batch_size > engine.config().batch_size * 2 {
+        let cfg = *self.policy.config();
+        if cfg.max_batch_size > engine.config().batch_size * 2 {
             return Err(CoreError::InvalidConfig(format!(
                 "max_batch_size {} exceeds the engine's staged capacity {} (2x its batch_size)",
-                self.cfg.max_batch_size,
+                cfg.max_batch_size,
                 engine.config().batch_size * 2
             )));
         }
@@ -317,12 +345,13 @@ impl Scheduler {
         if self.batch.sparse.len() != workload.config.num_tables {
             self.batch.sparse = vec![Default::default(); workload.config.num_tables];
         }
-        self.queue.clear();
+        self.policy.clear();
         self.latencies.clear();
         self.latencies.reserve(n);
+        self.lat_stats.clear();
+        self.lat_stats.reserve(n);
         self.hist.fill(0);
 
-        let max_wait = self.cfg.max_wait_ns as f64;
         let mut report = SchedReport {
             requests: n as u64,
             admitted: 0,
@@ -347,8 +376,8 @@ impl Scheduler {
         };
 
         let mut next = 0usize; // next arrival not yet admitted or dropped
-        let mut now = 0.0f64;
-        let mut engine_free = 0.0f64;
+        let mut now = 0u64;
+        let mut engine_free = 0u64;
         let mut seq = 0usize; // formed-batch sequence number
                               // Under Block, a full queue latches the door shut until the next
                               // launch frees slots (re-attempting immediately would spin).
@@ -358,70 +387,58 @@ impl Scheduler {
         let mut blocked_counted = 0usize;
 
         loop {
-            if self.queue.is_empty() {
+            if self.policy.is_empty() {
                 if next >= n {
                     break;
                 }
                 // Jump the clock to the next arrival; an empty queue
                 // always has room (queue_cap >= 1) so the door reopens.
-                now = now.max(times[next] as f64);
+                now = now.max(times[next]);
                 door_blocked = false;
-                self.admit(engine, times, &mut next, &mut report);
+                self.admit(engine, times, &mut next, &mut report, &mut door_blocked);
                 continue;
             }
 
-            // Candidate launch instants given the current queue. A
-            // launch can never precede `now` (events already applied)
-            // or `engine_free` (single modeled server).
-            let head_arrival = self.queue.front().expect("nonempty").1 as f64;
-            let t_deadline = (head_arrival + max_wait).max(engine_free).max(now);
-            let t_size = if self.queue.len() >= self.cfg.max_batch_size {
-                engine_free.max(now)
-            } else {
-                f64::INFINITY
-            };
-            let t_drain = if next >= n {
-                engine_free.max(now)
-            } else {
-                f64::INFINITY
-            };
-            let t_launch = t_size.min(t_deadline).min(t_drain);
+            // Earliest legal launch instant given the current queue —
+            // never before `now` (events already applied) or
+            // `engine_free` (single modeled server).
+            let plan = self
+                .policy
+                .launch_at(now, engine_free, next >= n)
+                .expect("queue is nonempty");
 
             // Arrivals at or before the launch instant are admitted
             // first — they may join this batch or change the trigger.
-            if !door_blocked && next < n && (times[next] as f64) <= t_launch {
-                now = now.max(times[next] as f64);
-                let full_before = self.queue.len() == self.cfg.queue_cap;
-                self.admit(engine, times, &mut next, &mut report);
-                if full_before && self.cfg.policy == OverloadPolicy::Block {
-                    door_blocked = true;
-                    if next >= blocked_counted {
-                        report.blocked += 1;
-                        blocked_counted = next + 1;
-                        engine.metrics_mut().record_sched_block();
-                    }
+            if !door_blocked && next < n && times[next] <= plan.at_ns {
+                now = now.max(times[next]);
+                self.admit(engine, times, &mut next, &mut report, &mut door_blocked);
+                if door_blocked && next >= blocked_counted {
+                    report.blocked += 1;
+                    blocked_counted = next + 1;
+                    engine.metrics_mut().record_sched_block();
                 }
                 continue;
             }
 
-            // Launch. Priority on ties: size beats deadline beats drain.
-            now = t_launch;
-            let trigger = if t_size == t_launch {
-                SchedTrigger::Size
-            } else if t_deadline == t_launch {
-                SchedTrigger::Deadline
-            } else {
-                SchedTrigger::Drain
-            };
-            let k = self.queue.len().min(self.cfg.max_batch_size);
-            self.formed_ids.clear();
-            let mut oldest = 0u64;
-            for _ in 0..k {
-                let (id, at) = self.queue.pop_front().expect("len checked");
-                self.formed_ids.push(id);
-                oldest = oldest.max(at); // ids are FIFO; track for debug
+            // Launch. The policy already attributed the trigger by
+            // exact integer comparison (size beats deadline beats
+            // drain on ties).
+            now = plan.at_ns;
+            let newest = self
+                .policy
+                .take_batch(&mut self.formed_ids)
+                .expect("queue is nonempty");
+            let k = self.formed_ids.len();
+            // Exact integer-ns invariant, enforced in release builds
+            // too: every admitted arrival precedes (or coincides with)
+            // the launch instant. The f64 loop needed a +1.0 ns slop
+            // here to absorb ulp drift; integer time has none.
+            if newest > now {
+                return Err(CoreError::Invariant(format!(
+                    "batch {seq} launches at {now} ns but contains an arrival \
+                     admitted at {newest} ns"
+                )));
             }
-            debug_assert!(oldest as f64 <= now + 1.0, "launch precedes an arrival");
             let Scheduler {
                 batch, formed_ids, ..
             } = &mut *self;
@@ -431,28 +448,32 @@ impl Scheduler {
                 service_ns = bd.total_ns();
                 sink(seq, formed_ids, pooled, bd);
             })?;
-            engine_free = now + service_ns;
+            // Modeled time is monotone: `ceil` never lets the engine
+            // free up before the pipeline drains (and `now` only grows).
+            engine_free = now.saturating_add(service_ns_to_u64(service_ns));
             report.batches += 1;
-            match trigger {
+            match plan.trigger {
                 SchedTrigger::Size => report.trigger_size += 1,
                 SchedTrigger::Deadline => report.trigger_deadline += 1,
                 SchedTrigger::Drain => report.trigger_drain += 1,
             }
             self.hist[k] += 1;
-            engine.metrics_mut().record_sched_batch(k, trigger);
+            engine.metrics_mut().record_sched_batch(k, plan.trigger);
             for i in 0..k {
-                // Latency from the original arrival to the batch drain.
-                let at = times[self.formed_ids[i] as usize] as f64;
-                self.latencies.push(engine_free - at);
+                // Latency from the original arrival to the batch drain;
+                // arrival <= now <= engine_free, so this never wraps.
+                self.latencies
+                    .push(engine_free - times[self.formed_ids[i] as usize]);
             }
             report.completed += k as u64;
             seq += 1;
             door_blocked = false;
         }
 
-        report.makespan_ns = engine_free;
-        report.achieved_qps = if engine_free > 0.0 {
-            report.completed as f64 * NS_PER_SEC / engine_free
+        // Report statistics are the only place f64 touches event times.
+        report.makespan_ns = engine_free as f64;
+        report.achieved_qps = if engine_free > 0 {
+            report.completed as f64 * NS_PER_SEC / engine_free as f64
         } else {
             0.0
         };
@@ -461,56 +482,79 @@ impl Scheduler {
         } else {
             0.0
         };
-        self.latencies
-            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        self.latencies.sort_unstable();
+        self.lat_stats
+            .extend(self.latencies.iter().map(|&l| l as f64));
         if let Some(&max) = self.latencies.last() {
-            report.max_latency_ns = max;
-            report.mean_latency_ns =
-                self.latencies.iter().sum::<f64>() / self.latencies.len() as f64;
+            report.max_latency_ns = max as f64;
+            report.mean_latency_ns = self.latencies.iter().map(|&l| l as u128).sum::<u128>() as f64
+                / self.latencies.len() as f64;
         }
-        report.p50_latency_ns = percentile(&self.latencies, 0.50);
-        report.p95_latency_ns = percentile(&self.latencies, 0.95);
-        report.p99_latency_ns = percentile(&self.latencies, 0.99);
+        report.p50_latency_ns = percentile(&self.lat_stats, 0.50);
+        report.p95_latency_ns = percentile(&self.lat_stats, 0.95);
+        report.p99_latency_ns = percentile(&self.lat_stats, 0.99);
+        debug_assert!(report_is_finite(&report), "non-finite stat in {report:?}");
         Ok(report)
     }
 
-    /// Admits arrival `*next` under the overload policy, advancing
-    /// `*next` unless the policy is Block and the queue is full.
+    /// Admits arrival `*next` through the [`BatchPolicy`], folding the
+    /// outcome into `report` and the engine's telemetry. Advances
+    /// `*next` unless the policy is Block and the queue is full, in
+    /// which case `*door_blocked` latches shut.
     fn admit(
         &mut self,
         engine: &mut UpdlrmEngine,
         times: &[u64],
         next: &mut usize,
         report: &mut SchedReport,
+        door_blocked: &mut bool,
     ) {
-        let id = *next as u32;
-        let at = times[*next];
-        if self.queue.len() == self.cfg.queue_cap {
-            match self.cfg.policy {
-                OverloadPolicy::Block => {
-                    // The caller latches the door; `next` stays put and
-                    // is re-attempted after the next launch.
-                    return;
-                }
-                OverloadPolicy::ShedOldest => {
-                    self.queue.pop_front();
-                    report.shed += 1;
-                    engine.metrics_mut().record_sched_shed();
-                }
-                OverloadPolicy::RejectNew => {
-                    report.rejected += 1;
-                    engine.metrics_mut().record_sched_reject();
-                    *next += 1;
-                    return;
-                }
+        match self.policy.admit(*next as u32, times[*next]) {
+            AdmitOutcome::Admitted { depth } => {
+                report.admitted += 1;
+                report.queue_high_water = report.queue_high_water.max(depth as u64);
+                engine.metrics_mut().record_sched_admit(depth);
+                *next += 1;
+            }
+            AdmitOutcome::AdmittedAfterShed { depth, .. } => {
+                report.shed += 1;
+                engine.metrics_mut().record_sched_shed();
+                report.admitted += 1;
+                report.queue_high_water = report.queue_high_water.max(depth as u64);
+                engine.metrics_mut().record_sched_admit(depth);
+                *next += 1;
+            }
+            AdmitOutcome::Rejected => {
+                report.rejected += 1;
+                engine.metrics_mut().record_sched_reject();
+                *next += 1;
+            }
+            AdmitOutcome::Blocked => {
+                // `next` stays put and is re-offered after the next
+                // launch frees a slot.
+                *door_blocked = true;
             }
         }
-        self.queue.push_back((id, at));
-        report.admitted += 1;
-        report.queue_high_water = report.queue_high_water.max(self.queue.len() as u64);
-        engine.metrics_mut().record_sched_admit(self.queue.len());
-        *next += 1;
     }
+}
+
+/// True when every derived f64 statistic in `report` is finite — the
+/// serialization contract (`--json` must parse back as typed numbers,
+/// never `NaN`/`inf` strings), checked by `tests/report_finite.rs`.
+pub fn report_is_finite(report: &SchedReport) -> bool {
+    [
+        report.mean_batch_size,
+        report.offered_qps,
+        report.achieved_qps,
+        report.makespan_ns,
+        report.mean_latency_ns,
+        report.p50_latency_ns,
+        report.p95_latency_ns,
+        report.p99_latency_ns,
+        report.max_latency_ns,
+    ]
+    .iter()
+    .all(|v| v.is_finite())
 }
 
 #[cfg(test)]

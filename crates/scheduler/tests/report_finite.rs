@@ -1,0 +1,118 @@
+//! NaN/Inf audit regression (ISSUE 6): every f64 statistic a
+//! [`SchedReport`] carries must be finite, and the serialized `--json`
+//! form must parse back as typed numbers. The vendored serde renders a
+//! non-finite f64 as a `"NaN"` / `"inf"` *string*, which no typed
+//! field accepts — so a single unguarded division poisons the whole
+//! report file. These tests pin the guard for the degenerate regimes:
+//! minimal traces, heavy shedding, and zero-length latency sets.
+
+use dlrm_model::EmbeddingTable;
+use scheduler::{report_is_finite, OverloadPolicy, SchedConfig, SchedReport, Scheduler};
+use updlrm_core::{PartitionStrategy, UpdlrmConfig, UpdlrmEngine};
+use workloads::{ArrivalProcess, DatasetSpec, TraceConfig, Workload};
+
+fn setup(num_batches: usize, process: ArrivalProcess) -> (Vec<EmbeddingTable>, Workload) {
+    let spec = DatasetSpec::goodreads().scaled_down(5000);
+    let mut workload = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_tables: 2,
+            num_batches,
+            ..TraceConfig::default()
+        },
+    );
+    workload.stamp_arrivals(process);
+    let tables = (0..2)
+        .map(|t| EmbeddingTable::random_integer_valued(spec.num_items, 32, 3, t as u64).unwrap())
+        .collect();
+    (tables, workload)
+}
+
+fn engine(tables: &[EmbeddingTable], workload: &Workload, max_batch: usize) -> UpdlrmEngine {
+    let config = UpdlrmConfig {
+        batch_size: max_batch,
+        ..UpdlrmConfig::with_dpus(16, PartitionStrategy::NonUniform)
+    };
+    UpdlrmEngine::from_workload(config, tables, workload).unwrap()
+}
+
+/// Serialize → parse → compare: the emitted JSON must round-trip into
+/// the typed report, which is only possible when every field is a real
+/// JSON number (no `"NaN"` strings).
+fn assert_json_round_trips_finite(report: &SchedReport, ctx: &str) {
+    assert!(
+        report_is_finite(report),
+        "{ctx}: non-finite stat {report:?}"
+    );
+    let text = serde::json::to_string_pretty(report);
+    assert!(
+        !text.contains("NaN") && !text.contains("inf"),
+        "{ctx}: non-finite leaked into JSON: {text}"
+    );
+    let back: SchedReport = serde::json::from_str(&text)
+        .unwrap_or_else(|e| panic!("{ctx}: emitted JSON must parse back typed: {e}\n{text}"));
+    assert_eq!(&back, report, "{ctx}: JSON round trip changed the report");
+}
+
+#[test]
+fn minimal_single_arrival_report_is_finite_json() {
+    let (tables, workload) = setup(1, ArrivalProcess::poisson(1_000.0, 3));
+    let mut eng = engine(&tables, &workload, 16);
+    let mut s = Scheduler::new(SchedConfig {
+        max_batch_size: 16,
+        ..SchedConfig::default()
+    })
+    .unwrap();
+    let r = s.run(&mut eng, &workload, |_, _, _, _| {}).unwrap();
+    assert_json_round_trips_finite(&r, "minimal");
+}
+
+#[test]
+fn heavily_shed_report_is_finite_json() {
+    // Saturating load into a tiny queue: nearly everything is shed,
+    // exercising the division guards with extreme count skews.
+    let (tables, workload) = setup(3, ArrivalProcess::poisson(50_000_000.0, 5));
+    for policy in [OverloadPolicy::ShedOldest, OverloadPolicy::RejectNew] {
+        let mut eng = engine(&tables, &workload, 8);
+        let mut s = Scheduler::new(SchedConfig {
+            max_batch_size: 8,
+            max_wait_ns: 1_000,
+            queue_cap: 8,
+            policy,
+        })
+        .unwrap();
+        let r = s.run(&mut eng, &workload, |_, _, _, _| {}).unwrap();
+        assert!(r.shed + r.rejected > 0, "{policy}: load must overflow");
+        assert_json_round_trips_finite(&r, policy.as_str());
+    }
+}
+
+#[test]
+fn zero_activity_report_serializes_finite_zeros() {
+    // The finalization-path contract independent of the event loop: a
+    // report whose every count is zero (fully-shed / empty-trace shape)
+    // must hold finite zeros in all derived statistics.
+    let zero = SchedReport {
+        requests: 0,
+        admitted: 0,
+        completed: 0,
+        shed: 0,
+        rejected: 0,
+        blocked: 0,
+        batches: 0,
+        trigger_size: 0,
+        trigger_deadline: 0,
+        trigger_drain: 0,
+        queue_high_water: 0,
+        mean_batch_size: 0.0,
+        offered_qps: 0.0,
+        achieved_qps: 0.0,
+        makespan_ns: 0.0,
+        mean_latency_ns: 0.0,
+        p50_latency_ns: 0.0,
+        p95_latency_ns: 0.0,
+        p99_latency_ns: 0.0,
+        max_latency_ns: 0.0,
+    };
+    assert_json_round_trips_finite(&zero, "all-zero");
+}

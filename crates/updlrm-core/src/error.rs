@@ -31,6 +31,11 @@ pub enum CoreError {
     },
     /// Invalid engine or partitioning configuration.
     InvalidConfig(String),
+    /// An internal scheduling invariant was violated — a bug in the
+    /// event loop or runtime, not a user error. Returned (not just
+    /// debug-asserted) so release builds fail loudly instead of
+    /// silently continuing with corrupted time accounting.
+    Invariant(String),
 }
 
 impl fmt::Display for CoreError {
@@ -51,6 +56,7 @@ impl fmt::Display for CoreError {
                 "partition {partition} needs {required} bytes but only {available} available"
             ),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Invariant(msg) => write!(f, "scheduling invariant violated: {msg}"),
         }
     }
 }

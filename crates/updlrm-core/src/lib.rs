@@ -44,6 +44,7 @@ pub use pipeline::{pipelined_wall_ns, sequential_wall_ns, PipelineReport};
 pub use serve::{PipelineMode, ServeOutcome, ServeReport};
 pub use stats::percentile;
 pub use telemetry::{
-    MetricsRegistry, SchedSnapshot, SchedTrigger, Snapshot, SNAPSHOT_SCHEMA_VERSION,
+    MetricsRegistry, RuntimeSnapshot, SchedSnapshot, SchedTrigger, Snapshot,
+    SNAPSHOT_SCHEMA_VERSION,
 };
 pub use tiling::{Tiling, TilingProblem, CANDIDATE_NC, MAX_TILE_ELEMENTS};

@@ -34,7 +34,9 @@ use crate::serve::ServeReport;
 /// so the CI golden diff fails loudly instead of silently reshaping.
 ///
 /// v2 added the [`SchedSnapshot`] block (open-loop scheduler counters).
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
+/// v3 added the [`RuntimeSnapshot`] block (measured-vs-modeled walls
+/// from the wall-clock serving runtime; all zero on modeled-only runs).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
 
 /// Why the open-loop batcher closed a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +155,37 @@ pub struct SchedSnapshot {
     pub batch_fill: Accum,
 }
 
+/// Wall-clock serving-runtime measurements in a [`Snapshot`] — the one
+/// block whose values are *measured* wall time alongside the modeled
+/// quantity they correspond to. Modeled-only runs never populate it,
+/// so it stays all-zero there and golden snapshots remain
+/// byte-deterministic; wall-clock runs (`updlrm serve --runtime wall`)
+/// carry machine-dependent values by design.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RuntimeSnapshot {
+    /// Engine shards (worker threads) the runtime drove.
+    pub shards: u64,
+    /// Whether the run was locked to the modeled-time oracle.
+    pub deterministic: bool,
+    /// Wall nanoseconds per modeled nanosecond during trace replay.
+    pub time_scale: f64,
+    /// Measured wall time from runtime start to last completion (ns).
+    pub wall_elapsed_ns: f64,
+    /// Completed requests per second of measured wall time.
+    pub measured_qps: f64,
+    /// Sum of modeled pipeline walls across all batches (ns).
+    pub modeled_service_ns: f64,
+    /// Sum of measured `serve_stream` walls across the same batches
+    /// (ns) — the measured-vs-modeled stage-wall comparison.
+    pub measured_service_ns: f64,
+    /// Measured median per-request latency (ns; wall clock).
+    pub measured_p50_latency_ns: f64,
+    /// Measured 95th-percentile per-request latency (ns).
+    pub measured_p95_latency_ns: f64,
+    /// Measured 99th-percentile per-request latency (ns).
+    pub measured_p99_latency_ns: f64,
+}
+
 /// A deterministic, serializable copy of everything a
 /// [`MetricsRegistry`] has recorded.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -201,6 +234,9 @@ pub struct Snapshot {
     pub cache: CacheSnapshot,
     /// Open-loop scheduler counters (all zero outside `updlrm serve`).
     pub sched: SchedSnapshot,
+    /// Wall-clock runtime measurements (all zero outside
+    /// `updlrm serve --runtime wall`).
+    pub runtime: RuntimeSnapshot,
     /// Per-DPU utilization, ascending by DPU id. Empty when telemetry
     /// was disabled.
     pub per_dpu: Vec<DpuSnapshot>,
@@ -237,6 +273,7 @@ pub struct MetricsRegistry {
     load_imbalance: Accum,
     cache: CacheTraffic,
     sched: SchedSnapshot,
+    runtime: RuntimeSnapshot,
     /// One preallocated cell per DPU, indexed by DPU id.
     per_dpu: Vec<DpuCounters>,
 }
@@ -387,6 +424,16 @@ impl MetricsRegistry {
         self.sched.blocked += 1;
     }
 
+    /// Records a wall-clock runtime's measured-vs-modeled summary.
+    /// Last write wins — a registry describes one run.
+    #[inline]
+    pub fn record_runtime(&mut self, runtime: RuntimeSnapshot) {
+        if !self.enabled {
+            return;
+        }
+        self.runtime = runtime;
+    }
+
     /// Records one formed batch: its size and why it was closed.
     #[inline]
     pub fn record_sched_batch(&mut self, size: usize, trigger: SchedTrigger) {
@@ -435,6 +482,7 @@ impl MetricsRegistry {
                 fetches_saved: self.cache.fetches_saved(),
             },
             sched: self.sched,
+            runtime: self.runtime,
             per_dpu: self
                 .per_dpu
                 .iter()
@@ -549,6 +597,33 @@ mod tests {
         off.record_sched_admit(9);
         off.record_sched_batch(4, SchedTrigger::Size);
         assert_eq!(off.snapshot().sched, SchedSnapshot::default());
+    }
+
+    #[test]
+    fn runtime_block_records_and_resets() {
+        let mut m = MetricsRegistry::new(true, 1);
+        assert_eq!(m.snapshot().runtime, RuntimeSnapshot::default());
+        let rt = RuntimeSnapshot {
+            shards: 2,
+            deterministic: false,
+            time_scale: 4.0,
+            wall_elapsed_ns: 1e9,
+            measured_qps: 1234.5,
+            modeled_service_ns: 5e8,
+            measured_service_ns: 7e8,
+            measured_p50_latency_ns: 1e6,
+            measured_p95_latency_ns: 2e6,
+            measured_p99_latency_ns: 3e6,
+        };
+        m.record_runtime(rt);
+        assert_eq!(m.snapshot().runtime, rt);
+        m.reset();
+        assert_eq!(m.snapshot().runtime, RuntimeSnapshot::default());
+
+        // Disabled registries ignore runtime records too.
+        let mut off = MetricsRegistry::new(false, 1);
+        off.record_runtime(rt);
+        assert_eq!(off.snapshot().runtime, RuntimeSnapshot::default());
     }
 
     #[test]

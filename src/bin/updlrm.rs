@@ -8,9 +8,11 @@
 //!              [--iters 1] [--warmup 0] [--json FILE] [--metrics FILE]
 //! updlrm serve --qps N [--arrival poisson|bursty] [--max-batch 64]
 //!              [--max-wait-us 200] [--policy block|shed-oldest|reject-new]
-//!              [--queue-cap N] [--dataset read] [--strategy u|nu|ca|nur]
-//!              [--dpus 256] [--scale 200] [--batches 10] [--seed 7]
-//!              [--host-threads N] [--json FILE] [--metrics FILE]
+//!              [--queue-cap N] [--runtime modeled|wall] [--shards N]
+//!              [--time-scale X] [--deterministic] [--dataset read]
+//!              [--strategy u|nu|ca|nur] [--dpus 256] [--scale 200]
+//!              [--batches 10] [--seed 7] [--host-threads N]
+//!              [--json FILE] [--metrics FILE]
 //! updlrm stats --metrics FILE
 //! updlrm trace [--dataset movie] [--scale 200] [--batches 10]
 //!              [--arrival poisson|bursty --qps N] --out trace.upwl
@@ -29,8 +31,9 @@ fn usage() -> ! {
          [--host-threads N] [--pipeline sequential|doublebuf] [--queue-depth N] \
          [--iters N] [--warmup N] [--json FILE] [--metrics FILE]\n  \
          updlrm serve --qps N [--arrival poisson|bursty] [--max-batch N] [--max-wait-us N] \
-         [--policy block|shed-oldest|reject-new] [--queue-cap N] [--dataset TAG] \
-         [--strategy u|nu|ca|nur] [--dpus N] [--scale N] [--batches N] [--seed N] \
+         [--policy block|shed-oldest|reject-new] [--queue-cap N] \
+         [--runtime modeled|wall] [--shards N] [--time-scale X] [--deterministic] \
+         [--dataset TAG] [--strategy u|nu|ca|nur] [--dpus N] [--scale N] [--batches N] [--seed N] \
          [--host-threads N] [--json FILE] [--metrics FILE]\n  \
          updlrm stats --metrics FILE\n  \
          updlrm trace [--dataset TAG] [--scale N] [--batches N] [--seed N] \
@@ -44,23 +47,34 @@ struct Args {
     flags: HashMap<String, String>,
 }
 
+/// Flags that take no value (presence alone turns them on).
+const BARE_FLAGS: &[&str] = &["deterministic"];
+
 impl Args {
     fn parse(raw: &[String]) -> Args {
         let mut flags = HashMap::new();
         let mut it = raw.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                match it.next() {
-                    Some(v) => {
-                        flags.insert(name.to_string(), v.clone());
+                if BARE_FLAGS.contains(&name) {
+                    flags.insert(name.to_string(), "true".to_string());
+                } else {
+                    match it.next() {
+                        Some(v) => {
+                            flags.insert(name.to_string(), v.clone());
+                        }
+                        None => usage(),
                     }
-                    None => usage(),
                 }
             } else {
                 usage();
             }
         }
         Args { flags }
+    }
+
+    fn flag_set(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     fn str(&self, name: &str, default: &str) -> String {
@@ -193,6 +207,10 @@ impl StagesJson {
     /// Builds the section from an accumulated breakdown over `n`
     /// batches and the stream's pipelining estimate.
     fn from_totals(pim: &EmbeddingBreakdown, n: f64, pr: &PipelineReport) -> StagesJson {
+        // An empty batch stream must serialize finite zeros, never
+        // 0/0 = NaN (the vendored serde would emit a "NaN" string that
+        // no typed parse accepts).
+        let n = n.max(1.0);
         let t = pim.total_ns();
         StagesJson {
             stage1_us: pim.stage1_ns / n / 1e3,
@@ -506,7 +524,9 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         host_wall_ns_mean,
         host_ns_per_sample: host_wall_ns_mean / samples.max(1) as f64,
     });
-    let n = (workload.batches.len() * iters) as f64;
+    // `--batches 0` is a legal (if degenerate) run: divide by at least
+    // one so every derived mean serializes as a finite zero.
+    let n = ((workload.batches.len() * iters) as f64).max(1.0);
     println!("per-batch mean:");
     println!("  embedding: {:10.1} us", total.embedding_ns / n / 1e3);
     println!("  dense:     {:10.1} us", total.dense_ns / n / 1e3);
@@ -550,8 +570,10 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Machine-readable mirror of a `serve` invocation (`--json FILE`).
-/// Everything inside is modeled-time derived, so the file is
-/// byte-identical across runs with the same flags.
+/// With the default `--runtime modeled` everything inside is
+/// modeled-time derived, so the file is byte-identical across runs with
+/// the same flags; a `--runtime wall` run adds the `runtime` section,
+/// whose measured wall-clock numbers vary run to run.
 #[derive(serde::Serialize)]
 struct SchedJson {
     dataset: String,
@@ -566,6 +588,22 @@ struct SchedJson {
     report: SchedReport,
     /// `batch_hist[k]` = batches launched with exactly `k` queries.
     batch_hist: Vec<u64>,
+    /// Present only for `--runtime wall`: measured statistics from the
+    /// concurrent runtime next to the modeled oracle it is locked to.
+    runtime: Option<RuntimeJson>,
+}
+
+/// The wall-clock section of [`SchedJson`].
+#[derive(serde::Serialize)]
+struct RuntimeJson {
+    shards: usize,
+    time_scale: f64,
+    deterministic: bool,
+    wall: WallStats,
+    /// What the modeled-time oracle (`Scheduler::run`) predicts for the
+    /// same trace and policy.
+    modeled_report: SchedReport,
+    batches_per_shard: Vec<u64>,
 }
 
 fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -594,6 +632,35 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
     };
 
+    let runtime_mode = args.str("runtime", "modeled");
+    let shards = args.num("shards", 1);
+    let deterministic = args.flag_set("deterministic");
+    let time_scale = if args.flag_set("time-scale") {
+        args.positive_float("time-scale")
+    } else {
+        1.0
+    };
+    match runtime_mode.as_str() {
+        "modeled" => {
+            if args.flag_set("shards") || args.flag_set("time-scale") || deterministic {
+                eprintln!("--shards / --time-scale / --deterministic only apply to --runtime wall");
+                std::process::exit(2)
+            }
+        }
+        "wall" => {
+            if shards == 0 {
+                eprintln!(
+                    "--shards must be >= 1 (a runtime with no engine workers serves nothing)"
+                );
+                std::process::exit(2)
+            }
+        }
+        other => {
+            eprintln!("unknown runtime '{other}' (want modeled or wall)");
+            usage()
+        }
+    }
+
     let (spec, mut workload, model) = build_setting(args)?;
     workload.stamp_arrivals(process);
 
@@ -604,14 +671,31 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     config.host_threads = args.num("host-threads", config.host_threads);
     let metrics_path = args.flags.get("metrics").cloned();
     config.telemetry = metrics_path.is_some();
-    let mut engine = UpdlrmEngine::from_workload(config, model.tables(), &workload)?;
-
-    let mut sched = Scheduler::new(SchedConfig {
+    let sched_config = SchedConfig {
         max_batch_size: max_batch,
         max_wait_ns: max_wait_us as u64 * 1_000,
         queue_cap,
         policy,
-    })?;
+    };
+
+    if runtime_mode == "wall" {
+        return serve_wall(ServeWall {
+            args,
+            spec: &spec,
+            workload: &workload,
+            model: &model,
+            config,
+            sched_config,
+            shards,
+            time_scale,
+            deterministic,
+            qps,
+            metrics_path,
+        });
+    }
+
+    let mut engine = UpdlrmEngine::from_workload(config, model.tables(), &workload)?;
+    let mut sched = Scheduler::new(sched_config)?;
     let report = sched.run(&mut engine, &workload, |_, _, _, _| {})?;
 
     println!(
@@ -666,12 +750,176 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             policy: policy.to_string(),
             report,
             batch_hist: sched.batch_histogram().to_vec(),
+            runtime: None,
         };
         std::fs::write(path, serde::json::to_string_pretty(&json))?;
         println!("wrote {path}");
     }
     if let Some(path) = &metrics_path {
         write_metrics(path, &engine.metrics_snapshot())?;
+    }
+    Ok(())
+}
+
+/// Everything `serve_wall` needs from `cmd_serve`, bundled so the
+/// hand-off stays readable.
+struct ServeWall<'a> {
+    args: &'a Args,
+    spec: &'a DatasetSpec,
+    workload: &'a Workload,
+    model: &'a Dlrm,
+    config: UpdlrmConfig,
+    sched_config: SchedConfig,
+    shards: usize,
+    time_scale: f64,
+    deterministic: bool,
+    qps: f64,
+    metrics_path: Option<String>,
+}
+
+/// The `--runtime wall` path: run the modeled oracle first, then the
+/// concurrent wall-clock runtime on `--shards` engine workers, and
+/// print the two side by side. In `--deterministic` mode the runtime
+/// must reproduce the oracle's `SchedReport` byte for byte.
+fn serve_wall(p: ServeWall<'_>) -> Result<(), Box<dyn std::error::Error>> {
+    let ServeWall {
+        args,
+        spec,
+        workload,
+        model,
+        config,
+        sched_config,
+        shards,
+        time_scale,
+        deterministic,
+        qps,
+        metrics_path,
+    } = p;
+
+    // The modeled oracle: same trace, same policy, telemetry off so the
+    // measured engines own the metrics registry.
+    let mut oracle_config = config.clone();
+    oracle_config.telemetry = false;
+    let mut oracle_engine = UpdlrmEngine::from_workload(oracle_config, model.tables(), workload)?;
+    let mut sched = Scheduler::new(sched_config)?;
+    let modeled = sched.run(&mut oracle_engine, workload, |_, _, _, _| {})?;
+
+    // One identical engine per shard; only shard 0 carries telemetry
+    // (the snapshot is a single registry, not a fleet merge).
+    let mut engines: Vec<UpdlrmEngine> = (0..shards)
+        .map(|i| {
+            let mut c = config.clone();
+            c.telemetry = metrics_path.is_some() && i == 0;
+            UpdlrmEngine::from_workload(c, model.tables(), workload)
+        })
+        .collect::<Result<_, _>>()?;
+    let rt = Runtime::new(RuntimeConfig {
+        sched: sched_config,
+        shards,
+        time_scale,
+        deterministic,
+        ring_capacity: 64,
+    })?;
+    let report = rt.run(&mut engines, workload, |_, _, _, _| {})?;
+
+    println!(
+        "wall-clock serve on {} ({} arrivals, {} shard{}, time-scale {:.0}x, {})",
+        spec.name,
+        report.sched.requests,
+        shards,
+        if shards == 1 { "" } else { "s" },
+        time_scale,
+        if deterministic {
+            "deterministic"
+        } else {
+            "free-running"
+        },
+    );
+    println!(
+        "  measured: {:.0} qps over {:.1} ms of wall time ({} completed, {} shed, {} rejected)",
+        report.wall.measured_qps,
+        report.wall.wall_elapsed_ns / 1e6,
+        report.sched.completed,
+        report.sched.shed,
+        report.sched.rejected,
+    );
+    let latency_clock = if deterministic { "modeled" } else { "measured" };
+    println!(
+        "  latency ({latency_clock}): mean {:.1} us  p50 {:.1} us  p95 {:.1} us  p99 {:.1} us",
+        report.sched.mean_latency_ns / 1e3,
+        report.sched.p50_latency_ns / 1e3,
+        report.sched.p95_latency_ns / 1e3,
+        report.sched.p99_latency_ns / 1e3,
+    );
+    println!(
+        "  modeled oracle: {:.0} qps achieved, p50 {:.1} us  p95 {:.1} us  p99 {:.1} us",
+        modeled.achieved_qps,
+        modeled.p50_latency_ns / 1e3,
+        modeled.p95_latency_ns / 1e3,
+        modeled.p99_latency_ns / 1e3,
+    );
+    println!(
+        "  batching: {} batches over {} shard{} {:?}, mean fill {:.1}",
+        report.sched.batches,
+        shards,
+        if shards == 1 { "" } else { "s" },
+        report.batches_per_shard,
+        report.sched.mean_batch_size,
+    );
+    println!(
+        "  service walls: modeled {:.2} ms vs measured {:.2} ms per run",
+        report.wall.modeled_service_ns / 1e6,
+        report.wall.measured_service_ns / 1e6,
+    );
+    if deterministic {
+        if report.sched == modeled {
+            println!(
+                "  oracle lock: OK — wall runtime reproduced the modeled scheduler byte for byte"
+            );
+        } else {
+            eprintln!("warning: deterministic wall run diverged from the modeled oracle");
+        }
+    }
+
+    if let Some(path) = args.flags.get("json") {
+        let json = SchedJson {
+            dataset: spec.short.to_string(),
+            strategy: args.str("strategy", "ca"),
+            dpus: args.num("dpus", 256),
+            arrival: workload.arrivals.process.tag().to_string(),
+            offered_qps: qps,
+            max_batch: sched_config.max_batch_size,
+            max_wait_us: (sched_config.max_wait_ns / 1_000) as usize,
+            queue_cap: sched_config.queue_cap,
+            policy: sched_config.policy.to_string(),
+            report: report.sched,
+            batch_hist: report.batch_histogram.clone(),
+            runtime: Some(RuntimeJson {
+                shards,
+                time_scale,
+                deterministic,
+                wall: report.wall,
+                modeled_report: modeled,
+                batches_per_shard: report.batches_per_shard.clone(),
+            }),
+        };
+        std::fs::write(path, serde::json::to_string_pretty(&json))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &metrics_path {
+        engines[0].metrics_mut().record_runtime(RuntimeSnapshot {
+            shards: shards as u64,
+            deterministic,
+            time_scale,
+            wall_elapsed_ns: report.wall.wall_elapsed_ns,
+            measured_qps: report.wall.measured_qps,
+            modeled_service_ns: report.wall.modeled_service_ns,
+            measured_service_ns: report.wall.measured_service_ns,
+            measured_p50_latency_ns: report.sched.p50_latency_ns,
+            measured_p95_latency_ns: report.sched.p95_latency_ns,
+            measured_p99_latency_ns: report.sched.p99_latency_ns,
+        });
+        write_metrics(path, &engines[0].metrics_snapshot())?;
     }
     Ok(())
 }
@@ -762,6 +1010,30 @@ fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             snap.sched.trigger_size,
             snap.sched.trigger_deadline,
             snap.sched.trigger_drain,
+        );
+    }
+    if snap.runtime.shards > 0 {
+        println!(
+            "  wall runtime: {} shard{} (time-scale {:.0}x, {}), {:.0} qps measured over {:.1} ms",
+            snap.runtime.shards,
+            if snap.runtime.shards == 1 { "" } else { "s" },
+            snap.runtime.time_scale,
+            if snap.runtime.deterministic {
+                "deterministic"
+            } else {
+                "free-running"
+            },
+            snap.runtime.measured_qps,
+            snap.runtime.wall_elapsed_ns / 1e6,
+        );
+        println!(
+            "  wall latency: p50 {:.1} us  p95 {:.1} us  p99 {:.1} us; \
+             service walls modeled {:.2} ms vs measured {:.2} ms",
+            snap.runtime.measured_p50_latency_ns / 1e3,
+            snap.runtime.measured_p95_latency_ns / 1e3,
+            snap.runtime.measured_p99_latency_ns / 1e3,
+            snap.runtime.modeled_service_ns / 1e6,
+            snap.runtime.measured_service_ns / 1e6,
         );
     }
     if !snap.per_dpu.is_empty() {

@@ -60,6 +60,7 @@
 pub use baselines;
 pub use cooccur_cache;
 pub use dlrm_model;
+pub use runtime;
 pub use scheduler;
 pub use updlrm_core;
 pub use upmem_sim;
@@ -73,11 +74,12 @@ pub mod prelude {
     };
     pub use cooccur_cache::{CacheList, CacheListSet, CooccurGraph, MinerConfig, PartialSumCache};
     pub use dlrm_model::{Dlrm, DlrmConfig, EmbeddingTable, Matrix, QueryBatch, SparseInput};
+    pub use runtime::{Runtime, RuntimeConfig, RuntimeReport, WallStats};
     pub use scheduler::{OverloadPolicy, SchedConfig, SchedReport, Scheduler};
     pub use updlrm_core::{
         EmbeddingBreakdown, MetricsRegistry, PartitionStrategy, PipelineMode, PipelineReport,
-        ServeOutcome, ServeReport, Snapshot, Tiling, TilingProblem, UpdlrmConfig, UpdlrmEngine,
-        SNAPSHOT_SCHEMA_VERSION,
+        RuntimeSnapshot, ServeOutcome, ServeReport, Snapshot, Tiling, TilingProblem, UpdlrmConfig,
+        UpdlrmEngine, SNAPSHOT_SCHEMA_VERSION,
     };
     pub use upmem_sim::{CostModel, DpuId, PimConfig, PimSystem};
     pub use workloads::{

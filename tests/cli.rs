@@ -285,7 +285,7 @@ fn metrics_snapshot_is_deterministic_across_runs() {
     );
     // The snapshot carries only modeled values and counts.
     let text = String::from_utf8(first).expect("utf8 json");
-    assert!(text.contains("\"schema_version\": 2"), "{text}");
+    assert!(text.contains("\"schema_version\": 3"), "{text}");
     assert!(text.contains("\"per_dpu\""), "{text}");
     assert!(text.contains("\"load_imbalance\""), "{text}");
     std::fs::remove_file(&a).ok();
@@ -320,7 +320,7 @@ fn stats_pretty_prints_a_snapshot() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("schema v2"), "stdout: {text}");
+    assert!(text.contains("schema v3"), "stdout: {text}");
     assert!(text.contains("stage shares"), "stdout: {text}");
     assert!(text.contains("load imbalance"), "stdout: {text}");
     assert!(text.contains("fleet: 32 DPUs"), "stdout: {text}");
@@ -449,6 +449,171 @@ fn serve_rejects_bad_flags_with_usage() {
 }
 
 #[test]
+fn serve_runtime_flags_are_validated() {
+    // Wall-only flags must be rejected under the default modeled
+    // runtime, and the wall runtime rejects nonsense shapes.
+    for (bad, needle) in [
+        (&["--qps", "1000", "--runtime", "hourglass"][..], "runtime"),
+        (&["--qps", "1000", "--shards", "2"][..], "--runtime wall"),
+        (&["--qps", "1000", "--deterministic"][..], "--runtime wall"),
+        (
+            &["--qps", "1000", "--time-scale", "2"][..],
+            "--runtime wall",
+        ),
+        (
+            &["--qps", "1000", "--runtime", "wall", "--shards", "0"][..],
+            "--shards",
+        ),
+        (
+            &["--qps", "1000", "--runtime", "wall", "--time-scale", "0"][..],
+            "time-scale",
+        ),
+    ] {
+        let out = updlrm().arg("serve").args(bad).output().expect("serve");
+        assert_eq!(out.status.code(), Some(2), "args: {bad:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "args {bad:?}: stderr {err}");
+    }
+}
+
+#[test]
+fn serve_runtime_wall_deterministic_locks_to_the_oracle() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json = dir.join("serve-wall.json");
+    let out = updlrm()
+        .args(QUICK_SERVE)
+        .args([
+            "--seed",
+            "7",
+            "--host-threads",
+            "1",
+            "--runtime",
+            "wall",
+            "--shards",
+            "2",
+            "--deterministic",
+            "--json",
+        ])
+        .arg(&json)
+        .output()
+        .expect("serve");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("wall-clock serve"), "stdout: {text}");
+    assert!(text.contains("2 shards"), "stdout: {text}");
+    assert!(
+        text.contains("oracle lock: OK"),
+        "deterministic wall run must reproduce the modeled scheduler: {text}"
+    );
+    assert!(text.contains("service walls"), "stdout: {text}");
+    let body = std::fs::read_to_string(&json).expect("wall json");
+    for field in [
+        "\"runtime\"",
+        "\"shards\": 2",
+        "\"deterministic\": true",
+        "\"measured_qps\"",
+        "\"modeled_report\"",
+        "\"batches_per_shard\"",
+    ] {
+        assert!(body.contains(field), "missing {field}: {body}");
+    }
+    assert!(
+        !body.contains("NaN") && !body.contains("inf"),
+        "wall json must stay finite: {body}"
+    );
+    std::fs::remove_file(&json).ok();
+}
+
+#[test]
+fn run_with_zero_batches_emits_finite_json() {
+    // Regression (ISSUE 6): an empty run used to divide by zero batch
+    // counts and leak NaN into `--json`, which the vendored serde
+    // renders as an unparseable bare token.
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json = dir.join("run-zero.json");
+    let out = updlrm()
+        .args([
+            "run",
+            "--dataset",
+            "read",
+            "--dpus",
+            "32",
+            "--scale",
+            "1000",
+            "--batches",
+            "0",
+            "--json",
+        ])
+        .arg(&json)
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&json).expect("zero-batch json");
+    assert!(
+        !body.contains("NaN") && !body.contains("inf"),
+        "zero-batch json must stay finite: {body}"
+    );
+    assert!(body.contains("\"mean_total_us\": 0.0"), "{body}");
+    std::fs::remove_file(&json).ok();
+}
+
+#[test]
+fn serve_fully_shed_json_stays_finite() {
+    // Offered load ~1000x capacity with a tiny queue: nearly every
+    // arrival is shed, and whatever statistics remain must still be
+    // finite numbers in the emitted JSON (satellite of ISSUE 6).
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json = dir.join("serve-shed.json");
+    let out = updlrm()
+        .args([
+            "serve",
+            "--dataset",
+            "read",
+            "--dpus",
+            "32",
+            "--scale",
+            "1000",
+            "--batches",
+            "2",
+            "--qps",
+            "50000000",
+            "--queue-cap",
+            "8",
+            "--max-batch",
+            "8",
+            "--policy",
+            "shed-oldest",
+            "--json",
+        ])
+        .arg(&json)
+        .output()
+        .expect("serve");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&json).expect("shed json");
+    assert!(
+        !body.contains("NaN") && !body.contains("inf"),
+        "shed json must stay finite: {body}"
+    );
+    assert!(body.contains("\"shed\""), "{body}");
+    std::fs::remove_file(&json).ok();
+}
+
+#[test]
 fn serve_json_and_metrics_are_deterministic_across_runs() {
     let dir = std::env::temp_dir().join("updlrm-cli-test");
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -516,8 +681,8 @@ fn stats_rejects_snapshots_from_other_schema_versions() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = std::fs::read_to_string(&path).expect("snapshot");
-    assert!(text.contains("\"schema_version\": 2"), "{text}");
-    let doctored = text.replace("\"schema_version\": 2", "\"schema_version\": 1");
+    assert!(text.contains("\"schema_version\": 3"), "{text}");
+    let doctored = text.replace("\"schema_version\": 3", "\"schema_version\": 1");
     std::fs::write(&path, doctored).expect("doctor snapshot");
     let out = updlrm()
         .arg("stats")
@@ -528,7 +693,7 @@ fn stats_rejects_snapshots_from_other_schema_versions() {
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("schema v1"), "stderr: {err}");
-    assert!(err.contains("reads v2"), "stderr: {err}");
+    assert!(err.contains("reads v3"), "stderr: {err}");
     std::fs::remove_file(&path).ok();
 }
 
