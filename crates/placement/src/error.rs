@@ -1,0 +1,58 @@
+//! Planner error type.
+
+/// Errors produced by the placement planner and plan (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Inconsistent planner inputs (empty catalog, zero topology,
+    /// profile/table mismatches, ...).
+    InvalidConfig(String),
+    /// A tier or rank budget cannot hold what the plan requires.
+    CapacityExceeded {
+        /// Which budget overflowed (e.g. "fleet DPUs", "cold EMT rows").
+        what: String,
+        /// Units required.
+        required: usize,
+        /// Units available.
+        available: usize,
+    },
+    /// A serialized plan carries a schema version this build cannot
+    /// read.
+    SchemaVersion {
+        /// Version found in the file.
+        found: u64,
+        /// Version this build reads.
+        expected: u64,
+    },
+    /// A serialized plan failed to parse.
+    Parse(String),
+    /// A plan violates its own invariants (row placed twice, slot
+    /// collision, capacity overflow, ...).
+    Invariant(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::InvalidConfig(msg) => write!(f, "invalid planner configuration: {msg}"),
+            PlanError::CapacityExceeded {
+                what,
+                required,
+                available,
+            } => write!(
+                f,
+                "capacity exceeded for {what}: requires {required}, only {available} available"
+            ),
+            PlanError::SchemaVersion { found, expected } => write!(
+                f,
+                "placement plan has schema v{found}, this build reads v{expected}"
+            ),
+            PlanError::Parse(msg) => write!(f, "malformed placement plan: {msg}"),
+            PlanError::Invariant(msg) => write!(f, "placement plan invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PlanError>;

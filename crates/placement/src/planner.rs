@@ -1,0 +1,422 @@
+//! The tiering + rank-sharding algorithm behind [`plan`].
+//!
+//! Per table, rows are split by access frequency into three tiers:
+//! the hottest rows go to a host-DRAM cache (per-table byte budget),
+//! the next-hottest into a replica block copied to every cold
+//! partition, and the remainder into cold MRAM partitions packed
+//! greedily by predicted load. Partitions from all tables are then
+//! sharded across the fleet's ranks with a longest-processing-time
+//! greedy that keeps per-rank access mass balanced whenever rank DPU
+//! capacity is not binding.
+
+use std::cmp::Ordering;
+
+use crate::error::{PlanError, Result};
+use crate::plan::{
+    Catalog, PlacementPlan, PlanCostEstimate, PlanProvenance, PlannerConfig, TablePlacement,
+    HOST_ROW_PART, PLAN_SCHEMA_VERSION, REPLICATED_ROW_PART, TIER_COLD, TIER_HOST, TIER_REPLICATED,
+};
+use upmem_sim::arch::DMA_MAX_TRANSFER;
+use upmem_sim::{CostModel, Cycles};
+use workloads::FreqProfile;
+
+/// Builds a deterministic tiered placement of `catalog` over
+/// `config.topology`, driven by per-table traffic `profiles`.
+///
+/// The result embeds a default [`PlanProvenance`]; callers that know
+/// how the workload was generated (the CLI) overwrite it before
+/// serializing.
+///
+/// # Errors
+///
+/// [`PlanError::InvalidConfig`] for inconsistent inputs (empty catalog,
+/// zero topology, profile/table mismatches, zero-sized tables),
+/// [`PlanError::CapacityExceeded`] when a table's rows cannot fit one
+/// EMT partition or the catalog needs more partitions than the fleet
+/// has DPUs.
+pub fn plan(
+    catalog: &Catalog,
+    profiles: &[FreqProfile],
+    config: &PlannerConfig,
+) -> Result<PlacementPlan> {
+    validate(catalog, profiles, config)?;
+
+    let num_tables = catalog.tables.len();
+    let host_budget_per_table = config.host_cache_bytes / num_tables;
+    let mut tables = Vec::with_capacity(num_tables);
+    for (desc, profile) in catalog.tables.iter().zip(profiles) {
+        tables.push(place_table(
+            desc.rows,
+            desc.dim,
+            profile,
+            host_budget_per_table,
+            config,
+        )?);
+    }
+
+    let packing = pack_ranks(&mut tables, config)?;
+    let est = estimate(catalog, profiles, &tables, config);
+
+    let plan = PlacementPlan {
+        schema_version: PLAN_SCHEMA_VERSION,
+        config: config.clone(),
+        provenance: PlanProvenance::default(),
+        tables,
+        dpus_used: packing.dpus_used,
+        rank_load: packing.rank_load,
+        rank_rows: packing.rank_rows,
+        balance_bound: packing.balance_bound,
+        rank_capacity_binding: packing.rank_capacity_binding,
+        est,
+    };
+    plan.check_invariants()?;
+    Ok(plan)
+}
+
+fn validate(catalog: &Catalog, profiles: &[FreqProfile], config: &PlannerConfig) -> Result<()> {
+    let bad = |msg: String| Err(PlanError::InvalidConfig(msg));
+    if catalog.tables.is_empty() {
+        return bad("catalog has no tables".into());
+    }
+    if profiles.len() != catalog.tables.len() {
+        return bad(format!(
+            "{} profiles for {} tables",
+            profiles.len(),
+            catalog.tables.len()
+        ));
+    }
+    if config.topology.nr_ranks == 0 || config.topology.dpus_per_rank == 0 {
+        return bad("fleet topology must have at least one rank and one DPU per rank".into());
+    }
+    // NaN must fail too, so compare through the negation.
+    if config.batch_hint == 0
+        || config.avg_reduction_hint.partial_cmp(&0.0) != Some(Ordering::Greater)
+    {
+        return bad("batch_hint and avg_reduction_hint must be positive".into());
+    }
+    for (t, (desc, profile)) in catalog.tables.iter().zip(profiles).enumerate() {
+        if desc.rows == 0 || desc.dim == 0 {
+            return bad(format!("table {t} has zero rows or dim"));
+        }
+        if profile.num_items() < desc.rows {
+            return bad(format!(
+                "table {t}: profile covers {} items, table has {} rows",
+                profile.num_items(),
+                desc.rows
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Per-row access mass, uniform when the in-range trace is empty so the
+/// greedy packer still spreads rows.
+fn row_mass(profile: &FreqProfile, rows: usize) -> Vec<f64> {
+    let in_range: u64 = profile.counts()[..rows.min(profile.num_items())]
+        .iter()
+        .sum();
+    if in_range == 0 {
+        return vec![1.0 / rows as f64; rows];
+    }
+    (0..rows as u64)
+        .map(|r| profile.count(r) as f64 / in_range as f64)
+        .collect()
+}
+
+fn place_table(
+    rows: usize,
+    dim: usize,
+    profile: &FreqProfile,
+    host_budget_bytes: usize,
+    config: &PlannerConfig,
+) -> Result<TablePlacement> {
+    let row_bytes = dim * 4;
+    let mass = row_mass(profile, rows);
+    // The satellite-1 shared guard: hottest *in-range* items first.
+    let by_freq = profile.items_by_frequency_in_range(rows);
+    debug_assert_eq!(by_freq.len(), rows);
+
+    let host_cap = (host_budget_bytes / row_bytes).min(rows);
+    let host_rows: Vec<u64> = by_freq[..host_cap].to_vec();
+    let replicas = config.replicate_top.min(rows - host_cap);
+    let replicated_rows: Vec<u64> = by_freq[host_cap..host_cap + replicas].to_vec();
+    let cold = &by_freq[host_cap + replicas..];
+
+    let emt_rows_cap = config.emt_capacity_bytes / row_bytes;
+    let local_cap = emt_rows_cap.saturating_sub(replicas);
+    if local_cap == 0 && !cold.is_empty() {
+        return Err(PlanError::CapacityExceeded {
+            what: format!("cold EMT rows ({row_bytes} B rows, {replicas} replicas)"),
+            required: replicas + 1,
+            available: emt_rows_cap,
+        });
+    }
+    let parts = if cold.is_empty() {
+        1
+    } else {
+        cold.len().div_ceil(local_cap)
+    };
+
+    let mut tier_of_row = vec![0u8; rows];
+    let mut part_of_row = vec![0u32; rows];
+    let mut slot_of_row = vec![0u32; rows];
+    let mut host_mass = 0.0;
+    for (s, &r) in host_rows.iter().enumerate() {
+        tier_of_row[r as usize] = TIER_HOST;
+        part_of_row[r as usize] = HOST_ROW_PART;
+        slot_of_row[r as usize] = s as u32;
+        host_mass += mass[r as usize];
+    }
+    let mut replica_mass = 0.0;
+    for (s, &r) in replicated_rows.iter().enumerate() {
+        tier_of_row[r as usize] = TIER_REPLICATED;
+        part_of_row[r as usize] = REPLICATED_ROW_PART;
+        slot_of_row[r as usize] = s as u32;
+        replica_mass += mass[r as usize];
+    }
+
+    // Greedy least-loaded cold packing, hottest rows first, ties toward
+    // the lowest partition index for determinism.
+    let mut rows_per_part = vec![0u32; parts];
+    let mut part_load = vec![0.0f64; parts];
+    for &r in cold {
+        let mut best = usize::MAX;
+        for p in 0..parts {
+            if (rows_per_part[p] as usize) < local_cap
+                && (best == usize::MAX || part_load[p] < part_load[best])
+            {
+                best = p;
+            }
+        }
+        debug_assert!(best != usize::MAX, "parts sized to hold every cold row");
+        tier_of_row[r as usize] = TIER_COLD;
+        part_of_row[r as usize] = best as u32;
+        slot_of_row[r as usize] = (replicas + rows_per_part[best] as usize) as u32;
+        rows_per_part[best] += 1;
+        part_load[best] += mass[r as usize];
+    }
+    // Replica refs route per sample (`sample % parts` in the tiered
+    // engine), spreading the replicated mass evenly in expectation.
+    if replica_mass > 0.0 {
+        let share = replica_mass / parts as f64;
+        for l in &mut part_load {
+            *l += share;
+        }
+    }
+
+    Ok(TablePlacement {
+        rows,
+        dim,
+        parts,
+        dpus: Vec::new(), // filled by pack_ranks
+        tier_of_row,
+        part_of_row,
+        slot_of_row,
+        host_rows,
+        replicated_rows,
+        rows_per_part,
+        part_load,
+        host_mass,
+        replica_mass,
+    })
+}
+
+struct RankPacking {
+    dpus_used: usize,
+    rank_load: Vec<f64>,
+    rank_rows: Vec<u64>,
+    balance_bound: f64,
+    rank_capacity_binding: bool,
+}
+
+/// Longest-processing-time greedy over all tables' partitions: heaviest
+/// partition first, each to the least-loaded rank with a free DPU.
+fn pack_ranks(tables: &mut [TablePlacement], config: &PlannerConfig) -> Result<RankPacking> {
+    let topo = config.topology;
+    let parts_total: usize = tables.iter().map(|t| t.parts).sum();
+    if parts_total > topo.nr_dpus() {
+        return Err(PlanError::CapacityExceeded {
+            what: "fleet DPUs".into(),
+            required: parts_total,
+            available: topo.nr_dpus(),
+        });
+    }
+
+    let mut items: Vec<(f64, usize, usize)> = Vec::with_capacity(parts_total);
+    for (t, tp) in tables.iter_mut().enumerate() {
+        tp.dpus = vec![usize::MAX; tp.parts];
+        for p in 0..tp.parts {
+            items.push((tp.part_load[p], t, p));
+        }
+    }
+    // Descending load; ties by (table, part) so the order — and thus the
+    // plan — is deterministic despite float loads.
+    items.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("finite loads")
+            .then((a.1, a.2).cmp(&(b.1, b.2)))
+    });
+
+    let mut rank_load = vec![0.0f64; topo.nr_ranks];
+    let mut rank_rows = vec![0u64; topo.nr_ranks];
+    let mut used = vec![0usize; topo.nr_ranks];
+    let mut binding = false;
+    let balance_bound = items.first().map(|i| i.0).unwrap_or(0.0);
+    for &(load, t, p) in &items {
+        let global_min = rank_load.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut best = usize::MAX;
+        for r in 0..topo.nr_ranks {
+            if used[r] < topo.dpus_per_rank
+                && (best == usize::MAX || rank_load[r] < rank_load[best])
+            {
+                best = r;
+            }
+        }
+        debug_assert!(best != usize::MAX, "parts_total <= nr_dpus");
+        if rank_load[best] > global_min {
+            // A strictly less-loaded rank existed but was out of DPUs:
+            // the LPT balance bound no longer applies.
+            binding = true;
+        }
+        tables[t].dpus[p] = best * topo.dpus_per_rank + used[best];
+        used[best] += 1;
+        rank_load[best] += load;
+        rank_rows[best] +=
+            tables[t].replicated_rows.len() as u64 + tables[t].rows_per_part[p] as u64;
+    }
+
+    Ok(RankPacking {
+        dpus_used: parts_total,
+        rank_load,
+        rank_rows,
+        balance_bound,
+        rank_capacity_binding: binding,
+    })
+}
+
+/// Nanoseconds to DMA one `row_bytes` row MRAM→WRAM, split into
+/// 2048-byte engine transfers.
+fn row_dma_ns(cost: &CostModel, row_bytes: usize) -> f64 {
+    let full = row_bytes / DMA_MAX_TRANSFER;
+    let rem = row_bytes % DMA_MAX_TRANSFER;
+    let mut ns = full as f64 * cost.dma_nanos(DMA_MAX_TRANSFER);
+    if rem > 0 {
+        ns += cost.dma_nanos(rem);
+    }
+    ns
+}
+
+/// Analytic per-batch cost of the tiered plan vs an untiered pure-MRAM
+/// sharding of the same catalog on the same fleet. DESIGN.md §4.9
+/// documents the deliberate divergences from the simulated engine
+/// (expected-partitions-touched vs the engine's all-partition gather,
+/// no pipelining, no stream padding).
+fn estimate(
+    catalog: &Catalog,
+    profiles: &[FreqProfile],
+    tables: &[TablePlacement],
+    config: &PlannerConfig,
+) -> PlanCostEstimate {
+    let cost = &config.cost;
+    let topo = config.topology;
+    let b = config.batch_hint as f64;
+    let refs_per_table = b * config.avg_reduction_hint;
+    let total_refs = refs_per_table * catalog.tables.len() as f64;
+
+    // ---- tiered plan ----
+    let mut host_mass = 0.0;
+    let mut replica_mass = 0.0;
+    let mut parts_touched_total = 0usize;
+    let mut tiered_gather_bytes = 0.0;
+    let mut tiered_scatter_bytes = 0.0;
+    let mut tiered_launch_ns = 0.0f64;
+    let mut host_combine_adds = 0.0;
+    let mut parts_total = 0usize;
+    for tp in tables {
+        host_mass += tp.host_mass / tables.len() as f64;
+        replica_mass += tp.replica_mass / tables.len() as f64;
+        parts_total += tp.parts;
+        let cold_mass = (1.0 - tp.host_mass - tp.replica_mass).max(0.0);
+        let cold_refs = (refs_per_table * cold_mass).ceil() as usize;
+        // Replica refs cluster per sample (one partition per sample),
+        // cold refs can each touch a distinct partition; the host tier
+        // absorbs the rest. This is where the tiered estimate
+        // saturates while the pure-MRAM baseline keeps growing.
+        let replica_parts = if tp.replica_mass > 0.0 {
+            tp.parts.min(config.batch_hint)
+        } else {
+            0
+        };
+        let touched = tp.parts.min(replica_parts + cold_refs);
+        parts_touched_total += touched;
+        let row_bytes = (tp.dim * 4) as f64;
+        tiered_gather_bytes += touched as f64 * b * row_bytes;
+        let pim_refs = refs_per_table * (tp.replica_mass + cold_mass);
+        tiered_scatter_bytes += pim_refs * 4.0;
+        // Kernel wall: the hottest partition's expected refs.
+        let max_load = tp.part_load.iter().copied().fold(0.0, f64::max);
+        let per_ref = row_dma_ns(cost, tp.dim * 4)
+            + cost.cycles_to_ns(Cycles(tp.dim as u64 * cost.fp32_add_cycles));
+        tiered_launch_ns = tiered_launch_ns.max(refs_per_table * max_load * per_ref);
+        host_combine_adds += refs_per_table * tp.host_mass * tp.dim as f64;
+    }
+    let ranks_touched = parts_touched_total.min(topo.nr_ranks).max(1);
+    let rank_ns = |ranks: usize| config.rank_cost.rank_base_ns * ranks as f64;
+    let tiered_batch_ns = config.host_probe_ns * total_refs
+        + host_combine_adds * config.host_combine_ns_per_add
+        + cost.host_transfer_base_ns
+        + cost.host_to_mram_ns(tiered_scatter_bytes as usize)
+        + rank_ns(ranks_touched)
+        + tiered_launch_ns
+        + config.rank_cost.rank_launch_ns * ranks_touched as f64
+        + cost.host_transfer_base_ns
+        + cost.mram_to_host_ns(tiered_gather_bytes as usize)
+        + rank_ns(ranks_touched);
+
+    // ---- pure-MRAM baseline: contiguous untiered sharding ----
+    let mut mram_parts_total = 0usize;
+    let mut mram_gather_bytes = 0.0;
+    let mut mram_launch_ns = 0.0f64;
+    for (desc, profile) in catalog.tables.iter().zip(profiles) {
+        let row_bytes = desc.dim * 4;
+        let cap = (config.emt_capacity_bytes / row_bytes).max(1);
+        let parts = desc.rows.div_ceil(cap);
+        mram_parts_total += parts;
+        // Every partition stages output for the whole batch, and the
+        // untiered engine gathers them all.
+        mram_gather_bytes += parts as f64 * b * row_bytes as f64;
+        // Contiguous uniform sharding concentrates hot rows: the wall
+        // is the hottest chunk's mass.
+        let mass = row_mass(profile, desc.rows);
+        let max_chunk: f64 = mass
+            .chunks(cap)
+            .map(|c| c.iter().sum::<f64>())
+            .fold(0.0, f64::max);
+        let per_ref = row_dma_ns(cost, row_bytes)
+            + cost.cycles_to_ns(Cycles(desc.dim as u64 * cost.fp32_add_cycles));
+        mram_launch_ns = mram_launch_ns.max(refs_per_table * max_chunk * per_ref);
+    }
+    let mram_ranks_touched = mram_parts_total.min(topo.nr_ranks).max(1);
+    let mram_batch_ns = cost.host_transfer_base_ns
+        + cost.host_to_mram_ns((total_refs * 4.0) as usize)
+        + rank_ns(mram_ranks_touched)
+        + mram_launch_ns
+        + config.rank_cost.rank_launch_ns * mram_ranks_touched as f64
+        + cost.host_transfer_base_ns
+        + cost.mram_to_host_ns(mram_gather_bytes as usize)
+        + rank_ns(mram_ranks_touched);
+
+    let lookups = total_refs.max(1.0);
+    PlanCostEstimate {
+        tiered_batch_ns,
+        mram_batch_ns,
+        tiered_ns_per_lookup: tiered_batch_ns / lookups,
+        mram_ns_per_lookup: mram_batch_ns / lookups,
+        host_mass,
+        replica_mass,
+        parts_total,
+        mram_parts_total,
+        ranks_touched,
+        mram_ranks_touched,
+    }
+}

@@ -1,0 +1,324 @@
+//! Property tests locking down the placement planner (the tentpole's
+//! proof obligations): over random catalogs, traffic profiles, tier
+//! budgets and fleet shapes,
+//!
+//! 1. **placement totality** — every row lands in exactly one tier
+//!    with consistent tier/partition/slot encodings
+//!    ([`PlacementPlan::check_invariants`] plus independent counts);
+//! 2. **capacity** — per-partition EMT budgets (replica block + cold
+//!    rows), the host byte budget, `replicate_top`, and per-rank DPU
+//!    counts are all respected;
+//! 3. **balance** — whenever rank DPU capacity never forced the packer
+//!    off the least-loaded rank (`!rank_capacity_binding`), predicted
+//!    per-rank access mass is balanced within the published LPT bound:
+//!    `max(rank_load) - min(rank_load) <= balance_bound`;
+//! 4. **determinism** — the same inputs produce a byte-identical
+//!    serialized plan, and save → load → save is byte-exact.
+//!
+//! Infeasible random inputs (a row too big for MRAM, more partitions
+//! than fleet DPUs) must fail with `CapacityExceeded`, never panic.
+
+use placement::{plan, Catalog, PlacementPlan, PlanError, PlannerConfig, TableDesc};
+use proptest::prelude::*;
+use proptest::TestRunner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use upmem_sim::RankTopology;
+use workloads::FreqProfile;
+
+/// A skewed random profile over `num_items` items (hot head + random
+/// tail), deterministic in `seed`.
+fn random_profile(num_items: usize, seed: u64) -> FreqProfile {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = FreqProfile::new(num_items);
+    for i in 0..num_items as u64 {
+        let hot = num_items as u64 / (i + 1); // ~zipf head
+        let noise = rng.random_range(0..4u64);
+        for _ in 0..hot + noise {
+            p.record(i);
+        }
+    }
+    p
+}
+
+fn random_catalog(tables: usize, base_rows: usize, dim: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37);
+    Catalog {
+        tables: (0..tables)
+            .map(|_| TableDesc {
+                rows: base_rows + rng.random_range(0..base_rows.max(2)),
+                dim,
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn random_catalogs_yield_valid_balanced_deterministic_plans() {
+    let strategy = (
+        1usize..5,     // tables
+        2usize..400,   // base rows per table
+        0usize..3,     // dim selector
+        4usize..200,   // EMT capacity, in rows
+        0usize..6_000, // host cache budget, bytes
+        0usize..40,    // replicate_top
+        1usize..5,     // ranks
+        0u64..1_000,   // profile/catalog seed
+    );
+    let mut valid = 0u32;
+    let mut infeasible = 0u32;
+    TestRunner::new(ProptestConfig::with_cases(64)).run(
+        &strategy,
+        |(tables, base_rows, dim_sel, emt_rows, host_bytes, rep_top, ranks, seed)| {
+            let dim = [4usize, 8, 16][dim_sel];
+            let catalog = random_catalog(tables, base_rows, dim, seed);
+            let profiles: Vec<FreqProfile> = catalog
+                .tables
+                .iter()
+                .enumerate()
+                // Profiles legitimately cover more items than rows.
+                .map(|(t, d)| random_profile(d.rows + (t % 3) * 7, seed.wrapping_add(t as u64)))
+                .collect();
+            let config = PlannerConfig {
+                topology: RankTopology {
+                    nr_ranks: ranks,
+                    dpus_per_rank: 48,
+                },
+                emt_capacity_bytes: emt_rows * dim * 4,
+                host_cache_bytes: host_bytes,
+                replicate_top: rep_top,
+                seed,
+                ..PlannerConfig::default()
+            };
+
+            let p = match plan(&catalog, &profiles, &config) {
+                Ok(p) => p,
+                Err(PlanError::CapacityExceeded { .. }) => {
+                    // Infeasible shapes must fail loudly, not panic.
+                    infeasible += 1;
+                    return Ok(());
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+            };
+            valid += 1;
+
+            // 1 + 2. Structural invariants (row-exactly-once, slot
+            // encodings, EMT/host/replica/fleet capacities).
+            p.check_invariants()
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+            // Independent tier accounting: tiers partition the rows.
+            for (t, tp) in p.tables.iter().enumerate() {
+                let cold: u64 = tp.rows_per_part.iter().map(|&n| n as u64).sum();
+                prop_assert_eq!(
+                    tp.host_rows.len() as u64 + tp.replicated_rows.len() as u64 + cold,
+                    tp.rows as u64,
+                    "table {} tiers must partition its rows",
+                    t
+                );
+                prop_assert!(tp.replicated_rows.len() <= rep_top);
+            }
+            // Independent per-rank DPU accounting.
+            let mut per_rank = vec![0usize; ranks];
+            for tp in &p.tables {
+                for &dpu in &tp.dpus {
+                    per_rank[dpu / 48] += 1;
+                }
+            }
+            prop_assert!(per_rank.iter().all(|&n| n <= 48));
+            prop_assert_eq!(per_rank.iter().sum::<usize>(), p.dpus_used);
+
+            // 3. LPT balance bound when capacity never interfered.
+            if !p.rank_capacity_binding {
+                let max = p.rank_load.iter().copied().fold(f64::MIN, f64::max);
+                let min = p.rank_load.iter().copied().fold(f64::MAX, f64::min);
+                prop_assert!(
+                    max - min <= p.balance_bound + 1e-9,
+                    "rank spread {} exceeds bound {} ({:?})",
+                    max - min,
+                    p.balance_bound,
+                    p.rank_load
+                );
+            }
+
+            // 4. Fixed inputs => byte-identical plan, and a parse
+            // round-trip is lossless.
+            let again = plan(&catalog, &profiles, &config).expect("same inputs stay feasible");
+            prop_assert_eq!(p.to_json(), again.to_json());
+            let reloaded = PlacementPlan::from_json(&p.to_json())
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&reloaded, &p);
+            prop_assert_eq!(reloaded.to_json(), p.to_json());
+            Ok(())
+        },
+    );
+    assert!(
+        valid > 20,
+        "only {valid} valid cases ({infeasible} infeasible)"
+    );
+}
+
+/// Satellite-1 regression: the planner consumes profiles through the
+/// shared in-range guard, so a profile whose hottest items lie beyond
+/// the table's rows must neither panic nor leak foreign rows into any
+/// tier (this exact shape used to panic the partitioners' inline
+/// copy of the skip).
+#[test]
+fn planner_ignores_out_of_range_profile_items() {
+    let rows = 64;
+    let mut profile = FreqProfile::new(rows + 32);
+    // Items 64..96 are far hotter than anything in range.
+    for i in rows as u64..(rows + 32) as u64 {
+        for _ in 0..10_000 {
+            profile.record(i);
+        }
+    }
+    for i in 0..rows as u64 {
+        for _ in 0..(rows as u64 - i) {
+            profile.record(i);
+        }
+    }
+    let catalog = Catalog::homogeneous(1, rows, 8);
+    let config = PlannerConfig {
+        emt_capacity_bytes: 16 * 8 * 4, // 16 rows per partition
+        host_cache_bytes: 4 * 8 * 4,    // 4 host rows
+        replicate_top: 8,
+        ..PlannerConfig::default()
+    };
+    let p = plan(&catalog, &[profile], &config).expect("plan builds");
+    p.check_invariants().expect("invariants hold");
+    let tp = &p.tables[0];
+    assert!(tp.host_rows.iter().all(|&r| (r as usize) < rows));
+    assert!(tp.replicated_rows.iter().all(|&r| (r as usize) < rows));
+    // The hottest *in-range* rows won the host tier despite the
+    // foreign items dominating the raw frequency order.
+    assert_eq!(tp.host_rows, vec![0, 1, 2, 3]);
+    assert_eq!(tp.tier_of_row.len(), rows);
+}
+
+#[test]
+fn infeasible_shapes_fail_with_capacity_errors() {
+    // One row bigger than a whole partition's EMT budget.
+    let catalog = Catalog::homogeneous(1, 8, 64);
+    let profile = FreqProfile::new(8);
+    let config = PlannerConfig {
+        emt_capacity_bytes: 64, // a quarter of one 256 B row
+        host_cache_bytes: 0,
+        replicate_top: 0,
+        ..PlannerConfig::default()
+    };
+    match plan(&catalog, std::slice::from_ref(&profile), &config) {
+        Err(PlanError::CapacityExceeded { .. }) => {}
+        other => panic!("expected CapacityExceeded, got {other:?}"),
+    }
+
+    // More partitions than the fleet has DPUs.
+    let catalog = Catalog::homogeneous(4, 100, 8);
+    let profiles = vec![FreqProfile::new(100); 4];
+    let config = PlannerConfig {
+        topology: RankTopology {
+            nr_ranks: 2,
+            dpus_per_rank: 3,
+        },
+        emt_capacity_bytes: 10 * 8 * 4, // 10 rows/part -> 10 parts/table
+        host_cache_bytes: 0,
+        replicate_top: 0,
+        ..PlannerConfig::default()
+    };
+    match plan(&catalog, &profiles, &config) {
+        Err(PlanError::CapacityExceeded {
+            what,
+            required,
+            available,
+        }) => {
+            assert!(what.contains("DPU"), "{what}");
+            assert_eq!((required, available), (40, 6));
+        }
+        other => panic!("expected fleet CapacityExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_inputs_rejected() {
+    let profile = FreqProfile::new(8);
+    let cfg = PlannerConfig::default();
+    assert!(matches!(
+        plan(&Catalog { tables: vec![] }, &[], &cfg),
+        Err(PlanError::InvalidConfig(_))
+    ));
+    // Profile smaller than the table.
+    assert!(matches!(
+        plan(
+            &Catalog::homogeneous(1, 16, 4),
+            std::slice::from_ref(&profile),
+            &cfg
+        ),
+        Err(PlanError::InvalidConfig(_))
+    ));
+    // Profile count mismatch.
+    assert!(matches!(
+        plan(
+            &Catalog::homogeneous(2, 8, 4),
+            std::slice::from_ref(&profile),
+            &cfg
+        ),
+        Err(PlanError::InvalidConfig(_))
+    ));
+    // Zero topology.
+    let zero = PlannerConfig {
+        topology: RankTopology {
+            nr_ranks: 0,
+            dpus_per_rank: 8,
+        },
+        ..PlannerConfig::default()
+    };
+    assert!(matches!(
+        plan(&Catalog::homogeneous(1, 8, 4), &[profile], &zero),
+        Err(PlanError::InvalidConfig(_))
+    ));
+}
+
+/// The cost estimates must show the tiering knee: at small table sizes
+/// the host probe overhead makes pure MRAM competitive, while at
+/// 10-100x scale the pure-MRAM gather wall (every partition stages the
+/// whole batch) grows linearly and tiering wins decisively.
+#[test]
+fn cost_estimate_crosses_over_at_scale() {
+    let dim = 32;
+    let mk = |rows: usize, seed: u64| {
+        let catalog = Catalog::homogeneous(4, rows, dim);
+        let profiles: Vec<FreqProfile> = (0..4).map(|t| random_profile(rows, seed + t)).collect();
+        let config = PlannerConfig {
+            topology: RankTopology {
+                nr_ranks: 8,
+                dpus_per_rank: 64,
+            },
+            emt_capacity_bytes: 2_000 * dim * 4,
+            host_cache_bytes: 64 * 1024,
+            ..PlannerConfig::default()
+        };
+        plan(&catalog, &profiles, &config).expect("feasible")
+    };
+    let small = mk(2_000, 1);
+    let large = mk(200_000, 1); // 100x
+    assert!(
+        large.est.tiered_batch_ns < large.est.mram_batch_ns,
+        "tiering must win at 100x scale: tiered {} vs mram {}",
+        large.est.tiered_batch_ns,
+        large.est.mram_batch_ns
+    );
+    // The tiered advantage must *grow* with scale (the knee exists).
+    let small_ratio = small.est.mram_batch_ns / small.est.tiered_batch_ns;
+    let large_ratio = large.est.mram_batch_ns / large.est.tiered_batch_ns;
+    assert!(
+        large_ratio > small_ratio,
+        "advantage must grow with scale: {small_ratio} -> {large_ratio}"
+    );
+    // And the mechanism is partition-touch saturation: the tiered plan
+    // has hundreds of partitions but a batch only ever touches a
+    // bounded, rank-count-capped subset. (The tiered plan can hold
+    // slightly *more* partitions than pure MRAM — every partition
+    // donates EMT slots to the replica block — which makes the win
+    // coming from touch saturation, not partition count.)
+    assert!(large.est.parts_total > large.est.ranks_touched);
+}

@@ -46,7 +46,7 @@ pub mod policy;
 
 use dlrm_model::{Matrix, QueryBatch};
 use updlrm_core::engine::EmbeddingBreakdown;
-use updlrm_core::{percentile, CoreError, Result, SchedTrigger, UpdlrmEngine};
+use updlrm_core::{percentile, BatchServer, CoreError, MetricsRegistry, Result, SchedTrigger};
 use workloads::{Workload, NS_PER_SEC};
 
 pub use policy::{AdmitOutcome, BatchPolicy, LaunchPlan};
@@ -316,13 +316,14 @@ impl Scheduler {
     /// [`CoreError::InvalidConfig`] if the workload has no arrival
     /// trace (closed-loop) or the engine cannot take batches of
     /// `max_batch_size`; engine errors propagate.
-    pub fn run<F>(
+    pub fn run<E, F>(
         &mut self,
-        engine: &mut UpdlrmEngine,
+        engine: &mut E,
         workload: &Workload,
         mut sink: F,
     ) -> Result<SchedReport>
     where
+        E: BatchServer,
         F: FnMut(usize, &[u32], &[Matrix], &EmbeddingBreakdown),
     {
         let times = &workload.arrivals.times_ns;
@@ -333,11 +334,11 @@ impl Scheduler {
             ));
         }
         let cfg = *self.policy.config();
-        if cfg.max_batch_size > engine.config().batch_size * 2 {
+        if cfg.max_batch_size > engine.staged_batch_capacity() {
             return Err(CoreError::InvalidConfig(format!(
                 "max_batch_size {} exceeds the engine's staged capacity {} (2x its batch_size)",
                 cfg.max_batch_size,
-                engine.config().batch_size * 2
+                engine.staged_batch_capacity()
             )));
         }
         // Size the assembly scratch to the workload's table count once;
@@ -395,7 +396,13 @@ impl Scheduler {
                 // always has room (queue_cap >= 1) so the door reopens.
                 now = now.max(times[next]);
                 door_blocked = false;
-                self.admit(engine, times, &mut next, &mut report, &mut door_blocked);
+                self.admit(
+                    engine.metrics_mut(),
+                    times,
+                    &mut next,
+                    &mut report,
+                    &mut door_blocked,
+                );
                 continue;
             }
 
@@ -411,7 +418,13 @@ impl Scheduler {
             // first — they may join this batch or change the trigger.
             if !door_blocked && next < n && times[next] <= plan.at_ns {
                 now = now.max(times[next]);
-                self.admit(engine, times, &mut next, &mut report, &mut door_blocked);
+                self.admit(
+                    engine.metrics_mut(),
+                    times,
+                    &mut next,
+                    &mut report,
+                    &mut door_blocked,
+                );
                 if door_blocked && next >= blocked_counted {
                     report.blocked += 1;
                     blocked_counted = next + 1;
@@ -503,7 +516,7 @@ impl Scheduler {
     /// which case `*door_blocked` latches shut.
     fn admit(
         &mut self,
-        engine: &mut UpdlrmEngine,
+        metrics: &mut MetricsRegistry,
         times: &[u64],
         next: &mut usize,
         report: &mut SchedReport,
@@ -513,20 +526,20 @@ impl Scheduler {
             AdmitOutcome::Admitted { depth } => {
                 report.admitted += 1;
                 report.queue_high_water = report.queue_high_water.max(depth as u64);
-                engine.metrics_mut().record_sched_admit(depth);
+                metrics.record_sched_admit(depth);
                 *next += 1;
             }
             AdmitOutcome::AdmittedAfterShed { depth, .. } => {
                 report.shed += 1;
-                engine.metrics_mut().record_sched_shed();
+                metrics.record_sched_shed();
                 report.admitted += 1;
                 report.queue_high_water = report.queue_high_water.max(depth as u64);
-                engine.metrics_mut().record_sched_admit(depth);
+                metrics.record_sched_admit(depth);
                 *next += 1;
             }
             AdmitOutcome::Rejected => {
                 report.rejected += 1;
-                engine.metrics_mut().record_sched_reject();
+                metrics.record_sched_reject();
                 *next += 1;
             }
             AdmitOutcome::Blocked => {
@@ -561,7 +574,7 @@ pub fn report_is_finite(report: &SchedReport) -> bool {
 mod tests {
     use super::*;
     use dlrm_model::EmbeddingTable;
-    use updlrm_core::{PartitionStrategy, UpdlrmConfig};
+    use updlrm_core::{PartitionStrategy, UpdlrmConfig, UpdlrmEngine};
     use workloads::{ArrivalProcess, DatasetSpec, TraceConfig};
 
     const DIM: usize = 32;

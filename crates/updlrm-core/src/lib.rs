@@ -30,6 +30,7 @@ pub mod pipeline;
 pub mod serve;
 pub mod stats;
 pub mod telemetry;
+pub mod tiered;
 pub mod tiling;
 
 pub use config::UpdlrmConfig;
@@ -41,10 +42,11 @@ pub use partition::{
     CACHED_ROW_SLOT,
 };
 pub use pipeline::{pipelined_wall_ns, sequential_wall_ns, PipelineReport};
-pub use serve::{PipelineMode, ServeOutcome, ServeReport};
+pub use serve::{BatchServer, PipelineMode, ServeOutcome, ServeReport};
 pub use stats::percentile;
 pub use telemetry::{
     MetricsRegistry, RuntimeSnapshot, SchedSnapshot, SchedTrigger, Snapshot,
     SNAPSHOT_SCHEMA_VERSION,
 };
+pub use tiered::TieredEngine;
 pub use tiling::{Tiling, TilingProblem, CANDIDATE_NC, MAX_TILE_ELEMENTS};

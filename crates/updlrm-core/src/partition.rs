@@ -153,11 +153,8 @@ pub fn non_uniform(
     let mut slot_of_row = vec![0u32; rows];
     let mut rows_per_part = vec![0u32; parts];
     let mut part_load = vec![0.0f64; parts];
-    for item in profile.items_by_frequency() {
+    for item in profile.items_by_frequency_in_range(rows) {
         let r = item as usize;
-        if r >= rows {
-            continue;
-        }
         let p = least_loaded_with_room(&part_load, &rows_per_part, 1, capacity_rows).ok_or(
             CoreError::CapacityExceeded {
                 partition: 0,
@@ -198,7 +195,7 @@ pub fn replicated_non_uniform(
     replicate_top: usize,
 ) -> Result<RowAssignment> {
     check_inputs(rows, parts, profile)?;
-    let by_freq = profile.items_by_frequency();
+    let by_freq = profile.items_by_frequency_in_range(rows);
     let replicate_top = replicate_top.min(rows);
     if replicate_top > capacity_rows {
         return Err(CoreError::CapacityExceeded {
@@ -214,34 +211,27 @@ pub fn replicated_non_uniform(
 
     // Replica block: the hottest *in-range* rows, same slot on every
     // partition. The profile may cover more items than the table has
-    // rows (check_inputs only requires `num_items >= rows`), so foreign
-    // items must be skipped here just like in the greedy loop below —
-    // indexing `part_of_row[r]` with them used to panic.
+    // rows (check_inputs only requires `num_items >= rows`), and
+    // indexing `part_of_row[r]` with a foreign hot item used to panic —
+    // `items_by_frequency_in_range` is the shared guard (also used by
+    // the placement planner) that keeps them out.
     let mut is_replicated = vec![false; rows];
-    let mut slot = 0u32;
-    for &item in &by_freq {
-        if slot as usize >= replicate_top {
-            break;
-        }
+    for (slot, &item) in by_freq.iter().take(replicate_top).enumerate() {
         let r = item as usize;
-        if r >= rows {
-            continue;
-        }
         part_of_row[r] = REPLICATED_ROW_PART;
-        slot_of_row[r] = slot;
+        slot_of_row[r] = slot as u32;
         is_replicated[r] = true;
         let share = profile.count(item) as f64 / parts as f64;
         for load in part_load.iter_mut() {
             *load += share;
         }
-        slot += 1;
     }
 
     // Remaining rows: greedy packing into slots after the block.
     let local_capacity = capacity_rows - replicate_top;
     for &item in &by_freq {
         let r = item as usize;
-        if r >= rows || is_replicated[r] {
+        if is_replicated[r] {
             continue;
         }
         let p = least_loaded_with_room(&part_load, &rows_per_part, 1, local_capacity).ok_or(
@@ -339,9 +329,9 @@ pub fn cache_aware(
     }
 
     // Lines 11-15: place cache-miss items by descending frequency.
-    for item in profile.items_by_frequency() {
+    for item in profile.items_by_frequency_in_range(rows) {
         let r = item as usize;
-        if r >= rows || is_cached[r] {
+        if is_cached[r] {
             continue;
         }
         let p = least_loaded_with_room(&part_count, &rows_per_part, 1, emt_capacity_rows).ok_or(

@@ -21,7 +21,55 @@ use crate::engine::{EmbeddingBreakdown, UpdlrmEngine, STAGING_SLOTS};
 use crate::error::{CoreError, Result};
 use crate::pipeline::{pipelined_wall_ns, sequential_wall_ns};
 use crate::stats::percentile;
+use crate::telemetry::MetricsRegistry;
 use dlrm_model::{Matrix, QueryBatch};
+
+/// A batch-serving engine the open-loop front-ends can drive.
+///
+/// Both the single-rank [`UpdlrmEngine`] and the multi-rank
+/// [`TieredEngine`](crate::tiered::TieredEngine) implement this, so the
+/// scheduler's event loop (and any other front-end) is generic over the
+/// back-end that executes its formed batches. The contract mirrors
+/// `serve_stream`: the sink fires once per batch in batch order,
+/// lending the pooled embeddings.
+pub trait BatchServer {
+    /// Largest batch the engine's staged MRAM output regions can hold
+    /// (sized at construction; `route_batch` rejects anything larger).
+    fn staged_batch_capacity(&self) -> usize;
+
+    /// The engine's telemetry recorder, for front-ends that fold their
+    /// own counters (admissions, sheds, formed batches) into the same
+    /// snapshot.
+    fn metrics_mut(&mut self) -> &mut MetricsRegistry;
+
+    /// Serves `batches`, lending each batch's pooled embeddings and
+    /// breakdown to `sink(batch_index, pooled, breakdown)`.
+    ///
+    /// # Errors
+    ///
+    /// Batch validation, capacity and simulator errors, as documented
+    /// by each implementation.
+    fn serve_stream<F>(&mut self, batches: &[QueryBatch], sink: F) -> Result<ServeReport>
+    where
+        F: FnMut(usize, &[Matrix], &EmbeddingBreakdown);
+}
+
+impl BatchServer for UpdlrmEngine {
+    fn staged_batch_capacity(&self) -> usize {
+        self.config().batch_size * 2
+    }
+
+    fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    fn serve_stream<F>(&mut self, batches: &[QueryBatch], sink: F) -> Result<ServeReport>
+    where
+        F: FnMut(usize, &[Matrix], &EmbeddingBreakdown),
+    {
+        UpdlrmEngine::serve_stream(self, batches, sink)
+    }
+}
 
 /// Batch schedule used by [`UpdlrmEngine::serve`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -112,8 +160,39 @@ pub(crate) struct ServeScratch {
     s1_done: Vec<f64>,
     s2_done: Vec<f64>,
     drain: Vec<f64>,
-    latencies: Vec<f64>,
+    pub(crate) latencies: Vec<f64>,
     pub(crate) breakdowns: Vec<EmbeddingBreakdown>,
+}
+
+/// Assembles the aggregate [`ServeReport`] from a finished schedule's
+/// scratch (sorts the latency list in place). Shared by the
+/// single-rank serve schedules here and the tiered engine's sequential
+/// schedule ([`crate::tiered`]).
+pub(crate) fn finish_report(
+    mode: PipelineMode,
+    queue_depth: usize,
+    batches: &[QueryBatch],
+    scr: &mut ServeScratch,
+    wall_ns: f64,
+) -> ServeReport {
+    let samples: usize = batches.iter().map(QueryBatch::batch_size).sum();
+    scr.latencies
+        .sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    ServeReport {
+        mode,
+        queue_depth,
+        batches: batches.len(),
+        samples,
+        wall_ns,
+        throughput_qps: if wall_ns > 0.0 {
+            samples as f64 / (wall_ns * 1e-9)
+        } else {
+            0.0
+        },
+        p50_latency_ns: percentile(&scr.latencies, 0.50),
+        p95_latency_ns: percentile(&scr.latencies, 0.95),
+        p99_latency_ns: percentile(&scr.latencies, 0.99),
+    }
 }
 
 impl UpdlrmEngine {
@@ -240,7 +319,7 @@ impl UpdlrmEngine {
             self.recycle_pooled(pooled);
         }
         debug_assert_eq!(wall, sequential_wall_ns(&scr.breakdowns));
-        Ok(Self::finish_report(mode, 1, batches, scr, wall))
+        Ok(finish_report(mode, 1, batches, scr, wall))
     }
 
     /// Depth-2 double-buffered schedule. The event bookkeeping below is
@@ -318,7 +397,7 @@ impl UpdlrmEngine {
         for i in 0..n {
             scr.latencies.push(scr.drain[i] - scr.s1_start[i]);
         }
-        Ok(Self::finish_report(
+        Ok(finish_report(
             PipelineMode::DoubleBuf,
             STAGING_SLOTS,
             batches,
@@ -352,33 +431,6 @@ impl UpdlrmEngine {
         sink(j, &pooled, &scr.breakdowns[j]);
         self.recycle_pooled(pooled);
         Ok(end)
-    }
-
-    fn finish_report(
-        mode: PipelineMode,
-        queue_depth: usize,
-        batches: &[QueryBatch],
-        scr: &mut ServeScratch,
-        wall_ns: f64,
-    ) -> ServeReport {
-        let samples: usize = batches.iter().map(QueryBatch::batch_size).sum();
-        scr.latencies
-            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        ServeReport {
-            mode,
-            queue_depth,
-            batches: batches.len(),
-            samples,
-            wall_ns,
-            throughput_qps: if wall_ns > 0.0 {
-                samples as f64 / (wall_ns * 1e-9)
-            } else {
-                0.0
-            },
-            p50_latency_ns: percentile(&scr.latencies, 0.50),
-            p95_latency_ns: percentile(&scr.latencies, 0.95),
-            p99_latency_ns: percentile(&scr.latencies, 0.99),
-        }
     }
 }
 

@@ -59,6 +59,7 @@ pub mod arch;
 pub mod cost;
 pub mod dpu;
 pub mod error;
+pub mod fleet;
 pub mod host;
 pub mod mem;
 pub mod stats;
@@ -67,6 +68,7 @@ pub use arch::{Cycles, DpuId};
 pub use cost::CostModel;
 pub use dpu::{Dpu, Kernel, TaskletCtx};
 pub use error::{Result, SimError};
+pub use fleet::{Fleet, RankCostModel, RankTopology};
 pub use host::{default_host_threads, PimConfig, PimSystem};
 pub use mem::{Mram, MramLayout, Wram};
 pub use stats::{DpuCounters, DpuRunStats, LaunchReport, TaskletStats, TransferReport};

@@ -85,6 +85,21 @@ impl FreqProfile {
         ids
     }
 
+    /// [`FreqProfile::items_by_frequency`] restricted to items `< rows`.
+    ///
+    /// A profile may legitimately cover more items than a table has rows
+    /// (partitioners only require `num_items() >= rows`), and the
+    /// hottest items can be the out-of-range ones. Every placement
+    /// routine that indexes per-row state by hot item must go through
+    /// this shared guard — the partitioners' replica blocks and the
+    /// placement planner's tier assignment both used to duplicate the
+    /// skip inline, and one copy once indexed out of bounds and panicked.
+    pub fn items_by_frequency_in_range(&self, rows: usize) -> Vec<u64> {
+        let mut ids: Vec<u64> = (0..self.counts.len().min(rows) as u64).collect();
+        ids.sort_by_key(|&i| (std::cmp::Reverse(self.counts[i as usize]), i));
+        ids
+    }
+
     /// Total accesses per row block when rows are split into
     /// `num_blocks` contiguous equal blocks (Fig. 5's histogram).
     pub fn block_histogram(&self, num_blocks: usize) -> Vec<u64> {
@@ -166,6 +181,26 @@ mod tests {
         p.record(3);
         let order = p.items_by_frequency();
         assert_eq!(order, vec![0, 2, 3, 1]); // ties broken by id
+    }
+
+    #[test]
+    fn items_by_frequency_in_range_drops_foreign_items() {
+        // Items 4..8 (outside a 4-row table) are the hottest.
+        let mut p = FreqProfile::new(8);
+        for i in 4..8u64 {
+            for _ in 0..100 {
+                p.record(i);
+            }
+        }
+        p.record(2);
+        p.record(2);
+        p.record(0);
+        let order = p.items_by_frequency_in_range(4);
+        assert_eq!(order, vec![2, 0, 1, 3]);
+        assert!(order.iter().all(|&i| i < 4));
+        // With rows >= num_items it degenerates to the unrestricted sort.
+        assert_eq!(p.items_by_frequency_in_range(8), p.items_by_frequency());
+        assert_eq!(p.items_by_frequency_in_range(100), p.items_by_frequency());
     }
 
     #[test]

@@ -5,7 +5,12 @@
 //!              [--strategy u|nu|ca|nur] [--dpus 256] [--nc auto|2|4|8]
 //!              [--scale 200] [--batches 10] [--seed 7] [--host-threads N]
 //!              [--pipeline sequential|doublebuf] [--queue-depth N]
-//!              [--iters 1] [--warmup 0] [--json FILE] [--metrics FILE]
+//!              [--plan FILE] [--iters 1] [--warmup 0] [--json FILE]
+//!              [--metrics FILE]
+//! updlrm plan  --out FILE [--dataset read] [--scale 200] [--tables 8]
+//!              [--batches 10] [--seed 7] [--ranks 4] [--dpus-per-rank 64]
+//!              [--emt-kb N] [--host-kb N] [--replicate-top 64]
+//! updlrm plan  --load FILE
 //! updlrm serve --qps N [--arrival poisson|bursty] [--max-batch 64]
 //!              [--max-wait-us 200] [--policy block|shed-oldest|reject-new]
 //!              [--queue-cap N] [--runtime modeled|wall] [--shards N]
@@ -29,7 +34,10 @@ fn usage() -> ! {
         "usage:\n  updlrm run   [--dataset TAG] [--backend updlrm|cpu|hybrid|fae|hetero] \
          [--strategy u|nu|ca|nur] [--dpus N] [--nc auto|2|4|8] [--scale N] [--batches N] [--seed N] \
          [--host-threads N] [--pipeline sequential|doublebuf] [--queue-depth N] \
-         [--iters N] [--warmup N] [--json FILE] [--metrics FILE]\n  \
+         [--plan FILE] [--iters N] [--warmup N] [--json FILE] [--metrics FILE]\n  \
+         updlrm plan  --out FILE [--dataset TAG] [--scale N] [--tables N] [--batches N] [--seed N] \
+         [--ranks N] [--dpus-per-rank N] [--emt-kb N] [--host-kb N] [--replicate-top N]\n  \
+         updlrm plan  --load FILE\n  \
          updlrm serve --qps N [--arrival poisson|bursty] [--max-batch N] [--max-wait-us N] \
          [--policy block|shed-oldest|reject-new] [--queue-cap N] \
          [--runtime modeled|wall] [--shards N] [--time-scale X] [--deterministic] \
@@ -300,7 +308,270 @@ fn strategy_or_exit(args: &Args) -> PartitionStrategy {
     }
 }
 
+/// Reads and validates a placement plan, refusing foreign schema
+/// versions with exit 2 before any field-level decoding (the same
+/// contract `stats` applies to metrics snapshots).
+fn load_plan_or_exit(path: &str) -> PlacementPlan {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read placement plan {path}: {e}");
+            std::process::exit(2)
+        }
+    };
+    match PlacementPlan::from_json(&text) {
+        Ok(p) => p,
+        Err(PlanError::SchemaVersion { found, expected }) => {
+            eprintln!(
+                "placement plan {path} has schema v{found}, but this binary reads v{expected}; \
+                 regenerate it with `updlrm plan --out {path}`",
+            );
+            std::process::exit(2)
+        }
+        Err(e) => {
+            eprintln!("invalid placement plan {path}: {e}");
+            std::process::exit(2)
+        }
+    }
+}
+
+fn print_plan_summary(path: &str, plan: &PlacementPlan) {
+    let host: usize = plan.tables.iter().map(|t| t.host_rows.len()).sum();
+    let rep: usize = plan.tables.iter().map(|t| t.replicated_rows.len()).sum();
+    let total = plan.total_rows();
+    let parts: usize = plan.tables.iter().map(|t| t.parts).sum();
+    println!(
+        "placement plan {path} (schema v{}, planner seed {})",
+        plan.schema_version, plan.config.seed,
+    );
+    println!(
+        "  fleet: {} ranks x {} DPUs, {} DPUs used across {} cold partitions",
+        plan.config.topology.nr_ranks, plan.config.topology.dpus_per_rank, plan.dpus_used, parts,
+    );
+    println!(
+        "  tiers: {} host / {} replicated / {} cold of {} rows over {} tables",
+        host,
+        rep,
+        total - host - rep,
+        total,
+        plan.tables.len(),
+    );
+    println!(
+        "  estimate: tiered {:.1} us vs pure-MRAM {:.1} us per batch ({:.2}x), \
+         {} of {} ranks touched",
+        plan.est.tiered_batch_ns / 1e3,
+        plan.est.mram_batch_ns / 1e3,
+        plan.est.mram_batch_ns / plan.est.tiered_batch_ns.max(f64::MIN_POSITIVE),
+        plan.est.ranks_touched,
+        plan.config.topology.nr_ranks,
+    );
+    println!(
+        "  rank balance: bound {:.1}, capacity binding {}",
+        plan.balance_bound, plan.rank_capacity_binding,
+    );
+}
+
+fn cmd_plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = args.flags.get("load") {
+        let plan = load_plan_or_exit(path);
+        print_plan_summary(path, &plan);
+        return Ok(());
+    }
+    let Some(out) = args.flags.get("out") else {
+        eprintln!("plan needs --out FILE (write a new plan) or --load FILE (inspect one)");
+        usage()
+    };
+    let scale = args.num("scale", 200);
+    let spec = spec_or_exit(args).scaled_down(scale);
+    let num_tables = args.num("tables", 8);
+    let num_batches = args.num("batches", 10);
+    let seed = args.num("seed", 7) as u64;
+    let dim = 32;
+    let workload = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_tables,
+            num_batches,
+            seed,
+            ..TraceConfig::default()
+        },
+    );
+    let profiles: Vec<FreqProfile> = (0..num_tables)
+        .map(|t| FreqProfile::from_inputs(spec.num_items, workload.table_inputs(t)))
+        .collect();
+    let catalog = Catalog::homogeneous(num_tables, spec.num_items, dim);
+    let defaults = PlannerConfig::default();
+    let config = PlannerConfig {
+        topology: RankTopology {
+            nr_ranks: args.num("ranks", defaults.topology.nr_ranks),
+            dpus_per_rank: args.num("dpus-per-rank", defaults.topology.dpus_per_rank),
+        },
+        emt_capacity_bytes: args.num("emt-kb", defaults.emt_capacity_bytes / 1024) * 1024,
+        host_cache_bytes: args.num("host-kb", defaults.host_cache_bytes / 1024) * 1024,
+        replicate_top: args.num("replicate-top", defaults.replicate_top),
+        seed,
+        ..defaults
+    };
+    let mut plan = plan_placement(&catalog, &profiles, &config)?;
+    plan.provenance = PlanProvenance {
+        scale: scale as u64,
+        tables: num_tables,
+        batches: num_batches,
+        seed,
+        dim,
+    };
+    std::fs::write(out, plan.to_json())?;
+    println!("wrote {out}");
+    print_plan_summary(out, &plan);
+    Ok(())
+}
+
+/// The `run --plan FILE` path: rebuild the plan's workload from its
+/// provenance (plus the `--dataset` flag) and serve the trace through
+/// the tiered multi-rank engine.
+fn cmd_run_plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let backend_name = args.str("backend", "updlrm");
+    if backend_name != "updlrm" {
+        eprintln!("--plan requires --backend updlrm (got '{backend_name}')");
+        std::process::exit(2)
+    }
+    let path = args.flags.get("plan").expect("cmd_run checked --plan");
+    let plan = load_plan_or_exit(path);
+    let prov = plan.provenance.clone();
+    let spec = spec_or_exit(args).scaled_down(prov.scale as usize);
+    let workload = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_tables: prov.tables,
+            num_batches: prov.batches,
+            seed: prov.seed,
+            ..TraceConfig::default()
+        },
+    );
+    let model = Dlrm::new(DlrmConfig {
+        num_dense: 13,
+        embedding_dim: prov.dim,
+        table_rows: vec![spec.num_items; prov.tables],
+        bottom_hidden: vec![64],
+        top_hidden: vec![64, 16],
+        seed: prov.seed,
+    })?;
+    let mut config = UpdlrmConfig {
+        batch_size: workload.config.batch_size,
+        ..UpdlrmConfig::default()
+    };
+    config.host_threads = args.num("host-threads", config.host_threads);
+    let metrics_path = args.flags.get("metrics").cloned();
+    config.telemetry = metrics_path.is_some();
+    let iters = args.num("iters", 1);
+    let warmup = args.num("warmup", 0);
+    if iters == 0 {
+        eprintln!("--iters must be >= 1 (0 measures nothing)");
+        std::process::exit(2)
+    }
+    let print_measured = args.flags.contains_key("iters") || args.flags.contains_key("warmup");
+    let mut engine = TieredEngine::new(config.clone(), &plan, model.tables())?;
+
+    let host: usize = plan.tables.iter().map(|t| t.host_rows.len()).sum();
+    let rep: usize = plan.tables.iter().map(|t| t.replicated_rows.len()).sum();
+    println!(
+        "UpDLRM (tiered plan) on {} ({} items/table, {} batches of {})",
+        spec.name,
+        spec.num_items,
+        workload.batches.len(),
+        workload.config.batch_size,
+    );
+    println!(
+        "  plan {path}: {} ranks x {} DPUs ({} used), {} host / {} replicated / {} cold rows",
+        plan.config.topology.nr_ranks,
+        plan.config.topology.dpus_per_rank,
+        plan.dpus_used,
+        host,
+        rep,
+        plan.total_rows() - host - rep,
+    );
+
+    for _ in 0..warmup {
+        engine.serve_stream(&workload.batches, |_, _, _| {})?;
+    }
+    let mut breakdowns: Vec<EmbeddingBreakdown> = Vec::new();
+    let t0 = std::time::Instant::now();
+    for pass in 0..iters {
+        engine.serve_stream(&workload.batches, |_, _, bd| {
+            if pass == 0 {
+                breakdowns.push(*bd);
+            }
+        })?;
+    }
+    let host_wall_ns_mean = t0.elapsed().as_nanos() as f64 / iters as f64;
+    let samples: usize = workload.batches.iter().map(|b| b.batch_size()).sum();
+
+    let mut pim_total = EmbeddingBreakdown::default();
+    for bd in &breakdowns {
+        pim_total.accumulate(bd);
+    }
+    let n = (breakdowns.len() as f64).max(1.0);
+    println!("per-batch mean:");
+    println!("  embedding: {:10.1} us", pim_total.total_ns() / n / 1e3);
+    let lookups = pim_total.cache_hits + pim_total.emt_lookups;
+    if lookups > 0 {
+        println!(
+            "  tier routing: {} host hits, {} PIM lookups ({:.1}% served from host DRAM)",
+            pim_total.cache_hits,
+            pim_total.emt_lookups,
+            100.0 * pim_total.cache_hits as f64 / lookups as f64,
+        );
+    }
+    let t = pim_total.total_ns().max(f64::MIN_POSITIVE);
+    println!(
+        "  PIM stages: s1 {:.0}% / s2 {:.0}% / s3 {:.0}%  (imbalance {:.2})",
+        100.0 * pim_total.stage1_ns / t,
+        100.0 * pim_total.stage2_ns / t,
+        100.0 * pim_total.stage3_ns / t,
+        pim_total.lookup_imbalance,
+    );
+    if print_measured {
+        println!(
+            "  host wall (measured): {:.1} us/pass  {:.1} ns/sample  \
+             ({iters} timed passes, {warmup} warm-up)",
+            host_wall_ns_mean / 1e3,
+            host_wall_ns_mean / samples.max(1) as f64,
+        );
+    }
+
+    let pr = PipelineReport::from_batches(&breakdowns);
+    let report_json = RunJson {
+        backend: "updlrm".to_string(),
+        dataset: spec.short.to_string(),
+        strategy: "plan".to_string(),
+        dpus: plan.dpus_used,
+        batches: workload.batches.len(),
+        host_threads: config.host_threads,
+        pipeline: "sequential".to_string(),
+        queue_depth: 1,
+        mean_embedding_us: pim_total.total_ns() / n / 1e3,
+        mean_dense_us: 0.0,
+        mean_total_us: pim_total.total_ns() / n / 1e3,
+        stages: Some(StagesJson::from_totals(&pim_total, n, &pr)),
+        serve: None,
+        measured: Some(MeasuredJson {
+            iters,
+            warmup,
+            host_wall_ns_mean,
+            host_ns_per_sample: host_wall_ns_mean / samples.max(1) as f64,
+        }),
+    };
+    write_json(args, &report_json)?;
+    if let Some(path) = &metrics_path {
+        write_metrics(path, &engine.metrics_snapshot())?;
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    if args.flag_set("plan") {
+        return cmd_run_plan(args);
+    }
     let (spec, workload, model) = build_setting(args)?;
     let profiles: Vec<FreqProfile> = (0..8)
         .map(|t| FreqProfile::from_inputs(spec.num_items, workload.table_inputs(t)))
@@ -1113,6 +1384,7 @@ fn main() -> ExitCode {
     let args = Args::parse(rest);
     let result = match cmd.as_str() {
         "run" => cmd_run(&args),
+        "plan" => cmd_plan(&args),
         "serve" => cmd_serve(&args),
         "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),

@@ -60,6 +60,7 @@
 pub use baselines;
 pub use cooccur_cache;
 pub use dlrm_model;
+pub use placement;
 pub use runtime;
 pub use scheduler;
 pub use updlrm_core;
@@ -74,14 +75,18 @@ pub mod prelude {
     };
     pub use cooccur_cache::{CacheList, CacheListSet, CooccurGraph, MinerConfig, PartialSumCache};
     pub use dlrm_model::{Dlrm, DlrmConfig, EmbeddingTable, Matrix, QueryBatch, SparseInput};
+    pub use placement::{
+        plan as plan_placement, Catalog, PlacementPlan, PlanError, PlanProvenance, PlannerConfig,
+        TableDesc, PLAN_SCHEMA_VERSION,
+    };
     pub use runtime::{Runtime, RuntimeConfig, RuntimeReport, WallStats};
     pub use scheduler::{OverloadPolicy, SchedConfig, SchedReport, Scheduler};
     pub use updlrm_core::{
-        EmbeddingBreakdown, MetricsRegistry, PartitionStrategy, PipelineMode, PipelineReport,
-        RuntimeSnapshot, ServeOutcome, ServeReport, Snapshot, Tiling, TilingProblem, UpdlrmConfig,
-        UpdlrmEngine, SNAPSHOT_SCHEMA_VERSION,
+        BatchServer, EmbeddingBreakdown, MetricsRegistry, PartitionStrategy, PipelineMode,
+        PipelineReport, RuntimeSnapshot, ServeOutcome, ServeReport, Snapshot, TieredEngine, Tiling,
+        TilingProblem, UpdlrmConfig, UpdlrmEngine, SNAPSHOT_SCHEMA_VERSION,
     };
-    pub use upmem_sim::{CostModel, DpuId, PimConfig, PimSystem};
+    pub use upmem_sim::{CostModel, DpuId, PimConfig, PimSystem, RankCostModel, RankTopology};
     pub use workloads::{
         ArrivalProcess, ArrivalTrace, DatasetSpec, FreqProfile, Hotness, TraceConfig, Workload,
         ZipfSampler, NS_PER_SEC,

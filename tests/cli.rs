@@ -753,3 +753,187 @@ fn unknown_arguments_exit_nonzero() {
     let out = updlrm().output().expect("run");
     assert!(!out.status.success());
 }
+
+/// Flags that regenerate `tests/golden/placement_plan.json` exactly.
+const GOLDEN_PLAN_FLAGS: [&str; 21] = [
+    "plan",
+    "--dataset",
+    "read",
+    "--scale",
+    "5000",
+    "--tables",
+    "2",
+    "--batches",
+    "2",
+    "--seed",
+    "7",
+    "--ranks",
+    "2",
+    "--dpus-per-rank",
+    "4",
+    "--emt-kb",
+    "24",
+    "--host-kb",
+    "12",
+    "--replicate-top",
+    "24",
+];
+
+#[test]
+fn plan_generation_is_deterministic_and_inspectable() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let a = dir.join("plan-a.json");
+    let b = dir.join("plan-b.json");
+    for path in [&a, &b] {
+        let out = updlrm()
+            .args(GOLDEN_PLAN_FLAGS)
+            .arg("--out")
+            .arg(path)
+            .output()
+            .expect("plan");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("fleet: 2 ranks x 4 DPUs"), "stdout: {text}");
+        assert!(text.contains("tiers:"), "stdout: {text}");
+        assert!(text.contains("estimate: tiered"), "stdout: {text}");
+    }
+    let first = std::fs::read(&a).expect("plan a");
+    let second = std::fs::read(&b).expect("plan b");
+    assert!(
+        first == second,
+        "same-flag placement plans must be byte-identical"
+    );
+    // Inspect mode reads the plan back and re-prints the same summary.
+    let out = updlrm()
+        .args(["plan", "--load"])
+        .arg(&a)
+        .output()
+        .expect("plan --load");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("schema v1, planner seed 7"), "stdout: {text}");
+    assert!(text.contains("rank balance"), "stdout: {text}");
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn golden_placement_plan_matches_checked_in_file() {
+    // The golden plan locks the planner's full serialized output: any
+    // intentional change must regenerate the file (same flags as
+    // GOLDEN_PLAN_FLAGS) and show up in review as a diff.
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("plan-golden.json");
+    let out = updlrm()
+        .args(GOLDEN_PLAN_FLAGS)
+        .arg("--out")
+        .arg(&path)
+        .output()
+        .expect("plan");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let fresh = std::fs::read(&path).expect("regenerated plan");
+    let golden = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/placement_plan.json"
+    ))
+    .expect("checked-in golden plan");
+    assert!(
+        fresh == golden,
+        "regenerated plan diverges from tests/golden/placement_plan.json; \
+         if intentional, regenerate it with `updlrm {}` --out tests/golden/placement_plan.json",
+        GOLDEN_PLAN_FLAGS[1..].join(" ")
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn plan_and_run_reject_foreign_schema_versions() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("plan-doctored.json");
+    let out = updlrm()
+        .args(GOLDEN_PLAN_FLAGS)
+        .arg("--out")
+        .arg(&path)
+        .output()
+        .expect("plan");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).expect("plan");
+    assert!(text.contains("\"schema_version\": 1"), "{text}");
+    let doctored = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
+    std::fs::write(&path, doctored).expect("doctor plan");
+    for args in [
+        vec!["plan", "--load"],
+        vec!["run", "--dataset", "read", "--plan"],
+    ] {
+        let out = updlrm().args(&args).arg(&path).output().expect("doctored");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("schema v99"), "stderr: {err}");
+        assert!(err.contains("reads v1"), "stderr: {err}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn run_with_plan_serves_the_tiered_engine() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let plan_path = dir.join("plan-run.json");
+    let json_path = dir.join("plan-run-report.json");
+    let metrics_path = dir.join("plan-run-metrics.json");
+    let out = updlrm()
+        .args(GOLDEN_PLAN_FLAGS)
+        .arg("--out")
+        .arg(&plan_path)
+        .output()
+        .expect("plan");
+    assert!(out.status.success());
+    let out = updlrm()
+        .args(["run", "--dataset", "read", "--plan"])
+        .arg(&plan_path)
+        .arg("--json")
+        .arg(&json_path)
+        .arg("--metrics")
+        .arg(&metrics_path)
+        .output()
+        .expect("run --plan");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("UpDLRM (tiered plan)"), "stdout: {text}");
+    assert!(text.contains("tier routing:"), "stdout: {text}");
+    assert!(text.contains("host hits"), "stdout: {text}");
+    let json = std::fs::read_to_string(&json_path).expect("report json");
+    assert!(json.contains("\"strategy\": \"plan\""), "{json}");
+    assert!(json.contains("\"dpus\": 6"), "{json}");
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics");
+    assert!(metrics.contains("\"per_dpu\""), "{metrics}");
+    // A tiered backend other than updlrm is a contradiction: exit 2.
+    let out = updlrm()
+        .args(["run", "--dataset", "read", "--backend", "cpu", "--plan"])
+        .arg(&plan_path)
+        .output()
+        .expect("run --plan --backend cpu");
+    assert_eq!(out.status.code(), Some(2));
+    for p in [&plan_path, &json_path, &metrics_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
