@@ -7,18 +7,18 @@
 //! amortize cached partial sums — which bounds the memory of the
 //! otherwise quadratic pair counting.
 
-use std::collections::HashMap;
+use dlrm_model::FxHashMap;
 use workloads::FreqProfile;
 
 /// Co-occurrence graph over the `hot_set_size` most frequent items.
 #[derive(Debug, Clone)]
 pub struct CooccurGraph {
     /// Hot item id -> dense hot rank (0 = hottest).
-    hot_rank: HashMap<u64, u32>,
+    hot_rank: FxHashMap<u64, u32>,
     /// Hot items in rank order.
     hot_items: Vec<u64>,
     /// Edge weights keyed by (min_rank, max_rank).
-    edges: HashMap<(u32, u32), u64>,
+    edges: FxHashMap<(u32, u32), u64>,
     /// Per-hot-item total accesses (copied from the profile).
     freq: Vec<u64>,
 }
@@ -41,7 +41,7 @@ impl CooccurGraph {
         CooccurGraph {
             hot_rank,
             hot_items,
-            edges: HashMap::new(),
+            edges: FxHashMap::default(),
             freq,
         }
     }

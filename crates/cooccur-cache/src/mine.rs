@@ -9,7 +9,7 @@
 
 use crate::graph::CooccurGraph;
 use dlrm_model::SparseInput;
-use std::collections::{HashMap, HashSet};
+use dlrm_model::{FxHashMap, FxHashSet};
 
 /// One mined cache list.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -80,7 +80,7 @@ impl CacheListSet {
     /// items cluster.
     pub fn mine(graph: &CooccurGraph, config: &MinerConfig) -> CacheListSet {
         let adjacency = graph.adjacency();
-        let mut assigned: HashSet<u32> = HashSet::new();
+        let mut assigned: FxHashSet<u32> = FxHashSet::default();
         let mut lists = Vec::new();
         for seed in 0..graph.hot_set_size() as u32 {
             if lists.len() >= config.max_lists {
@@ -135,7 +135,7 @@ impl CacheListSet {
         let mut saved = vec![0u64; self.lists.len()];
         for input in inputs {
             for sample in input.iter() {
-                let mut matched: HashMap<usize, u64> = HashMap::new();
+                let mut matched: FxHashMap<usize, u64> = FxHashMap::default();
                 for i in sample {
                     if let Some(&l) = item_to_list.get(i) {
                         *matched.entry(l).or_insert(0) += 1;
@@ -159,8 +159,8 @@ impl CacheListSet {
     }
 
     /// Item -> list index (lists are disjoint by construction).
-    pub fn item_index(&self) -> HashMap<u64, usize> {
-        let mut m = HashMap::new();
+    pub fn item_index(&self) -> FxHashMap<u64, usize> {
+        let mut m = FxHashMap::default();
         for (l, list) in self.lists.iter().enumerate() {
             for &i in &list.items {
                 m.insert(i, l);
@@ -205,6 +205,7 @@ impl CacheListSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use workloads::FreqProfile;
 
     /// Builds a graph where items {0,1,2} strongly co-occur and {3,4}

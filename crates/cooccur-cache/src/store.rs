@@ -8,7 +8,7 @@
 //! property tests of this crate pin down.
 
 use crate::mine::CacheListSet;
-use dlrm_model::{EmbeddingTable, FxHashMap, ModelError, Result};
+use dlrm_model::{simd, EmbeddingTable, FxHashMap, ModelError, Result};
 
 /// One cached combination: a subset of a cache list and its partial sum.
 #[derive(Debug, Clone, PartialEq)]
@@ -240,14 +240,10 @@ impl PartialSumCache {
     pub fn reduce_with_table(&self, hit: &CacheHit, table: &EmbeddingTable) -> Result<Vec<f32>> {
         let mut acc = vec![0.0f32; self.dim];
         for &e in &hit.entries {
-            for (a, v) in acc.iter_mut().zip(self.entries[e].vector.iter()) {
-                *a += v;
-            }
+            simd::add_assign(&mut acc, &self.entries[e].vector);
         }
         let residual_sum = table.partial_sum(&hit.residual)?;
-        for (a, v) in acc.iter_mut().zip(residual_sum.iter()) {
-            *a += v;
-        }
+        simd::add_assign(&mut acc, &residual_sum);
         Ok(acc)
     }
 }

@@ -47,15 +47,19 @@ pub mod error;
 pub mod hash;
 pub mod mlp;
 pub mod model;
+pub mod quant;
 pub mod query;
+pub mod simd;
 pub mod tensor;
 pub mod train;
 
-pub use embedding::EmbeddingTable;
+pub use embedding::{EmbeddingTable, TableView};
 pub use error::{ModelError, Result};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use mlp::{Activation, Linear, LinearGrads, Mlp};
 pub use model::{Dlrm, DlrmConfig};
+pub use quant::{EmbedDtype, QuantTable};
 pub use query::{QueryBatch, SparseInput};
+pub use simd::SimdTier;
 pub use tensor::Matrix;
 pub use train::{bce_loss, SgdConfig, TrainStats};

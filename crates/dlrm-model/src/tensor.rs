@@ -6,6 +6,7 @@
 //! suffices.
 
 use crate::error::{ModelError, Result};
+use crate::simd;
 
 /// A row-major `rows x cols` matrix of `f32`.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -134,10 +135,11 @@ impl Matrix {
     /// [`Matrix::matmul`], bit-identical to it.
     ///
     /// The i-k-j loop order streams whole rows of `other` against one
-    /// output row slice (cache friendly, auto-vectorizable) and skips
-    /// zero left-hand entries; each output element still accumulates its
-    /// products in ascending-`k` order, so the result matches the naive
-    /// i-j-k ordering bit for bit.
+    /// output row slice (cache friendly, dispatched to the runtime
+    /// SIMD axpy) and skips zero left-hand entries; each output element
+    /// still accumulates its products in ascending-`k` order with a
+    /// multiply-then-add per product (no FMA), so the result matches
+    /// the naive i-j-k ordering bit for bit on every dispatch tier.
     ///
     /// # Errors
     ///
@@ -162,9 +164,7 @@ impl Matrix {
                     continue;
                 }
                 let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
+                simd::axpy(out_row, a, b_row);
             }
         }
         Ok(())
@@ -184,9 +184,7 @@ impl Matrix {
             });
         }
         for r in 0..self.rows {
-            for (v, &b) in self.row_mut(r).iter_mut().zip(bias.iter()) {
-                *v += b;
-            }
+            simd::add_assign(self.row_mut(r), bias);
         }
         Ok(())
     }
@@ -267,9 +265,7 @@ impl Matrix {
     pub fn column_sums(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.cols];
         for r in 0..self.rows {
-            for (o, &v) in out.iter_mut().zip(self.row(r).iter()) {
-                *o += v;
-            }
+            simd::add_assign(&mut out, self.row(r));
         }
         out
     }
@@ -378,6 +374,41 @@ mod tests {
             let reference = matmul_ijk(&a, &b);
             for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
                 assert_eq!(x.to_bits(), y.to_bits(), "ikj diverged from ijk");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_scalar_and_simd_are_bit_identical() {
+        // The dispatched axpy must reproduce the scalar loop exactly
+        // on whatever tier this machine detects.
+        use crate::simd::{self, SimdTier};
+        let _guard = simd::test_tier_lock();
+        for (m, k, n, seed) in [(4, 7, 5, 11), (8, 32, 16, 12), (3, 5, 9, 13)] {
+            let a = fill(m, k, seed);
+            let b = fill(k, n, seed.wrapping_add(100));
+            simd::force_tier(Some(SimdTier::Scalar));
+            let scalar = a.matmul(&b).unwrap();
+            let mut scalar_bias = scalar.clone();
+            scalar_bias.add_bias(&vec![0.25; n]).unwrap();
+            let scalar_sums = scalar.column_sums();
+            simd::force_tier(None);
+            let vector = a.matmul(&b).unwrap();
+            let mut vector_bias = vector.clone();
+            vector_bias.add_bias(&vec![0.25; n]).unwrap();
+            let vector_sums = vector.column_sums();
+            for (x, y) in scalar.as_slice().iter().zip(vector.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "matmul diverged across tiers");
+            }
+            for (x, y) in scalar_bias.as_slice().iter().zip(vector_bias.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "add_bias diverged across tiers");
+            }
+            for (x, y) in scalar_sums.iter().zip(vector_sums.iter()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "column_sums diverged across tiers"
+                );
             }
         }
     }

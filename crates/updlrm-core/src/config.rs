@@ -3,6 +3,7 @@
 use crate::partition::PartitionStrategy;
 use crate::serve::PipelineMode;
 use cooccur_cache::MinerConfig;
+use dlrm_model::EmbedDtype;
 use upmem_sim::CostModel;
 
 /// Configuration of an [`UpdlrmEngine`](crate::engine::UpdlrmEngine).
@@ -71,6 +72,12 @@ pub struct UpdlrmConfig {
     /// default; enabling costs ≤2% serving throughput and no
     /// steady-state heap allocation (DESIGN.md §4.6).
     pub telemetry: bool,
+    /// Storage dtype of the EMT tiles in MRAM (DESIGN.md §4.10).
+    /// Cache rows, reference streams and partial-sum outputs are
+    /// always f32; [`EmbedDtype::Int8`] shrinks only the EMT region
+    /// and its per-lookup row DMA, dequantizing on the fly inside the
+    /// kernel's accumulate.
+    pub embed_dtype: EmbedDtype,
 }
 
 impl Default for UpdlrmConfig {
@@ -96,6 +103,7 @@ impl Default for UpdlrmConfig {
             pipeline_mode: PipelineMode::Sequential,
             queue_depth: 2,
             telemetry: false,
+            embed_dtype: EmbedDtype::F32,
         }
     }
 }
@@ -147,6 +155,12 @@ impl UpdlrmConfig {
         self.telemetry = true;
         self
     }
+
+    /// Returns a copy with the given EMT storage dtype.
+    pub fn with_embed_dtype(mut self, dtype: EmbedDtype) -> Self {
+        self.embed_dtype = dtype;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -165,8 +179,10 @@ mod tests {
         // Serving defaults to the paper's back-to-back measurement mode.
         assert_eq!(c.pipeline_mode, PipelineMode::Sequential);
         assert_eq!(c.queue_depth, 2);
-        // Telemetry is opt-in.
+        // Telemetry is opt-in, and tables are stored full-precision
+        // unless quantization is requested.
         assert!(!c.telemetry);
+        assert_eq!(c.embed_dtype, EmbedDtype::F32);
     }
 
     #[test]

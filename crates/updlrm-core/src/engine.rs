@@ -23,7 +23,7 @@ use crate::partition::{self, PartitionStrategy, RowAssignment};
 use crate::telemetry::{MetricsRegistry, Snapshot};
 use crate::tiling::{Tiling, TilingProblem};
 use cooccur_cache::{CacheHit, CacheListSet, CooccurGraph, LookupScratch, PartialSumCache};
-use dlrm_model::{Dlrm, EmbeddingTable, Matrix, QueryBatch};
+use dlrm_model::{quant, simd, Dlrm, EmbedDtype, EmbeddingTable, Matrix, QueryBatch};
 use upmem_sim::{DpuId, LaunchReport, PimConfig, PimSystem};
 use workloads::{FreqProfile, Workload};
 
@@ -347,7 +347,18 @@ impl UpdlrmEngine {
                 t * dpus_per_table,
                 dpus_per_table,
             )?;
-            Self::load_table(&mut sys, table, &state)?;
+            Self::load_table(&mut sys, table, &state, config.embed_dtype)?;
+            // Pre-commit each DPU's bank through the last staging slot:
+            // the regions only the kernel writes (reference streams,
+            // partial-sum outputs) would otherwise regrow the bank —
+            // with whole-bank memcpys — across the first few launches.
+            let mram_end = state.slots[STAGING_SLOTS - 1].1 as usize
+                + config.batch_size * state.tiling.row_bytes() * 2;
+            for p in 0..state.tiling.row_parts {
+                for c in 0..state.tiling.col_slices {
+                    sys.dpu_mut(state.dpu(p, c))?.mram_mut().commit(mram_end);
+                }
+            }
             states.push(state);
         }
 
@@ -360,7 +371,11 @@ impl UpdlrmEngine {
         let mut streams = Vec::new();
         for (t, state) in states.iter().enumerate() {
             let kset: [EmbeddingKernel; STAGING_SLOTS] = std::array::from_fn(|slot| {
-                let mut kernel = EmbeddingKernel::new(state.tiling.row_bytes(), config.dedup);
+                let mut kernel = EmbeddingKernel::with_dtype(
+                    state.tiling.row_bytes(),
+                    config.dedup,
+                    config.embed_dtype,
+                );
                 for p in 0..state.tiling.row_parts {
                     for c in 0..state.tiling.col_slices {
                         kernel.set_task(
@@ -484,8 +499,13 @@ impl UpdlrmEngine {
             None => problem.search(&config.cost)?,
         };
         let row_bytes = tiling.row_bytes();
+        // EMT rows are stored at the configured dtype's stride; cache,
+        // input and output regions stay f32. Under int8 the narrower
+        // stride both fits more rows per DPU and shrinks the per-lookup
+        // row DMA.
+        let emt_row_bytes = config.embed_dtype.stored_row_bytes(tiling.n_c);
         let parts = tiling.row_parts;
-        let emt_cap_rows = config.emt_capacity_bytes / row_bytes;
+        let emt_cap_rows = config.emt_capacity_bytes / emt_row_bytes;
 
         let (assignment, cache) = match config.strategy {
             PartitionStrategy::Uniform => (
@@ -593,7 +613,9 @@ impl UpdlrmEngine {
             },
             other => CoreError::Sim(other),
         };
-        layout.reserve(emt_rows_max * row_bytes).map_err(capacity)?;
+        layout
+            .reserve(emt_rows_max * emt_row_bytes)
+            .map_err(capacity)?;
         let cache_base = layout
             .reserve(cache_rows_max * row_bytes)
             .map_err(capacity)?;
@@ -621,7 +643,12 @@ impl UpdlrmEngine {
 
     /// Loads the EMT tiles and cache regions into MRAM (untimed
     /// pre-processing, as in the paper).
-    fn load_table(sys: &mut PimSystem, table: &EmbeddingTable, state: &TableState) -> Result<()> {
+    fn load_table(
+        sys: &mut PimSystem,
+        table: &EmbeddingTable,
+        state: &TableState,
+        dtype: EmbedDtype,
+    ) -> Result<()> {
         let tiling = &state.tiling;
         let n_c = tiling.n_c;
         let row_bytes = tiling.row_bytes();
@@ -666,12 +693,25 @@ impl UpdlrmEngine {
             for c in 0..tiling.col_slices {
                 let dpu = state.dpu(p, c);
                 // EMT tile: the shared replica block (slots 0..rc), then
-                // this partition's rows, columns [c*n_c, ...).
-                let mut buf = Vec::with_capacity((rc + rows_in_part[p].len()) * row_bytes);
+                // this partition's rows, columns [c*n_c, ...), stored at
+                // the configured dtype (each int8 row quantized
+                // per-slice with its own scale/min header).
+                let emt_row_bytes = dtype.stored_row_bytes(n_c);
+                let mut buf = Vec::with_capacity((rc + rows_in_part[p].len()) * emt_row_bytes);
+                let mut qrec = vec![0u8; emt_row_bytes];
                 for &r in state.replicas.iter().chain(rows_in_part[p].iter()) {
                     let row = table.row(r as u64)?;
-                    for &v in &row[c * n_c..(c + 1) * n_c] {
-                        buf.extend_from_slice(&v.to_le_bytes());
+                    let slice = &row[c * n_c..(c + 1) * n_c];
+                    match dtype {
+                        EmbedDtype::F32 => {
+                            for &v in slice {
+                                buf.extend_from_slice(&v.to_le_bytes());
+                            }
+                        }
+                        EmbedDtype::Int8 => {
+                            quant::quantize_row_into(slice, &mut qrec)?;
+                            buf.extend_from_slice(&qrec);
+                        }
                     }
                 }
                 if !buf.is_empty() {
@@ -1040,10 +1080,7 @@ impl UpdlrmEngine {
             for s in 0..b {
                 let row = &buf[s * row_bytes..(s + 1) * row_bytes];
                 let out = pooled[t].row_mut(s);
-                for (j, chunk) in row.chunks_exact(4).enumerate() {
-                    out[c * n_c + j] +=
-                        f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-                }
+                simd::add_assign_le(&mut out[c * n_c..(c + 1) * n_c], row);
                 combine_adds += n_c as u64;
             }
         }

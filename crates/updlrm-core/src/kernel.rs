@@ -28,7 +28,8 @@
 //! (slot within this partition's cached combination rows), otherwise
 //! the EMT region.
 
-use dlrm_model::FxHashMap;
+use dlrm_model::quant::{self, QROW_HEADER_BYTES};
+use dlrm_model::{simd, EmbedDtype, FxHashMap};
 use std::collections::HashMap;
 use std::sync::Mutex;
 use upmem_sim::{DpuId, Kernel, SimError, TaskletCtx};
@@ -64,14 +65,22 @@ pub struct DpuTask {
 ///   back after a barrier ([`Kernel::finalize`]).
 #[derive(Debug, Default)]
 pub struct EmbeddingKernel {
-    /// Bytes per row (`N_c * 4`), a multiple of 8.
+    /// Bytes per *output* (and cache) row (`N_c * 4`), a multiple of 8.
     pub row_bytes: usize,
     /// Whether streams use the dedup format.
     pub dedup: bool,
+    /// Storage dtype of the EMT tile. Cache rows, accumulators and
+    /// output rows are always f32; only the EMT fetch (and its MRAM
+    /// stride) changes under [`EmbedDtype::Int8`], where each row is a
+    /// [`quant`]-format `[scale][min][u8 values]` record dequantized on
+    /// the fly into the accumulate.
+    pub dtype: EmbedDtype,
     /// Per-DPU parameters; DPUs not present return immediately.
     pub tasks: HashMap<DpuId, DpuTask>,
-    /// Reusable per-DPU tasklet scratch (row/accumulator/stream
-    /// buffers). Behind a `Mutex` only to satisfy `Kernel: Sync`: all
+    /// Reusable per-DPU tasklet scratch (accumulator/stream/output
+    /// buffers; embedding rows are borrowed straight out of MRAM via
+    /// [`TaskletCtx::mram_view`]). Behind a `Mutex` only to satisfy
+    /// `Kernel: Sync`: all
     /// tasklets of one DPU run sequentially on one host thread, and
     /// parallel launch workers own disjoint DPU sets, so every lock is
     /// uncontended. Warmed buffers make steady-state runs allocation
@@ -83,26 +92,37 @@ pub struct EmbeddingKernel {
 /// [`EmbeddingKernel::scratch`](EmbeddingKernel)).
 #[derive(Debug, Default)]
 struct TaskletScratch {
-    /// One embedding row fetched from MRAM.
-    row: Vec<u8>,
-    /// Serialized output row staged for the MRAM write-back.
-    out_row: Vec<u8>,
-    /// f32 accumulator (CSR mode).
+    /// f32 accumulator (row decode / CSR sample accumulate).
     acc: Vec<f32>,
-    /// Padded-DMA staging window (reference array / tasklet stream).
-    io: Vec<u8>,
+    /// Absolute MRAM byte offsets of one sample's rows, staged for the
+    /// fused [`simd::sum_rows_le`] gather (CSR f32 fast path).
+    offs: Vec<usize>,
 }
 
 impl EmbeddingKernel {
-    /// Creates a kernel for tiles of `row_bytes` bytes per row reading
-    /// streams built with the same `dedup` flag.
+    /// Creates an f32 kernel for tiles of `row_bytes` bytes per row
+    /// reading streams built with the same `dedup` flag.
     pub fn new(row_bytes: usize, dedup: bool) -> Self {
+        Self::with_dtype(row_bytes, dedup, EmbedDtype::F32)
+    }
+
+    /// Creates a kernel whose EMT tile is stored as `dtype` rows.
+    /// `row_bytes` is the f32 output/cache row size (`N_c * 4`)
+    /// regardless of the EMT storage dtype.
+    pub fn with_dtype(row_bytes: usize, dedup: bool, dtype: EmbedDtype) -> Self {
         EmbeddingKernel {
             row_bytes,
             dedup,
+            dtype,
             tasks: HashMap::new(),
             scratch: HashMap::new(),
         }
+    }
+
+    /// Bytes per EMT row as stored in MRAM (the EMT region stride).
+    #[inline]
+    pub fn emt_row_bytes(&self) -> usize {
+        self.dtype.stored_row_bytes(self.row_bytes / 4)
     }
 
     /// Registers one DPU's launch parameters (and allocates its
@@ -124,50 +144,6 @@ impl EmbeddingKernel {
     }
 }
 
-/// Reads `len` bytes at (possibly unaligned) `addr` via aligned DMA
-/// into the staging buffer `out` (reusing its capacity), returning the
-/// offset of the first requested byte: the data is
-/// `&out[lead..lead + len]`. DMA chunking and charges are identical to
-/// reading through an owned buffer.
-fn read_padded_into(
-    ctx: &mut TaskletCtx<'_>,
-    addr: u32,
-    len: usize,
-    out: &mut Vec<u8>,
-) -> Result<usize, SimError> {
-    out.clear();
-    if len == 0 {
-        return Ok(0);
-    }
-    let start = addr & !7;
-    let end = (addr as usize + len + 7) & !7;
-    let window = end - start as usize;
-    out.resize(window, 0);
-    let mut off = 0usize;
-    while off < window {
-        let chunk = (window - off).min(2048);
-        ctx.mram_read(start + off as u32, &mut out[off..off + chunk])?;
-        off += chunk;
-    }
-    Ok((addr - start) as usize)
-}
-
-/// Reads two consecutive `u32` offsets at (possibly unaligned) `addr`
-/// through a stack window — the 8-byte request spans at most 16 aligned
-/// bytes, so this is always a single DMA, charged exactly like the
-/// general path.
-fn read_offset_pair(ctx: &mut TaskletCtx<'_>, addr: u32) -> Result<(u32, u32), SimError> {
-    let start = addr & !7;
-    let end = (addr as usize + 8 + 7) & !7;
-    let mut buf = [0u8; 16];
-    ctx.mram_read(start, &mut buf[..end - start as usize])?;
-    let lead = (addr - start) as usize;
-    Ok((
-        u32::from_le_bytes(buf[lead..lead + 4].try_into().expect("4-byte window")),
-        u32::from_le_bytes(buf[lead + 4..lead + 8].try_into().expect("4-byte window")),
-    ))
-}
-
 fn u32_at(buf: &[u8], idx: usize) -> u32 {
     u32::from_le_bytes([
         buf[4 * idx],
@@ -179,6 +155,16 @@ fn u32_at(buf: &[u8], idx: usize) -> u32 {
 
 impl EmbeddingKernel {
     /// CSR mode: each tasklet serves its own samples end to end.
+    ///
+    /// The whole read side (offset pairs, reference arrays, embedding
+    /// and cache rows) runs over a [`TaskletCtx::split_reader`] window:
+    /// every array is borrowed straight out of MRAM with zero staging
+    /// copies, while the matching DMA charges go through the split-off
+    /// [`upmem_sim::Charges`] — the same charge sequence the copying
+    /// path would issue, so modeled time is unchanged. The reader spans
+    /// everything below the output region (EMT, cache, input — the
+    /// layout places output last), which is exactly the kernel's read
+    /// footprint.
     fn run_csr(
         &self,
         ctx: &mut TaskletCtx<'_>,
@@ -190,44 +176,191 @@ impl EmbeddingKernel {
         let n_c = self.row_bytes / 4;
         let n_samples = task.n_samples as usize;
         let refs_base = task.input_base + (((n_samples + 1) * 4 + 7) & !7) as u32;
-        scr.row.resize(self.row_bytes, 0);
-        scr.out_row.resize(self.row_bytes, 0);
+        let erb = self.emt_row_bytes();
+        // Fast row path: when every row fetch is a single aligned DMA
+        // (the layout planner always produces this shape), rows are
+        // indexed straight out of the region slices and the per-row
+        // charges are issued in bulk after the loop — all charge
+        // counters are integers, so `n` identical charges and one
+        // multiplied charge are the same sum. Odd-shaped tasks (rows
+        // not a multiple of 8, oversized rows, misaligned bases) take
+        // the general per-row DMA path below, which reports the exact
+        // alignment/size errors the DMA engine would.
+        let align = upmem_sim::arch::DMA_ALIGN;
+        let fast = self.row_bytes.is_multiple_of(align)
+            && erb.is_multiple_of(align)
+            && self.row_bytes <= upmem_sim::arch::DMA_MAX_TRANSFER
+            && erb <= upmem_sim::arch::DMA_MAX_TRANSFER
+            && (task.emt_base as usize).is_multiple_of(align)
+            && (task.cache_base as usize).is_multiple_of(align);
         let mut s = t;
         while s < n_samples {
-            // offsets[s], offsets[s+1]
-            let (start, end) = read_offset_pair(ctx, task.input_base + (4 * s) as u32)?;
-            ctx.charge_int_ops(4);
-            let (start, end) = (start as usize, end as usize);
+            let (mram, ch) = ctx.split_reader(task.output_base as usize);
+            // offsets[s], offsets[s+1]: the 8-byte request spans at most
+            // 16 aligned bytes, always a single DMA.
+            let oaddr = task.input_base + (4 * s) as u32;
+            let ostart = oaddr & !7;
+            let oend = (oaddr as usize + 8 + 7) & !7;
+            let ow = mram.dma(ostart, oend - ostart as usize)?;
+            ch.charge_dma(oend - ostart as usize);
+            let olead = (oaddr - ostart) as usize;
+            let start = u32_at(&ow[olead..], 0) as usize;
+            let end = u32_at(&ow[olead..], 1) as usize;
+            ch.charge_int_ops(4);
             if end < start {
                 return Err(SimError::KernelFault(format!(
                     "sample {s}: offsets decrease ({start}..{end})"
                 )));
             }
             let n_refs = end - start;
-            let lead =
-                read_padded_into(ctx, refs_base + (4 * start) as u32, 4 * n_refs, &mut scr.io)?;
+            // Reference array: one contiguous borrow, charged as the
+            // same <= 2048 B DMA chunk series a staged read would use.
+            let raddr = refs_base + (4 * start) as u32;
+            let rstart = raddr & !7;
+            let rend = (raddr as usize + 4 * n_refs + 7) & !7;
+            let window = rend - rstart as usize;
+            let refs = if n_refs > 0 {
+                let refs = mram.window(rstart, window)?;
+                let mut off = 0usize;
+                while off < window {
+                    let chunk = (window - off).min(upmem_sim::arch::DMA_MAX_TRANSFER);
+                    ch.charge_dma(chunk);
+                    off += chunk;
+                }
+                &refs[(raddr - rstart) as usize..]
+            } else {
+                &[][..]
+            };
             scr.acc.clear();
             scr.acc.resize(n_c, 0.0);
-            ctx.charge_int_ops((n_c / 2) as u64);
-            for i in 0..n_refs {
-                let r = u32_at(&scr.io[lead..], i);
-                let slot = (r & !CACHE_REF_BIT) as usize;
-                let base = if r & CACHE_REF_BIT != 0 {
-                    task.cache_base
-                } else {
-                    task.emt_base
+            ch.charge_int_ops((n_c / 2) as u64);
+            // Loop bookkeeping is linear in iterations, so one bulk
+            // charge up front is bit-identical to charging inside the
+            // loop — and keeps the per-reference path to the fetch,
+            // the accumulate and their own charges.
+            ch.charge_loop(n_refs as u64);
+            if fast && n_refs > 0 {
+                let cache_rows = mram.tail(task.cache_base)?;
+                let emt_rows = mram.tail(task.emt_base)?;
+                let oob = |base: u32, off: usize, len: usize| SimError::MramOutOfBounds {
+                    addr: base + off as u32,
+                    len,
+                    capacity: mram.len(),
                 };
-                ctx.mram_read(base + (slot * self.row_bytes) as u32, &mut scr.row)?;
-                ctx.charge_loop(1);
-                for (a, chunk) in scr.acc.iter_mut().zip(scr.row.chunks_exact(4)) {
-                    *a += f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                let mut n_cache = 0u64;
+                let mut n_emt = 0u64;
+                match self.dtype {
+                    EmbedDtype::F32 => {
+                        // Cache and EMT rows have the same shape, so
+                        // one pair of bulk charges covers both regions.
+                        // Row addresses are resolved (and bounds-checked
+                        // with the DMA engine's exact error) up front,
+                        // then all rows accumulate in one fused SIMD
+                        // pass that keeps the accumulator in registers.
+                        let bank = mram.tail(0)?;
+                        scr.offs.clear();
+                        for i in 0..n_refs {
+                            let r = u32_at(refs, i);
+                            let off = (r & !CACHE_REF_BIT) as usize * self.row_bytes;
+                            let base = if r & CACHE_REF_BIT != 0 {
+                                n_cache += 1;
+                                task.cache_base
+                            } else {
+                                n_emt += 1;
+                                task.emt_base
+                            };
+                            let abs = base as usize + off;
+                            if abs + self.row_bytes > bank.len() {
+                                return Err(oob(base, off, self.row_bytes));
+                            }
+                            scr.offs.push(abs);
+                        }
+                        simd::sum_rows_le(&mut scr.acc, bank, &scr.offs);
+                        ch.charge_dma_repeat(self.row_bytes, n_cache + n_emt);
+                        ch.charge_accumulate_repeat(n_c as u64, n_cache + n_emt);
+                    }
+                    EmbedDtype::Int8 => {
+                        for i in 0..n_refs {
+                            let r = u32_at(refs, i);
+                            let slot = (r & !CACHE_REF_BIT) as usize;
+                            if r & CACHE_REF_BIT != 0 {
+                                // Cache rows stay f32 partial sums.
+                                let off = slot * self.row_bytes;
+                                let row = cache_rows
+                                    .get(off..off + self.row_bytes)
+                                    .ok_or_else(|| oob(task.cache_base, off, self.row_bytes))?;
+                                simd::add_assign_le(&mut scr.acc, row);
+                                n_cache += 1;
+                            } else {
+                                let off = slot * erb;
+                                let qrow = emt_rows
+                                    .get(off..off + erb)
+                                    .ok_or_else(|| oob(task.emt_base, off, erb))?;
+                                let (scale, min) = quant::row_params(qrow)
+                                    .map_err(|e| SimError::KernelFault(e.to_string()))?;
+                                simd::add_assign_dequant_u8(
+                                    &mut scr.acc,
+                                    &qrow[QROW_HEADER_BYTES..QROW_HEADER_BYTES + n_c],
+                                    scale,
+                                    min,
+                                );
+                                n_emt += 1;
+                            }
+                        }
+                        ch.charge_dma_repeat(self.row_bytes, n_cache);
+                        ch.charge_dma_repeat(erb, n_emt);
+                        ch.charge_accumulate_repeat(n_c as u64, n_cache);
+                        ch.charge_accumulate_u8_repeat(n_c as u64, n_emt);
+                    }
                 }
-                ctx.charge_accumulate(n_c as u64);
+            } else {
+                for i in 0..n_refs {
+                    let r = u32_at(refs, i);
+                    let slot = (r & !CACHE_REF_BIT) as usize;
+                    if r & CACHE_REF_BIT != 0 {
+                        // Cache rows are always stored as f32 partial sums.
+                        let row = mram.dma(
+                            task.cache_base + (slot * self.row_bytes) as u32,
+                            self.row_bytes,
+                        )?;
+                        ch.charge_dma(self.row_bytes);
+                        simd::add_assign_le(&mut scr.acc, row);
+                        ch.charge_accumulate(n_c as u64);
+                    } else {
+                        match self.dtype {
+                            EmbedDtype::F32 => {
+                                let row = mram.dma(
+                                    task.emt_base + (slot * self.row_bytes) as u32,
+                                    self.row_bytes,
+                                )?;
+                                ch.charge_dma(self.row_bytes);
+                                simd::add_assign_le(&mut scr.acc, row);
+                                ch.charge_accumulate(n_c as u64);
+                            }
+                            EmbedDtype::Int8 => {
+                                let qrow = mram.dma(task.emt_base + (slot * erb) as u32, erb)?;
+                                ch.charge_dma(erb);
+                                let (scale, min) = quant::row_params(qrow)
+                                    .map_err(|e| SimError::KernelFault(e.to_string()))?;
+                                simd::add_assign_dequant_u8(
+                                    &mut scr.acc,
+                                    &qrow[QROW_HEADER_BYTES..QROW_HEADER_BYTES + n_c],
+                                    scale,
+                                    min,
+                                );
+                                ch.charge_accumulate_u8(n_c as u64);
+                            }
+                        }
+                    }
+                }
             }
-            for (b, a) in scr.out_row.chunks_exact_mut(4).zip(scr.acc.iter()) {
+            let dst = ctx.mram_view_mut(
+                task.output_base + (s * self.row_bytes) as u32,
+                self.row_bytes,
+            )?;
+            for (b, a) in dst.chunks_exact_mut(4).zip(scr.acc.iter()) {
                 b.copy_from_slice(&a.to_le_bytes());
             }
-            ctx.mram_write(task.output_base + (s * self.row_bytes) as u32, &scr.out_row)?;
             ctx.charge_loop(1);
             s += n_tasklets;
         }
@@ -269,25 +402,17 @@ impl Kernel for EmbeddingKernel {
         let Some(task) = self.tasks.get(&ctx.dpu_id()).copied() else {
             return Ok(());
         };
-        self.with_scratch(ctx.dpu_id(), |scr| {
-            let t = ctx.tasklet_id();
-            let n_tasklets = ctx.n_tasklets();
-            let n_samples = task.n_samples as usize;
-            scr.out_row.resize(self.row_bytes, 0);
-            let mut s = t;
-            while s < n_samples {
-                let off = s * self.row_bytes;
-                {
-                    let shared = ctx.shared_wram();
-                    scr.out_row
-                        .copy_from_slice(&shared[off..off + self.row_bytes]);
-                }
-                ctx.mram_write(task.output_base + off as u32, &scr.out_row)?;
-                ctx.charge_loop(1);
-                s += n_tasklets;
-            }
-            Ok(())
-        })
+        let t = ctx.tasklet_id();
+        let n_tasklets = ctx.n_tasklets();
+        let n_samples = task.n_samples as usize;
+        let mut s = t;
+        while s < n_samples {
+            let off = s * self.row_bytes;
+            ctx.mram_write_from_shared(task.output_base + off as u32, off, self.row_bytes)?;
+            ctx.charge_loop(1);
+            s += n_tasklets;
+        }
+        Ok(())
     }
 }
 
@@ -305,81 +430,115 @@ impl EmbeddingKernel {
         let n_c = self.row_bytes / 4;
         let n_samples = task.n_samples as usize;
         let acc_bytes = n_samples * self.row_bytes;
+        // As in `run_csr`, the read side (header, tasklet stream,
+        // rows) is borrowed zero-copy from a split reader; the shared
+        // accumulator block comes from the same split, so row views
+        // stay alive across shared-WRAM accumulates. Charges mirror the
+        // staged-copy path exactly.
+        let (mram, shared, ch) = ctx.split_reader_shared(task.output_base as usize);
 
         // Tasklet 0 zeroes the shared accumulator block (the others
         // wait at a barrier on real hardware; launch overhead covers it).
         if t == 0 {
-            ctx.shared_wram()[..acc_bytes].fill(0);
-            ctx.charge_int_ops((n_samples * n_c / 2) as u64);
+            shared[..acc_bytes].fill(0);
+            ch.charge_int_ops((n_samples * n_c / 2) as u64);
         }
 
-        // Header: stream end-offsets for every tasklet.
-        let hlead = read_padded_into(ctx, task.input_base, (n_tasklets + 2) * 4, &mut scr.io)?;
-        ctx.charge_int_ops(4);
+        // Header: stream end-offsets for every tasklet (one padded DMA
+        // window — `MAX_TASKLETS + 2` u32s fit a single transfer).
+        let hbytes = (n_tasklets + 2) * 4;
+        let hwin = (hbytes + 7) & !7;
+        let hdr = mram.dma(task.input_base, hwin)?;
+        ch.charge_dma(hwin);
+        ch.charge_int_ops(4);
         let streams_base = task.input_base + (((n_tasklets + 2) * 4 + 7) & !7) as u32;
-        let start = u32_at(&scr.io[hlead..], t);
-        let end = u32_at(&scr.io[hlead..], t + 1);
+        let start = u32_at(hdr, t);
+        let end = u32_at(hdr, t + 1);
         if end < start {
             return Err(SimError::KernelFault(format!(
                 "tasklet {t}: stream ends before it starts ({start}..{end})"
             )));
         }
 
-        // Stream this tasklet's unique-row entries (chunked MRAM reads).
-        // The header has been consumed, so the staging buffer is reused.
+        // This tasklet's unique-row entries: one contiguous borrow,
+        // charged as the <= 2048 B DMA chunk series of a staged read.
         let slen = (end - start) as usize;
-        let slead = read_padded_into(ctx, streams_base + start, slen, &mut scr.io)?;
         if slen > 0 {
-            scr.row.resize(self.row_bytes, 0);
-            let n_entries = u32_at(&scr.io[slead..], 0) as usize;
-            ctx.charge_int_ops(2);
+            let saddr = streams_base + start;
+            let sstart = saddr & !7;
+            let send = (saddr as usize + slen + 7) & !7;
+            let swin = send - sstart as usize;
+            let sview = mram.window(sstart, swin)?;
+            let mut off = 0usize;
+            while off < swin {
+                let chunk = (swin - off).min(upmem_sim::arch::DMA_MAX_TRANSFER);
+                ch.charge_dma(chunk);
+                off += chunk;
+            }
+            let stream = &sview[(saddr - sstart) as usize..];
+            let n_entries = u32_at(stream, 0) as usize;
+            ch.charge_int_ops(2);
             let mut pos = 1usize; // u32 cursor
             for _ in 0..n_entries {
                 if (pos + 2) * 4 > slen {
                     return Err(SimError::KernelFault("truncated stream entry".into()));
                 }
-                let r = u32_at(&scr.io[slead..], pos);
-                let k = u32_at(&scr.io[slead..], pos + 1) as usize;
+                let r = u32_at(stream, pos);
+                let k = u32_at(stream, pos + 1) as usize;
                 pos += 2;
                 if (pos + k) * 4 > slen {
                     return Err(SimError::KernelFault("truncated sample id list".into()));
                 }
-                // Resolve the row address and fetch it once.
+                // Resolve the row address, fetch it once, and decode it
+                // to f32 once; it is added into every referencing
+                // sample below.
                 let slot = (r & !CACHE_REF_BIT) as usize;
-                let base = if r & CACHE_REF_BIT != 0 {
-                    task.cache_base
+                ch.charge_loop(1);
+                if r & CACHE_REF_BIT != 0 || self.dtype == EmbedDtype::F32 {
+                    let base = if r & CACHE_REF_BIT != 0 {
+                        task.cache_base
+                    } else {
+                        task.emt_base
+                    };
+                    let row = mram.dma(base + (slot * self.row_bytes) as u32, self.row_bytes)?;
+                    ch.charge_dma(self.row_bytes);
+                    scr.acc.clear();
+                    scr.acc.extend(
+                        row.chunks_exact(4)
+                            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk"))),
+                    );
                 } else {
-                    task.emt_base
-                };
-                let addr = base + (slot * self.row_bytes) as u32;
-                ctx.mram_read(addr, &mut scr.row)?;
-                ctx.charge_loop(1);
-                // Decode the row to f32 once; it is added into every
-                // referencing sample below.
-                scr.acc.clear();
-                scr.acc.extend(
-                    scr.row
-                        .chunks_exact(4)
-                        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk"))),
-                );
+                    // Quantized EMT row: fetch the narrow record and
+                    // dequantize into the per-entry decode buffer (the
+                    // dequantize cost rides on the u8 accumulate charge).
+                    let erb = self.emt_row_bytes();
+                    let qrow = mram.dma(task.emt_base + (slot * erb) as u32, erb)?;
+                    ch.charge_dma(erb);
+                    let (scale, min) = quant::row_params(qrow)
+                        .map_err(|e| SimError::KernelFault(e.to_string()))?;
+                    scr.acc.clear();
+                    scr.acc.resize(n_c, 0.0);
+                    simd::add_assign_dequant_u8(
+                        &mut scr.acc,
+                        &qrow[QROW_HEADER_BYTES..QROW_HEADER_BYTES + n_c],
+                        scale,
+                        min,
+                    );
+                    ch.charge_accumulate_u8(n_c as u64);
+                }
                 // Accumulate into each referencing sample's shared row
                 // (mutex-guarded on hardware; cost inside the charge).
                 for j in 0..k {
-                    let sample = u32_at(&scr.io[slead..], pos + j) as usize;
+                    let sample = u32_at(stream, pos + j) as usize;
                     if sample >= n_samples {
                         return Err(SimError::KernelFault(format!(
                             "sample id {sample} out of range {n_samples}"
                         )));
                     }
                     let off = sample * self.row_bytes;
-                    let shared = ctx.shared_wram();
                     let dst = &mut shared[off..off + self.row_bytes];
-                    for (d, &v) in dst.chunks_exact_mut(4).zip(scr.acc.iter()) {
-                        let cur =
-                            f32::from_le_bytes(<[u8; 4]>::try_from(&d[..]).expect("4-byte chunk"));
-                        d.copy_from_slice(&(cur + v).to_le_bytes());
-                    }
-                    ctx.charge_accumulate(n_c as u64);
+                    simd::add_assign_into_le(dst, &scr.acc);
+                    ch.charge_accumulate(n_c as u64);
                 }
                 pos += k;
             }
@@ -807,5 +966,156 @@ mod tests {
         let kernel = EmbeddingKernel::new(8, true); // no tasks registered
         let rep = sys.launch_all(&kernel).unwrap();
         assert_eq!(rep.total_dma_transfers(), 0);
+    }
+
+    /// Runs `rows` (dim 8) through one DPU with the given dtype and
+    /// stream format, returning the per-sample outputs and the launch
+    /// report.
+    fn run_dim8(
+        rows: &[Vec<f32>],
+        refs_per_sample: &[Vec<u32>],
+        dtype: EmbedDtype,
+        dedup: bool,
+    ) -> (Vec<Vec<f32>>, upmem_sim::LaunchReport) {
+        let n_c = 8usize;
+        let row_bytes = n_c * 4;
+        let mut sys = PimSystem::new(PimConfig::new(1, 4)).unwrap();
+        let dpu = DpuId(0);
+        let mut emt = Vec::new();
+        for r in rows {
+            assert_eq!(r.len(), n_c);
+            match dtype {
+                EmbedDtype::F32 => {
+                    for v in r {
+                        emt.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                EmbedDtype::Int8 => {
+                    let mut rec = vec![0u8; quant::quantized_row_bytes(n_c)];
+                    quant::quantize_row_into(r, &mut rec).unwrap();
+                    emt.extend_from_slice(&rec);
+                }
+            }
+        }
+        sys.load_mram(dpu, 0, &emt).unwrap();
+        let input_base = 8192u32;
+        sys.load_mram(dpu, input_base, &build_stream(refs_per_sample, 4, dedup))
+            .unwrap();
+        let output_base = 16384u32;
+        let mut kernel = EmbeddingKernel::with_dtype(row_bytes, dedup, dtype);
+        kernel.set_task(
+            dpu,
+            DpuTask {
+                emt_base: 0,
+                cache_base: 4096,
+                input_base,
+                output_base,
+                n_samples: refs_per_sample.len() as u32,
+            },
+        );
+        let rep = sys.launch_all(&kernel).unwrap();
+        let (bufs, _) = sys
+            .gather(&[(dpu, output_base, refs_per_sample.len() * row_bytes)])
+            .unwrap();
+        let outs = bufs[0]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect::<Vec<f32>>()
+            .chunks_exact(n_c)
+            .map(<[f32]>::to_vec)
+            .collect();
+        (outs, rep)
+    }
+
+    fn awkward_rows(n_rows: usize) -> Vec<Vec<f32>> {
+        (0..n_rows)
+            .map(|i| {
+                (0..8)
+                    .map(|j| ((i * 8 + j) as f32).sin() * 3.7 - 1.1)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Per-sample error budget: the sum of each referenced row's
+    /// quantization bound (summation adds the per-row errors).
+    fn int8_budget(rows: &[Vec<f32>], refs: &[u32]) -> f32 {
+        refs.iter()
+            .map(|&r| {
+                let row = &rows[r as usize];
+                let lo = row.iter().cloned().fold(f32::INFINITY, f32::min);
+                let hi = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let max_abs = lo.abs().max(hi.abs());
+                quant::max_abs_error_bound((hi - lo) / 255.0, max_abs)
+            })
+            .sum::<f32>()
+            * 1.5
+    }
+
+    #[test]
+    fn int8_csr_matches_f32_within_quant_bound() {
+        let rows = awkward_rows(24);
+        let refs: Vec<Vec<u32>> = vec![vec![0, 1, 2], vec![], vec![5], (0..24).collect()];
+        let (f32_out, _) = run_dim8(&rows, &refs, EmbedDtype::F32, false);
+        let (i8_out, _) = run_dim8(&rows, &refs, EmbedDtype::Int8, false);
+        for (s, sample_refs) in refs.iter().enumerate() {
+            let budget = int8_budget(&rows, sample_refs);
+            for (a, b) in f32_out[s].iter().zip(&i8_out[s]) {
+                assert!(
+                    (a - b).abs() <= budget,
+                    "sample {s}: |{a} - {b}| > {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_dedup_matches_f32_within_quant_bound() {
+        let rows = awkward_rows(16);
+        let refs: Vec<Vec<u32>> = vec![vec![0, 3, 3, 7], vec![3], vec![], vec![15, 0]];
+        let (f32_out, _) = run_dim8(&rows, &refs, EmbedDtype::F32, true);
+        let (i8_out, _) = run_dim8(&rows, &refs, EmbedDtype::Int8, true);
+        for (s, sample_refs) in refs.iter().enumerate() {
+            let budget = int8_budget(&rows, sample_refs);
+            for (a, b) in f32_out[s].iter().zip(&i8_out[s]) {
+                assert!(
+                    (a - b).abs() <= budget,
+                    "sample {s}: |{a} - {b}| > {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_csr_launch_is_strictly_cheaper_than_f32() {
+        // For n_c = 8 an int8 row is 16 B vs 32 B f32, and the fused
+        // dequantize-accumulate charges fewer instructions — both the
+        // DMA-engine bound and the pipeline bound shrink, so the launch
+        // must be strictly faster whichever bound binds.
+        let rows = awkward_rows(64);
+        let refs: Vec<Vec<u32>> = (0..32)
+            .map(|s| (0..8).map(|j| (s + j * 3) % 64).collect())
+            .collect();
+        let (_, f32_rep) = run_dim8(&rows, &refs, EmbedDtype::F32, false);
+        let (_, i8_rep) = run_dim8(&rows, &refs, EmbedDtype::Int8, false);
+        assert!(
+            i8_rep.wall_cycles.0 < f32_rep.wall_cycles.0,
+            "int8 {} !< f32 {}",
+            i8_rep.wall_cycles.0,
+            f32_rep.wall_cycles.0
+        );
+        assert!(i8_rep.total_dma_bytes() < f32_rep.total_dma_bytes());
+        assert!(i8_rep.total_instrs() < f32_rep.total_instrs());
+    }
+
+    #[test]
+    fn int8_constant_rows_are_exact() {
+        // scale = 0 rows reconstruct exactly, so integer-valued constant
+        // rows must sum bit-exactly even through the quantized path.
+        let rows: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32 + 1.0; 8]).collect();
+        let refs: Vec<Vec<u32>> = vec![vec![0, 1, 2, 3], vec![2]];
+        let (f32_out, _) = run_dim8(&rows, &refs, EmbedDtype::F32, false);
+        let (i8_out, _) = run_dim8(&rows, &refs, EmbedDtype::Int8, false);
+        assert_eq!(f32_out, i8_out);
     }
 }

@@ -42,7 +42,7 @@ use crate::kernel::{build_stream_into, DpuTask, EmbeddingKernel, StreamBuilder};
 use crate::pipeline::sequential_wall_ns;
 use crate::serve::{finish_report, PipelineMode, ServeReport, ServeScratch};
 use crate::telemetry::{MetricsRegistry, Snapshot};
-use dlrm_model::{EmbeddingTable, Matrix, QueryBatch};
+use dlrm_model::{simd, EmbeddingTable, Matrix, QueryBatch};
 use placement::{PlacementPlan, TIER_COLD, TIER_HOST, TIER_REPLICATED};
 use upmem_sim::{DpuId, Fleet, LaunchReport, TransferReport};
 
@@ -778,9 +778,7 @@ impl TieredEngine {
             for &(s, slot) in &scratch.host_refs[t] {
                 let row = &state.host_store[slot as usize * dim..(slot as usize + 1) * dim];
                 let out = pooled[t].row_mut(s as usize);
-                for (o, &v) in out.iter_mut().zip(row.iter()) {
-                    *o += v;
-                }
+                simd::add_assign(out, row);
                 host_adds += dim as u64;
             }
         }
@@ -796,9 +794,7 @@ impl TieredEngine {
                 for s in 0..b {
                     let row = &buf[off + s * row_bytes..off + (s + 1) * row_bytes];
                     let out = pooled[t].row_mut(s);
-                    for (o, chunk) in out.iter_mut().zip(row.chunks_exact(4)) {
-                        *o += f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-                    }
+                    simd::add_assign_le(out, row);
                     pim_adds += state.dim as u64;
                 }
                 off += b * row_bytes;

@@ -342,3 +342,110 @@ fn replicated_strategy_matches_reference_and_balances_a_hot_row() {
         "replication should balance the hot row: NU+R {rep_imb} vs NU {nu_imb}"
     );
 }
+
+#[test]
+fn int8_engine_tracks_f32_within_quant_bound() {
+    // Fractional-valued tables quantized to int8 must stay within the
+    // per-row quantization error budget end to end: the kernel fuses
+    // dequantize into the accumulate, so the worst case per output
+    // element is one quantization error per referenced row.
+    use dlrm_model::{quant, EmbedDtype};
+    let spec = DatasetSpec::goodreads().scaled_down(5000);
+    let (_, workload) = setup(&spec, 2, 2);
+    let tables: Vec<EmbeddingTable> = (0..2)
+        .map(|t| EmbeddingTable::random(spec.num_items, DIM, 2.5, 100 + t as u64).unwrap())
+        .collect();
+    // A valid per-reference bound for every column slice: quantization
+    // happens per n_c-wide slice, whose value range is contained in the
+    // whole row's range, so the whole-row bound dominates.
+    let row_bound = |table: &EmbeddingTable| -> f32 {
+        (0..table.rows())
+            .map(|r| {
+                let row = table.row(r as u64).unwrap();
+                let lo = row.iter().cloned().fold(f32::INFINITY, f32::min);
+                let hi = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                quant::max_abs_error_bound((hi - lo) / 255.0, lo.abs().max(hi.abs()))
+            })
+            .fold(0.0, f32::max)
+    };
+    let bounds: Vec<f32> = tables.iter().map(row_bound).collect();
+
+    let base = UpdlrmConfig::with_dpus(16, PartitionStrategy::Uniform).with_fixed_nc(8);
+    let mut f32_engine = UpdlrmEngine::from_workload(base.clone(), &tables, &workload).unwrap();
+    let mut i8_engine =
+        UpdlrmEngine::from_workload(base.with_embed_dtype(EmbedDtype::Int8), &tables, &workload)
+            .unwrap();
+    for batch in &workload.batches {
+        let (f32_out, _) = f32_engine.run_batch(batch).unwrap();
+        let (i8_out, _) = i8_engine.run_batch(batch).unwrap();
+        for (t, (a, b)) in f32_out.iter().zip(i8_out.iter()).enumerate() {
+            for s in 0..batch.batch_size() {
+                let budget = batch.sparse[t].sample(s).len() as f32 * bounds[t] * 1.5;
+                for (x, y) in a.row(s).iter().zip(b.row(s).iter()) {
+                    assert!(
+                        (x - y).abs() <= budget,
+                        "table {t} sample {s}: |{x} - {y}| > {budget}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn int8_stage2_strictly_below_f32() {
+    // At n_c = 8 an int8 EMT row DMA moves 16 B instead of 32 B and the
+    // fused dequantize-accumulate charges fewer pipeline instructions,
+    // so the modeled stage-2 time must strictly drop whichever bound
+    // (DMA engine or pipeline) binds. Uniform strategy keeps every
+    // lookup on the EMT path.
+    use dlrm_model::EmbedDtype;
+    let spec = DatasetSpec::goodreads().scaled_down(5000);
+    let (tables, workload) = setup(&spec, 2, 1);
+    let base = UpdlrmConfig::with_dpus(16, PartitionStrategy::Uniform).with_fixed_nc(8);
+    let mut f32_engine = UpdlrmEngine::from_workload(base.clone(), &tables, &workload).unwrap();
+    let mut i8_engine =
+        UpdlrmEngine::from_workload(base.with_embed_dtype(EmbedDtype::Int8), &tables, &workload)
+            .unwrap();
+    let (_, f32_b) = f32_engine.run_batch(&workload.batches[0]).unwrap();
+    let (_, i8_b) = i8_engine.run_batch(&workload.batches[0]).unwrap();
+    assert!(
+        i8_b.stage2_ns < f32_b.stage2_ns,
+        "int8 stage2 {} !< f32 stage2 {}",
+        i8_b.stage2_ns,
+        f32_b.stage2_ns
+    );
+    // Stage 1 (transfer) and stage 3 (gather/combine) are untouched by
+    // the EMT dtype: streams and outputs stay f32.
+    assert_eq!(i8_b.stage1_ns.to_bits(), f32_b.stage1_ns.to_bits());
+    assert_eq!(i8_b.stage3_ns.to_bits(), f32_b.stage3_ns.to_bits());
+}
+
+#[test]
+fn int8_constant_rows_stay_exact() {
+    // Constant rows quantize with scale = 0 and reconstruct exactly, so
+    // the int8 engine must agree with the f32 engine bit for bit.
+    use dlrm_model::EmbedDtype;
+    let spec = DatasetSpec::amazon_home().scaled_down(5000);
+    let (_, workload) = setup(&spec, 2, 1);
+    let tables: Vec<EmbeddingTable> = (0..2)
+        .map(|t| {
+            let mut table = EmbeddingTable::zeros(spec.num_items, DIM).unwrap();
+            for r in 0..spec.num_items {
+                let v = ((r * 7 + t * 3) % 13) as f32 - 6.0;
+                table.as_mut_slice()[r * DIM..(r + 1) * DIM].fill(v);
+            }
+            table
+        })
+        .collect();
+    let base = UpdlrmConfig::with_dpus(16, PartitionStrategy::Uniform).with_fixed_nc(8);
+    let mut f32_engine = UpdlrmEngine::from_workload(base.clone(), &tables, &workload).unwrap();
+    let mut i8_engine =
+        UpdlrmEngine::from_workload(base.with_embed_dtype(EmbedDtype::Int8), &tables, &workload)
+            .unwrap();
+    let (f32_out, _) = f32_engine.run_batch(&workload.batches[0]).unwrap();
+    let (i8_out, _) = i8_engine.run_batch(&workload.batches[0]).unwrap();
+    for (t, (a, b)) in f32_out.iter().zip(i8_out.iter()).enumerate() {
+        assert_eq!(a.as_slice(), b.as_slice(), "table {t}");
+    }
+}

@@ -39,6 +39,11 @@ pub struct CostModel {
     /// Additional instructions per accumulated element (packed 64-bit
     /// adds process two 32-bit lanes per op).
     pub accumulate_per_elem_instrs: f64,
+    /// Additional instructions per accumulated element when the source
+    /// operand is a quantized u8 row (eight 8-bit lanes unpack per
+    /// 64-bit load, so the dequantize-accumulate loop retires fewer
+    /// instructions per element than the fp32 path).
+    pub accumulate_per_elem_instrs_u8: f64,
     /// Cycles per native 32-bit integer ALU op.
     pub int_op_cycles: u64,
     /// Fixed instruction overhead per embedding-style loop iteration
@@ -82,6 +87,7 @@ impl Default for CostModel {
             fp32_add_cycles: 6,
             accumulate_base_instrs: 20,
             accumulate_per_elem_instrs: 0.5,
+            accumulate_per_elem_instrs_u8: 0.25,
             int_op_cycles: 1,
             loop_overhead_instrs: 8,
             launch_overhead_cycles: 12_000,

@@ -78,6 +78,16 @@ pub struct TaskletCtx<'a> {
     mram: &'a mut Mram,
     shared: &'a mut [u8],
     local: &'a mut [u8],
+    charges: Charges<'a>,
+}
+
+/// The cycle/DMA accounting half of a [`TaskletCtx`], separable from
+/// the MRAM borrow via [`TaskletCtx::split_reader`] so a kernel can
+/// hold zero-copy MRAM views *while* charging for the transfers they
+/// stand for. Every charge method is identical to its `TaskletCtx`
+/// counterpart — the context just delegates here.
+#[derive(Debug)]
+pub struct Charges<'a> {
     cost: &'a CostModel,
     stats: TaskletStats,
     /// One-entry memo `(len, dma_cycles, dma_engine_cycles)` for the
@@ -89,6 +99,240 @@ pub struct TaskletCtx<'a> {
     /// Same for vector accumulates of a fixed element count
     /// (`u64::MAX` marks "empty").
     acc_memo: (u64, u64),
+    /// Memo for quantized-u8 accumulates, kept separate from
+    /// [`Self::acc_memo`] so kernels mixing fp32 cache rows and int8
+    /// EMT rows do not thrash a single entry.
+    acc_u8_memo: (u64, u64),
+}
+
+impl<'a> Charges<'a> {
+    fn new(cost: &'a CostModel) -> Self {
+        Charges {
+            cost,
+            stats: TaskletStats::default(),
+            dma_memo: (0, 0, 0),
+            acc_memo: (u64::MAX, 0),
+            acc_u8_memo: (u64::MAX, 0),
+        }
+    }
+
+    /// Charges one DMA transfer of `len` bytes.
+    #[inline]
+    pub fn charge_dma(&mut self, len: usize) {
+        if self.dma_memo.0 != len {
+            self.dma_memo = (
+                len,
+                self.cost.dma_cycles(len).0,
+                self.cost.dma_engine_cycles(len).0,
+            );
+        }
+        self.stats.dma_cycles += self.dma_memo.1;
+        self.stats.dma_engine_cycles += self.dma_memo.2;
+        self.stats.dma_transfers += 1;
+        self.stats.dma_bytes += len as u64;
+        // Issuing a DMA costs a few pipeline instructions (address setup).
+        self.stats.instrs += 4 * self.cost.int_op_cycles;
+    }
+
+    /// Charges `n` identical DMA transfers of `len` bytes each. Every
+    /// counter increment of [`Charges::charge_dma`] is an integer, so
+    /// one multiplied charge equals `n` repeated charges exactly —
+    /// kernels whose inner loop issues only same-shaped transfers can
+    /// hoist the charging out of the loop without moving modeled time.
+    #[inline]
+    pub fn charge_dma_repeat(&mut self, len: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.dma_memo.0 != len {
+            self.dma_memo = (
+                len,
+                self.cost.dma_cycles(len).0,
+                self.cost.dma_engine_cycles(len).0,
+            );
+        }
+        self.stats.dma_cycles += n * self.dma_memo.1;
+        self.stats.dma_engine_cycles += n * self.dma_memo.2;
+        self.stats.dma_transfers += n;
+        self.stats.dma_bytes += n * len as u64;
+        self.stats.instrs += n * 4 * self.cost.int_op_cycles;
+    }
+
+    /// Charges `n` generic pipeline instructions (1 cycle slots each).
+    #[inline]
+    pub fn charge_instrs(&mut self, n: u64) {
+        self.stats.instrs += n;
+    }
+
+    /// Charges `n` native 32-bit integer ALU operations.
+    #[inline]
+    pub fn charge_int_ops(&mut self, n: u64) {
+        self.stats.instrs += n * self.cost.int_op_cycles;
+    }
+
+    /// Charges `n` software-emulated fp32 additions.
+    #[inline]
+    pub fn charge_fp32_adds(&mut self, n: u64) {
+        self.stats.instrs += n * self.cost.fp32_add_cycles;
+    }
+
+    /// Charges one vector-accumulate of `n_elems` elements.
+    #[inline]
+    pub fn charge_accumulate(&mut self, n_elems: u64) {
+        if self.acc_memo.0 != n_elems {
+            self.acc_memo = (
+                n_elems,
+                self.cost.accumulate_base_instrs
+                    + (self.cost.accumulate_per_elem_instrs * n_elems as f64).round() as u64,
+            );
+        }
+        self.stats.instrs += self.acc_memo.1;
+    }
+
+    /// Charges `n` vector-accumulates of `n_elems` elements each —
+    /// the multiplied form of [`Charges::charge_accumulate`] (integer
+    /// increments, so exactly `n` repeated charges).
+    #[inline]
+    pub fn charge_accumulate_repeat(&mut self, n_elems: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.acc_memo.0 != n_elems {
+            self.acc_memo = (
+                n_elems,
+                self.cost.accumulate_base_instrs
+                    + (self.cost.accumulate_per_elem_instrs * n_elems as f64).round() as u64,
+            );
+        }
+        self.stats.instrs += n * self.acc_memo.1;
+    }
+
+    /// Charges one dequantizing vector-accumulate of `n_elems`
+    /// quantized-u8 elements.
+    #[inline]
+    pub fn charge_accumulate_u8(&mut self, n_elems: u64) {
+        if self.acc_u8_memo.0 != n_elems {
+            self.acc_u8_memo = (
+                n_elems,
+                self.cost.accumulate_base_instrs
+                    + (self.cost.accumulate_per_elem_instrs_u8 * n_elems as f64).round() as u64,
+            );
+        }
+        self.stats.instrs += self.acc_u8_memo.1;
+    }
+
+    /// Charges `n` dequantizing vector-accumulates of `n_elems`
+    /// elements each — the multiplied form of
+    /// [`Charges::charge_accumulate_u8`].
+    #[inline]
+    pub fn charge_accumulate_u8_repeat(&mut self, n_elems: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.acc_u8_memo.0 != n_elems {
+            self.acc_u8_memo = (
+                n_elems,
+                self.cost.accumulate_base_instrs
+                    + (self.cost.accumulate_per_elem_instrs_u8 * n_elems as f64).round() as u64,
+            );
+        }
+        self.stats.instrs += n * self.acc_u8_memo.1;
+    }
+
+    /// Charges loop bookkeeping for `iters` iterations.
+    #[inline]
+    pub fn charge_loop(&mut self, iters: u64) {
+        self.stats.instrs += iters * self.cost.loop_overhead_instrs;
+    }
+}
+
+/// Read-only zero-copy window over the committed prefix of one DPU's
+/// MRAM bank, obtained from [`TaskletCtx::split_reader`]. Unlike the
+/// context methods, views taken here stay alive across further reads
+/// and across [`Charges`] calls — multiple immutable borrows coexist.
+///
+/// The reader spans `[0, end)` bytes fixed at split time; requests
+/// beyond that error instead of zero-extending (use
+/// [`TaskletCtx::mram_read`] for reads past the planned layout).
+#[derive(Debug, Clone, Copy)]
+pub struct MramReader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> MramReader<'a> {
+    /// Borrows one DMA transfer's window: same alignment and size rules
+    /// as [`Mram::check_dma`]. Charging is the caller's job
+    /// ([`Charges::charge_dma`] with the same `len`).
+    ///
+    /// # Errors
+    ///
+    /// Unaligned/oversized requests and requests past the reader's end.
+    #[inline]
+    pub fn dma(&self, addr: u32, len: usize) -> Result<&'a [u8]> {
+        if len > crate::arch::DMA_MAX_TRANSFER {
+            return Err(SimError::DmaTooLarge { len });
+        }
+        self.window(addr, len)
+    }
+
+    /// Borrows an aligned span that may exceed the single-transfer DMA
+    /// limit — the backing store is contiguous, so a multi-chunk read
+    /// needs only one borrow. The caller must charge the same chunk
+    /// series the copying path would ([`Charges::charge_dma`] per
+    /// `DMA_MAX_TRANSFER`-sized chunk).
+    ///
+    /// # Errors
+    ///
+    /// Unaligned requests and requests past the reader's end.
+    #[inline]
+    pub fn window(&self, addr: u32, len: usize) -> Result<&'a [u8]> {
+        let start = addr as usize;
+        if !start.is_multiple_of(crate::arch::DMA_ALIGN)
+            || !len.is_multiple_of(crate::arch::DMA_ALIGN)
+        {
+            return Err(SimError::UnalignedDma { addr, len });
+        }
+        let end = start + len;
+        if end > self.data.len() {
+            return Err(SimError::MramOutOfBounds {
+                addr,
+                len,
+                capacity: self.data.len(),
+            });
+        }
+        Ok(&self.data[start..end])
+    }
+
+    /// Borrows everything from DMA-aligned `addr` to the reader's end —
+    /// a region base for kernels that index fixed-stride rows directly
+    /// (each row access then needs only a range check against this
+    /// slice). Per-row charging stays the caller's job. An `addr` at or
+    /// past the end yields an empty slice: the caller's row bounds
+    /// check reports the miss with the row's own address.
+    ///
+    /// # Errors
+    ///
+    /// Unaligned `addr`.
+    #[inline]
+    pub fn tail(&self, addr: u32) -> Result<&'a [u8]> {
+        let start = addr as usize;
+        if !start.is_multiple_of(crate::arch::DMA_ALIGN) {
+            return Err(SimError::UnalignedDma { addr, len: 0 });
+        }
+        Ok(&self.data[start.min(self.data.len())..])
+    }
+
+    /// Total committed bytes visible to this reader.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the reader sees no committed bytes at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
 }
 
 impl<'a> TaskletCtx<'a> {
@@ -113,7 +357,45 @@ impl<'a> TaskletCtx<'a> {
     /// The cost model in effect (read-only).
     #[inline]
     pub fn cost(&self) -> &CostModel {
-        self.cost
+        self.charges.cost
+    }
+
+    /// Splits this context into a read-only MRAM window over the first
+    /// `end` bytes plus the charge counters — disjoint borrows, so a
+    /// kernel can keep rows, reference streams and offset arrays
+    /// borrowed from MRAM *simultaneously* while charging for the
+    /// transfers they stand for. The bank is grown (with zeros) to
+    /// `end` once up front, exactly like a read of never-written MRAM.
+    ///
+    /// Charges issued through the returned [`Charges`] are identical to
+    /// the context's own methods; a kernel using `dma`/`window` plus
+    /// the matching `charge_dma` calls is indistinguishable in modeled
+    /// time from one using [`TaskletCtx::mram_read`].
+    #[inline]
+    pub fn split_reader(&mut self, end: usize) -> (MramReader<'_>, &mut Charges<'a>) {
+        (
+            MramReader {
+                data: self.mram.frozen(end),
+            },
+            &mut self.charges,
+        )
+    }
+
+    /// Like [`TaskletCtx::split_reader`], but also hands out the shared
+    /// WRAM region — for barrier-phase kernels that accumulate borrowed
+    /// MRAM rows directly into shared accumulators.
+    #[inline]
+    pub fn split_reader_shared(
+        &mut self,
+        end: usize,
+    ) -> (MramReader<'_>, &mut [u8], &mut Charges<'a>) {
+        (
+            MramReader {
+                data: self.mram.frozen(end),
+            },
+            self.shared,
+            &mut self.charges,
+        )
     }
 
     /// DMA read from MRAM into a caller buffer, charging DMA latency.
@@ -121,10 +403,28 @@ impl<'a> TaskletCtx<'a> {
     /// # Errors
     ///
     /// Propagates alignment/size/bounds violations from [`Mram`].
+    #[inline]
     pub fn mram_read(&mut self, addr: u32, buf: &mut [u8]) -> Result<()> {
         self.mram.dma_read(addr, buf)?;
-        self.charge_dma(buf.len());
+        self.charges.charge_dma(buf.len());
         Ok(())
+    }
+
+    /// Zero-copy DMA read: borrows the MRAM window directly instead of
+    /// copying it into a caller buffer, with identical validation and
+    /// identical DMA charges to [`TaskletCtx::mram_read`] — modeled
+    /// time cannot tell the two apart; only the simulator's host-side
+    /// wall clock changes. The borrow ends at the next `&mut` context
+    /// call, so the pattern is fetch, consume, then charge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates alignment/size/bounds violations from [`Mram`].
+    #[inline]
+    pub fn mram_view(&mut self, addr: u32, len: usize) -> Result<&[u8]> {
+        Mram::check_dma(addr, len)?;
+        self.charges.charge_dma(len);
+        self.mram.dma_view(addr, len)
     }
 
     /// DMA write from a caller buffer into MRAM, charging DMA latency.
@@ -132,44 +432,68 @@ impl<'a> TaskletCtx<'a> {
     /// # Errors
     ///
     /// Propagates alignment/size/bounds violations from [`Mram`].
+    #[inline]
     pub fn mram_write(&mut self, addr: u32, buf: &[u8]) -> Result<()> {
         self.mram.dma_write(addr, buf)?;
-        self.charge_dma(buf.len());
+        self.charges.charge_dma(buf.len());
         Ok(())
     }
 
-    fn charge_dma(&mut self, len: usize) {
-        if self.dma_memo.0 != len {
-            self.dma_memo = (
-                len,
-                self.cost.dma_cycles(len).0,
-                self.cost.dma_engine_cycles(len).0,
-            );
-        }
-        self.stats.dma_cycles += self.dma_memo.1;
-        self.stats.dma_engine_cycles += self.dma_memo.2;
-        self.stats.dma_transfers += 1;
-        self.stats.dma_bytes += len as u64;
-        // Issuing a DMA costs a few pipeline instructions (address setup).
-        self.stats.instrs += 4 * self.cost.int_op_cycles;
+    /// Zero-copy DMA write: borrows a writable MRAM window so the
+    /// kernel serializes its result in place, with identical validation
+    /// and identical DMA charges to [`TaskletCtx::mram_write`] —
+    /// modeled time cannot tell the two apart. The caller must fill
+    /// the whole window (it is the bytes "transferred" by the DMA).
+    ///
+    /// # Errors
+    ///
+    /// Propagates alignment/size/bounds violations from [`Mram`].
+    #[inline]
+    pub fn mram_view_mut(&mut self, addr: u32, len: usize) -> Result<&mut [u8]> {
+        Mram::check_dma(addr, len)?;
+        self.charges.charge_dma(len);
+        self.mram.dma_view_mut(addr, len)
+    }
+
+    /// DMA write sourced from the shared-WRAM region: copies
+    /// `len` bytes at `shared_off` straight into MRAM without the
+    /// caller staging them in a private buffer first (the two regions
+    /// live behind the same `&mut self`, so a plain
+    /// [`TaskletCtx::mram_write`] would force that extra copy).
+    /// Validation and charges are identical to `mram_write`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates alignment/size/bounds violations from [`Mram`].
+    #[inline]
+    pub fn mram_write_from_shared(
+        &mut self,
+        addr: u32,
+        shared_off: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.mram
+            .dma_write(addr, &self.shared[shared_off..shared_off + len])?;
+        self.charges.charge_dma(len);
+        Ok(())
     }
 
     /// Charges `n` generic pipeline instructions (1 cycle slots each).
     #[inline]
     pub fn charge_instrs(&mut self, n: u64) {
-        self.stats.instrs += n;
+        self.charges.charge_instrs(n);
     }
 
     /// Charges `n` native 32-bit integer ALU operations.
     #[inline]
     pub fn charge_int_ops(&mut self, n: u64) {
-        self.stats.instrs += n * self.cost.int_op_cycles;
+        self.charges.charge_int_ops(n);
     }
 
     /// Charges `n` software-emulated fp32 additions (the DPU has no FPU).
     #[inline]
     pub fn charge_fp32_adds(&mut self, n: u64) {
-        self.stats.instrs += n * self.cost.fp32_add_cycles;
+        self.charges.charge_fp32_adds(n);
     }
 
     /// Charges one vector-accumulate of `n_elems` elements: a fixed
@@ -178,21 +502,25 @@ impl<'a> TaskletCtx<'a> {
     /// 64-bit integer path on fixed-point lanes).
     #[inline]
     pub fn charge_accumulate(&mut self, n_elems: u64) {
-        if self.acc_memo.0 != n_elems {
-            self.acc_memo = (
-                n_elems,
-                self.cost.accumulate_base_instrs
-                    + (self.cost.accumulate_per_elem_instrs * n_elems as f64).round() as u64,
-            );
-        }
-        self.stats.instrs += self.acc_memo.1;
+        self.charges.charge_accumulate(n_elems);
+    }
+
+    /// Charges one *dequantizing* vector-accumulate of `n_elems`
+    /// quantized-u8 elements: same fixed cost as
+    /// [`Self::charge_accumulate`], but the per-element slope uses
+    /// [`CostModel::accumulate_per_elem_instrs_u8`] — eight 8-bit lanes
+    /// unpack per 64-bit load, so the fused dequantize-accumulate loop
+    /// retires fewer instructions per element than the fp32 path.
+    #[inline]
+    pub fn charge_accumulate_u8(&mut self, n_elems: u64) {
+        self.charges.charge_accumulate_u8(n_elems);
     }
 
     /// Charges loop bookkeeping for `iters` iterations of an
     /// embedding-style loop (address computation, compare, branch).
     #[inline]
     pub fn charge_loop(&mut self, iters: u64) {
-        self.stats.instrs += iters * self.cost.loop_overhead_instrs;
+        self.charges.charge_loop(iters);
     }
 
     /// The WRAM region shared by all tasklets of this DPU.
@@ -210,7 +538,7 @@ impl<'a> TaskletCtx<'a> {
     /// Counters accumulated so far (mainly for tests).
     #[inline]
     pub fn stats(&self) -> &TaskletStats {
-        &self.stats
+        &self.charges.stats
     }
 }
 
@@ -327,17 +655,14 @@ impl Dpu {
                     mram: &mut self.mram,
                     shared,
                     local,
-                    cost,
-                    stats: TaskletStats::default(),
-                    dma_memo: (0, 0, 0),
-                    acc_memo: (u64::MAX, 0),
+                    charges: Charges::new(cost),
                 };
                 if phase == 0 {
                     kernel.run(&mut ctx)?;
                 } else {
                     kernel.finalize(&mut ctx)?;
                 }
-                *slot = ctx.stats;
+                *slot = ctx.charges.stats;
             }
         }
 

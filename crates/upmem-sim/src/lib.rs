@@ -66,7 +66,7 @@ pub mod stats;
 
 pub use arch::{Cycles, DpuId};
 pub use cost::CostModel;
-pub use dpu::{Dpu, Kernel, TaskletCtx};
+pub use dpu::{Charges, Dpu, Kernel, MramReader, TaskletCtx};
 pub use error::{Result, SimError};
 pub use fleet::{Fleet, RankCostModel, RankTopology};
 pub use host::{default_host_threads, PimConfig, PimSystem};

@@ -36,6 +36,7 @@ impl Mram {
     ///
     /// Returns the specific [`SimError`] for an empty, unaligned,
     /// oversized or out-of-bounds transfer.
+    #[inline]
     pub fn check_dma(addr: u32, len: usize) -> Result<()> {
         if len == 0 {
             return Err(SimError::EmptyDma);
@@ -57,6 +58,7 @@ impl Mram {
         Ok(())
     }
 
+    #[inline]
     fn ensure(&mut self, end: usize) {
         if self.data.len() < end {
             self.data.resize(end, 0);
@@ -68,6 +70,7 @@ impl Mram {
     /// # Errors
     ///
     /// Fails if the transfer violates DMA rules (see [`Mram::check_dma`]).
+    #[inline]
     pub fn dma_read(&self, addr: u32, buf: &mut [u8]) -> Result<()> {
         Self::check_dma(addr, buf.len())?;
         let start = addr as usize;
@@ -84,11 +87,65 @@ impl Mram {
         Ok(())
     }
 
+    /// Zero-copy DMA read: borrows `len` bytes at `addr` directly from
+    /// the backing store, growing it with zeros when the window extends
+    /// past the high-water mark (never-written MRAM reads as zeros,
+    /// exactly like [`Mram::dma_read`]). Validation and failure modes
+    /// are identical to `dma_read` — only the host-side copy is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transfer violates DMA rules (see [`Mram::check_dma`]).
+    #[inline]
+    pub fn dma_view(&mut self, addr: u32, len: usize) -> Result<&[u8]> {
+        Self::check_dma(addr, len)?;
+        let start = addr as usize;
+        self.ensure(start + len);
+        Ok(&self.data[start..start + len])
+    }
+
+    /// Mutable zero-copy DMA window: borrows `len` writable bytes at
+    /// `addr` so a kernel can serialize its result in place instead of
+    /// staging it in a scratch buffer and copying. Validation and
+    /// failure modes are identical to [`Mram::dma_write`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transfer violates DMA rules (see [`Mram::check_dma`]).
+    #[inline]
+    pub fn dma_view_mut(&mut self, addr: u32, len: usize) -> Result<&mut [u8]> {
+        Self::check_dma(addr, len)?;
+        let start = addr as usize;
+        self.ensure(start + len);
+        Ok(&mut self.data[start..start + len])
+    }
+
+    /// Grows the bank (with zeros) to at least `end` bytes and returns
+    /// the whole committed prefix as an immutable slice — the backing
+    /// store for a `MramReader` split (never-written MRAM reads as
+    /// zeros, exactly like [`Mram::dma_read`]).
+    #[inline]
+    pub fn frozen(&mut self, end: usize) -> &[u8] {
+        self.ensure(end.min(MRAM_CAPACITY));
+        &self.data
+    }
+
+    /// Host-side pre-commit: eagerly backs the first `end` bytes of the
+    /// bank (clamped to [`MRAM_CAPACITY`]) with zeroed storage. Purely a
+    /// simulator-host optimization — committing a planned layout up
+    /// front avoids repeated `Vec` regrowth (and whole-bank memcpys)
+    /// while the first launches push the high-water mark outward.
+    /// Functionally a no-op: unwritten MRAM reads as zeros either way.
+    pub fn commit(&mut self, end: usize) {
+        self.ensure(end.min(MRAM_CAPACITY));
+    }
+
     /// DMA write of `buf` starting at `addr`.
     ///
     /// # Errors
     ///
     /// Fails if the transfer violates DMA rules (see [`Mram::check_dma`]).
+    #[inline]
     pub fn dma_write(&mut self, addr: u32, buf: &[u8]) -> Result<()> {
         Self::check_dma(addr, buf.len())?;
         let start = addr as usize;

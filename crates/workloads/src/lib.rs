@@ -29,6 +29,7 @@
 pub mod arrival;
 pub mod import;
 pub mod io;
+pub mod pack;
 pub mod profile;
 pub mod spec;
 pub mod trace;
@@ -36,6 +37,7 @@ pub mod zipf;
 
 pub use arrival::{ArrivalProcess, ArrivalTrace, NS_PER_SEC};
 pub use import::{import_text_trace, ImportConfig};
+pub use pack::{save_packed, write_packed, PackError, PackedTables};
 pub use profile::FreqProfile;
 pub use spec::{CooccurConfig, DatasetSpec, Hotness};
 pub use trace::{TraceConfig, Workload};

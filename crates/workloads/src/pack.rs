@@ -1,0 +1,648 @@
+//! Zero-copy packed embedding-table persistence.
+//!
+//! Building realistic embedding tables dominates cold-start time: a
+//! GoodReads-scale table set is hundreds of megabytes of RNG output.
+//! This module persists built tables in a page-aligned binary format
+//! (`updlrm pack`) that loads by memory-mapping the file and handing
+//! out borrowed [`TableView`]s straight over the mapped bytes — no
+//! parse, no copy, no allocation proportional to table size.
+//!
+//! ## On-disk layout (version 1, little-endian)
+//!
+//! ```text
+//! 0..4     magic "UPTB"
+//! 4..8     format version (u32, = 1)
+//! 8..12    table count (u32)
+//! 12..16   reserved (zero)
+//! 16..24   FNV-1a 64 checksum over all table data sections, file order
+//! 24..     directory: per table { rows u64, dim u64, offset u64, bytes u64 }
+//! ```
+//!
+//! The header region is zero-padded to [`PAGE`] bytes and every table's
+//! f32 data section starts on a [`PAGE`]-aligned offset, so a mapped
+//! section reinterprets as `&[f32]` in place (little-endian hosts).
+//! Hosts where the in-place reinterpret is unavailable (big-endian, or
+//! a misaligned fallback read) decode into an owned buffer at open —
+//! same API, no silent wrong answers.
+//!
+//! Corrupt or foreign files are rejected with a typed [`PackError`]
+//! (bad magic, unsupported version, checksum mismatch, truncation);
+//! the CLI maps these to exit code 2 like every other argument error.
+
+use dlrm_model::{EmbeddingTable, TableView};
+use std::fmt;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Alignment of the header region and every data section.
+pub const PAGE: usize = 4096;
+
+/// File magic: "UPTB" (UpDLRM packed tables).
+pub const MAGIC: [u8; 4] = *b"UPTB";
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_FIXED: usize = 24;
+const DIR_ENTRY: usize = 32;
+
+/// Errors opening or validating a packed table file.
+#[derive(Debug)]
+pub enum PackError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The data sections do not hash to the header checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum computed over the file's data sections.
+        actual: u64,
+    },
+    /// Structurally invalid (truncated, overlapping or misaligned
+    /// sections, zero dimensions).
+    Malformed(String),
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::Io(e) => write!(f, "packed tables: {e}"),
+            PackError::BadMagic => write!(f, "packed tables: bad magic (not a UPTB file)"),
+            PackError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "packed tables: unsupported format version {v} (expected {FORMAT_VERSION})"
+                )
+            }
+            PackError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "packed tables: checksum mismatch (header {expected:#018x}, data {actual:#018x})"
+            ),
+            PackError::Malformed(m) => write!(f, "packed tables: malformed file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+impl From<std::io::Error> for PackError {
+    fn from(e: std::io::Error) -> Self {
+        PackError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes`, seeded by `state` (chain across
+/// sections by threading the return value back in).
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    state
+}
+
+/// FNV-1a offset basis.
+const FNV_SEED: u64 = 0xCBF2_9CE4_8422_2325;
+
+fn align_up(v: usize, a: usize) -> usize {
+    v.div_ceil(a) * a
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DirEntry {
+    rows: usize,
+    dim: usize,
+    offset: usize,
+    bytes: usize,
+}
+
+/// Serializes `tables` into the version-1 packed format.
+///
+/// # Errors
+///
+/// Propagates writer errors; rejects empty tables (which the format
+/// cannot represent).
+pub fn write_packed<W: Write>(tables: &[EmbeddingTable], w: &mut W) -> Result<(), PackError> {
+    let mut dir = Vec::with_capacity(tables.len());
+    let mut offset = align_up(HEADER_FIXED + tables.len() * DIR_ENTRY, PAGE);
+    for t in tables {
+        if t.rows() == 0 || t.dim() == 0 {
+            return Err(PackError::Malformed("empty table".into()));
+        }
+        let bytes = t.rows() * t.dim() * 4;
+        dir.push(DirEntry {
+            rows: t.rows(),
+            dim: t.dim(),
+            offset,
+            bytes,
+        });
+        offset = align_up(offset + bytes, PAGE);
+    }
+    let mut checksum = FNV_SEED;
+    let mut le_sections = Vec::with_capacity(tables.len());
+    for t in tables {
+        let le = t.to_le_bytes();
+        checksum = fnv1a(checksum, &le);
+        le_sections.push(le);
+    }
+
+    let header_len = align_up(HEADER_FIXED + tables.len() * DIR_ENTRY, PAGE);
+    let mut header = Vec::with_capacity(header_len);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&(tables.len() as u32).to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    header.extend_from_slice(&checksum.to_le_bytes());
+    for e in &dir {
+        header.extend_from_slice(&(e.rows as u64).to_le_bytes());
+        header.extend_from_slice(&(e.dim as u64).to_le_bytes());
+        header.extend_from_slice(&(e.offset as u64).to_le_bytes());
+        header.extend_from_slice(&(e.bytes as u64).to_le_bytes());
+    }
+    header.resize(header_len, 0);
+    w.write_all(&header)?;
+
+    let mut pos = header_len;
+    for (e, le) in dir.iter().zip(&le_sections) {
+        if pos < e.offset {
+            w.write_all(&vec![0u8; e.offset - pos])?;
+        }
+        w.write_all(le)?;
+        pos = e.offset + e.bytes;
+    }
+    Ok(())
+}
+
+/// Writes `tables` to `path` in the packed format (see [`write_packed`]).
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization errors.
+pub fn save_packed<P: AsRef<Path>>(tables: &[EmbeddingTable], path: P) -> Result<(), PackError> {
+    let mut f = File::create(path)?;
+    write_packed(tables, &mut f)?;
+    Ok(())
+}
+
+#[cfg(unix)]
+mod sys {
+    //! Minimal read-only `mmap` binding. `std` already links libc on
+    //! unix targets, so the raw symbols are available without adding a
+    //! crate dependency.
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// A read-only private file mapping, unmapped on drop.
+    #[derive(Debug)]
+    pub struct Map {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    // The mapping is immutable (PROT_READ, MAP_PRIVATE) for its whole
+    // lifetime, so shared references to it are safe across threads.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        /// Maps `len` bytes of `file` read-only, or `None` if the
+        /// kernel refuses (caller falls back to a buffered read).
+        pub fn new(file: &File, len: usize) -> Option<Map> {
+            if len == 0 {
+                return None;
+            }
+            // SAFETY: mapping a valid fd read-only with a null hint
+            // has no preconditions; failure returns MAP_FAILED.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 || ptr.is_null() {
+                None
+            } else {
+                Some(Map { ptr, len })
+            }
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: ptr/len describe a live PROT_READ mapping held
+            // for self's lifetime.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            // SAFETY: ptr/len came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// Backing storage of an opened packed file.
+#[derive(Debug)]
+enum Storage {
+    /// Memory-mapped file (the zero-copy path).
+    #[cfg(unix)]
+    Mapped(sys::Map),
+    /// Whole-file buffered read (fallback when mapping is unavailable).
+    Owned(Vec<u8>),
+}
+
+impl Storage {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Storage::Mapped(m) => m.as_slice(),
+            Storage::Owned(v) => v,
+        }
+    }
+}
+
+/// An opened packed table file: validated header plus backing bytes.
+///
+/// [`PackedTables::view`] hands out [`TableView`]s borrowing the
+/// backing storage directly — on the mmap path the table data is never
+/// copied into the heap.
+#[derive(Debug)]
+pub struct PackedTables {
+    storage: Storage,
+    dir: Vec<DirEntry>,
+    /// Per-table owned decode, populated only when the in-place f32
+    /// reinterpret is unavailable (big-endian host or misaligned
+    /// fallback buffer).
+    owned: Vec<Option<Vec<f32>>>,
+    mapped: bool,
+}
+
+impl PackedTables {
+    /// Opens and validates `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`PackError::BadMagic`], [`PackError::UnsupportedVersion`],
+    /// [`PackError::ChecksumMismatch`] or [`PackError::Malformed`] for
+    /// invalid files; [`PackError::Io`] for filesystem failures.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, PackError> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len() as usize;
+        let storage = match () {
+            #[cfg(unix)]
+            () => match sys::Map::new(&file, file_len) {
+                Some(m) => Storage::Mapped(m),
+                None => {
+                    let mut buf = Vec::with_capacity(file_len);
+                    file.read_to_end(&mut buf)?;
+                    Storage::Owned(buf)
+                }
+            },
+            #[cfg(not(unix))]
+            () => {
+                let mut buf = Vec::with_capacity(file_len);
+                file.read_to_end(&mut buf)?;
+                Storage::Owned(buf)
+            }
+        };
+        Self::from_storage(storage)
+    }
+
+    fn from_storage(storage: Storage) -> Result<Self, PackError> {
+        #[cfg(unix)]
+        let mapped = matches!(&storage, Storage::Mapped(_));
+        #[cfg(not(unix))]
+        let mapped = false;
+        let bytes = storage.bytes();
+        if bytes.len() < HEADER_FIXED {
+            return Err(PackError::Malformed("shorter than the fixed header".into()));
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(PackError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(PackError::UnsupportedVersion(version));
+        }
+        let n_tables = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let expected = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let dir_end = HEADER_FIXED + n_tables * DIR_ENTRY;
+        if bytes.len() < dir_end {
+            return Err(PackError::Malformed("truncated directory".into()));
+        }
+        let mut dir = Vec::with_capacity(n_tables);
+        let u = |i: usize| -> usize {
+            u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes")) as usize
+        };
+        for t in 0..n_tables {
+            let base = HEADER_FIXED + t * DIR_ENTRY;
+            let e = DirEntry {
+                rows: u(base),
+                dim: u(base + 8),
+                offset: u(base + 16),
+                bytes: u(base + 24),
+            };
+            if e.rows == 0 || e.dim == 0 {
+                return Err(PackError::Malformed(format!("table {t}: empty dimensions")));
+            }
+            if e.bytes != e.rows * e.dim * 4 {
+                return Err(PackError::Malformed(format!(
+                    "table {t}: section is {} bytes for {}x{}",
+                    e.bytes, e.rows, e.dim
+                )));
+            }
+            if !e.offset.is_multiple_of(PAGE) {
+                return Err(PackError::Malformed(format!(
+                    "table {t}: section offset {} not page-aligned",
+                    e.offset
+                )));
+            }
+            if e.offset < dir_end || e.offset + e.bytes > bytes.len() {
+                return Err(PackError::Malformed(format!(
+                    "table {t}: section {}..{} outside file of {} bytes",
+                    e.offset,
+                    e.offset + e.bytes,
+                    bytes.len()
+                )));
+            }
+            dir.push(e);
+        }
+        let mut actual = FNV_SEED;
+        for e in &dir {
+            actual = fnv1a(actual, &bytes[e.offset..e.offset + e.bytes]);
+        }
+        if actual != expected {
+            return Err(PackError::ChecksumMismatch { expected, actual });
+        }
+        // Decode eagerly wherever the zero-copy reinterpret is
+        // unavailable, so `view` is infallible.
+        let mut owned: Vec<Option<Vec<f32>>> = vec![None; dir.len()];
+        for (t, e) in dir.iter().enumerate() {
+            let section = &bytes[e.offset..e.offset + e.bytes];
+            if reinterpret_f32(section).is_none() {
+                owned[t] = Some(
+                    section
+                        .chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                        .collect(),
+                );
+            }
+        }
+        Ok(PackedTables {
+            storage,
+            dir,
+            owned,
+            mapped,
+        })
+    }
+
+    /// Number of tables in the file.
+    pub fn len(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// Whether the file holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.dir.is_empty()
+    }
+
+    /// Whether the backing storage is a memory mapping (as opposed to
+    /// the buffered-read fallback).
+    pub fn is_mapped(&self) -> bool {
+        self.mapped
+    }
+
+    /// A zero-copy view of table `t` (panics if `t` is out of range —
+    /// the count is validated at open).
+    pub fn view(&self, t: usize) -> TableView<'_> {
+        let e = self.dir[t];
+        let data: &[f32] = match &self.owned[t] {
+            Some(v) => v,
+            None => {
+                let section = &self.storage.bytes()[e.offset..e.offset + e.bytes];
+                reinterpret_f32(section).expect("checked reinterpretable at open")
+            }
+        };
+        TableView::new(e.rows, e.dim, data).expect("directory validated at open")
+    }
+
+    /// All tables as zero-copy views, in file order.
+    pub fn views(&self) -> Vec<TableView<'_>> {
+        (0..self.len()).map(|t| self.view(t)).collect()
+    }
+
+    /// Copies every table out into owned [`EmbeddingTable`]s (one
+    /// memcpy each) — for consumers that need ownership, e.g. engine
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Never fails on a file that passed [`PackedTables::open`]
+    /// validation; the `Result` mirrors [`EmbeddingTable::from_view`].
+    pub fn to_tables(&self) -> Result<Vec<EmbeddingTable>, dlrm_model::ModelError> {
+        (0..self.len())
+            .map(|t| EmbeddingTable::from_view(&self.view(t)))
+            .collect()
+    }
+}
+
+/// Reinterprets little-endian f32 bytes in place when the host layout
+/// allows it (little-endian and 4-byte aligned); `None` otherwise.
+fn reinterpret_f32(bytes: &[u8]) -> Option<&[f32]> {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: f32 has no invalid bit patterns and align_to verifies
+        // alignment; on a little-endian host the byte order matches the
+        // file format.
+        let (prefix, mid, suffix) = unsafe { bytes.align_to::<f32>() };
+        if prefix.is_empty() && suffix.is_empty() {
+            return Some(mid);
+        }
+        None
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let _ = bytes;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Seek, SeekFrom};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("updlrm-pack-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample_tables() -> Vec<EmbeddingTable> {
+        vec![
+            EmbeddingTable::random(37, 8, 1.5, 1).unwrap(),
+            EmbeddingTable::random_integer_valued(64, 16, 3, 2).unwrap(),
+            EmbeddingTable::random(5, 4, 0.25, 3).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let tables = sample_tables();
+        let path = tmp("roundtrip");
+        save_packed(&tables, &path).unwrap();
+        let packed = PackedTables::open(&path).unwrap();
+        assert_eq!(packed.len(), tables.len());
+        for (t, table) in tables.iter().enumerate() {
+            let v = packed.view(t);
+            assert_eq!(v.rows(), table.rows());
+            assert_eq!(v.dim(), table.dim());
+            let a: Vec<u32> = table.as_slice().iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = v.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "table {t}");
+        }
+        let owned = packed.to_tables().unwrap();
+        assert_eq!(owned, tables);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn two_writes_are_byte_identical() {
+        let tables = sample_tables();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_packed(&tables, &mut a).unwrap();
+        write_packed(&tables, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sections_are_page_aligned() {
+        let tables = sample_tables();
+        let mut buf = Vec::new();
+        write_packed(&tables, &mut buf).unwrap();
+        let n = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        assert_eq!(n, 3);
+        for t in 0..n {
+            let base = HEADER_FIXED + t * DIR_ENTRY;
+            let off = u64::from_le_bytes(buf[base + 16..base + 24].try_into().unwrap()) as usize;
+            assert_eq!(off % PAGE, 0, "table {t} offset {off}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOPE000000000000000000000000").unwrap();
+        assert!(matches!(
+            PackedTables::open(&path),
+            Err(PackError::BadMagic)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let tables = sample_tables();
+        let path = tmp("version");
+        save_packed(&tables, &path).unwrap();
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(4)).unwrap();
+        f.write_all(&99u32.to_le_bytes()).unwrap();
+        drop(f);
+        assert!(matches!(
+            PackedTables::open(&path),
+            Err(PackError::UnsupportedVersion(99))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_data_bit_fails_checksum() {
+        let tables = sample_tables();
+        let path = tmp("checksum");
+        save_packed(&tables, &path).unwrap();
+        // Flip one byte inside the first data section.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = u64::from_le_bytes(
+            bytes[HEADER_FIXED + 16..HEADER_FIXED + 24]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        bytes[off + 5] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            PackedTables::open(&path),
+            Err(PackError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let tables = sample_tables();
+        let path = tmp("truncated");
+        save_packed(&tables, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 64]).unwrap();
+        assert!(matches!(
+            PackedTables::open(&path),
+            Err(PackError::Malformed(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn view_partial_sum_matches_owned_table() {
+        let tables = sample_tables();
+        let path = tmp("psum");
+        save_packed(&tables, &path).unwrap();
+        let packed = PackedTables::open(&path).unwrap();
+        let idx = [0u64, 3, 3, 30];
+        let a = tables[0].partial_sum(&idx).unwrap();
+        let b = packed.view(0).partial_sum(&idx).unwrap();
+        let ab: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+        let bb: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(ab, bb);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_open_uses_mmap() {
+        let tables = sample_tables();
+        let path = tmp("mapped");
+        save_packed(&tables, &path).unwrap();
+        let packed = PackedTables::open(&path).unwrap();
+        assert!(packed.is_mapped(), "unix open should take the mmap path");
+        std::fs::remove_file(&path).ok();
+    }
+}

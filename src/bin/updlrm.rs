@@ -4,9 +4,11 @@
 //! updlrm run   [--dataset read] [--backend updlrm|cpu|hybrid|fae|hetero]
 //!              [--strategy u|nu|ca|nur] [--dpus 256] [--nc auto|2|4|8]
 //!              [--scale 200] [--batches 10] [--seed 7] [--host-threads N]
+//!              [--embed-dtype f32|int8] [--tables FILE]
 //!              [--pipeline sequential|doublebuf] [--queue-depth N]
 //!              [--plan FILE] [--iters 1] [--warmup 0] [--json FILE]
 //!              [--metrics FILE]
+//! updlrm pack  --out FILE [--dataset read] [--scale 200] [--seed 7]
 //! updlrm plan  --out FILE [--dataset read] [--scale 200] [--tables 8]
 //!              [--batches 10] [--seed 7] [--ranks 4] [--dpus-per-rank 64]
 //!              [--emt-kb N] [--host-kb N] [--replicate-top 64]
@@ -33,8 +35,10 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  updlrm run   [--dataset TAG] [--backend updlrm|cpu|hybrid|fae|hetero] \
          [--strategy u|nu|ca|nur] [--dpus N] [--nc auto|2|4|8] [--scale N] [--batches N] [--seed N] \
-         [--host-threads N] [--pipeline sequential|doublebuf] [--queue-depth N] \
+         [--host-threads N] [--embed-dtype f32|int8] [--tables FILE] \
+         [--pipeline sequential|doublebuf] [--queue-depth N] \
          [--plan FILE] [--iters N] [--warmup N] [--json FILE] [--metrics FILE]\n  \
+         updlrm pack  --out FILE [--dataset TAG] [--scale N] [--seed N]\n  \
          updlrm plan  --out FILE [--dataset TAG] [--scale N] [--tables N] [--batches N] [--seed N] \
          [--ranks N] [--dpus-per-rank N] [--emt-kb N] [--host-kb N] [--replicate-top N]\n  \
          updlrm plan  --load FILE\n  \
@@ -371,6 +375,62 @@ fn print_plan_summary(path: &str, plan: &PlacementPlan) {
     );
 }
 
+/// Parses `--embed-dtype` (default f32) into the EMT storage dtype.
+fn embed_dtype_or_exit(args: &Args) -> EmbedDtype {
+    let v = args.str("embed-dtype", "f32");
+    match EmbedDtype::parse(&v) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2)
+        }
+    }
+}
+
+/// Opens a packed table file, refusing foreign formats/versions and
+/// corrupt payloads with exit 2 before any row is consumed (the same
+/// contract `plan --load` and `stats` apply to their inputs).
+fn load_packed_or_exit(path: &str) -> PackedTables {
+    match PackedTables::open(path) {
+        Ok(p) => p,
+        Err(PackError::UnsupportedVersion(found)) => {
+            eprintln!(
+                "packed tables {path} use format v{found}, but this binary reads v1; \
+                 regenerate them with `updlrm pack --out {path}`",
+            );
+            std::process::exit(2)
+        }
+        Err(e) => {
+            eprintln!("invalid packed tables {path}: {e}");
+            std::process::exit(2)
+        }
+    }
+}
+
+/// `updlrm pack`: write the deterministic embedding tables for a
+/// dataset/scale/seed to the page-aligned on-disk format, so later
+/// `run --tables FILE` invocations mmap them instead of regenerating.
+/// Rows are always stored as f32 — int8 quantization happens at engine
+/// load, so one packed file serves both `--embed-dtype` modes.
+fn cmd_pack(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(out) = args.flags.get("out") else {
+        eprintln!("pack needs --out FILE");
+        usage()
+    };
+    let (spec, _, model) = build_setting(args)?;
+    save_packed(model.tables(), out)?;
+    let bytes: usize = model.tables().iter().map(|t| t.rows() * t.dim() * 4).sum();
+    println!(
+        "packed {} tables ({} rows x {} dims, {:.1} MB) for {} to {out}",
+        model.tables().len(),
+        spec.num_items,
+        model.tables()[0].dim(),
+        bytes as f64 / 1e6,
+        spec.name,
+    );
+    Ok(())
+}
+
 fn cmd_plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = args.flags.get("load") {
         let plan = load_plan_or_exit(path);
@@ -433,6 +493,13 @@ fn cmd_run_plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let backend_name = args.str("backend", "updlrm");
     if backend_name != "updlrm" {
         eprintln!("--plan requires --backend updlrm (got '{backend_name}')");
+        std::process::exit(2)
+    }
+    if args.flag_set("embed-dtype") || args.flag_set("tables") {
+        // The tiered plan engine stores all tiers as f32 and rebuilds
+        // its tables from the plan's provenance; refusing here beats
+        // silently ignoring the flags.
+        eprintln!("--embed-dtype / --tables do not apply to `run --plan`");
         std::process::exit(2)
     }
     let path = args.flags.get("plan").expect("cmd_run checked --plan");
@@ -572,12 +639,32 @@ fn cmd_run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if args.flag_set("plan") {
         return cmd_run_plan(args);
     }
-    let (spec, workload, model) = build_setting(args)?;
+    let (spec, workload, mut model) = build_setting(args)?;
+    if let Some(path) = args.flags.get("tables") {
+        let packed = load_packed_or_exit(path);
+        let dlrm = Arc::get_mut(&mut model).expect("model not yet shared");
+        let want: Vec<(usize, usize)> = dlrm.tables().iter().map(|t| (t.rows(), t.dim())).collect();
+        let got: Vec<(usize, usize)> = (0..packed.len())
+            .map(|t| (packed.view(t).rows(), packed.view(t).dim()))
+            .collect();
+        if want != got {
+            eprintln!(
+                "packed tables {path} do not match this run's model shape \
+                 (packed {got:?}, model wants {want:?}); \
+                 regenerate them with `updlrm pack` at the same --dataset/--scale/--seed",
+            );
+            std::process::exit(2)
+        }
+        for (slot, view) in dlrm.tables_mut().iter_mut().zip(packed.views()) {
+            *slot = EmbeddingTable::from_view(&view)?;
+        }
+    }
     let profiles: Vec<FreqProfile> = (0..8)
         .map(|t| FreqProfile::from_inputs(spec.num_items, workload.table_inputs(t)))
         .collect();
     let strategy = strategy_or_exit(args);
     let mut config = UpdlrmConfig::with_dpus(args.num("dpus", 256), strategy);
+    config.embed_dtype = embed_dtype_or_exit(args);
     match args.str("nc", "auto").as_str() {
         "auto" => {}
         v => config.n_c = Some(v.parse()?),
@@ -1384,6 +1471,7 @@ fn main() -> ExitCode {
     let args = Args::parse(rest);
     let result = match cmd.as_str() {
         "run" => cmd_run(&args),
+        "pack" => cmd_pack(&args),
         "plan" => cmd_plan(&args),
         "serve" => cmd_serve(&args),
         "stats" => cmd_stats(&args),

@@ -74,7 +74,9 @@ pub mod prelude {
         LatencyReport, UpdlrmBackend,
     };
     pub use cooccur_cache::{CacheList, CacheListSet, CooccurGraph, MinerConfig, PartialSumCache};
-    pub use dlrm_model::{Dlrm, DlrmConfig, EmbeddingTable, Matrix, QueryBatch, SparseInput};
+    pub use dlrm_model::{
+        simd, Dlrm, DlrmConfig, EmbedDtype, EmbeddingTable, Matrix, QueryBatch, SparseInput,
+    };
     pub use placement::{
         plan as plan_placement, Catalog, PlacementPlan, PlanError, PlanProvenance, PlannerConfig,
         TableDesc, PLAN_SCHEMA_VERSION,
@@ -88,7 +90,7 @@ pub mod prelude {
     };
     pub use upmem_sim::{CostModel, DpuId, PimConfig, PimSystem, RankCostModel, RankTopology};
     pub use workloads::{
-        ArrivalProcess, ArrivalTrace, DatasetSpec, FreqProfile, Hotness, TraceConfig, Workload,
-        ZipfSampler, NS_PER_SEC,
+        save_packed, ArrivalProcess, ArrivalTrace, DatasetSpec, FreqProfile, Hotness, PackError,
+        PackedTables, TraceConfig, Workload, ZipfSampler, NS_PER_SEC,
     };
 }
