@@ -1,0 +1,487 @@
+//! Drift-resilience bench: p99 under hot-set rotation, with and
+//! without live re-partitioning (DESIGN.md §4.11).
+//!
+//! Three arms deploy the same naive uniform partition — each
+//! contiguous hot set lands almost entirely on a single DPU — and
+//! differ only in what they serve and whether the replanner runs:
+//!
+//! * `steady-replan` — traffic never drifts; the replanner's first
+//!   refit balances the placement and later refits keep it balanced.
+//!   This arm defines the p99 baseline.
+//! * `rotate-replan` — the hot set rotates, walking the bottleneck
+//!   across DPUs; the periodic replanner refits to the sliding window
+//!   and migrates EMT shards between DPUs mid-serving.
+//! * `rotate-static` — same rotating traffic, replanner off. The
+//!   deployment-time partition stays stale and the backlog compounds
+//!   for the whole trace.
+//!
+//! Asserted on modeled time (the drift-resilience gate CI runs):
+//!
+//! 1. p99(rotate-replan) / p99(steady-replan) <= 2.0 — replanning
+//!    bounds the degradation;
+//! 2. p99(rotate-static) / p99(steady-replan) > 2.0 — the control
+//!    really degrades, so gate 1 is not vacuously true;
+//! 3. the rotate-replan arm actually migrated (counters nonzero) and
+//!    two runs of it produce identical reports + drift counters.
+//!
+//! The *measured* number tracked across PRs is wall time per offered
+//! request around engine build + `Scheduler::run` (a fresh engine per
+//! iteration, since replanning mutates placement). It lands in
+//! `BENCH_drift.json` at the repo root. Flags (same protocol as
+//! `sched_sweep`):
+//!
+//! * `--smoke` — short timing window, same traces and gates
+//! * `--check FILE` — compare against FILE's rows; exit nonzero on a
+//!   >20% ns/request regression; do not write output
+//! * `--baseline-label S` — label adopted rows when FILE had no baseline
+//! * `--out FILE` — output path (default: repo-root JSON)
+
+use std::hint::black_box;
+
+use bench::timing;
+use dlrm_model::EmbeddingTable;
+use scheduler::{OverloadPolicy, SchedConfig, SchedReport, Scheduler};
+use serde::Value;
+use updlrm_core::{DriftSnapshot, PartitionStrategy, ReplanPolicy, UpdlrmConfig, UpdlrmEngine};
+use workloads::{
+    ArrivalProcess, DatasetSpec, DriftSchedule, HotSetRotation, TraceConfig, Workload,
+};
+
+const NUM_TABLES: usize = 4;
+/// 16 DPUs per table: the 32-wide rows tile into 4 column slices
+/// (n_c = 8), leaving 4 row parts per table — enough that a stale hot
+/// set concentrated on one row part visibly caps throughput.
+const NR_DPUS: usize = 64;
+const DIM: usize = 32;
+const MAX_BATCH: usize = 32;
+const MAX_WAIT_NS: u64 = 200_000;
+const QUEUE_CAP: usize = 512;
+const ARRIVAL_SEED: u64 = 7;
+
+/// Hot-set geometry: 4 sets of 256 rows over goodreads/2000 (1180
+/// rows), 60% of lookups redirected into the active set. A uniform
+/// partition puts ~295 contiguous rows on each of the 4 row parts, so
+/// each hot set lands almost entirely on one part — and rotation
+/// walks that bottleneck across the parts.
+const NUM_SETS: usize = 4;
+const SET_SIZE: usize = 256;
+const HOT_FRACTION: f64 = 0.6;
+/// Offered load as a fraction of the balanced engine's probed
+/// capacity: comfortably below a fit placement, above a stale one.
+const LOAD_FRAC: f64 = 0.6;
+/// Replanner cadence in served batches.
+const REPLAN_EVERY: u64 = 4;
+/// Rotation period in offered requests (so in modeled time it scales
+/// with the probed capacity): several replan windows per rotation.
+const ROT_REQUESTS: f64 = 512.0;
+
+struct Sweep {
+    window_ms: u64,
+}
+
+const FULL: Sweep = Sweep { window_ms: 300 };
+// Smoke trims only the timing window: the traces, arms and gates are
+// identical, so the CI smoke run exercises the exact committed
+// scenario and its rows stay comparable at the same trace length.
+const SMOKE: Sweep = Sweep { window_ms: 30 };
+
+/// Trace length: 32 generator batches x 64 samples = 2048 requests
+/// per arm, i.e. four full rotations at `ROT_REQUESTS`.
+const TRACE_BATCHES: usize = 32;
+
+#[derive(serde::Serialize)]
+struct Row {
+    /// Arm name (the baseline key).
+    arm: String,
+    offered_qps: f64,
+    achieved_qps: f64,
+    completed: u64,
+    batches: u64,
+    mean_batch_size: f64,
+    p50_latency_us: f64,
+    p99_latency_us: f64,
+    /// p99 relative to the steady-replan arm.
+    p99_vs_steady: f64,
+    replans_triggered: u64,
+    replans_skipped: u64,
+    migrations_completed: u64,
+    rows_moved: u64,
+    migrated_kb: f64,
+    migration_us: f64,
+    /// Wall time per offered request around engine build + run (the
+    /// software cost this bench tracks across PRs).
+    measured_ns_per_request: f64,
+    /// ns/request of the carried baseline row, 0.0 when none matched.
+    baseline_ns_per_request: f64,
+    /// baseline / measured; 0.0 when no baseline row matched.
+    speedup_vs_baseline: f64,
+}
+
+fn drift(num_sets: usize, period_ns: u64) -> DriftSchedule {
+    DriftSchedule {
+        rotation: Some(HotSetRotation {
+            num_sets,
+            set_size: SET_SIZE,
+            period_ns,
+            hot_fraction: HOT_FRACTION,
+        }),
+        spikes: Vec::new(),
+        diurnal: None,
+    }
+}
+
+fn gen(spec: &DatasetSpec, num_sets: usize, period_ns: u64, qps: f64) -> Workload {
+    Workload::generate_drifting(
+        spec,
+        TraceConfig {
+            num_tables: NUM_TABLES,
+            num_batches: TRACE_BATCHES,
+            ..TraceConfig::default()
+        },
+        drift(num_sets, period_ns),
+        ArrivalProcess::poisson(qps, ARRIVAL_SEED),
+    )
+}
+
+/// All three arms deploy the same naive uniform partition; only
+/// `replan` differs. The replanner's first refit upgrades it to a
+/// frequency-balanced placement, the static arm keeps it forever.
+fn engine(
+    tables: &[EmbeddingTable],
+    deploy: &Workload,
+    strategy: PartitionStrategy,
+    replan: bool,
+) -> UpdlrmEngine {
+    let mut config = UpdlrmConfig::with_dpus(NR_DPUS, strategy)
+        .with_host_threads(1)
+        .with_telemetry();
+    if replan {
+        config = config.with_replan(ReplanPolicy::Periodic {
+            every_batches: REPLAN_EVERY,
+        });
+    }
+    config.batch_size = MAX_BATCH;
+    UpdlrmEngine::from_workload(config, tables, deploy).expect("engine builds")
+}
+
+fn sched() -> Scheduler {
+    Scheduler::new(SchedConfig {
+        max_batch_size: MAX_BATCH,
+        max_wait_ns: MAX_WAIT_NS,
+        queue_cap: QUEUE_CAP,
+        // Block, not shed: under a stale placement the queue backs up
+        // and the backlog lands in the latency histogram instead of
+        // being quietly dropped.
+        policy: OverloadPolicy::Block,
+    })
+    .expect("valid config")
+}
+
+/// One arm, fresh engine (replanning mutates placement, so engines
+/// are single-use). Returns the report and the drift counters.
+fn run_arm(
+    tables: &[EmbeddingTable],
+    deploy: &Workload,
+    wl: &Workload,
+    strategy: PartitionStrategy,
+    replan: bool,
+) -> (SchedReport, DriftSnapshot) {
+    let mut eng = engine(tables, deploy, strategy, replan);
+    let report = sched().run(&mut eng, wl, |_, _, _, _| {}).expect("runs");
+    (report, eng.metrics_snapshot().drift)
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// arm -> measured ns/request, hand-parsed so schema drift across PRs
+/// never breaks reading old files.
+fn parse_rows(rows: &Value) -> Vec<(String, f64)> {
+    let Value::Array(rows) = rows else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|r| {
+            let Value::Str(arm) = r.get("arm")? else {
+                return None;
+            };
+            let ns = num(r.get("measured_ns_per_request")?)?;
+            Some((arm.clone(), ns))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut smoke = false;
+    let mut check: Option<String> = None;
+    let mut baseline_label = "previous run".to_string();
+    let default_out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_drift.json")
+        .to_string_lossy()
+        .into_owned();
+    let mut out_path = default_out;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = Some(args.next().expect("--check needs a file")),
+            "--baseline-label" => {
+                baseline_label = args.next().expect("--baseline-label needs a value")
+            }
+            "--out" => out_path = args.next().expect("--out needs a file"),
+            "--bench" => {} // passed by `cargo bench`
+            other => eprintln!("ignoring unknown arg {other}"),
+        }
+    }
+    let sweep = if smoke { SMOKE } else { FULL };
+
+    // Cargo runs bench binaries from the package directory, so resolve
+    // relative paths against the repo root — CI passes plain
+    // `BENCH_drift.json` and means the committed file.
+    let rooted = |p: String| {
+        if std::path::Path::new(&p).is_relative() {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(&p)
+                .to_string_lossy()
+                .into_owned()
+        } else {
+            p
+        }
+    };
+    let check = check.map(rooted);
+    let out_path = rooted(out_path);
+
+    let baseline_src = check.clone().unwrap_or_else(|| out_path.clone());
+    let old: Option<Value> = std::fs::read_to_string(&baseline_src)
+        .ok()
+        .and_then(|s| serde::json::from_str(&s).ok());
+    // In check mode a missing or malformed baseline is a failure, not
+    // a free pass — CI relies on this to keep the committed trajectory
+    // file honest.
+    if check.is_some() {
+        let usable = old
+            .as_ref()
+            .and_then(|v| v.get("rows"))
+            .map(parse_rows)
+            .is_some_and(|rows| !rows.is_empty());
+        if !usable {
+            eprintln!("check: baseline {baseline_src} is missing, malformed, or has no rows");
+            std::process::exit(1);
+        }
+    }
+    let (baseline_rows, baseline_value, label) = match &old {
+        Some(v) => {
+            let rows = v.get("rows").map(parse_rows).unwrap_or_default();
+            if rows.is_empty() {
+                (Vec::new(), None, baseline_label.clone())
+            } else {
+                (rows, v.get("rows").cloned(), baseline_label.clone())
+            }
+        }
+        None => (Vec::new(), None, baseline_label.clone()),
+    };
+
+    let spec = DatasetSpec::goodreads().scaled_down(2000);
+    let tables: Vec<EmbeddingTable> = (0..NUM_TABLES)
+        .map(|t| EmbeddingTable::random_integer_valued(spec.num_items, DIM, 3, t as u64).unwrap())
+        .collect();
+
+    // Capacity probe: steady traffic offered far above anything
+    // serveable to a frequency-balanced engine; back-to-back full
+    // batches make achieved QPS the balanced service capacity — the
+    // reference the load fraction is set against.
+    let probe_wl = gen(&spec, 1, u64::MAX, 1e9);
+    let (probe, _) = run_arm(
+        &tables,
+        &probe_wl,
+        &probe_wl,
+        PartitionStrategy::NonUniform,
+        false,
+    );
+    let capacity_qps = probe.achieved_qps;
+    let offered = capacity_qps * LOAD_FRAC;
+    let period_ns = (ROT_REQUESTS / offered * 1e9) as u64;
+    println!(
+        "drift sweep: {NUM_TABLES} tables x {NR_DPUS} DPUs, goodreads/2000, \
+         {NUM_SETS}x{SET_SIZE} hot sets @ {HOT_FRACTION} hot, balanced capacity {capacity_qps:.0} qps, \
+         offering {offered:.0} qps, rotating every {:.1} ms{}",
+        period_ns as f64 / 1e6,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // The deployment-time trace the engines are fit to, and the two
+    // serving traces. Steady = the same geometry with the rotation
+    // pinned to set 0.
+    let deploy_wl = gen(&spec, 1, u64::MAX, offered);
+    let steady_wl = deploy_wl.clone();
+    let rotate_wl = gen(&spec, NUM_SETS, period_ns, offered);
+
+    let arms: [(&str, &Workload, bool); 3] = [
+        ("steady-replan", &steady_wl, true),
+        ("rotate-replan", &rotate_wl, true),
+        ("rotate-static", &rotate_wl, false),
+    ];
+
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    let mut results: Vec<(&str, SchedReport, DriftSnapshot)> = Vec::new();
+    for (arm, wl, replan) in arms {
+        // Determinism identity before anything is timed: the whole
+        // serving path — including mid-stream migration — runs on
+        // modeled time only, so two runs agree exactly.
+        let (report, dsnap) = run_arm(&tables, &deploy_wl, wl, PartitionStrategy::Uniform, replan);
+        let (report_b, dsnap_b) =
+            run_arm(&tables, &deploy_wl, wl, PartitionStrategy::Uniform, replan);
+        assert_eq!(report, report_b, "{arm}: reports differ across runs");
+        assert_eq!(dsnap, dsnap_b, "{arm}: drift counters differ across runs");
+
+        let m = timing::run_with_window(&format!("drift/{arm}"), sweep.window_ms, || {
+            black_box(run_arm(
+                black_box(&tables),
+                black_box(&deploy_wl),
+                black_box(wl),
+                PartitionStrategy::Uniform,
+                replan,
+            ));
+        });
+        let measured = m.mean_ns / report.requests as f64;
+        let base = baseline_rows
+            .iter()
+            .find(|(a, _)| a == arm)
+            .map(|(_, ns)| *ns)
+            .unwrap_or(0.0);
+        let speedup = if base > 0.0 { base / measured } else { 0.0 };
+        println!(
+            "  {arm:<14} achieved {:>8.0} qps  p50 {:>8.1} us  p99 {:>9.1} us  \
+             replans {:>2} ({} skipped)  migrations {:>2}  {measured:>7.1} ns/request{}",
+            report.achieved_qps,
+            report.p50_latency_ns / 1e3,
+            report.p99_latency_ns / 1e3,
+            dsnap.replans_triggered,
+            dsnap.replans_skipped,
+            dsnap.migrations_completed,
+            if base > 0.0 {
+                format!("  {speedup:.2}x vs baseline")
+            } else {
+                String::new()
+            }
+        );
+        if base > 0.0 && measured > base * 1.20 {
+            regressions.push(format!(
+                "{arm}: {measured:.1} ns/request vs baseline {base:.1} (+{:.0}%)",
+                (measured / base - 1.0) * 100.0
+            ));
+        }
+        rows.push(Row {
+            arm: arm.to_string(),
+            offered_qps: offered,
+            achieved_qps: report.achieved_qps,
+            completed: report.completed,
+            batches: report.batches,
+            mean_batch_size: report.mean_batch_size,
+            p50_latency_us: report.p50_latency_ns / 1e3,
+            p99_latency_us: report.p99_latency_ns / 1e3,
+            p99_vs_steady: 0.0, // filled below once the baseline arm is known
+            replans_triggered: dsnap.replans_triggered,
+            replans_skipped: dsnap.replans_skipped,
+            migrations_completed: dsnap.migrations_completed,
+            rows_moved: dsnap.rows_moved,
+            migrated_kb: dsnap.migrated_bytes as f64 / 1024.0,
+            migration_us: dsnap.migration_ns / 1e3,
+            measured_ns_per_request: measured,
+            baseline_ns_per_request: base,
+            speedup_vs_baseline: speedup,
+        });
+        results.push((arm, report, dsnap));
+    }
+
+    // The drift-resilience gate, asserted on modeled time.
+    let at = |arm: &str| results.iter().find(|(a, _, _)| *a == arm).unwrap();
+    let steady = &at("steady-replan").1;
+    let (_, replan_rep, replan_drift) = at("rotate-replan");
+    let (_, static_rep, static_drift) = at("rotate-static");
+    let ratio_replan = replan_rep.p99_latency_ns / steady.p99_latency_ns;
+    let ratio_static = static_rep.p99_latency_ns / steady.p99_latency_ns;
+    for row in &mut rows {
+        row.p99_vs_steady = match row.arm.as_str() {
+            "rotate-replan" => ratio_replan,
+            "rotate-static" => ratio_static,
+            _ => 1.0,
+        };
+    }
+    println!(
+        "gate: p99 rotate-replan {ratio_replan:.2}x steady (<= 2.0 required), \
+         rotate-static {ratio_static:.2}x (> 2.0 required)"
+    );
+    assert!(
+        replan_drift.migrations_completed >= 1 && replan_drift.rows_moved > 0,
+        "rotate-replan arm never migrated — the gate would be vacuous: {replan_drift:?}"
+    );
+    assert_eq!(
+        *static_drift,
+        DriftSnapshot::default(),
+        "static control must not replan"
+    );
+    assert!(
+        ratio_replan <= 2.0,
+        "drift-resilience gate: p99 under rotation with replanning is \
+         {ratio_replan:.2}x steady (limit 2.0x)"
+    );
+    assert!(
+        ratio_static > 2.0,
+        "anti-vacuous gate: the static control only degraded to \
+         {ratio_static:.2}x steady — the scenario no longer stresses placement"
+    );
+
+    if let Some(path) = check {
+        if regressions.is_empty() {
+            println!("check vs {path}: OK (no >20% ns/request regression)");
+            return;
+        }
+        eprintln!("check vs {path}: REGRESSION");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+
+    let mut doc: Vec<(String, Value)> = vec![
+        ("bench".into(), Value::Str("drift_sweep".into())),
+        ("dataset".into(), Value::Str("goodreads/2000".into())),
+        ("nr_dpus".into(), Value::UInt(NR_DPUS as u64)),
+        ("num_tables".into(), Value::UInt(NUM_TABLES as u64)),
+        ("dim".into(), Value::UInt(DIM as u64)),
+        ("max_batch".into(), Value::UInt(MAX_BATCH as u64)),
+        ("num_sets".into(), Value::UInt(NUM_SETS as u64)),
+        ("set_size".into(), Value::UInt(SET_SIZE as u64)),
+        ("hot_fraction".into(), Value::Float(HOT_FRACTION)),
+        ("load_frac".into(), Value::Float(LOAD_FRAC)),
+        ("replan_every_batches".into(), Value::UInt(REPLAN_EVERY)),
+        ("rotation_period_ns".into(), Value::UInt(period_ns)),
+        ("capacity_qps".into(), Value::Float(capacity_qps)),
+        ("offered_qps".into(), Value::Float(offered)),
+        ("p99_ratio_replan".into(), Value::Float(ratio_replan)),
+        ("p99_ratio_static".into(), Value::Float(ratio_static)),
+        ("smoke".into(), Value::Bool(smoke)),
+        (
+            "rows".into(),
+            Value::Array(rows.iter().map(serde::Serialize::to_value).collect()),
+        ),
+    ];
+    if let Some(b) = baseline_value {
+        doc.push(("baseline_label".into(), Value::Str(label)));
+        doc.push(("baseline_rows".into(), b));
+    }
+    let json = serde::json::to_string_pretty(&Value::Object(doc));
+    match std::fs::write(&out_path, json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("warning: cannot write {out_path}: {e}"),
+    }
+}

@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use crate::partition::PartitionStrategy;
+use crate::replan::ReplanPolicy;
 use crate::serve::PipelineMode;
 use cooccur_cache::MinerConfig;
 use dlrm_model::EmbedDtype;
@@ -78,6 +79,12 @@ pub struct UpdlrmConfig {
     /// and its per-lookup row DMA, dequantizing on the fly inside the
     /// kernel's accumulate.
     pub embed_dtype: EmbedDtype,
+    /// Online re-partitioning policy (DESIGN.md §4.11). Anything but
+    /// [`ReplanPolicy::Off`] makes the engine keep a host-side copy of
+    /// the tables, accumulate a sliding-window access profile, and
+    /// reserve double-buffered EMT/cache MRAM regions so a stale
+    /// placement can be migrated mid-serving and flipped atomically.
+    pub replan: ReplanPolicy,
 }
 
 impl Default for UpdlrmConfig {
@@ -104,6 +111,7 @@ impl Default for UpdlrmConfig {
             queue_depth: 2,
             telemetry: false,
             embed_dtype: EmbedDtype::F32,
+            replan: ReplanPolicy::Off,
         }
     }
 }
@@ -161,6 +169,12 @@ impl UpdlrmConfig {
         self.embed_dtype = dtype;
         self
     }
+
+    /// Returns a copy with the given online re-partitioning policy.
+    pub fn with_replan(mut self, policy: ReplanPolicy) -> Self {
+        self.replan = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +197,8 @@ mod tests {
         // unless quantization is requested.
         assert!(!c.telemetry);
         assert_eq!(c.embed_dtype, EmbedDtype::F32);
+        // Placement is static unless replanning is opted into.
+        assert_eq!(c.replan, ReplanPolicy::Off);
     }
 
     #[test]

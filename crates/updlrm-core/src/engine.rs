@@ -20,11 +20,12 @@ use crate::config::UpdlrmConfig;
 use crate::error::{CoreError, Result};
 use crate::kernel::{build_stream_into, DpuTask, EmbeddingKernel, StreamBuilder, CACHE_REF_BIT};
 use crate::partition::{self, PartitionStrategy, RowAssignment};
+use crate::replan::{self, ReplanPolicy};
 use crate::telemetry::{MetricsRegistry, Snapshot};
 use crate::tiling::{Tiling, TilingProblem};
 use cooccur_cache::{CacheHit, CacheListSet, CooccurGraph, LookupScratch, PartialSumCache};
 use dlrm_model::{quant, simd, Dlrm, EmbedDtype, EmbeddingTable, Matrix, QueryBatch};
-use upmem_sim::{DpuId, LaunchReport, PimConfig, PimSystem};
+use upmem_sim::{Cycles, DpuId, LaunchReport, PimConfig, PimSystem};
 use workloads::{FreqProfile, Workload};
 
 /// Per-batch latency breakdown of the embedding layer (Fig. 10).
@@ -103,6 +104,9 @@ struct CacheState {
     entry_slot: Vec<u32>,
     cache_rows_per_part: Vec<u32>,
     placed_lists: usize,
+    /// The truncated mined list set, kept so a replan can re-place and
+    /// re-materialize the cache from fresh window frequencies.
+    lists: CacheListSet,
 }
 
 /// Number of MRAM staging slots per DPU: slot 0 serves `run_batch` and
@@ -118,7 +122,16 @@ struct TableState {
     /// Rows replicated into every partition, in replica-slot order.
     replicas: Vec<u32>,
     dpu_base: usize,
-    cache_base: u32,
+    /// Double-buffered EMT region bases, indexed by the engine's
+    /// `active_emt`. Equal when replanning is off (one region).
+    emt_bases: [u32; 2],
+    /// Double-buffered cache region bases; equal when replanning is off.
+    cache_bases: [u32; 2],
+    /// Rows each EMT region holds (replica block + largest partition) —
+    /// the per-partition capacity a replan plans against.
+    emt_region_rows: usize,
+    /// Combination rows each cache region holds per partition.
+    cache_region_rows: usize,
     /// Per staging slot: (reference-stream base, partial-sum base).
     slots: [(u32, u32); STAGING_SLOTS],
     dim: usize,
@@ -136,6 +149,227 @@ impl TableState {
     fn output_base(&self, slot: usize) -> u32 {
         self.slots[slot].1
     }
+}
+
+/// The per-DPU MRAM region plan shared by every (partition, slice) of
+/// one table. Produced by [`compute_regions`]; the property tests in
+/// [`crate::replan`] pin down that all regions are pairwise disjoint —
+/// in particular that a migration scatter into the inactive EMT/cache
+/// regions can never touch what the active regions are serving.
+pub(crate) struct MramRegions {
+    pub(crate) emt_bases: [u32; 2],
+    pub(crate) cache_bases: [u32; 2],
+    pub(crate) slots: [(u32, u32); STAGING_SLOTS],
+    pub(crate) emt_region_rows: usize,
+    pub(crate) cache_region_rows: usize,
+}
+
+/// Plans one DPU's MRAM regions: `[EMT A | (EMT B) | cache A |
+/// (cache B) | slot0 input | slot0 output | slot1 input | slot1
+/// output]`. With `replan` set the EMT and cache regions are
+/// double-buffered: region B is the staging target a migration
+/// scatters the re-partitioned tiles into while region A serves.
+///
+/// The EMT regions are sized with headroom — up to twice the live
+/// footprint, bounded by half the configured EMT capacity so the pair
+/// never exceeds the single-region budget — because a rebalanced plan
+/// rarely has the same largest partition as the old one. The cache
+/// regions are sized at the placement capacity bound so any replanned
+/// cache layout fits.
+pub(crate) struct RegionSpec {
+    /// Double-buffer the EMT and cache regions for live migration.
+    pub(crate) replan: bool,
+    /// Largest live EMT footprint (replica block + largest partition), rows.
+    pub(crate) emt_rows_max: usize,
+    /// Configured per-DPU EMT capacity bound, rows.
+    pub(crate) emt_cap_rows: usize,
+    /// Stored bytes per EMT row slice (dtype-dependent).
+    pub(crate) emt_row_bytes: usize,
+    /// Largest live cache footprint across partitions, rows.
+    pub(crate) cache_rows_max: usize,
+    /// Placement capacity bound for the cache region, rows.
+    pub(crate) cache_cap_rows: usize,
+    /// Bytes per f32 cache row slice.
+    pub(crate) row_bytes: usize,
+    /// Per-slot input staging reservation, bytes.
+    pub(crate) input_reserve_bytes: usize,
+    /// Per-slot output staging reservation, bytes.
+    pub(crate) output_bytes: usize,
+}
+
+pub(crate) fn compute_regions(
+    spec: &RegionSpec,
+) -> std::result::Result<MramRegions, upmem_sim::SimError> {
+    let emt_region_rows = if spec.replan {
+        spec.emt_rows_max
+            .max((spec.emt_cap_rows / 2).min(spec.emt_rows_max * 2))
+    } else {
+        spec.emt_rows_max
+    };
+    let cache_region_rows = if spec.replan {
+        spec.cache_rows_max.max(spec.cache_cap_rows)
+    } else {
+        spec.cache_rows_max
+    };
+    let mut layout = upmem_sim::MramLayout::new();
+    let emt_a = layout.reserve(emt_region_rows * spec.emt_row_bytes)?;
+    let emt_b = if spec.replan {
+        layout.reserve(emt_region_rows * spec.emt_row_bytes)?
+    } else {
+        emt_a
+    };
+    let cache_a = layout.reserve(cache_region_rows * spec.row_bytes)?;
+    let cache_b = if spec.replan && cache_region_rows > 0 {
+        layout.reserve(cache_region_rows * spec.row_bytes)?
+    } else {
+        cache_a
+    };
+    let mut slots = [(0u32, 0u32); STAGING_SLOTS];
+    for slot in &mut slots {
+        let input = layout.reserve(spec.input_reserve_bytes)?;
+        let output = layout.reserve(spec.output_bytes)?;
+        *slot = (input, output);
+    }
+    Ok(MramRegions {
+        emt_bases: [emt_a, emt_b],
+        cache_bases: [cache_a, cache_b],
+        slots,
+        emt_region_rows,
+        cache_region_rows,
+    })
+}
+
+/// Serializes one `(partition, column slice)` EMT tile — the shared
+/// replica block followed by the partition's local rows, at the
+/// configured dtype — appending to `buf`. Shared by the initial
+/// (untimed) load and the migration scatter so both produce
+/// byte-identical tiles for the same placement.
+fn build_emt_tile(
+    table: &EmbeddingTable,
+    dtype: EmbedDtype,
+    n_c: usize,
+    c: usize,
+    replicas: &[u32],
+    local_rows: &[u32],
+    buf: &mut Vec<u8>,
+) -> Result<()> {
+    let emt_row_bytes = dtype.stored_row_bytes(n_c);
+    let mut qrec = vec![0u8; emt_row_bytes];
+    for &r in replicas.iter().chain(local_rows.iter()) {
+        let row = table.row(r as u64)?;
+        let slice = &row[c * n_c..(c + 1) * n_c];
+        match dtype {
+            EmbedDtype::F32 => {
+                for &v in slice {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            EmbedDtype::Int8 => {
+                quant::quantize_row_into(slice, &mut qrec)?;
+                buf.extend_from_slice(&qrec);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serializes one partition's cache-region column slice (always f32),
+/// appending to `buf`. `entries` is the partition's store-entry list
+/// in cache-slot order.
+fn build_cache_tile(
+    store: &PartialSumCache,
+    entries: &[usize],
+    n_c: usize,
+    c: usize,
+    buf: &mut Vec<u8>,
+) {
+    for &e in entries {
+        let vec = &store.entries()[e].vector;
+        for &v in &vec[c * n_c..(c + 1) * n_c] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Inverts cache entry maps into per-partition slot order: element
+/// `[p][s]` is the store entry at slot `s` of partition `p`'s cache
+/// region.
+fn entries_in_parts(
+    entry_part: &[u32],
+    entry_slot: &[u32],
+    cache_rows_per_part: &[u32],
+) -> Vec<Vec<usize>> {
+    let mut v: Vec<Vec<usize>> = cache_rows_per_part
+        .iter()
+        .map(|&n| vec![0; n as usize])
+        .collect();
+    for (e, (&p, &s)) in entry_part.iter().zip(entry_slot.iter()).enumerate() {
+        v[p as usize][s as usize] = e;
+    }
+    v
+}
+
+/// Assigns cache slots for a cache-aware placement: combos of one list
+/// are consecutive in the owning partition's cache region, in the same
+/// (list-major, mask-minor) order the store enumerates.
+fn cache_entry_maps(ca: &partition::CacheAwareAssignment) -> (Vec<u32>, Vec<u32>) {
+    let parts = ca.cache_rows_per_part.len();
+    let mut next_slot = vec![0u32; parts];
+    let mut entry_part = Vec::new();
+    let mut entry_slot = Vec::new();
+    for (l, list) in ca.placed_lists.lists.iter().enumerate() {
+        let p = ca.list_part[l];
+        let combos = list.num_combinations() as u32;
+        for i in 0..combos {
+            entry_part.push(p);
+            entry_slot.push(next_slot[p as usize] + i);
+        }
+        next_slot[p as usize] += combos;
+    }
+    (entry_part, entry_slot)
+}
+
+/// New cache layout staged by a pending migration (cache-aware tables
+/// only): the re-materialized store plus its entry maps, installed at
+/// the flip.
+struct CacheFlip {
+    store: PartialSumCache,
+    entry_part: Vec<u32>,
+    entry_slot: Vec<u32>,
+    cache_rows_per_part: Vec<u32>,
+    placed_lists: usize,
+}
+
+/// One table's staged placement: the new row assignment and replica
+/// block whose tiles already sit in the inactive MRAM regions.
+struct TableFlip {
+    assignment: RowAssignment,
+    replicas: Vec<u32>,
+    cache: Option<CacheFlip>,
+}
+
+/// An in-flight migration: the staged per-table placements and the
+/// modeled instant the scatter completes, at which point
+/// [`UpdlrmEngine::on_tick`] performs the atomic flip.
+struct PendingMigration {
+    done_at_ns: u64,
+    tables: Vec<TableFlip>,
+}
+
+/// Replanner state, present only when
+/// [`UpdlrmConfig::replan`](crate::config::UpdlrmConfig) is enabled.
+struct DriftState {
+    /// Sliding-window access profile per table, accumulated by
+    /// `route_batch` and reset at every replan decision.
+    window: Vec<FreqProfile>,
+    /// Batches folded into the current window.
+    batches_in_window: u64,
+    /// The migration currently in flight, if any (at most one).
+    pending: Option<PendingMigration>,
+    /// Telemetry snapshot taken mid-first-migration (between the
+    /// scatter and the flip) — the drift-snapshot golden the CI
+    /// byte-compares.
+    first_snapshot: Option<Snapshot>,
 }
 
 /// Host-side counters from stage-1 routing of one batch. The routed
@@ -273,6 +507,13 @@ pub struct UpdlrmEngine {
     /// record call a single branch. Arenas are preallocated here so the
     /// hooks stay allocation-free in steady state.
     pub(crate) metrics: MetricsRegistry,
+    /// Host-resident table copies, kept only when replanning is enabled
+    /// (the migration scatter rebuilds tiles from them).
+    host_tables: Vec<EmbeddingTable>,
+    /// Which EMT/cache region pair is serving (`emt_bases[active_emt]`).
+    active_emt: usize,
+    /// Replanner state; `None` unless `config.replan` is enabled.
+    drift: Option<DriftState>,
 }
 
 impl std::fmt::Debug for UpdlrmEngine {
@@ -381,8 +622,8 @@ impl UpdlrmEngine {
                         kernel.set_task(
                             state.dpu(p, c),
                             DpuTask {
-                                emt_base: 0,
-                                cache_base: state.cache_base,
+                                emt_base: state.emt_bases[0],
+                                cache_base: state.cache_bases[0],
                                 input_base: state.input_base(slot),
                                 output_base: state.output_base(slot),
                                 n_samples: 0,
@@ -414,6 +655,19 @@ impl UpdlrmEngine {
         }
 
         let metrics = MetricsRegistry::new(config.telemetry, config.nr_dpus);
+        let (host_tables, drift) = if config.replan.enabled() {
+            (
+                tables.to_vec(),
+                Some(DriftState {
+                    window: tables.iter().map(|t| FreqProfile::new(t.rows())).collect(),
+                    batches_in_window: 0,
+                    pending: None,
+                    first_snapshot: None,
+                }),
+            )
+        } else {
+            (Vec::new(), None)
+        };
         Ok(UpdlrmEngine {
             sys,
             config,
@@ -428,6 +682,9 @@ impl UpdlrmEngine {
             },
             serve_scratch: crate::serve::ServeScratch::default(),
             metrics,
+            host_tables,
+            active_emt: 0,
+            drift,
         })
     }
 
@@ -507,6 +764,9 @@ impl UpdlrmEngine {
         let parts = tiling.row_parts;
         let emt_cap_rows = config.emt_capacity_bytes / emt_row_bytes;
 
+        // Capacity bound of the cache placement (set under CA): the
+        // cache region size a replanned placement can always fit.
+        let mut cache_cap_rows = 0usize;
         let (assignment, cache) = match config.strategy {
             PartitionStrategy::Uniform => (
                 partition::uniform(table.rows(), parts, emt_cap_rows, profile)?,
@@ -540,7 +800,7 @@ impl UpdlrmEngine {
                     .map(|l| l.num_combinations())
                     .max()
                     .unwrap_or(0);
-                let cache_cap_rows = total_combos.div_ceil(parts.max(1)) + largest;
+                cache_cap_rows = total_combos.div_ceil(parts.max(1)) + largest;
                 let ca = partition::cache_aware(
                     table.rows(),
                     parts,
@@ -550,21 +810,7 @@ impl UpdlrmEngine {
                     &lists,
                 )?;
                 let store = PartialSumCache::materialize(&ca.placed_lists, table)?;
-                // Assign cache slots: combos of one list are consecutive
-                // in the owning partition's cache region, in the same
-                // (list-major, mask-minor) order the store enumerates.
-                let mut next_slot = vec![0u32; parts];
-                let mut entry_part = Vec::with_capacity(store.entries().len());
-                let mut entry_slot = Vec::with_capacity(store.entries().len());
-                for (l, list) in ca.placed_lists.lists.iter().enumerate() {
-                    let p = ca.list_part[l];
-                    let combos = list.num_combinations() as u32;
-                    for i in 0..combos {
-                        entry_part.push(p);
-                        entry_slot.push(next_slot[p as usize] + i);
-                    }
-                    next_slot[p as usize] += combos;
-                }
+                let (entry_part, entry_slot) = cache_entry_maps(&ca);
                 let placed = ca.placed_lists.lists.len();
                 (
                     ca.rows,
@@ -574,33 +820,27 @@ impl UpdlrmEngine {
                         entry_slot,
                         cache_rows_per_part: ca.cache_rows_per_part,
                         placed_lists: placed,
+                        lists,
                     }),
                 )
             }
         };
 
         // Replica block (Replicated strategy): rows in slot order.
-        let mut replicas: Vec<(u32, u32)> = assignment
-            .part_of_row
-            .iter()
-            .enumerate()
-            .filter(|&(_, &p)| p == partition::REPLICATED_ROW_PART)
-            .map(|(r, _)| (assignment.slot_of_row[r], r as u32))
-            .collect();
-        replicas.sort_unstable();
-        let replicas: Vec<u32> = replicas.into_iter().map(|(_, r)| r).collect();
+        let replicas = replan::replica_block(&assignment);
 
         // MRAM regions: [EMT | cache | slot0 input | slot0 output |
         // slot1 input | slot1 output]. Two staging slots double-buffer
         // the per-batch regions so consecutive batches never share
-        // reference streams or partial sums (see crate::serve).
+        // reference streams or partial sums (see crate::serve); with
+        // replanning enabled the EMT and cache regions are themselves
+        // double-buffered so migrations can stage the next placement.
         let emt_rows_max =
             replicas.len() + assignment.rows_per_part.iter().copied().max().unwrap_or(0) as usize;
         let cache_rows_max = cache
             .as_ref()
             .map(|c| c.cache_rows_per_part.iter().copied().max().unwrap_or(0) as usize)
             .unwrap_or(0);
-        let mut layout = upmem_sim::MramLayout::new();
         let capacity = |e: upmem_sim::SimError| match e {
             upmem_sim::SimError::MramOutOfBounds {
                 addr,
@@ -613,30 +853,29 @@ impl UpdlrmEngine {
             },
             other => CoreError::Sim(other),
         };
-        layout
-            .reserve(emt_rows_max * emt_row_bytes)
-            .map_err(capacity)?;
-        let cache_base = layout
-            .reserve(cache_rows_max * row_bytes)
-            .map_err(capacity)?;
-        let mut slots = [(0u32, 0u32); STAGING_SLOTS];
-        for slot in &mut slots {
-            let input = layout
-                .reserve(config.input_reserve_bytes)
-                .map_err(capacity)?;
-            let output = layout
-                .reserve(config.batch_size * row_bytes * 2)
-                .map_err(capacity)?;
-            *slot = (input, output);
-        }
+        let regions = compute_regions(&RegionSpec {
+            replan: config.replan.enabled(),
+            emt_rows_max,
+            emt_cap_rows,
+            emt_row_bytes,
+            cache_rows_max,
+            cache_cap_rows,
+            row_bytes,
+            input_reserve_bytes: config.input_reserve_bytes,
+            output_bytes: config.batch_size * row_bytes * 2,
+        })
+        .map_err(capacity)?;
         Ok(TableState {
             tiling,
             assignment,
             cache,
             replicas,
             dpu_base,
-            cache_base,
-            slots,
+            emt_bases: regions.emt_bases,
+            cache_bases: regions.cache_bases,
+            emt_region_rows: regions.emt_region_rows,
+            cache_region_rows: regions.cache_region_rows,
+            slots: regions.slots,
             dim: table.dim(),
         })
     }
@@ -653,42 +892,15 @@ impl UpdlrmEngine {
         let n_c = tiling.n_c;
         let row_bytes = tiling.row_bytes();
         let parts = tiling.row_parts;
-        // slot -> row per partition.
-        let mut rows_in_part: Vec<Vec<u32>> = state
-            .assignment
-            .rows_per_part
-            .iter()
-            .map(|&n| vec![0u32; n as usize])
-            .collect();
         let rc = state.replicas.len();
-        for (r, (&p, &s)) in state
-            .assignment
-            .part_of_row
-            .iter()
-            .zip(state.assignment.slot_of_row.iter())
-            .enumerate()
-        {
-            if p != partition::REPLICATED_ROW_PART && s != partition::CACHED_ROW_SLOT {
-                rows_in_part[p as usize][s as usize - rc] = r as u32;
-            }
-        }
+        // slot -> row per partition.
+        let rows_in_part = replan::rows_in_parts(&state.assignment, rc);
         // Entries per partition in slot order.
         let entries_in_part: Vec<Vec<usize>> = match &state.cache {
-            Some(c) => {
-                let mut v: Vec<Vec<usize>> = c
-                    .cache_rows_per_part
-                    .iter()
-                    .map(|&n| vec![0; n as usize])
-                    .collect();
-                for (e, (&p, &s)) in c.entry_part.iter().zip(c.entry_slot.iter()).enumerate() {
-                    v[p as usize][s as usize] = e;
-                }
-                v
-            }
+            Some(c) => entries_in_parts(&c.entry_part, &c.entry_slot, &c.cache_rows_per_part),
             None => vec![Vec::new(); parts],
         };
 
-        let cache_base = state.cache_base;
         for p in 0..parts {
             for c in 0..tiling.col_slices {
                 let dpu = state.dpu(p, c);
@@ -698,36 +910,24 @@ impl UpdlrmEngine {
                 // per-slice with its own scale/min header).
                 let emt_row_bytes = dtype.stored_row_bytes(n_c);
                 let mut buf = Vec::with_capacity((rc + rows_in_part[p].len()) * emt_row_bytes);
-                let mut qrec = vec![0u8; emt_row_bytes];
-                for &r in state.replicas.iter().chain(rows_in_part[p].iter()) {
-                    let row = table.row(r as u64)?;
-                    let slice = &row[c * n_c..(c + 1) * n_c];
-                    match dtype {
-                        EmbedDtype::F32 => {
-                            for &v in slice {
-                                buf.extend_from_slice(&v.to_le_bytes());
-                            }
-                        }
-                        EmbedDtype::Int8 => {
-                            quant::quantize_row_into(slice, &mut qrec)?;
-                            buf.extend_from_slice(&qrec);
-                        }
-                    }
-                }
+                build_emt_tile(
+                    table,
+                    dtype,
+                    n_c,
+                    c,
+                    &state.replicas,
+                    &rows_in_part[p],
+                    &mut buf,
+                )?;
                 if !buf.is_empty() {
-                    sys.load_mram(dpu, 0, &buf)?;
+                    sys.load_mram(dpu, state.emt_bases[0], &buf)?;
                 }
                 // Cache region: this partition's combination rows.
                 if let Some(cs) = &state.cache {
                     let mut cbuf = Vec::with_capacity(entries_in_part[p].len() * row_bytes);
-                    for &e in &entries_in_part[p] {
-                        let vec = &cs.store.entries()[e].vector;
-                        for &v in &vec[c * n_c..(c + 1) * n_c] {
-                            cbuf.extend_from_slice(&v.to_le_bytes());
-                        }
-                    }
+                    build_cache_tile(&cs.store, &entries_in_part[p], n_c, c, &mut cbuf);
                     if !cbuf.is_empty() {
-                        sys.load_mram(dpu, cache_base, &cbuf)?;
+                        sys.load_mram(dpu, state.cache_bases[0], &cbuf)?;
                     }
                 }
             }
@@ -866,6 +1066,7 @@ impl UpdlrmEngine {
             config,
             scratch,
             metrics,
+            drift,
             ..
         } = self;
         let mut k = 0usize; // stream slot index, table-major then part
@@ -886,6 +1087,15 @@ impl UpdlrmEngine {
             for s in 0..b {
                 let sample = sparse.sample(s);
                 route_refs += sample.len();
+                // Sliding-window profile for the replanner: raw row
+                // references, before the cache split, so a replan sees
+                // the same frequencies a fresh trace profile would.
+                if let Some(d) = drift.as_mut() {
+                    let w = &mut d.window[t];
+                    for &idx in sample {
+                        w.record(idx);
+                    }
+                }
                 match &state.cache {
                     Some(cs) => {
                         cs.store
@@ -932,6 +1142,9 @@ impl UpdlrmEngine {
             }
         }
         routed.route_ns = route_refs as f64 * config.route_ns_per_ref;
+        if let Some(d) = drift.as_mut() {
+            d.batches_in_window += 1;
+        }
         if config.pad_transfers {
             let max_len = scratch
                 .streams
@@ -1120,6 +1333,277 @@ impl UpdlrmEngine {
             return Ok(((r + sample) % parts, slot));
         }
         Ok((p as usize, slot))
+    }
+
+    /// Advances the replanner to modeled instant `now_ns`: completes a
+    /// migration whose staged scatter has drained (the atomic flip), or
+    /// checks the replan policy against the sliding window and begins a
+    /// new migration. A no-op unless
+    /// [`UpdlrmConfig::replan`](crate::config::UpdlrmConfig) is
+    /// enabled. Front-ends call this between batches — the scheduler's
+    /// event loop ticks it at every launch instant.
+    ///
+    /// # Errors
+    ///
+    /// Simulator faults while scattering the staged tiles. Planning
+    /// failures (a placement that no longer fits the staged regions)
+    /// are *not* errors: the replan is declined, counted in
+    /// [`DriftSnapshot::replans_skipped`](crate::telemetry::DriftSnapshot),
+    /// and the window resets.
+    pub fn on_tick(&mut self, now_ns: u64) -> Result<()> {
+        let Some(drift) = self.drift.as_ref() else {
+            return Ok(());
+        };
+        if let Some(pending) = &drift.pending {
+            if now_ns >= pending.done_at_ns {
+                self.complete_migration(now_ns);
+            }
+            return Ok(());
+        }
+        let due = match self.config.replan {
+            ReplanPolicy::Off => false,
+            ReplanPolicy::Periodic { every_batches } => drift.batches_in_window >= every_batches,
+            ReplanPolicy::Imbalance {
+                threshold,
+                min_batches,
+            } => {
+                drift.batches_in_window >= min_batches
+                    && self
+                        .tables
+                        .iter()
+                        .zip(drift.window.iter())
+                        .map(|(s, w)| replan::window_imbalance(&s.assignment, w))
+                        .fold(1.0f64, f64::max)
+                        > threshold
+            }
+        };
+        if due {
+            self.begin_migration(now_ns)?;
+        }
+        Ok(())
+    }
+
+    /// True while a migration's staged scatter has not yet flipped.
+    pub fn migration_in_flight(&self) -> bool {
+        self.drift.as_ref().is_some_and(|d| d.pending.is_some())
+    }
+
+    /// The telemetry snapshot captured mid-first-migration (after the
+    /// staging scatter was charged, before the flip) — the fixed-seed
+    /// golden CI byte-compares. `None` until the first migration
+    /// begins, or when telemetry is off.
+    pub fn drift_snapshot(&self) -> Option<&Snapshot> {
+        self.drift.as_ref().and_then(|d| d.first_snapshot.as_ref())
+    }
+
+    /// Plans a fresh placement for every table from the sliding window,
+    /// scatters the re-partitioned tiles into the inactive MRAM
+    /// regions, and charges the modeled migration cost. The flip is
+    /// deferred to the modeled instant the scatter completes
+    /// ([`UpdlrmEngine::on_tick`]); until then serving continues on the
+    /// old placement, whose regions the scatter never touches.
+    fn begin_migration(&mut self, now_ns: u64) -> Result<()> {
+        // Plan phase (no mutation): any failure — a plan that cannot
+        // fit the staged regions, an infeasible cache placement — or a
+        // plan identical to the current placement declines the replan.
+        let drift = self.drift.as_ref().expect("replanning enabled");
+        let mut flips: Vec<TableFlip> = Vec::with_capacity(self.tables.len());
+        let mut changed = false;
+        let mut feasible = true;
+        'plan: for (t, state) in self.tables.iter().enumerate() {
+            let profile = &drift.window[t];
+            let rows = state.assignment.part_of_row.len();
+            let parts = state.tiling.row_parts;
+            let flip = match self.config.strategy {
+                PartitionStrategy::CacheAware => {
+                    let cs = state.cache.as_ref().expect("CA table has cache state");
+                    let planned = partition::cache_aware(
+                        rows,
+                        parts,
+                        state.emt_region_rows,
+                        state.cache_region_rows,
+                        profile,
+                        &cs.lists,
+                    )
+                    .and_then(|ca| {
+                        let store =
+                            PartialSumCache::materialize(&ca.placed_lists, &self.host_tables[t])?;
+                        Ok((ca, store))
+                    });
+                    let (ca, store) = match planned {
+                        Ok(x) => x,
+                        Err(_) => {
+                            feasible = false;
+                            break 'plan;
+                        }
+                    };
+                    let (entry_part, entry_slot) = cache_entry_maps(&ca);
+                    let placed = ca.placed_lists.lists.len();
+                    TableFlip {
+                        assignment: ca.rows,
+                        replicas: Vec::new(),
+                        cache: Some(CacheFlip {
+                            store,
+                            entry_part,
+                            entry_slot,
+                            cache_rows_per_part: ca.cache_rows_per_part,
+                            placed_lists: placed,
+                        }),
+                    }
+                }
+                strategy => {
+                    match replan::plan_rows(
+                        strategy,
+                        rows,
+                        parts,
+                        state.emt_region_rows,
+                        self.config.replicate_top,
+                        profile,
+                    ) {
+                        Ok((assignment, replicas)) => TableFlip {
+                            assignment,
+                            replicas,
+                            cache: None,
+                        },
+                        Err(_) => {
+                            feasible = false;
+                            break 'plan;
+                        }
+                    }
+                }
+            };
+            changed |= flip.assignment != state.assignment;
+            flips.push(flip);
+        }
+
+        // The window is consumed by the decision either way.
+        {
+            let drift = self.drift.as_mut().expect("replanning enabled");
+            for w in &mut drift.window {
+                *w = FreqProfile::new(w.num_items());
+            }
+            drift.batches_in_window = 0;
+        }
+        if !feasible || !changed {
+            self.metrics.record_replan_skip();
+            return Ok(());
+        }
+
+        // Scatter phase: write the staged tiles into the inactive
+        // regions (functionally safe — nothing serves from them) and
+        // accumulate the modeled cost: one host->MRAM bulk pass over
+        // every staged byte, plus the slowest DPU's DMA-engine time
+        // absorbing its rows (the `charge_dma_repeat` bulk mirror).
+        let inactive = self.active_emt ^ 1;
+        let mut total_bytes = 0usize;
+        let mut rows_moved = 0u64;
+        let mut max_dpu = Cycles(0);
+        {
+            let UpdlrmEngine {
+                sys,
+                tables,
+                host_tables,
+                config,
+                ..
+            } = self;
+            let cost = &config.cost;
+            let dtype = config.embed_dtype;
+            for (t, flip) in flips.iter().enumerate() {
+                let state = &tables[t];
+                let table = &host_tables[t];
+                let tiling = &state.tiling;
+                let n_c = tiling.n_c;
+                let emt_row_bytes = dtype.stored_row_bytes(n_c);
+                let row_bytes = tiling.row_bytes();
+                let rc = flip.replicas.len();
+                let local = replan::rows_in_parts(&flip.assignment, rc);
+                let entries = flip.cache.as_ref().map(|cf| {
+                    entries_in_parts(&cf.entry_part, &cf.entry_slot, &cf.cache_rows_per_part)
+                });
+                for p in 0..tiling.row_parts {
+                    for c in 0..tiling.col_slices {
+                        let dpu = state.dpu(p, c);
+                        let n = rc + local[p].len();
+                        let mut buf = Vec::with_capacity(n * emt_row_bytes);
+                        build_emt_tile(table, dtype, n_c, c, &flip.replicas, &local[p], &mut buf)?;
+                        if !buf.is_empty() {
+                            sys.load_mram(dpu, state.emt_bases[inactive], &buf)?;
+                        }
+                        rows_moved += n as u64;
+                        total_bytes += buf.len();
+                        let cyc = cost.bulk_rows_dma_cycles(emt_row_bytes, n as u64);
+                        max_dpu = Cycles(max_dpu.0.max(cyc.0));
+                        if let (Some(cf), Some(ep)) = (flip.cache.as_ref(), entries.as_ref()) {
+                            let mut cbuf = Vec::with_capacity(ep[p].len() * row_bytes);
+                            build_cache_tile(&cf.store, &ep[p], n_c, c, &mut cbuf);
+                            if !cbuf.is_empty() {
+                                sys.load_mram(dpu, state.cache_bases[inactive], &cbuf)?;
+                            }
+                            rows_moved += ep[p].len() as u64;
+                            total_bytes += cbuf.len();
+                            let cyc = cost.bulk_rows_dma_cycles(row_bytes, ep[p].len() as u64);
+                            max_dpu = Cycles(max_dpu.0.max(cyc.0));
+                        }
+                    }
+                }
+            }
+        }
+        let cost = &self.config.cost;
+        let migration_ns = cost.host_to_mram_ns(total_bytes)
+            + cost.host_transfer_base_ns
+            + cost.cycles_to_ns(max_dpu);
+        let done_at_ns = now_ns.saturating_add(migration_ns.max(0.0).ceil() as u64);
+        self.metrics
+            .record_replan_begin(rows_moved, total_bytes as u64, migration_ns);
+        // The mid-migration golden: counters show the replan charged
+        // but not yet flipped.
+        let snapshot = {
+            let drift = self.drift.as_ref().expect("replanning enabled");
+            (self.config.telemetry && drift.first_snapshot.is_none())
+                .then(|| self.metrics.snapshot())
+        };
+        let drift = self.drift.as_mut().expect("replanning enabled");
+        drift.pending = Some(PendingMigration {
+            done_at_ns,
+            tables: flips,
+        });
+        if let Some(s) = snapshot {
+            drift.first_snapshot = Some(s);
+        }
+        Ok(())
+    }
+
+    /// The atomic flip: installs the staged placement — assignments,
+    /// replica blocks, cache maps — and repoints every kernel task's
+    /// EMT/cache bases at the freshly scattered regions. Between two
+    /// batches this is instantaneous in modeled time; the migration's
+    /// cost was charged when the scatter was staged.
+    fn complete_migration(&mut self, now_ns: u64) {
+        let drift = self.drift.as_mut().expect("replanning enabled");
+        let pending = drift.pending.take().expect("migration in flight");
+        for (state, flip) in self.tables.iter_mut().zip(pending.tables) {
+            state.assignment = flip.assignment;
+            state.replicas = flip.replicas;
+            if let Some(cf) = flip.cache {
+                let cs = state.cache.as_mut().expect("CA table has cache state");
+                cs.store = cf.store;
+                cs.entry_part = cf.entry_part;
+                cs.entry_slot = cf.entry_slot;
+                cs.cache_rows_per_part = cf.cache_rows_per_part;
+                cs.placed_lists = cf.placed_lists;
+            }
+        }
+        self.active_emt ^= 1;
+        let active = self.active_emt;
+        for (state, kset) in self.tables.iter().zip(self.kernels.iter_mut()) {
+            for kernel in kset.iter_mut() {
+                for task in kernel.tasks.values_mut() {
+                    task.emt_base = state.emt_bases[active];
+                    task.cache_base = state.cache_bases[active];
+                }
+            }
+        }
+        self.metrics.record_migration_flip(now_ns);
     }
 
     /// Full DLRM inference for one batch: embedding layer on the PIM

@@ -27,6 +27,7 @@ pub mod error;
 pub mod kernel;
 pub mod partition;
 pub mod pipeline;
+pub mod replan;
 pub mod serve;
 pub mod stats;
 pub mod telemetry;
@@ -42,10 +43,11 @@ pub use partition::{
     CACHED_ROW_SLOT,
 };
 pub use pipeline::{pipelined_wall_ns, sequential_wall_ns, PipelineReport};
+pub use replan::ReplanPolicy;
 pub use serve::{BatchServer, PipelineMode, ServeOutcome, ServeReport};
 pub use stats::percentile;
 pub use telemetry::{
-    MetricsRegistry, RuntimeSnapshot, SchedSnapshot, SchedTrigger, Snapshot,
+    DriftSnapshot, MetricsRegistry, RuntimeSnapshot, SchedSnapshot, SchedTrigger, Snapshot,
     SNAPSHOT_SCHEMA_VERSION,
 };
 pub use tiered::TieredEngine;

@@ -52,6 +52,18 @@ pub trait BatchServer {
     fn serve_stream<F>(&mut self, batches: &[QueryBatch], sink: F) -> Result<ServeReport>
     where
         F: FnMut(usize, &[Matrix], &EmbeddingBreakdown);
+
+    /// Advances any engine-internal background machinery to modeled
+    /// instant `now_ns`. Front-ends with a clock (the scheduler) call
+    /// this between batches; [`UpdlrmEngine`] uses it to drive the
+    /// online replanner (DESIGN.md §4.11). Default: no-op.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; the default never fails.
+    fn on_tick(&mut self, _now_ns: u64) -> Result<()> {
+        Ok(())
+    }
 }
 
 impl BatchServer for UpdlrmEngine {
@@ -68,6 +80,10 @@ impl BatchServer for UpdlrmEngine {
         F: FnMut(usize, &[Matrix], &EmbeddingBreakdown),
     {
         UpdlrmEngine::serve_stream(self, batches, sink)
+    }
+
+    fn on_tick(&mut self, now_ns: u64) -> Result<()> {
+        UpdlrmEngine::on_tick(self, now_ns)
     }
 }
 

@@ -36,7 +36,9 @@ use crate::serve::ServeReport;
 /// v2 added the [`SchedSnapshot`] block (open-loop scheduler counters).
 /// v3 added the [`RuntimeSnapshot`] block (measured-vs-modeled walls
 /// from the wall-clock serving runtime; all zero on modeled-only runs).
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
+/// v4 added the [`DriftSnapshot`] block (online replanning and EMT
+/// shard-migration counters; all zero with `--replan off`).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 4;
 
 /// Why the open-loop batcher closed a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,6 +188,32 @@ pub struct RuntimeSnapshot {
     pub measured_p99_latency_ns: f64,
 }
 
+/// Online-replanning and EMT shard-migration counters in a
+/// [`Snapshot`]. Every time is *modeled* nanoseconds — the migration
+/// cost comes from the same DMA/bus charge arithmetic as serving — so
+/// the block stays byte-deterministic and golden-diffable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftSnapshot {
+    /// Replans the policy triggered and the engine accepted (a
+    /// background migration was started for each).
+    pub replans_triggered: u64,
+    /// Replans the policy triggered but the engine declined: the fresh
+    /// plan did not fit the reserved capacity or changed nothing.
+    pub replans_skipped: u64,
+    /// Migrations whose atomic flip completed.
+    pub migrations_completed: u64,
+    /// EMT rows rewritten into the staging region across all
+    /// migrations (counted per column-replica copy).
+    pub rows_moved: u64,
+    /// Bytes moved for those rows (read-out plus write-in).
+    pub migrated_bytes: u64,
+    /// Total modeled migration cost (ns) charged across all
+    /// migrations.
+    pub migration_ns: f64,
+    /// Modeled time of the most recent flip (ns; 0 before the first).
+    pub last_flip_ns: u64,
+}
+
 /// A deterministic, serializable copy of everything a
 /// [`MetricsRegistry`] has recorded.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -237,6 +265,8 @@ pub struct Snapshot {
     /// Wall-clock runtime measurements (all zero outside
     /// `updlrm serve --runtime wall`).
     pub runtime: RuntimeSnapshot,
+    /// Online-replanning counters (all zero with `--replan off`).
+    pub drift: DriftSnapshot,
     /// Per-DPU utilization, ascending by DPU id. Empty when telemetry
     /// was disabled.
     pub per_dpu: Vec<DpuSnapshot>,
@@ -274,6 +304,7 @@ pub struct MetricsRegistry {
     cache: CacheTraffic,
     sched: SchedSnapshot,
     runtime: RuntimeSnapshot,
+    drift: DriftSnapshot,
     /// One preallocated cell per DPU, indexed by DPU id.
     per_dpu: Vec<DpuCounters>,
 }
@@ -434,6 +465,39 @@ impl MetricsRegistry {
         self.runtime = runtime;
     }
 
+    /// Records a replan the engine accepted: a migration of
+    /// `rows_moved` row copies (`bytes` total traffic) was started at
+    /// a modeled cost of `migration_ns`.
+    #[inline]
+    pub(crate) fn record_replan_begin(&mut self, rows_moved: u64, bytes: u64, migration_ns: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.drift.replans_triggered += 1;
+        self.drift.rows_moved += rows_moved;
+        self.drift.migrated_bytes += bytes;
+        self.drift.migration_ns += migration_ns;
+    }
+
+    /// Records a replan the policy triggered but the engine declined.
+    #[inline]
+    pub(crate) fn record_replan_skip(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        self.drift.replans_skipped += 1;
+    }
+
+    /// Records a completed migration flip at modeled time `now_ns`.
+    #[inline]
+    pub(crate) fn record_migration_flip(&mut self, now_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.drift.migrations_completed += 1;
+        self.drift.last_flip_ns = now_ns;
+    }
+
     /// Records one formed batch: its size and why it was closed.
     #[inline]
     pub fn record_sched_batch(&mut self, size: usize, trigger: SchedTrigger) {
@@ -483,6 +547,7 @@ impl MetricsRegistry {
             },
             sched: self.sched,
             runtime: self.runtime,
+            drift: self.drift,
             per_dpu: self
                 .per_dpu
                 .iter()
@@ -624,6 +689,31 @@ mod tests {
         let mut off = MetricsRegistry::new(false, 1);
         off.record_runtime(rt);
         assert_eq!(off.snapshot().runtime, RuntimeSnapshot::default());
+    }
+
+    #[test]
+    fn drift_counters_accumulate_and_reset() {
+        let mut m = MetricsRegistry::new(true, 1);
+        m.record_replan_begin(100, 25_600, 5_000.0);
+        m.record_replan_begin(50, 12_800, 2_500.0);
+        m.record_replan_skip();
+        m.record_migration_flip(123_456);
+        let s = m.snapshot();
+        assert_eq!(s.drift.replans_triggered, 2);
+        assert_eq!(s.drift.replans_skipped, 1);
+        assert_eq!(s.drift.migrations_completed, 1);
+        assert_eq!(s.drift.rows_moved, 150);
+        assert_eq!(s.drift.migrated_bytes, 38_400);
+        assert_eq!(s.drift.migration_ns, 7_500.0);
+        assert_eq!(s.drift.last_flip_ns, 123_456);
+        m.reset();
+        assert_eq!(m.snapshot().drift, DriftSnapshot::default());
+
+        // Disabled registries ignore drift records too.
+        let mut off = MetricsRegistry::new(false, 1);
+        off.record_replan_begin(1, 1, 1.0);
+        off.record_migration_flip(9);
+        assert_eq!(off.snapshot().drift, DriftSnapshot::default());
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Differential and determinism tests for online re-partitioning
+//! (DESIGN.md §4.11).
+//!
+//! The contract under test: a serving engine whose replanner migrates
+//! EMT shards between DPUs mid-stream must stay *functionally*
+//! invisible — on integer-valued tables every pooled embedding is
+//! bit-identical to a static engine's, before, during and after the
+//! atomic flip — while the drift telemetry proves migrations really
+//! happened (no vacuous pass) and the mid-migration snapshot is
+//! byte-deterministic under a fixed seed.
+
+use dlrm_model::EmbeddingTable;
+use updlrm_core::{PartitionStrategy, ReplanPolicy, Snapshot, UpdlrmConfig, UpdlrmEngine};
+use workloads::{
+    ArrivalProcess, DatasetSpec, DriftSchedule, HotSetRotation, TraceConfig, Workload,
+};
+
+const DIM: usize = 32;
+const NUM_TABLES: usize = 2;
+const NUM_BATCHES: usize = 12;
+/// Modeled gap between scheduler ticks in these tests: large enough
+/// that a migration (≈0.2 ms for these table sizes) completes within a
+/// few batches, small enough that serving happens mid-migration too.
+const TICK_NS: u64 = 50_000;
+
+/// A rotating-hot-set (UPWL v3) workload over integer-valued tables so
+/// pooled sums are exact regardless of summation order.
+fn drifting_setup() -> (Vec<EmbeddingTable>, Workload) {
+    let spec = DatasetSpec::goodreads().scaled_down(5000);
+    let drift = DriftSchedule {
+        rotation: Some(HotSetRotation {
+            num_sets: 4,
+            set_size: 64,
+            period_ns: 150_000,
+            hot_fraction: 0.8,
+        }),
+        spikes: Vec::new(),
+        diurnal: None,
+    };
+    let workload = Workload::generate_drifting(
+        &spec,
+        TraceConfig {
+            num_tables: NUM_TABLES,
+            num_batches: NUM_BATCHES,
+            ..TraceConfig::default()
+        },
+        drift,
+        ArrivalProcess::poisson(1_000_000.0, 7),
+    );
+    let tables = (0..NUM_TABLES)
+        .map(|t| EmbeddingTable::random_integer_valued(spec.num_items, DIM, 3, t as u64).unwrap())
+        .collect();
+    (tables, workload)
+}
+
+/// Serves the workload one batch at a time with a scheduler-style
+/// `on_tick` before every launch (exactly the event-loop call site),
+/// collecting every pooled value bitwise. Returns the flat bit stream
+/// and the engine for post-hoc inspection.
+fn serve_ticked(mut engine: UpdlrmEngine, workload: &Workload) -> (Vec<u32>, UpdlrmEngine) {
+    let mut bits = Vec::new();
+    let mut saw_in_flight = false;
+    for (i, batch) in workload.batches.iter().enumerate() {
+        engine.on_tick((i as u64 + 1) * TICK_NS).unwrap();
+        saw_in_flight |= engine.migration_in_flight();
+        engine
+            .serve_stream(std::slice::from_ref(batch), |_, pooled, _| {
+                for m in pooled {
+                    bits.extend(m.as_slice().iter().map(|v| v.to_bits()));
+                }
+            })
+            .unwrap();
+    }
+    if engine.config().replan.enabled() {
+        assert!(
+            saw_in_flight,
+            "test must exercise serving while a migration is in flight"
+        );
+    }
+    (bits, engine)
+}
+
+fn replan_config(strategy: PartitionStrategy) -> UpdlrmConfig {
+    UpdlrmConfig::with_dpus(16, strategy)
+        .with_replan(ReplanPolicy::Periodic { every_batches: 3 })
+        .with_telemetry()
+}
+
+#[test]
+fn serving_is_bit_identical_across_migration_boundaries() {
+    let (tables, workload) = drifting_setup();
+    for strategy in [
+        PartitionStrategy::Uniform,
+        PartitionStrategy::NonUniform,
+        PartitionStrategy::Replicated,
+        PartitionStrategy::CacheAware,
+    ] {
+        let static_engine = UpdlrmEngine::from_workload(
+            UpdlrmConfig::with_dpus(16, strategy).with_telemetry(),
+            &tables,
+            &workload,
+        )
+        .unwrap();
+        let replan_engine =
+            UpdlrmEngine::from_workload(replan_config(strategy), &tables, &workload).unwrap();
+
+        let (reference, _) = serve_ticked(static_engine, &workload);
+        let (migrated, engine) = serve_ticked(replan_engine, &workload);
+
+        assert_eq!(
+            reference, migrated,
+            "strategy {strategy}: pooled embeddings diverged across a migration"
+        );
+
+        // Anti-vacuous: the replanner must actually have replanned and
+        // flipped at least once, or the equality above proves nothing.
+        let drift = engine.metrics_snapshot().drift;
+        assert!(
+            drift.replans_triggered >= 1,
+            "strategy {strategy}: no replan triggered ({drift:?})"
+        );
+        assert!(
+            drift.migrations_completed >= 1,
+            "strategy {strategy}: no migration flipped ({drift:?})"
+        );
+        assert!(drift.rows_moved > 0 && drift.migrated_bytes > 0);
+        assert!(drift.migration_ns > 0.0);
+        assert!(drift.last_flip_ns > 0);
+    }
+}
+
+#[test]
+fn uniform_replan_rebalances_toward_the_window() {
+    // The planner deliberately upgrades Uniform to frequency-balanced
+    // placement: after a migration the hot rows are spread out, which
+    // shows up as replans that change the assignment (not skipped).
+    let (tables, workload) = drifting_setup();
+    let engine = UpdlrmEngine::from_workload(
+        replan_config(PartitionStrategy::Uniform),
+        &tables,
+        &workload,
+    )
+    .unwrap();
+    let (_, engine) = serve_ticked(engine, &workload);
+    let drift = engine.metrics_snapshot().drift;
+    assert!(drift.replans_triggered >= 1);
+}
+
+#[test]
+fn mid_migration_snapshot_is_byte_deterministic() {
+    // The fixed-seed mid-migration golden the CI byte-compares: two
+    // identically seeded runs must produce byte-identical snapshot
+    // JSON, and the snapshot must really be mid-migration (replan
+    // charged, flip not yet recorded at capture time).
+    let run = || {
+        let (tables, workload) = drifting_setup();
+        let engine = UpdlrmEngine::from_workload(
+            replan_config(PartitionStrategy::NonUniform),
+            &tables,
+            &workload,
+        )
+        .unwrap();
+        let (_, engine) = serve_ticked(engine, &workload);
+        let snap: Snapshot = engine
+            .drift_snapshot()
+            .expect("first migration captured a snapshot")
+            .clone();
+        assert_eq!(snap.drift.replans_triggered, 1);
+        assert_eq!(snap.drift.migrations_completed, 0, "snapshot is pre-flip");
+        assert!(snap.drift.migration_ns > 0.0);
+        serde::json::to_string_pretty(&snap)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn imbalance_policy_triggers_only_past_threshold() {
+    let (tables, workload) = drifting_setup();
+    // An absurdly high threshold never fires; a low one does. Uniform
+    // placement keeps the rotating hot set contiguous on a couple of
+    // DPUs, so the window imbalance is large — the configuration the
+    // policy exists to catch.
+    for (threshold, expect_replans) in [(1e9, false), (1.05, true)] {
+        let config = UpdlrmConfig::with_dpus(16, PartitionStrategy::Uniform)
+            .with_replan(ReplanPolicy::Imbalance {
+                threshold,
+                min_batches: 2,
+            })
+            .with_telemetry();
+        let engine = UpdlrmEngine::from_workload(config, &tables, &workload).unwrap();
+        let mut engine = engine;
+        for (i, batch) in workload.batches.iter().enumerate() {
+            engine.on_tick((i as u64 + 1) * TICK_NS).unwrap();
+            engine
+                .serve_stream(std::slice::from_ref(batch), |_, _, _| {})
+                .unwrap();
+        }
+        let drift = engine.metrics_snapshot().drift;
+        assert_eq!(
+            drift.replans_triggered >= 1,
+            expect_replans,
+            "threshold {threshold}: {drift:?}"
+        );
+    }
+}
+
+#[test]
+fn replan_off_allocates_no_drift_state() {
+    let (tables, workload) = drifting_setup();
+    let mut engine = UpdlrmEngine::from_workload(
+        UpdlrmConfig::with_dpus(16, PartitionStrategy::NonUniform).with_telemetry(),
+        &tables,
+        &workload,
+    )
+    .unwrap();
+    engine.on_tick(u64::MAX).unwrap();
+    assert!(!engine.migration_in_flight());
+    assert!(engine.drift_snapshot().is_none());
+    assert_eq!(engine.metrics_snapshot().drift, Default::default());
+}

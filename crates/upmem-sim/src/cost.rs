@@ -152,6 +152,20 @@ impl CostModel {
     pub fn cycles_to_ns(&self, c: Cycles) -> f64 {
         c.to_nanos(self.clock_hz)
     }
+
+    /// DMA-engine cycles for `rows` back-to-back row transfers of
+    /// `row_bytes` each — the host-driven bulk path (EMT shard
+    /// migration) mirror of `Charges::charge_dma_repeat`: every
+    /// increment is an integer multiple of the single-transfer charge,
+    /// so one bulk charge equals `rows` repeated charges exactly and
+    /// modeled migration time stays bit-deterministic.
+    #[inline]
+    pub fn bulk_rows_dma_cycles(&self, row_bytes: usize, rows: u64) -> Cycles {
+        if rows == 0 || row_bytes == 0 {
+            return Cycles(0);
+        }
+        Cycles(rows * self.dma_engine_cycles(row_bytes).0)
+    }
 }
 
 #[cfg(test)]

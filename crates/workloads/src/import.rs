@@ -143,6 +143,7 @@ pub fn import_text_trace<R: Read>(reader: R, config: &ImportConfig) -> io::Resul
         },
         batches,
         arrivals: crate::arrival::ArrivalTrace::closed_loop(),
+        drift: None,
     })
 }
 

@@ -11,13 +11,23 @@
 //!
 //! * **v1** — spec + config + batches. Still loads: the arrival trace
 //!   defaults to the closed-loop sentinel.
-//! * **v2** (current) — v1 plus an arrival block between the config and
-//!   the batches: a process tag (`0` closed-loop, `1` Poisson, `2`
+//! * **v2** — v1 plus an arrival block between the config and the
+//!   batches: a process tag (`0` closed-loop, `1` Poisson, `2`
 //!   bursty), the process parameters, and the per-query timestamps.
-//!   [`Workload::save`] always writes v2; [`Workload::save_v1`] emits
-//!   the legacy layout (dropping arrivals) for old readers.
+//! * **v3** (current) — v2 plus a drift block between the arrivals and
+//!   the batches: an optional hot-set rotation (`num_sets`, `set_size`,
+//!   `period_ns`, `hot_fraction`), a list of flash-crowd spikes
+//!   (`start_ns`, `duration_ns`, `target_set`, `extra_hot`,
+//!   `rate_boost`) and an optional diurnal curve (`period_ns`,
+//!   `amplitude`). [`Workload::save`] stamps v3 only when a drift
+//!   schedule is attached — stationary workloads keep writing v2
+//!   byte-for-byte — and [`Workload::save_v1`] emits the legacy layout
+//!   (dropping arrivals and drift) for old readers. The loader rejects
+//!   v3 files whose schedule references hot-set rows beyond the spec's
+//!   row count.
 
 use crate::arrival::{ArrivalProcess, ArrivalTrace};
+use crate::drift::{DiurnalCurve, DriftSchedule, FlashCrowd, HotSetRotation};
 use crate::spec::{CooccurConfig, DatasetSpec, Hotness};
 use crate::trace::{TraceConfig, Workload};
 use dlrm_model::{QueryBatch, SparseInput};
@@ -26,6 +36,7 @@ use std::io::{self, Read, Write};
 const MAGIC: &[u8; 4] = b"UPWL";
 const V1: u32 = 1;
 const VERSION: u32 = 2;
+const V3: u32 = 3;
 
 fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -107,6 +118,76 @@ fn w_arrivals<W: Write>(writer: &mut W, arrivals: &ArrivalTrace) -> io::Result<(
     Ok(())
 }
 
+fn w_drift<W: Write>(writer: &mut W, drift: &DriftSchedule) -> io::Result<()> {
+    match &drift.rotation {
+        None => w_u32(writer, 0)?,
+        Some(rot) => {
+            w_u32(writer, 1)?;
+            w_u64(writer, rot.num_sets as u64)?;
+            w_u64(writer, rot.set_size as u64)?;
+            w_u64(writer, rot.period_ns)?;
+            w_f64(writer, rot.hot_fraction)?;
+        }
+    }
+    w_u32(writer, drift.spikes.len() as u32)?;
+    for sp in &drift.spikes {
+        w_u64(writer, sp.start_ns)?;
+        w_u64(writer, sp.duration_ns)?;
+        w_u64(writer, sp.target_set as u64)?;
+        w_f64(writer, sp.extra_hot)?;
+        w_f64(writer, sp.rate_boost)?;
+    }
+    match &drift.diurnal {
+        None => w_u32(writer, 0)?,
+        Some(d) => {
+            w_u32(writer, 1)?;
+            w_u64(writer, d.period_ns)?;
+            w_f64(writer, d.amplitude)?;
+        }
+    }
+    Ok(())
+}
+
+fn r_drift<R: Read>(reader: &mut R) -> io::Result<DriftSchedule> {
+    let rotation = match r_u32(reader)? {
+        0 => None,
+        1 => Some(HotSetRotation {
+            num_sets: r_u64(reader)? as usize,
+            set_size: r_u64(reader)? as usize,
+            period_ns: r_u64(reader)?,
+            hot_fraction: r_f64(reader)?,
+        }),
+        _ => return Err(bad("unknown hot-set rotation tag")),
+    };
+    let n_spikes = r_u32(reader)? as usize;
+    if n_spikes > 1 << 16 {
+        return Err(bad("spike count implausible"));
+    }
+    let mut spikes = Vec::with_capacity(n_spikes);
+    for _ in 0..n_spikes {
+        spikes.push(FlashCrowd {
+            start_ns: r_u64(reader)?,
+            duration_ns: r_u64(reader)?,
+            target_set: r_u64(reader)? as usize,
+            extra_hot: r_f64(reader)?,
+            rate_boost: r_f64(reader)?,
+        });
+    }
+    let diurnal = match r_u32(reader)? {
+        0 => None,
+        1 => Some(DiurnalCurve {
+            period_ns: r_u64(reader)?,
+            amplitude: r_f64(reader)?,
+        }),
+        _ => return Err(bad("unknown diurnal tag")),
+    };
+    Ok(DriftSchedule {
+        rotation,
+        spikes,
+        diurnal,
+    })
+}
+
 fn r_arrivals<R: Read>(reader: &mut R) -> io::Result<ArrivalTrace> {
     let process = match r_u32(reader)? {
         0 => ArrivalProcess::ClosedLoop,
@@ -140,14 +221,17 @@ fn r_arrivals<R: Read>(reader: &mut R) -> io::Result<ArrivalTrace> {
 }
 
 impl Workload {
-    /// Serializes the workload to `writer` (format `UPWL` v2).
+    /// Serializes the workload to `writer` (format `UPWL`): v3 when a
+    /// drift schedule is attached, v2 otherwise — so stationary
+    /// workloads stay byte-identical to pre-v3 writers.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from `writer`. A mut reference to any
     /// `Write` works (`workload.save(&mut file)?`).
     pub fn save<W: Write>(&self, writer: &mut W) -> io::Result<()> {
-        self.save_version(writer, VERSION)
+        let version = if self.drift.is_some() { V3 } else { VERSION };
+        self.save_version(writer, version)
     }
 
     /// Serializes in the legacy `UPWL` v1 layout for old readers,
@@ -186,9 +270,16 @@ impl Workload {
         w_u64(writer, self.config.num_batches as u64)?;
         w_u64(writer, self.config.num_dense as u64)?;
         w_u64(writer, self.config.seed)?;
-        // Arrival schedule (v2 only).
+        // Arrival schedule (v2+).
         if version >= 2 {
             w_arrivals(writer, &self.arrivals)?;
+        }
+        // Drift schedule (v3+).
+        if version >= 3 {
+            w_drift(
+                writer,
+                self.drift.as_ref().unwrap_or(&DriftSchedule::default()),
+            )?;
         }
         // Batches.
         w_u64(writer, self.batches.len() as u64)?;
@@ -225,7 +316,7 @@ impl Workload {
             return Err(bad("not a UPWL workload file"));
         }
         let version = r_u32(reader)?;
-        if version != V1 && version != VERSION {
+        if version != V1 && version != VERSION && version != V3 {
             return Err(bad("unsupported UPWL version"));
         }
         let name = r_str(reader)?;
@@ -268,6 +359,15 @@ impl Workload {
         } else {
             ArrivalTrace::closed_loop()
         };
+        // v3 adds the drift block; validate its hot-set geometry
+        // against the spec before trusting any of its row ranges.
+        let drift = if version >= 3 {
+            let schedule = r_drift(reader)?;
+            schedule.validate(spec.num_items).map_err(|e| bad(&e))?;
+            Some(schedule)
+        } else {
+            None
+        };
         let n_batches = r_u64(reader)? as usize;
         if n_batches > 1 << 24 {
             return Err(bad("batch count implausible"));
@@ -309,6 +409,7 @@ impl Workload {
             config,
             batches,
             arrivals,
+            drift,
         };
         if !workload.arrivals.is_closed_loop() && workload.arrivals.len() != workload.num_queries()
         {
@@ -385,6 +486,104 @@ mod tests {
         assert_eq!(loaded.batches, w.batches);
         assert_eq!(loaded.spec, w.spec);
         assert_eq!(loaded.config, w.config);
+    }
+
+    fn sample_drift() -> DriftSchedule {
+        DriftSchedule {
+            rotation: Some(HotSetRotation {
+                num_sets: 3,
+                set_size: 64,
+                period_ns: 500_000,
+                hot_fraction: 0.85,
+            }),
+            spikes: vec![FlashCrowd {
+                start_ns: 200_000,
+                duration_ns: 100_000,
+                target_set: 2,
+                extra_hot: 0.1,
+                rate_boost: 2.0,
+            }],
+            diurnal: Some(DiurnalCurve {
+                period_ns: 4_000_000,
+                amplitude: 0.3,
+            }),
+        }
+    }
+
+    fn drifting_workload() -> Workload {
+        let spec = DatasetSpec::movie().scaled_down(2000);
+        Workload::generate_drifting(
+            &spec,
+            TraceConfig {
+                num_tables: 2,
+                batch_size: 8,
+                num_batches: 3,
+                num_dense: 4,
+                seed: 9,
+            },
+            sample_drift(),
+            ArrivalProcess::poisson(40_000.0, 17),
+        )
+    }
+
+    #[test]
+    fn v3_round_trip_is_bit_exact() {
+        let w = drifting_workload();
+        let mut buf = Vec::new();
+        w.save(&mut buf).unwrap();
+        assert_eq!(&buf[4..8], &3u32.to_le_bytes(), "drift stamps version 3");
+        let loaded = Workload::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded, w);
+        let mut buf2 = Vec::new();
+        loaded.save(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn stationary_workloads_still_stamp_v2() {
+        let mut w = sample_workload();
+        w.stamp_arrivals(ArrivalProcess::poisson(20_000.0, 42));
+        let mut buf = Vec::new();
+        w.save(&mut buf).unwrap();
+        assert_eq!(&buf[4..8], &2u32.to_le_bytes());
+        assert_eq!(Workload::load(&mut buf.as_slice()).unwrap().drift, None);
+    }
+
+    #[test]
+    fn v1_save_drops_drift() {
+        let w = drifting_workload();
+        let mut buf = Vec::new();
+        w.save_v1(&mut buf).unwrap();
+        let loaded = Workload::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.drift, None);
+        assert!(loaded.arrivals.is_closed_loop());
+        assert_eq!(loaded.batches, w.batches);
+    }
+
+    #[test]
+    fn rejects_v3_hot_set_beyond_row_count() {
+        // Doctor a v3 file so the rotation's hot sets span more rows
+        // than the spec declares (save does not validate, so a bad
+        // schedule round-trips to bytes; load must refuse them).
+        let mut w = drifting_workload();
+        let rot = w.drift.as_mut().unwrap().rotation.as_mut().unwrap();
+        rot.num_sets = 1_000_000;
+        let mut buf = Vec::new();
+        w.save(&mut buf).unwrap();
+        let err = Workload::load(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("rows"), "{err}");
+    }
+
+    #[test]
+    fn rejects_v3_spike_target_beyond_row_count() {
+        let mut w = drifting_workload();
+        w.drift.as_mut().unwrap().spikes[0].target_set = 1_000_000;
+        let mut buf = Vec::new();
+        w.save(&mut buf).unwrap();
+        let err = Workload::load(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("hot set"), "{err}");
     }
 
     #[test]

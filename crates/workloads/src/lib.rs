@@ -27,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod arrival;
+pub mod drift;
 pub mod import;
 pub mod io;
 pub mod pack;
@@ -36,6 +37,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use arrival::{ArrivalProcess, ArrivalTrace, NS_PER_SEC};
+pub use drift::{ActiveHotSet, DiurnalCurve, DriftSchedule, FlashCrowd, HotSetRotation};
 pub use import::{import_text_trace, ImportConfig};
 pub use pack::{save_packed, write_packed, PackError, PackedTables};
 pub use profile::FreqProfile;

@@ -8,6 +8,7 @@
 //! lengths average to the spec's `Avg.Reduction`.
 
 use crate::arrival::{ArrivalProcess, ArrivalTrace};
+use crate::drift::{ActiveHotSet, DriftSchedule};
 use crate::spec::DatasetSpec;
 use crate::zipf::ZipfSampler;
 use dlrm_model::{QueryBatch, SparseInput};
@@ -69,6 +70,9 @@ pub struct Workload {
     pub batches: Vec<QueryBatch>,
     /// Per-query arrival timestamps (empty = closed-loop).
     pub arrivals: ArrivalTrace,
+    /// Non-stationary schedule the trace was generated under (None =
+    /// stationary v1/v2 workload).
+    pub drift: Option<DriftSchedule>,
 }
 
 impl Workload {
@@ -89,7 +93,13 @@ impl Workload {
                     SparseInput::from_samples(
                         (0..config.batch_size)
                             .map(|_| {
-                                sample_multi_hot(spec, &item_sampler, &cluster_sampler, &mut rng)
+                                sample_multi_hot(
+                                    spec,
+                                    &item_sampler,
+                                    &cluster_sampler,
+                                    None,
+                                    &mut rng,
+                                )
                             })
                             .collect::<Vec<_>>(),
                     )
@@ -105,6 +115,91 @@ impl Workload {
             config,
             batches,
             arrivals: ArrivalTrace::closed_loop(),
+            drift: None,
+        }
+    }
+
+    /// Synthesizes a non-stationary (UPWL v3) workload: arrivals come
+    /// from `process` warped by the schedule's rate modulation, and
+    /// each sample's index draws are redirected into the hot set active
+    /// at that sample's arrival time. Deterministic in `config.seed`
+    /// and the process seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the schedule fails [`DriftSchedule::validate`]
+    /// against `spec.num_items` or when `process` is closed-loop —
+    /// drift is a function of arrival time, so there must be one.
+    /// Callers (CLI, benches) validate first.
+    pub fn generate_drifting(
+        spec: &DatasetSpec,
+        config: TraceConfig,
+        drift: DriftSchedule,
+        process: ArrivalProcess,
+    ) -> Workload {
+        drift
+            .validate(spec.num_items)
+            .expect("drift schedule must validate against the spec");
+        assert!(
+            !process.is_closed_loop(),
+            "drifting workloads need open-loop arrivals"
+        );
+        let num_queries = config.batch_size * config.num_batches;
+
+        // Warp the base arrival gaps by the rate multiplier evaluated
+        // at the warped clock: dt' = dt / m(t'). A spike compresses
+        // gaps (flash crowd), the diurnal curve stretches and squeezes
+        // them sinusoidally.
+        let base = ArrivalTrace::generate(process, num_queries);
+        let mut times_ns = Vec::with_capacity(num_queries);
+        let mut prev_base = 0u64;
+        let mut t = 0.0f64;
+        for &tb in &base.times_ns {
+            let dt = tb.saturating_sub(prev_base) as f64;
+            prev_base = tb;
+            t += dt / drift.rate_multiplier(t.round() as u64);
+            times_ns.push(t.round() as u64);
+        }
+        let arrivals = ArrivalTrace { process, times_ns };
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let item_sampler = ZipfSampler::new(spec.num_items, spec.zipf_theta);
+        let cluster_sampler = ClusterPlan::new(spec);
+        let mut batches = Vec::with_capacity(config.num_batches);
+        for b in 0..config.num_batches {
+            let dense: Vec<f32> = (0..config.batch_size * config.num_dense)
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect();
+            let sparse: Vec<SparseInput> = (0..config.num_tables)
+                .map(|_| {
+                    SparseInput::from_samples(
+                        (0..config.batch_size)
+                            .map(|s| {
+                                let k = b * config.batch_size + s;
+                                let hot = drift.active_hot_set(arrivals.times_ns[k]);
+                                sample_multi_hot(
+                                    spec,
+                                    &item_sampler,
+                                    &cluster_sampler,
+                                    hot,
+                                    &mut rng,
+                                )
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            batches.push(
+                QueryBatch::new(dense, config.num_dense, sparse)
+                    .expect("generated batches are valid by construction"),
+            );
+        }
+        Workload {
+            spec: spec.clone(),
+            config,
+            batches,
+            arrivals,
+            drift: Some(drift),
         }
     }
 
@@ -185,11 +280,16 @@ impl ClusterPlan {
     }
 }
 
-/// Draws one sample's distinct multi-hot index list.
+/// Draws one sample's distinct multi-hot index list. With `hot` set,
+/// each draw is redirected uniformly into the active hot set with the
+/// schedule's probability before the Zipf/cluster machinery runs; with
+/// `hot = None` the draw sequence is bit-identical to the stationary
+/// generator.
 fn sample_multi_hot(
     spec: &DatasetSpec,
     items: &ZipfSampler,
     clusters: &ClusterPlan,
+    hot: Option<ActiveHotSet>,
     rng: &mut StdRng,
 ) -> Vec<u64> {
     // Per-sample length: uniform in [0.5, 1.5] * avg so the mean matches
@@ -204,6 +304,15 @@ fn sample_multi_hot(
     let max_attempts = target * 20 + 64;
     while out.len() < target && attempts < max_attempts {
         attempts += 1;
+        if let Some(h) = hot {
+            if h.hot_fraction > 0.0 && rng.random_bool(h.hot_fraction) {
+                let item = h.start_row + rng.random_range(0..h.rows);
+                if seen.insert(item) {
+                    out.push(item);
+                }
+                continue;
+            }
+        }
         let take_cluster = clusters
             .sampler
             .as_ref()
@@ -365,6 +474,55 @@ mod tests {
             co01 > co0x * 3,
             "cluster pair co-occurs {co01}, random pair {co0x}"
         );
+    }
+
+    #[test]
+    fn drifting_generation_is_deterministic_and_concentrated() {
+        use crate::drift::{DriftSchedule, HotSetRotation};
+        let spec = small_spec();
+        let cfg = TraceConfig {
+            num_tables: 2,
+            num_batches: 6,
+            ..TraceConfig::default()
+        };
+        let drift = DriftSchedule {
+            rotation: Some(HotSetRotation {
+                num_sets: 4,
+                set_size: 256,
+                period_ns: 2_000_000,
+                hot_fraction: 0.9,
+            }),
+            ..DriftSchedule::default()
+        };
+        let process = ArrivalProcess::poisson(50_000.0, 3);
+        let a = Workload::generate_drifting(&spec, cfg, drift.clone(), process);
+        let b = Workload::generate_drifting(&spec, cfg, drift.clone(), process);
+        assert_eq!(a, b);
+        assert_eq!(a.arrivals.len(), a.num_queries());
+        assert!(a.arrivals.times_ns.windows(2).all(|w| w[0] <= w[1]));
+        // Each query's indices should concentrate in the hot set active
+        // at its arrival time.
+        let mut in_hot = 0u64;
+        let mut total = 0u64;
+        for (bi, batch) in a.batches.iter().enumerate() {
+            for sp in &batch.sparse {
+                for (s, sample) in sp.iter().enumerate() {
+                    let k = bi * cfg.batch_size + s;
+                    let h = drift.active_hot_set(a.arrivals.times_ns[k]).unwrap();
+                    total += sample.len() as u64;
+                    in_hot += sample
+                        .iter()
+                        .filter(|&&i| i >= h.start_row && i < h.start_row + h.rows)
+                        .count() as u64;
+                }
+            }
+        }
+        // Distinct-draw dedup within a sample dilutes the redirect
+        // probability, so the realized share sits below hot_fraction.
+        let frac = in_hot as f64 / total as f64;
+        assert!(frac > 0.55, "hot-set concentration too low: {frac}");
+        // Stationary generation is untouched by the drift machinery.
+        assert_eq!(Workload::generate(&spec, cfg).drift, None);
     }
 
     #[test]

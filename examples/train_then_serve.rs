@@ -111,6 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         batches,
         arrivals: updlrm::workloads::ArrivalTrace::closed_loop(),
+        drift: None,
     };
     let mut engine = UpdlrmEngine::from_workload(
         UpdlrmConfig::with_dpus(32, PartitionStrategy::CacheAware),

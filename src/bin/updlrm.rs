@@ -19,10 +19,14 @@
 //!              [--time-scale X] [--deterministic] [--dataset read]
 //!              [--strategy u|nu|ca|nur] [--dpus 256] [--scale 200]
 //!              [--batches 10] [--seed 7] [--host-threads N]
-//!              [--json FILE] [--metrics FILE]
+//!              [--workload-v3 FILE] [--replan off|periodic:N|imbalance:T[:N]]
+//!              [--drift-snapshot FILE] [--json FILE] [--metrics FILE]
 //! updlrm stats --metrics FILE
 //! updlrm trace [--dataset movie] [--scale 200] [--batches 10]
-//!              [--arrival poisson|bursty --qps N] --out trace.upwl
+//!              [--arrival poisson|bursty --qps N]
+//!              [--rotate SETS:ROWS:PERIOD_US:HOT]
+//!              [--spike START_US:DUR_US:SET:EXTRA:BOOST]
+//!              [--diurnal PERIOD_US:AMPLITUDE] --out trace.upwl
 //! updlrm info  [--dataset read]
 //! ```
 
@@ -46,10 +50,12 @@ fn usage() -> ! {
          [--policy block|shed-oldest|reject-new] [--queue-cap N] \
          [--runtime modeled|wall] [--shards N] [--time-scale X] [--deterministic] \
          [--dataset TAG] [--strategy u|nu|ca|nur] [--dpus N] [--scale N] [--batches N] [--seed N] \
-         [--host-threads N] [--json FILE] [--metrics FILE]\n  \
+         [--host-threads N] [--workload-v3 FILE] [--replan off|periodic:N|imbalance:T[:N]] \
+         [--drift-snapshot FILE] [--json FILE] [--metrics FILE]\n  \
          updlrm stats --metrics FILE\n  \
          updlrm trace [--dataset TAG] [--scale N] [--batches N] [--seed N] \
-         [--arrival poisson|bursty --qps N] --out FILE\n  \
+         [--arrival poisson|bursty --qps N] [--rotate SETS:ROWS:PERIOD_US:HOT] \
+         [--spike START_US:DUR_US:SET:EXTRA:BOOST] [--diurnal PERIOD_US:AMPLITUDE] --out FILE\n  \
          updlrm info  [--dataset TAG]\n\nTAG: clo home meta1 meta2 read read2 movie twitch"
     );
     std::process::exit(2)
@@ -965,8 +971,13 @@ struct RuntimeJson {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let qps = args.positive_float("qps");
-    let process = arrival_or_exit(args, qps);
+    let workload_path = args.flags.get("workload-v3").cloned();
+    if workload_path.is_some() && (args.flag_set("qps") || args.flag_set("arrival")) {
+        eprintln!(
+            "--workload-v3 replays the file's stamped arrivals; --qps/--arrival do not apply"
+        );
+        std::process::exit(2)
+    }
     let max_batch = args.num("max-batch", 64);
     if max_batch == 0 {
         eprintln!("--max-batch must be >= 1 (a batcher that forms empty batches serves nothing)");
@@ -990,6 +1001,19 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
     };
 
+    let replan: ReplanPolicy = match args.str("replan", "off").parse() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("--replan: {e}");
+            std::process::exit(2)
+        }
+    };
+    let drift_snapshot_path = args.flags.get("drift-snapshot").cloned();
+    if drift_snapshot_path.is_some() && !replan.enabled() {
+        eprintln!("--drift-snapshot needs --replan (a static placement never migrates)");
+        std::process::exit(2)
+    }
+
     let runtime_mode = args.str("runtime", "modeled");
     let shards = args.num("shards", 1);
     let deterministic = args.flag_set("deterministic");
@@ -1012,6 +1036,13 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 );
                 std::process::exit(2)
             }
+            if replan.enabled() {
+                eprintln!(
+                    "--replan requires --runtime modeled (the wall runtime's shards serve \
+                     from static placements)"
+                );
+                std::process::exit(2)
+            }
         }
         other => {
             eprintln!("unknown runtime '{other}' (want modeled or wall)");
@@ -1019,16 +1050,63 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let (spec, mut workload, model) = build_setting(args)?;
-    workload.stamp_arrivals(process);
+    let (spec, workload, model) = if let Some(path) = &workload_path {
+        // A stamped UPWL file (v1/v2/v3) replayed as-is: the loader
+        // already validated the drift schedule against the embedded
+        // spec's row count, and a file without arrivals cannot be
+        // served open-loop.
+        let mut file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("--workload-v3 {path}: {e}");
+                std::process::exit(2)
+            }
+        };
+        let workload = match Workload::load(&mut file) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("--workload-v3 {path}: {e}");
+                std::process::exit(2)
+            }
+        };
+        if workload.arrivals.process.is_closed_loop() {
+            eprintln!(
+                "--workload-v3 {path}: the trace has no arrival stamps; regenerate it with \
+                 `updlrm trace --qps N` (serving needs open-loop arrivals)"
+            );
+            std::process::exit(2)
+        }
+        let spec = workload.spec.clone();
+        let model = Arc::new(Dlrm::new(DlrmConfig {
+            num_dense: 13,
+            embedding_dim: 32,
+            table_rows: vec![spec.num_items; workload.config.num_tables],
+            bottom_hidden: vec![64],
+            top_hidden: vec![64, 16],
+            seed: args.num("seed", 7) as u64,
+        })?);
+        (spec, workload, model)
+    } else {
+        let qps = args.positive_float("qps");
+        let process = arrival_or_exit(args, qps);
+        let (spec, mut workload, model) = build_setting(args)?;
+        workload.stamp_arrivals(process);
+        (spec, workload, model)
+    };
+    let process = workload.arrivals.process;
+    let qps = process.offered_qps().unwrap_or(0.0);
 
     let mut config = UpdlrmConfig::with_dpus(args.num("dpus", 256), strategy_or_exit(args));
     // The batcher never forms more than `max_batch` queries, so size the
     // engine's staging slots to exactly that.
     config.batch_size = max_batch;
     config.host_threads = args.num("host-threads", config.host_threads);
+    config.replan = replan;
     let metrics_path = args.flags.get("metrics").cloned();
-    config.telemetry = metrics_path.is_some();
+    // Replanning implies telemetry: the drift counters (and the
+    // mid-migration snapshot `--drift-snapshot` writes) live in the
+    // metrics registry.
+    config.telemetry = metrics_path.is_some() || replan.enabled();
     let sched_config = SchedConfig {
         max_batch_size: max_batch,
         max_wait_ns: max_wait_us as u64 * 1_000,
@@ -1094,6 +1172,20 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         report.queue_high_water,
         queue_cap,
     );
+    if replan.enabled() {
+        let d = engine.metrics_snapshot().drift;
+        println!(
+            "  replan [{}]: {} replans ({} skipped), {} migrations, {} rows / {:.1} KB moved, \
+             {:.1} us migrating",
+            replan,
+            d.replans_triggered,
+            d.replans_skipped,
+            d.migrations_completed,
+            d.rows_moved,
+            d.migrated_bytes as f64 / 1e3,
+            d.migration_ns / 1e3,
+        );
+    }
 
     if let Some(path) = args.flags.get("json") {
         let json = SchedJson {
@@ -1115,6 +1207,21 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(path) = &metrics_path {
         write_metrics(path, &engine.metrics_snapshot())?;
+    }
+    if let Some(path) = &drift_snapshot_path {
+        match engine.drift_snapshot() {
+            Some(snap) => {
+                std::fs::write(path, serde::json::to_string_pretty(snap))?;
+                println!("wrote {path}");
+            }
+            None => {
+                eprintln!(
+                    "no migration was triggered, so there is no mid-migration snapshot to \
+                     write; serve longer or lower the --replan period/threshold"
+                );
+                std::process::exit(1)
+            }
+        }
     }
     Ok(())
 }
@@ -1416,13 +1523,88 @@ fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let (spec, mut workload, _) = build_setting(args)?;
-    if args.flags.contains_key("arrival") || args.flags.contains_key("qps") {
-        // `--arrival` defaults to poisson, but a rate is always needed.
-        let qps = args.positive_float("qps");
-        workload.stamp_arrivals(arrival_or_exit(args, qps));
+/// Splits a colon-separated flag value into exactly `n` parsed fields,
+/// exiting 2 with a usage hint otherwise.
+fn split_fields<T: std::str::FromStr>(flag: &str, value: &str, n: usize, hint: &str) -> Vec<T> {
+    let parts: Vec<&str> = value.split(':').collect();
+    if parts.len() != n {
+        eprintln!("--{flag} expects {hint}, got '{value}'");
+        std::process::exit(2)
     }
+    parts
+        .iter()
+        .map(|p| {
+            p.parse().unwrap_or_else(|_| {
+                eprintln!("--{flag}: cannot parse '{p}' in '{value}' (want {hint})");
+                std::process::exit(2)
+            })
+        })
+        .collect()
+}
+
+/// Builds the UPWL v3 drift schedule from `--rotate` / `--spike` /
+/// `--diurnal`, or `None` when no drift flag is present. Validates the
+/// schedule against the dataset's row count (exit 2 on a hot set that
+/// does not fit — the same check the loader applies).
+fn parse_drift(args: &Args, spec: &DatasetSpec) -> Option<DriftSchedule> {
+    let mut drift = DriftSchedule::default();
+    if let Some(v) = args.flags.get("rotate") {
+        let f = split_fields::<f64>("rotate", v, 4, "SETS:ROWS:PERIOD_US:HOT_FRACTION");
+        drift.rotation = Some(HotSetRotation {
+            num_sets: f[0] as usize,
+            set_size: f[1] as usize,
+            period_ns: (f[2] * 1_000.0) as u64,
+            hot_fraction: f[3],
+        });
+    }
+    if let Some(v) = args.flags.get("spike") {
+        let f = split_fields::<f64>("spike", v, 5, "START_US:DUR_US:SET:EXTRA_HOT:RATE_BOOST");
+        drift.spikes.push(FlashCrowd {
+            start_ns: (f[0] * 1_000.0) as u64,
+            duration_ns: (f[1] * 1_000.0) as u64,
+            target_set: f[2] as usize,
+            extra_hot: f[3],
+            rate_boost: f[4],
+        });
+    }
+    if let Some(v) = args.flags.get("diurnal") {
+        let f = split_fields::<f64>("diurnal", v, 2, "PERIOD_US:AMPLITUDE");
+        drift.diurnal = Some(DiurnalCurve {
+            period_ns: (f[0] * 1_000.0) as u64,
+            amplitude: f[1],
+        });
+    }
+    if drift.is_trivial() {
+        return None;
+    }
+    if let Err(e) = drift.validate(spec.num_items) {
+        eprintln!("invalid drift schedule: {e}");
+        std::process::exit(2)
+    }
+    Some(drift)
+}
+
+fn cmd_trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = spec_or_exit(args).scaled_down(args.num("scale", 200));
+    let trace_config = TraceConfig {
+        num_batches: args.num("batches", 10),
+        seed: args.num("seed", 7) as u64,
+        ..TraceConfig::default()
+    };
+    let workload = if let Some(drift) = parse_drift(args, &spec) {
+        // Drift is a function of arrival time, so a v3 trace always
+        // carries an open-loop arrival process (`--qps` is required).
+        let qps = args.positive_float("qps");
+        Workload::generate_drifting(&spec, trace_config, drift, arrival_or_exit(args, qps))
+    } else {
+        let mut workload = Workload::generate(&spec, trace_config);
+        if args.flags.contains_key("arrival") || args.flags.contains_key("qps") {
+            // `--arrival` defaults to poisson, but a rate is always needed.
+            let qps = args.positive_float("qps");
+            workload.stamp_arrivals(arrival_or_exit(args, qps));
+        }
+        workload
+    };
     let out = args.flags.get("out").cloned().unwrap_or_else(|| usage());
     let mut file = std::fs::File::create(&out)?;
     workload.save(&mut file)?;
@@ -1435,8 +1617,13 @@ fn cmd_trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             workload.arrivals.process.offered_qps().unwrap_or(0.0),
         )
     };
+    let version = if workload.drift.is_some() {
+        "UPWL v3, drifting"
+    } else {
+        "UPWL"
+    };
     println!(
-        "wrote {} ({} batches, {} lookups, {} items/table, {arrivals}) to {out}",
+        "wrote {} ({} batches, {} lookups, {} items/table, {arrivals}, {version}) to {out}",
         spec.name,
         workload.batches.len(),
         workload.total_lookups(),

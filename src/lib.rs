@@ -85,12 +85,13 @@ pub mod prelude {
     pub use scheduler::{OverloadPolicy, SchedConfig, SchedReport, Scheduler};
     pub use updlrm_core::{
         BatchServer, EmbeddingBreakdown, MetricsRegistry, PartitionStrategy, PipelineMode,
-        PipelineReport, RuntimeSnapshot, ServeOutcome, ServeReport, Snapshot, TieredEngine, Tiling,
-        TilingProblem, UpdlrmConfig, UpdlrmEngine, SNAPSHOT_SCHEMA_VERSION,
+        PipelineReport, ReplanPolicy, RuntimeSnapshot, ServeOutcome, ServeReport, Snapshot,
+        TieredEngine, Tiling, TilingProblem, UpdlrmConfig, UpdlrmEngine, SNAPSHOT_SCHEMA_VERSION,
     };
     pub use upmem_sim::{CostModel, DpuId, PimConfig, PimSystem, RankCostModel, RankTopology};
     pub use workloads::{
-        save_packed, ArrivalProcess, ArrivalTrace, DatasetSpec, FreqProfile, Hotness, PackError,
-        PackedTables, TraceConfig, Workload, ZipfSampler, NS_PER_SEC,
+        save_packed, ArrivalProcess, ArrivalTrace, DatasetSpec, DiurnalCurve, DriftSchedule,
+        FlashCrowd, FreqProfile, HotSetRotation, Hotness, PackError, PackedTables, TraceConfig,
+        Workload, ZipfSampler, NS_PER_SEC,
     };
 }

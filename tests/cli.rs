@@ -285,7 +285,7 @@ fn metrics_snapshot_is_deterministic_across_runs() {
     );
     // The snapshot carries only modeled values and counts.
     let text = String::from_utf8(first).expect("utf8 json");
-    assert!(text.contains("\"schema_version\": 3"), "{text}");
+    assert!(text.contains("\"schema_version\": 4"), "{text}");
     assert!(text.contains("\"per_dpu\""), "{text}");
     assert!(text.contains("\"load_imbalance\""), "{text}");
     std::fs::remove_file(&a).ok();
@@ -320,7 +320,7 @@ fn stats_pretty_prints_a_snapshot() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("schema v3"), "stdout: {text}");
+    assert!(text.contains("schema v4"), "stdout: {text}");
     assert!(text.contains("stage shares"), "stdout: {text}");
     assert!(text.contains("load imbalance"), "stdout: {text}");
     assert!(text.contains("fleet: 32 DPUs"), "stdout: {text}");
@@ -681,8 +681,8 @@ fn stats_rejects_snapshots_from_other_schema_versions() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = std::fs::read_to_string(&path).expect("snapshot");
-    assert!(text.contains("\"schema_version\": 3"), "{text}");
-    let doctored = text.replace("\"schema_version\": 3", "\"schema_version\": 1");
+    assert!(text.contains("\"schema_version\": 4"), "{text}");
+    let doctored = text.replace("\"schema_version\": 4", "\"schema_version\": 1");
     std::fs::write(&path, doctored).expect("doctor snapshot");
     let out = updlrm()
         .arg("stats")
@@ -693,7 +693,7 @@ fn stats_rejects_snapshots_from_other_schema_versions() {
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("schema v1"), "stderr: {err}");
-    assert!(err.contains("reads v3"), "stderr: {err}");
+    assert!(err.contains("reads v4"), "stderr: {err}");
     std::fs::remove_file(&path).ok();
 }
 
@@ -936,4 +936,155 @@ fn run_with_plan_serves_the_tiered_engine() {
     for p in [&plan_path, &json_path, &metrics_path] {
         std::fs::remove_file(p).ok();
     }
+}
+
+#[test]
+fn trace_then_serve_replans_a_v3_workload() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("drift.upwl");
+    let snap_path = dir.join("drift_snap.json");
+
+    let out = updlrm()
+        .args([
+            "trace",
+            "--dataset",
+            "read",
+            "--scale",
+            "5000",
+            "--batches",
+            "4",
+            "--qps",
+            "10000",
+            "--rotate",
+            "4:64:2000:0.8",
+        ])
+        .arg("--out")
+        .arg(&trace_path)
+        .output()
+        .expect("trace");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("UPWL v3, drifting"),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let out = updlrm()
+        .args([
+            "serve",
+            "--max-batch",
+            "32",
+            "--dpus",
+            "128",
+            "--strategy",
+            "u",
+            "--replan",
+            "periodic:8",
+        ])
+        .arg("--workload-v3")
+        .arg(&trace_path)
+        .arg("--drift-snapshot")
+        .arg(&snap_path)
+        .output()
+        .expect("serve");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("replan [periodic:8]"), "stdout: {text}");
+    let snap = std::fs::read_to_string(&snap_path).expect("drift snapshot");
+    assert!(snap.contains("\"replans_triggered\": 1"), "{snap}");
+    assert!(snap.contains("\"migrations_completed\": 0"), "{snap}");
+    for p in [&trace_path, &snap_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn serve_rejects_doctored_v3_with_out_of_range_hot_sets() {
+    use updlrm::prelude::*;
+
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("doctored.upwl");
+
+    // A structurally valid v3 file whose drift schedule points its hot
+    // sets far beyond the table: save() writes it (no exit path there),
+    // the loader must reject it, and the CLI must surface exit 2.
+    let spec = DatasetSpec::goodreads().scaled_down(5000);
+    let mut workload = Workload::generate(
+        &spec,
+        TraceConfig {
+            num_batches: 1,
+            ..TraceConfig::default()
+        },
+    );
+    workload.stamp_arrivals(ArrivalProcess::poisson(10_000.0, 7));
+    workload.drift = Some(DriftSchedule {
+        rotation: Some(HotSetRotation {
+            num_sets: 64,
+            set_size: 1 << 20,
+            period_ns: 1_000_000,
+            hot_fraction: 0.5,
+        }),
+        spikes: Vec::new(),
+        diurnal: None,
+    });
+    let mut file = std::fs::File::create(&path).expect("create");
+    workload.save(&mut file).expect("save");
+    drop(file);
+
+    let out = updlrm()
+        .args(["serve", "--dpus", "128"])
+        .arg("--workload-v3")
+        .arg(&path)
+        .output()
+        .expect("serve");
+    assert_eq!(out.status.code(), Some(2), "doctored v3 must exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("rows"), "stderr: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn serve_replan_flag_is_validated() {
+    // Unknown policy spelling: exit 2.
+    let out = updlrm()
+        .args(["serve", "--qps", "1000", "--replan", "sometimes"])
+        .output()
+        .expect("serve");
+    assert_eq!(out.status.code(), Some(2));
+    // Replanning needs the modeled scheduler's between-batch tick.
+    let out = updlrm()
+        .args([
+            "serve",
+            "--qps",
+            "1000",
+            "--replan",
+            "periodic:4",
+            "--runtime",
+            "wall",
+        ])
+        .output()
+        .expect("serve");
+    assert_eq!(out.status.code(), Some(2));
+    // A drift snapshot without a replanner can never exist.
+    let out = updlrm()
+        .args([
+            "serve",
+            "--qps",
+            "1000",
+            "--drift-snapshot",
+            "/tmp/nope.json",
+        ])
+        .output()
+        .expect("serve");
+    assert_eq!(out.status.code(), Some(2));
 }
