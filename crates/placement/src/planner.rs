@@ -294,6 +294,32 @@ fn pack_ranks(tables: &mut [TablePlacement], config: &PlannerConfig) -> Result<R
     })
 }
 
+/// Deterministic per-tenant DPU rotations that interleave N tenants'
+/// table partitions across one shared fleet of `fleet_dpus` DPUs:
+/// tenant `i`'s partition `p` lands on physical DPU
+/// `(p + offsets[i]) % fleet_dpus`.
+///
+/// Each tenant's partitioner numbers its partitions from DPU 0, so
+/// with no rotation every tenant's partition 0 — usually the hottest,
+/// since row 0 starts the Zipf head — stacks on the *same* physical
+/// DPU and the tenants' load imbalances compound. Spreading the
+/// origins evenly (`offsets[i] = i * fleet_dpus / n`) decorrelates
+/// them: the hot partitions land `fleet_dpus / n` DPUs apart, so the
+/// fleet-aggregate per-DPU load flattens without touching any
+/// tenant-local placement (the rotation is pure relabeling, which is
+/// also why it cannot change any tenant's modeled service time).
+///
+/// # Panics
+///
+/// Panics when `num_tenants` is 0 or `fleet_dpus` is 0.
+pub fn interleaved_offsets(num_tenants: usize, fleet_dpus: usize) -> Vec<usize> {
+    assert!(num_tenants > 0, "need at least one tenant");
+    assert!(fleet_dpus > 0, "need at least one DPU");
+    (0..num_tenants)
+        .map(|i| i * fleet_dpus / num_tenants % fleet_dpus)
+        .collect()
+}
+
 /// Nanoseconds to DMA one `row_bytes` row MRAM→WRAM, split into
 /// 2048-byte engine transfers.
 fn row_dma_ns(cost: &CostModel, row_bytes: usize) -> f64 {
@@ -418,5 +444,52 @@ fn estimate(
         mram_parts_total,
         ranks_touched,
         mram_ranks_touched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::interleaved_offsets;
+
+    #[test]
+    fn interleaved_offsets_spread_origins_and_decorrelate_hot_load() {
+        assert_eq!(interleaved_offsets(1, 64), vec![0]);
+        assert_eq!(interleaved_offsets(4, 64), vec![0, 16, 32, 48]);
+        assert_eq!(interleaved_offsets(3, 8), vec![0, 2, 5]);
+        // More tenants than DPUs still yields valid in-range offsets.
+        let off = interleaved_offsets(10, 4);
+        assert!(off.iter().all(|&o| o < 4));
+
+        // Decorrelation: three tenants with identical skewed per-DPU
+        // loads (hot partition 0). Stacked at offset 0 the hot loads
+        // compound; rotated, the fleet aggregate flattens.
+        let fleet = 12usize;
+        let tenant_load: Vec<u64> = (0..fleet).map(|d| if d == 0 { 90 } else { 10 }).collect();
+        let aggregate = |offsets: &[usize]| -> Vec<u64> {
+            let mut agg = vec![0u64; fleet];
+            for &o in offsets {
+                for (d, &l) in tenant_load.iter().enumerate() {
+                    agg[(d + o) % fleet] += l;
+                }
+            }
+            agg
+        };
+        let imbalance = |agg: &[u64]| -> f64 {
+            let max = *agg.iter().max().unwrap() as f64;
+            let mean = agg.iter().sum::<u64>() as f64 / agg.len() as f64;
+            max / mean
+        };
+        let stacked = imbalance(&aggregate(&[0; 3]));
+        let interleaved = imbalance(&aggregate(&interleaved_offsets(3, fleet)));
+        assert!(
+            interleaved < stacked,
+            "interleaving must flatten the aggregate: {interleaved} vs {stacked}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn interleaved_offsets_reject_zero_tenants() {
+        interleaved_offsets(0, 8);
     }
 }

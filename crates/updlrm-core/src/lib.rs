@@ -48,7 +48,7 @@ pub use serve::{BatchServer, PipelineMode, ServeOutcome, ServeReport};
 pub use stats::percentile;
 pub use telemetry::{
     DriftSnapshot, MetricsRegistry, RuntimeSnapshot, SchedSnapshot, SchedTrigger, Snapshot,
-    SNAPSHOT_SCHEMA_VERSION,
+    TenantSnapshot, SNAPSHOT_SCHEMA_VERSION,
 };
 pub use tiered::TieredEngine;
 pub use tiling::{Tiling, TilingProblem, CANDIDATE_NC, MAX_TILE_ELEMENTS};

@@ -38,7 +38,10 @@ use crate::serve::ServeReport;
 /// from the wall-clock serving runtime; all zero on modeled-only runs).
 /// v4 added the [`DriftSnapshot`] block (online replanning and EMT
 /// shard-migration counters; all zero with `--replan off`).
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 4;
+/// v5 added the [`TenantSnapshot`] breakout (per-tenant admission,
+/// latency, SLO and fleet-share statistics from the multi-tenant
+/// fleet; an empty list outside `updlrm serve --tenants`).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 5;
 
 /// Why the open-loop batcher closed a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +90,22 @@ impl Accum {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Folds another summary into this one (count/sum add, extrema
+    /// widen). Lossless for everything a snapshot reports.
+    pub fn merge(&mut self, other: &Accum) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -214,6 +233,48 @@ pub struct DriftSnapshot {
     pub last_flip_ns: u64,
 }
 
+/// One tenant's breakout in a [`Snapshot`]: admission, latency, SLO
+/// and fleet-share statistics recorded by the multi-tenant fleet
+/// (`tenancy` crate) at end of run. Every value is a count or a
+/// modeled time, so the block is byte-deterministic like the rest of
+/// the snapshot.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TenantSnapshot {
+    /// Tenant name (unique within the fleet).
+    pub name: String,
+    /// Configured arbitration weight (SLO share).
+    pub weight: f64,
+    /// Requests admitted into the tenant's queue.
+    pub admitted: u64,
+    /// Requests evicted by the tenant's shed-oldest policy.
+    pub shed: u64,
+    /// Requests dropped at the door by reject-new.
+    pub rejected: u64,
+    /// Requests held at the door by the block policy.
+    pub blocked: u64,
+    /// Requests that completed through the shared fleet.
+    pub completed: u64,
+    /// Batches the tenant's queue formed.
+    pub batches: u64,
+    /// The tenant's p99 latency target, ns (0 = no SLO).
+    pub slo_p99_ns: f64,
+    /// Completed requests whose latency exceeded the SLO target.
+    pub slo_violations: u64,
+    /// Mean completed-request latency, ns.
+    pub mean_latency_ns: f64,
+    /// Median completed-request latency, ns.
+    pub p50_latency_ns: f64,
+    /// 95th-percentile completed-request latency, ns.
+    pub p95_latency_ns: f64,
+    /// 99th-percentile completed-request latency, ns.
+    pub p99_latency_ns: f64,
+    /// Share of total fleet busy time the arbiter was configured to
+    /// grant this tenant (`weight / sum of weights`).
+    pub fleet_share_configured: f64,
+    /// Share of total fleet busy time the tenant actually consumed.
+    pub fleet_share_achieved: f64,
+}
+
 /// A deterministic, serializable copy of everything a
 /// [`MetricsRegistry`] has recorded.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -267,6 +328,9 @@ pub struct Snapshot {
     pub runtime: RuntimeSnapshot,
     /// Online-replanning counters (all zero with `--replan off`).
     pub drift: DriftSnapshot,
+    /// Per-tenant breakout, in fleet tenant order (empty outside
+    /// multi-tenant serving).
+    pub tenants: Vec<TenantSnapshot>,
     /// Per-DPU utilization, ascending by DPU id. Empty when telemetry
     /// was disabled.
     pub per_dpu: Vec<DpuSnapshot>,
@@ -305,6 +369,9 @@ pub struct MetricsRegistry {
     sched: SchedSnapshot,
     runtime: RuntimeSnapshot,
     drift: DriftSnapshot,
+    /// Per-tenant breakouts, recorded once per tenant at end of a
+    /// multi-tenant run (never in the steady-state serving loop).
+    tenants: Vec<TenantSnapshot>,
     /// One preallocated cell per DPU, indexed by DPU id.
     per_dpu: Vec<DpuCounters>,
 }
@@ -465,6 +532,17 @@ impl MetricsRegistry {
         self.runtime = runtime;
     }
 
+    /// Appends one tenant's end-of-run breakout. Called by the
+    /// multi-tenant fleet once per tenant *after* the serving loop has
+    /// drained (it allocates, so it must never run in steady state);
+    /// tenants appear in the snapshot in recording order.
+    pub fn record_tenant(&mut self, tenant: TenantSnapshot) {
+        if !self.enabled {
+            return;
+        }
+        self.tenants.push(tenant);
+    }
+
     /// Records a replan the engine accepted: a migration of
     /// `rows_moved` row copies (`bytes` total traffic) was started at
     /// a modeled cost of `migration_ns`.
@@ -513,6 +591,68 @@ impl MetricsRegistry {
         }
     }
 
+    /// Folds another registry's recorded telemetry into this one,
+    /// rotating its per-DPU cells by `dpu_offset` (mod this fleet's
+    /// size). The multi-tenant fleet uses this to aggregate each
+    /// tenant engine's counters into one fleet-wide snapshot: stage
+    /// spans, traffic, scheduler and drift counters fold into fleet
+    /// totals, while the per-tenant breakout keeps the per-lane split.
+    /// Runtime measurements are not merged (a modeled fleet has no
+    /// wall clock). Called once per tenant after the serving loop has
+    /// drained, never in steady state.
+    pub fn absorb(&mut self, other: &MetricsRegistry, dpu_offset: usize) {
+        if !self.enabled || !other.enabled {
+            return;
+        }
+        self.serves += other.serves;
+        self.batches += other.batches;
+        self.samples += other.samples;
+        self.route_ns.merge(&other.route_ns);
+        self.stage1_ns.merge(&other.stage1_ns);
+        self.stage2_ns.merge(&other.stage2_ns);
+        self.stage3_ns.merge(&other.stage3_ns);
+        self.combine_ns.merge(&other.combine_ns);
+        self.energy_pj += other.energy_pj;
+        self.serve_wall_ns += other.serve_wall_ns;
+        self.sequential_wall_ns += other.sequential_wall_ns;
+        self.overlap_saved_ns += other.overlap_saved_ns;
+        self.stage1_bytes += other.stage1_bytes;
+        self.stage3_bytes += other.stage3_bytes;
+        self.launches += other.launches;
+        self.load_imbalance.merge(&other.load_imbalance);
+        self.cache.lookups += other.cache.lookups;
+        self.cache.refs += other.cache.refs;
+        self.cache.hit_entries += other.cache.hit_entries;
+        self.cache.covered_refs += other.cache.covered_refs;
+        self.cache.residual_refs += other.cache.residual_refs;
+        self.sched.admitted += other.sched.admitted;
+        self.sched.shed_oldest += other.sched.shed_oldest;
+        self.sched.rejected_new += other.sched.rejected_new;
+        self.sched.blocked += other.sched.blocked;
+        self.sched.batches += other.sched.batches;
+        self.sched.trigger_size += other.sched.trigger_size;
+        self.sched.trigger_deadline += other.sched.trigger_deadline;
+        self.sched.trigger_drain += other.sched.trigger_drain;
+        self.sched.queue_depth_high_water = self
+            .sched
+            .queue_depth_high_water
+            .max(other.sched.queue_depth_high_water);
+        self.sched.batch_fill.merge(&other.sched.batch_fill);
+        self.drift.replans_triggered += other.drift.replans_triggered;
+        self.drift.replans_skipped += other.drift.replans_skipped;
+        self.drift.migrations_completed += other.drift.migrations_completed;
+        self.drift.rows_moved += other.drift.rows_moved;
+        self.drift.migrated_bytes += other.drift.migrated_bytes;
+        self.drift.migration_ns += other.drift.migration_ns;
+        self.drift.last_flip_ns = self.drift.last_flip_ns.max(other.drift.last_flip_ns);
+        let n = self.per_dpu.len();
+        if n > 0 {
+            for (i, c) in other.per_dpu.iter().enumerate() {
+                self.per_dpu[(i + dpu_offset) % n].merge(c);
+            }
+        }
+    }
+
     /// Copies the registry into a deterministic, serializable
     /// [`Snapshot`]. Allocates (the per-DPU vector) — call it outside
     /// the serving loop.
@@ -548,6 +688,7 @@ impl MetricsRegistry {
             sched: self.sched,
             runtime: self.runtime,
             drift: self.drift,
+            tenants: self.tenants.clone(),
             per_dpu: self
                 .per_dpu
                 .iter()
@@ -717,6 +858,42 @@ mod tests {
     }
 
     #[test]
+    fn tenant_breakouts_record_in_order_and_reset() {
+        let mut m = MetricsRegistry::new(true, 1);
+        assert!(m.snapshot().tenants.is_empty());
+        let a = TenantSnapshot {
+            name: "victim".into(),
+            weight: 2.0,
+            admitted: 100,
+            completed: 98,
+            shed: 2,
+            batches: 7,
+            slo_p99_ns: 2e6,
+            slo_violations: 1,
+            p99_latency_ns: 1.5e6,
+            fleet_share_configured: 0.4,
+            fleet_share_achieved: 0.35,
+            ..TenantSnapshot::default()
+        };
+        let b = TenantSnapshot {
+            name: "adversary".into(),
+            weight: 3.0,
+            ..TenantSnapshot::default()
+        };
+        m.record_tenant(a.clone());
+        m.record_tenant(b.clone());
+        let s = m.snapshot();
+        assert_eq!(s.tenants, vec![a, b], "recording order is snapshot order");
+        m.reset();
+        assert!(m.snapshot().tenants.is_empty());
+
+        // Disabled registries ignore tenant records too.
+        let mut off = MetricsRegistry::new(false, 1);
+        off.record_tenant(TenantSnapshot::default());
+        assert!(off.snapshot().tenants.is_empty());
+    }
+
+    #[test]
     fn snapshot_json_round_trips() {
         let mut m = MetricsRegistry::new(true, 3);
         m.record_batch(
@@ -729,6 +906,12 @@ mod tests {
             },
         );
         m.record_launch(1.1);
+        m.record_tenant(TenantSnapshot {
+            name: "solo".into(),
+            weight: 1.0,
+            completed: 42,
+            ..TenantSnapshot::default()
+        });
         let snap = m.snapshot();
         let text = serde::json::to_string_pretty(&snap);
         let back: Snapshot = serde::json::from_str(&text).expect("parses");

@@ -96,6 +96,19 @@ impl DpuCounters {
         self.tasklet_slots += stats.per_tasklet.len() as u64;
     }
 
+    /// Folds another cell's accumulated counters into this one —
+    /// everything is a sum, so merging is lossless (used to aggregate
+    /// per-tenant engine fleets into one shared-fleet view).
+    pub fn merge(&mut self, other: &DpuCounters) {
+        self.launches += other.launches;
+        self.cycles += other.cycles;
+        self.instrs += other.instrs;
+        self.dma_transfers += other.dma_transfers;
+        self.dma_bytes += other.dma_bytes;
+        self.busy_tasklets += other.busy_tasklets;
+        self.tasklet_slots += other.tasklet_slots;
+    }
+
     /// Mean tasklet occupancy over all recorded launches (`0.0` before
     /// the first launch).
     pub fn occupancy(&self) -> f64 {

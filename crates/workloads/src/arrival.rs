@@ -97,20 +97,49 @@ impl ArrivalProcess {
             ArrivalProcess::Bursty { .. } => "bursty",
         }
     }
+
+    /// The instantaneous-rate envelope `(min_qps, max_qps)` the process
+    /// can ever offer, or `None` for the closed-loop sentinel.
+    ///
+    /// Poisson is flat (`qps, qps`). The MMPP's two states bound it:
+    /// the quiet state runs at `qps * (1 - burst_factor *
+    /// burst_fraction) / (1 - burst_fraction)` and the burst state at
+    /// `qps * burst_factor`, so any measured rate over a stamped trace
+    /// must land inside this envelope (up to finite-sample noise) —
+    /// the property `arrival_props.rs` checks.
+    pub fn rate_bounds(&self) -> Option<(f64, f64)> {
+        match *self {
+            ArrivalProcess::ClosedLoop => None,
+            ArrivalProcess::Poisson { qps, .. } => Some((qps, qps)),
+            ArrivalProcess::Bursty {
+                qps,
+                burst_factor,
+                burst_fraction,
+                ..
+            } => {
+                let quiet = qps * (1.0 - burst_factor * burst_fraction) / (1.0 - burst_fraction);
+                Some((quiet, qps * burst_factor))
+            }
+        }
+    }
 }
 
 /// Per-query arrival timestamps plus the process that generated them.
 ///
 /// `times_ns[k]` is the arrival time of global query `k` (query `k`
 /// of the workload in batch-major order) in modeled nanoseconds from
-/// the start of the trace. Times are non-decreasing. An empty vector
-/// is the closed-loop sentinel.
+/// the start of the trace. Times are strictly increasing: the f64
+/// inter-arrival draws are strictly positive, and integer stamping
+/// rounds up to `previous + 1` whenever rounding would collapse two
+/// arrivals onto the same nanosecond, so every stamped inter-arrival
+/// is at least 1 ns (which also caps a stampable process at 1 query
+/// per ns = 1e9 QPS). An empty vector is the closed-loop sentinel.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ArrivalTrace {
     /// The generating process (parameters travel with the trace so a
     /// saved workload reproduces its schedule exactly).
     pub process: ArrivalProcess,
-    /// Arrival time of each query, ns, non-decreasing.
+    /// Arrival time of each query, ns, strictly increasing.
     pub times_ns: Vec<u64>,
 }
 
@@ -145,10 +174,14 @@ impl ArrivalTrace {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let rate = qps / NS_PER_SEC;
                 let mut t = 0.0f64;
+                let mut last = 0u64;
                 (0..n)
                     .map(|_| {
                         t += exp_ns(&mut rng, rate);
-                        t.round() as u64
+                        // Strictly increasing integer stamps: rounding
+                        // may collapse sub-ns gaps, so floor at +1 ns.
+                        last = (t.round() as u64).max(last + 1);
+                        last
                     })
                     .collect()
             }
@@ -181,6 +214,7 @@ impl ArrivalTrace {
                 let mean_burst_ns = burst_fraction * cycle_ns;
                 let mean_quiet_ns = (1.0 - burst_fraction) * cycle_ns;
                 let mut t = 0.0f64;
+                let mut last = 0u64;
                 let mut in_burst = false;
                 let mut state_end = exp_ns(&mut rng, 1.0 / mean_quiet_ns);
                 let mut out = Vec::with_capacity(n);
@@ -189,7 +223,9 @@ impl ArrivalTrace {
                     let dt = exp_ns(&mut rng, rate);
                     if t + dt <= state_end {
                         t += dt;
-                        out.push(t.round() as u64);
+                        // Same strictly-increasing stamping as Poisson.
+                        last = (t.round() as u64).max(last + 1);
+                        out.push(last);
                     } else {
                         // Memorylessness lets us discard the partial
                         // draw and restart from the state boundary.
@@ -251,7 +287,7 @@ mod tests {
         let b = ArrivalTrace::generate(ArrivalProcess::poisson(10_000.0, 7), 500);
         assert_eq!(a, b);
         assert_eq!(a.len(), 500);
-        assert!(a.times_ns.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.times_ns.windows(2).all(|w| w[0] < w[1]));
         let c = ArrivalTrace::generate(ArrivalProcess::poisson(10_000.0, 8), 500);
         assert_ne!(a.times_ns, c.times_ns, "seed must matter");
     }
@@ -273,7 +309,7 @@ mod tests {
         let n = 8000;
         let p = ArrivalTrace::generate(ArrivalProcess::poisson(qps, 3), n);
         let b = ArrivalTrace::generate(ArrivalProcess::bursty(qps, 3), n);
-        assert!(b.times_ns.windows(2).all(|w| w[0] <= w[1]));
+        assert!(b.times_ns.windows(2).all(|w| w[0] < w[1]));
         let measured = b.measured_offered_qps();
         assert!(
             (measured - qps).abs() < qps * 0.2,

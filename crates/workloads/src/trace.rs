@@ -154,11 +154,16 @@ impl Workload {
         let mut times_ns = Vec::with_capacity(num_queries);
         let mut prev_base = 0u64;
         let mut t = 0.0f64;
+        let mut last = 0u64;
         for &tb in &base.times_ns {
             let dt = tb.saturating_sub(prev_base) as f64;
             prev_base = tb;
             t += dt / drift.rate_multiplier(t.round() as u64);
-            times_ns.push(t.round() as u64);
+            // Same strictly-increasing integer stamping as
+            // `ArrivalTrace::generate`: a rate boost can compress a
+            // warped gap below 1 ns, so floor at `previous + 1`.
+            last = (t.round() as u64).max(last + 1);
+            times_ns.push(last);
         }
         let arrivals = ArrivalTrace { process, times_ns };
 
@@ -499,7 +504,7 @@ mod tests {
         let b = Workload::generate_drifting(&spec, cfg, drift.clone(), process);
         assert_eq!(a, b);
         assert_eq!(a.arrivals.len(), a.num_queries());
-        assert!(a.arrivals.times_ns.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.arrivals.times_ns.windows(2).all(|w| w[0] < w[1]));
         // Each query's indices should concentrate in the hot set active
         // at its arrival time.
         let mut in_hot = 0u64;

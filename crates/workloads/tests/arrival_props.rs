@@ -1,0 +1,157 @@
+//! Property tests for the open-loop arrival processes, with the MMPP
+//! (bursty) generator as the main target: over random rates, burst
+//! shapes and seeds,
+//!
+//! 1. **strict monotonicity** — stamped arrival times are strictly
+//!    increasing, so every integer inter-arrival is >= 1 ns and no two
+//!    queries ever collapse onto the same modeled nanosecond;
+//! 2. **determinism** — the same process parameters (including the
+//!    seed) yield a bit-identical stamp sequence, and a different seed
+//!    yields a different one;
+//! 3. **rate envelope** — the measured offered rate of a stamped trace
+//!    lands inside the process's two-state rate envelope
+//!    ([`ArrivalProcess::rate_bounds`]): the MMPP switches between its
+//!    quiet and burst states, so no finite trace can sustain a rate
+//!    outside `[quiet, burst]` (checked with generous finite-sample
+//!    slack), and windowed rates actually visit both regimes.
+//!
+//! Honors `PROPTEST_CASES` like the rest of the suite.
+
+use proptest::prelude::*;
+use proptest::TestRunner;
+use workloads::{ArrivalProcess, ArrivalTrace, NS_PER_SEC};
+
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn bursty_stamps_are_strictly_monotone_and_seed_deterministic() {
+    let strategy = (
+        1_000.0f64..5_000_000.0, // qps
+        1.5f64..8.0,             // burst_factor
+        0.05f64..0.45,           // burst_fraction (factor * fraction < 1 enforced below)
+        0u64..1_000,             // seed
+        64usize..2_048,          // trace length
+    );
+    TestRunner::new(ProptestConfig::with_cases(cases(64))).run(
+        &strategy,
+        |(qps, factor, fraction, seed, n)| {
+            // Keep the quiet-state rate positive (the constructor's
+            // precondition); skew infeasible draws back inside.
+            let fraction = fraction.min(0.9 / factor);
+            let process = ArrivalProcess::Bursty {
+                qps,
+                burst_factor: factor,
+                burst_fraction: fraction,
+                seed,
+            };
+            let a = ArrivalTrace::generate(process, n);
+            prop_assert_eq!(a.len(), n);
+            // 1. Strictly increasing stamps: positive integer
+            // inter-arrivals everywhere, first arrival after t=0.
+            prop_assert!(a.times_ns[0] > 0);
+            prop_assert!(
+                a.times_ns.windows(2).all(|w| w[0] < w[1]),
+                "stamps must be strictly increasing"
+            );
+            // 2. Fixed seed => identical stamp sequence.
+            let b = ArrivalTrace::generate(process, n);
+            prop_assert_eq!(&a.times_ns, &b.times_ns);
+            let other = ArrivalTrace::generate(
+                ArrivalProcess::Bursty {
+                    seed: seed.wrapping_add(1),
+                    qps,
+                    burst_factor: factor,
+                    burst_fraction: fraction,
+                },
+                n,
+            );
+            prop_assert!(a.times_ns != other.times_ns, "seed must matter");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bursty_measured_rates_stay_inside_the_state_envelope() {
+    let strategy = (
+        10_000.0f64..1_000_000.0, // qps
+        2.0f64..6.0,              // burst_factor
+        0.1f64..0.3,              // burst_fraction
+        0u64..1_000,              // seed
+    );
+    TestRunner::new(ProptestConfig::with_cases(cases(48))).run(
+        &strategy,
+        |(qps, factor, fraction, seed)| {
+            let fraction = fraction.min(0.9 / factor);
+            let process = ArrivalProcess::Bursty {
+                qps,
+                burst_factor: factor,
+                burst_fraction: fraction,
+                seed,
+            };
+            let (quiet, burst) = process.rate_bounds().expect("open-loop");
+            prop_assert!(quiet > 0.0 && quiet < qps && qps < burst);
+
+            // Long-run mean: inside the envelope with finite-sample
+            // slack (the trace spans ~20 burst/quiet cycles at n=4000,
+            // so the mean cannot hug either extreme).
+            let n = 4_000usize;
+            let t = ArrivalTrace::generate(process, n);
+            let measured = t.measured_offered_qps();
+            prop_assert!(
+                measured > quiet * 0.5 && measured < burst * 1.5,
+                "measured {measured} outside envelope [{quiet}, {burst}]"
+            );
+            // A trace ending mid-burst can skew the finite-sample mean
+            // well above qps, so this band is deliberately loose — the
+            // envelope bound above is the sharp check.
+            prop_assert!(
+                measured > qps / 2.5 && measured < qps * 2.5,
+                "measured {measured} too far from long-run mean {qps}"
+            );
+
+            // State switching is visible: windowed rates spread across
+            // the envelope. One generator cycle spans ~200 arrivals, so
+            // 100-arrival windows sample both states; the max windowed
+            // rate must clearly exceed the min (no switching would make
+            // them equal up to Poisson noise).
+            let w = 100usize;
+            let mut rates = Vec::new();
+            for chunk in t.times_ns.chunks_exact(w) {
+                let span = (chunk[w - 1] - chunk[0]) as f64;
+                prop_assert!(span > 0.0);
+                rates.push((w - 1) as f64 * NS_PER_SEC / span);
+            }
+            let lo = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = rates.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(
+                hi > lo * 1.5,
+                "windowed rates never spread ({lo}..{hi}): MMPP is not switching"
+            );
+            // And the windows never sustain a rate wildly outside the
+            // envelope (3x slack absorbs window-level Poisson noise).
+            prop_assert!(
+                hi < burst * 3.0 && lo > quiet / 3.0,
+                "windowed rates ({lo}..{hi}) escape the envelope [{quiet}, {burst}]"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn poisson_envelope_is_flat_and_closed_loop_has_none() {
+    let p = ArrivalProcess::poisson(5_000.0, 3);
+    assert_eq!(p.rate_bounds(), Some((5_000.0, 5_000.0)));
+    assert_eq!(ArrivalProcess::ClosedLoop.rate_bounds(), None);
+    // Poisson stamping obeys the same strict-monotonicity contract,
+    // even at rates where sub-ns gaps are common.
+    let t = ArrivalTrace::generate(ArrivalProcess::poisson(800_000_000.0, 9), 4_000);
+    assert!(t.times_ns[0] > 0);
+    assert!(t.times_ns.windows(2).all(|w| w[0] < w[1]));
+}

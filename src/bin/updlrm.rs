@@ -21,6 +21,10 @@
 //!              [--batches 10] [--seed 7] [--host-threads N]
 //!              [--workload-v3 FILE] [--replan off|periodic:N|imbalance:T[:N]]
 //!              [--drift-snapshot FILE] [--json FILE] [--metrics FILE]
+//! updlrm serve --tenants FILE.toml [--no-isolation] [--quantum-us N]
+//!              [--dpus N] [--json FILE] [--metrics FILE]
+//! updlrm capacity --tenants FILE.toml [--min-dpus 8] [--max-dpus 256]
+//!              [--json FILE]
 //! updlrm stats --metrics FILE
 //! updlrm trace [--dataset movie] [--scale 200] [--batches 10]
 //!              [--arrival poisson|bursty --qps N]
@@ -52,6 +56,9 @@ fn usage() -> ! {
          [--dataset TAG] [--strategy u|nu|ca|nur] [--dpus N] [--scale N] [--batches N] [--seed N] \
          [--host-threads N] [--workload-v3 FILE] [--replan off|periodic:N|imbalance:T[:N]] \
          [--drift-snapshot FILE] [--json FILE] [--metrics FILE]\n  \
+         updlrm serve --tenants FILE.toml [--no-isolation] [--quantum-us N] [--dpus N] \
+         [--json FILE] [--metrics FILE]\n  \
+         updlrm capacity --tenants FILE.toml [--min-dpus N] [--max-dpus N] [--json FILE]\n  \
          updlrm stats --metrics FILE\n  \
          updlrm trace [--dataset TAG] [--scale N] [--batches N] [--seed N] \
          [--arrival poisson|bursty --qps N] [--rotate SETS:ROWS:PERIOD_US:HOT] \
@@ -66,7 +73,7 @@ struct Args {
 }
 
 /// Flags that take no value (presence alone turns them on).
-const BARE_FLAGS: &[&str] = &["deterministic"];
+const BARE_FLAGS: &[&str] = &["deterministic", "no-isolation"];
 
 impl Args {
     fn parse(raw: &[String]) -> Args {
@@ -970,7 +977,215 @@ struct RuntimeJson {
     batches_per_shard: Vec<u64>,
 }
 
+/// Loads and parses a `--tenants FILE.toml`, applying the CLI
+/// overrides (`--dpus`, `--quantum-us`, `--no-isolation`), or exits 2.
+fn tenants_file_or_exit(args: &Args, path: &str) -> TenantsFile {
+    for bad in [
+        "qps",
+        "arrival",
+        "workload-v3",
+        "replan",
+        "runtime",
+        "shards",
+        "time-scale",
+        "deterministic",
+        "drift-snapshot",
+        "dataset",
+        "strategy",
+        "scale",
+        "batches",
+        "seed",
+        "max-batch",
+        "max-wait-us",
+        "policy",
+        "queue-cap",
+        "embed-dtype",
+    ] {
+        if args.flag_set(bad) {
+            eprintln!(
+                "--{bad} does not apply with --tenants (per-tenant settings live in the file)"
+            );
+            std::process::exit(2)
+        }
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("--tenants {path}: {e}");
+            std::process::exit(2)
+        }
+    };
+    let mut file = match parse_tenants_toml(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("--tenants {path}: {e}");
+            std::process::exit(2)
+        }
+    };
+    if args.flag_set("dpus") {
+        file.fleet.fleet_dpus = args.num("dpus", file.fleet.fleet_dpus);
+    }
+    if args.flag_set("quantum-us") {
+        file.fleet.quantum_ns = args.num("quantum-us", 0) as u64 * 1_000;
+    }
+    if args.flag_set("no-isolation") {
+        file.fleet.arbitration = Arbitration::Fcfs;
+    }
+    if let Err(e) = file.fleet.validate() {
+        eprintln!("--tenants {path}: {e}");
+        std::process::exit(2)
+    }
+    file
+}
+
+/// `updlrm serve --tenants FILE.toml`: the mixed multi-tenant workload
+/// end to end on one shared modeled fleet.
+fn cmd_serve_tenants(args: &Args, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let mut file = tenants_file_or_exit(args, path);
+    let metrics_path = args.flags.get("metrics").cloned();
+    if metrics_path.is_some() {
+        file.fleet.telemetry = true;
+    }
+    let mut fleet = TenantFleet::from_specs(&file.tenants, file.fleet.clone())?;
+    let report = fleet.run(|_, _, _, _, _| {})?;
+
+    println!(
+        "multi-tenant serve: {} tenants on a {}-DPU fleet [{}], makespan {:.1} ms, \
+         fleet utilization {:.2}",
+        report.tenants.len(),
+        report.fleet_dpus,
+        report.arbitration,
+        report.makespan_ns / 1e6,
+        report.fleet_utilization,
+    );
+    for t in &report.tenants {
+        let slo = if t.slo_p99_ns > 0.0 {
+            format!(
+                "slo {:.0} us ({} violations)",
+                t.slo_p99_ns / 1e3,
+                t.slo_violations
+            )
+        } else {
+            "no slo".to_string()
+        };
+        println!(
+            "  {} (w {:.1}, dpu offset {}): p50 {:.1} us  p99 {:.1} us  {}  \
+             share {:.2} (configured {:.2})",
+            t.name,
+            t.weight,
+            t.dpu_offset,
+            t.sched.p50_latency_ns / 1e3,
+            t.sched.p99_latency_ns / 1e3,
+            slo,
+            t.fleet_share_achieved,
+            t.fleet_share_configured,
+        );
+        println!(
+            "    {} batches, {} completed / {} offered ({} shed, {} rejected, {} blocked)",
+            t.sched.batches,
+            t.sched.completed,
+            t.sched.requests,
+            t.sched.shed,
+            t.sched.rejected,
+            t.sched.blocked,
+        );
+    }
+    if let Some(path) = args.flags.get("json") {
+        std::fs::write(path, serde::json::to_string_pretty(&report))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &metrics_path {
+        write_metrics(path, &fleet.metrics_snapshot())?;
+    }
+    Ok(())
+}
+
+/// `updlrm capacity --tenants FILE.toml`: answers "how many DPUs do
+/// these tenants need at these SLOs?" with a doubling sweep of fleet
+/// sizes through the full cost model.
+fn cmd_capacity(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = args.flags.get("tenants").cloned() else {
+        eprintln!("updlrm capacity needs --tenants FILE.toml");
+        std::process::exit(2)
+    };
+    let file = tenants_file_or_exit(args, &path);
+    let min_dpus = args.num("min-dpus", 8);
+    let max_dpus = args.num("max-dpus", 256);
+    if min_dpus == 0 || min_dpus > max_dpus {
+        eprintln!("need 1 <= --min-dpus <= --max-dpus (got {min_dpus}..{max_dpus})");
+        std::process::exit(2)
+    }
+    let mut candidates = Vec::new();
+    let mut c = min_dpus;
+    while c < max_dpus {
+        candidates.push(c);
+        c = c.saturating_mul(2);
+    }
+    candidates.push(max_dpus);
+
+    let points = capacity_sweep(&file.tenants, &file.fleet, &candidates)?;
+    println!(
+        "capacity sweep for {} tenants [{}], fleets {}..{} DPUs:",
+        file.tenants.len(),
+        file.fleet.arbitration,
+        min_dpus,
+        max_dpus,
+    );
+    for p in &points {
+        if !p.feasible {
+            println!(
+                "  {:>5} DPUs: infeasible (no tile shape fits)",
+                p.fleet_dpus
+            );
+            continue;
+        }
+        let verdict = if p.all_slos_met { "PASS" } else { "fail" };
+        let detail: Vec<String> = p
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{} p99 {:.0} us{}",
+                    t.name,
+                    t.p99_latency_ns / 1e3,
+                    if t.met { "" } else { " *" }
+                )
+            })
+            .collect();
+        println!(
+            "  {:>5} DPUs: {}  ({})",
+            p.fleet_dpus,
+            verdict,
+            detail.join(", ")
+        );
+    }
+    if let Some(json_path) = args.flags.get("json") {
+        std::fs::write(json_path, serde::json::to_string_pretty(&points))?;
+        println!("wrote {json_path}");
+    }
+    match points.iter().find(|p| p.all_slos_met) {
+        Some(p) => {
+            println!(
+                "smallest swept fleet meeting every SLO: {} DPUs",
+                p.fleet_dpus
+            );
+        }
+        None => {
+            println!("no swept fleet size up to {max_dpus} DPUs meets every SLO");
+            std::process::exit(1)
+        }
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = args.flags.get("tenants").cloned() {
+        return cmd_serve_tenants(args, &path);
+    }
+    if args.flag_set("no-isolation") || args.flag_set("quantum-us") {
+        eprintln!("--no-isolation / --quantum-us only apply to --tenants serving");
+        std::process::exit(2)
+    }
     let workload_path = args.flags.get("workload-v3").cloned();
     if workload_path.is_some() && (args.flag_set("qps") || args.flag_set("arrival")) {
         eprintln!(
@@ -1038,8 +1253,8 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
             if replan.enabled() {
                 eprintln!(
-                    "--replan requires --runtime modeled (the wall runtime's shards serve \
-                     from static placements)"
+                    "--replan: replanning requires the modeled runtime (--runtime modeled); \
+                     the wall runtime's shards serve from static placements"
                 );
                 std::process::exit(2)
             }
@@ -1501,6 +1716,30 @@ fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             snap.runtime.measured_service_ns / 1e6,
         );
     }
+    for t in &snap.tenants {
+        println!(
+            "  tenant {} (w {:.1}): {} admitted ({} shed, {} rejected), {} completed in {} batches",
+            t.name, t.weight, t.admitted, t.shed, t.rejected, t.completed, t.batches,
+        );
+        let slo = if t.slo_p99_ns > 0.0 {
+            format!(
+                "slo {:.0} us ({} violations)",
+                t.slo_p99_ns / 1e3,
+                t.slo_violations
+            )
+        } else {
+            "no slo".into()
+        };
+        println!(
+            "    p50 {:.1} us  p95 {:.1} us  p99 {:.1} us  {slo}  \
+             fleet share {:.2} (configured {:.2})",
+            t.p50_latency_ns / 1e3,
+            t.p95_latency_ns / 1e3,
+            t.p99_latency_ns / 1e3,
+            t.fleet_share_achieved,
+            t.fleet_share_configured,
+        );
+    }
     if !snap.per_dpu.is_empty() {
         let cycles: Vec<u64> = snap.per_dpu.iter().map(|d| d.cycles).collect();
         let total: u64 = cycles.iter().sum();
@@ -1661,6 +1900,7 @@ fn main() -> ExitCode {
         "pack" => cmd_pack(&args),
         "plan" => cmd_plan(&args),
         "serve" => cmd_serve(&args),
+        "capacity" => cmd_capacity(&args),
         "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),
         "info" => cmd_info(&args),

@@ -63,6 +63,7 @@ pub use dlrm_model;
 pub use placement;
 pub use runtime;
 pub use scheduler;
+pub use tenancy;
 pub use updlrm_core;
 pub use upmem_sim;
 pub use workloads;
@@ -78,15 +79,20 @@ pub mod prelude {
         simd, Dlrm, DlrmConfig, EmbedDtype, EmbeddingTable, Matrix, QueryBatch, SparseInput,
     };
     pub use placement::{
-        plan as plan_placement, Catalog, PlacementPlan, PlanError, PlanProvenance, PlannerConfig,
-        TableDesc, PLAN_SCHEMA_VERSION,
+        interleaved_offsets, plan as plan_placement, Catalog, PlacementPlan, PlanError,
+        PlanProvenance, PlannerConfig, TableDesc, PLAN_SCHEMA_VERSION,
     };
     pub use runtime::{Runtime, RuntimeConfig, RuntimeReport, WallStats};
     pub use scheduler::{OverloadPolicy, SchedConfig, SchedReport, Scheduler};
+    pub use tenancy::{
+        capacity_sweep, parse_tenants_toml, Arbitration, CapacityPoint, FleetConfig, FleetReport,
+        TenantFleet, TenantReport, TenantSpec, TenantsFile,
+    };
     pub use updlrm_core::{
         BatchServer, EmbeddingBreakdown, MetricsRegistry, PartitionStrategy, PipelineMode,
         PipelineReport, ReplanPolicy, RuntimeSnapshot, ServeOutcome, ServeReport, Snapshot,
-        TieredEngine, Tiling, TilingProblem, UpdlrmConfig, UpdlrmEngine, SNAPSHOT_SCHEMA_VERSION,
+        TenantSnapshot, TieredEngine, Tiling, TilingProblem, UpdlrmConfig, UpdlrmEngine,
+        SNAPSHOT_SCHEMA_VERSION,
     };
     pub use upmem_sim::{CostModel, DpuId, PimConfig, PimSystem, RankCostModel, RankTopology};
     pub use workloads::{

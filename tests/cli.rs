@@ -285,7 +285,7 @@ fn metrics_snapshot_is_deterministic_across_runs() {
     );
     // The snapshot carries only modeled values and counts.
     let text = String::from_utf8(first).expect("utf8 json");
-    assert!(text.contains("\"schema_version\": 4"), "{text}");
+    assert!(text.contains("\"schema_version\": 5"), "{text}");
     assert!(text.contains("\"per_dpu\""), "{text}");
     assert!(text.contains("\"load_imbalance\""), "{text}");
     std::fs::remove_file(&a).ok();
@@ -320,7 +320,7 @@ fn stats_pretty_prints_a_snapshot() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("schema v4"), "stdout: {text}");
+    assert!(text.contains("schema v5"), "stdout: {text}");
     assert!(text.contains("stage shares"), "stdout: {text}");
     assert!(text.contains("load imbalance"), "stdout: {text}");
     assert!(text.contains("fleet: 32 DPUs"), "stdout: {text}");
@@ -681,8 +681,8 @@ fn stats_rejects_snapshots_from_other_schema_versions() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = std::fs::read_to_string(&path).expect("snapshot");
-    assert!(text.contains("\"schema_version\": 4"), "{text}");
-    let doctored = text.replace("\"schema_version\": 4", "\"schema_version\": 1");
+    assert!(text.contains("\"schema_version\": 5"), "{text}");
+    let doctored = text.replace("\"schema_version\": 5", "\"schema_version\": 1");
     std::fs::write(&path, doctored).expect("doctor snapshot");
     let out = updlrm()
         .arg("stats")
@@ -693,7 +693,7 @@ fn stats_rejects_snapshots_from_other_schema_versions() {
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("schema v1"), "stderr: {err}");
-    assert!(err.contains("reads v4"), "stderr: {err}");
+    assert!(err.contains("reads v5"), "stderr: {err}");
     std::fs::remove_file(&path).ok();
 }
 
@@ -1075,6 +1075,11 @@ fn serve_replan_flag_is_validated() {
         .output()
         .expect("serve");
     assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("replanning requires the modeled runtime"),
+        "stderr should explain the wall-runtime limitation: {err}"
+    );
     // A drift snapshot without a replanner can never exist.
     let out = updlrm()
         .args([
@@ -1086,5 +1091,142 @@ fn serve_replan_flag_is_validated() {
         ])
         .output()
         .expect("serve");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+fn tenants_toml() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/tenants.toml")
+}
+
+#[test]
+fn serve_tenants_runs_the_example_fleet() {
+    let out = updlrm()
+        .args(["serve", "--tenants"])
+        .arg(tenants_toml())
+        .output()
+        .expect("serve");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("search"), "stdout: {text}");
+    assert!(text.contains("ads"), "stdout: {text}");
+    assert!(text.contains("drr"), "stdout: {text}");
+    assert!(text.contains("p99"), "stdout: {text}");
+}
+
+#[test]
+fn serve_tenants_json_is_deterministic() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let a = dir.join("tenants-a.json");
+    let b = dir.join("tenants-b.json");
+    for path in [&a, &b] {
+        let out = updlrm()
+            .args(["serve", "--tenants"])
+            .arg(tenants_toml())
+            .arg("--json")
+            .arg(path)
+            .output()
+            .expect("serve");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let ja = std::fs::read_to_string(&a).expect("read a");
+    let jb = std::fs::read_to_string(&b).expect("read b");
+    assert_eq!(ja, jb, "same tenants file must serialize byte-identically");
+    let report: updlrm::prelude::FleetReport =
+        serde::json::from_str(&ja).expect("parse fleet report");
+    assert_eq!(report.tenants.len(), 2);
+    assert_eq!(report.tenants[0].name, "search");
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn serve_tenants_rejects_incompatible_flags() {
+    // Single-tenant workload flags cannot combine with a tenants file.
+    for extra in [
+        ["--qps", "1000"],
+        ["--replan", "periodic:4"],
+        ["--runtime", "wall"],
+        ["--dataset", "movie"],
+    ] {
+        let out = updlrm()
+            .args(["serve", "--tenants"])
+            .arg(tenants_toml())
+            .args(extra)
+            .output()
+            .expect("serve");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{extra:?} should be rejected: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // --no-isolation only makes sense with --tenants.
+    let out = updlrm()
+        .args(["serve", "--qps", "1000", "--no-isolation"])
+        .output()
+        .expect("serve");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn serve_tenants_rejects_bad_toml() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bad-tenants.toml");
+    std::fs::write(&path, "[fleet]\ndpus = 16\nwibble = 3\n").expect("write");
+    let out = updlrm()
+        .args(["serve", "--tenants"])
+        .arg(&path)
+        .output()
+        .expect("serve");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("wibble"), "stderr should name the key: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn capacity_sweeps_fleet_sizes() {
+    let dir = std::env::temp_dir().join("updlrm-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json = dir.join("capacity.json");
+    let out = updlrm()
+        .args(["capacity", "--tenants"])
+        .arg(tenants_toml())
+        .args(["--min-dpus", "8", "--max-dpus", "16", "--json"])
+        .arg(&json)
+        .output()
+        .expect("capacity");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("16 DPUs"), "stdout: {text}");
+    assert!(
+        text.contains("smallest swept fleet meeting every SLO: 16 DPUs"),
+        "stdout: {text}"
+    );
+    let text = std::fs::read_to_string(&json).expect("read json");
+    let points: Vec<updlrm::prelude::CapacityPoint> =
+        serde::json::from_str(&text).expect("parse capacity points");
+    assert_eq!(points.len(), 2);
+    assert!(!points[0].all_slos_met, "8 DPUs should miss the SLO");
+    assert!(points[1].all_slos_met, "16 DPUs should meet the SLO");
+    std::fs::remove_file(&json).ok();
+
+    // Without a tenants file the command cannot run.
+    let out = updlrm().arg("capacity").output().expect("capacity");
     assert_eq!(out.status.code(), Some(2));
 }
